@@ -1,0 +1,187 @@
+// Motivation ablation (Sec. I): why network-wide spatial analysis at all?
+// Compares three detection statistics on a campaign of purely *coordinated
+// low-profile* botnet anomalies:
+//   * ewma-per-flow   — max per-flow EWMA z-score (no spatial view)
+//   * sketch-pca      — the paper's SPE residual on OD flows
+//   * sketch-pca-link — the same on per-link loads (the data Lakhina'04
+//                       originally used, via the routing matrix)
+//
+// Raw Q-statistic / k-sigma thresholds have very different operating
+// points on LRD + diurnal traffic, so the comparison is made at a *matched
+// empirical false-alarm rate*: each detector's threshold is set to the
+// (1 - p) quantile of its statistic on clean intervals, and episode
+// detection rates are compared at that common p. Expected: at equal false
+// alarms, the spatial statistics separate coordinated low-profile episodes
+// far better than the per-flow statistic.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/support/scenario.hpp"
+#include "common/table.hpp"
+#include "core/evaluation.hpp"
+#include "core/ewma_detector.hpp"
+#include "core/sketch_detector.hpp"
+#include "rand/splitmix64.hpp"
+#include "traffic/link_view.hpp"
+
+namespace {
+
+using namespace spca;
+
+/// Episode detection at a threshold chosen so that exactly a `p` fraction
+/// of clean ready intervals exceed it.
+struct RocPoint {
+  double threshold = 0.0;
+  double false_alarm_rate = 0.0;
+  std::size_t episodes_caught = 0;
+};
+
+RocPoint evaluate_at_matched_fp(const DetectorRun& run,
+                                const TraceSet& trace, double p,
+                                std::size_t first_eval) {
+  std::vector<double> clean;
+  for (std::size_t t = first_eval; t < run.detections.size(); ++t) {
+    if (!run.detections[t].ready) continue;
+    if (!trace.is_anomalous(static_cast<std::int64_t>(t))) {
+      clean.push_back(run.detections[t].distance);
+    }
+  }
+  std::sort(clean.begin(), clean.end());
+  const std::size_t cut = static_cast<std::size_t>(
+      (1.0 - p) * static_cast<double>(clean.size()));
+  RocPoint roc;
+  roc.threshold = clean[std::min(cut, clean.size() - 1)];
+
+  std::size_t fp = 0;
+  for (const double d : clean) {
+    if (d > roc.threshold) ++fp;
+  }
+  roc.false_alarm_rate =
+      static_cast<double>(fp) / static_cast<double>(clean.size());
+
+  for (const auto& event : trace.events()) {
+    for (std::int64_t t = event.start; t <= event.end; ++t) {
+      const auto idx = static_cast<std::size_t>(t);
+      if (run.detections[idx].ready &&
+          run.detections[idx].distance > roc.threshold) {
+        ++roc.episodes_caught;
+        break;
+      }
+    }
+  }
+  return roc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "abl_detection_baselines: per-flow EWMA vs sketch-PCA (OD and link "
+      "space) on coordinated low-profile anomalies, at matched false-alarm "
+      "rates");
+  bench::define_scenario_flags(flags);
+  flags.define("sketch-rows", "128", "sketch length l");
+  flags.define("episodes", "14", "coordinated botnet episodes");
+  flags.define("episode-sigma", "3.0",
+               "per-flow bump in LOCAL (detrended) std deviations");
+  flags.define("flows-per-episode", "24", "flows participating per episode");
+  flags.define("target-fp", "0.01", "matched false-alarm rate");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    const bench::Scenario scenario = bench::scenario_from_flags(flags);
+    const auto episodes =
+        static_cast<std::size_t>(flags.integer("episodes"));
+    const auto flows_per =
+        static_cast<std::size_t>(flags.integer("flows-per-episode"));
+    const double sigma = flags.real("episode-sigma");
+    const double target_fp = flags.real("target-fp");
+
+    const Topology topo = abilene_topology();
+    TrafficModelConfig traffic;
+    traffic.num_intervals = scenario.total_intervals();
+    traffic.interval_seconds = scenario.interval_seconds;
+    traffic.seed = scenario.seed;
+    // Stationary regime: this ablation isolates the spatial dimension
+    // (coordinated vs per-flow) from PCA's separate, well-documented
+    // sensitivity to diurnal nonstationarity (Ringberg et al., ref [2]).
+    traffic.diurnal.daily_amplitude = 0.0;
+    traffic.diurnal.harmonic_amplitude = 0.0;
+    traffic.diurnal.weekend_dip = 0.0;
+    TraceSet trace = generate_traffic(topo, traffic);
+
+    // Coordinated botnet episodes only, spaced across the eval region.
+    AnomalyInjector injector(topo, scenario.seed ^ 0xb07ULL);
+    SplitMix64 pick(scenario.seed ^ 0x11ULL);
+    const std::int64_t eval_span =
+        static_cast<std::int64_t>(scenario.eval_intervals);
+    for (std::size_t e = 0; e < episodes; ++e) {
+      const std::int64_t start =
+          static_cast<std::int64_t>(scenario.window) +
+          static_cast<std::int64_t>(e) * eval_span /
+              static_cast<std::int64_t>(episodes) +
+          2;
+      std::vector<FlowId> flows;
+      while (flows.size() < flows_per) {
+        const FlowId f = static_cast<FlowId>(pick() % topo.num_od_flows());
+        const OdPair od = od_pair_of(f, topo.num_routers());
+        if (od.origin == od.destination) continue;
+        if (std::find(flows.begin(), flows.end(), f) == flows.end()) {
+          flows.push_back(f);
+        }
+      }
+      injector.inject_botnet_local(trace, start, 3, flows, sigma);
+    }
+
+    const Routing routing(topo);
+    const TraceSet link_trace = to_link_trace(trace, topo, routing);
+
+    TablePrinter table({"detector", "space", "episodes_caught",
+                        "matched_fp", "threshold"});
+    const auto add_row = [&](const char* name, const char* space,
+                             const DetectorRun& run,
+                             const TraceSet& labelled) {
+      const RocPoint roc = evaluate_at_matched_fp(run, labelled, target_fp,
+                                                  scenario.window);
+      table.row({name, space,
+                 std::to_string(roc.episodes_caught) + "/" +
+                     std::to_string(labelled.events().size()),
+                 std::to_string(roc.false_alarm_rate),
+                 std::to_string(roc.threshold)});
+    };
+
+    {
+      EwmaConfig config;
+      config.warmup = scenario.window;
+      EwmaDetector ewma(trace.num_flows(), config);
+      const DetectorRun run = run_detector(ewma, trace);
+      add_row("ewma-per-flow", "od", run, trace);
+    }
+    {
+      SketchDetectorConfig config;
+      config.window = scenario.window;
+      config.epsilon = scenario.epsilon;
+      config.sketch_rows =
+          static_cast<std::size_t>(flags.integer("sketch-rows"));
+      config.alpha = scenario.alpha;
+      config.rank_policy = RankPolicy::fixed(6);
+      config.seed = scenario.seed;
+      SketchDetector sketch(trace.num_flows(), config);
+      const DetectorRun run = run_detector(sketch, trace);
+      add_row("sketch-pca", "od", run, trace);
+
+      SketchDetector link_sketch(link_trace.num_flows(), config);
+      const DetectorRun link_run = run_detector(link_sketch, link_trace);
+      add_row("sketch-pca", "link", link_run, link_trace);
+    }
+    std::cout << "# Ablation — spatial PCA vs per-flow baseline on "
+                 "coordinated low-profile anomalies ("
+              << flows_per << " flows x " << sigma
+              << " local-sigma), thresholds matched to " << target_fp
+              << " false-alarm rate\n";
+    table.print(std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

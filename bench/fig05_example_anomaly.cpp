@@ -1,0 +1,86 @@
+// Fig. 5 reproduction: a coordinated low-profile traffic anomaly across the
+// four OD flows the paper plots (ATLA-CHIC, CHIC-KANS, CHIC-SALT,
+// SEAT-SALT). Prints each flow's volume series around the event plus the
+// sketch detector's anomaly distance and threshold, showing the distance
+// exceeding the threshold exactly when the coordinated bump occurs even
+// though each individual flow stays within its normal excursions.
+#include <iostream>
+
+#include "bench/support/scenario.hpp"
+#include "common/table.hpp"
+#include "core/evaluation.hpp"
+#include "core/sketch_detector.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spca;
+  CliFlags flags(
+      "fig05_example_anomaly: coordinated low-profile anomaly on four "
+      "Abilene OD flows");
+  bench::define_scenario_flags(flags);
+  flags.define("sketch-rows", "128", "sketch length l");
+  flags.define("event-sigma", "3.0",
+               "coordinated bump size in per-flow standard deviations");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    const bench::Scenario scenario = bench::scenario_from_flags(flags);
+
+    const Topology topo = abilene_topology();
+    TrafficModelConfig config;
+    config.num_intervals = scenario.total_intervals();
+    config.interval_seconds = scenario.interval_seconds;
+    config.seed = scenario.seed;
+    TraceSet trace = generate_traffic(topo, config);
+
+    const std::vector<FlowId> flows = {
+        topo.flow_id("ATLA", "CHIC"), topo.flow_id("CHIC", "KANS"),
+        topo.flow_id("CHIC", "SALT"), topo.flow_id("SEAT", "SALT")};
+    const std::int64_t event_start =
+        static_cast<std::int64_t>(scenario.window + scenario.eval_intervals / 2);
+    AnomalyInjector injector(topo, scenario.seed);
+    injector.inject_botnet(trace, event_start, 4, flows,
+                           flags.real("event-sigma"));
+
+    SketchDetectorConfig detector_config;
+    detector_config.window = scenario.window;
+    detector_config.epsilon = scenario.epsilon;
+    detector_config.sketch_rows =
+        static_cast<std::size_t>(flags.integer("sketch-rows"));
+    detector_config.alpha = scenario.alpha;
+    detector_config.rank_policy = RankPolicy::fixed(6);
+    detector_config.seed = scenario.seed ^ 0xf1f5ULL;
+    SketchDetector detector(trace.num_flows(), detector_config);
+    const DetectorRun run = run_detector(detector, trace);
+
+    std::cout << "# Fig. 5 — coordinated low-profile anomaly, four OD flows\n"
+              << "# event: botnet bump on " << flows.size()
+              << " flows, intervals [" << event_start << ", "
+              << event_start + 3 << "]\n";
+    TablePrinter table({"t", "ATLA-CHIC", "CHIC-KANS", "CHIC-SALT",
+                        "SEAT-SALT", "distance", "threshold", "alarm"});
+    for (std::int64_t t = event_start - 12; t <= event_start + 12; ++t) {
+      const auto idx = static_cast<std::size_t>(t);
+      const Detection& det = run.detections[idx];
+      table.row({std::to_string(t),
+                 std::to_string(trace.volumes()(idx, flows[0])),
+                 std::to_string(trace.volumes()(idx, flows[1])),
+                 std::to_string(trace.volumes()(idx, flows[2])),
+                 std::to_string(trace.volumes()(idx, flows[3])),
+                 std::to_string(det.distance), std::to_string(det.threshold),
+                 det.alarm ? "ALARM" : "-"});
+    }
+    table.print(std::cout);
+
+    std::size_t alarms_in_event = 0;
+    for (std::int64_t t = event_start; t < event_start + 4; ++t) {
+      if (run.detections[static_cast<std::size_t>(t)].alarm) {
+        ++alarms_in_event;
+      }
+    }
+    std::cout << "\nevent intervals flagged: " << alarms_in_event
+              << " / 4\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 7 reproduction: Type I and Type II errors of the sketch-based method
+// vs the exact Lakhina baseline (taken as ground truth, Sec. VI), swept over
+// the normal subspace size r = 1..10 and the sketch length l, with 5-minute
+// measurement intervals.
+//
+// Expected shape (paper): large errors for small r (normal traffic cannot
+// be captured), rapid improvement with l, flattening once l exceeds ~200.
+#include <iostream>
+
+#include "bench/support/error_surface.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spca;
+  CliFlags flags(
+      "fig07_error_surface_5min: Type I/II error surface over (r, l), "
+      "5-minute intervals");
+  bench::define_scenario_flags(flags);
+  flags.define("l-list", "10,25,50,100,200,400",
+               "comma-separated sketch lengths to sweep");
+  flags.define("max-rank", "10", "largest normal-subspace size r");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    bench::Scenario scenario = bench::scenario_from_flags(flags);
+    scenario.interval_seconds = flags.real("interval-seconds");
+    std::cout << "# Fig. 7 — sketch vs exact PCA Type I/II errors, "
+                 "5-minute intervals\n";
+    bench::run_error_surface(scenario,
+                             bench::parse_size_list(flags.str("l-list")),
+                             static_cast<std::size_t>(flags.integer("max-rank")));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Microbenchmarks of the detector hot paths: per-interval observe cost for
+// the sketch method vs the exact baseline, at Abilene scale (m = 81).
+#include <benchmark/benchmark.h>
+
+#include "core/lakhina_detector.hpp"
+#include "core/sketch_detector.hpp"
+#include "synth/traffic_model.hpp"
+
+namespace {
+
+using namespace spca;
+
+const TraceSet& shared_trace() {
+  static const TraceSet trace = [] {
+    TrafficModelConfig config;
+    config.num_intervals = 2048;
+    config.seed = 3;
+    return generate_traffic(abilene_topology(), config);
+  }();
+  return trace;
+}
+
+void BM_SketchObserve(benchmark::State& state) {
+  const TraceSet& trace = shared_trace();
+  SketchDetectorConfig config;
+  config.window = 512;
+  config.sketch_rows = static_cast<std::size_t>(state.range(0));
+  config.rank_policy = RankPolicy::fixed(6);
+  SketchDetector detector(trace.num_flows(), config);
+  std::int64_t t = 0;
+  // Warm through the window first so observe() includes detection work.
+  for (; t < 512; ++t) {
+    (void)detector.observe(t, trace.row(static_cast<std::size_t>(t) %
+                                        trace.num_intervals()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.observe(
+        t, trace.row(static_cast<std::size_t>(t) % trace.num_intervals())));
+    ++t;
+  }
+}
+BENCHMARK(BM_SketchObserve)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+void BM_LakhinaObserve(benchmark::State& state) {
+  const TraceSet& trace = shared_trace();
+  LakhinaConfig config;
+  config.window = 512;
+  config.rank_policy = RankPolicy::fixed(6);
+  config.recompute_period = static_cast<std::size_t>(state.range(0));
+  LakhinaDetector detector(trace.num_flows(), config);
+  std::int64_t t = 0;
+  for (; t < 512; ++t) {
+    (void)detector.observe(t, trace.row(static_cast<std::size_t>(t) %
+                                        trace.num_intervals()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.observe(
+        t, trace.row(static_cast<std::size_t>(t) % trace.num_intervals())));
+    ++t;
+  }
+}
+BENCHMARK(BM_LakhinaObserve)->Arg(1)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

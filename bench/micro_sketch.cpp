@@ -1,0 +1,69 @@
+// Microbenchmarks of the per-flow sketch: the O(l) update of Fig. 3 Step 2
+// and the sketch emission of eq. (17).
+#include <benchmark/benchmark.h>
+
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+#include "sketch/flow_sketch.hpp"
+#include "sketch/random_projection.hpp"
+
+namespace {
+
+using namespace spca;
+
+void BM_FlowSketchAdd(benchmark::State& state) {
+  const auto l = static_cast<std::size_t>(state.range(0));
+  const ProjectionSource source(ProjectionKind::kTugOfWar, 1);
+  FlowSketch sketch(4032, 0.01, l, source);
+  Xoshiro256 gen(2);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    sketch.add(t++, 1e8 + 1e7 * standard_normal(gen));
+  }
+}
+BENCHMARK(BM_FlowSketchAdd)->Arg(10)->Arg(50)->Arg(200)->Arg(400);
+
+void BM_FlowSketchAddGaussian(benchmark::State& state) {
+  // The Gaussian scheme evaluates two hashes + Box-Muller per coefficient.
+  const auto l = static_cast<std::size_t>(state.range(0));
+  const ProjectionSource source(ProjectionKind::kGaussian, 1);
+  FlowSketch sketch(4032, 0.01, l, source);
+  Xoshiro256 gen(3);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    sketch.add(t++, 1e8 + 1e7 * standard_normal(gen));
+  }
+}
+BENCHMARK(BM_FlowSketchAddGaussian)->Arg(50)->Arg(200);
+
+void BM_FlowSketchEmit(benchmark::State& state) {
+  const auto l = static_cast<std::size_t>(state.range(0));
+  const ProjectionSource source(ProjectionKind::kTugOfWar, 1);
+  FlowSketch sketch(4032, 0.05, l, source);
+  Xoshiro256 gen(4);
+  for (std::int64_t t = 0; t < 4032; ++t) {
+    sketch.add(t, 1e8 + 1e7 * standard_normal(gen));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.sketch());
+  }
+  state.counters["buckets"] = static_cast<double>(sketch.bucket_count());
+}
+BENCHMARK(BM_FlowSketchEmit)->Arg(50)->Arg(200)->Arg(400);
+
+void BM_ProjectionCoefficient(benchmark::State& state) {
+  const auto kind = static_cast<ProjectionKind>(state.range(0));
+  const ProjectionSource source(kind, 9, 3.0);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.value(t++, 3));
+  }
+}
+BENCHMARK(BM_ProjectionCoefficient)
+    ->Arg(static_cast<int>(ProjectionKind::kGaussian))
+    ->Arg(static_cast<int>(ProjectionKind::kTugOfWar))
+    ->Arg(static_cast<int>(ProjectionKind::kSparse));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Microbenchmarks of the streaming summaries: the per-element costs that
+// Theorem 1 claims are O(l) amortized at a local monitor.
+#include <benchmark/benchmark.h>
+
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+#include "stream/exponential_histogram.hpp"
+#include "stream/variance_histogram.hpp"
+
+namespace {
+
+using namespace spca;
+
+void BM_VarianceHistogramAdd(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const double epsilon = static_cast<double>(state.range(1)) / 100.0;
+  VarianceHistogram vh(n, epsilon);
+  Xoshiro256 gen(1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    vh.add(t++, 1e8 + 1e7 * standard_normal(gen));
+  }
+  state.counters["buckets"] = static_cast<double>(vh.bucket_count());
+}
+BENCHMARK(BM_VarianceHistogramAdd)
+    ->Args({4032, 1})
+    ->Args({4032, 10})
+    ->Args({20160, 10})
+    ->Args({65536, 20});
+
+void BM_VarianceHistogramAggregate(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  VarianceHistogram vh(n, 0.1, /*payload_size=*/32);
+  Xoshiro256 gen(2);
+  std::vector<double> payload(32);
+  for (std::int64_t t = 0; t < static_cast<std::int64_t>(n); ++t) {
+    for (auto& p : payload) p = standard_normal(gen);
+    vh.add(t, 1e8 + 1e7 * standard_normal(gen), payload);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vh.aggregate());
+  }
+}
+BENCHMARK(BM_VarianceHistogramAggregate)->Arg(4032)->Arg(20160);
+
+void BM_ExponentialHistogramAdd(benchmark::State& state) {
+  ExponentialHistogram eh(static_cast<std::uint64_t>(state.range(0)), 0.1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    eh.add(t++);
+  }
+  state.counters["buckets"] = static_cast<double>(eh.bucket_count());
+}
+BENCHMARK(BM_ExponentialHistogramAdd)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

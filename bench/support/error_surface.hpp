@@ -1,0 +1,69 @@
+// The Fig. 7/8 experiment body: Type I / Type II error of the sketch-based
+// detector against exact Lakhina ground truth, swept over the normal
+// subspace size r and the sketch length l (Sec. VI protocol).
+#pragma once
+
+#include <iostream>
+
+#include "bench/support/rank_sweep.hpp"
+#include "bench/support/scenario.hpp"
+#include "common/table.hpp"
+#include "core/lakhina_detector.hpp"
+#include "core/sketch_detector.hpp"
+
+namespace spca::bench {
+
+/// Runs the error-surface sweep and prints one row per (r, l) point.
+inline void run_error_surface(const Scenario& scenario,
+                              const std::vector<std::size_t>& l_values,
+                              std::size_t max_rank) {
+  const Topology topo = abilene_topology();
+  const TraceSet trace = make_trace(topo, scenario);
+  const std::size_t m = trace.num_flows();
+
+  std::cerr << "[error-surface] intervals=" << trace.num_intervals()
+            << " window=" << scenario.window << " flows=" << m
+            << " interval=" << scenario.interval_seconds << "s\n";
+
+  // Ground truth: one exact Lakhina pass provides verdicts for all ranks.
+  LakhinaConfig exact_config;
+  exact_config.window = scenario.window;
+  exact_config.alpha = scenario.alpha;
+  exact_config.rank_policy = RankPolicy::fixed(6);  // rank irrelevant: sweep
+  exact_config.recompute_period = 4;
+  LakhinaDetector exact(m, exact_config);
+  const RankSweepResult truth = run_rank_sweep(
+      exact, trace, max_rank, scenario.alpha, [](const LakhinaDetector& d) {
+        return d.model() ? &*d.model() : nullptr;
+      });
+
+  TablePrinter table({"l", "r", "type1", "type2", "evaluated"});
+  for (const std::size_t l : l_values) {
+    SketchDetectorConfig config;
+    config.window = scenario.window;
+    config.epsilon = scenario.epsilon;
+    config.sketch_rows = l;
+    config.alpha = scenario.alpha;
+    config.rank_policy = RankPolicy::fixed(6);  // rank irrelevant: sweep
+    config.seed = scenario.seed ^ 0x51e7c4ULL;
+    SketchDetector sketch(m, config);
+    const RankSweepResult run = run_rank_sweep(
+        sketch, trace, max_rank, scenario.alpha,
+        [](const SketchDetector& d) {
+          return d.model().fitted() ? &d.model() : nullptr;
+        });
+
+    const std::size_t first_eval =
+        std::max(truth.first_ready, run.first_ready);
+    for (std::size_t r = 1; r <= max_rank; ++r) {
+      const TypeErrors e =
+          type_errors(run.alarms[r - 1], truth.alarms[r - 1], first_eval);
+      table.row({std::to_string(l), std::to_string(r),
+                 std::to_string(e.type1), std::to_string(e.type2),
+                 std::to_string(e.evaluated)});
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace spca::bench

@@ -1,0 +1,119 @@
+// Anomaly diagnosis walkthrough: detection is only half the operator's job —
+// after an alarm, which flows carry the anomalous traffic, and which links
+// does it cross? This example injects a coordinated botnet on known flows,
+// waits for the sketch detector to fire, and then
+//   1. ranks flows by their share of the residual (anomaly-subspace) energy,
+//   2. checks the ranking recovers the injected flows,
+//   3. maps the culprit flows onto backbone links via shortest-path routing.
+#include <algorithm>
+#include <map>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/spca.hpp"
+#include "traffic/routing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spca;
+  CliFlags flags("anomaly_diagnosis: identify flows and links behind an alarm");
+  flags.define("window", "288", "sliding window n");
+  flags.define("sketch-rows", "128", "sketch length l");
+  flags.define("seed", "77", "scenario seed");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    const auto window = static_cast<std::size_t>(flags.integer("window"));
+    const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
+
+    const Topology topo = abilene_topology();
+    TrafficModelConfig traffic;
+    traffic.num_intervals = window + 96;
+    traffic.seed = seed;
+    TraceSet trace = generate_traffic(topo, traffic);
+
+    const std::vector<FlowId> culprits = {
+        topo.flow_id("SEAT", "NEWY"), topo.flow_id("LOSA", "NEWY"),
+        topo.flow_id("SALT", "WASH"), topo.flow_id("HOUS", "NEWY"),
+        topo.flow_id("KANS", "WASH")};
+    const std::int64_t event_start =
+        static_cast<std::int64_t>(window) + 48;
+    AnomalyInjector injector(topo, seed);
+    injector.inject_botnet(trace, event_start, 3, culprits, 3.5);
+
+    SketchDetectorConfig config;
+    config.window = window;
+    config.sketch_rows =
+        static_cast<std::size_t>(flags.integer("sketch-rows"));
+    config.rank_policy = RankPolicy::fixed(6);
+    config.seed = seed ^ 0xd1aULL;
+    SketchDetector detector(trace.num_flows(), config);
+
+    Detection alarm_det;
+    std::int64_t alarm_t = -1;
+    Vector alarm_row;
+    for (std::size_t t = 0; t < trace.num_intervals(); ++t) {
+      const Detection det =
+          detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+      if (det.alarm && static_cast<std::int64_t>(t) >= event_start &&
+          alarm_t < 0) {
+        alarm_det = det;
+        alarm_t = static_cast<std::int64_t>(t);
+        alarm_row = trace.row(t);
+      }
+    }
+    if (alarm_t < 0) {
+      std::cout << "no alarm raised during the injected episode — rerun "
+                   "with a different seed\n";
+      return 1;
+    }
+    std::cout << "alarm at interval " << alarm_t << ": distance "
+              << alarm_det.distance << " > threshold " << alarm_det.threshold
+              << "\n\ntop contributors (80% of residual energy):\n";
+
+    const auto top = top_contributors(detector.model(), alarm_row,
+                                      alarm_det.normal_rank, 0.8);
+    TablePrinter table({"flow", "residual_bytes", "share", "injected"});
+    for (const auto& c : top) {
+      const bool injected =
+          std::find(culprits.begin(), culprits.end(),
+                    static_cast<FlowId>(c.flow)) != culprits.end();
+      table.row({topo.flow_name(static_cast<FlowId>(c.flow)),
+                 std::to_string(c.residual), std::to_string(c.share),
+                 injected ? "yes" : "-"});
+    }
+    table.print(std::cout);
+
+    std::size_t recovered = 0;
+    for (const auto& c : top) {
+      if (std::find(culprits.begin(), culprits.end(),
+                    static_cast<FlowId>(c.flow)) != culprits.end()) {
+        ++recovered;
+      }
+    }
+    std::cout << "\ninjected flows recovered in the top set: " << recovered
+              << " / " << culprits.size() << '\n';
+
+    // Map the identified flows onto the backbone links they traverse.
+    const Routing routing(topo);
+    std::map<std::size_t, double> link_energy;
+    for (const auto& c : top) {
+      const OdPair od =
+          od_pair_of(static_cast<FlowId>(c.flow), topo.num_routers());
+      for (const std::size_t link : routing.path(od.origin, od.destination)) {
+        link_energy[link] += c.share;
+      }
+    }
+    std::cout << "\nlinks crossed by the identified flows (summed share):\n";
+    TablePrinter links_table({"link", "summed_share"});
+    for (const auto& [link, share] : link_energy) {
+      const Link& l = topo.links()[link];
+      links_table.row({topo.router_name(l.a) + "--" + topo.router_name(l.b),
+                       std::to_string(share)});
+    }
+    links_table.print(std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

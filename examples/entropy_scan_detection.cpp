@@ -1,0 +1,192 @@
+// Feature-entropy detection + address identification: the paper's Sec.
+// III-B note that the measurement x_ij can be "the entropy of IP
+// addresses" rather than the traffic volume (after Lakhina'05, ref [4]),
+// combined with the sketch-subspace identification capability of Li et
+// al. (ref [7]) via Count-Min heavy hitters.
+//
+// Scenario: an address scan — one host sweeping a remote router's address
+// pool with tiny packets. In bytes it is a rounding error; in the
+// destination-address entropy of its OD flow it is a step change. This
+// example builds BOTH measurement matrices from the same packet stream,
+// runs the same sketch detector on each online, and when the entropy view
+// fires it (a) names the culprit flow from the residual contributions and
+// (b) names the scanning host from the flow's per-interval Count-Min
+// heavy-hitter sketch of source addresses.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/spca.hpp"
+#include "sketch/count_min.hpp"
+#include "synth/address_model.hpp"
+#include "synth/packet_synthesizer.hpp"
+#include "traffic/entropy.hpp"
+#include "traffic/volume_counter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spca;
+  CliFlags flags(
+      "entropy_scan_detection: volume-PCA vs entropy-PCA on address scans, "
+      "with Count-Min culprit identification");
+  flags.define("window", "288", "sliding window n (one day of 5-min bins)");
+  flags.define("eval-intervals", "96", "intervals after warm-up");
+  flags.define("sketch-rows", "64", "sketch length l");
+  flags.define("scan-packets", "600", "packets per scan interval");
+  flags.define("seed", "11", "scenario seed");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    const auto window = static_cast<std::size_t>(flags.integer("window"));
+    const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
+    const auto scan_packets =
+        static_cast<std::size_t>(flags.integer("scan-packets"));
+
+    const Topology topo = abilene_topology();
+    TrafficModelConfig traffic;
+    traffic.num_intervals =
+        window + static_cast<std::size_t>(flags.integer("eval-intervals"));
+    traffic.seed = seed;
+    // Small volumes keep the per-packet pipeline fast.
+    traffic.bytes_per_second = 2.0e5;
+    const TraceSet volume_trace = generate_traffic(topo, traffic);
+    const std::size_t m = volume_trace.num_flows();
+    const std::uint32_t routers = topo.num_routers();
+
+    // Scan episodes: three flows take turns being scanned.
+    struct ScanEpisode {
+      std::int64_t start;
+      std::int64_t end;
+      FlowId flow;
+    };
+    const std::vector<ScanEpisode> scans = {
+        {static_cast<std::int64_t>(window) + 20,
+         static_cast<std::int64_t>(window) + 22,
+         topo.flow_id("SEAT", "NEWY")},
+        {static_cast<std::int64_t>(window) + 50,
+         static_cast<std::int64_t>(window) + 52,
+         topo.flow_id("LOSA", "ATLA")},
+        {static_cast<std::int64_t>(window) + 80,
+         static_cast<std::int64_t>(window) + 82,
+         topo.flow_id("KANS", "WASH")},
+    };
+    const auto in_scan = [&](std::int64_t t) {
+      for (const auto& s : scans) {
+        if (t >= s.start && t <= s.end) return true;
+      }
+      return false;
+    };
+
+    // Two detectors over the two measurement views, plus the per-flow
+    // source-address heavy-hitter sketches the monitor keeps per interval.
+    SketchDetectorConfig config;
+    config.window = window;
+    config.sketch_rows =
+        static_cast<std::size_t>(flags.integer("sketch-rows"));
+    config.rank_policy = RankPolicy::fixed(6);
+    config.alpha = 0.001;
+    config.seed = seed ^ 0xe27ULL;
+    SketchDetector volume_detector(m, config);
+    SketchDetector entropy_detector(m, config);
+
+    const AddressModel addresses;
+    VolumeCounter volume_counter(static_cast<std::uint32_t>(m));
+    EntropyAggregator entropy_agg(
+        static_cast<std::uint32_t>(m),
+        EntropyAggregator::Feature::kDestinationAddress);
+    std::vector<HeavyHitterTracker> src_hitters(
+        m, HeavyHitterTracker(16, 0.01, 0.01, seed ^ 0xcafeULL));
+
+    std::size_t volume_hits = 0, entropy_hits = 0, scan_intervals = 0;
+    std::size_t volume_fp = 0, entropy_fp = 0, clean = 0;
+    std::size_t scanners_identified = 0;
+    double scan_bytes_total = 0.0;
+
+    std::cout << "streaming " << volume_trace.num_intervals()
+              << " packet-built intervals...\n";
+    for (std::size_t t = 0; t < volume_trace.num_intervals(); ++t) {
+      auto packets = synthesize_interval(volume_trace, t, routers,
+                                         PacketSizeModel{}, seed + t);
+      assign_addresses(packets, addresses, seed * 31 + t);
+      std::uint32_t true_scanner = 0;
+      for (const auto& s : scans) {
+        if (static_cast<std::int64_t>(t) >= s.start &&
+            static_cast<std::int64_t>(t) <= s.end) {
+          const auto burst = synthesize_scan_packets(
+              s.flow, routers, static_cast<std::int64_t>(t), scan_packets,
+              64, addresses, seed + 7 * t);
+          true_scanner = burst.front().src_addr;
+          for (const auto& p : burst) {
+            scan_bytes_total += static_cast<double>(p.size_bytes);
+            packets.push_back(p);
+          }
+        }
+      }
+      for (auto& tracker : src_hitters) tracker.reset();
+      for (const auto& p : packets) {
+        volume_counter.record_packet(p, routers);
+        entropy_agg.record(p, routers);
+        // Weight by packet count, not bytes: a scanner sends many tiny
+        // packets, so packet count is the dominant statistic.
+        src_hitters[od_flow_id(p.origin, p.destination, routers)].add(
+            p.src_addr, 1.0);
+      }
+      const Vector volumes = volume_counter.end_interval();
+      const Vector entropies = entropy_agg.end_interval();
+
+      const Detection dv =
+          volume_detector.observe(static_cast<std::int64_t>(t), volumes);
+      const Detection de =
+          entropy_detector.observe(static_cast<std::int64_t>(t), entropies);
+      if (!de.ready) continue;
+
+      const bool scan_now = in_scan(static_cast<std::int64_t>(t));
+      if (scan_now) {
+        ++scan_intervals;
+        if (dv.alarm) ++volume_hits;
+        if (de.alarm) {
+          ++entropy_hits;
+          // Diagnosis: culprit flow from the residual, scanner address
+          // from that flow's heavy-hitter sketch. Scan packets come from
+          // one host, so it dominates the flow's per-packet source weight.
+          const auto culprits = top_contributors(
+              entropy_detector.model(), entropies, de.normal_rank, 0.5);
+          const FlowId flow = static_cast<FlowId>(culprits[0].flow);
+          const auto hitters = src_hitters[flow].top(1);
+          if (!hitters.empty() && hitters[0].key == true_scanner) {
+            ++scanners_identified;
+          }
+        }
+      } else {
+        ++clean;
+        if (dv.alarm) ++volume_fp;
+        if (de.alarm) ++entropy_fp;
+      }
+    }
+
+    const double mean_interval_bytes = traffic.bytes_per_second * 300.0;
+    std::cout << "scan footprint: "
+              << scan_bytes_total /
+                     (mean_interval_bytes *
+                      static_cast<double>(scan_intervals)) *
+                     100.0
+              << "% of network volume during scan intervals\n\n";
+    TablePrinter table({"view", "scan_flagged", "false_alarm_rate"});
+    table.row({"volume-PCA",
+               std::to_string(volume_hits) + "/" +
+                   std::to_string(scan_intervals),
+               std::to_string(static_cast<double>(volume_fp) /
+                              static_cast<double>(clean))});
+    table.row({"entropy-PCA",
+               std::to_string(entropy_hits) + "/" +
+                   std::to_string(scan_intervals),
+               std::to_string(static_cast<double>(entropy_fp) /
+                              static_cast<double>(clean))});
+    table.print(std::cout);
+    std::cout << "\nscanning host identified by Count-Min heavy hitter in "
+              << scanners_identified << "/" << entropy_hits
+              << " flagged scan intervals\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "common/cli.hpp"
+
+#include <charconv>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+
+CliFlags::CliFlags(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliFlags::define(const std::string& name,
+                      const std::string& default_value,
+                      const std::string& help) {
+  SPCA_EXPECTS(!name.empty());
+  for (const auto& f : flags_) {
+    SPCA_EXPECTS(f.name != name);
+  }
+  flags_.push_back(Flag{name, default_value, default_value, help});
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw InputError("unexpected positional argument: '" + arg + "'");
+    }
+    arg.erase(0, 2);
+    std::string name;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 >= argc) {
+        throw InputError("flag --" + name + " is missing a value");
+      }
+      value = argv[++i];
+    }
+    find(name).value = value;
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::find(const std::string& name) const {
+  for (const auto& f : flags_) {
+    if (f.name == name) return f;
+  }
+  throw InputError("unknown flag: --" + name);
+}
+
+CliFlags::Flag& CliFlags::find(const std::string& name) {
+  return const_cast<Flag&>(std::as_const(*this).find(name));
+}
+
+std::string CliFlags::str(const std::string& name) const {
+  return find(name).value;
+}
+
+std::int64_t CliFlags::integer(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    throw InputError("flag --" + name + " expects an integer, got '" + v + "'");
+  }
+  return out;
+}
+
+double CliFlags::real(const std::string& name) const {
+  const std::string& v = find(name).value;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw InputError("flag --" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+bool CliFlags::boolean(const std::string& name) const {
+  const std::string& v = find(name).value;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw InputError("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::string CliFlags::usage() const {
+  std::ostringstream oss;
+  oss << description_ << "\n\nFlags:\n";
+  for (const auto& f : flags_) {
+    oss << "  --" << f.name << " (default: "
+        << (f.default_value.empty() ? "\"\"" : f.default_value) << ")\n      "
+        << f.help << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace spca

@@ -1,0 +1,49 @@
+// Tiny declarative command-line flag parser for examples and benches.
+//
+// Supported syntax: --name=value and --name value; `--help` prints usage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spca {
+
+/// Collects flag definitions, parses argv, and exposes typed lookups.
+class CliFlags final {
+ public:
+  explicit CliFlags(std::string program_description);
+
+  /// Declares a flag with a default value and help text. Declaration order is
+  /// preserved in `usage()`.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv. Throws InputError on unknown flags or missing values.
+  /// Returns false if `--help` was requested (usage already printed).
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] std::int64_t integer(const std::string& name) const;
+  [[nodiscard]] double real(const std::string& name) const;
+  [[nodiscard]] bool boolean(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  [[nodiscard]] const Flag& find(const std::string& name) const;
+  Flag& find(const std::string& name);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace spca

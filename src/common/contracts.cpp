@@ -1,0 +1,14 @@
+#include "common/contracts.hpp"
+
+#include <sstream>
+
+namespace spca::detail {
+
+void contract_failure(const char* kind, const char* condition,
+                      const char* file, int line) {
+  std::ostringstream oss;
+  oss << kind << " violated: `" << condition << "` at " << file << ':' << line;
+  throw ContractViolation(oss.str());
+}
+
+}  // namespace spca::detail

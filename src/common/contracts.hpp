@@ -1,0 +1,44 @@
+// Lightweight contract checking in the spirit of GSL Expects/Ensures.
+//
+// Contract violations indicate programmer error (a broken precondition or
+// postcondition), not recoverable runtime conditions, so they throw a
+// dedicated exception type that callers are not expected to catch except in
+// tests.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spca {
+
+/// Thrown when a precondition or postcondition is violated.
+class ContractViolation final : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* condition,
+                                   const char* file, int line);
+}  // namespace detail
+
+}  // namespace spca
+
+/// Precondition check: use at function entry to validate arguments/state.
+#define SPCA_EXPECTS(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::spca::detail::contract_failure("precondition", #cond, __FILE__,     \
+                                       __LINE__);                           \
+    }                                                                       \
+  } while (false)
+
+/// Postcondition check: use before returning to validate produced state.
+#define SPCA_ENSURES(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::spca::detail::contract_failure("postcondition", #cond, __FILE__,    \
+                                       __LINE__);                           \
+    }                                                                       \
+  } while (false)

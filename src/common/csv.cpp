@@ -1,0 +1,91 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      break;
+    }
+    fields.emplace_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", value);
+  SPCA_ENSURES(n > 0 && static_cast<std::size_t>(n) < sizeof buf);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  SPCA_EXPECTS(!header.empty());
+  if (!out_) {
+    throw InputError("CsvWriter: cannot open '" + path + "' for writing");
+  }
+  row(header);
+  rows_ = 0;  // header is not a data row
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  SPCA_EXPECTS(fields.size() == width_);
+  bool first = true;
+  for (const auto& f : fields) {
+    SPCA_EXPECTS(f.find_first_of(",\n\r") == std::string::npos);
+    if (!first) out_ << ',';
+    out_ << f;
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) fields.push_back(format_double(v));
+  row(fields);
+}
+
+CsvReader::CsvReader(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw InputError("CsvReader: cannot open '" + path + "' for reading");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw InputError("CsvReader: '" + path + "' is empty");
+  }
+  header_ = split_csv_line(line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = split_csv_line(line);
+    if (fields.size() != header_.size()) {
+      throw InputError("CsvReader: ragged row in '" + path + "'");
+    }
+    rows_.push_back(std::move(fields));
+  }
+}
+
+std::size_t CsvReader::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw InputError("CsvReader: no column named '" + std::string(name) + "'");
+}
+
+}  // namespace spca

@@ -1,0 +1,66 @@
+// Minimal CSV writing/reading used by the benchmark harness and the trace
+// reader/writer. Values are written unquoted; fields therefore must not
+// contain commas or newlines (enforced by contract).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spca {
+
+/// Streams rows of a CSV table to a file. The header row is written on
+/// construction; each call to `row` appends one data row.
+class CsvWriter final {
+ public:
+  /// Opens `path` for writing and emits `header` as the first row.
+  /// Throws InputError if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; `fields.size()` must equal the header width.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  void row_numeric(const std::vector<double>& values);
+
+  /// Number of data rows written so far (excluding the header).
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+/// Reads an entire CSV file into memory. Intended for small result files and
+/// trace metadata, not multi-gigabyte inputs.
+class CsvReader final {
+ public:
+  /// Parses `path`; the first row is treated as the header.
+  /// Throws InputError on I/O failure or ragged rows.
+  explicit CsvReader(const std::string& path);
+
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+  /// Column index for a header name; throws InputError if absent.
+  [[nodiscard]] std::size_t column(std::string_view name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Splits one CSV line on commas (no quoting support).
+[[nodiscard]] std::vector<std::string> split_csv_line(std::string_view line);
+
+/// Formats a double with enough digits to round-trip.
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace spca

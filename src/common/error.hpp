@@ -1,0 +1,38 @@
+// Error taxonomy for the spca library.
+//
+// Recoverable runtime failures (bad input files, numerical breakdown,
+// protocol violations between simulated nodes) derive from spca::Error so
+// applications can catch library failures distinctly from std exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spca {
+
+/// Base class of all recoverable spca runtime errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed or unreadable external input (trace files, CSV, CLI flags).
+class InputError final : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A numerical routine failed to converge or encountered an invalid value.
+class NumericalError final : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A simulated distributed-protocol invariant was broken (e.g. a sketch
+/// response for an interval the NOC never requested).
+class ProtocolError final : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace spca

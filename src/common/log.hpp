@@ -1,0 +1,46 @@
+// Minimal leveled logger. Output goes to stderr so benches can keep stdout
+// clean for result tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spca {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Logs `message` at `level` if it passes the global filter.
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::log_line(level, oss.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  log(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  log(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  log(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  log(LogLevel::kError, args...);
+}
+
+}  // namespace spca

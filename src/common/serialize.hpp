@@ -1,0 +1,90 @@
+// Little-endian byte serialization helpers shared by the wire-message codec
+// (dist/message) and the detector checkpoint format (core/sketch_detector).
+//
+// Only trivially copyable scalar types are supported; layouts are explicit
+// at every call site so the formats stay greppable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spca {
+
+/// Appends scalars and scalar runs to a growing byte buffer.
+class ByteWriter final {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t offset = buffer_.size();
+    buffer_.resize(offset + sizeof(T));
+    std::memcpy(buffer_.data() + offset, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void put_all(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put(static_cast<std::uint64_t>(values.size()));
+    const std::size_t offset = buffer_.size();
+    buffer_.resize(offset + values.size() * sizeof(T));
+    std::memcpy(buffer_.data() + offset, values.data(),
+                values.size() * sizeof(T));
+  }
+
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Reads scalars back; throws ProtocolError on truncation.
+class ByteReader final {
+ public:
+  explicit ByteReader(const std::vector<std::byte>& buffer)
+      : buffer_(buffer) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset_ + sizeof(T) > buffer_.size()) {
+      throw ProtocolError("ByteReader: truncated buffer");
+    }
+    T value;
+    std::memcpy(&value, buffer_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> get_all() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = get<std::uint64_t>();
+    if (offset_ + count * sizeof(T) > buffer_.size()) {
+      throw ProtocolError("ByteReader: truncated array");
+    }
+    std::vector<T> values(count);
+    std::memcpy(values.data(), buffer_.data() + offset_, count * sizeof(T));
+    offset_ += count * sizeof(T);
+    return values;
+  }
+
+  /// True once every byte has been consumed.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return offset_ == buffer_.size();
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return buffer_.size() - offset_;
+  }
+
+ private:
+  const std::vector<std::byte>& buffer_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace spca

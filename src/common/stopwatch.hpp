@@ -1,0 +1,32 @@
+// Monotonic wall-clock stopwatch for the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace spca {
+
+/// Measures elapsed time from construction or the last `reset()`.
+class Stopwatch final {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+  [[nodiscard]] double microseconds() const noexcept {
+    return seconds() * 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spca

@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SPCA_EXPECTS(!header_.empty());
+}
+
+void TablePrinter::row(std::vector<std::string> fields) {
+  SPCA_EXPECTS(fields.size() == header_.size());
+  rows_.push_back(std::move(fields));
+}
+
+void TablePrinter::row_numeric(const std::vector<double>& values,
+                               int precision) {
+  SPCA_EXPECTS(precision > 0 && precision <= 17);
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    fields.emplace_back(buf);
+  }
+  row(std::move(fields));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      for (std::size_t pad = r[c].size(); pad < width[c]; ++pad) os << ' ';
+      os << r[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "" : "  ") << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace spca

@@ -1,0 +1,31 @@
+// Console table printer used by the benchmark harness to emit the rows and
+// series that correspond to the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spca {
+
+/// Accumulates rows and prints them with aligned, right-justified columns.
+class TablePrinter final {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void row(std::vector<std::string> fields);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  void row_numeric(const std::vector<double>& values, int precision = 6);
+
+  /// Writes the full table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spca

@@ -1,0 +1,25 @@
+#include "core/differenced_detector.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+DifferencedDetector::DifferencedDetector(std::unique_ptr<Detector> inner)
+    : inner_(std::move(inner)) {
+  SPCA_EXPECTS(inner_ != nullptr);
+}
+
+Detection DifferencedDetector::observe(std::int64_t t, const Vector& x) {
+  if (!previous_) {
+    previous_ = x;
+    return Detection{};  // priming interval: nothing to difference yet
+  }
+  Vector diff = x;
+  diff -= *previous_;
+  previous_ = x;
+  return inner_->observe(t, diff);
+}
+
+}  // namespace spca

@@ -1,0 +1,41 @@
+// Temporal-preprocessing wrapper: runs any Detector on first differences
+// x_t - x_{t-1} instead of raw volumes.
+//
+// This implements the temporal-correlation refinement the paper's related
+// work discusses (Brauckhoff et al., ref [12]): differencing removes the
+// slowly varying diurnal/weekly trend, so the PCA subspace models the
+// short-term correlation structure instead of the seasonal cycle — the
+// known nonstationarity weakness of raw-volume PCA (Ringberg et al., ref
+// [2]). A step anomaly appears in the differenced stream as a spike at
+// onset and an opposite spike at offset.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/detector.hpp"
+
+namespace spca {
+
+/// Wraps an inner detector, feeding it first differences.
+class DifferencedDetector final : public Detector {
+ public:
+  /// Takes ownership of `inner`; the first observation only primes the
+  /// differencer (the inner detector starts at the second).
+  explicit DifferencedDetector(std::unique_ptr<Detector> inner);
+
+  Detection observe(std::int64_t t, const Vector& x) override;
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+diff";
+  }
+
+  [[nodiscard]] const Detector& inner() const noexcept { return *inner_; }
+  [[nodiscard]] Detector& inner() noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<Detector> inner_;
+  std::optional<Vector> previous_;
+};
+
+}  // namespace spca

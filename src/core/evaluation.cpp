@@ -1,0 +1,83 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+void ConfusionMatrix::add(bool truth, bool predicted) noexcept {
+  if (truth && predicted) {
+    ++true_positives;
+  } else if (truth && !predicted) {
+    ++false_negatives;
+  } else if (!truth && predicted) {
+    ++false_positives;
+  } else {
+    ++true_negatives;
+  }
+}
+
+double ConfusionMatrix::type1_error() const noexcept {
+  const std::uint64_t normals = false_positives + true_negatives;
+  return normals == 0
+             ? 0.0
+             : static_cast<double>(false_positives) /
+                   static_cast<double>(normals);
+}
+
+double ConfusionMatrix::type2_error() const noexcept {
+  const std::uint64_t anomalies = true_positives + false_negatives;
+  return anomalies == 0
+             ? 0.0
+             : static_cast<double>(false_negatives) /
+                   static_cast<double>(anomalies);
+}
+
+std::uint64_t ConfusionMatrix::total() const noexcept {
+  return true_positives + false_positives + true_negatives + false_negatives;
+}
+
+DetectorRun run_detector(Detector& detector, const TraceSet& trace) {
+  DetectorRun run;
+  run.detector_name = detector.name();
+  run.detections.reserve(trace.num_intervals());
+  run.first_ready = trace.num_intervals();
+  for (std::size_t t = 0; t < trace.num_intervals(); ++t) {
+    Detection det =
+        detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+    if (det.ready && run.first_ready == trace.num_intervals()) {
+      run.first_ready = t;
+    }
+    run.detections.push_back(det);
+  }
+  return run;
+}
+
+ConfusionMatrix score_against_labels(const DetectorRun& run,
+                                     const std::vector<bool>& truth,
+                                     std::size_t first_eval) {
+  SPCA_EXPECTS(truth.size() == run.detections.size());
+  ConfusionMatrix cm;
+  for (std::size_t t = std::max(first_eval, run.first_ready);
+       t < run.detections.size(); ++t) {
+    if (!run.detections[t].ready) continue;
+    cm.add(truth[t], run.detections[t].alarm);
+  }
+  return cm;
+}
+
+ConfusionMatrix score_against_reference(const DetectorRun& run,
+                                        const DetectorRun& reference) {
+  SPCA_EXPECTS(run.detections.size() == reference.detections.size());
+  ConfusionMatrix cm;
+  const std::size_t first =
+      std::max(run.first_ready, reference.first_ready);
+  for (std::size_t t = first; t < run.detections.size(); ++t) {
+    if (!run.detections[t].ready || !reference.detections[t].ready) continue;
+    cm.add(reference.detections[t].alarm, run.detections[t].alarm);
+  }
+  return cm;
+}
+
+}  // namespace spca

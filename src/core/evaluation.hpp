@@ -1,0 +1,56 @@
+// Detection-accuracy evaluation: Type I / Type II errors against a set of
+// ground-truth labels, plus the paper's protocol of using the exact Lakhina
+// detections as the "real" anomalies when scoring the sketch method
+// (Sec. VI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "traffic/trace.hpp"
+
+namespace spca {
+
+/// Binary confusion counts over evaluated intervals.
+struct ConfusionMatrix {
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t true_negatives = 0;
+  std::uint64_t false_negatives = 0;
+
+  void add(bool truth, bool predicted) noexcept;
+
+  /// Type I error: false alarms / true normal observations (Sec. VI).
+  [[nodiscard]] double type1_error() const noexcept;
+  /// Type II error: missed anomalies / true anomalies (Sec. VI).
+  [[nodiscard]] double type2_error() const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept;
+};
+
+/// The full per-interval output of one detector run over a trace.
+struct DetectorRun {
+  std::string detector_name;
+  /// Verdicts, index-aligned with trace intervals.
+  std::vector<Detection> detections;
+  /// First interval with a ready verdict (end of warm-up).
+  std::size_t first_ready = 0;
+};
+
+/// Streams `trace` through `detector` and collects every verdict.
+[[nodiscard]] DetectorRun run_detector(Detector& detector,
+                                       const TraceSet& trace);
+
+/// Scores predicted alarms against boolean labels, restricted to intervals
+/// >= `first_eval` where the run was ready.
+[[nodiscard]] ConfusionMatrix score_against_labels(
+    const DetectorRun& run, const std::vector<bool>& truth,
+    std::size_t first_eval);
+
+/// Scores one run against another run's alarms (the paper's protocol:
+/// `reference` = exact Lakhina detections taken as ground truth).
+[[nodiscard]] ConfusionMatrix score_against_reference(
+    const DetectorRun& run, const DetectorRun& reference);
+
+}  // namespace spca

@@ -1,0 +1,60 @@
+#include "core/ewma_detector.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+EwmaDetector::EwmaDetector(std::size_t dimensions, const EwmaConfig& config)
+    : m_(dimensions),
+      config_(config),
+      mean_(dimensions, 0.0),
+      variance_(dimensions, 0.0) {
+  SPCA_EXPECTS(dimensions >= 1);
+  SPCA_EXPECTS(config.smoothing > 0.0 && config.smoothing < 1.0);
+  SPCA_EXPECTS(config.k_sigma > 0.0);
+  SPCA_EXPECTS(config.warmup >= 2);
+}
+
+Detection EwmaDetector::observe(std::int64_t /*t*/, const Vector& x) {
+  SPCA_EXPECTS(x.size() == m_);
+  Detection det;
+  const double a = config_.smoothing;
+
+  if (observed_ == 0) {
+    for (std::size_t j = 0; j < m_; ++j) mean_[j] = x[j];
+    ++observed_;
+    return det;
+  }
+
+  // Score against the state from *before* this interval, then update —
+  // a per-flow detector has no subspace to poison, so predict-then-update
+  // is both natural and standard for EWMA control charts.
+  double worst_z = 0.0;
+  std::size_t worst = 0;
+  for (std::size_t j = 0; j < m_; ++j) {
+    const double sigma = std::sqrt(variance_[j]);
+    if (sigma > 0.0) {
+      const double z = std::abs(x[j] - mean_[j]) / sigma;
+      if (z > worst_z) {
+        worst_z = z;
+        worst = j;
+      }
+    }
+    const double delta = x[j] - mean_[j];
+    mean_[j] += a * delta;
+    variance_[j] = (1.0 - a) * (variance_[j] + a * delta * delta);
+  }
+  ++observed_;
+
+  if (observed_ <= config_.warmup) return det;
+  det.ready = true;
+  det.distance = worst_z;
+  det.threshold = config_.k_sigma;
+  det.alarm = worst_z > config_.k_sigma;
+  worst_ = worst;
+  return det;
+}
+
+}  // namespace spca

@@ -1,0 +1,53 @@
+// Per-flow EWMA baseline detector: the classic single-monitor volume
+// detector the paper's introduction contrasts against. Each flow keeps an
+// exponentially weighted moving average and variance; an interval alarms if
+// any flow's volume deviates by more than k standard deviations.
+//
+// Included as a motivating baseline: it catches high-profile spikes but is
+// structurally blind to coordinated low-profile anomalies, which is exactly
+// what the PCA-subspace methods exist to fix (see the
+// abl_detection_baselines bench).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.hpp"
+
+namespace spca {
+
+/// Configuration of the EWMA baseline.
+struct EwmaConfig {
+  /// Smoothing factor in (0, 1); smaller = longer memory.
+  double smoothing = 0.05;
+  /// Alarm when any flow deviates by more than `k_sigma` EWMA standard
+  /// deviations from its EWMA mean.
+  double k_sigma = 4.0;
+  /// Intervals to observe before issuing verdicts.
+  std::size_t warmup = 64;
+};
+
+/// Independent per-flow EWMA z-score detector.
+class EwmaDetector final : public Detector {
+ public:
+  EwmaDetector(std::size_t dimensions, const EwmaConfig& config);
+
+  /// `Detection::distance` is the largest per-flow |z| of the interval and
+  /// `Detection::threshold` is k_sigma.
+  Detection observe(std::int64_t t, const Vector& x) override;
+
+  [[nodiscard]] std::string name() const override { return "ewma-per-flow"; }
+
+  /// Index of the flow with the largest |z| in the last observation.
+  [[nodiscard]] std::size_t worst_flow() const noexcept { return worst_; }
+
+ private:
+  std::size_t m_;
+  EwmaConfig config_;
+  std::uint64_t observed_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> variance_;
+  std::size_t worst_ = 0;
+};
+
+}  // namespace spca

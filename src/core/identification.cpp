@@ -1,0 +1,48 @@
+#include "core/identification.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+std::vector<FlowContribution> anomaly_contributions(const PcaModel& model,
+                                                    const Vector& x,
+                                                    std::size_t r) {
+  SPCA_EXPECTS(model.fitted());
+  const PcaModel::Split split = model.split(x, r);
+  const double total = norm_squared(split.anomaly);
+
+  std::vector<FlowContribution> out(model.dimensions());
+  for (std::size_t j = 0; j < model.dimensions(); ++j) {
+    out[j].flow = j;
+    out[j].residual = split.anomaly[j];
+    out[j].share = total > 0.0
+                       ? split.anomaly[j] * split.anomaly[j] / total
+                       : 0.0;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlowContribution& a, const FlowContribution& b) {
+              return std::abs(a.residual) > std::abs(b.residual);
+            });
+  return out;
+}
+
+std::vector<FlowContribution> top_contributors(const PcaModel& model,
+                                               const Vector& x, std::size_t r,
+                                               double share) {
+  SPCA_EXPECTS(share > 0.0 && share <= 1.0);
+  std::vector<FlowContribution> all = anomaly_contributions(model, x, r);
+  double covered = 0.0;
+  std::size_t count = 0;
+  for (; count < all.size() && covered < share; ++count) {
+    // A zero share means the residual is exhausted (or identically zero);
+    // further entries carry no information.
+    if (all[count].share == 0.0 && count > 0) break;
+    covered += all[count].share;
+  }
+  all.resize(std::max<std::size_t>(count, 1));
+  return all;
+}
+
+}  // namespace spca

@@ -1,0 +1,35 @@
+// Anomaly identification: once d(y*) exceeds the threshold, which flows
+// drove it? The residual vector (I - PP^T) y* attributes the alarm: flows
+// with large absolute residual components carry the anomalous traffic.
+// This is the diagnosis step operators need after the paper's detection
+// step fires (cf. Lakhina'04 Sec. 5's "identification").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "pca/pca_model.hpp"
+
+namespace spca {
+
+/// One flow's share of an alarm's residual energy.
+struct FlowContribution {
+  std::size_t flow = 0;
+  /// Signed residual component of the centered measurement on this flow.
+  double residual = 0.0;
+  /// residual^2 / |residual vector|^2, in [0, 1].
+  double share = 0.0;
+};
+
+/// Per-flow residual components of measurement `x` against `model` with
+/// normal rank `r`, sorted by descending |residual|.
+[[nodiscard]] std::vector<FlowContribution> anomaly_contributions(
+    const PcaModel& model, const Vector& x, std::size_t r);
+
+/// The smallest set of top contributors covering at least `share` of the
+/// residual energy (useful default: 0.8).
+[[nodiscard]] std::vector<FlowContribution> top_contributors(
+    const PcaModel& model, const Vector& x, std::size_t r, double share);
+
+}  // namespace spca

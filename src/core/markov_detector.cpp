@@ -1,0 +1,127 @@
+#include "core/markov_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+MarkovDetector::MarkovDetector(std::size_t dimensions,
+                               const MarkovConfig& config)
+    : m_(dimensions),
+      config_(config),
+      counts_(config.num_states * config.num_states, 0),
+      row_totals_(config.num_states, 0) {
+  SPCA_EXPECTS(dimensions >= 1);
+  SPCA_EXPECTS(config.num_states >= 2 && config.num_states <= 4096);
+  SPCA_EXPECTS(config.smoothing > 0.0 && config.smoothing < 1.0);
+  SPCA_EXPECTS(config.window >= 8);
+  SPCA_EXPECTS(config.laplace > 0.0);
+  SPCA_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0);
+  SPCA_EXPECTS(config.warmup >= 4);
+}
+
+std::size_t MarkovDetector::quantize(double total) {
+  SPCA_EXPECTS(total >= 0.0);
+  const double log_total = std::log1p(total);
+  if (observed_ == 0) {
+    ewma_mean_ = log_total;
+    ewma_var_ = 0.0;
+    return config_.num_states / 2;
+  }
+  const double a = config_.smoothing;
+  const double sigma = std::sqrt(ewma_var_);
+  double z = 0.0;
+  if (sigma > 0.0) {
+    z = (log_total - ewma_mean_) / sigma;
+  }
+  const double delta = log_total - ewma_mean_;
+  ewma_mean_ += a * delta;
+  ewma_var_ = (1.0 - a) * (ewma_var_ + a * delta * delta);
+
+  // Map z in [-K/2, K/2) linearly onto [0, K), clamping the tails.
+  const double k = static_cast<double>(config_.num_states);
+  const double shifted = std::floor(z + k / 2.0);
+  return static_cast<std::size_t>(
+      std::clamp(shifted, 0.0, k - 1.0));
+}
+
+double MarkovDetector::surprise(std::size_t from, std::size_t to) const {
+  const double k = static_cast<double>(config_.num_states);
+  const double numerator =
+      static_cast<double>(counts_[from * config_.num_states + to]) +
+      config_.laplace;
+  const double denominator =
+      static_cast<double>(row_totals_[from]) + config_.laplace * k;
+  return -std::log(numerator / denominator);
+}
+
+void MarkovDetector::learn(std::size_t from, std::size_t to) {
+  ++counts_[from * config_.num_states + to];
+  ++row_totals_[from];
+  transitions_.emplace_back(static_cast<std::uint16_t>(from),
+                            static_cast<std::uint16_t>(to));
+}
+
+void MarkovDetector::forget_expired() {
+  while (transitions_.size() > config_.window) {
+    const auto [from, to] = transitions_.front();
+    transitions_.pop_front();
+    --counts_[static_cast<std::size_t>(from) * config_.num_states + to];
+    --row_totals_[from];
+    if (!surprises_.empty()) surprises_.pop_front();
+  }
+}
+
+double MarkovDetector::transition_probability(std::size_t from,
+                                              std::size_t to) const {
+  SPCA_EXPECTS(from < config_.num_states && to < config_.num_states);
+  return std::exp(-surprise(from, to));
+}
+
+Detection MarkovDetector::observe(std::int64_t /*t*/, const Vector& x) {
+  SPCA_EXPECTS(x.size() == m_);
+  double total = 0.0;
+  for (std::size_t j = 0; j < m_; ++j) total += x[j];
+
+  const std::size_t state = quantize(total);
+  last_state_ = state;
+  ++observed_;
+
+  Detection det;
+  if (!has_previous_) {
+    previous_state_ = state;
+    has_previous_ = true;
+    return det;
+  }
+
+  // Score against the chain learned from PAST transitions, then learn.
+  const double s = surprise(previous_state_, state);
+  learn(previous_state_, state);
+  surprises_.push_back(s);
+  forget_expired();
+  previous_state_ = state;
+
+  if (observed_ <= config_.warmup) return det;
+
+  // Empirical (1 - alpha) quantile of windowed surprises.
+  std::vector<double> sorted(surprises_.begin(), surprises_.end());
+  std::nth_element(
+      sorted.begin(),
+      sorted.begin() +
+          static_cast<std::ptrdiff_t>((1.0 - config_.alpha) *
+                                      static_cast<double>(sorted.size() - 1)),
+      sorted.end());
+  const double threshold =
+      sorted[static_cast<std::size_t>((1.0 - config_.alpha) *
+                                      static_cast<double>(sorted.size() - 1))];
+
+  det.ready = true;
+  det.distance = s;
+  det.threshold = threshold;
+  det.alarm = s > threshold;
+  return det;
+}
+
+}  // namespace spca

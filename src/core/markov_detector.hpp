@@ -1,0 +1,86 @@
+// Markov-model anomaly detector — the paper's Sec. VII future work
+// ("we will apply our sketch-based method on various statistical anomaly
+// detection methods, e.g. Markov models, Bayesian networks") realized for
+// the network-wide volume process.
+//
+// The detector quantizes each interval into a discrete state (a z-scored
+// bin of the log network-wide volume against EWMA-tracked statistics),
+// learns first-order transition counts over a sliding window, and scores
+// each interval by its *surprise* -log P(s_t | s_{t-1}) under the
+// Laplace-smoothed empirical chain. An interval alarms when its surprise
+// exceeds the (1 - alpha) empirical quantile of recent surprises.
+//
+// Complementary to the PCA detectors: it models temporal order rather than
+// spatial correlation, so it reacts to volume-dynamics anomalies (sudden
+// regime changes) regardless of their spatial footprint.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/detector.hpp"
+
+namespace spca {
+
+/// Configuration of the Markov-chain detector.
+struct MarkovConfig {
+  /// Number of discrete states (z-score bins of the log total volume).
+  std::size_t num_states = 8;
+  /// EWMA smoothing for the log-volume normalization.
+  double smoothing = 0.05;
+  /// Sliding window (transitions) the chain is estimated over.
+  std::size_t window = 2016;
+  /// Laplace smoothing added to each transition count.
+  double laplace = 0.5;
+  /// Alarm when the surprise exceeds this empirical quantile of the
+  /// window's surprises.
+  double alpha = 0.01;
+  /// Intervals before verdicts are issued.
+  std::size_t warmup = 128;
+};
+
+/// First-order Markov chain surprise detector on the network-wide volume.
+class MarkovDetector final : public Detector {
+ public:
+  MarkovDetector(std::size_t dimensions, const MarkovConfig& config);
+
+  /// `Detection::distance` is the surprise in nats; `threshold` is the
+  /// current (1 - alpha) surprise quantile.
+  Detection observe(std::int64_t t, const Vector& x) override;
+
+  [[nodiscard]] std::string name() const override { return "markov-volume"; }
+
+  /// The state the last observation mapped to (for diagnosis).
+  [[nodiscard]] std::size_t last_state() const noexcept { return last_state_; }
+
+  /// Current transition probability estimate P(to | from).
+  [[nodiscard]] double transition_probability(std::size_t from,
+                                              std::size_t to) const;
+
+ private:
+  [[nodiscard]] std::size_t quantize(double total);
+  [[nodiscard]] double surprise(std::size_t from, std::size_t to) const;
+  void learn(std::size_t from, std::size_t to);
+  void forget_expired();
+
+  std::size_t m_;
+  MarkovConfig config_;
+  std::uint64_t observed_ = 0;
+
+  // EWMA normalization of the log total volume.
+  double ewma_mean_ = 0.0;
+  double ewma_var_ = 0.0;
+
+  // Sliding-window transition statistics.
+  std::vector<std::uint32_t> counts_;      // num_states x num_states
+  std::vector<std::uint32_t> row_totals_;  // per `from` state
+  std::deque<std::pair<std::uint16_t, std::uint16_t>> transitions_;
+  std::deque<double> surprises_;  // aligned with transitions_
+
+  std::size_t previous_state_ = 0;
+  bool has_previous_ = false;
+  std::size_t last_state_ = 0;
+};
+
+}  // namespace spca

@@ -1,0 +1,31 @@
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "core/detector.hpp"
+
+namespace spca {
+
+std::size_t RankPolicy::select(const PcaModel& model,
+                               const Matrix& fitted_data) const {
+  SPCA_EXPECTS(model.fitted());
+  const std::size_t m = model.dimensions();
+  std::size_t r = 0;
+  switch (kind) {
+    case Kind::kFixed:
+      r = fixed_rank;
+      break;
+    case Kind::kEnergy:
+      r = select_rank_by_energy(model.singular_values(), energy_fraction);
+      break;
+    case Kind::kKSigma:
+      SPCA_EXPECTS(!fitted_data.empty());
+      r = select_rank_by_ksigma(fitted_data, model, ksigma_k);
+      break;
+    case Kind::kScree:
+      r = select_rank_by_scree(model.singular_values(), scree_knee);
+      break;
+  }
+  return std::clamp<std::size_t>(r, 1, m > 1 ? m - 1 : 1);
+}
+
+}  // namespace spca

@@ -1,0 +1,115 @@
+#include "core/sketch_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "pca/q_statistic.hpp"
+
+namespace spca {
+
+SketchDetector::SketchDetector(std::size_t dimensions,
+                               const SketchDetectorConfig& config)
+    : m_(dimensions), config_(config), last_centered_(dimensions) {
+  SPCA_EXPECTS(dimensions >= 2);
+  SPCA_EXPECTS(config.window >= 2);
+  SPCA_EXPECTS(config.sketch_rows >= 1);
+  SPCA_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0);
+  const ProjectionSource source =
+      config.projection == ProjectionKind::kVerySparse
+          ? ProjectionSource::very_sparse(config.seed, config.window)
+          : ProjectionSource(config.projection, config.seed, config.sparsity);
+  flows_.reserve(dimensions);
+  for (std::size_t j = 0; j < dimensions; ++j) {
+    // All flows share one coefficient source (same seed => same r_tk),
+    // exactly as the distributed monitors do.
+    flows_.emplace_back(config.window, config.epsilon, config.sketch_rows,
+                        source);
+  }
+}
+
+Detection SketchDetector::observe(std::int64_t t, const Vector& x) {
+  SPCA_EXPECTS(x.size() == m_);
+  for (std::size_t j = 0; j < m_; ++j) {
+    flows_[j].add(t, x[j]);
+  }
+  ++observed_;
+
+  Detection det;
+  if (observed_ < config_.window) {
+    return det;  // warm-up
+  }
+
+  if (!model_.fitted() || !config_.lazy) {
+    refresh_model();
+    det.model_refreshed = true;
+  }
+
+  det.ready = true;
+  double distance = model_.anomaly_distance(x, rank_);
+  bool alarm = distance * distance > threshold_squared_;
+  if (alarm && config_.lazy && !det.model_refreshed) {
+    // Sec. IV-C: the stale model flagged the vector. Pull fresh sketches,
+    // recompute PCA and the threshold, and re-check before alarming.
+    refresh_model();
+    det.model_refreshed = true;
+    distance = model_.anomaly_distance(x, rank_);
+    alarm = distance * distance > threshold_squared_;
+  }
+  last_centered_ = model_.center(x);
+  det.distance = distance;
+  det.threshold = std::sqrt(threshold_squared_);
+  det.alarm = alarm;
+  det.normal_rank = rank_;
+  return det;
+}
+
+Matrix SketchDetector::sketch_matrix() const {
+  Matrix z(config_.sketch_rows, m_);
+  for (std::size_t j = 0; j < m_; ++j) {
+    z.set_col(j, flows_[j].sketch());
+  }
+  return z;
+}
+
+Vector SketchDetector::sketch_means() const {
+  Vector mu(m_);
+  for (std::size_t j = 0; j < m_; ++j) {
+    mu[j] = flows_[j].mean();
+  }
+  return mu;
+}
+
+void SketchDetector::refresh_model() {
+  const Matrix z = sketch_matrix();
+  // Effective sample count: what the histograms actually summarize.
+  const std::uint64_t n_eff = std::max<std::uint64_t>(flows_[0].count(), 2);
+  model_ = PcaModel::from_sketch(z, sketch_means(), n_eff);
+  ++model_computations_;
+  rank_ = config_.rank_policy.select(model_, z);
+  threshold_squared_ = q_statistic_threshold_squared(
+      model_.singular_values(), rank_, n_eff, config_.alpha);
+}
+
+Vector SketchDetector::distance_profile() const {
+  SPCA_EXPECTS(model_.fitted());
+  Vector profile(m_ - 1);
+  double residual = norm_squared(last_centered_);
+  for (std::size_t r = 1; r < m_; ++r) {
+    double proj = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      proj += model_.components()(i, r - 1) * last_centered_[i];
+    }
+    residual -= proj * proj;
+    profile[r - 1] = std::sqrt(std::max(residual, 0.0));
+  }
+  return profile;
+}
+
+std::size_t SketchDetector::memory_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& f : flows_) bytes += f.memory_bytes();
+  return bytes;
+}
+
+}  // namespace spca

@@ -1,0 +1,110 @@
+// The paper's contribution: sketch-based streaming PCA anomaly detection
+// (Sec. IV), single-process form. The dist module runs the same logic split
+// across simulated monitors and a NOC; this class is the reference
+// implementation and the one the evaluation benches sweep.
+//
+// Per interval, each flow's volume updates its FlowSketch (variance
+// histogram + projection partial sums) in O(l) amortized time. Detection
+// fits PCA to the l x m sketch matrix Z-hat instead of the n x m window:
+// O(m^2 l) instead of O(m^2 n) (Theorem 1). In lazy mode (Sec. IV-C) the
+// model is refreshed only when the distance under the stale model exceeds
+// the stale threshold; an alarm is raised only if the refreshed model still
+// flags the vector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "rand/projection_source.hpp"
+#include "sketch/flow_sketch.hpp"
+
+namespace spca {
+
+/// Configuration of the sketch-based streaming detector.
+struct SketchDetectorConfig {
+  /// Sliding-window length n.
+  std::size_t window = 2016;
+  /// Variance-histogram approximation parameter (the paper uses 0.01).
+  double epsilon = 0.01;
+  /// Sketch length l (the paper sweeps 10..1000).
+  std::size_t sketch_rows = 200;
+  /// False-alarm rate of the Q-statistic threshold.
+  double alpha = 0.01;
+  /// Normal-subspace selection.
+  RankPolicy rank_policy = RankPolicy::fixed(6);
+  /// Projection coefficient distribution (Sec. V-B).
+  ProjectionKind projection = ProjectionKind::kGaussian;
+  /// Sparsity parameter s of the sparse schemes.
+  double sparsity = 3.0;
+  /// Seed of the shared coefficient source.
+  std::uint64_t seed = 42;
+  /// Lazy mode: refresh the PCA only when the stale model raises a hand.
+  bool lazy = true;
+};
+
+/// Sketch-based streaming PCA detector.
+class SketchDetector final : public Detector {
+ public:
+  SketchDetector(std::size_t dimensions, const SketchDetectorConfig& config);
+
+  Detection observe(std::int64_t t, const Vector& x) override;
+
+  [[nodiscard]] std::string name() const override { return "sketch-pca"; }
+
+  [[nodiscard]] const SketchDetectorConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The current sketch matrix Z-hat (l x m), assembled from all flows.
+  [[nodiscard]] Matrix sketch_matrix() const;
+
+  /// Current window means mu_all,j reported by the sketches.
+  [[nodiscard]] Vector sketch_means() const;
+
+  [[nodiscard]] const PcaModel& model() const noexcept { return model_; }
+  [[nodiscard]] std::size_t normal_rank() const noexcept { return rank_; }
+
+  /// Distances for all candidate ranks of the last observation (see
+  /// LakhinaDetector::distance_profile).
+  [[nodiscard]] Vector distance_profile() const;
+
+  /// Number of PCA recomputations (sketch pulls in the distributed view).
+  [[nodiscard]] std::uint64_t model_computations() const noexcept {
+    return model_computations_;
+  }
+
+  /// Total summary bytes across all flow sketches (Theorem 1 accounting).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Serializes the complete detector state — configuration, every flow's
+  /// histogram buckets, the fitted model, and progress counters — so a
+  /// restarted process can resume mid-window without re-observing weeks of
+  /// traffic. The format is versioned; see sketch_detector_io.cpp.
+  [[nodiscard]] std::vector<std::byte> save_state() const;
+
+  /// Reconstructs a detector from `save_state` output. The restored
+  /// detector continues the stream bit-for-bit identically to the original
+  /// (see the checkpoint tests). Throws ProtocolError on a malformed or
+  /// version-mismatched blob.
+  [[nodiscard]] static SketchDetector restore_state(
+      const std::vector<std::byte>& blob);
+
+  /// Intervals observed so far (warm-up progress).
+  [[nodiscard]] std::uint64_t observed() const noexcept { return observed_; }
+
+ private:
+  void refresh_model();
+
+  std::size_t m_;
+  SketchDetectorConfig config_;
+  std::vector<FlowSketch> flows_;
+  std::uint64_t observed_ = 0;
+  PcaModel model_;
+  std::size_t rank_ = 1;
+  double threshold_squared_ = 0.0;
+  std::uint64_t model_computations_ = 0;
+  Vector last_centered_;
+};
+
+}  // namespace spca

@@ -1,0 +1,28 @@
+// Umbrella header: the public API of the spca library.
+//
+// Quick tour:
+//   * SketchDetector        — the paper's sketch-based streaming PCA detector
+//   * LakhinaDetector       — the exact PCA baseline it approximates
+//   * EwmaDetector          — per-flow control-chart baseline (motivation)
+//   * anomaly_contributions — which flows drove an alarm
+//   * generate_traffic      — synthetic Abilene-style OD traffic
+//   * AnomalyInjector       — labelled anomaly episodes
+//   * to_link_trace         — per-link view via the routing matrix
+//   * run_detector / score_* — evaluation harness
+//   * dist/ headers         — the simulated distributed deployment (link
+//     against spca::dist; not re-exported here to keep layering acyclic)
+#pragma once
+
+#include "core/detector.hpp"          // IWYU pragma: export
+#include "core/evaluation.hpp"        // IWYU pragma: export
+#include "core/ewma_detector.hpp"     // IWYU pragma: export
+#include "core/identification.hpp"    // IWYU pragma: export
+#include "core/lakhina_detector.hpp"  // IWYU pragma: export
+#include "core/sketch_detector.hpp"   // IWYU pragma: export
+#include "pca/pca_model.hpp"          // IWYU pragma: export
+#include "pca/q_statistic.hpp"        // IWYU pragma: export
+#include "synth/anomaly_injector.hpp" // IWYU pragma: export
+#include "synth/traffic_model.hpp"    // IWYU pragma: export
+#include "traffic/link_view.hpp"      // IWYU pragma: export
+#include "traffic/topology.hpp"       // IWYU pragma: export
+#include "traffic/trace.hpp"          // IWYU pragma: export

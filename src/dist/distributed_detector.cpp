@@ -1,0 +1,86 @@
+#include "dist/distributed_detector.hpp"
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+namespace {
+
+NocConfig noc_config_from(const SketchDetectorConfig& config,
+                          bool host_sketches) {
+  NocConfig noc;
+  noc.window = config.window;
+  noc.sketch_rows = config.sketch_rows;
+  noc.alpha = config.alpha;
+  noc.rank_policy = config.rank_policy;
+  noc.lazy = config.lazy;
+  noc.host_sketches = host_sketches;
+  noc.epsilon = config.epsilon;
+  noc.projection = config.projection;
+  noc.sparsity = config.sparsity;
+  noc.seed = config.seed;
+  return noc;
+}
+
+}  // namespace
+
+DistributedDetector::DistributedDetector(std::size_t dimensions,
+                                         std::size_t num_monitors,
+                                         const SketchDetectorConfig& config,
+                                         bool noc_hosted_sketches)
+    : m_(dimensions),
+      config_(config),
+      noc_hosted_(noc_hosted_sketches),
+      noc_(dimensions, noc_config_from(config, noc_hosted_sketches)) {
+  SPCA_EXPECTS(dimensions >= 2);
+  SPCA_EXPECTS(num_monitors >= 1 && num_monitors <= dimensions);
+
+  const ProjectionSource source =
+      config.projection == ProjectionKind::kVerySparse
+          ? ProjectionSource::very_sparse(config.seed, config.window)
+          : ProjectionSource(config.projection, config.seed, config.sparsity);
+
+  // Round-robin ownership: flow j belongs to monitor (j % k). With OD flows
+  // laid out origin-major this spreads each origin's flows evenly, like
+  // monitors placed at ingress routers.
+  std::vector<std::vector<FlowId>> ownership(num_monitors);
+  for (std::size_t j = 0; j < dimensions; ++j) {
+    ownership[j % num_monitors].push_back(static_cast<FlowId>(j));
+  }
+  for (std::size_t k = 0; k < num_monitors; ++k) {
+    const NodeId id = static_cast<NodeId>(k + 1);  // 0 is the NOC
+    monitors_.push_back(std::make_unique<LocalMonitor>(
+        id, ownership[k], config.window, config.epsilon, config.sketch_rows,
+        source, /*counter_only=*/noc_hosted_sketches));
+    monitor_ids_.push_back(id);
+  }
+}
+
+Detection DistributedDetector::observe(std::int64_t t, const Vector& x) {
+  SPCA_EXPECTS(x.size() == m_);
+  // Monitors observe their flows' traffic and close the interval.
+  for (const auto& monitor : monitors_) {
+    for (const FlowId flow : monitor->flows()) {
+      monitor->ingest_volume(flow, x[flow]);
+    }
+    monitor->end_interval(t, network_);
+  }
+  // The NOC assembles the network-wide measurement vector.
+  const Vector assembled = noc_.collect_volumes(t, network_);
+  ++observed_;
+  if (observed_ < config_.window) {
+    return Detection{};  // warm-up, matching SketchDetector
+  }
+  const auto pump = [this] {
+    for (const auto& monitor : monitors_) monitor->handle_mail(network_);
+  };
+  return noc_.detect(t, assembled, monitor_ids_, network_, pump);
+}
+
+std::size_t DistributedDetector::monitor_memory_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& monitor : monitors_) bytes += monitor->memory_bytes();
+  return bytes;
+}
+
+}  // namespace spca

@@ -1,0 +1,94 @@
+#include "dist/local_monitor.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+
+LocalMonitor::LocalMonitor(NodeId id, std::vector<FlowId> flows,
+                           std::uint64_t window, double epsilon,
+                           std::size_t sketch_rows,
+                           const ProjectionSource& projection,
+                           bool counter_only)
+    : id_(id),
+      flows_(std::move(flows)),
+      sketch_rows_(sketch_rows),
+      counter_only_(counter_only),
+      counter_(static_cast<std::uint32_t>(flows_.size())) {
+  SPCA_EXPECTS(id != kNocId);
+  SPCA_EXPECTS(!flows_.empty());
+  if (!counter_only_) {
+    sketches_.reserve(flows_.size());
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      sketches_.emplace_back(window, epsilon, sketch_rows, projection);
+    }
+  }
+}
+
+void LocalMonitor::record(FlowId flow, std::uint32_t size_bytes) {
+  const auto it = std::find(flows_.begin(), flows_.end(), flow);
+  SPCA_EXPECTS(it != flows_.end());
+  counter_.record(static_cast<FlowId>(it - flows_.begin()), size_bytes);
+}
+
+void LocalMonitor::ingest_volume(FlowId flow, double bytes) {
+  const auto it = std::find(flows_.begin(), flows_.end(), flow);
+  SPCA_EXPECTS(it != flows_.end());
+  counter_.record_bytes(static_cast<FlowId>(it - flows_.begin()), bytes);
+}
+
+void LocalMonitor::end_interval(std::int64_t t, SimNetwork& network) {
+  const Vector volumes = counter_.end_interval();
+  for (std::size_t i = 0; i < sketches_.size(); ++i) {
+    sketches_[i].add(t, volumes[i]);
+  }
+  Message report;
+  report.type = MessageType::kVolumeReport;
+  report.from = id_;
+  report.to = kNocId;
+  report.interval = t;
+  report.ids = flows_;
+  report.values.assign(volumes.begin(), volumes.end());
+  network.send(report);
+}
+
+void LocalMonitor::handle_mail(SimNetwork& network) {
+  for (const Message& msg : network.drain(id_)) {
+    if (msg.type != MessageType::kSketchRequest) {
+      throw ProtocolError("LocalMonitor: unexpected message type");
+    }
+    if (counter_only_) {
+      throw ProtocolError(
+          "LocalMonitor: sketch request received by a counter-only monitor "
+          "(the NOC must be configured with host_sketches)");
+    }
+    network.send(make_sketch_response(msg.interval));
+  }
+}
+
+Message LocalMonitor::make_sketch_response(std::int64_t interval) const {
+  Message response;
+  response.type = MessageType::kSketchResponse;
+  response.from = id_;
+  response.to = kNocId;
+  response.interval = interval;
+  response.ids = flows_;
+  response.values.reserve(flows_.size() * (sketch_rows_ + 2));
+  for (const auto& sketch : sketches_) {
+    response.values.push_back(sketch.mean());
+    response.values.push_back(static_cast<double>(sketch.count()));
+    const Vector z = sketch.sketch();
+    response.values.insert(response.values.end(), z.begin(), z.end());
+  }
+  return response;
+}
+
+std::size_t LocalMonitor::memory_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& s : sketches_) bytes += s.memory_bytes();
+  return bytes;
+}
+
+}  // namespace spca

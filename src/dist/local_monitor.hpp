@@ -1,0 +1,70 @@
+// Simulated local monitor (Fig. 1 left): owns a subset of the OD flows,
+// runs the full Fig. 4 pipeline — packet aggregation feeds a VolumeCounter;
+// at interval end the volumes go into per-flow FlowSketches and a volume
+// report goes to the NOC; sketch requests are answered from the histograms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/message.hpp"
+#include "dist/sim_network.hpp"
+#include "linalg/vector.hpp"
+#include "rand/projection_source.hpp"
+#include "sketch/flow_sketch.hpp"
+#include "traffic/flow.hpp"
+#include "traffic/volume_counter.hpp"
+
+namespace spca {
+
+/// One monitor process in the simulated deployment.
+class LocalMonitor final {
+ public:
+  /// `flows` lists the global FlowIds this monitor observes; all monitors
+  /// must construct their ProjectionSource from the same (kind, seed, s) so
+  /// the NOC can stitch their sketch columns together.
+  ///
+  /// With `counter_only` (Theorem 1's low-resource deployment) the monitor
+  /// maintains no sketches at all — only the O(1)-per-packet Volume
+  /// Counter — and rejects sketch requests; the NOC must host the
+  /// histograms itself (NocConfig::host_sketches).
+  LocalMonitor(NodeId id, std::vector<FlowId> flows, std::uint64_t window,
+               double epsilon, std::size_t sketch_rows,
+               const ProjectionSource& projection, bool counter_only = false);
+
+  /// Records one (FlowID, Size) observation of the current interval; flow
+  /// must be owned by this monitor. O(1) per packet.
+  void record(FlowId flow, std::uint32_t size_bytes);
+
+  /// Records a pre-aggregated byte amount for an owned flow (interval-level
+  /// replay of a trace; preserves fractional bytes).
+  void ingest_volume(FlowId flow, double bytes);
+
+  /// Ends interval `t`: flushes the volume counter into the sketches and
+  /// sends the volume report to the NOC. O(w log n) for w owned flows.
+  void end_interval(std::int64_t t, SimNetwork& network);
+
+  /// Handles queued requests (sketch pulls), sending responses.
+  void handle_mail(SimNetwork& network);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::vector<FlowId>& flows() const noexcept {
+    return flows_;
+  }
+
+  /// Summary-state bytes across the monitor's sketches (Theorem 1).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  [[nodiscard]] Message make_sketch_response(std::int64_t interval) const;
+
+  NodeId id_;
+  std::vector<FlowId> flows_;
+  std::size_t sketch_rows_;
+  bool counter_only_;
+  VolumeCounter counter_;
+  std::vector<FlowSketch> sketches_;  // aligned with flows_; empty when
+                                      // counter_only_
+};
+
+}  // namespace spca

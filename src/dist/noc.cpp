@@ -1,0 +1,179 @@
+#include "dist/noc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "pca/q_statistic.hpp"
+
+namespace spca {
+
+Noc::Noc(std::size_t num_flows, const NocConfig& config)
+    : m_(num_flows), config_(config), flow_state_(num_flows) {
+  SPCA_EXPECTS(num_flows >= 2);
+  SPCA_EXPECTS(config.sketch_rows >= 1);
+  SPCA_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0);
+  if (config.host_sketches) {
+    const ProjectionSource source =
+        config.projection == ProjectionKind::kVerySparse
+            ? ProjectionSource::very_sparse(config.seed, config.window)
+            : ProjectionSource(config.projection, config.seed,
+                               config.sparsity);
+    hosted_sketches_.reserve(num_flows);
+    for (std::size_t j = 0; j < num_flows; ++j) {
+      hosted_sketches_.emplace_back(config.window, config.epsilon,
+                                    config.sketch_rows, source);
+    }
+  }
+}
+
+Vector Noc::collect_volumes(std::int64_t t, SimNetwork& network) {
+  Vector x(m_);
+  std::vector<bool> seen(m_, false);
+  for (const Message& msg : network.drain(kNocId)) {
+    if (msg.type != MessageType::kVolumeReport || msg.interval != t) {
+      throw ProtocolError("Noc: unexpected message while collecting volumes");
+    }
+    if (msg.ids.size() != msg.values.size()) {
+      throw ProtocolError("Noc: malformed volume report");
+    }
+    for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+      const std::uint32_t flow = msg.ids[i];
+      if (flow >= m_ || seen[flow]) {
+        throw ProtocolError("Noc: duplicate or out-of-range flow report");
+      }
+      seen[flow] = true;
+      x[flow] = msg.values[i];
+    }
+  }
+  if (!std::all_of(seen.begin(), seen.end(), [](bool b) { return b; })) {
+    throw ProtocolError("Noc: missing volume reports for interval");
+  }
+  if (config_.host_sketches) {
+    // Theorem 1 alternative mode: the NOC maintains the histograms itself,
+    // fed straight from the volume reports.
+    for (std::size_t j = 0; j < m_; ++j) {
+      hosted_sketches_[j].add(t, x[j]);
+    }
+  }
+  return x;
+}
+
+void Noc::request_sketches(std::int64_t t,
+                           const std::vector<NodeId>& monitors,
+                           SimNetwork& network) {
+  for (const NodeId monitor : monitors) {
+    Message request;
+    request.type = MessageType::kSketchRequest;
+    request.from = kNocId;
+    request.to = monitor;
+    request.interval = t;
+    network.send(request);
+  }
+  ++sketch_pulls_;
+}
+
+void Noc::ingest_sketch_responses(SimNetwork& network) {
+  for (const Message& msg : network.drain(kNocId)) {
+    if (msg.type != MessageType::kSketchResponse) {
+      throw ProtocolError("Noc: expected sketch responses");
+    }
+    const std::size_t block = config_.sketch_rows + 2;
+    if (msg.values.size() != msg.ids.size() * block) {
+      throw ProtocolError("Noc: malformed sketch response");
+    }
+    for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+      const std::uint32_t flow = msg.ids[i];
+      if (flow >= m_) throw ProtocolError("Noc: sketch for unknown flow");
+      FlowState& state = flow_state_[flow];
+      const double* base = msg.values.data() + i * block;
+      state.mean = base[0];
+      state.count = static_cast<std::uint64_t>(base[1]);
+      state.sketch.assign(base + 2, base + block);
+      state.seen = true;
+    }
+  }
+  refit();
+}
+
+void Noc::refit() {
+  Matrix z(config_.sketch_rows, m_);
+  Vector means(m_);
+  std::uint64_t n_eff = 2;
+  for (std::size_t j = 0; j < m_; ++j) {
+    const FlowState& state = flow_state_[j];
+    if (!state.seen) {
+      throw ProtocolError("Noc: refit before all sketches arrived");
+    }
+    means[j] = state.mean;
+    n_eff = std::max(n_eff, state.count);
+    for (std::size_t k = 0; k < config_.sketch_rows; ++k) {
+      z(k, j) = state.sketch[k];
+    }
+  }
+  model_ = PcaModel::from_sketch(z, means, n_eff);
+  rank_ = config_.rank_policy.select(*model_, z);
+  threshold_squared_ = q_statistic_threshold_squared(
+      model_->singular_values(), rank_, n_eff, config_.alpha);
+}
+
+Detection Noc::detect(std::int64_t t, const Vector& x,
+                      const std::vector<NodeId>& monitors,
+                      SimNetwork& network,
+                      const std::function<void()>& pump_monitors) {
+  SPCA_EXPECTS(x.size() == m_);
+  const auto pull = [&] {
+    if (config_.host_sketches) {
+      // No communication: read the NOC's own histograms.
+      for (std::size_t j = 0; j < m_; ++j) {
+        FlowState& state = flow_state_[j];
+        state.mean = hosted_sketches_[j].mean();
+        state.count = hosted_sketches_[j].count();
+        const Vector z = hosted_sketches_[j].sketch();
+        state.sketch.assign(z.begin(), z.end());
+        state.seen = true;
+      }
+      ++sketch_pulls_;  // counts model recomputations in this mode
+      refit();
+      return;
+    }
+    request_sketches(t, monitors, network);
+    pump_monitors();
+    ingest_sketch_responses(network);
+  };
+
+  Detection det;
+  if (!model_ || !config_.lazy) {
+    pull();
+    det.model_refreshed = true;
+  }
+
+  det.ready = true;
+  double distance = model_->anomaly_distance(x, rank_);
+  bool alarm = distance * distance > threshold_squared_;
+  if (alarm && config_.lazy && !det.model_refreshed) {
+    pull();
+    det.model_refreshed = true;
+    distance = model_->anomaly_distance(x, rank_);
+    alarm = distance * distance > threshold_squared_;
+  }
+  det.distance = distance;
+  det.threshold = std::sqrt(threshold_squared_);
+  det.alarm = alarm;
+  det.normal_rank = rank_;
+
+  if (alarm) {
+    Message alert;
+    alert.type = MessageType::kAlarm;
+    alert.from = kNocId;
+    alert.to = kNocId;  // operator console; stays local in the simulation
+    alert.interval = t;
+    network.send(alert);
+    (void)network.drain(kNocId);  // consume the console message
+    ++alarms_sent_;
+  }
+  return det;
+}
+
+}  // namespace spca

@@ -1,0 +1,109 @@
+// Simulated Network Operation Center (Fig. 2, right half): assembles the
+// network-wide measurement vector from monitor volume reports, maintains
+// the sketch-PCA model, and runs the lazy detection protocol of Sec. IV-C:
+//
+//   d(y*) <= delta  -> no anomaly, keep the stale model (no communication)
+//   d(y*) >  delta  -> pull fresh sketches, refit, re-check; alarm only if
+//                      the fresh model still flags the vector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "dist/message.hpp"
+#include "dist/sim_network.hpp"
+#include "pca/pca_model.hpp"
+#include "sketch/flow_sketch.hpp"
+
+namespace spca {
+
+/// NOC-side configuration.
+struct NocConfig {
+  /// Sliding-window length n (for threshold scaling, eq. 23).
+  std::size_t window = 2016;
+  /// Sketch length l (must match the monitors').
+  std::size_t sketch_rows = 200;
+  /// Q-statistic false-alarm rate.
+  double alpha = 0.01;
+  /// Normal-subspace selection.
+  RankPolicy rank_policy = RankPolicy::fixed(6);
+  /// Lazy mode on/off (off = refit every interval, the eager ablation).
+  bool lazy = true;
+  /// Theorem 1's alternative deployment: when monitors "only have limited
+  /// computation resources or bandwidth, we can maintain the VH and compute
+  /// the sketches at the NOC side" — the NOC builds FlowSketches from the
+  /// volume reports itself and never issues sketch pulls. Costs the NOC
+  /// O(m log n) time and O(m log^2 n) space; monitors need only the O(1)
+  /// Volume Counter. Requires `epsilon` and `seed` below.
+  bool host_sketches = false;
+  /// VH epsilon for NOC-hosted sketches.
+  double epsilon = 0.01;
+  /// Projection parameters for NOC-hosted sketches.
+  ProjectionKind projection = ProjectionKind::kGaussian;
+  double sparsity = 3.0;
+  std::uint64_t seed = 42;
+};
+
+/// The NOC node.
+class Noc final {
+ public:
+  Noc(std::size_t num_flows, const NocConfig& config);
+
+  /// Ingests queued volume reports for interval `t` and returns the
+  /// assembled measurement vector once every flow has reported.
+  [[nodiscard]] Vector collect_volumes(std::int64_t t, SimNetwork& network);
+
+  /// Requests sketches from all monitors (they must answer before
+  /// `ingest_sketch_responses` is called).
+  void request_sketches(std::int64_t t,
+                        const std::vector<NodeId>& monitors,
+                        SimNetwork& network);
+
+  /// Ingests queued sketch responses and refits the PCA model.
+  void ingest_sketch_responses(SimNetwork& network);
+
+  /// Runs the lazy detection protocol for measurement `x` of interval `t`.
+  /// `monitors` are the monitor node ids to pull from when needed and
+  /// `pump_monitors` must deliver pending requests to them (the simulation's
+  /// stand-in for the monitors' event loops running concurrently).
+  [[nodiscard]] Detection detect(std::int64_t t, const Vector& x,
+                                 const std::vector<NodeId>& monitors,
+                                 SimNetwork& network,
+                                 const std::function<void()>& pump_monitors);
+
+  [[nodiscard]] const std::optional<PcaModel>& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] std::uint64_t sketch_pulls() const noexcept {
+    return sketch_pulls_;
+  }
+  [[nodiscard]] std::uint64_t alarms_sent() const noexcept {
+    return alarms_sent_;
+  }
+
+ private:
+  void refit();
+
+  std::size_t m_;
+  NocConfig config_;
+  /// Last received sketch state per flow: mean, count, z-vector.
+  struct FlowState {
+    double mean = 0.0;
+    std::uint64_t count = 0;
+    std::vector<double> sketch;
+    bool seen = false;
+  };
+  std::vector<FlowState> flow_state_;
+  /// NOC-hosted sketches (Theorem 1 alternative mode), empty otherwise.
+  std::vector<FlowSketch> hosted_sketches_;
+  std::optional<PcaModel> model_;
+  std::size_t rank_ = 1;
+  double threshold_squared_ = 0.0;
+  std::uint64_t sketch_pulls_ = 0;
+  std::uint64_t alarms_sent_ = 0;
+};
+
+}  // namespace spca

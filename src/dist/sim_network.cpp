@@ -1,0 +1,32 @@
+#include "dist/sim_network.hpp"
+
+namespace spca {
+
+void SimNetwork::send(const Message& msg) {
+  std::vector<std::byte> wire = serialize(msg);
+  ++stats_.messages;
+  stats_.bytes += wire.size();
+  const auto type_index = static_cast<std::size_t>(msg.type);
+  ++stats_.messages_by_type[type_index];
+  stats_.bytes_by_type[type_index] += wire.size();
+  queues_[msg.to].push_back(std::move(wire));
+}
+
+std::vector<Message> SimNetwork::drain(NodeId node) {
+  std::vector<Message> out;
+  auto it = queues_.find(node);
+  if (it == queues_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& wire : it->second) {
+    out.push_back(deserialize(wire));
+  }
+  it->second.clear();
+  return out;
+}
+
+bool SimNetwork::has_mail(NodeId node) const {
+  const auto it = queues_.find(node);
+  return it != queues_.end() && !it->second.empty();
+}
+
+}  // namespace spca

@@ -1,0 +1,44 @@
+// In-process simulated network: synchronous message delivery with honest
+// wire accounting (messages are serialized on send and parsed on drain).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dist/message.hpp"
+
+namespace spca {
+
+/// Cumulative traffic statistics of the simulation.
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  /// Per message type (indexed by MessageType value 1..4).
+  std::array<std::uint64_t, 5> messages_by_type{};
+  std::array<std::uint64_t, 5> bytes_by_type{};
+};
+
+/// Routes serialized messages between nodes and keeps delivery statistics.
+class SimNetwork final {
+ public:
+  /// Serializes and enqueues `msg` for its destination.
+  void send(const Message& msg);
+
+  /// Delivers (parses and removes) every message queued for `node`, in
+  /// send order.
+  [[nodiscard]] std::vector<Message> drain(NodeId node);
+
+  /// True if `node` has queued messages.
+  [[nodiscard]] bool has_mail(NodeId node) const;
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = NetworkStats{}; }
+
+ private:
+  std::map<NodeId, std::vector<std::vector<std::byte>>> queues_;
+  NetworkStats stats_;
+};
+
+}  // namespace spca

@@ -1,0 +1,59 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Jacobi is the right tool here: the matrices are small (m x m covariance
+// matrices with m = number of OD flows, at most a few hundred), it is
+// backward stable, and it computes small eigenvalues to high *relative*
+// accuracy — which matters because the Q-statistic threshold (eq. 7/22 of
+// the paper) is built from the residual eigenvalues sigma_{r+1..m}, the
+// smallest ones.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace spca {
+
+/// Result of a symmetric eigendecomposition A = V diag(lambda) V^T.
+struct EigenSym {
+  /// Eigenvalues in descending order.
+  Vector values;
+  /// Orthonormal eigenvectors as columns, ordered to match `values`.
+  Matrix vectors;
+};
+
+/// Decomposes the symmetric matrix `a`.
+///
+/// Preconditions: `a` is square and numerically symmetric.
+/// Throws NumericalError if the sweep limit is exceeded (does not happen for
+/// symmetric input; the limit guards against NaN poisoning).
+[[nodiscard]] EigenSym eigen_symmetric(const Matrix& a, int max_sweeps = 64);
+
+/// Warm-started variant for streaming use: when `a` differs only slightly
+/// from a matrix whose eigenbasis `warm_basis` is known (the sliding-window
+/// covariance between consecutive intervals), rotating into that basis
+/// first — B = V^T A V — leaves B nearly diagonal, so Jacobi converges in
+/// one or two sweeps instead of O(log) of them. Results are identical to
+/// the cold solver up to rounding. `warm_basis` must be m x m orthonormal.
+[[nodiscard]] EigenSym eigen_symmetric_warm(const Matrix& a,
+                                            const Matrix& warm_basis,
+                                            int max_sweeps = 64);
+
+/// Top-k eigenpairs of a positive semi-definite matrix by orthogonal
+/// (simultaneous) iteration: the alternative when only the r leading
+/// principal components are needed. Converges linearly with ratio
+/// lambda_{k+1}/lambda_k; iteration stops when the invariant-subspace
+/// residual |A Q - Q (Q^T A Q)|_F falls below `tol` * |A|_F.
+/// Returns k values (descending) and an m x k orthonormal vector block.
+///
+/// Honest guidance (see micro_linalg): at this library's m <= ~150 the full
+/// Jacobi solver is FASTER than orthogonal iteration unless the spectrum
+/// decays very steeply — use this when m is large and k << m, or when only
+/// a subspace (not the full residual spectrum for the Q-statistic) is
+/// needed.
+[[nodiscard]] EigenSym eigen_top_k(const Matrix& a, std::size_t k,
+                                   double tol = 1e-10, int max_iters = 500,
+                                   std::uint64_t seed = 1);
+
+}  // namespace spca

@@ -1,0 +1,184 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() ? rows.begin()->size() : 0) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    SPCA_EXPECTS(r.size() == cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  SPCA_EXPECTS(r < rows_ && c < cols_);
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  SPCA_EXPECTS(r < rows_ && c < cols_);
+  return (*this)(r, c);
+}
+
+Vector Matrix::row(std::size_t r) const {
+  SPCA_EXPECTS(r < rows_);
+  Vector v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  SPCA_EXPECTS(c < cols_);
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& v) {
+  SPCA_EXPECTS(r < rows_ && v.size() == cols_);
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+void Matrix::set_col(std::size_t c, const Vector& v) {
+  SPCA_EXPECTS(c < cols_ && v.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  SPCA_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  SPCA_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  SPCA_EXPECTS(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Vector multiply(const Matrix& a, const Vector& x) {
+  SPCA_EXPECTS(a.cols() == x.size());
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    const auto row = a.row_span(i);
+    for (std::size_t j = 0; j < row.size(); ++j) sum += row[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vector multiply_transposed(const Vector& x, const Matrix& a) {
+  SPCA_EXPECTS(a.rows() == x.size());
+  Vector y(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const auto row = a.row_span(i);
+    for (std::size_t j = 0; j < row.size(); ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      t(j, i) = a(i, j);
+    }
+  }
+  return t;
+}
+
+Matrix gram(const Matrix& a) {
+  const std::size_t m = a.cols();
+  Matrix g(m, m);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row_span(i);
+    for (std::size_t p = 0; p < m; ++p) {
+      const double rp = row[p];
+      if (rp == 0.0) continue;
+      for (std::size_t q = p; q < m; ++q) {
+        g(p, q) += rp * row[q];
+      }
+    }
+  }
+  for (std::size_t p = 0; p < m; ++p) {
+    for (std::size_t q = 0; q < p; ++q) {
+      g(p, q) = g(q, p);
+    }
+  }
+  return g;
+}
+
+double frobenius_norm(const Matrix& a) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      sum += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double max_abs(const Matrix& a) noexcept {
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      best = std::max(best, std::abs(a(i, j)));
+    }
+  }
+  return best;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  SPCA_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      best = std::max(best, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return best;
+}
+
+}  // namespace spca

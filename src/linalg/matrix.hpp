@@ -1,0 +1,116 @@
+// Dense row-major double matrix plus the BLAS-2/3 style kernels used by the
+// PCA pipeline (multiply, Gram matrix, transpose, norms).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace spca {
+
+/// Dense real matrix, row-major storage.
+class Matrix final {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized `rows x cols` matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must be equally long.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// The `n x n` identity.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector.
+  [[nodiscard]] static Matrix diagonal(const Vector& d);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws ContractViolation when out of range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Contiguous view of row `r`.
+  [[nodiscard]] std::span<double> row_span(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row_span(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copies of a row / column as vectors.
+  [[nodiscard]] Vector row(std::size_t r) const;
+  [[nodiscard]] Vector col(std::size_t c) const;
+
+  void set_row(std::size_t r, const Vector& v);
+  void set_col(std::size_t c, const Vector& v);
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double scalar) noexcept;
+
+  [[nodiscard]] friend Matrix operator+(Matrix lhs, const Matrix& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  [[nodiscard]] friend Matrix operator-(Matrix lhs, const Matrix& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  [[nodiscard]] friend Matrix operator*(Matrix lhs, double scalar) noexcept {
+    lhs *= scalar;
+    return lhs;
+  }
+  [[nodiscard]] friend Matrix operator*(double scalar, Matrix rhs) noexcept {
+    rhs *= scalar;
+    return rhs;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Matrix product A*B; inner dimensions must agree.
+[[nodiscard]] Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product A*x.
+[[nodiscard]] Vector multiply(const Matrix& a, const Vector& x);
+
+/// x^T * A (returned as a vector of length A.cols()).
+[[nodiscard]] Vector multiply_transposed(const Vector& x, const Matrix& a);
+
+/// A^T.
+[[nodiscard]] Matrix transpose(const Matrix& a);
+
+/// Gram matrix A^T * A, computed symmetrically (the PCA covariance kernel).
+[[nodiscard]] Matrix gram(const Matrix& a);
+
+/// Frobenius norm |A|_F.
+[[nodiscard]] double frobenius_norm(const Matrix& a) noexcept;
+
+/// Largest absolute entry.
+[[nodiscard]] double max_abs(const Matrix& a) noexcept;
+
+/// Max absolute entry difference between equally-shaped matrices.
+[[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace spca

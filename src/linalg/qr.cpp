@@ -1,0 +1,108 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+
+Qr qr(const Matrix& a) {
+  SPCA_EXPECTS(a.rows() >= a.cols());
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+
+  Matrix work = a;
+  // Accumulate Q explicitly by applying the reflectors to an identity block.
+  Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) q(i, i) = 1.0;
+
+  for (std::size_t k = 0; k < m; ++k) {
+    // Build the Householder vector for column k below the diagonal.
+    double norm_x = 0.0;
+    for (std::size_t i = k; i < n; ++i) norm_x += work(i, k) * work(i, k);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) continue;
+
+    const double alpha = (work(k, k) > 0.0) ? -norm_x : norm_x;
+    Vector vhh(n);
+    vhh[k] = work(k, k) - alpha;
+    for (std::size_t i = k + 1; i < n; ++i) vhh[i] = work(i, k);
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < n; ++i) vnorm2 += vhh[i] * vhh[i];
+    if (vnorm2 == 0.0) continue;
+
+    // work <- (I - 2 v v^T / v^T v) * work
+    for (std::size_t j = k; j < m; ++j) {
+      double dotv = 0.0;
+      for (std::size_t i = k; i < n; ++i) dotv += vhh[i] * work(i, j);
+      const double scale = 2.0 * dotv / vnorm2;
+      for (std::size_t i = k; i < n; ++i) work(i, j) -= scale * vhh[i];
+    }
+    // q <- q * (I - 2 v v^T / v^T v)
+    for (std::size_t i = 0; i < n; ++i) {
+      double dotv = 0.0;
+      for (std::size_t j = k; j < n; ++j) dotv += q(i, j) * vhh[j];
+      const double scale = 2.0 * dotv / vnorm2;
+      for (std::size_t j = k; j < n; ++j) q(i, j) -= scale * vhh[j];
+    }
+  }
+
+  Qr out;
+  out.q = Matrix(n, m);
+  out.r = Matrix(m, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      out.q(i, j) = q(i, j);
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      out.r(i, j) = work(i, j);
+    }
+  }
+  return out;
+}
+
+Vector solve_upper_triangular(const Matrix& r, const Vector& y) {
+  SPCA_EXPECTS(r.rows() == r.cols() && r.rows() == y.size());
+  const std::size_t m = r.rows();
+  Vector x(m);
+  for (std::size_t ii = m; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < m; ++j) sum -= r(ii, j) * x[j];
+    if (r(ii, ii) == 0.0) {
+      throw NumericalError("solve_upper_triangular: singular R");
+    }
+    x[ii] = sum / r(ii, ii);
+  }
+  return x;
+}
+
+Vector solve_least_squares(const Matrix& a, const Vector& b) {
+  SPCA_EXPECTS(a.rows() == b.size());
+  const Qr f = qr(a);
+  // x = R^{-1} Q^T b
+  const Vector qtb = multiply_transposed(b, f.q);
+  const double diag_min = [&] {
+    double d = std::abs(f.r(0, 0));
+    for (std::size_t i = 1; i < f.r.rows(); ++i) {
+      d = std::min(d, std::abs(f.r(i, i)));
+    }
+    return d;
+  }();
+  const double diag_max = [&] {
+    double d = 0.0;
+    for (std::size_t i = 0; i < f.r.rows(); ++i) {
+      d = std::max(d, std::abs(f.r(i, i)));
+    }
+    return d;
+  }();
+  if (diag_max == 0.0 || diag_min < 1e-13 * diag_max) {
+    throw NumericalError("solve_least_squares: rank-deficient matrix");
+  }
+  return solve_upper_triangular(f.r, qtb);
+}
+
+}  // namespace spca

@@ -1,0 +1,31 @@
+// Householder QR factorization and least-squares solve.
+//
+// Used by the synthetic-trace generator's trend fitting and by tests as an
+// independent check on the Jacobi-based decompositions.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace spca {
+
+/// Thin QR factorization A = Q R with A of shape (n x m), n >= m.
+struct Qr {
+  /// Orthonormal columns, n x m.
+  Matrix q;
+  /// Upper triangular, m x m.
+  Matrix r;
+};
+
+/// Computes the thin QR factorization of `a` via Householder reflections.
+/// Precondition: a.rows() >= a.cols().
+[[nodiscard]] Qr qr(const Matrix& a);
+
+/// Solves the least-squares problem min |A x - b|_2 via QR.
+/// Throws NumericalError if A is (numerically) rank deficient.
+[[nodiscard]] Vector solve_least_squares(const Matrix& a, const Vector& b);
+
+/// Back-substitution for an upper-triangular system R x = y.
+[[nodiscard]] Vector solve_upper_triangular(const Matrix& r, const Vector& y);
+
+}  // namespace spca

@@ -1,0 +1,67 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+Vector column_means(const Matrix& a) {
+  SPCA_EXPECTS(a.rows() > 0);
+  Vector mean(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row_span(i);
+    for (std::size_t j = 0; j < row.size(); ++j) mean[j] += row[j];
+  }
+  mean /= static_cast<double>(a.rows());
+  return mean;
+}
+
+Vector column_variances(const Matrix& a) {
+  const Vector mean = column_means(a);
+  Vector var(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row_span(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double d = row[j] - mean[j];
+      var[j] += d * d;
+    }
+  }
+  var /= static_cast<double>(a.rows());
+  return var;
+}
+
+Matrix center_columns(const Matrix& a) {
+  const Vector mean = column_means(a);
+  Matrix y = a;
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    auto row = y.row_span(i);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] -= mean[j];
+  }
+  return y;
+}
+
+Matrix centered_gram(const Matrix& a) { return gram(center_columns(a)); }
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance_population() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::variance_sample() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+}  // namespace spca

@@ -1,0 +1,49 @@
+// Column statistics and centering for data matrices: the "adjust X into Y
+// with zero column mean" step of Sec. III-B.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace spca {
+
+/// Mean of each column of `a` (length a.cols()).
+[[nodiscard]] Vector column_means(const Matrix& a);
+
+/// Population variance of each column (normalized by n, matching eq. 10's
+/// unnormalized sum-of-squares divided by n where needed by callers).
+[[nodiscard]] Vector column_variances(const Matrix& a);
+
+/// Returns `a` with each column shifted to zero mean — the Y matrix built
+/// from the raw measurement matrix X.
+[[nodiscard]] Matrix center_columns(const Matrix& a);
+
+/// Sample covariance-like Gram matrix Y^T Y of the centered data.
+[[nodiscard]] Matrix centered_gram(const Matrix& a);
+
+/// Online mean/variance accumulator (Welford) used for summary statistics in
+/// the evaluation harness.
+class RunningStats final {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sum of squared deviations from the mean (the V of eq. 10).
+  [[nodiscard]] double sum_squared_deviations() const noexcept { return m2_; }
+  /// Population variance (divides by n); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance_population() const noexcept;
+  /// Sample variance (divides by n-1); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance_sample() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace spca

@@ -1,0 +1,126 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+
+Svd svd(const Matrix& input, bool want_left, int max_sweeps) {
+  SPCA_EXPECTS(max_sweeps > 0);
+  const std::size_t n = input.rows();
+  const std::size_t m = input.cols();
+
+  // Work on A column-by-column: rotate pairs of columns until all are
+  // pairwise orthogonal (one-sided Jacobi, Hestenes variant).
+  Matrix a = input;
+  Matrix v = Matrix::identity(m);
+
+  constexpr double kOrthTol = 1e-14;
+  // Columns whose squared norm falls below this floor are numerically zero
+  // (they arise when rank < m, e.g. wide sketch matrices); rotating them
+  // against rounding noise would never converge.
+  const double frob2 = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < m; ++j) s += a(i, j) * a(i, j);
+    return s;
+  }();
+  const double norm_floor = frob2 * 1e-28;
+
+  bool rotated = (m > 1);
+  int sweep = 0;
+  while (rotated) {
+    if (++sweep > max_sweeps) {
+      throw NumericalError("svd: one-sided Jacobi failed to converge");
+    }
+    rotated = false;
+    for (std::size_t p = 0; p + 1 < m; ++p) {
+      for (std::size_t q = p + 1; q < m; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          alpha += aip * aip;
+          beta += aiq * aiq;
+          gamma += aip * aiq;
+        }
+        if (alpha <= norm_floor || beta <= norm_floor) continue;
+        if (std::abs(gamma) <= kOrthTol * std::sqrt(alpha * beta)) continue;
+        rotated = true;
+
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            (zeta >= 0.0)
+                ? 1.0 / (zeta + std::sqrt(1.0 + zeta * zeta))
+                : 1.0 / (zeta - std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Column norms are the singular values; normalized columns form U.
+  Vector sigma(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += a(i, j) * a(i, j);
+    sigma[j] = std::sqrt(sum);
+  }
+
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return sigma[i] > sigma[j]; });
+
+  Svd out;
+  out.values = Vector(m);
+  out.right = Matrix(m, m);
+  for (std::size_t k = 0; k < m; ++k) {
+    out.values[k] = sigma[order[k]];
+    for (std::size_t i = 0; i < m; ++i) {
+      out.right(i, k) = v(i, order[k]);
+    }
+  }
+  if (want_left) {
+    out.left = Matrix(n, m);
+    for (std::size_t k = 0; k < m; ++k) {
+      const double sv = out.values[k];
+      if (sv <= 0.0) continue;  // null direction: leave the U column zero
+      const std::size_t src = order[k];
+      for (std::size_t i = 0; i < n; ++i) {
+        out.left(i, k) = a(i, src) / sv;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix svd_reconstruct(const Svd& s) {
+  SPCA_EXPECTS(!s.left.empty());
+  Matrix scaled = s.left;  // U * diag(sigma)
+  for (std::size_t j = 0; j < scaled.cols(); ++j) {
+    for (std::size_t i = 0; i < scaled.rows(); ++i) {
+      scaled(i, j) *= s.values[j];
+    }
+  }
+  return multiply(scaled, transpose(s.right));
+}
+
+}  // namespace spca

@@ -1,0 +1,40 @@
+// Thin singular value decomposition via one-sided Jacobi.
+//
+// The PCA pipeline needs right singular vectors (the principal components)
+// and singular values of tall-or-wide data matrices: the full n x m window
+// matrix Y for the Lakhina baseline and the l x m sketch matrix Z-hat for
+// the paper's method. One-sided Jacobi orthogonalizes the columns in place,
+// is simple, backward stable, and — like two-sided Jacobi — computes small
+// singular values with high relative accuracy.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace spca {
+
+/// Thin SVD A = U diag(sigma) V^T with A of shape (rows x cols).
+struct Svd {
+  /// Singular values in descending order; length min(rows, cols) ... but see
+  /// note: for rows < cols the trailing cols-rows values are exact zeros and
+  /// are included so `values.size() == cols` always matches `right.cols()`.
+  Vector values;
+  /// Left singular vectors (rows x k), orthonormal columns.
+  Matrix left;
+  /// Right singular vectors (cols x k), orthonormal columns; column j is the
+  /// j-th principal component when A is a centered data matrix.
+  Matrix right;
+};
+
+/// Computes the thin SVD of `a`.
+///
+/// `want_left` may be set false to skip materializing U (the detection
+/// pipeline only needs singular values and right vectors).
+/// Throws NumericalError if the sweep limit is exceeded.
+[[nodiscard]] Svd svd(const Matrix& a, bool want_left = true,
+                      int max_sweeps = 64);
+
+/// Reconstructs U diag(sigma) V^T — used by tests to verify the factorization.
+[[nodiscard]] Matrix svd_reconstruct(const Svd& s);
+
+}  // namespace spca

@@ -1,0 +1,70 @@
+#include "linalg/vector.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+
+double& Vector::at(std::size_t i) {
+  SPCA_EXPECTS(i < data_.size());
+  return data_[i];
+}
+
+double Vector::at(std::size_t i) const {
+  SPCA_EXPECTS(i < data_.size());
+  return data_[i];
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  SPCA_EXPECTS(size() == rhs.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  SPCA_EXPECTS(size() == rhs.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) noexcept {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scalar) {
+  SPCA_EXPECTS(scalar != 0.0);
+  return *this *= 1.0 / scalar;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  SPCA_EXPECTS(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm(const Vector& v) noexcept { return std::sqrt(norm_squared(v)); }
+
+double norm_squared(const Vector& v) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) sum += v[i] * v[i];
+  return sum;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  SPCA_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void normalize(Vector& v) {
+  const double n = norm(v);
+  if (!(n > 0.0) || !std::isfinite(n)) {
+    throw NumericalError("normalize: vector has zero or non-finite norm");
+  }
+  v /= n;
+}
+
+}  // namespace spca

@@ -1,0 +1,94 @@
+// Dense double-precision vector with the handful of BLAS-1 style operations
+// the PCA pipeline needs. Kept deliberately small: no expression templates,
+// no allocator tricks — profiling shows the O(m^2 l) SVD dominates.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace spca {
+
+/// Dense real vector.
+class Vector final {
+ public:
+  Vector() = default;
+
+  /// Zero-initialized vector of dimension `n`.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] double operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  /// Bounds-checked access; throws ContractViolation when out of range.
+  [[nodiscard]] double& at(std::size_t i);
+  [[nodiscard]] double at(std::size_t i) const;
+
+  [[nodiscard]] std::span<double> span() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> span() const noexcept { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const noexcept {
+    return data_;
+  }
+
+  [[nodiscard]] double* begin() noexcept { return data_.data(); }
+  [[nodiscard]] double* end() noexcept { return data_.data() + data_.size(); }
+  [[nodiscard]] const double* begin() const noexcept { return data_.data(); }
+  [[nodiscard]] const double* end() const noexcept {
+    return data_.data() + data_.size();
+  }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double scalar) noexcept;
+  Vector& operator/=(double scalar);
+
+  [[nodiscard]] friend Vector operator+(Vector lhs, const Vector& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  [[nodiscard]] friend Vector operator-(Vector lhs, const Vector& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  [[nodiscard]] friend Vector operator*(Vector lhs, double scalar) noexcept {
+    lhs *= scalar;
+    return lhs;
+  }
+  [[nodiscard]] friend Vector operator*(double scalar, Vector rhs) noexcept {
+    rhs *= scalar;
+    return rhs;
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Euclidean inner product; dimensions must match.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Euclidean (L2) norm.
+[[nodiscard]] double norm(const Vector& v) noexcept;
+
+/// Squared Euclidean norm.
+[[nodiscard]] double norm_squared(const Vector& v) noexcept;
+
+/// y += alpha * x (classic axpy); dimensions must match.
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// Normalizes `v` in place to unit L2 norm; throws NumericalError on a
+/// (near-)zero vector.
+void normalize(Vector& v);
+
+}  // namespace spca

@@ -1,0 +1,198 @@
+#include "pca/pca_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/stats.hpp"
+#include "linalg/svd.hpp"
+
+namespace spca {
+
+PcaModel PcaModel::from_data(const Matrix& x) {
+  SPCA_EXPECTS(x.rows() >= 2 && x.cols() >= 1);
+  PcaModel model;
+  model.dims_ = x.cols();
+  model.sample_count_ = x.rows();
+  model.means_ = ::spca::column_means(x);
+  const Matrix y = center_columns(x);
+  Svd f = svd(y, /*want_left=*/false);
+  model.singular_values_ = std::move(f.values);
+  model.components_ = std::move(f.right);
+  return model;
+}
+
+PcaModel PcaModel::from_parts(Vector singular_values, Matrix components,
+                              Vector column_means,
+                              std::uint64_t sample_count) {
+  SPCA_EXPECTS(components.rows() == components.cols());
+  SPCA_EXPECTS(components.rows() == singular_values.size());
+  SPCA_EXPECTS(components.rows() == column_means.size());
+  SPCA_EXPECTS(sample_count >= 2);
+  PcaModel model;
+  model.dims_ = components.rows();
+  model.sample_count_ = sample_count;
+  model.singular_values_ = std::move(singular_values);
+  model.components_ = std::move(components);
+  model.means_ = std::move(column_means);
+  return model;
+}
+
+PcaModel PcaModel::from_covariance(const Matrix& centered_gram,
+                                   Vector column_means,
+                                   std::uint64_t sample_count,
+                                   const Matrix* warm_basis) {
+  SPCA_EXPECTS(centered_gram.rows() == centered_gram.cols());
+  SPCA_EXPECTS(centered_gram.rows() == column_means.size());
+  SPCA_EXPECTS(sample_count >= 2);
+  PcaModel model;
+  model.dims_ = centered_gram.rows();
+  model.sample_count_ = sample_count;
+  model.means_ = std::move(column_means);
+  EigenSym e = warm_basis != nullptr
+                   ? eigen_symmetric_warm(centered_gram, *warm_basis)
+                   : eigen_symmetric(centered_gram);
+  model.singular_values_ = Vector(model.dims_);
+  for (std::size_t j = 0; j < model.dims_; ++j) {
+    model.singular_values_[j] = std::sqrt(std::max(e.values[j], 0.0));
+  }
+  model.components_ = std::move(e.vectors);
+  return model;
+}
+
+PcaModel PcaModel::from_sketch(const Matrix& z_hat, Vector column_means,
+                               std::uint64_t sample_count) {
+  SPCA_EXPECTS(z_hat.cols() == column_means.size());
+  SPCA_EXPECTS(sample_count >= 2);
+  PcaModel model;
+  model.dims_ = z_hat.cols();
+  model.sample_count_ = sample_count;
+  model.means_ = std::move(column_means);
+  Svd f = svd(z_hat, /*want_left=*/false);
+  model.singular_values_ = std::move(f.values);
+  model.components_ = std::move(f.right);
+  return model;
+}
+
+double PcaModel::component_std(std::size_t j) const {
+  SPCA_EXPECTS(fitted() && j < dims_);
+  return singular_values_[j] /
+         std::sqrt(static_cast<double>(sample_count_ - 1));
+}
+
+Vector PcaModel::center(const Vector& x) const {
+  SPCA_EXPECTS(fitted() && x.size() == dims_);
+  Vector y = x;
+  y -= means_;
+  return y;
+}
+
+double PcaModel::anomaly_distance(const Vector& x, std::size_t r) const {
+  SPCA_EXPECTS(fitted() && x.size() == dims_ && r <= dims_);
+  const Vector y = center(x);
+  double residual = norm_squared(y);
+  for (std::size_t j = 0; j < r; ++j) {
+    double proj = 0.0;
+    for (std::size_t i = 0; i < dims_; ++i) proj += components_(i, j) * y[i];
+    residual -= proj * proj;
+  }
+  // Rounding can push the residual a hair below zero when y lies (almost)
+  // entirely inside the normal subspace.
+  return std::sqrt(std::max(residual, 0.0));
+}
+
+PcaModel::Split PcaModel::split(const Vector& x, std::size_t r) const {
+  SPCA_EXPECTS(fitted() && x.size() == dims_ && r <= dims_);
+  const Vector y = center(x);
+  Vector normal(dims_);
+  for (std::size_t j = 0; j < r; ++j) {
+    double proj = 0.0;
+    for (std::size_t i = 0; i < dims_; ++i) proj += components_(i, j) * y[i];
+    for (std::size_t i = 0; i < dims_; ++i) {
+      normal[i] += proj * components_(i, j);
+    }
+  }
+  Vector anomaly = y;
+  anomaly -= normal;
+  return {std::move(normal), std::move(anomaly)};
+}
+
+std::size_t select_rank_by_energy(const Vector& singular_values,
+                                  double fraction) {
+  SPCA_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  double total = 0.0;
+  for (std::size_t j = 0; j < singular_values.size(); ++j) {
+    total += singular_values[j] * singular_values[j];
+  }
+  if (total == 0.0) return 0;
+  double cumulative = 0.0;
+  for (std::size_t j = 0; j < singular_values.size(); ++j) {
+    cumulative += singular_values[j] * singular_values[j];
+    if (cumulative >= fraction * total) return j + 1;
+  }
+  return singular_values.size();
+}
+
+std::size_t select_rank_by_scree(const Vector& singular_values,
+                                 double knee_fraction) {
+  SPCA_EXPECTS(knee_fraction > 0.0 && knee_fraction <= 1.0);
+  const std::size_t m = singular_values.size();
+  if (m <= 1) return m;
+
+  // Work on the eigenvalue (variance) scale, where the scree is defined.
+  double largest_drop = 0.0;
+  for (std::size_t j = 0; j + 1 < m; ++j) {
+    const double drop = singular_values[j] * singular_values[j] -
+                        singular_values[j + 1] * singular_values[j + 1];
+    largest_drop = std::max(largest_drop, drop);
+  }
+  if (largest_drop <= 0.0) return 1;  // flat spectrum: no structure
+
+  std::size_t elbow = 1;
+  for (std::size_t j = 0; j + 1 < m; ++j) {
+    const double drop = singular_values[j] * singular_values[j] -
+                        singular_values[j + 1] * singular_values[j + 1];
+    if (drop >= knee_fraction * largest_drop) {
+      elbow = j + 1;
+    }
+  }
+  return elbow;
+}
+
+std::size_t select_rank_by_ksigma(const Matrix& data, const PcaModel& model,
+                                  double k) {
+  SPCA_EXPECTS(model.fitted() && data.cols() == model.dimensions());
+  SPCA_EXPECTS(k > 0.0);
+  const std::size_t m = model.dimensions();
+  const std::size_t n = data.rows();
+  for (std::size_t j = 0; j < m; ++j) {
+    // Projection of every fitted row onto component j.
+    Vector proj(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      const auto row = data.row_span(i);
+      for (std::size_t c = 0; c < m; ++c) {
+        sum += row[c] * model.components()(c, j);
+      }
+      proj[i] = sum;
+    }
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += proj[i];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      var += (proj[i] - mean) * (proj[i] - mean);
+    }
+    var /= static_cast<double>(n > 1 ? n - 1 : 1);
+    const double sigma = std::sqrt(var);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::abs(proj[i] - mean) > k * sigma) {
+        return j;  // this and all later components form the anomaly subspace
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace spca

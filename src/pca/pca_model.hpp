@@ -1,0 +1,124 @@
+// The PCA subspace model of Sec. III-B/III-C, usable both for the exact
+// Lakhina baseline (built from the full n x m window matrix Y) and for the
+// paper's method (built from the l x m sketch matrix Z-hat).
+//
+// A model consists of the singular values (eta_j or lambda-hat_j), the
+// principal components (right singular vectors, an orthonormal basis of
+// R^m), the column means used to center new measurement vectors, and the
+// effective sample count n used to convert singular values into per-component
+// standard deviations (eq. 9).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace spca {
+
+/// Fitted PCA model: basis, spectrum, and centering information.
+class PcaModel final {
+ public:
+  PcaModel() = default;
+
+  /// Fits from a raw (uncentered) n x m measurement matrix X: centers the
+  /// columns and takes the SVD of Y (exact Lakhina-style PCA).
+  [[nodiscard]] static PcaModel from_data(const Matrix& x);
+
+  /// Reassembles a model from its parts (checkpoint restore). `components`
+  /// must be m x m with orthonormal columns matching `singular_values`.
+  [[nodiscard]] static PcaModel from_parts(Vector singular_values,
+                                           Matrix components,
+                                           Vector column_means,
+                                           std::uint64_t sample_count);
+
+  /// Fits from the centered Gram matrix G = Y^T Y (exactly what a streaming
+  /// implementation maintains incrementally). The eigenvalues of G are the
+  /// squared singular values of Y; tiny negative eigenvalues from rounding
+  /// are clamped to zero. `warm_basis`, when non-null, must be the previous
+  /// model's component matrix — consecutive sliding-window refits barely
+  /// rotate the basis, so warm-starting the eigensolver cuts its sweep
+  /// count (see eigen_symmetric_warm).
+  [[nodiscard]] static PcaModel from_covariance(
+      const Matrix& centered_gram, Vector column_means,
+      std::uint64_t sample_count, const Matrix* warm_basis = nullptr);
+
+  /// Fits from an l x m sketch matrix Z-hat (already centered by
+  /// construction of eq. 17). `column_means` are the mu_all,j reported by
+  /// the monitors and `sample_count` the window length n, needed by eq. (9)/
+  /// (23) to scale the spectrum.
+  [[nodiscard]] static PcaModel from_sketch(const Matrix& z_hat,
+                                            Vector column_means,
+                                            std::uint64_t sample_count);
+
+  [[nodiscard]] bool fitted() const noexcept { return dims_ > 0; }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return dims_; }
+  [[nodiscard]] std::uint64_t sample_count() const noexcept {
+    return sample_count_;
+  }
+
+  /// Singular values in descending order (length m; for sketches with
+  /// l < m the trailing values are zero).
+  [[nodiscard]] const Vector& singular_values() const noexcept {
+    return singular_values_;
+  }
+
+  /// Orthonormal principal components as columns of an m x m matrix.
+  [[nodiscard]] const Matrix& components() const noexcept {
+    return components_;
+  }
+
+  [[nodiscard]] const Vector& column_means() const noexcept { return means_; }
+
+  /// Per-component standard deviation sigma_j = eta_j / sqrt(n-1) (eq. 9).
+  [[nodiscard]] double component_std(std::size_t j) const;
+
+  /// Centers a raw measurement vector: y* = x - mu (eq. 19's y_i*).
+  [[nodiscard]] Vector center(const Vector& x) const;
+
+  /// Squared-prediction-error distance of a raw measurement vector from the
+  /// normal subspace spanned by the first `r` components:
+  /// d = |(I - P P^T) y*|  computed as  sqrt(|y*|^2 - sum_{j<=r} (v_j^T y*)^2)
+  /// (eqs. 5, 19, 21).
+  [[nodiscard]] double anomaly_distance(const Vector& x, std::size_t r) const;
+
+  /// Splits a centered vector into (normal, anomaly) components for
+  /// diagnosis (eq. 4).
+  struct Split {
+    Vector normal;
+    Vector anomaly;
+  };
+  [[nodiscard]] Split split(const Vector& x, std::size_t r) const;
+
+ private:
+  std::size_t dims_ = 0;
+  std::uint64_t sample_count_ = 0;
+  Vector singular_values_;
+  Matrix components_;
+  Vector means_;
+};
+
+/// Smallest r whose leading components capture at least `fraction` of the
+/// total spectral energy (sum of squared singular values); the "90% energy"
+/// rule of Sec. VI. Returns at least 1 (if any energy) and at most m.
+[[nodiscard]] std::size_t select_rank_by_energy(const Vector& singular_values,
+                                                double fraction);
+
+/// Cattell's Scree test (the other heuristic Sec. IV-D names): walks the
+/// spectrum of squared singular values looking for the "elbow" — the last
+/// index whose drop to the next value still exceeds `knee_fraction` of the
+/// largest drop. Components before the elbow form the normal subspace.
+/// Returns r in [1, m].
+[[nodiscard]] std::size_t select_rank_by_scree(const Vector& singular_values,
+                                               double knee_fraction = 0.1);
+
+/// The 3-sigma heuristic of Sec. IV-D (and Lakhina'04): examines the
+/// projection of the fitted data onto each component in order; the first
+/// component whose projection contains an element more than `k` standard
+/// deviations from its mean starts the anomaly subspace. `data` is the
+/// matrix the model was fitted on (Y or Z-hat). Returns r in [0, m].
+[[nodiscard]] std::size_t select_rank_by_ksigma(const Matrix& data,
+                                                const PcaModel& model,
+                                                double k = 3.0);
+
+}  // namespace spca

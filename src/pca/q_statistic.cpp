@@ -1,0 +1,94 @@
+#include "pca/q_statistic.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+double inverse_normal_cdf(double p) {
+  SPCA_EXPECTS(p > 0.0 && p < 1.0);
+  // Peter Acklam's rational approximation with one Halley refinement step.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One step of Halley's method against the true CDF for full precision.
+  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+ResidualMoments residual_moments(const Vector& singular_values,
+                                 std::size_t normal_rank,
+                                 std::uint64_t sample_count) {
+  SPCA_EXPECTS(normal_rank <= singular_values.size());
+  SPCA_EXPECTS(sample_count >= 2);
+  ResidualMoments m;
+  const double denom = static_cast<double>(sample_count - 1);
+  for (std::size_t j = normal_rank; j < singular_values.size(); ++j) {
+    const double var = singular_values[j] * singular_values[j] / denom;
+    m.phi1 += var;
+    m.phi2 += var * var;
+    m.phi3 += var * var * var;
+  }
+  return m;
+}
+
+double q_statistic_threshold_squared(const Vector& singular_values,
+                                     std::size_t normal_rank,
+                                     std::uint64_t sample_count,
+                                     double alpha) {
+  SPCA_EXPECTS(alpha > 0.0 && alpha < 1.0);
+  const ResidualMoments m =
+      residual_moments(singular_values, normal_rank, sample_count);
+  if (m.phi1 <= 0.0 || m.phi2 <= 0.0) {
+    // Degenerate residual spectrum: no normal fluctuation is expected in the
+    // residual subspace, so any residual energy is an alarm.
+    return 0.0;
+  }
+  const double c_alpha = inverse_normal_cdf(1.0 - alpha);
+  const double h0 = 1.0 - 2.0 * m.phi1 * m.phi3 / (3.0 * m.phi2 * m.phi2);
+  if (h0 == 0.0) return 0.0;
+  const double bracket = c_alpha * std::sqrt(2.0 * m.phi2 * h0 * h0) / m.phi1 +
+                         1.0 +
+                         m.phi2 * h0 * (h0 - 1.0) / (m.phi1 * m.phi1);
+  if (bracket <= 0.0) return 0.0;
+  return m.phi1 * std::pow(bracket, 1.0 / h0);
+}
+
+double q_statistic_threshold(const Vector& singular_values,
+                             std::size_t normal_rank,
+                             std::uint64_t sample_count, double alpha) {
+  return std::sqrt(q_statistic_threshold_squared(singular_values, normal_rank,
+                                                 sample_count, alpha));
+}
+
+}  // namespace spca

@@ -1,0 +1,51 @@
+// Q-statistic threshold of Jackson & Mudholkar (Technometrics 1979), the
+// detection threshold of eqs. (6)-(9) and (22)-(23).
+//
+// Given the residual spectrum (singular values of the components beyond the
+// normal subspace) and a false-alarm rate alpha, the threshold on the
+// squared prediction error is
+//
+//   delta^2 = phi1 [ c_alpha sqrt(2 phi2 h0^2)/phi1 + 1
+//                    + phi2 h0 (h0 - 1)/phi1^2 ]^{1/h0}
+//
+// with phi_k = sum_{j>r} sigma_j^{2k}, h0 = 1 - 2 phi1 phi3 / (3 phi2^2),
+// and c_alpha the (1 - alpha) quantile of the standard normal distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/vector.hpp"
+
+namespace spca {
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |relative error| < 1.2e-9). Precondition: 0 < p < 1.
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+/// Spectral moments phi_1..phi_3 of the residual subspace.
+struct ResidualMoments {
+  double phi1 = 0.0;
+  double phi2 = 0.0;
+  double phi3 = 0.0;
+};
+
+/// Computes phi_k = sum_{j>r} (eta_j^2 / (n-1))^k from the singular values
+/// of the fitted matrix (eq. 8 with eq. 9, identically eq. 23).
+[[nodiscard]] ResidualMoments residual_moments(const Vector& singular_values,
+                                               std::size_t normal_rank,
+                                               std::uint64_t sample_count);
+
+/// The Q-statistic threshold on the *squared* prediction error at
+/// false-alarm rate `alpha`. Returns 0 when the residual spectrum is empty
+/// or numerically degenerate (then every nonzero residual is an alarm).
+[[nodiscard]] double q_statistic_threshold_squared(
+    const Vector& singular_values, std::size_t normal_rank,
+    std::uint64_t sample_count, double alpha);
+
+/// Threshold on the (unsquared) anomaly distance, i.e. sqrt of the above.
+[[nodiscard]] double q_statistic_threshold(const Vector& singular_values,
+                                           std::size_t normal_rank,
+                                           std::uint64_t sample_count,
+                                           double alpha);
+
+}  // namespace spca

@@ -1,0 +1,26 @@
+#include "rand/distributions.hpp"
+
+#include <numbers>
+
+namespace spca {
+
+double box_muller(double u1_open, double u2) noexcept {
+  const double radius = std::sqrt(-2.0 * std::log(u1_open));
+  return radius * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double lognormal_from_normal(double z, double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * z);
+}
+
+double exponential_from_uniform(double u_open, double lambda) noexcept {
+  return -std::log(u_open) / lambda;
+}
+
+double pareto_from_uniform(double u_open, double x_m, double alpha) noexcept {
+  return x_m / std::pow(u_open, 1.0 / alpha);
+}
+
+double exponential_limit(double lambda) noexcept { return std::exp(-lambda); }
+
+}  // namespace spca

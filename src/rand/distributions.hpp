@@ -1,0 +1,113 @@
+// Deterministic, engine-agnostic distribution transforms.
+//
+// The standard <random> distributions are implementation-defined, so their
+// output differs across standard libraries; these transforms are fully
+// specified and therefore reproducible everywhere, which matters because the
+// paper's local monitors must regenerate identical random projection values
+// without communicating.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace spca {
+
+/// Maps 64 random bits to a double uniformly distributed in [0, 1).
+[[nodiscard]] constexpr double bits_to_unit_double(std::uint64_t bits) noexcept {
+  // Use the top 53 bits: exactly the mantissa precision of an IEEE double.
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Maps 64 random bits to a double uniformly distributed in (0, 1]; useful
+/// where log(u) must stay finite.
+[[nodiscard]] constexpr double bits_to_open_unit_double(
+    std::uint64_t bits) noexcept {
+  return (static_cast<double>(bits >> 11) + 1.0) * 0x1.0p-53;
+}
+
+/// The Box-Muller map (cosine branch): two independent uniforms to one
+/// standard normal deviate. Exposed so the counter-based projection source
+/// can apply it to hashed uniforms.
+[[nodiscard]] double box_muller(double u1_open, double u2) noexcept;
+
+/// exp(mu + sigma*z) for a standard normal z.
+[[nodiscard]] double lognormal_from_normal(double z, double mu,
+                                           double sigma) noexcept;
+
+/// Inverse-CDF transform for Exp(lambda).
+[[nodiscard]] double exponential_from_uniform(double u_open,
+                                              double lambda) noexcept;
+
+/// Inverse-CDF transform for Pareto(x_m, alpha).
+[[nodiscard]] double pareto_from_uniform(double u_open, double x_m,
+                                         double alpha) noexcept;
+
+/// e^{-lambda}, the product threshold of Knuth's Poisson algorithm.
+[[nodiscard]] double exponential_limit(double lambda) noexcept;
+
+/// Draws a uniform double in [lo, hi) from `gen`.
+template <typename Gen>
+[[nodiscard]] double uniform_real(Gen& gen, double lo, double hi) {
+  return lo + (hi - lo) * bits_to_unit_double(gen());
+}
+
+/// Draws a uniform integer in [0, n) from `gen` with modulo rejection,
+/// giving an exactly uniform result.
+template <typename Gen>
+[[nodiscard]] std::uint64_t uniform_index(Gen& gen, std::uint64_t n) {
+  const std::uint64_t limit = ~0ULL - ~0ULL % n;
+  std::uint64_t x = gen();
+  while (x >= limit) x = gen();
+  return x % n;
+}
+
+/// Draws a standard normal deviate via the Box-Muller transform. Two engine
+/// calls per deviate; deterministic across platforms.
+template <typename Gen>
+[[nodiscard]] double standard_normal(Gen& gen) {
+  const double u1 = bits_to_open_unit_double(gen());
+  const double u2 = bits_to_unit_double(gen());
+  return box_muller(u1, u2);
+}
+
+/// Draws from a lognormal distribution with the given parameters of the
+/// underlying normal.
+template <typename Gen>
+[[nodiscard]] double lognormal(Gen& gen, double mu, double sigma) {
+  return lognormal_from_normal(standard_normal(gen), mu, sigma);
+}
+
+/// Draws from an exponential distribution with rate lambda.
+template <typename Gen>
+[[nodiscard]] double exponential(Gen& gen, double lambda) {
+  return exponential_from_uniform(bits_to_open_unit_double(gen()), lambda);
+}
+
+/// Draws from a Pareto distribution with scale x_m and shape alpha
+/// (heavy-tailed flow/burst sizes).
+template <typename Gen>
+[[nodiscard]] double pareto(Gen& gen, double x_m, double alpha) {
+  return pareto_from_uniform(bits_to_open_unit_double(gen()), x_m, alpha);
+}
+
+/// Draws a Poisson count with mean `lambda` (Knuth's method for small means,
+/// normal approximation above 64).
+template <typename Gen>
+[[nodiscard]] std::uint64_t poisson(Gen& gen, double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda > 64.0) {
+    const double z = standard_normal(gen);
+    const double x = lambda + z * std::sqrt(lambda);
+    return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+  const double limit = exponential_limit(lambda);
+  double product = bits_to_open_unit_double(gen());
+  std::uint64_t count = 0;
+  while (product > limit) {
+    product *= bits_to_open_unit_double(gen());
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace spca

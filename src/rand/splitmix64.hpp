@@ -1,0 +1,43 @@
+// SplitMix64: a tiny, statistically solid 64-bit PRNG used here for seeding
+// and as the mixing function of the counter-based generator.
+//
+// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+// generators", OOPSLA 2014.
+#pragma once
+
+#include <cstdint>
+
+namespace spca {
+
+/// Applies the SplitMix64 finalizer to `x`: a bijective 64-bit mixer with
+/// good avalanche behaviour. Usable both as a PRNG step and as a hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Sequential SplitMix64 generator. Satisfies UniformRandomBitGenerator.
+class SplitMix64 final {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace spca

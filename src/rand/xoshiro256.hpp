@@ -1,0 +1,73 @@
+// xoshiro256++ 1.0: the general-purpose PRNG used for synthetic traffic
+// generation. Public-domain algorithm by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+
+#include "rand/splitmix64.hpp"
+
+namespace spca {
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions; the library's own distributions in
+/// distributions.hpp are preferred for cross-platform determinism.
+class Xoshiro256 final {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by running SplitMix64 from `seed`, as the
+  /// algorithm's authors recommend.
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls to operator(): produces non-overlapping
+  /// subsequences for parallel streams.
+  constexpr void jump() noexcept {
+    constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL,
+                                       0xd5a61266f0c9392cULL,
+                                       0xa9582618e03fc9aaULL,
+                                       0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t jump : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump & (1ULL << b)) {
+          s0 ^= state_[0];
+          s1 ^= state_[1];
+          s2 ^= state_[2];
+          s3 ^= state_[3];
+        }
+        (*this)();
+      }
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace spca

@@ -1,0 +1,33 @@
+#include "rand/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s), cdf_(n) {
+  SPCA_EXPECTS(n >= 1);
+  SPCA_EXPECTS(s >= 0.0);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding at the top
+}
+
+std::size_t ZipfSampler::sample_from_unit(double u) const {
+  SPCA_EXPECTS(u >= 0.0 && u < 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t k) const {
+  SPCA_EXPECTS(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace spca

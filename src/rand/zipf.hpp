@@ -1,0 +1,38 @@
+// Zipf-distributed categorical sampler: the standard model for IP address
+// popularity inside a traffic aggregate (a few heavy talkers, a long tail).
+// Used by the address synthesizer behind the entropy measurement pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spca {
+
+/// Samples ranks in [0, n) with P(k) proportional to 1/(k+1)^s via a
+/// precomputed CDF and binary search (n is at most a few thousand here).
+class ZipfSampler final {
+ public:
+  /// `n` categories, exponent `s` >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws a rank using 64 random bits from `gen`.
+  template <typename Gen>
+  [[nodiscard]] std::size_t operator()(Gen& gen) const {
+    return sample_from_unit(static_cast<double>(gen() >> 11) * 0x1.0p-53);
+  }
+
+  /// Deterministic transform from a uniform in [0, 1).
+  [[nodiscard]] std::size_t sample_from_unit(double u) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+
+  /// Probability mass of rank `k`.
+  [[nodiscard]] double probability(std::size_t k) const;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace spca

@@ -1,0 +1,135 @@
+#include "sketch/count_min.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/contracts.hpp"
+#include "rand/splitmix64.hpp"
+
+namespace spca {
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed),
+      counters_(width * depth, 0.0) {
+  SPCA_EXPECTS(width >= 1);
+  SPCA_EXPECTS(depth >= 1);
+}
+
+CountMinSketch CountMinSketch::with_accuracy(double eps, double delta,
+                                             std::uint64_t seed) {
+  SPCA_EXPECTS(eps > 0.0 && eps < 1.0);
+  SPCA_EXPECTS(delta > 0.0 && delta < 1.0);
+  const auto width = static_cast<std::size_t>(
+      std::ceil(std::numbers::e / eps));
+  const auto depth =
+      static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(width, std::max<std::size_t>(depth, 1), seed);
+}
+
+std::size_t CountMinSketch::cell(std::size_t row, std::uint32_t key) const {
+  // Per-row keyed hash: mix (seed, row, key).
+  std::uint64_t h = splitmix64_mix(seed_ ^ (0x9e3779b9ULL * (row + 1)));
+  h = splitmix64_mix(h ^ key);
+  return row * width_ + static_cast<std::size_t>(h % width_);
+}
+
+void CountMinSketch::add(std::uint32_t key, double weight) {
+  SPCA_EXPECTS(weight >= 0.0);
+  for (std::size_t row = 0; row < depth_; ++row) {
+    counters_[cell(row, key)] += weight;
+  }
+  total_ += weight;
+}
+
+double CountMinSketch::estimate(std::uint32_t key) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, counters_[cell(row, key)]);
+  }
+  return best;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  SPCA_EXPECTS(width_ == other.width_ && depth_ == other.depth_);
+  SPCA_EXPECTS(seed_ == other.seed_);
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_ += other.total_;
+}
+
+void CountMinSketch::reset() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+  total_ = 0.0;
+}
+
+HeavyHitterTracker::HeavyHitterTracker(std::size_t capacity, double eps,
+                                       double delta, std::uint64_t seed)
+    : capacity_(capacity),
+      sketch_(CountMinSketch::with_accuracy(eps, delta, seed)) {
+  SPCA_EXPECTS(capacity >= 1);
+  candidates_.reserve(capacity + 1);
+}
+
+void HeavyHitterTracker::add(std::uint32_t key, double weight) {
+  sketch_.add(key, weight);
+  // Maintain the candidate set: ensure the key is present, then evict the
+  // weakest candidate if over capacity.
+  if (std::find(candidates_.begin(), candidates_.end(), key) ==
+      candidates_.end()) {
+    candidates_.push_back(key);
+    if (candidates_.size() > capacity_) {
+      auto weakest = candidates_.begin();
+      double weakest_estimate = sketch_.estimate(*weakest);
+      for (auto it = candidates_.begin() + 1; it != candidates_.end(); ++it) {
+        const double e = sketch_.estimate(*it);
+        if (e < weakest_estimate) {
+          weakest_estimate = e;
+          weakest = it;
+        }
+      }
+      candidates_.erase(weakest);
+    }
+  }
+}
+
+std::vector<HeavyHitter> HeavyHitterTracker::hitters(double fraction) const {
+  SPCA_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  std::vector<HeavyHitter> out;
+  const double bar = fraction * sketch_.total();
+  for (const std::uint32_t key : candidates_) {
+    const double estimate = sketch_.estimate(key);
+    if (estimate >= bar) {
+      out.push_back(HeavyHitter{key, estimate});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimate > b.estimate;
+            });
+  return out;
+}
+
+std::vector<HeavyHitter> HeavyHitterTracker::top(std::size_t k) const {
+  std::vector<HeavyHitter> out;
+  out.reserve(candidates_.size());
+  for (const std::uint32_t key : candidates_) {
+    out.push_back(HeavyHitter{key, sketch_.estimate(key)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimate > b.estimate;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void HeavyHitterTracker::reset() {
+  sketch_.reset();
+  candidates_.clear();
+}
+
+}  // namespace spca

@@ -1,0 +1,101 @@
+// Count-Min sketch and heavy-hitter tracking.
+//
+// The related work (Li et al., IMC'06 — ref [7]) couples PCA detection with
+// sketch subspaces so operators can recover the IP addresses behind an
+// anomaly. This module provides that capability for this library: monitors
+// keep a tiny Count-Min sketch of per-address byte counts per interval;
+// when the NOC flags an interval and the diagnosis step names culprit
+// flows, the heavy hitters of those flows' sketches name the addresses.
+//
+// Standard guarantees (Cormode & Muthukrishnan): with width w = ceil(e/eps)
+// and depth d = ceil(ln(1/delta)), the estimate overshoots the true count
+// by at most eps * (total weight) with probability 1 - delta, and never
+// undershoots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spca {
+
+/// Count-Min sketch over 32-bit keys with double-valued weights.
+class CountMinSketch final {
+ public:
+  /// Direct shape constructor: `width` counters per row, `depth` rows.
+  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed);
+
+  /// Accuracy-driven factory: overshoot <= eps * total with prob 1 - delta.
+  [[nodiscard]] static CountMinSketch with_accuracy(double eps, double delta,
+                                                    std::uint64_t seed);
+
+  /// Adds `weight` to `key`'s count.
+  void add(std::uint32_t key, double weight = 1.0);
+
+  /// Point estimate of `key`'s count: never an underestimate, and an
+  /// overestimate by at most eps * total() with probability 1 - delta.
+  [[nodiscard]] double estimate(std::uint32_t key) const;
+
+  /// Total weight added so far.
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Merges another sketch with identical shape and seed (e.g. combining
+  /// intervals); throws ContractViolation on shape mismatch.
+  void merge(const CountMinSketch& other);
+
+  void reset();
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return counters_.capacity() * sizeof(double) + sizeof(*this);
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell(std::size_t row, std::uint32_t key) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;
+  double total_ = 0.0;
+  std::vector<double> counters_;  // depth x width, row-major
+};
+
+/// One tracked heavy hitter.
+struct HeavyHitter {
+  std::uint32_t key = 0;
+  /// Count-Min estimate of its weight (an overestimate).
+  double estimate = 0.0;
+};
+
+/// Count-Min-backed heavy-hitter tracker: keeps the top-k candidate set
+/// alongside the sketch so queries need no key enumeration.
+class HeavyHitterTracker final {
+ public:
+  /// Tracks up to `capacity` candidates over a sketch of the given accuracy.
+  HeavyHitterTracker(std::size_t capacity, double eps, double delta,
+                     std::uint64_t seed);
+
+  void add(std::uint32_t key, double weight = 1.0);
+
+  /// Current candidates with estimated weight >= `fraction` of the total,
+  /// sorted by descending estimate.
+  [[nodiscard]] std::vector<HeavyHitter> hitters(double fraction) const;
+
+  /// The top `k` candidates regardless of fraction.
+  [[nodiscard]] std::vector<HeavyHitter> top(std::size_t k) const;
+
+  [[nodiscard]] const CountMinSketch& sketch() const noexcept {
+    return sketch_;
+  }
+
+  void reset();
+
+ private:
+  std::size_t capacity_;
+  CountMinSketch sketch_;
+  /// Candidate keys (small: the capacity bounds it).
+  std::vector<std::uint32_t> candidates_;
+};
+
+}  // namespace spca

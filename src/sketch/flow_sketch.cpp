@@ -1,0 +1,61 @@
+#include "sketch/flow_sketch.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+FlowSketch::FlowSketch(std::uint64_t window, double epsilon,
+                       std::size_t sketch_rows,
+                       const ProjectionSource& projection)
+    : rows_(sketch_rows),
+      projection_(projection),
+      histogram_(window, epsilon, 2 * sketch_rows) {
+  SPCA_EXPECTS(sketch_rows >= 1);
+}
+
+FlowSketch FlowSketch::from_state(std::uint64_t window, double epsilon,
+                                  std::size_t sketch_rows,
+                                  const ProjectionSource& projection,
+                                  std::vector<VhBucket> buckets,
+                                  std::int64_t now) {
+  FlowSketch sketch(window, epsilon, sketch_rows, projection);
+  sketch.histogram_ = VarianceHistogram::from_state(
+      window, epsilon, 2 * sketch_rows, std::move(buckets), now);
+  return sketch;
+}
+
+void FlowSketch::add(std::int64_t t, double volume) {
+  std::vector<double> payload(2 * rows_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double r = projection_.value(t, k);
+    payload[k] = volume * r;      // Z contribution (Fig. 3 Step 2)
+    payload[rows_ + k] = r;       // R contribution
+  }
+  histogram_.add(t, volume, payload);
+}
+
+Vector FlowSketch::sketch() const {
+  const VhBucket all = histogram_.aggregate();
+  Vector z(rows_);
+  if (all.count == 0) return z;
+  const double inv_sqrt_l = 1.0 / std::sqrt(static_cast<double>(rows_));
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double z_all = all.payload[k];
+    const double r_all = all.payload[rows_ + k];
+    z[k] = inv_sqrt_l * (z_all - all.mean * r_all);  // eq. (17), see header
+  }
+  return z;
+}
+
+double FlowSketch::mean() const { return histogram_.aggregate().mean; }
+
+std::uint64_t FlowSketch::count() const { return histogram_.aggregate().count; }
+
+double FlowSketch::variance_estimate() const {
+  return histogram_.variance_estimate();
+}
+
+}  // namespace spca

@@ -1,0 +1,43 @@
+#include "sketch/random_projection.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+Matrix project_columns(const Matrix& y, const ProjectionSource& projection,
+                       std::int64_t t_first, std::size_t sketch_rows) {
+  SPCA_EXPECTS(sketch_rows >= 1);
+  const std::size_t n = y.rows();
+  const std::size_t m = y.cols();
+  Matrix z(sketch_rows, m);
+  const double inv_sqrt_l = 1.0 / std::sqrt(static_cast<double>(sketch_rows));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = y.row_span(i);
+    const std::int64_t t = t_first + static_cast<std::int64_t>(i);
+    for (std::size_t k = 0; k < sketch_rows; ++k) {
+      const double r = projection.value(t, k);
+      if (r == 0.0) continue;  // sparse schemes skip most rows
+      for (std::size_t j = 0; j < m; ++j) {
+        z(k, j) += r * row[j];
+      }
+    }
+  }
+  z *= inv_sqrt_l;
+  return z;
+}
+
+Matrix projection_matrix(const ProjectionSource& projection,
+                         std::int64_t t_first, std::size_t n,
+                         std::size_t sketch_rows) {
+  Matrix r(n, sketch_rows);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < sketch_rows; ++k) {
+      r(i, k) = projection.value(t_first + static_cast<std::int64_t>(i), k);
+    }
+  }
+  return r;
+}
+
+}  // namespace spca

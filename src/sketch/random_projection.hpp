@@ -1,0 +1,33 @@
+// Exact (non-streaming) random projection Z = R^T Y / sqrt(l) — eq. (24).
+//
+// This is the quantity the streaming FlowSketch approximates; it is used by
+// tests to verify Lemma 4 (|z-hat|^2 close to |z|^2) and by the ablation
+// bench comparing projection schemes. The coefficient r_ik for the row of Y
+// observed at time t comes from the same ProjectionSource the monitors use.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "rand/projection_source.hpp"
+
+namespace spca {
+
+/// Projects the columns of `y` with the coefficients of `projection`.
+///
+/// Row i of `y` is taken to be the measurement of time `t_first + i`, so the
+/// coefficient applied to it in sketch row k is projection.value(t_first+i,k).
+/// Returns the l x m matrix with entries (1/sqrt(l)) sum_i y_ij r_ik.
+[[nodiscard]] Matrix project_columns(const Matrix& y,
+                                     const ProjectionSource& projection,
+                                     std::int64_t t_first,
+                                     std::size_t sketch_rows);
+
+/// Materializes the l-column random matrix R for the time range
+/// [t_first, t_first + n) — handy for tests of the distributional
+/// properties (Lemmas 2 and 3).
+[[nodiscard]] Matrix projection_matrix(const ProjectionSource& projection,
+                                       std::int64_t t_first, std::size_t n,
+                                       std::size_t sketch_rows);
+
+}  // namespace spca

@@ -1,0 +1,72 @@
+#include "stream/exponential_histogram.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+ExponentialHistogram::ExponentialHistogram(std::uint64_t window,
+                                           double epsilon)
+    : window_(window), epsilon_(epsilon) {
+  SPCA_EXPECTS(window >= 1);
+  SPCA_EXPECTS(epsilon > 0.0 && epsilon <= 1.0);
+  max_per_size_ =
+      static_cast<std::size_t>(std::ceil(1.0 / epsilon)) + 1;
+}
+
+void ExponentialHistogram::advance(std::int64_t t) {
+  SPCA_EXPECTS(t >= now_);
+  now_ = t;
+  expire(t);
+}
+
+void ExponentialHistogram::add(std::int64_t t, std::uint64_t count) {
+  advance(t);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    buckets_.push_front(Bucket{t, 1});
+    ++total_;
+    merge_overflow();
+  }
+}
+
+void ExponentialHistogram::expire(std::int64_t t) {
+  while (!buckets_.empty() &&
+         buckets_.back().timestamp <=
+             t - static_cast<std::int64_t>(window_)) {
+    total_ -= buckets_.back().size;
+    buckets_.pop_back();
+  }
+}
+
+void ExponentialHistogram::merge_overflow() {
+  // Walk size classes from the newest end; whenever a class exceeds its
+  // allowance, merge its two oldest members into the next class.
+  std::size_t begin = 0;
+  while (begin < buckets_.size()) {
+    const std::uint64_t size = buckets_[begin].size;
+    std::size_t end = begin;
+    while (end < buckets_.size() && buckets_[end].size == size) ++end;
+    const std::size_t in_class = end - begin;
+    if (in_class <= max_per_size_) {
+      begin = end;
+      continue;
+    }
+    // Merge the two oldest buckets of this class (indices end-1, end-2);
+    // the merged bucket keeps the newer timestamp and doubled size.
+    Bucket merged{buckets_[end - 2].timestamp, size * 2};
+    buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(end - 1));
+    buckets_[end - 2] = merged;
+    begin = end - 2;  // re-examine the class the merged bucket joined
+  }
+}
+
+double ExponentialHistogram::estimate() const noexcept {
+  if (buckets_.empty()) return 0.0;
+  // All but the oldest bucket are fully inside the window; the oldest bucket
+  // straddles the boundary, so count half of it (the DGIM estimator).
+  return static_cast<double>(total_) -
+         static_cast<double>(buckets_.back().size) / 2.0;
+}
+
+}  // namespace spca

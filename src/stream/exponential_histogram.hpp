@@ -1,0 +1,59 @@
+// Exponential histogram for basic counting over a sliding window.
+//
+// This is the Datar-Gionis-Indyk-Motwani (SODA'02) substrate that the
+// paper's variance histogram generalizes: it maintains an epsilon-accurate
+// count of events over the last `n` time steps in O((1/eps) log n) buckets.
+// Included both as a reference implementation for tests (the VH inherits its
+// bucket-list discipline) and as a useful primitive for volume counting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace spca {
+
+/// Approximate count of events within a sliding window of `window` steps.
+class ExponentialHistogram final {
+ public:
+  /// `epsilon` bounds the relative error of `estimate()`; smaller epsilon
+  /// means more buckets (ceil(1/epsilon) per size class).
+  ExponentialHistogram(std::uint64_t window, double epsilon);
+
+  /// Advances time to `t` (non-decreasing across calls) and records `count`
+  /// events at that instant.
+  void add(std::int64_t t, std::uint64_t count = 1);
+
+  /// Advances time to `t` without recording events (expires old buckets).
+  void advance(std::int64_t t);
+
+  /// Estimated number of events in (t - window, t]: exact total of live
+  /// buckets minus half of the straddling oldest bucket.
+  [[nodiscard]] double estimate() const noexcept;
+
+  /// Exact upper bound on the true count (all live buckets).
+  [[nodiscard]] std::uint64_t upper_bound() const noexcept { return total_; }
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+
+ private:
+  struct Bucket {
+    std::int64_t timestamp;  // most recent event in the bucket
+    std::uint64_t size;      // number of events (a power of two)
+  };
+
+  void expire(std::int64_t t);
+  void merge_overflow();
+
+  std::uint64_t window_;
+  double epsilon_;
+  std::size_t max_per_size_;   // ceil(1/eps) + 1 buckets allowed per size
+  std::int64_t now_ = 0;
+  std::uint64_t total_ = 0;    // sum of live bucket sizes
+  std::deque<Bucket> buckets_; // newest first
+};
+
+}  // namespace spca

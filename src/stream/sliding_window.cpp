@@ -1,0 +1,60 @@
+#include "stream/sliding_window.hpp"
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+SlidingWindowStats::SlidingWindowStats(std::size_t window) : window_(window) {
+  SPCA_EXPECTS(window >= 1);
+}
+
+void SlidingWindowStats::add(double x) {
+  values_.push_back(x);
+  if (values_.size() > window_) values_.pop_front();
+}
+
+double SlidingWindowStats::mean() const {
+  SPCA_EXPECTS(!values_.empty());
+  double sum = 0.0;
+  for (const double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double SlidingWindowStats::sum_squared_deviations() const {
+  SPCA_EXPECTS(!values_.empty());
+  const double m = mean();
+  double sum = 0.0;
+  for (const double v : values_) sum += (v - m) * (v - m);
+  return sum;
+}
+
+SlidingWindowMatrix::SlidingWindowMatrix(std::size_t window,
+                                         std::size_t dimensions)
+    : window_(window), dims_(dimensions) {
+  SPCA_EXPECTS(window >= 1);
+  SPCA_EXPECTS(dimensions >= 1);
+}
+
+void SlidingWindowMatrix::add_row(const Vector& row) {
+  SPCA_EXPECTS(row.size() == dims_);
+  rows_.push_back(row);
+  if (rows_.size() > window_) rows_.pop_front();
+}
+
+Matrix SlidingWindowMatrix::to_matrix() const {
+  Matrix x(rows_.size(), dims_);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    x.set_row(i, rows_[i]);
+  }
+  return x;
+}
+
+Vector SlidingWindowMatrix::column_means() const {
+  SPCA_EXPECTS(!rows_.empty());
+  Vector mean(dims_);
+  for (const auto& r : rows_) mean += r;
+  mean /= static_cast<double>(rows_.size());
+  return mean;
+}
+
+}  // namespace spca

@@ -1,0 +1,72 @@
+// Exact sliding-window containers: the O(n)-space references that the
+// streaming structures approximate, used by the Lakhina baseline detector
+// and as ground truth in tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace spca {
+
+/// Exact last-n scalar window with mean/variance queries.
+class SlidingWindowStats final {
+ public:
+  explicit SlidingWindowStats(std::size_t window);
+
+  /// Appends `x`; the oldest element is evicted when the window is full.
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool full() const noexcept {
+    return values_.size() == window_;
+  }
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+  [[nodiscard]] double mean() const;
+
+  /// Exact sum of squared deviations from the window mean (the V of eq. 10),
+  /// computed in two passes for numerical robustness.
+  [[nodiscard]] double sum_squared_deviations() const;
+
+  /// Window elements, oldest first.
+  [[nodiscard]] const std::deque<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::size_t window_;
+  std::deque<double> values_;
+};
+
+/// Exact last-n window of m-dimensional measurement rows: the X matrix of
+/// Sec. III-B kept incrementally.
+class SlidingWindowMatrix final {
+ public:
+  SlidingWindowMatrix(std::size_t window, std::size_t dimensions);
+
+  /// Appends a measurement row (length `dimensions()`).
+  void add_row(const Vector& row);
+
+  [[nodiscard]] std::size_t count() const noexcept { return rows_.size(); }
+  [[nodiscard]] bool full() const noexcept { return rows_.size() == window_; }
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return dims_; }
+
+  /// Materializes the window as a (count x dimensions) matrix, oldest row
+  /// first — the X handed to PCA.
+  [[nodiscard]] Matrix to_matrix() const;
+
+  /// Mean of each column over the window.
+  [[nodiscard]] Vector column_means() const;
+
+ private:
+  std::size_t window_;
+  std::size_t dims_;
+  std::deque<Vector> rows_;
+};
+
+}  // namespace spca

@@ -1,0 +1,186 @@
+#include "stream/variance_histogram.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+VhBucket merge_buckets(const VhBucket& a, const VhBucket& b) {
+  SPCA_EXPECTS(a.payload.size() == b.payload.size());
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+
+  VhBucket out;
+  out.timestamp = std::min(a.timestamp, b.timestamp);  // the older one
+  out.count = a.count + b.count;                       // eq. (11)
+  const double na = static_cast<double>(a.count);
+  const double nb = static_cast<double>(b.count);
+  out.mean = (na * a.mean + nb * b.mean) / (na + nb);  // eq. (12)
+  const double dmean = a.mean - b.mean;
+  out.variance =
+      a.variance + b.variance + na * nb / (na + nb) * dmean * dmean;  // (13)
+  out.payload.resize(a.payload.size());
+  for (std::size_t k = 0; k < out.payload.size(); ++k) {
+    out.payload[k] = a.payload[k] + b.payload[k];  // eqs. (14), (15)
+  }
+  return out;
+}
+
+VarianceHistogram::VarianceHistogram(std::uint64_t window, double epsilon,
+                                     std::size_t payload_size)
+    : window_(window), epsilon_(epsilon), payload_size_(payload_size) {
+  SPCA_EXPECTS(window >= 2);
+  SPCA_EXPECTS(epsilon > 0.0 && epsilon < 1.0);
+}
+
+VarianceHistogram VarianceHistogram::from_state(std::uint64_t window,
+                                                double epsilon,
+                                                std::size_t payload_size,
+                                                std::vector<VhBucket> buckets,
+                                                std::int64_t now) {
+  VarianceHistogram vh(window, epsilon, payload_size);
+  std::int64_t previous = now + 1;
+  for (const VhBucket& b : buckets) {
+    SPCA_EXPECTS(b.timestamp < previous);
+    SPCA_EXPECTS(b.count >= 1);
+    SPCA_EXPECTS(b.payload.size() == payload_size);
+    previous = b.timestamp;
+  }
+  vh.buckets_.assign(buckets.begin(), buckets.end());
+  vh.now_ = now;
+  vh.has_elements_ = !buckets.empty();
+  return vh;
+}
+
+void VarianceHistogram::add(std::int64_t t, double x,
+                            std::span<const double> payload) {
+  SPCA_EXPECTS(!has_elements_ || t > now_);
+  SPCA_EXPECTS(payload.size() == payload_size_);
+  now_ = t;
+  has_elements_ = true;
+
+  // Step 1: drop the oldest bucket(s) whose time stamp left the window.
+  expire(t);
+
+  // Step 2: the new element becomes bucket B_1.
+  VhBucket fresh;
+  fresh.timestamp = t;
+  fresh.count = 1;
+  fresh.mean = x;
+  fresh.variance = 0.0;
+  fresh.payload.assign(payload.begin(), payload.end());
+  buckets_.push_front(std::move(fresh));
+
+  // Step 3: traverse the list and merge qualified adjacent pairs.
+  compact();
+}
+
+void VarianceHistogram::expire(std::int64_t t) {
+  while (!buckets_.empty() &&
+         buckets_.back().timestamp <=
+             t - static_cast<std::int64_t>(window_)) {
+    buckets_.pop_back();
+  }
+}
+
+namespace {
+
+/// Count/mean/variance triple: the part of a bucket the merge rules read.
+/// Keeping the Fig. 3 traversal payload-free makes the per-element update
+/// cost independent of the sketch length l — the O(l) payload merge is paid
+/// only when a merge actually fires (amortized O(1) merges per element).
+struct ScalarStats {
+  double count = 0.0;
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+ScalarStats scalar_of(const VhBucket& b) noexcept {
+  return {static_cast<double>(b.count), b.mean, b.variance};
+}
+
+ScalarStats scalar_merge(const ScalarStats& a, const ScalarStats& b) noexcept {
+  if (a.count == 0.0) return b;
+  if (b.count == 0.0) return a;
+  ScalarStats out;
+  out.count = a.count + b.count;
+  out.mean = (a.count * a.mean + b.count * b.mean) / out.count;
+  const double dmean = a.mean - b.mean;
+  out.variance =
+      a.variance + b.variance + a.count * b.count / out.count * dmean * dmean;
+  return out;
+}
+
+}  // namespace
+
+void VarianceHistogram::compact() {
+  // Fig. 3, Step 3. `suffix` is B_B = union of buckets_[0 .. p-1] (the
+  // newest p buckets); candidates for merging are buckets_[p] and
+  // buckets_[p+1] (the paper's B_{p+1} and B_{p+2}).
+  std::size_t p = 1;
+  ScalarStats suffix = scalar_of(buckets_.front());
+  while (p + 1 < buckets_.size()) {
+    const ScalarStats candidate =
+        scalar_merge(scalar_of(buckets_[p]), scalar_of(buckets_[p + 1]));
+    // Rule 3: never let a merge candidate plus the suffix exceed n/2.
+    if (candidate.count + suffix.count >
+        static_cast<double>(window_ / 2)) {
+      return;
+    }
+    const ScalarStats with_suffix = scalar_merge(candidate, suffix);
+    const bool rule1 = with_suffix.variance - suffix.variance <=
+                       (epsilon_ / 5.0) * suffix.variance;
+    const bool rule2 =
+        candidate.count <= (epsilon_ / 10.0) * suffix.count;
+    if (rule1 && rule2) {
+      buckets_[p] = merge_buckets(buckets_[p], buckets_[p + 1]);
+      buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(p + 1));
+    } else {
+      suffix = scalar_merge(suffix, scalar_of(buckets_[p]));
+      ++p;
+    }
+  }
+}
+
+VhBucket VarianceHistogram::aggregate() const {
+  // In-place accumulation: one payload buffer for the whole pass instead of
+  // an O(l) allocation per bucket.
+  VhBucket all;
+  all.payload.assign(payload_size_, 0.0);
+  for (auto it = buckets_.rbegin(); it != buckets_.rend(); ++it) {
+    const VhBucket& b = *it;
+    if (all.count == 0) {
+      all.timestamp = b.timestamp;
+      all.count = b.count;
+      all.mean = b.mean;
+      all.variance = b.variance;
+    } else {
+      const double na = static_cast<double>(all.count);
+      const double nb = static_cast<double>(b.count);
+      const double dmean = all.mean - b.mean;
+      all.variance += b.variance + na * nb / (na + nb) * dmean * dmean;
+      all.mean = (na * all.mean + nb * b.mean) / (na + nb);
+      all.count += b.count;
+      all.timestamp = std::min(all.timestamp, b.timestamp);
+    }
+    for (std::size_t k = 0; k < payload_size_; ++k) {
+      all.payload[k] += b.payload[k];
+    }
+  }
+  return all;
+}
+
+double VarianceHistogram::variance_estimate() const {
+  return aggregate().variance;
+}
+
+std::size_t VarianceHistogram::memory_bytes() const noexcept {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& b : buckets_) {
+    bytes += sizeof(VhBucket) + b.payload.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace spca

@@ -1,0 +1,57 @@
+#include "synth/address_model.hpp"
+
+#include "common/contracts.hpp"
+#include "rand/distributions.hpp"
+#include "rand/splitmix64.hpp"
+#include "rand/xoshiro256.hpp"
+#include "rand/zipf.hpp"
+
+namespace spca {
+
+void assign_addresses(std::vector<Packet>& packets, const AddressModel& model,
+                      std::uint64_t seed) {
+  SPCA_EXPECTS(model.hosts_per_router >= 1);
+  const ZipfSampler zipf(model.hosts_per_router, model.zipf_exponent);
+  Xoshiro256 gen(splitmix64_mix(seed ^ 0xaddaULL));
+  for (Packet& p : packets) {
+    p.src_addr = host_address(
+        p.origin, static_cast<std::uint32_t>(zipf(gen)));
+    p.dst_addr = host_address(
+        p.destination, static_cast<std::uint32_t>(zipf(gen)));
+  }
+}
+
+std::vector<Packet> synthesize_scan_packets(FlowId flow,
+                                            std::uint32_t num_routers,
+                                            std::int64_t interval,
+                                            std::size_t count,
+                                            std::uint32_t bytes_each,
+                                            const AddressModel& model,
+                                            std::uint64_t seed) {
+  SPCA_EXPECTS(count >= 1);
+  SPCA_EXPECTS(bytes_each >= 1);
+  const OdPair od = od_pair_of(flow, num_routers);
+  Xoshiro256 gen(splitmix64_mix(seed ^ 0x5ca9ULL));
+  // One fixed scanning source host.
+  const std::uint32_t scanner = host_address(
+      od.origin, static_cast<std::uint32_t>(
+                     uniform_index(gen, model.hosts_per_router)));
+  std::vector<Packet> packets;
+  packets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Packet p;
+    p.origin = od.origin;
+    p.destination = od.destination;
+    p.size_bytes = bytes_each;
+    p.interval = interval;
+    p.src_addr = scanner;
+    // Uniform sweep across the victim pool: maximal-entropy destinations.
+    p.dst_addr = host_address(
+        od.destination, static_cast<std::uint32_t>(
+                            uniform_index(gen, model.hosts_per_router)));
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+}  // namespace spca

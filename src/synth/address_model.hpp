@@ -1,0 +1,47 @@
+// End-host address synthesis for the entropy measurement pipeline.
+//
+// Normal traffic: each router fronts a pool of hosts whose activity is
+// Zipf-distributed (few heavy talkers, long tail) — the structure whose
+// per-flow address entropy is stable interval over interval. Scan traffic:
+// one source sweeping uniformly random destination addresses — tiny in
+// bytes, glaring in destination-address entropy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/flow.hpp"
+
+namespace spca {
+
+/// Parameters of the normal address-popularity model.
+struct AddressModel {
+  /// Hosts attached behind each router.
+  std::uint32_t hosts_per_router = 512;
+  /// Zipf popularity exponent (0 = uniform; ~1 is Internet-like).
+  double zipf_exponent = 1.0;
+};
+
+/// Address of host `host` behind router `router` (disjoint per-router
+/// pools).
+[[nodiscard]] constexpr std::uint32_t host_address(RouterId router,
+                                                   std::uint32_t host) noexcept {
+  return (router << 20) | host;
+}
+
+/// Fills src_addr/dst_addr of every packet: the source is a Zipf draw from
+/// the origin router's pool, the destination from the destination router's
+/// pool. Deterministic in `seed`.
+void assign_addresses(std::vector<Packet>& packets, const AddressModel& model,
+                      std::uint64_t seed);
+
+/// Synthesizes a port/address-scan burst: `count` small packets from ONE
+/// source host behind the flow's origin toward uniformly random
+/// destination addresses behind the flow's destination router — the
+/// low-volume, high-entropy anomaly of Sec. I.
+[[nodiscard]] std::vector<Packet> synthesize_scan_packets(
+    FlowId flow, std::uint32_t num_routers, std::int64_t interval,
+    std::size_t count, std::uint32_t bytes_each, const AddressModel& model,
+    std::uint64_t seed);
+
+}  // namespace spca

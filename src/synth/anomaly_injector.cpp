@@ -1,0 +1,263 @@
+#include "synth/anomaly_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/stats.hpp"
+#include "rand/distributions.hpp"
+#include "rand/splitmix64.hpp"
+
+namespace spca {
+
+namespace {
+
+/// Clamps an episode to the trace and returns the inclusive end interval.
+std::int64_t clamp_episode(const TraceSet& trace, std::int64_t start,
+                           std::int64_t duration) {
+  SPCA_EXPECTS(duration >= 1);
+  SPCA_EXPECTS(start >= 0 &&
+               static_cast<std::size_t>(start) < trace.num_intervals());
+  const std::int64_t last =
+      std::min<std::int64_t>(start + duration - 1,
+                             static_cast<std::int64_t>(trace.num_intervals()) - 1);
+  return last;
+}
+
+}  // namespace
+
+AnomalyInjector::AnomalyInjector(const Topology& topology, std::uint64_t seed)
+    : topology_(topology), rng_state_(seed) {}
+
+std::uint64_t AnomalyInjector::next_u64() {
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  return splitmix64_mix(rng_state_);
+}
+
+void AnomalyInjector::inject_ddos(TraceSet& trace, std::int64_t start,
+                                  std::int64_t duration, RouterId victim,
+                                  double magnitude) {
+  SPCA_EXPECTS(victim < topology_.num_routers());
+  SPCA_EXPECTS(magnitude > 0.0);
+  const std::int64_t last = clamp_episode(trace, start, duration);
+  const std::uint32_t r = topology_.num_routers();
+
+  AnomalyEvent event{start, last, {}, "ddos", magnitude};
+  for (RouterId o = 0; o < r; ++o) {
+    if (o == victim) continue;
+    const FlowId f = od_flow_id(o, victim, r);
+    event.flows.push_back(f);
+    for (std::int64_t t = start; t <= last; ++t) {
+      trace.volumes()(static_cast<std::size_t>(t), f) *= 1.0 + magnitude;
+    }
+  }
+  trace.add_event(std::move(event));
+}
+
+void AnomalyInjector::inject_botnet(TraceSet& trace, std::int64_t start,
+                                    std::int64_t duration,
+                                    const std::vector<FlowId>& flows,
+                                    double fraction_of_std) {
+  SPCA_EXPECTS(!flows.empty());
+  SPCA_EXPECTS(fraction_of_std > 0.0);
+  const std::int64_t last = clamp_episode(trace, start, duration);
+  const Vector variances = column_variances(trace.volumes());
+
+  AnomalyEvent event{start, last, flows, "botnet", fraction_of_std};
+  for (const FlowId f : flows) {
+    SPCA_EXPECTS(f < trace.num_flows());
+    const double delta = fraction_of_std * std::sqrt(variances[f]);
+    for (std::int64_t t = start; t <= last; ++t) {
+      trace.volumes()(static_cast<std::size_t>(t), f) += delta;
+    }
+  }
+  trace.add_event(std::move(event));
+}
+
+Vector AnomalyInjector::local_std(const TraceSet& trace) {
+  SPCA_EXPECTS(trace.num_intervals() >= 2);
+  const std::size_t n = trace.num_intervals();
+  Vector out(trace.num_flows());
+  for (std::size_t j = 0; j < trace.num_flows(); ++j) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t t = 1; t < n; ++t) {
+      const double d = trace.volumes()(t, j) - trace.volumes()(t - 1, j);
+      sum += d;
+      sum2 += d * d;
+    }
+    const double count = static_cast<double>(n - 1);
+    const double var = sum2 / count - (sum / count) * (sum / count);
+    // Var(x_t - x_{t-1}) = 2 Var(x) for weakly dependent noise.
+    out[j] = std::sqrt(std::max(var, 0.0) / 2.0);
+  }
+  return out;
+}
+
+void AnomalyInjector::inject_botnet_local(TraceSet& trace, std::int64_t start,
+                                          std::int64_t duration,
+                                          const std::vector<FlowId>& flows,
+                                          double fraction_of_local_std) {
+  SPCA_EXPECTS(!flows.empty());
+  SPCA_EXPECTS(fraction_of_local_std > 0.0);
+  const std::int64_t last = clamp_episode(trace, start, duration);
+  const Vector sigma = local_std(trace);
+
+  AnomalyEvent event{start, last, flows, "botnet", fraction_of_local_std};
+  for (const FlowId f : flows) {
+    SPCA_EXPECTS(f < trace.num_flows());
+    const double delta = fraction_of_local_std * sigma[f];
+    for (std::int64_t t = start; t <= last; ++t) {
+      trace.volumes()(static_cast<std::size_t>(t), f) += delta;
+    }
+  }
+  trace.add_event(std::move(event));
+}
+
+void AnomalyInjector::inject_flash_crowd(TraceSet& trace, std::int64_t start,
+                                         std::int64_t duration, RouterId dest,
+                                         double peak_magnitude) {
+  SPCA_EXPECTS(dest < topology_.num_routers());
+  SPCA_EXPECTS(peak_magnitude > 0.0);
+  const std::int64_t last = clamp_episode(trace, start, duration);
+  const std::uint32_t r = topology_.num_routers();
+  const double len = static_cast<double>(last - start + 1);
+
+  AnomalyEvent event{start, last, {}, "flash-crowd", peak_magnitude};
+  for (RouterId o = 0; o < r; ++o) {
+    if (o == dest) continue;
+    const FlowId f = od_flow_id(o, dest, r);
+    event.flows.push_back(f);
+    for (std::int64_t t = start; t <= last; ++t) {
+      // Triangular ramp peaking mid-episode.
+      const double pos = (static_cast<double>(t - start) + 0.5) / len;
+      const double ramp = 1.0 - std::abs(2.0 * pos - 1.0);
+      trace.volumes()(static_cast<std::size_t>(t), f) *=
+          1.0 + peak_magnitude * ramp;
+    }
+  }
+  trace.add_event(std::move(event));
+}
+
+void AnomalyInjector::inject_outage(TraceSet& trace, std::int64_t start,
+                                    std::int64_t duration, RouterId router,
+                                    double residual) {
+  SPCA_EXPECTS(router < topology_.num_routers());
+  SPCA_EXPECTS(residual >= 0.0 && residual < 1.0);
+  const std::int64_t last = clamp_episode(trace, start, duration);
+  const std::uint32_t r = topology_.num_routers();
+
+  AnomalyEvent event{start, last, {}, "outage", 1.0 - residual};
+  for (RouterId other = 0; other < r; ++other) {
+    if (other == router) continue;
+    for (const FlowId f : {od_flow_id(other, router, r),
+                           od_flow_id(router, other, r)}) {
+      event.flows.push_back(f);
+      for (std::int64_t t = start; t <= last; ++t) {
+        trace.volumes()(static_cast<std::size_t>(t), f) *= residual;
+      }
+    }
+  }
+  trace.add_event(std::move(event));
+}
+
+void AnomalyInjector::inject_scan(TraceSet& trace, std::int64_t start,
+                                  std::int64_t duration, RouterId origin,
+                                  double added_bytes) {
+  SPCA_EXPECTS(origin < topology_.num_routers());
+  SPCA_EXPECTS(added_bytes > 0.0);
+  const std::int64_t last = clamp_episode(trace, start, duration);
+  const std::uint32_t r = topology_.num_routers();
+
+  AnomalyEvent event{start, last, {}, "scan", added_bytes};
+  for (RouterId d = 0; d < r; ++d) {
+    if (d == origin) continue;
+    const FlowId f = od_flow_id(origin, d, r);
+    event.flows.push_back(f);
+    for (std::int64_t t = start; t <= last; ++t) {
+      trace.volumes()(static_cast<std::size_t>(t), f) += added_bytes;
+    }
+  }
+  trace.add_event(std::move(event));
+}
+
+std::vector<FlowId> AnomalyInjector::random_flows(std::size_t k) {
+  const std::uint32_t r = topology_.num_routers();
+  std::vector<FlowId> all;
+  for (RouterId o = 0; o < r; ++o) {
+    for (RouterId d = 0; d < r; ++d) {
+      if (o != d) all.push_back(od_flow_id(o, d, r));
+    }
+  }
+  SPCA_EXPECTS(k <= all.size());
+  // Partial Fisher-Yates shuffle.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(next_u64() % (all.size() - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+std::vector<AnomalyEvent> AnomalyInjector::inject_mixture(TraceSet& trace,
+                                                          std::size_t count,
+                                                          std::int64_t first,
+                                                          std::int64_t last) {
+  SPCA_EXPECTS(first >= 0 && last > first);
+  SPCA_EXPECTS(static_cast<std::size_t>(last) <= trace.num_intervals());
+  const std::size_t before = trace.events().size();
+  std::vector<bool> occupied(trace.num_intervals(), false);
+  const std::uint32_t r = topology_.num_routers();
+
+  std::size_t injected = 0;
+  std::size_t attempts = 0;
+  while (injected < count && attempts < count * 50) {
+    ++attempts;
+    const std::int64_t duration = 1 + static_cast<std::int64_t>(next_u64() % 4);
+    const std::int64_t span = last - first - duration;
+    if (span <= 0) break;
+    const std::int64_t start =
+        first + static_cast<std::int64_t>(next_u64() % static_cast<std::uint64_t>(span));
+    // Keep one clean interval of padding around every episode so labels are
+    // unambiguous.
+    bool clash = false;
+    for (std::int64_t t = std::max<std::int64_t>(start - 1, 0);
+         t <= start + duration && !clash; ++t) {
+      clash = occupied[static_cast<std::size_t>(t)];
+    }
+    if (clash) continue;
+
+    const std::uint64_t kind = next_u64() % 10;
+    if (kind < 5) {
+      const std::size_t num_flows = 4 + next_u64() % 5;
+      inject_botnet(trace, start, duration, random_flows(num_flows),
+                    2.5 + 0.5 * static_cast<double>(next_u64() % 4));
+    } else if (kind < 7) {
+      inject_ddos(trace, start, duration,
+                  static_cast<RouterId>(next_u64() % r),
+                  1.0 + 0.25 * static_cast<double>(next_u64() % 8));
+    } else if (kind < 8) {
+      inject_flash_crowd(trace, start, std::max<std::int64_t>(duration, 2),
+                         static_cast<RouterId>(next_u64() % r),
+                         1.0 + 0.25 * static_cast<double>(next_u64() % 6));
+    } else if (kind < 9) {
+      inject_outage(trace, start, duration,
+                    static_cast<RouterId>(next_u64() % r), 0.15);
+    } else {
+      // Scan volume: a few percent of the network mean per-flow volume.
+      const double mean_volume =
+          column_means(trace.volumes())[od_flow_id(0, 1, r)];
+      inject_scan(trace, start, duration,
+                  static_cast<RouterId>(next_u64() % r), 0.5 * mean_volume);
+    }
+    const auto& e = trace.events().back();
+    for (std::int64_t t = e.start; t <= e.end; ++t) {
+      occupied[static_cast<std::size_t>(t)] = true;
+    }
+    ++injected;
+  }
+  return {trace.events().begin() + static_cast<std::ptrdiff_t>(before),
+          trace.events().end()};
+}
+
+}  // namespace spca

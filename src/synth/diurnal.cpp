@@ -1,0 +1,25 @@
+#include "synth/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace spca {
+
+double diurnal_multiplier(const DiurnalProfile& profile,
+                          double t_seconds) noexcept {
+  const double day = t_seconds / profile.day_seconds;
+  const double phase =
+      2.0 * std::numbers::pi * (day - profile.peak_fraction);
+  double mult = 1.0 + profile.daily_amplitude * std::cos(phase) +
+                profile.harmonic_amplitude * std::cos(2.0 * phase);
+
+  // Weekday index 0..6; days 5 and 6 of each week are the weekend.
+  const double day_of_week = std::fmod(day, 7.0);
+  if (day_of_week >= 5.0) {
+    mult *= 1.0 - profile.weekend_dip;
+  }
+  return std::max(mult, profile.floor);
+}
+
+}  // namespace spca

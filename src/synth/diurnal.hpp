@@ -1,0 +1,31 @@
+// Deterministic seasonal traffic shape: the smooth daily/weekly cycle that
+// dominates backbone OD-flow volume series (clearly visible in the paper's
+// Fig. 5 plots of Abilene flows).
+#pragma once
+
+#include <cstdint>
+
+namespace spca {
+
+/// Parameters of the seasonal profile. The returned multiplier is >= floor
+/// and averages roughly 1.0 over a week.
+struct DiurnalProfile {
+  /// Seconds per day in trace time (86400 for real traces).
+  double day_seconds = 86400.0;
+  /// Relative amplitude of the daily cycle (0 = flat).
+  double daily_amplitude = 0.45;
+  /// Relative amplitude of the second harmonic (sharpens the evening peak).
+  double harmonic_amplitude = 0.15;
+  /// Weekend suppression factor in [0, 1) (0.25 = weekends 25% lower).
+  double weekend_dip = 0.25;
+  /// Phase of the daily peak, as a fraction of a day (0.58 ~ 2pm local).
+  double peak_fraction = 0.58;
+  /// Lower bound on the multiplier.
+  double floor = 0.15;
+};
+
+/// The seasonal multiplier at absolute time `t_seconds` from trace start.
+[[nodiscard]] double diurnal_multiplier(const DiurnalProfile& profile,
+                                        double t_seconds) noexcept;
+
+}  // namespace spca

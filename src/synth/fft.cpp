@@ -1,0 +1,51 @@
+#include "synth/fft.hpp"
+
+#include <numbers>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+std::size_t next_power_of_two(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  SPCA_EXPECTS((n & (n - 1)) == 0);
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) *
+        (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+}  // namespace spca

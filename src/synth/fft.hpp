@@ -1,0 +1,19 @@
+// Radix-2 complex FFT — the substrate for the Davies-Harte fractional
+// Gaussian noise sampler. Iterative in-place Cooley-Tukey; sizes must be
+// powers of two.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace spca {
+
+/// In-place FFT of `data` (size must be a power of two; 0 and 1 are
+/// trivially allowed). `inverse` applies the conjugate transform and the
+/// 1/N normalization.
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_power_of_two(std::size_t n) noexcept;
+
+}  // namespace spca

@@ -1,0 +1,114 @@
+#include "synth/fgn.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+#include "synth/fft.hpp"
+
+namespace spca {
+
+double fgn_autocovariance(std::size_t lag, double hurst) {
+  SPCA_EXPECTS(hurst > 0.0 && hurst < 1.0);
+  const double k = static_cast<double>(lag);
+  const double two_h = 2.0 * hurst;
+  return 0.5 * (std::pow(k + 1.0, two_h) - 2.0 * std::pow(k, two_h) +
+                std::pow(std::abs(k - 1.0), two_h));
+}
+
+std::vector<double> fgn_davies_harte(std::size_t n, double hurst,
+                                     std::uint64_t seed) {
+  SPCA_EXPECTS(n >= 1);
+  SPCA_EXPECTS(hurst > 0.0 && hurst < 1.0);
+
+  // Build a circulant embedding of the covariance over M = 2 * 2^ceil points
+  // so the FFT size is a power of two. First row:
+  //   c = [g(0), g(1), ..., g(M/2), g(M/2 - 1), ..., g(1)].
+  const std::size_t half = next_power_of_two(n);
+  const std::size_t m = 2 * half;
+  std::vector<std::complex<double>> c(m);
+  for (std::size_t k = 0; k <= half; ++k) {
+    c[k] = fgn_autocovariance(k, hurst);
+  }
+  for (std::size_t k = half + 1; k < m; ++k) {
+    c[k] = c[m - k];
+  }
+
+  // Eigenvalues of the circulant = FFT of its first row. They are
+  // non-negative for fGn; clamp the tiny negatives rounding introduces.
+  fft(c, /*inverse=*/false);
+  std::vector<double> lambda(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double ev = c[k].real();
+    if (ev < -1e-8 * static_cast<double>(m)) {
+      throw NumericalError(
+          "fgn_davies_harte: circulant embedding not nonnegative definite");
+    }
+    lambda[k] = ev > 0.0 ? ev : 0.0;
+  }
+
+  // Synthesize: W_k complex Gaussian with the Davies-Harte symmetry rules,
+  // X = FFT(W)/sqrt(M) restricted to the first n points.
+  Xoshiro256 gen(seed);
+  std::vector<std::complex<double>> w(m);
+  w[0] = std::sqrt(lambda[0]) * standard_normal(gen);
+  w[half] = std::sqrt(lambda[half]) * standard_normal(gen);
+  for (std::size_t k = 1; k < half; ++k) {
+    const double a = standard_normal(gen);
+    const double b = standard_normal(gen);
+    const double scale = std::sqrt(lambda[k] / 2.0);
+    w[k] = std::complex<double>(scale * a, scale * b);
+    w[m - k] = std::conj(w[k]);
+  }
+  fft(w, /*inverse=*/false);
+
+  std::vector<double> out(n);
+  const double norm = 1.0 / std::sqrt(static_cast<double>(m));
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = w[i].real() * norm;
+  }
+  return out;
+}
+
+std::vector<double> fgn_hosking(std::size_t n, double hurst,
+                                std::uint64_t seed) {
+  SPCA_EXPECTS(n >= 1);
+  SPCA_EXPECTS(hurst > 0.0 && hurst < 1.0);
+
+  Xoshiro256 gen(seed ^ 0x9d2c5680u);
+  std::vector<double> out(n);
+  std::vector<double> phi(n, 0.0);      // current AR coefficients
+  std::vector<double> prev_phi(n, 0.0);
+  double v = 1.0;  // innovation variance
+
+  out[0] = standard_normal(gen);
+  for (std::size_t i = 1; i < n; ++i) {
+    // Durbin-Levinson update of the AR(i) coefficients.
+    double acc = fgn_autocovariance(i, hurst);
+    for (std::size_t j = 1; j < i; ++j) {
+      acc -= prev_phi[j - 1] * fgn_autocovariance(i - j, hurst);
+    }
+    const double kappa = acc / v;
+    phi[i - 1] = kappa;
+    for (std::size_t j = 0; j + 1 < i; ++j) {
+      phi[j] = prev_phi[j] - kappa * prev_phi[i - 2 - j];
+    }
+    v *= 1.0 - kappa * kappa;
+    if (v <= 0.0) {
+      throw NumericalError("fgn_hosking: innovation variance collapsed");
+    }
+
+    double mean = 0.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      mean += phi[j] * out[i - 1 - j];
+    }
+    out[i] = mean + std::sqrt(v) * standard_normal(gen);
+    prev_phi = phi;
+  }
+  return out;
+}
+
+}  // namespace spca

@@ -1,0 +1,30 @@
+// Fractional Gaussian noise: the long-range-dependent noise process that
+// makes the synthetic traffic exhibit the "huge fluctuations and long range
+// dependence" the paper attributes to Internet traffic (Sec. I).
+//
+// Two samplers are provided:
+//  * Davies-Harte circulant embedding — exact and O(n log n) via the FFT
+//    substrate; used by the traffic generator.
+//  * Hosking's recursive method — exact and O(n^2); used in tests as an
+//    independent cross-check of the Davies-Harte output distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spca {
+
+/// Autocovariance gamma(k) of unit-variance fGn with Hurst exponent `hurst`.
+[[nodiscard]] double fgn_autocovariance(std::size_t lag, double hurst);
+
+/// Samples `n` points of unit-variance fGn via Davies-Harte circulant
+/// embedding. Requires 0 < hurst < 1. Deterministic in `seed`.
+[[nodiscard]] std::vector<double> fgn_davies_harte(std::size_t n, double hurst,
+                                                   std::uint64_t seed);
+
+/// Samples `n` points of unit-variance fGn via Hosking's method (O(n^2);
+/// intended for tests and short series).
+[[nodiscard]] std::vector<double> fgn_hosking(std::size_t n, double hurst,
+                                              std::uint64_t seed);
+
+}  // namespace spca

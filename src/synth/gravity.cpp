@@ -1,0 +1,34 @@
+#include "synth/gravity.hpp"
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+Vector gravity_means(const std::vector<double>& router_weights,
+                     double total_bytes_per_interval, double self_fraction) {
+  const std::size_t r = router_weights.size();
+  SPCA_EXPECTS(r >= 2);
+  SPCA_EXPECTS(total_bytes_per_interval > 0.0);
+  SPCA_EXPECTS(self_fraction >= 0.0);
+  for (const double w : router_weights) SPCA_EXPECTS(w > 0.0);
+
+  Vector means(r * r);
+  double unnormalized_total = 0.0;
+  for (std::size_t o = 0; o < r; ++o) {
+    for (std::size_t d = 0; d < r; ++d) {
+      double v = router_weights[o] * router_weights[d];
+      if (o == d) v *= self_fraction;
+      means[o * r + d] = v;
+      unnormalized_total += v;
+    }
+  }
+  means *= total_bytes_per_interval / unnormalized_total;
+  return means;
+}
+
+std::vector<double> abilene_router_weights() {
+  // ATLA, CHIC, HOUS, KANS, LOSA, NEWY, SALT, SEAT, WASH.
+  return {1.1, 1.6, 0.9, 0.6, 1.5, 1.8, 0.5, 0.8, 1.3};
+}
+
+}  // namespace spca

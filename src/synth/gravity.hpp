@@ -1,0 +1,30 @@
+// Gravity model for the OD traffic matrix: mean volume of flow (o, d) is
+// proportional to w_o * w_d, the standard first-order model of backbone
+// traffic matrices (Zhang et al., SIGMETRICS'03) and a good fit for Abilene.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "traffic/topology.hpp"
+
+namespace spca {
+
+/// Mean OD volumes (bytes per interval) for all R^2 flows, including the
+/// (small) intra-router o == d flows.
+///
+/// `router_weights` are relative activity levels (think: attached user
+/// population); `total_bytes_per_interval` is the network-wide mean volume
+/// the matrix is normalized to; `self_fraction` scales the o == d diagonal
+/// relative to the gravity prediction (backbone self-flows are tiny).
+[[nodiscard]] Vector gravity_means(const std::vector<double>& router_weights,
+                                   double total_bytes_per_interval,
+                                   double self_fraction = 0.05);
+
+/// Default router weights for the 9-router Abilene instance: rough relative
+/// activity by metro size (ATLA, CHIC, HOUS, KANS, LOSA, NEWY, SALT, SEAT,
+/// WASH order).
+[[nodiscard]] std::vector<double> abilene_router_weights();
+
+}  // namespace spca

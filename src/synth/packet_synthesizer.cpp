@@ -1,0 +1,67 @@
+#include "synth/packet_synthesizer.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "rand/distributions.hpp"
+#include "rand/splitmix64.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+
+std::vector<Packet> synthesize_packets(double volume, FlowId flow,
+                                       std::uint32_t num_routers,
+                                       std::int64_t interval,
+                                       const PacketSizeModel& model,
+                                       std::uint64_t seed) {
+  SPCA_EXPECTS(volume >= 0.0);
+  SPCA_EXPECTS(model.small_bytes > 0 && model.large_bytes >= model.small_bytes);
+  SPCA_EXPECTS(model.large_fraction >= 0.0 && model.large_fraction <= 1.0);
+  const OdPair od = od_pair_of(flow, num_routers);
+
+  std::vector<Packet> packets;
+  Xoshiro256 gen(splitmix64_mix(seed ^ (0xf1ee0000ULL + flow)));
+  double remaining = volume;
+  while (remaining >= static_cast<double>(model.small_bytes)) {
+    const bool large =
+        bits_to_unit_double(gen()) < model.large_fraction &&
+        remaining >= static_cast<double>(model.large_bytes);
+    const std::uint32_t size = large ? model.large_bytes : model.small_bytes;
+    packets.push_back(Packet{od.origin, od.destination, size, interval});
+    remaining -= static_cast<double>(size);
+  }
+  if (remaining > 0.5 && !packets.empty()) {
+    // Fold the rounding remainder into the last packet.
+    packets.back().size_bytes += static_cast<std::uint32_t>(remaining + 0.5);
+  } else if (remaining > 0.5) {
+    packets.push_back(Packet{od.origin, od.destination,
+                             static_cast<std::uint32_t>(remaining + 0.5),
+                             interval});
+  }
+  return packets;
+}
+
+std::vector<Packet> synthesize_interval(const TraceSet& trace,
+                                        std::size_t interval,
+                                        std::uint32_t num_routers,
+                                        const PacketSizeModel& model,
+                                        std::uint64_t seed) {
+  SPCA_EXPECTS(interval < trace.num_intervals());
+  std::vector<Packet> stream;
+  for (std::size_t j = 0; j < trace.num_flows(); ++j) {
+    auto packets = synthesize_packets(
+        trace.volumes()(interval, j), static_cast<FlowId>(j), num_routers,
+        static_cast<std::int64_t>(interval), model,
+        splitmix64_mix(seed + interval));
+    stream.insert(stream.end(), packets.begin(), packets.end());
+  }
+  // Interleave arrivals: Fisher-Yates with a deterministic stream.
+  Xoshiro256 gen(splitmix64_mix(seed ^ 0xdeadbeefULL) + interval);
+  for (std::size_t i = stream.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(uniform_index(gen, i));
+    std::swap(stream[i - 1], stream[j]);
+  }
+  return stream;
+}
+
+}  // namespace spca

@@ -1,0 +1,36 @@
+// Expands interval-level OD volumes back into a packet stream, so the full
+// local-monitor path (packet -> aggregation -> Volume Counter -> VH) can be
+// exercised end-to-end in examples and integration tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/flow.hpp"
+#include "traffic/trace.hpp"
+
+namespace spca {
+
+/// Packet-size model: a bimodal mix of small (ACK-sized) and large
+/// (MTU-sized) packets, the classic backbone distribution.
+struct PacketSizeModel {
+  std::uint32_t small_bytes = 64;
+  std::uint32_t large_bytes = 1500;
+  /// Fraction of packets that are large.
+  double large_fraction = 0.55;
+};
+
+/// Generates the packets of one interval for one flow, consuming `volume`
+/// bytes (the last packet absorbs rounding). Deterministic in `seed`.
+[[nodiscard]] std::vector<Packet> synthesize_packets(
+    double volume, FlowId flow, std::uint32_t num_routers,
+    std::int64_t interval, const PacketSizeModel& model, std::uint64_t seed);
+
+/// Generates the full packet stream of one interval of a trace (all flows),
+/// in randomized arrival order.
+[[nodiscard]] std::vector<Packet> synthesize_interval(
+    const TraceSet& trace, std::size_t interval,
+    std::uint32_t num_routers, const PacketSizeModel& model,
+    std::uint64_t seed);
+
+}  // namespace spca

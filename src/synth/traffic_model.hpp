@@ -1,0 +1,52 @@
+// Synthetic network-wide traffic generator.
+//
+// Substitutes for the Abilene Observatory NetFlow collection (Sec. VI): OD
+// flow volumes over the 9-router topology with the statistical structure
+// the detection method actually interacts with —
+//   * gravity-model spatial structure (few dominant flows),
+//   * smooth diurnal/weekly seasonality shared by all flows,
+//   * long-range-dependent multiplicative noise: one network-wide fGn
+//     factor (spatial correlation -> a low-dimensional normal subspace)
+//     plus an independent per-flow fGn factor,
+//   * light i.i.d. measurement noise.
+// The normal traffic thus lives near a low-dimensional subspace, which is
+// precisely the premise of PCA-based detection (Sec. III-C).
+#pragma once
+
+#include <cstdint>
+
+#include "synth/diurnal.hpp"
+#include "traffic/topology.hpp"
+#include "traffic/trace.hpp"
+
+namespace spca {
+
+/// Knobs of the synthetic traffic model.
+struct TrafficModelConfig {
+  /// Number of measurement intervals to generate.
+  std::size_t num_intervals = 4032;
+  /// Interval length (300 s and 60 s in the paper's evaluation).
+  double interval_seconds = 300.0;
+  /// Hurst exponent of the fGn factors (Internet traffic: ~0.75-0.85).
+  double hurst = 0.8;
+  /// Amplitude of the shared network-wide log-factor.
+  double network_noise = 0.10;
+  /// Amplitude of the per-flow log-factor.
+  double flow_noise = 0.16;
+  /// Amplitude of i.i.d. measurement noise.
+  double measurement_noise = 0.04;
+  /// Mean network-wide volume in bytes per second (scaled by interval).
+  double bytes_per_second = 8.0e6;
+  /// Diagonal (o == d) scaling of the gravity model.
+  double self_fraction = 0.05;
+  /// Seasonal profile.
+  DiurnalProfile diurnal;
+  /// Master seed; every flow derives its own stream deterministically.
+  std::uint64_t seed = 1;
+};
+
+/// Generates a labelled (initially anomaly-free) trace over `topology`.
+[[nodiscard]] TraceSet generate_traffic(const Topology& topology,
+                                        const TrafficModelConfig& config);
+
+}  // namespace spca

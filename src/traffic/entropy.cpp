@@ -1,0 +1,64 @@
+#include "traffic/entropy.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+void EntropyCounter::add(std::uint32_t value, std::uint64_t weight) {
+  SPCA_EXPECTS(weight >= 1);
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+double EntropyCounter::entropy_bits() const {
+  if (counts_.size() < 2) return 0.0;
+  double h = 0.0;
+  const double n = static_cast<double>(total_);
+  for (const auto& [value, count] : counts_) {
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double EntropyCounter::normalized_entropy() const {
+  if (counts_.size() < 2) return 0.0;
+  return entropy_bits() / std::log2(static_cast<double>(counts_.size()));
+}
+
+void EntropyCounter::reset() {
+  counts_.clear();
+  total_ = 0;
+}
+
+EntropyAggregator::EntropyAggregator(std::uint32_t num_flows, Feature feature)
+    : feature_(feature), counters_(num_flows) {
+  SPCA_EXPECTS(num_flows >= 1);
+}
+
+void EntropyAggregator::record(const Packet& packet,
+                               std::uint32_t num_routers) {
+  const FlowId flow =
+      od_flow_id(packet.origin, packet.destination, num_routers);
+  SPCA_EXPECTS(flow < counters_.size());
+  counters_[flow].add(feature_ == Feature::kSourceAddress ? packet.src_addr
+                                                          : packet.dst_addr);
+}
+
+Vector EntropyAggregator::end_interval() {
+  Vector h(counters_.size());
+  for (std::size_t j = 0; j < counters_.size(); ++j) {
+    h[j] = counters_[j].entropy_bits();
+    counters_[j].reset();
+  }
+  return h;
+}
+
+const EntropyCounter& EntropyAggregator::counter(FlowId flow) const {
+  SPCA_EXPECTS(flow < counters_.size());
+  return counters_[flow];
+}
+
+}  // namespace spca

@@ -1,0 +1,77 @@
+// Feature-entropy measurements: the alternative x_ij of Sec. III-B ("the
+// entropy of IP addresses, the frequency of the byte values in the
+// payload, and so forth"), following Lakhina et al., SIGCOMM'05 (ref [4]).
+//
+// Volume is blind to anomalies that move few bytes but change the traffic
+// *structure* — port/address scans, DDoS with spoofed sources. The
+// empirical entropy of the address distribution within each flow and
+// interval exposes them: a scan flattens the destination-address histogram
+// (entropy up), a many-to-one flood flattens the source histogram.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "traffic/flow.hpp"
+
+namespace spca {
+
+/// Empirical entropy (bits) of observed categorical values, built
+/// incrementally within one measurement interval.
+class EntropyCounter final {
+ public:
+  /// Records one observation of `value` with multiplicity `weight`.
+  void add(std::uint32_t value, std::uint64_t weight = 1);
+
+  /// Shannon entropy H = -sum p log2 p of the observed distribution
+  /// (0 for fewer than two distinct values).
+  [[nodiscard]] double entropy_bits() const;
+
+  /// Entropy normalized by log2(distinct) into [0, 1] — Lakhina'05's
+  /// preferred scale, insensitive to the observation count.
+  [[nodiscard]] double normalized_entropy() const;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t distinct() const noexcept {
+    return counts_.size();
+  }
+
+  void reset();
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Per-flow, per-interval entropy measurement: the drop-in replacement for
+/// the VolumeCounter when the measurement of interest is address entropy.
+class EntropyAggregator final {
+ public:
+  /// Which packet field is measured.
+  enum class Feature { kSourceAddress, kDestinationAddress };
+
+  EntropyAggregator(std::uint32_t num_flows, Feature feature);
+
+  /// Records one packet for the current interval (O(1) expected).
+  void record(const Packet& packet, std::uint32_t num_routers);
+
+  /// Ends the interval: returns the per-flow entropy vector (bits) and
+  /// resets all histograms.
+  [[nodiscard]] Vector end_interval();
+
+  [[nodiscard]] std::uint32_t num_flows() const noexcept {
+    return static_cast<std::uint32_t>(counters_.size());
+  }
+  [[nodiscard]] Feature feature() const noexcept { return feature_; }
+
+  /// Current (unflushed) counter of one flow, for inspection.
+  [[nodiscard]] const EntropyCounter& counter(FlowId flow) const;
+
+ private:
+  Feature feature_;
+  std::vector<EntropyCounter> counters_;
+};
+
+}  // namespace spca

@@ -1,0 +1,56 @@
+// Basic traffic-plane types: packets, flow identifiers, OD-flow indexing.
+//
+// ISPs aggregate end-to-end flows (Sec. III-A); this library follows the
+// paper and Lakhina'04 in aggregating to origin-destination (OD) flows: all
+// packets entering the backbone at origin router o and leaving at
+// destination router d belong to OD flow (o, d).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spca {
+
+/// Index of an aggregated flow (the FlowID of Sec. IV-A).
+using FlowId = std::uint32_t;
+
+/// Index of a backbone router.
+using RouterId = std::uint32_t;
+
+/// A packet observation as a monitor sees it after header parsing: ingress
+/// and egress routers (from BGP/IGP routing state), payload size, the time
+/// interval it falls into, and the end-host addresses (for feature-entropy
+/// measurements; 0 when the trace carries no address information).
+struct Packet {
+  RouterId origin = 0;
+  RouterId destination = 0;
+  std::uint32_t size_bytes = 0;
+  std::int64_t interval = 0;
+  std::uint32_t src_addr = 0;
+  std::uint32_t dst_addr = 0;
+};
+
+/// The (FlowID, Size) pair reported to the volume counter (Sec. IV-A).
+struct FlowUpdate {
+  FlowId flow = 0;
+  std::uint32_t size_bytes = 0;
+};
+
+/// Maps an OD pair to its flow index in [0, R^2): row-major over (o, d).
+[[nodiscard]] constexpr FlowId od_flow_id(RouterId origin,
+                                          RouterId destination,
+                                          std::uint32_t num_routers) noexcept {
+  return origin * num_routers + destination;
+}
+
+/// Inverse of `od_flow_id`.
+struct OdPair {
+  RouterId origin;
+  RouterId destination;
+};
+[[nodiscard]] constexpr OdPair od_pair_of(FlowId flow,
+                                          std::uint32_t num_routers) noexcept {
+  return {flow / num_routers, flow % num_routers};
+}
+
+}  // namespace spca

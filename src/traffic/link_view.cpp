@@ -1,0 +1,44 @@
+#include "traffic/link_view.hpp"
+
+#include <set>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+TraceSet to_link_trace(const TraceSet& od_trace, const Topology& topology,
+                       const Routing& routing) {
+  SPCA_EXPECTS(od_trace.num_flows() == topology.num_od_flows());
+  const std::size_t num_links = topology.num_links();
+
+  Matrix link_volumes(od_trace.num_intervals(), num_links);
+  for (std::size_t t = 0; t < od_trace.num_intervals(); ++t) {
+    const Vector loads = routing.link_loads(od_trace.row(t));
+    link_volumes.set_row(t, loads);
+  }
+
+  std::vector<std::string> link_names;
+  link_names.reserve(num_links);
+  for (const Link& link : topology.links()) {
+    link_names.push_back(topology.router_name(link.a) + "--" +
+                         topology.router_name(link.b));
+  }
+
+  TraceSet out(std::move(link_volumes), od_trace.interval_seconds(),
+               std::move(link_names));
+  for (const AnomalyEvent& event : od_trace.events()) {
+    AnomalyEvent mapped = event;
+    std::set<std::uint32_t> links;
+    for (const std::uint32_t flow : event.flows) {
+      const OdPair od = od_pair_of(flow, topology.num_routers());
+      for (const std::size_t link : routing.path(od.origin, od.destination)) {
+        links.insert(static_cast<std::uint32_t>(link));
+      }
+    }
+    mapped.flows.assign(links.begin(), links.end());
+    if (!mapped.flows.empty()) out.add_event(std::move(mapped));
+  }
+  return out;
+}
+
+}  // namespace spca

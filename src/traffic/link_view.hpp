@@ -1,0 +1,21 @@
+// Link-space view of OD traffic: Lakhina's original SIGCOMM'04 analysis ran
+// on per-link byte counts (OD flows were estimated later); this adapter
+// turns an OD-flow trace into the equivalent link-load trace via the
+// routing matrix, so every detector in this library can also operate in
+// link space. Anomaly annotations are carried over to the links each
+// affected flow traverses.
+#pragma once
+
+#include "traffic/routing.hpp"
+#include "traffic/trace.hpp"
+
+namespace spca {
+
+/// Converts an OD trace (m = R^2 flows) to a link trace (m = #links) using
+/// shortest-path routing: row_t(link) = sum of row_t(flow) over flows whose
+/// path crosses the link.
+[[nodiscard]] TraceSet to_link_trace(const TraceSet& od_trace,
+                                     const Topology& topology,
+                                     const Routing& routing);
+
+}  // namespace spca

@@ -1,0 +1,76 @@
+#include "traffic/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+Routing::Routing(const Topology& topology)
+    : n_(topology.num_routers()), num_links_(topology.num_links()) {
+  const std::size_t pairs = static_cast<std::size_t>(n_) * n_;
+  paths_.resize(pairs);
+  distances_.assign(pairs, std::numeric_limits<double>::infinity());
+  routing_matrix_ = Matrix(num_links_, pairs);
+
+  for (RouterId src = 0; src < n_; ++src) {
+    // Dijkstra from src with predecessor-link tracking.
+    std::vector<double> dist(n_, std::numeric_limits<double>::infinity());
+    std::vector<std::int64_t> pred_router(n_, -1);
+    std::vector<std::int64_t> pred_link(n_, -1);
+    using Item = std::pair<double, RouterId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    dist[src] = 0.0;
+    heap.emplace(0.0, src);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (const auto& e : topology.neighbors(u)) {
+        const double nd = d + e.weight;
+        if (nd < dist[e.neighbor]) {
+          dist[e.neighbor] = nd;
+          pred_router[e.neighbor] = u;
+          pred_link[e.neighbor] = static_cast<std::int64_t>(e.link);
+          heap.emplace(nd, e.neighbor);
+        }
+      }
+    }
+    for (RouterId dst = 0; dst < n_; ++dst) {
+      const std::size_t pair = static_cast<std::size_t>(src) * n_ + dst;
+      distances_[pair] = dist[dst];
+      if (dst == src || pred_router[dst] < 0) continue;
+      std::vector<std::size_t> links;
+      for (RouterId v = dst; v != src;
+           v = static_cast<RouterId>(pred_router[v])) {
+        SPCA_ENSURES(pred_link[v] >= 0);
+        links.push_back(static_cast<std::size_t>(pred_link[v]));
+      }
+      std::reverse(links.begin(), links.end());
+      for (const std::size_t link : links) {
+        routing_matrix_(link, pair) = 1.0;
+      }
+      paths_[pair] = std::move(links);
+    }
+  }
+}
+
+const std::vector<std::size_t>& Routing::path(RouterId origin,
+                                              RouterId destination) const {
+  SPCA_EXPECTS(origin < n_ && destination < n_);
+  return paths_[static_cast<std::size_t>(origin) * n_ + destination];
+}
+
+double Routing::distance(RouterId origin, RouterId destination) const {
+  SPCA_EXPECTS(origin < n_ && destination < n_);
+  return distances_[static_cast<std::size_t>(origin) * n_ + destination];
+}
+
+Vector Routing::link_loads(const Vector& od_volumes) const {
+  SPCA_EXPECTS(od_volumes.size() == static_cast<std::size_t>(n_) * n_);
+  return multiply(routing_matrix_, od_volumes);
+}
+
+}  // namespace spca

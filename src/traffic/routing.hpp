@@ -1,0 +1,48 @@
+// Shortest-path routing over a Topology and the link-level view of OD
+// traffic: the routing matrix A with A(link, flow) = 1 iff the flow's path
+// crosses the link, so link loads are A * x for an OD volume vector x.
+//
+// The paper aggregates by OD flow using "both BGP and ISIS routing
+// information" (Sec. VI); this module plays the role of that routing state.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "traffic/topology.hpp"
+
+namespace spca {
+
+/// All-pairs shortest paths (Dijkstra per source) with path reconstruction.
+class Routing final {
+ public:
+  explicit Routing(const Topology& topology);
+
+  /// Ordered link indices along the path from `origin` to `destination`
+  /// (empty when origin == destination).
+  [[nodiscard]] const std::vector<std::size_t>& path(
+      RouterId origin, RouterId destination) const;
+
+  /// Shortest-path distance (sum of IGP weights).
+  [[nodiscard]] double distance(RouterId origin, RouterId destination) const;
+
+  /// The (num_links x num_od_flows) 0/1 routing matrix A.
+  [[nodiscard]] const Matrix& routing_matrix() const noexcept {
+    return routing_matrix_;
+  }
+
+  /// Link loads A*x for an OD volume vector (length num_od_flows).
+  [[nodiscard]] Vector link_loads(const Vector& od_volumes) const;
+
+  [[nodiscard]] std::uint32_t num_routers() const noexcept { return n_; }
+
+ private:
+  std::uint32_t n_;
+  std::size_t num_links_;
+  std::vector<std::vector<std::size_t>> paths_;  // [o*n + d] -> link indices
+  std::vector<double> distances_;                // [o*n + d]
+  Matrix routing_matrix_;
+};
+
+}  // namespace spca

@@ -1,0 +1,85 @@
+#include "traffic/topology.hpp"
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+
+Topology::Topology(std::vector<std::string> router_names,
+                   std::vector<Link> links)
+    : names_(std::move(router_names)), links_(std::move(links)) {
+  SPCA_EXPECTS(!names_.empty());
+  adjacency_.resize(names_.size());
+  for (std::size_t e = 0; e < links_.size(); ++e) {
+    const Link& l = links_[e];
+    SPCA_EXPECTS(l.a < names_.size() && l.b < names_.size() && l.a != l.b);
+    SPCA_EXPECTS(l.weight > 0.0);
+    adjacency_[l.a].push_back(Edge{l.b, e, l.weight});
+    adjacency_[l.b].push_back(Edge{l.a, e, l.weight});
+  }
+}
+
+const std::string& Topology::router_name(RouterId r) const {
+  SPCA_EXPECTS(r < names_.size());
+  return names_[r];
+}
+
+RouterId Topology::router_id(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<RouterId>(i);
+  }
+  throw InputError("Topology: unknown router '" + name + "'");
+}
+
+const std::vector<Topology::Edge>& Topology::neighbors(RouterId r) const {
+  SPCA_EXPECTS(r < adjacency_.size());
+  return adjacency_[r];
+}
+
+std::string Topology::flow_name(FlowId flow) const {
+  const OdPair od = od_pair_of(flow, num_routers());
+  return router_name(od.origin) + "-" + router_name(od.destination);
+}
+
+FlowId Topology::flow_id(const std::string& origin,
+                         const std::string& destination) const {
+  return od_flow_id(router_id(origin), router_id(destination), num_routers());
+}
+
+Topology abilene11_topology() {
+  // The well-known 11-node Abilene map (pre-2007); weights approximate
+  // circuit mileage.
+  std::vector<std::string> names = {"ATLA", "CHIN", "DNVR", "HSTN",
+                                    "IPLS", "KSCY", "LOSA", "NYCM",
+                                    "SNVA", "STTL", "WASH"};
+  const RouterId ATLA = 0, CHIN = 1, DNVR = 2, HSTN = 3, IPLS = 4, KSCY = 5,
+                 LOSA = 6, NYCM = 7, SNVA = 8, STTL = 9, WASH = 10;
+  std::vector<Link> links = {
+      {STTL, SNVA, 8.0},  {STTL, DNVR, 13.0}, {SNVA, LOSA, 4.0},
+      {SNVA, DNVR, 12.0}, {LOSA, HSTN, 15.0}, {DNVR, KSCY, 6.0},
+      {KSCY, HSTN, 8.0},  {KSCY, IPLS, 5.0},  {HSTN, ATLA, 8.0},
+      {IPLS, CHIN, 2.0},  {IPLS, ATLA, 6.0},  {CHIN, NYCM, 8.0},
+      {ATLA, WASH, 6.0},  {NYCM, WASH, 2.0},
+  };
+  return Topology(std::move(names), std::move(links));
+}
+
+Topology abilene_topology() {
+  // Router set from Sec. VI; indices are alphabetical.
+  std::vector<std::string> names = {"ATLA", "CHIC", "HOUS", "KANS", "LOSA",
+                                    "NEWY", "SALT", "SEAT", "WASH"};
+  const RouterId ATLA = 0, CHIC = 1, HOUS = 2, KANS = 3, LOSA = 4, NEWY = 5,
+                 SALT = 6, SEAT = 7, WASH = 8;
+  // Approximate Internet2 backbone circuits of 2008 with rough
+  // mileage-derived IGP weights.
+  std::vector<Link> links = {
+      {SEAT, SALT, 7.0}, {SEAT, LOSA, 10.0}, {LOSA, SALT, 6.0},
+      {LOSA, HOUS, 14.0}, {SALT, KANS, 9.0},  {KANS, HOUS, 7.0},
+      {KANS, CHIC, 5.0},  {HOUS, ATLA, 7.0},  {CHIC, ATLA, 6.0},
+      {CHIC, NEWY, 8.0},  {CHIC, WASH, 7.0},  {ATLA, WASH, 5.0},
+      {NEWY, WASH, 3.0},
+  };
+  return Topology(std::move(names), std::move(links));
+}
+
+}  // namespace spca

@@ -1,0 +1,79 @@
+// Backbone topology model and the Internet2/Abilene 9-router instance the
+// paper's evaluation runs on (Sec. VI: ATLA, CHIC, HOUS, KANS, LOSA, NEWY,
+// SALT, SEAT, WASH after Feb 2008).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "traffic/flow.hpp"
+
+namespace spca {
+
+/// An undirected weighted backbone link between two routers.
+struct Link {
+  RouterId a = 0;
+  RouterId b = 0;
+  /// IGP metric used by shortest-path routing (roughly mileage-based).
+  double weight = 1.0;
+};
+
+/// A named backbone topology: routers plus undirected links.
+class Topology final {
+ public:
+  Topology(std::vector<std::string> router_names, std::vector<Link> links);
+
+  [[nodiscard]] std::uint32_t num_routers() const noexcept {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+  [[nodiscard]] std::size_t num_links() const noexcept {
+    return links_.size();
+  }
+  [[nodiscard]] std::uint32_t num_od_flows() const noexcept {
+    return num_routers() * num_routers();
+  }
+
+  [[nodiscard]] const std::string& router_name(RouterId r) const;
+  /// Router index by name; throws InputError if unknown.
+  [[nodiscard]] RouterId router_id(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<Link>& links() const noexcept {
+    return links_;
+  }
+
+  /// Adjacency: (neighbor, link index, weight) triples for router `r`.
+  struct Edge {
+    RouterId neighbor;
+    std::size_t link;
+    double weight;
+  };
+  [[nodiscard]] const std::vector<Edge>& neighbors(RouterId r) const;
+
+  /// Human-readable flow name, e.g. "ATLA-CHIC".
+  [[nodiscard]] std::string flow_name(FlowId flow) const;
+
+  /// Flow id from "ORIGIN-DEST" router names.
+  [[nodiscard]] FlowId flow_id(const std::string& origin,
+                               const std::string& destination) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+/// The Internet2 (post-Feb-2008) 9-router backbone used in Sec. VI. Link
+/// set and metrics approximate the published Internet2 map of that period;
+/// the evaluation only relies on the topology being the real router set with
+/// realistic path diversity.
+[[nodiscard]] Topology abilene_topology();
+
+/// The classic pre-2007 11-router Abilene backbone (ATLA, CHIN, DNVR, HSTN,
+/// IPLS, KSCY, LOSA, NYCM, SNVA, STTL, WASH with its 14 circuits) — the
+/// topology of Lakhina et al.'s original SIGCOMM'04 study (m = 121 OD
+/// flows). Provided so experiments can also be run at the baseline paper's
+/// scale.
+[[nodiscard]] Topology abilene11_topology();
+
+}  // namespace spca

@@ -1,0 +1,136 @@
+#include "traffic/trace.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+
+namespace {
+
+double parse_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw InputError("TraceSet: malformed number '" + s + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& s) {
+  std::int64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) {
+    throw InputError("TraceSet: malformed integer '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+TraceSet::TraceSet(Matrix volumes, double interval_seconds,
+                   std::vector<std::string> flow_names)
+    : volumes_(std::move(volumes)),
+      interval_seconds_(interval_seconds),
+      flow_names_(std::move(flow_names)) {
+  SPCA_EXPECTS(interval_seconds_ > 0.0);
+  SPCA_EXPECTS(flow_names_.size() == volumes_.cols());
+}
+
+void TraceSet::add_event(AnomalyEvent event) {
+  SPCA_EXPECTS(event.start <= event.end);
+  SPCA_EXPECTS(!event.flows.empty());
+  events_.push_back(std::move(event));
+}
+
+bool TraceSet::is_anomalous(std::int64_t t) const noexcept {
+  for (const auto& e : events_) {
+    if (t >= e.start && t <= e.end) return true;
+  }
+  return false;
+}
+
+std::vector<bool> TraceSet::labels() const {
+  std::vector<bool> out(num_intervals(), false);
+  for (const auto& e : events_) {
+    for (std::int64_t t = e.start; t <= e.end; ++t) {
+      if (t >= 0 && static_cast<std::size_t>(t) < out.size()) {
+        out[static_cast<std::size_t>(t)] = true;
+      }
+    }
+  }
+  return out;
+}
+
+void TraceSet::save(const std::string& prefix) const {
+  {
+    std::vector<std::string> header = {"interval_seconds"};
+    header.insert(header.end(), flow_names_.begin(), flow_names_.end());
+    CsvWriter w(prefix + "_volumes.csv", header);
+    for (std::size_t t = 0; t < num_intervals(); ++t) {
+      std::vector<std::string> fields;
+      fields.reserve(num_flows() + 1);
+      fields.push_back(t == 0 ? format_double(interval_seconds_) : "0");
+      for (std::size_t j = 0; j < num_flows(); ++j) {
+        fields.push_back(format_double(volumes_(t, j)));
+      }
+      w.row(fields);
+    }
+  }
+  {
+    CsvWriter w(prefix + "_events.csv",
+                {"start", "end", "kind", "magnitude", "flows"});
+    for (const auto& e : events_) {
+      std::ostringstream flows;
+      for (std::size_t i = 0; i < e.flows.size(); ++i) {
+        flows << (i ? ";" : "") << e.flows[i];
+      }
+      w.row({std::to_string(e.start), std::to_string(e.end), e.kind,
+             format_double(e.magnitude), flows.str()});
+    }
+  }
+}
+
+TraceSet TraceSet::load(const std::string& prefix) {
+  const CsvReader volumes_csv(prefix + "_volumes.csv");
+  const auto& header = volumes_csv.header();
+  if (header.size() < 2 || header[0] != "interval_seconds") {
+    throw InputError("TraceSet: bad volumes header in '" + prefix + "'");
+  }
+  std::vector<std::string> flow_names(header.begin() + 1, header.end());
+  const auto& rows = volumes_csv.rows();
+  if (rows.empty()) throw InputError("TraceSet: empty volumes file");
+
+  Matrix volumes(rows.size(), flow_names.size());
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    for (std::size_t j = 0; j < flow_names.size(); ++j) {
+      volumes(t, j) = parse_double(rows[t][j + 1]);
+    }
+  }
+  const double interval_seconds = parse_double(rows[0][0]);
+
+  TraceSet trace(std::move(volumes), interval_seconds, std::move(flow_names));
+
+  const CsvReader events_csv(prefix + "_events.csv");
+  for (const auto& r : events_csv.rows()) {
+    AnomalyEvent e;
+    e.start = parse_int(r[0]);
+    e.end = parse_int(r[1]);
+    e.kind = r[2];
+    e.magnitude = parse_double(r[3]);
+    std::istringstream flows(r[4]);
+    std::string tok;
+    while (std::getline(flows, tok, ';')) {
+      e.flows.push_back(static_cast<std::uint32_t>(parse_int(tok)));
+    }
+    trace.add_event(std::move(e));
+  }
+  return trace;
+}
+
+}  // namespace spca

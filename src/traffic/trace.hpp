@@ -1,0 +1,81 @@
+// Labelled OD-flow traffic traces: the data set abstraction the evaluation
+// harness consumes. Plays the role of the Abilene Observatory NetFlow
+// collection of Sec. VI, with ground-truth anomaly annotations attached by
+// the synthetic generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace spca {
+
+/// One injected (or otherwise known) anomaly episode.
+struct AnomalyEvent {
+  /// Inclusive interval range [start, end] of the episode.
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  /// OD flows the episode touches.
+  std::vector<std::uint32_t> flows;
+  /// Category tag: "ddos", "botnet", "flash-crowd", "outage", "scan".
+  std::string kind;
+  /// Rough relative volume change applied (for reporting only).
+  double magnitude = 0.0;
+};
+
+/// A complete measured/synthesized trace: per-interval OD volumes plus
+/// annotations.
+class TraceSet final {
+ public:
+  TraceSet(Matrix volumes, double interval_seconds,
+           std::vector<std::string> flow_names);
+
+  [[nodiscard]] std::size_t num_intervals() const noexcept {
+    return volumes_.rows();
+  }
+  [[nodiscard]] std::size_t num_flows() const noexcept {
+    return volumes_.cols();
+  }
+  [[nodiscard]] double interval_seconds() const noexcept {
+    return interval_seconds_;
+  }
+
+  [[nodiscard]] const Matrix& volumes() const noexcept { return volumes_; }
+  [[nodiscard]] Matrix& volumes() noexcept { return volumes_; }
+
+  /// The measurement vector x_t of interval `t`.
+  [[nodiscard]] Vector row(std::size_t t) const { return volumes_.row(t); }
+
+  [[nodiscard]] const std::vector<std::string>& flow_names() const noexcept {
+    return flow_names_;
+  }
+
+  [[nodiscard]] const std::vector<AnomalyEvent>& events() const noexcept {
+    return events_;
+  }
+  void add_event(AnomalyEvent event);
+
+  /// True iff some annotated episode covers interval `t`.
+  [[nodiscard]] bool is_anomalous(std::int64_t t) const noexcept;
+
+  /// Per-interval 0/1 ground-truth labels.
+  [[nodiscard]] std::vector<bool> labels() const;
+
+  /// Persists volumes (+ events) to `<prefix>_volumes.csv` and
+  /// `<prefix>_events.csv`.
+  void save(const std::string& prefix) const;
+
+  /// Loads a trace saved by `save`.
+  [[nodiscard]] static TraceSet load(const std::string& prefix);
+
+ private:
+  Matrix volumes_;
+  double interval_seconds_;
+  std::vector<std::string> flow_names_;
+  std::vector<AnomalyEvent> events_;
+};
+
+}  // namespace spca

@@ -1,0 +1,91 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+CliFlags make_flags() {
+  CliFlags flags("test program");
+  flags.define("count", "10", "an integer");
+  flags.define("rate", "0.5", "a real");
+  flags.define("name", "abc", "a string");
+  flags.define("verbose", "false", "a boolean");
+  return flags;
+}
+
+TEST(CliFlags, DefaultsApplyWithoutArguments) {
+  CliFlags flags = make_flags();
+  const std::array argv = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv.data()));
+  EXPECT_EQ(flags.integer("count"), 10);
+  EXPECT_DOUBLE_EQ(flags.real("rate"), 0.5);
+  EXPECT_EQ(flags.str("name"), "abc");
+  EXPECT_FALSE(flags.boolean("verbose"));
+}
+
+TEST(CliFlags, ParsesEqualsSyntax) {
+  CliFlags flags = make_flags();
+  const std::array argv = {"prog", "--count=42", "--rate=2.25"};
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.integer("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.real("rate"), 2.25);
+}
+
+TEST(CliFlags, ParsesSpaceSyntax) {
+  CliFlags flags = make_flags();
+  const std::array argv = {"prog", "--name", "hello", "--verbose", "true"};
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.str("name"), "hello");
+  EXPECT_TRUE(flags.boolean("verbose"));
+}
+
+TEST(CliFlags, HelpShortCircuits) {
+  CliFlags flags = make_flags();
+  const std::array argv = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliFlags, RejectsUnknownFlag) {
+  CliFlags flags = make_flags();
+  const std::array argv = {"prog", "--nope=1"};
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()),
+               InputError);
+}
+
+TEST(CliFlags, RejectsMissingValue) {
+  CliFlags flags = make_flags();
+  const std::array argv = {"prog", "--count"};
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()),
+               InputError);
+}
+
+TEST(CliFlags, RejectsPositionalArguments) {
+  CliFlags flags = make_flags();
+  const std::array argv = {"prog", "stray"};
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()),
+               InputError);
+}
+
+TEST(CliFlags, RejectsMalformedNumbers) {
+  CliFlags flags = make_flags();
+  const std::array argv = {"prog", "--count=12x", "--rate=zz"};
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW((void)flags.integer("count"), InputError);
+  EXPECT_THROW((void)flags.real("rate"), InputError);
+}
+
+TEST(CliFlags, UsageListsFlagsAndDefaults) {
+  CliFlags flags = make_flags();
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default: 10"), std::string::npos);
+  EXPECT_NE(usage.find("an integer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,54 @@
+#include "common/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace spca {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrueCondition) {
+  EXPECT_NO_THROW(SPCA_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsContractViolationOnFalse) {
+  EXPECT_THROW(SPCA_EXPECTS(false), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsContractViolationOnFalse) {
+  EXPECT_THROW(SPCA_ENSURES(2 > 3), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesConditionAndLocation) {
+  try {
+    SPCA_EXPECTS(1 == 2);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresMessageSaysPostcondition) {
+  try {
+    SPCA_ENSURES(false);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ConditionWithSideEffectEvaluatedOnce) {
+  int calls = 0;
+  const auto bump = [&] {
+    ++calls;
+    return true;
+  };
+  SPCA_EXPECTS(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,94 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "spca_csv_test.csv")
+                          .string();
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, RoundTripsHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b", "c"});
+    w.row({"1", "2", "3"});
+    w.row({"x", "y", "z"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  CsvReader r(path_);
+  ASSERT_EQ(r.header(), (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(r.rows().size(), 2u);
+  EXPECT_EQ(r.rows()[0][1], "2");
+  EXPECT_EQ(r.rows()[1][2], "z");
+}
+
+TEST_F(CsvTest, NumericRowsRoundTripExactly) {
+  const double value = 0.1234567890123456789;
+  {
+    CsvWriter w(path_, {"v"});
+    w.row_numeric({value});
+  }
+  CsvReader r(path_);
+  EXPECT_EQ(std::stod(r.rows()[0][0]), value);
+}
+
+TEST_F(CsvTest, ColumnLookupFindsAndThrows) {
+  {
+    CsvWriter w(path_, {"alpha", "beta"});
+    w.row({"1", "2"});
+  }
+  CsvReader r(path_);
+  EXPECT_EQ(r.column("beta"), 1u);
+  EXPECT_THROW((void)r.column("gamma"), InputError);
+}
+
+TEST_F(CsvTest, WriterRejectsWrongWidthRow) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), ContractViolation);
+}
+
+TEST_F(CsvTest, WriterRejectsFieldsWithCommas) {
+  CsvWriter w(path_, {"a"});
+  EXPECT_THROW(w.row({"has,comma"}), ContractViolation);
+}
+
+TEST_F(CsvTest, ReaderRejectsMissingFile) {
+  EXPECT_THROW(CsvReader("/nonexistent/file.csv"), InputError);
+}
+
+TEST_F(CsvTest, ReaderRejectsRaggedRows) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\n1,2\n3\n";
+  }
+  EXPECT_THROW(CsvReader reader(path_), InputError);
+}
+
+TEST(CsvSplit, HandlesEmptyFields) {
+  const auto fields = split_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvFormat, FormatDoubleRoundTrips) {
+  for (const double v : {1.0, -0.5, 3.141592653589793, 1e-300, 2.5e17}) {
+    EXPECT_EQ(std::stod(format_double(v)), v) << v;
+  }
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,78 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace spca {
+namespace {
+
+TEST(ByteWriterReader, ScalarsRoundTrip) {
+  ByteWriter out;
+  out.put(std::uint8_t{7});
+  out.put(std::int64_t{-123456789});
+  out.put(3.14159);
+  out.put(std::uint32_t{0xdeadbeef});
+  const std::vector<std::byte> blob = std::move(out).take();
+
+  ByteReader in(blob);
+  EXPECT_EQ(in.get<std::uint8_t>(), 7u);
+  EXPECT_EQ(in.get<std::int64_t>(), -123456789);
+  EXPECT_EQ(in.get<double>(), 3.14159);
+  EXPECT_EQ(in.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(ByteWriterReader, VectorsRoundTrip) {
+  ByteWriter out;
+  const std::vector<double> values = {1.0, -2.5, 1e300};
+  const std::vector<std::uint32_t> ids = {3, 1, 4, 1, 5};
+  out.put_all(values);
+  out.put_all(ids);
+  const std::vector<std::byte> blob = std::move(out).take();
+
+  ByteReader in(blob);
+  EXPECT_EQ(in.get_all<double>(), values);
+  EXPECT_EQ(in.get_all<std::uint32_t>(), ids);
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(ByteWriterReader, EmptyVectorRoundTrips) {
+  ByteWriter out;
+  out.put_all(std::vector<double>{});
+  const std::vector<std::byte> blob = std::move(out).take();
+  ByteReader in(blob);
+  EXPECT_TRUE(in.get_all<double>().empty());
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(ByteReader, TruncatedScalarThrows) {
+  ByteWriter out;
+  out.put(std::uint8_t{1});
+  const std::vector<std::byte> blob = std::move(out).take();
+  ByteReader in(blob);
+  EXPECT_THROW((void)in.get<std::uint64_t>(), ProtocolError);
+}
+
+TEST(ByteReader, TruncatedArrayThrows) {
+  ByteWriter out;
+  out.put(std::uint64_t{1000});  // claims 1000 doubles follow
+  const std::vector<std::byte> blob = std::move(out).take();
+  ByteReader in(blob);
+  EXPECT_THROW((void)in.get_all<double>(), ProtocolError);
+}
+
+TEST(ByteReader, RemainingTracksConsumption) {
+  ByteWriter out;
+  out.put(std::uint32_t{1});
+  out.put(std::uint32_t{2});
+  const std::vector<std::byte> blob = std::move(out).take();
+  ByteReader in(blob);
+  EXPECT_EQ(in.remaining(), 8u);
+  (void)in.get<std::uint32_t>();
+  EXPECT_EQ(in.remaining(), 4u);
+  EXPECT_FALSE(in.exhausted());
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+namespace {
+
+TEST(TablePrinter, AlignsColumnsRightJustified) {
+  TablePrinter table({"x", "value"});
+  table.row({"1", "10"});
+  table.row({"100", "2"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  // Widest cells define the column width; shorter cells are padded left.
+  EXPECT_NE(out.find("  x  value"), std::string::npos);
+  EXPECT_NE(out.find("  1     10"), std::string::npos);
+  EXPECT_NE(out.find("100      2"), std::string::npos);
+}
+
+TEST(TablePrinter, NumericRowsUseRequestedPrecision) {
+  TablePrinter table({"v"});
+  table.row_numeric({1.23456789}, 3);
+  std::ostringstream oss;
+  table.print(oss);
+  EXPECT_NE(oss.str().find("1.23"), std::string::npos);
+  EXPECT_EQ(oss.str().find("1.2345"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWrongArity) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.row({"only"}), ContractViolation);
+}
+
+TEST(TablePrinter, CountsRows) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.size(), 0u);
+  table.row({"1"});
+  table.row({"2"});
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(TablePrinter, SeparatorMatchesHeaderWidth) {
+  TablePrinter table({"abc"});
+  table.row({"xy"});
+  std::ostringstream oss;
+  table.print(oss);
+  EXPECT_NE(oss.str().find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,129 @@
+// Checkpoint/restore of the sketch detector: a restarted monitor process
+// must continue the stream exactly where the original left off.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "common/error.hpp"
+#include "core/sketch_detector.hpp"
+
+namespace spca {
+namespace {
+
+using testing::small_topology;
+using testing::small_trace;
+
+SketchDetectorConfig checkpoint_config() {
+  SketchDetectorConfig config;
+  config.window = 64;
+  config.epsilon = 0.05;
+  config.sketch_rows = 16;
+  config.rank_policy = RankPolicy::fixed(3);
+  config.seed = 31337;
+  return config;
+}
+
+TEST(Checkpoint, RestoredDetectorContinuesBitForBit) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 220, 17, /*anomalies=*/3,
+                                     /*warmup=*/100);
+  SketchDetector original(trace.num_flows(), checkpoint_config());
+
+  // Stream half the trace, checkpoint mid-flight (after the model has been
+  // fitted and some lazy refreshes happened).
+  for (std::size_t t = 0; t < 120; ++t) {
+    (void)original.observe(static_cast<std::int64_t>(t), trace.row(t));
+  }
+  const std::vector<std::byte> blob = original.save_state();
+  SketchDetector restored = SketchDetector::restore_state(blob);
+
+  EXPECT_EQ(restored.observed(), original.observed());
+  EXPECT_EQ(restored.model_computations(), original.model_computations());
+
+  // Both must now produce identical verdicts for the rest of the stream.
+  for (std::size_t t = 120; t < 220; ++t) {
+    const Detection a =
+        original.observe(static_cast<std::int64_t>(t), trace.row(t));
+    const Detection b =
+        restored.observe(static_cast<std::int64_t>(t), trace.row(t));
+    ASSERT_EQ(a.ready, b.ready) << "t=" << t;
+    ASSERT_EQ(a.alarm, b.alarm) << "t=" << t;
+    ASSERT_EQ(a.distance, b.distance) << "t=" << t;  // bit-exact
+    ASSERT_EQ(a.threshold, b.threshold) << "t=" << t;
+    ASSERT_EQ(a.model_refreshed, b.model_refreshed) << "t=" << t;
+  }
+}
+
+TEST(Checkpoint, WorksBeforeWarmupCompletes) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 100, 18);
+  SketchDetector original(trace.num_flows(), checkpoint_config());
+  for (std::size_t t = 0; t < 20; ++t) {
+    (void)original.observe(static_cast<std::int64_t>(t), trace.row(t));
+  }
+  SketchDetector restored =
+      SketchDetector::restore_state(original.save_state());
+  for (std::size_t t = 20; t < 100; ++t) {
+    const Detection a =
+        original.observe(static_cast<std::int64_t>(t), trace.row(t));
+    const Detection b =
+        restored.observe(static_cast<std::int64_t>(t), trace.row(t));
+    ASSERT_EQ(a.ready, b.ready);
+    ASSERT_EQ(a.alarm, b.alarm);
+    ASSERT_EQ(a.distance, b.distance);
+  }
+}
+
+TEST(Checkpoint, ConfigRoundTrips) {
+  SketchDetectorConfig config = checkpoint_config();
+  config.projection = ProjectionKind::kSparse;
+  config.sparsity = 5.0;
+  config.lazy = false;
+  config.rank_policy = RankPolicy::energy(0.85);
+  SketchDetector original(8, config);
+  const SketchDetector restored =
+      SketchDetector::restore_state(original.save_state());
+  EXPECT_EQ(restored.config().projection, ProjectionKind::kSparse);
+  EXPECT_EQ(restored.config().sparsity, 5.0);
+  EXPECT_FALSE(restored.config().lazy);
+  EXPECT_EQ(restored.config().rank_policy.kind, RankPolicy::Kind::kEnergy);
+  EXPECT_EQ(restored.config().rank_policy.energy_fraction, 0.85);
+}
+
+TEST(Checkpoint, RejectsCorruptedBlobs) {
+  SketchDetector detector(4, checkpoint_config());
+  std::vector<std::byte> blob = detector.save_state();
+
+  std::vector<std::byte> truncated(blob.begin(), blob.end() - 5);
+  EXPECT_THROW((void)SketchDetector::restore_state(truncated),
+               ProtocolError);
+
+  std::vector<std::byte> bad_magic = blob;
+  bad_magic[0] = std::byte{0xFF};
+  EXPECT_THROW((void)SketchDetector::restore_state(bad_magic),
+               ProtocolError);
+
+  std::vector<std::byte> trailing = blob;
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW((void)SketchDetector::restore_state(trailing), ProtocolError);
+}
+
+TEST(Checkpoint, SketchStateIsPreservedExactly) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 90, 19);
+  SketchDetector original(trace.num_flows(), checkpoint_config());
+  for (std::size_t t = 0; t < 90; ++t) {
+    (void)original.observe(static_cast<std::int64_t>(t), trace.row(t));
+  }
+  const SketchDetector restored =
+      SketchDetector::restore_state(original.save_state());
+  EXPECT_EQ(max_abs_diff(original.sketch_matrix(), restored.sketch_matrix()),
+            0.0);
+  const Vector mu_a = original.sketch_means();
+  const Vector mu_b = restored.sketch_means();
+  for (std::size_t j = 0; j < mu_a.size(); ++j) {
+    EXPECT_EQ(mu_a[j], mu_b[j]);
+  }
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,112 @@
+// Broad property sweep over the sketch detector's configuration space:
+// every combination must stream without numerical breakdown, produce
+// finite nonnegative statistics, respect warm-up semantics, and stay
+// deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../helpers.hpp"
+#include "core/evaluation.hpp"
+#include "core/sketch_detector.hpp"
+
+namespace spca {
+namespace {
+
+using testing::small_topology;
+using testing::small_trace;
+
+struct SweepCase {
+  std::size_t window;
+  std::size_t sketch_rows;
+  ProjectionKind projection;
+  bool lazy;
+  RankPolicy::Kind rank_kind;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const auto& c = info.param;
+  std::string name = "w" + std::to_string(c.window) + "_l" +
+                     std::to_string(c.sketch_rows) + "_";
+  switch (c.projection) {
+    case ProjectionKind::kGaussian:
+      name += "gauss";
+      break;
+    case ProjectionKind::kTugOfWar:
+      name += "tow";
+      break;
+    case ProjectionKind::kSparse:
+      name += "sparse";
+      break;
+    case ProjectionKind::kVerySparse:
+      name += "vsparse";
+      break;
+  }
+  name += c.lazy ? "_lazy" : "_eager";
+  name += c.rank_kind == RankPolicy::Kind::kFixed    ? "_fixed"
+          : c.rank_kind == RankPolicy::Kind::kEnergy ? "_energy"
+                                                     : "_scree";
+  return name;
+}
+
+class SketchDetectorSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SketchDetectorSweep, InvariantsHoldThroughoutStream) {
+  const SweepCase& c = GetParam();
+  const Topology topo = small_topology();
+  const TraceSet trace =
+      small_trace(topo, c.window + 60, 1234, /*anomalies=*/2,
+                  /*warmup=*/static_cast<std::int64_t>(c.window));
+
+  SketchDetectorConfig config;
+  config.window = c.window;
+  config.sketch_rows = c.sketch_rows;
+  config.projection = c.projection;
+  config.lazy = c.lazy;
+  config.rank_policy.kind = c.rank_kind;
+  config.rank_policy.fixed_rank = 3;
+  config.seed = 99;
+  SketchDetector detector(trace.num_flows(), config);
+
+  for (std::size_t t = 0; t < trace.num_intervals(); ++t) {
+    const Detection det =
+        detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+    // Warm-up semantics: ready exactly from interval window-1 onward.
+    EXPECT_EQ(det.ready, t + 1 >= c.window) << "t=" << t;
+    if (!det.ready) continue;
+    EXPECT_TRUE(std::isfinite(det.distance)) << "t=" << t;
+    EXPECT_GE(det.distance, 0.0);
+    EXPECT_TRUE(std::isfinite(det.threshold));
+    EXPECT_GE(det.threshold, 0.0);
+    EXPECT_GE(det.normal_rank, 1u);
+    EXPECT_LT(det.normal_rank, trace.num_flows());
+    EXPECT_EQ(det.alarm,
+              det.distance * det.distance >
+                  det.threshold * det.threshold);
+  }
+  EXPECT_GE(detector.model_computations(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, SketchDetectorSweep,
+    ::testing::Values(
+        SweepCase{48, 4, ProjectionKind::kGaussian, true,
+                  RankPolicy::Kind::kFixed},
+        SweepCase{48, 4, ProjectionKind::kTugOfWar, false,
+                  RankPolicy::Kind::kFixed},
+        SweepCase{48, 32, ProjectionKind::kSparse, true,
+                  RankPolicy::Kind::kEnergy},
+        SweepCase{48, 32, ProjectionKind::kVerySparse, false,
+                  RankPolicy::Kind::kScree},
+        SweepCase{96, 16, ProjectionKind::kGaussian, true,
+                  RankPolicy::Kind::kEnergy},
+        SweepCase{96, 64, ProjectionKind::kTugOfWar, true,
+                  RankPolicy::Kind::kScree},
+        SweepCase{96, 128, ProjectionKind::kSparse, false,
+                  RankPolicy::Kind::kFixed},
+        SweepCase{192, 48, ProjectionKind::kVerySparse, true,
+                  RankPolicy::Kind::kFixed}),
+    case_name);
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,111 @@
+#include "core/differenced_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../helpers.hpp"
+#include "common/contracts.hpp"
+#include "core/evaluation.hpp"
+#include "core/sketch_detector.hpp"
+
+namespace spca {
+namespace {
+
+using testing::small_topology;
+using testing::small_trace;
+
+/// Records everything it is fed, for white-box wrapper checks.
+class RecordingDetector final : public Detector {
+ public:
+  Detection observe(std::int64_t t, const Vector& x) override {
+    times.push_back(t);
+    inputs.push_back(x);
+    Detection det;
+    det.ready = true;
+    return det;
+  }
+  [[nodiscard]] std::string name() const override { return "recorder"; }
+
+  std::vector<std::int64_t> times;
+  std::vector<Vector> inputs;
+};
+
+TEST(DifferencedDetector, FeedsFirstDifferencesToInner) {
+  auto recorder = std::make_unique<RecordingDetector>();
+  RecordingDetector* raw = recorder.get();
+  DifferencedDetector wrapper(std::move(recorder));
+
+  (void)wrapper.observe(0, Vector{10.0, 100.0});
+  (void)wrapper.observe(1, Vector{13.0, 90.0});
+  (void)wrapper.observe(2, Vector{13.0, 95.0});
+
+  ASSERT_EQ(raw->inputs.size(), 2u);  // priming interval consumed
+  EXPECT_EQ(raw->times[0], 1);
+  EXPECT_DOUBLE_EQ(raw->inputs[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(raw->inputs[0][1], -10.0);
+  EXPECT_DOUBLE_EQ(raw->inputs[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(raw->inputs[1][1], 5.0);
+}
+
+TEST(DifferencedDetector, PrimingIntervalNotReady) {
+  DifferencedDetector wrapper(std::make_unique<RecordingDetector>());
+  EXPECT_FALSE(wrapper.observe(0, Vector{1.0}).ready);
+  EXPECT_TRUE(wrapper.observe(1, Vector{2.0}).ready);
+}
+
+TEST(DifferencedDetector, NameAppendsDiff) {
+  DifferencedDetector wrapper(std::make_unique<RecordingDetector>());
+  EXPECT_EQ(wrapper.name(), "recorder+diff");
+}
+
+TEST(DifferencedDetector, NullInnerRejected) {
+  EXPECT_THROW(DifferencedDetector(nullptr), ContractViolation);
+}
+
+TEST(DifferencedDetector, DetectsStepOnsetUnderDiurnalTraffic) {
+  // The wrapper's purpose: with a strong diurnal cycle, differencing makes
+  // the stream stationary; a coordinated step change shows up as a spike
+  // in the differenced stream at onset.
+  const Topology topo = small_topology();
+  TraceSet trace = small_trace(topo, 260, 12);  // diurnal trace
+  for (std::size_t j = 1; j <= 6; ++j) {
+    for (std::size_t t = 240; t < 244; ++t) {
+      trace.volumes()(t, j) *= 1.6;
+    }
+  }
+  SketchDetectorConfig config;
+  config.window = 128;
+  config.sketch_rows = 64;
+  config.rank_policy = RankPolicy::fixed(3);
+  config.seed = 5;
+  DifferencedDetector wrapper(
+      std::make_unique<SketchDetector>(trace.num_flows(), config));
+  const DetectorRun run = run_detector(wrapper, trace);
+  EXPECT_TRUE(run.detections[240].alarm);  // onset spike in differences
+}
+
+TEST(DifferencedDetector, QuietDiurnalTrafficRarelyAlarms) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 300, 13);
+  SketchDetectorConfig config;
+  config.window = 128;
+  config.sketch_rows = 64;
+  config.rank_policy = RankPolicy::fixed(3);
+  config.seed = 6;
+  DifferencedDetector wrapper(
+      std::make_unique<SketchDetector>(trace.num_flows(), config));
+  const DetectorRun run = run_detector(wrapper, trace);
+  std::size_t alarms = 0, ready = 0;
+  for (const auto& det : run.detections) {
+    if (det.ready) {
+      ++ready;
+      if (det.alarm) ++alarms;
+    }
+  }
+  ASSERT_GT(ready, 0u);
+  EXPECT_LT(static_cast<double>(alarms) / static_cast<double>(ready), 0.15);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,134 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "common/contracts.hpp"
+#include "core/sketch_detector.hpp"
+
+namespace spca {
+namespace {
+
+using testing::small_topology;
+using testing::small_trace;
+
+TEST(ConfusionMatrix, CountsAllFourCells) {
+  ConfusionMatrix cm;
+  cm.add(true, true);    // TP
+  cm.add(true, false);   // FN
+  cm.add(false, true);   // FP
+  cm.add(false, false);  // TN
+  cm.add(false, false);
+  EXPECT_EQ(cm.true_positives, 1u);
+  EXPECT_EQ(cm.false_negatives, 1u);
+  EXPECT_EQ(cm.false_positives, 1u);
+  EXPECT_EQ(cm.true_negatives, 2u);
+  EXPECT_EQ(cm.total(), 5u);
+}
+
+TEST(ConfusionMatrix, ErrorDefinitionsMatchSec6) {
+  ConfusionMatrix cm;
+  // 3 true anomalies: 2 caught, 1 missed. 7 normals: 1 false alarm.
+  cm.true_positives = 2;
+  cm.false_negatives = 1;
+  cm.false_positives = 1;
+  cm.true_negatives = 6;
+  EXPECT_DOUBLE_EQ(cm.type1_error(), 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(cm.type2_error(), 1.0 / 3.0);
+}
+
+TEST(ConfusionMatrix, EmptyClassesGiveZeroError) {
+  ConfusionMatrix cm;
+  EXPECT_EQ(cm.type1_error(), 0.0);
+  EXPECT_EQ(cm.type2_error(), 0.0);
+}
+
+TEST(RunDetector, CollectsVerdictForEveryInterval) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 60, 1);
+  SketchDetectorConfig config;
+  config.window = 32;
+  config.sketch_rows = 8;
+  config.rank_policy = RankPolicy::fixed(2);
+  SketchDetector detector(trace.num_flows(), config);
+  const DetectorRun run = run_detector(detector, trace);
+  EXPECT_EQ(run.detections.size(), 60u);
+  EXPECT_EQ(run.first_ready, 31u);
+  EXPECT_EQ(run.detector_name, "sketch-pca");
+  for (std::size_t t = 0; t < 31; ++t) {
+    EXPECT_FALSE(run.detections[t].ready);
+  }
+  for (std::size_t t = 31; t < 60; ++t) {
+    EXPECT_TRUE(run.detections[t].ready);
+  }
+}
+
+DetectorRun synthetic_run(const std::vector<int>& alarms,
+                          std::size_t first_ready) {
+  DetectorRun run;
+  run.detector_name = "synthetic";
+  run.first_ready = first_ready;
+  for (std::size_t t = 0; t < alarms.size(); ++t) {
+    Detection det;
+    det.ready = t >= first_ready;
+    det.alarm = alarms[t] != 0;
+    run.detections.push_back(det);
+  }
+  return run;
+}
+
+TEST(ScoreAgainstLabels, RestrictsToReadyEvaluatedRegion) {
+  const DetectorRun run = synthetic_run({0, 0, 1, 0, 1, 0}, 2);
+  const std::vector<bool> truth = {true, false, true, false, false, true};
+  const ConfusionMatrix cm = score_against_labels(run, truth, 0);
+  // Evaluated region: t = 2..5 -> (truth, alarm): (1,1) (0,0) (0,1) (1,0)
+  EXPECT_EQ(cm.true_positives, 1u);
+  EXPECT_EQ(cm.true_negatives, 1u);
+  EXPECT_EQ(cm.false_positives, 1u);
+  EXPECT_EQ(cm.false_negatives, 1u);
+}
+
+TEST(ScoreAgainstLabels, FirstEvalFurtherRestricts) {
+  const DetectorRun run = synthetic_run({1, 1, 1, 1}, 0);
+  const std::vector<bool> truth = {false, false, false, false};
+  const ConfusionMatrix cm = score_against_labels(run, truth, 3);
+  EXPECT_EQ(cm.total(), 1u);
+  EXPECT_EQ(cm.false_positives, 1u);
+}
+
+TEST(ScoreAgainstLabels, SizeMismatchRejected) {
+  const DetectorRun run = synthetic_run({0, 1}, 0);
+  EXPECT_THROW((void)score_against_labels(run, {true}, 0),
+               ContractViolation);
+}
+
+TEST(ScoreAgainstReference, TreatsReferenceAlarmsAsTruth) {
+  // The paper's protocol: reference = exact method's alarms.
+  const DetectorRun reference = synthetic_run({0, 1, 1, 0, 0}, 1);
+  const DetectorRun run = synthetic_run({0, 1, 0, 0, 1}, 1);
+  const ConfusionMatrix cm = score_against_reference(run, reference);
+  // Evaluated t = 1..4: ref (1,1,0,0), run (1,0,0,1).
+  EXPECT_EQ(cm.true_positives, 1u);
+  EXPECT_EQ(cm.false_negatives, 1u);
+  EXPECT_EQ(cm.true_negatives, 1u);
+  EXPECT_EQ(cm.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(cm.type1_error(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.type2_error(), 0.5);
+}
+
+TEST(ScoreAgainstReference, UsesLaterFirstReady) {
+  const DetectorRun reference = synthetic_run({1, 1, 1}, 0);
+  const DetectorRun run = synthetic_run({1, 1, 1}, 2);
+  const ConfusionMatrix cm = score_against_reference(run, reference);
+  EXPECT_EQ(cm.total(), 1u);
+}
+
+TEST(ScoreAgainstReference, PerfectAgreementGivesZeroErrors) {
+  const DetectorRun a = synthetic_run({0, 1, 0, 1, 0}, 0);
+  const ConfusionMatrix cm = score_against_reference(a, a);
+  EXPECT_EQ(cm.type1_error(), 0.0);
+  EXPECT_EQ(cm.type2_error(), 0.0);
+}
+
+}  // namespace
+}  // namespace spca

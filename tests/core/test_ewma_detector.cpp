@@ -1,0 +1,116 @@
+#include "core/ewma_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "common/contracts.hpp"
+#include "core/evaluation.hpp"
+#include "linalg/stats.hpp"
+#include "synth/anomaly_injector.hpp"
+
+namespace spca {
+namespace {
+
+using testing::flat_trace;
+using testing::small_topology;
+
+TEST(EwmaDetector, WarmupThenReady) {
+  EwmaConfig config;
+  config.warmup = 10;
+  EwmaDetector detector(3, config);
+  for (std::int64_t t = 0; t < 10; ++t) {
+    EXPECT_FALSE(detector.observe(t, Vector{1.0, 2.0, 3.0}).ready);
+  }
+  EXPECT_TRUE(detector.observe(10, Vector{1.0, 2.0, 3.0}).ready);
+}
+
+TEST(EwmaDetector, QuietTrafficRarelyAlarms) {
+  const Topology topo = small_topology();
+  const TraceSet trace = flat_trace(topo, 400, 3);
+  EwmaConfig config;
+  config.warmup = 100;
+  EwmaDetector detector(trace.num_flows(), config);
+  const DetectorRun run = run_detector(detector, trace);
+  std::size_t alarms = 0, ready = 0;
+  for (const auto& det : run.detections) {
+    if (det.ready) {
+      ++ready;
+      if (det.alarm) ++alarms;
+    }
+  }
+  ASSERT_GT(ready, 0u);
+  EXPECT_LT(static_cast<double>(alarms) / static_cast<double>(ready), 0.05);
+}
+
+TEST(EwmaDetector, CatchesSingleFlowSpikeAndNamesIt) {
+  const Topology topo = small_topology();
+  TraceSet trace = flat_trace(topo, 300, 4);
+  trace.volumes()(250, 7) *= 3.0;
+  EwmaConfig config;
+  config.warmup = 100;
+  EwmaDetector detector(trace.num_flows(), config);
+  Detection at_spike;
+  std::size_t worst_at_spike = 0;
+  for (std::size_t t = 0; t < 300; ++t) {
+    const Detection det =
+        detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+    if (t == 250) {
+      at_spike = det;
+      worst_at_spike = detector.worst_flow();
+    }
+  }
+  EXPECT_TRUE(at_spike.alarm);
+  EXPECT_EQ(worst_at_spike, 7u);
+}
+
+TEST(EwmaDetector, BlindToCoordinatedLowProfileAnomalies) {
+  // The motivating contrast with PCA: a coordinated 2.5-sigma bump across
+  // many flows stays under a per-flow 4-sigma control limit.
+  const Topology topo = small_topology();
+  TraceSet trace = flat_trace(topo, 400, 5);
+  std::vector<FlowId> flows;
+  for (FlowId f = 1; f < 13; ++f) flows.push_back(f);
+  AnomalyInjector injector(topo, 6);
+  injector.inject_botnet(trace, 350, 3, flows, 2.0);
+
+  EwmaConfig config;
+  config.warmup = 100;
+  config.k_sigma = 4.0;
+  EwmaDetector detector(trace.num_flows(), config);
+  const DetectorRun run = run_detector(detector, trace);
+  for (std::int64_t t = 350; t <= 352; ++t) {
+    EXPECT_FALSE(run.detections[static_cast<std::size_t>(t)].alarm)
+        << "t=" << t;
+  }
+}
+
+TEST(EwmaDetector, TracksSlowDriftWithoutAlarming) {
+  EwmaConfig config;
+  config.warmup = 50;
+  EwmaDetector detector(1, config);
+  bool any_alarm = false;
+  double level = 1000.0;
+  for (std::int64_t t = 0; t < 600; ++t) {
+    level *= 1.001;  // 0.1% growth per interval
+    // Small jitter so variance stays positive.
+    const double x = level * (1.0 + 0.01 * ((t % 5) - 2) / 2.0);
+    any_alarm = any_alarm || detector.observe(t, Vector{x}).alarm;
+  }
+  EXPECT_FALSE(any_alarm);
+}
+
+TEST(EwmaDetector, ConfigValidation) {
+  EXPECT_THROW(EwmaDetector(0, EwmaConfig{}), ContractViolation);
+  EwmaConfig bad;
+  bad.smoothing = 0.0;
+  EXPECT_THROW(EwmaDetector(2, bad), ContractViolation);
+  bad = EwmaConfig{};
+  bad.k_sigma = 0.0;
+  EXPECT_THROW(EwmaDetector(2, bad), ContractViolation);
+  bad = EwmaConfig{};
+  bad.warmup = 1;
+  EXPECT_THROW(EwmaDetector(2, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

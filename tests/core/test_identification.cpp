@@ -1,0 +1,103 @@
+#include "core/identification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "common/contracts.hpp"
+#include "synth/anomaly_injector.hpp"
+
+namespace spca {
+namespace {
+
+using testing::flat_trace;
+using testing::small_topology;
+
+struct Fixture {
+  Topology topo = small_topology();
+  TraceSet trace = flat_trace(topo, 256, 9);
+  PcaModel model;
+  Fixture() { model = PcaModel::from_data(trace.volumes()); }
+};
+
+TEST(AnomalyContributions, SharesSumToOneAndSorted) {
+  Fixture f;
+  Vector probe = f.trace.row(100);
+  probe[5] *= 2.0;
+  const auto contributions = anomaly_contributions(f.model, probe, 3);
+  ASSERT_EQ(contributions.size(), f.trace.num_flows());
+  double total_share = 0.0;
+  for (std::size_t i = 0; i < contributions.size(); ++i) {
+    total_share += contributions[i].share;
+    if (i > 0) {
+      EXPECT_GE(std::abs(contributions[i - 1].residual),
+                std::abs(contributions[i].residual));
+    }
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+TEST(AnomalyContributions, SpikedFlowRanksFirst) {
+  Fixture f;
+  Vector probe = f.trace.row(120);
+  probe[7] *= 2.5;
+  const auto contributions = anomaly_contributions(f.model, probe, 3);
+  EXPECT_EQ(contributions[0].flow, 7u);
+  EXPECT_GT(contributions[0].share, 0.3);
+}
+
+TEST(AnomalyContributions, CoordinatedFlowsAllRankHighly) {
+  Fixture f;
+  Vector probe = f.trace.row(130);
+  const std::vector<std::size_t> bumped = {2, 6, 11};
+  for (const std::size_t j : bumped) probe[j] *= 1.8;
+  const auto contributions = anomaly_contributions(f.model, probe, 3);
+  // All three bumped flows must appear in the top five contributors.
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (const std::size_t j : bumped) {
+      if (contributions[i].flow == j) ++found;
+    }
+  }
+  EXPECT_EQ(found, 3u);
+}
+
+TEST(TopContributors, CoversRequestedShare) {
+  Fixture f;
+  Vector probe = f.trace.row(140);
+  probe[3] *= 2.0;
+  probe[9] *= 1.5;
+  const auto top = top_contributors(f.model, probe, 3, 0.8);
+  EXPECT_GE(top.size(), 1u);
+  EXPECT_LT(top.size(), f.trace.num_flows());
+  double covered = 0.0;
+  for (const auto& c : top) covered += c.share;
+  EXPECT_GE(covered, 0.8 - 1e-9);
+}
+
+TEST(TopContributors, FullShareReturnsEverythingNeeded) {
+  Fixture f;
+  const Vector probe = f.trace.row(150);
+  const auto top = top_contributors(f.model, probe, 3, 1.0);
+  EXPECT_EQ(top.size(), f.trace.num_flows());
+}
+
+TEST(TopContributors, ZeroResidualYieldsSingleEntry) {
+  Fixture f;
+  // A vector exactly at the column means has zero centered component.
+  const auto top =
+      top_contributors(f.model, Vector(f.model.column_means()), 3, 0.8);
+  EXPECT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].share, 0.0);
+}
+
+TEST(TopContributors, ShareValidation) {
+  Fixture f;
+  const Vector probe = f.trace.row(10);
+  EXPECT_THROW((void)top_contributors(f.model, probe, 3, 0.0),
+               ContractViolation);
+  EXPECT_THROW((void)top_contributors(f.model, probe, 3, 1.5),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,207 @@
+#include "core/lakhina_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../helpers.hpp"
+#include "common/contracts.hpp"
+#include "linalg/stats.hpp"
+#include "stream/sliding_window.hpp"
+
+namespace spca {
+namespace {
+
+using testing::small_topology;
+using testing::small_trace;
+
+LakhinaConfig small_config(std::size_t window) {
+  LakhinaConfig config;
+  config.window = window;
+  config.alpha = 0.01;
+  config.rank_policy = RankPolicy::fixed(3);
+  return config;
+}
+
+TEST(LakhinaDetector, WarmupProducesNoVerdicts) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 40, 1);
+  LakhinaDetector detector(trace.num_flows(), small_config(32));
+  for (std::size_t t = 0; t < 31; ++t) {
+    const Detection det =
+        detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+    EXPECT_FALSE(det.ready);
+  }
+  const Detection det = detector.observe(31, trace.row(31));
+  EXPECT_TRUE(det.ready);
+}
+
+TEST(LakhinaDetector, ModelMatchesBatchPcaOnWindow) {
+  // After streaming n rows, the incremental covariance model must equal
+  // batch PCA over exactly those rows.
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 48, 2);
+  const std::size_t n = 48;
+  LakhinaDetector detector(trace.num_flows(), small_config(n));
+  for (std::size_t t = 0; t < n; ++t) {
+    (void)detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+  }
+  ASSERT_TRUE(detector.model().has_value());
+  const PcaModel batch = PcaModel::from_data(trace.volumes());
+  const PcaModel& streaming = *detector.model();
+  const double scale = batch.singular_values()[0];
+  for (std::size_t j = 0; j < trace.num_flows(); ++j) {
+    EXPECT_NEAR(streaming.singular_values()[j], batch.singular_values()[j],
+                1e-6 * scale)
+        << "component " << j;
+  }
+  for (std::size_t j = 0; j < trace.num_flows(); ++j) {
+    EXPECT_NEAR(streaming.column_means()[j], batch.column_means()[j],
+                1e-6 * (1.0 + std::abs(batch.column_means()[j])));
+  }
+}
+
+TEST(LakhinaDetector, SlidingWindowForgetsOldRows) {
+  // Stream 2n rows; the model must match batch PCA over the LAST n only.
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 96, 3);
+  const std::size_t n = 48;
+  LakhinaDetector detector(trace.num_flows(), small_config(n));
+  for (std::size_t t = 0; t < 96; ++t) {
+    (void)detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+  }
+  SlidingWindowMatrix window(n, trace.num_flows());
+  for (std::size_t t = 96 - n; t < 96; ++t) {
+    window.add_row(trace.row(t));
+  }
+  const PcaModel batch = PcaModel::from_data(window.to_matrix());
+  const double scale = batch.singular_values()[0];
+  for (std::size_t j = 0; j < trace.num_flows(); ++j) {
+    EXPECT_NEAR(detector.model()->singular_values()[j],
+                batch.singular_values()[j], 1e-5 * scale);
+  }
+}
+
+TEST(LakhinaDetector, QuietTrafficRarelyAlarms) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 200, 4);
+  LakhinaDetector detector(trace.num_flows(), small_config(96));
+  std::size_t alarms = 0, ready = 0;
+  for (std::size_t t = 0; t < 200; ++t) {
+    const Detection det =
+        detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+    if (det.ready) {
+      ++ready;
+      if (det.alarm) ++alarms;
+    }
+  }
+  ASSERT_GT(ready, 0u);
+  // alpha = 0.01; allow generous slack for the approximation.
+  EXPECT_LT(static_cast<double>(alarms) / static_cast<double>(ready), 0.12);
+}
+
+Detection observe_with_spike(double multiplier, Detection* baseline = nullptr) {
+  const Topology topo = small_topology();
+  TraceSet trace = testing::flat_trace(topo, 160, 5);
+  for (const std::size_t f : {1u, 6u, 9u}) {
+    trace.volumes()(150, f) *= multiplier;
+  }
+  LakhinaDetector detector(trace.num_flows(), small_config(128));
+  Detection at_spike;
+  for (std::size_t t = 0; t < 160; ++t) {
+    const Detection det =
+        detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+    if (t == 150) at_spike = det;
+    if (t == 149 && baseline != nullptr) *baseline = det;
+  }
+  return at_spike;
+}
+
+TEST(LakhinaDetector, DetectsVolumeSpike) {
+  // A clear anomaly at t = 150 on several flows. Deliberately NOT so large
+  // that the spiked row dominates the window's spectrum: the model is fitted
+  // with the observation included (paper semantics), so an overwhelming
+  // single row would rotate the top principal components onto itself and be
+  // absorbed into the normal subspace — the poisoning effect of [3].
+  Detection baseline;
+  const Detection at_spike = observe_with_spike(1.4, &baseline);
+  EXPECT_TRUE(at_spike.ready);
+  EXPECT_TRUE(at_spike.alarm);
+  EXPECT_GT(at_spike.distance, at_spike.threshold);
+  EXPECT_GT(at_spike.distance, 1.5 * baseline.distance);
+}
+
+TEST(LakhinaDetector, OverwhelmingSpikeIsAbsorbedByPoisonedSubspace) {
+  // Documents the contamination weakness the paper cites ([2], [3]): a
+  // spike large enough to dominate the window spectrum becomes a principal
+  // component itself and the residual distance COLLAPSES instead of growing.
+  const Detection moderate = observe_with_spike(1.4);
+  const Detection overwhelming = observe_with_spike(4.0);
+  EXPECT_TRUE(moderate.alarm);
+  EXPECT_FALSE(overwhelming.alarm);
+  EXPECT_LT(overwhelming.distance, moderate.distance);
+}
+
+TEST(LakhinaDetector, DistanceProfileIsMonotoneNonIncreasing) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 72, 6);
+  LakhinaDetector detector(trace.num_flows(), small_config(64));
+  for (std::size_t t = 0; t < 72; ++t) {
+    (void)detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+  }
+  const Vector profile = detector.distance_profile();
+  ASSERT_EQ(profile.size(), trace.num_flows() - 1);
+  for (std::size_t r = 1; r < profile.size(); ++r) {
+    EXPECT_LE(profile[r], profile[r - 1] + 1e-9);
+  }
+}
+
+TEST(LakhinaDetector, DistanceProfileMatchesPerRankDistances) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 72, 7);
+  LakhinaDetector detector(trace.num_flows(), small_config(64));
+  Vector last_row;
+  for (std::size_t t = 0; t < 72; ++t) {
+    last_row = trace.row(t);
+    (void)detector.observe(static_cast<std::int64_t>(t), last_row);
+  }
+  const Vector profile = detector.distance_profile();
+  for (const std::size_t r : {1u, 3u, 7u}) {
+    EXPECT_NEAR(profile[r - 1],
+                detector.model()->anomaly_distance(last_row, r), 1e-9);
+  }
+}
+
+TEST(LakhinaDetector, RecomputePeriodSkipsModelRefits) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 96, 8);
+  LakhinaConfig lazy_config = small_config(48);
+  lazy_config.recompute_period = 8;
+  LakhinaDetector detector(trace.num_flows(), lazy_config);
+  for (std::size_t t = 0; t < 96; ++t) {
+    (void)detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+  }
+  // 49 ready intervals with period 8: far fewer recomputes than intervals.
+  EXPECT_LE(detector.model_computations(), 9u);
+  EXPECT_GE(detector.model_computations(), 5u);
+}
+
+TEST(LakhinaDetector, ConfigValidation) {
+  EXPECT_THROW(LakhinaDetector(1, small_config(16)), ContractViolation);
+  LakhinaConfig bad = small_config(1);
+  EXPECT_THROW(LakhinaDetector(4, bad), ContractViolation);
+  bad = small_config(16);
+  bad.alpha = 0.0;
+  EXPECT_THROW(LakhinaDetector(4, bad), ContractViolation);
+  bad = small_config(16);
+  bad.recompute_period = 0;
+  EXPECT_THROW(LakhinaDetector(4, bad), ContractViolation);
+}
+
+TEST(LakhinaDetector, RejectsWrongDimensionInput) {
+  LakhinaDetector detector(4, small_config(8));
+  EXPECT_THROW((void)detector.observe(0, Vector(3)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

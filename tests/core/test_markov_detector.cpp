@@ -1,0 +1,159 @@
+#include "core/markov_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../helpers.hpp"
+#include "common/contracts.hpp"
+#include "core/evaluation.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+using testing::flat_trace;
+using testing::small_topology;
+
+MarkovConfig test_config() {
+  MarkovConfig config;
+  config.window = 256;
+  config.warmup = 64;
+  return config;
+}
+
+TEST(MarkovDetector, WarmupThenReady) {
+  MarkovDetector detector(2, test_config());
+  for (std::int64_t t = 0; t < 64; ++t) {
+    EXPECT_FALSE(detector.observe(t, Vector{100.0, 50.0}).ready);
+  }
+  EXPECT_TRUE(detector.observe(64, Vector{100.0, 50.0}).ready);
+}
+
+TEST(MarkovDetector, TransitionProbabilitiesFormDistribution) {
+  MarkovConfig config = test_config();
+  MarkovDetector detector(1, config);
+  Xoshiro256 gen(1);
+  for (std::int64_t t = 0; t < 300; ++t) {
+    detector.observe(t, Vector{1000.0 + 100.0 * standard_normal(gen)});
+  }
+  for (std::size_t from = 0; from < config.num_states; ++from) {
+    double total = 0.0;
+    for (std::size_t to = 0; to < config.num_states; ++to) {
+      const double p = detector.transition_probability(from, to);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "from=" << from;
+  }
+}
+
+TEST(MarkovDetector, ConstantTrafficSelfTransitionDominates) {
+  MarkovDetector detector(1, test_config());
+  for (std::int64_t t = 0; t < 400; ++t) {
+    detector.observe(t, Vector{5000.0});
+  }
+  const std::size_t state = detector.last_state();
+  EXPECT_GT(detector.transition_probability(state, state), 0.5);
+}
+
+TEST(MarkovDetector, PeriodicAlternationLearnedAsStructure) {
+  // The z-normalized quantizer maps a deterministic alternation onto two
+  // states; the chain must learn the A->B / B->A structure, making the
+  // cross transitions likely and the self transitions unlikely.
+  MarkovDetector detector(1, test_config());
+  for (std::int64_t t = 0; t < 400; ++t) {
+    detector.observe(t, Vector{5000.0 + 50.0 * static_cast<double>(t % 2)});
+  }
+  const std::size_t b = detector.last_state();
+  // Find the partner state as the most likely successor of b.
+  std::size_t a = b;
+  double best = 0.0;
+  for (std::size_t to = 0; to < test_config().num_states; ++to) {
+    const double p = detector.transition_probability(b, to);
+    if (p > best) {
+      best = p;
+      a = to;
+    }
+  }
+  EXPECT_NE(a, b);
+  EXPECT_GT(detector.transition_probability(b, a), 0.5);
+  EXPECT_GT(detector.transition_probability(a, b), 0.5);
+  EXPECT_LT(detector.transition_probability(b, b), 0.3);
+}
+
+TEST(MarkovDetector, QuietTrafficRarelyAlarms) {
+  const Topology topo = small_topology();
+  const TraceSet trace = flat_trace(topo, 500, 8);
+  MarkovDetector detector(trace.num_flows(), test_config());
+  const DetectorRun run = run_detector(detector, trace);
+  std::size_t alarms = 0, ready = 0;
+  for (const auto& det : run.detections) {
+    if (det.ready) {
+      ++ready;
+      if (det.alarm) ++alarms;
+    }
+  }
+  ASSERT_GT(ready, 0u);
+  // Empirical-quantile threshold: the false-alarm rate is ~alpha by
+  // construction; allow generous slack.
+  EXPECT_LT(static_cast<double>(alarms) / static_cast<double>(ready), 0.06);
+}
+
+TEST(MarkovDetector, VolumeRegimeChangeRaisesSurprise) {
+  const Topology topo = small_topology();
+  TraceSet trace = flat_trace(topo, 400, 9);
+  // Network-wide surge at t = 350: every flow doubles.
+  for (std::size_t j = 0; j < trace.num_flows(); ++j) {
+    trace.volumes()(350, j) *= 2.0;
+  }
+  MarkovDetector detector(trace.num_flows(), test_config());
+  Detection at_surge;
+  double mean_quiet = 0.0;
+  std::size_t quiet = 0;
+  for (std::size_t t = 0; t < 400; ++t) {
+    const Detection det =
+        detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+    if (t == 350) {
+      at_surge = det;
+    } else if (det.ready && t < 350) {
+      mean_quiet += det.distance;
+      ++quiet;
+    }
+  }
+  ASSERT_GT(quiet, 0u);
+  mean_quiet /= static_cast<double>(quiet);
+  EXPECT_TRUE(at_surge.alarm);
+  EXPECT_GT(at_surge.distance, 2.0 * mean_quiet);
+}
+
+TEST(MarkovDetector, SlidingWindowForgetsOldRegimes) {
+  MarkovConfig config = test_config();
+  config.window = 64;
+  MarkovDetector detector(1, config);
+  // Long run in regime A, then a long run in regime B; after the window
+  // has fully turned over, regime B's self-transition dominates again.
+  std::int64_t t = 0;
+  for (; t < 200; ++t) detector.observe(t, Vector{1000.0});
+  for (; t < 500; ++t) detector.observe(t, Vector{1000.0});
+  const std::size_t state = detector.last_state();
+  EXPECT_GT(detector.transition_probability(state, state), 0.8);
+}
+
+TEST(MarkovDetector, ConfigValidation) {
+  EXPECT_THROW(MarkovDetector(0, test_config()), ContractViolation);
+  MarkovConfig bad = test_config();
+  bad.num_states = 1;
+  EXPECT_THROW(MarkovDetector(2, bad), ContractViolation);
+  bad = test_config();
+  bad.alpha = 0.0;
+  EXPECT_THROW(MarkovDetector(2, bad), ContractViolation);
+  bad = test_config();
+  bad.window = 2;
+  EXPECT_THROW(MarkovDetector(2, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

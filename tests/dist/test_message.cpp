@@ -1,0 +1,78 @@
+#include "dist/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+Message sample_message() {
+  Message msg;
+  msg.type = MessageType::kSketchResponse;
+  msg.from = 3;
+  msg.to = kNocId;
+  msg.interval = 12345;
+  msg.ids = {7, 11, 13};
+  msg.values = {1.5, -2.25, 1e300, 0.0};
+  return msg;
+}
+
+TEST(Message, SerializeDeserializeRoundTrip) {
+  const Message original = sample_message();
+  const Message parsed = deserialize(serialize(original));
+  EXPECT_EQ(parsed.type, original.type);
+  EXPECT_EQ(parsed.from, original.from);
+  EXPECT_EQ(parsed.to, original.to);
+  EXPECT_EQ(parsed.interval, original.interval);
+  EXPECT_EQ(parsed.ids, original.ids);
+  EXPECT_EQ(parsed.values, original.values);
+}
+
+TEST(Message, WireBytesMatchesSerializedSize) {
+  const Message msg = sample_message();
+  EXPECT_EQ(serialize(msg).size(), msg.wire_bytes());
+}
+
+TEST(Message, EmptyPayloadsSupported) {
+  Message msg;
+  msg.type = MessageType::kSketchRequest;
+  msg.interval = -5;
+  const Message parsed = deserialize(serialize(msg));
+  EXPECT_TRUE(parsed.ids.empty());
+  EXPECT_TRUE(parsed.values.empty());
+  EXPECT_EQ(parsed.interval, -5);
+}
+
+TEST(Message, TruncatedBufferRejected) {
+  auto wire = serialize(sample_message());
+  wire.resize(wire.size() - 3);
+  EXPECT_THROW((void)deserialize(wire), ProtocolError);
+}
+
+TEST(Message, TrailingBytesRejected) {
+  auto wire = serialize(sample_message());
+  wire.push_back(std::byte{0});
+  EXPECT_THROW((void)deserialize(wire), ProtocolError);
+}
+
+TEST(Message, UnknownTypeRejected) {
+  auto wire = serialize(sample_message());
+  wire[0] = std::byte{9};
+  EXPECT_THROW((void)deserialize(wire), ProtocolError);
+}
+
+TEST(Message, HeaderOnlySizeIs25Bytes) {
+  Message msg;
+  EXPECT_EQ(msg.wire_bytes(), 25u);
+}
+
+TEST(Message, PayloadScalesWireSize) {
+  Message msg;
+  msg.ids.assign(10, 0);
+  msg.values.assign(10, 0.0);
+  EXPECT_EQ(msg.wire_bytes(), 25u + 10 * 4 + 10 * 8);
+}
+
+}  // namespace
+}  // namespace spca

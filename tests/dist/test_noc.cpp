@@ -1,0 +1,237 @@
+#include "dist/noc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dist/local_monitor.hpp"
+
+namespace spca {
+namespace {
+
+NocConfig small_noc_config(std::size_t l) {
+  NocConfig config;
+  config.window = 16;
+  config.sketch_rows = l;
+  config.alpha = 0.01;
+  config.rank_policy = RankPolicy::fixed(2);
+  return config;
+}
+
+TEST(Noc, CollectsVolumesFromMultipleMonitors) {
+  SimNetwork net;
+  Noc noc(4, small_noc_config(4));
+  Message r1;
+  r1.type = MessageType::kVolumeReport;
+  r1.from = 1;
+  r1.to = kNocId;
+  r1.interval = 5;
+  r1.ids = {0, 2};
+  r1.values = {10.0, 30.0};
+  Message r2 = r1;
+  r2.from = 2;
+  r2.ids = {1, 3};
+  r2.values = {20.0, 40.0};
+  net.send(r1);
+  net.send(r2);
+  const Vector x = noc.collect_volumes(5, net);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(x[j], 10.0 * static_cast<double>(j + 1));
+  }
+}
+
+TEST(Noc, MissingReportsRejected) {
+  SimNetwork net;
+  Noc noc(4, small_noc_config(4));
+  Message r1;
+  r1.type = MessageType::kVolumeReport;
+  r1.from = 1;
+  r1.to = kNocId;
+  r1.interval = 0;
+  r1.ids = {0, 1};
+  r1.values = {1.0, 2.0};
+  net.send(r1);
+  EXPECT_THROW((void)noc.collect_volumes(0, net), ProtocolError);
+}
+
+TEST(Noc, DuplicateFlowReportRejected) {
+  SimNetwork net;
+  Noc noc(2, small_noc_config(2));
+  Message r;
+  r.type = MessageType::kVolumeReport;
+  r.from = 1;
+  r.to = kNocId;
+  r.interval = 0;
+  r.ids = {0, 0};
+  r.values = {1.0, 2.0};
+  net.send(r);
+  EXPECT_THROW((void)noc.collect_volumes(0, net), ProtocolError);
+}
+
+TEST(Noc, WrongIntervalRejected) {
+  SimNetwork net;
+  Noc noc(2, small_noc_config(2));
+  Message r;
+  r.type = MessageType::kVolumeReport;
+  r.from = 1;
+  r.to = kNocId;
+  r.interval = 3;
+  r.ids = {0, 1};
+  r.values = {1.0, 2.0};
+  net.send(r);
+  EXPECT_THROW((void)noc.collect_volumes(4, net), ProtocolError);
+}
+
+class NocProtocolTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kFlows = 4;
+  static constexpr std::size_t kRows = 8;
+  SimNetwork net_;
+  ProjectionSource source_{ProjectionKind::kGaussian, 31};
+  LocalMonitor monitor_a_{1, {0, 1}, 16, 0.05, kRows, source_};
+  LocalMonitor monitor_b_{2, {2, 3}, 16, 0.05, kRows, source_};
+  Noc noc_{kFlows, small_noc_config(kRows)};
+
+  void feed_interval(std::int64_t t, const Vector& x) {
+    monitor_a_.ingest_volume(0, x[0]);
+    monitor_a_.ingest_volume(1, x[1]);
+    monitor_b_.ingest_volume(2, x[2]);
+    monitor_b_.ingest_volume(3, x[3]);
+    monitor_a_.end_interval(t, net_);
+    monitor_b_.end_interval(t, net_);
+  }
+
+  std::function<void()> pump() {
+    return [this] {
+      monitor_a_.handle_mail(net_);
+      monitor_b_.handle_mail(net_);
+    };
+  }
+
+  static Vector quiet_row(std::int64_t t) {
+    Vector x(kFlows);
+    for (std::size_t j = 0; j < kFlows; ++j) {
+      x[j] = 1000.0 * static_cast<double>(j + 1) +
+             25.0 * std::sin(static_cast<double>(t) * 0.4 +
+                             static_cast<double>(j));
+    }
+    return x;
+  }
+};
+
+TEST_F(NocProtocolTest, FirstDetectPullsSketchesOnce) {
+  for (std::int64_t t = 0; t < 16; ++t) {
+    feed_interval(t, quiet_row(t));
+    const Vector x = noc_.collect_volumes(t, net_);
+    if (t == 15) {
+      const Detection det = noc_.detect(t, x, {1, 2}, net_, pump());
+      EXPECT_TRUE(det.ready);
+      EXPECT_TRUE(det.model_refreshed);
+    }
+  }
+  EXPECT_EQ(noc_.sketch_pulls(), 1u);
+  ASSERT_TRUE(noc_.model().has_value());
+  EXPECT_EQ(noc_.model()->dimensions(), kFlows);
+}
+
+TEST_F(NocProtocolTest, QuietTrafficReusesStaleModel) {
+  for (std::int64_t t = 0; t < 40; ++t) {
+    feed_interval(t, quiet_row(t));
+    const Vector x = noc_.collect_volumes(t, net_);
+    if (t >= 15) {
+      (void)noc_.detect(t, x, {1, 2}, net_, pump());
+    }
+  }
+  // One initial pull plus at most a few suspicion-driven refreshes.
+  EXPECT_LT(noc_.sketch_pulls(), 10u);
+}
+
+TEST_F(NocProtocolTest, SpikeForcesRefreshAndAlarm) {
+  for (std::int64_t t = 0; t < 30; ++t) {
+    Vector x = quiet_row(t);
+    if (t == 29) {
+      x[0] *= 8.0;
+      x[2] *= 8.0;
+    }
+    feed_interval(t, x);
+    const Vector assembled = noc_.collect_volumes(t, net_);
+    if (t >= 15) {
+      const Detection det = noc_.detect(t, assembled, {1, 2}, net_, pump());
+      if (t == 29) {
+        EXPECT_TRUE(det.model_refreshed);
+        EXPECT_TRUE(det.alarm);
+      }
+    }
+  }
+  EXPECT_GE(noc_.alarms_sent(), 1u);
+}
+
+TEST(NocFailureInjection, MalformedSketchResponseRejected) {
+  SimNetwork net;
+  Noc noc(2, small_noc_config(4));
+  Message bad;
+  bad.type = MessageType::kSketchResponse;
+  bad.from = 1;
+  bad.to = kNocId;
+  bad.ids = {0, 1};
+  bad.values = {1.0, 2.0, 3.0};  // wrong block size: needs 2 * (4 + 2)
+  net.send(bad);
+  EXPECT_THROW(noc.ingest_sketch_responses(net), ProtocolError);
+}
+
+TEST(NocFailureInjection, SketchForUnknownFlowRejected) {
+  SimNetwork net;
+  Noc noc(2, small_noc_config(2));
+  Message bad;
+  bad.type = MessageType::kSketchResponse;
+  bad.from = 1;
+  bad.to = kNocId;
+  bad.ids = {7};  // flow 7 does not exist in a 2-flow deployment
+  bad.values = {0.0, 1.0, 0.5, 0.5};
+  net.send(bad);
+  EXPECT_THROW(noc.ingest_sketch_responses(net), ProtocolError);
+}
+
+TEST(NocFailureInjection, RefitBeforeAllSketchesRejected) {
+  SimNetwork net;
+  Noc noc(2, small_noc_config(2));
+  Message partial;
+  partial.type = MessageType::kSketchResponse;
+  partial.from = 1;
+  partial.to = kNocId;
+  partial.ids = {0};  // flow 1's sketch never arrives
+  partial.values = {0.0, 4.0, 0.5, 0.5};
+  net.send(partial);
+  EXPECT_THROW(noc.ingest_sketch_responses(net), ProtocolError);
+}
+
+TEST(NocFailureInjection, WrongMessageTypeInSketchPhaseRejected) {
+  SimNetwork net;
+  Noc noc(2, small_noc_config(2));
+  Message wrong;
+  wrong.type = MessageType::kVolumeReport;
+  wrong.from = 1;
+  wrong.to = kNocId;
+  wrong.ids = {0, 1};
+  wrong.values = {1.0, 2.0};
+  net.send(wrong);
+  EXPECT_THROW(noc.ingest_sketch_responses(net), ProtocolError);
+}
+
+TEST_F(NocProtocolTest, EagerModePullsEveryInterval) {
+  NocConfig eager = small_noc_config(kRows);
+  eager.lazy = false;
+  Noc noc(kFlows, eager);
+  for (std::int64_t t = 0; t < 24; ++t) {
+    feed_interval(t, quiet_row(t));
+    const Vector x = noc.collect_volumes(t, net_);
+    if (t >= 15) {
+      (void)noc.detect(t, x, {1, 2}, net_, pump());
+    }
+  }
+  EXPECT_EQ(noc.sketch_pulls(), 24u - 15u);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,154 @@
+// End-to-end integration: Abilene topology -> synthetic traffic -> packet
+// stream -> local monitors (volume counter + sketches) -> NOC lazy protocol
+// -> alarms, checked against injected ground truth.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "core/evaluation.hpp"
+#include "core/lakhina_detector.hpp"
+#include "core/sketch_detector.hpp"
+#include "dist/distributed_detector.hpp"
+#include "synth/packet_synthesizer.hpp"
+#include "traffic/routing.hpp"
+
+namespace spca {
+namespace {
+
+TEST(EndToEnd, AbileneSketchDetectorCatchesInjectedDdos) {
+  const Topology topo = abilene_topology();
+  TrafficModelConfig model_config;
+  model_config.num_intervals = 200;
+  model_config.seed = 21;
+  TraceSet trace = generate_traffic(topo, model_config);
+  AnomalyInjector injector(topo, 5);
+  injector.inject_ddos(trace, 180, 3, topo.router_id("NEWY"), 2.5);
+
+  SketchDetectorConfig config;
+  config.window = 144;
+  config.sketch_rows = 64;
+  config.rank_policy = RankPolicy::fixed(6);
+  config.seed = 11;
+  SketchDetector detector(trace.num_flows(), config);
+  const DetectorRun run = run_detector(detector, trace);
+
+  bool caught = false;
+  for (std::int64_t t = 180; t <= 182; ++t) {
+    caught = caught || run.detections[static_cast<std::size_t>(t)].alarm;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(EndToEnd, CoordinatedLowProfileBotnetDetected) {
+  // The paper's raison d'etre: small coordinated increases that are
+  // invisible per-flow but stick out of the PCA residual.
+  const Topology topo = abilene_topology();
+  TrafficModelConfig model_config;
+  model_config.num_intervals = 220;
+  model_config.seed = 22;
+  TraceSet trace = generate_traffic(topo, model_config);
+  std::vector<FlowId> bots;
+  for (const auto& [o, d] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"ATLA", "CHIC"}, {"CHIC", "KANS"}, {"CHIC", "SALT"},
+           {"SEAT", "SALT"}, {"LOSA", "HOUS"}, {"NEWY", "WASH"}}) {
+    bots.push_back(topo.flow_id(o, d));
+  }
+  AnomalyInjector injector(topo, 6);
+  injector.inject_botnet(trace, 200, 4, bots, 3.0);
+
+  SketchDetectorConfig config;
+  config.window = 144;
+  config.sketch_rows = 96;
+  config.rank_policy = RankPolicy::fixed(6);
+  config.seed = 13;
+  SketchDetector detector(trace.num_flows(), config);
+  const DetectorRun run = run_detector(detector, trace);
+
+  bool caught = false;
+  for (std::int64_t t = 200; t <= 203; ++t) {
+    caught = caught || run.detections[static_cast<std::size_t>(t)].alarm;
+  }
+  EXPECT_TRUE(caught);
+
+  // Per-flow sanity: the injected bump is low-profile, well under the
+  // flow's own peak-to-mean excursions.
+  const FlowId f = bots[0];
+  double peak = 0.0, mean = 0.0;
+  for (std::size_t t = 0; t < 200; ++t) {
+    peak = std::max(peak, trace.volumes()(t, f));
+    mean += trace.volumes()(t, f);
+  }
+  mean /= 200.0;
+  EXPECT_LT(trace.volumes()(201, f), peak * 1.15)
+      << "anomaly should not be a blatant per-flow spike";
+  EXPECT_GT(trace.volumes()(201, f), mean);
+}
+
+TEST(EndToEnd, PacketPathFeedsDistributedDeploymentByteExact) {
+  // Drive two intervals of a small deployment from an actual packet stream
+  // and confirm the NOC assembles exactly the per-flow packet byte sums.
+  const Topology topo = testing::small_topology();
+  TrafficModelConfig model_config;
+  model_config.num_intervals = 2;
+  model_config.seed = 23;
+  // Tiny volumes so packet counts stay manageable.
+  model_config.bytes_per_second = 2000.0;
+  const TraceSet trace = generate_traffic(topo, model_config);
+
+  const ProjectionSource source(ProjectionKind::kGaussian, 3);
+  SimNetwork net;
+  std::vector<LocalMonitor> monitors;
+  monitors.emplace_back(1, std::vector<FlowId>{0, 1, 2, 3, 4, 5, 6, 7}, 8,
+                        0.1, 4, source);
+  monitors.emplace_back(2, std::vector<FlowId>{8, 9, 10, 11, 12, 13, 14, 15},
+                        8, 0.1, 4, source);
+  Noc noc(16, NocConfig{8, 4, 0.01, RankPolicy::fixed(2), true});
+
+  for (std::size_t t = 0; t < 2; ++t) {
+    const auto packets =
+        synthesize_interval(trace, t, topo.num_routers(), PacketSizeModel{}, 9);
+    Vector expected(16);
+    for (const auto& p : packets) {
+      const FlowId flow = od_flow_id(p.origin, p.destination, 4);
+      monitors[flow < 8 ? 0 : 1].record(flow, p.size_bytes);
+      expected[flow] += static_cast<double>(p.size_bytes);
+    }
+    for (auto& m : monitors) {
+      m.end_interval(static_cast<std::int64_t>(t), net);
+    }
+    const Vector assembled =
+        noc.collect_volumes(static_cast<std::int64_t>(t), net);
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_DOUBLE_EQ(assembled[j], expected[j]) << "flow " << j;
+    }
+  }
+}
+
+TEST(EndToEnd, SketchTypeErrorsAgainstLakhinaGroundTruthAreModest) {
+  // A miniature of the paper's Sec. VI protocol on the small topology.
+  const Topology topo = testing::small_topology();
+  const TraceSet trace =
+      testing::small_trace(topo, 300, 24, /*anomalies=*/8, /*warmup=*/130);
+
+  LakhinaConfig exact_config;
+  exact_config.window = 128;
+  exact_config.rank_policy = RankPolicy::fixed(3);
+  LakhinaDetector exact(trace.num_flows(), exact_config);
+  const DetectorRun reference = run_detector(exact, trace);
+
+  SketchDetectorConfig sketch_config;
+  sketch_config.window = 128;
+  sketch_config.sketch_rows = 96;
+  sketch_config.rank_policy = RankPolicy::fixed(3);
+  sketch_config.seed = 31;
+  sketch_config.lazy = false;
+  SketchDetector sketch(trace.num_flows(), sketch_config);
+  const DetectorRun run = run_detector(sketch, trace);
+
+  const ConfusionMatrix cm = score_against_reference(run, reference);
+  EXPECT_LT(cm.type1_error(), 0.15);
+  EXPECT_LT(cm.type2_error(), 0.55);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,104 @@
+// End-to-end feature-entropy pipeline on the small topology: packets with
+// Zipf addresses -> per-flow destination-address entropy -> sketch PCA;
+// an address scan that is invisible in volume must be caught in entropy,
+// and the Count-Min heavy hitter must name the scanning host.
+#include <gtest/gtest.h>
+
+#include "core/sketch_detector.hpp"
+#include "sketch/count_min.hpp"
+#include "synth/address_model.hpp"
+#include "synth/packet_synthesizer.hpp"
+#include "synth/traffic_model.hpp"
+#include "traffic/entropy.hpp"
+#include "traffic/volume_counter.hpp"
+
+namespace spca {
+namespace {
+
+Topology tiny_topology() {
+  return Topology({"A", "B", "C", "D"},
+                  {Link{0, 1, 1.0}, Link{1, 2, 1.0}, Link{2, 3, 1.0},
+                   Link{3, 0, 1.0}});
+}
+
+TEST(EntropyPipeline, ScanInvisibleInVolumeCaughtInEntropy) {
+  const Topology topo = tiny_topology();
+  const std::uint32_t routers = topo.num_routers();
+  TrafficModelConfig traffic;
+  traffic.num_intervals = 140;
+  traffic.seed = 5;
+  traffic.bytes_per_second = 5.0e4;
+  traffic.diurnal.daily_amplitude = 0.0;
+  traffic.diurnal.harmonic_amplitude = 0.0;
+  traffic.diurnal.weekend_dip = 0.0;
+  const TraceSet trace = generate_traffic(topo, traffic);
+  const std::size_t m = trace.num_flows();
+
+  const FlowId scanned = od_flow_id(0, 2, routers);
+  const std::int64_t scan_start = 120;
+  const std::int64_t scan_end = 122;
+
+  SketchDetectorConfig config;
+  config.window = 96;
+  config.sketch_rows = 32;
+  config.rank_policy = RankPolicy::fixed(3);
+  config.alpha = 0.001;
+  config.seed = 9;
+  SketchDetector volume_detector(m, config);
+  SketchDetector entropy_detector(m, config);
+
+  const AddressModel addresses;
+  VolumeCounter volumes(static_cast<std::uint32_t>(m));
+  EntropyAggregator entropy(static_cast<std::uint32_t>(m),
+                            EntropyAggregator::Feature::kDestinationAddress);
+  HeavyHitterTracker scanned_flow_sources(16, 0.01, 0.01, 77);
+
+  bool volume_alarm_in_scan = false;
+  bool entropy_alarm_in_scan = false;
+  std::uint32_t true_scanner = 0;
+  std::uint32_t identified_scanner = 0;
+
+  for (std::size_t t = 0; t < trace.num_intervals(); ++t) {
+    auto packets =
+        synthesize_interval(trace, t, routers, PacketSizeModel{}, 100 + t);
+    assign_addresses(packets, addresses, 200 + t);
+    const bool scan_now = static_cast<std::int64_t>(t) >= scan_start &&
+                          static_cast<std::int64_t>(t) <= scan_end;
+    if (scan_now) {
+      const auto burst = synthesize_scan_packets(
+          scanned, routers, static_cast<std::int64_t>(t), 400, 64,
+          addresses, 300);
+      true_scanner = burst.front().src_addr;
+      packets.insert(packets.end(), burst.begin(), burst.end());
+    }
+    scanned_flow_sources.reset();
+    for (const auto& p : packets) {
+      volumes.record_packet(p, routers);
+      entropy.record(p, routers);
+      if (od_flow_id(p.origin, p.destination, routers) == scanned) {
+        scanned_flow_sources.add(p.src_addr);
+      }
+    }
+    const Detection dv = volume_detector.observe(
+        static_cast<std::int64_t>(t), volumes.end_interval());
+    const Detection de = entropy_detector.observe(
+        static_cast<std::int64_t>(t), entropy.end_interval());
+    if (scan_now) {
+      volume_alarm_in_scan = volume_alarm_in_scan || dv.alarm;
+      if (de.alarm && identified_scanner == 0) {
+        entropy_alarm_in_scan = true;
+        const auto top = scanned_flow_sources.top(1);
+        ASSERT_FALSE(top.empty());
+        identified_scanner = top[0].key;
+      }
+    }
+  }
+
+  EXPECT_FALSE(volume_alarm_in_scan)
+      << "the scan should be invisible in the volume view";
+  EXPECT_TRUE(entropy_alarm_in_scan);
+  EXPECT_EQ(identified_scanner, true_scanner);
+}
+
+}  // namespace
+}  // namespace spca

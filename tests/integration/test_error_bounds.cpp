@@ -1,0 +1,179 @@
+// Statistical verification of the paper's theoretical claims (Sec. V):
+//   Lemma 1  — VH variance approximation (covered in stream tests)
+//   Lemma 4  — sketch norm ~ centered column norm (covered in sketch tests)
+//   Lemma 5  — partial spectral sums of Z-hat approximate those of Y
+//   Lemma 6  — covariance approximation in Frobenius norm
+//   Theorem 2 — anomaly distances under the sketch model approximate the
+//               exact distances when the spectral gap is healthy
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "../helpers.hpp"
+#include "core/sketch_detector.hpp"
+#include "linalg/stats.hpp"
+#include "linalg/svd.hpp"
+#include "pca/pca_model.hpp"
+#include "sketch/random_projection.hpp"
+
+namespace spca {
+namespace {
+
+using testing::small_topology;
+using testing::small_trace;
+
+struct SketchSetup {
+  Matrix y;        // centered window matrix
+  Matrix z;        // exact random projection of y
+  Svd y_svd;
+  Svd z_svd;
+};
+
+SketchSetup project_trace(std::size_t n, std::size_t l, std::uint64_t seed) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, n, seed);
+  SketchSetup setup;
+  setup.y = center_columns(trace.volumes());
+  // Rescale to O(1) magnitudes so tolerances are easy to read.
+  setup.y *= 1.0 / frobenius_norm(setup.y);
+  const ProjectionSource source(ProjectionKind::kGaussian, seed * 7 + 1);
+  setup.z = project_columns(setup.y, source, 0, l);
+  setup.y_svd = svd(setup.y, false);
+  setup.z_svd = svd(setup.z, false);
+  return setup;
+}
+
+TEST(Lemma5, PartialSpectralSumsPreserved) {
+  const SketchSetup setup = project_trace(256, 512, 3);
+  const std::size_t m = setup.y.cols();
+  double y_sum = 0.0, z_sum = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    y_sum += setup.y_svd.values[r] * setup.y_svd.values[r];
+    z_sum += setup.z_svd.values[r] * setup.z_svd.values[r];
+    // (1 - eps) sum <= sum-hat <= (1 + eps) sum with eps modest at l=512.
+    EXPECT_GT(z_sum, 0.55 * y_sum) << "r=" << r;
+    EXPECT_LT(z_sum, 1.45 * y_sum) << "r=" << r;
+  }
+}
+
+TEST(Lemma5, LeadingSingularValueTightlyPreserved) {
+  const SketchSetup setup = project_trace(256, 512, 4);
+  EXPECT_NEAR(setup.z_svd.values[0] / setup.y_svd.values[0], 1.0, 0.2);
+}
+
+TEST(Lemma6, CovarianceApproximatedInFrobeniusNorm) {
+  const SketchSetup setup = project_trace(256, 768, 5);
+  const Matrix vy = gram(setup.y);
+  const Matrix vz = gram(setup.z);
+  const double rel =
+      frobenius_norm(vz - vy) / (frobenius_norm(setup.y) *
+                                 frobenius_norm(setup.y));
+  // |V - A|_F <= sqrt(6 eps) |Y|_F^2; at l = 768 the effective eps is small.
+  EXPECT_LT(rel, 0.35);
+}
+
+TEST(Lemma6, ErrorShrinksWithSketchLength) {
+  // Average over seeds to smooth concentration noise, then check the
+  // monotone trend in l.
+  double err_small = 0.0, err_large = 0.0;
+  constexpr int kSeeds = 4;
+  for (int s = 0; s < kSeeds; ++s) {
+    const Topology topo = small_topology();
+    const TraceSet trace = small_trace(topo, 192, 50 + s);
+    Matrix y = center_columns(trace.volumes());
+    y *= 1.0 / frobenius_norm(y);
+    const Matrix vy = gram(y);
+    const ProjectionSource source(ProjectionKind::kGaussian, 900 + s);
+    const Matrix z_small = project_columns(y, source, 0, 24);
+    const Matrix z_large = project_columns(y, source, 0, 512);
+    err_small += frobenius_norm(gram(z_small) - vy);
+    err_large += frobenius_norm(gram(z_large) - vy);
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(Theorem2, AnomalyDistancesApproximated) {
+  const std::size_t n = 256;
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, n, 6);
+  const Matrix x = trace.volumes();
+  const PcaModel exact = PcaModel::from_data(x);
+
+  const ProjectionSource source(ProjectionKind::kGaussian, 77);
+  const Matrix y = center_columns(x);
+  const Matrix z = project_columns(y, source, 0, 512);
+  const PcaModel sketched = PcaModel::from_sketch(z, column_means(x), n);
+
+  // Pick r where the spectral gap eta_r^2 - eta_{r+1}^2 is healthy.
+  const std::size_t r = 2;
+  RunningStats rel_error;
+  for (std::size_t i = 0; i < n; i += 8) {
+    const Vector probe = x.row(i);
+    const double de = exact.anomaly_distance(probe, r);
+    const double ds = sketched.anomaly_distance(probe, r);
+    if (de > 0.0) rel_error.add(std::abs(ds - de) / de);
+  }
+  EXPECT_LT(rel_error.mean(), 0.30);
+}
+
+TEST(Theorem2, DistanceOrderingLargelyPreserved) {
+  // Even when absolute distances drift, anomalies (large residuals) must
+  // remain large under the sketch model: check the top-5 by exact distance
+  // are within the top-15 by sketch distance.
+  const std::size_t n = 200;
+  const Topology topo = small_topology();
+  TraceSet trace = small_trace(topo, n, 7, /*anomalies=*/5, /*warmup=*/20);
+  const Matrix x = trace.volumes();
+  const PcaModel exact = PcaModel::from_data(x);
+  const ProjectionSource source(ProjectionKind::kGaussian, 88);
+  const Matrix z = project_columns(center_columns(x), source, 0, 256);
+  const PcaModel sketched = PcaModel::from_sketch(z, column_means(x), n);
+
+  const std::size_t r = 3;
+  std::vector<std::pair<double, std::size_t>> by_exact, by_sketch;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vector probe = x.row(i);
+    by_exact.emplace_back(exact.anomaly_distance(probe, r), i);
+    by_sketch.emplace_back(sketched.anomaly_distance(probe, r), i);
+  }
+  std::sort(by_exact.rbegin(), by_exact.rend());
+  std::sort(by_sketch.rbegin(), by_sketch.rend());
+  std::set<std::size_t> sketch_top;
+  for (std::size_t k = 0; k < 15; ++k) sketch_top.insert(by_sketch[k].second);
+  std::size_t hits = 0;
+  for (std::size_t k = 0; k < 5; ++k) {
+    if (sketch_top.contains(by_exact[k].second)) ++hits;
+  }
+  EXPECT_GE(hits, 4u);
+}
+
+TEST(Theorem1Accounting, SketchStateGrowsLogarithmicallyInWindow) {
+  // Space claim: per-flow summary ~ O((1/eps) l log n). The merge rules
+  // only start compacting once the window dwarfs 20/eps elements, so the
+  // check uses eps = 0.2 and window sizes in the compacting regime:
+  // 16x more window must cost well under 4x the bytes.
+  const Topology topo = small_topology();
+  const std::size_t l = 8;
+  const auto bytes_for = [&](std::size_t n) {
+    const TraceSet trace = small_trace(topo, 2 * n, 8);
+    SketchDetectorConfig config;
+    config.window = n;
+    config.epsilon = 0.2;
+    config.sketch_rows = l;
+    config.rank_policy = RankPolicy::fixed(2);
+    SketchDetector detector(trace.num_flows(), config);
+    for (std::size_t t = 0; t < 2 * n; ++t) {
+      (void)detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+    }
+    return detector.memory_bytes();
+  };
+  const std::size_t small_bytes = bytes_for(1024);
+  const std::size_t big_bytes = bytes_for(16384);
+  EXPECT_LT(static_cast<double>(big_bytes),
+            4.0 * static_cast<double>(small_bytes));
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,71 @@
+// Regression test for the paper's headline result (Figs. 7-9, scaled
+// down): against exact-Lakhina ground truth, the sketch detector's error
+// drops substantially as the sketch length l grows, and at generous l the
+// two detectors agree on almost every interval.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "core/evaluation.hpp"
+#include "core/lakhina_detector.hpp"
+#include "core/sketch_detector.hpp"
+
+namespace spca {
+namespace {
+
+using testing::small_topology;
+using testing::small_trace;
+
+struct ProtocolRuns {
+  ConfusionMatrix tiny_l;
+  ConfusionMatrix generous_l;
+};
+
+ProtocolRuns run_protocol(std::uint64_t seed) {
+  const Topology topo = small_topology();
+  const TraceSet trace =
+      small_trace(topo, 384, seed, /*anomalies=*/8, /*warmup=*/192);
+
+  LakhinaConfig exact_config;
+  exact_config.window = 192;
+  exact_config.rank_policy = RankPolicy::fixed(3);
+  exact_config.recompute_period = 2;
+  LakhinaDetector exact(trace.num_flows(), exact_config);
+  const DetectorRun truth = run_detector(exact, trace);
+
+  const auto run_l = [&](std::size_t l) {
+    SketchDetectorConfig config;
+    config.window = 192;
+    config.sketch_rows = l;
+    config.rank_policy = RankPolicy::fixed(3);
+    config.seed = seed * 31 + 7;
+    SketchDetector sketch(trace.num_flows(), config);
+    const DetectorRun run = run_detector(sketch, trace);
+    return score_against_reference(run, truth);
+  };
+  return ProtocolRuns{run_l(4), run_l(96)};
+}
+
+TEST(PaperProtocol, ErrorDropsSteeplyWithSketchLength) {
+  // Aggregate over seeds to keep the assertion stable.
+  double tiny_error = 0.0, generous_error = 0.0;
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    const ProtocolRuns runs = run_protocol(seed);
+    tiny_error += runs.tiny_l.type1_error() + runs.tiny_l.type2_error();
+    generous_error +=
+        runs.generous_l.type1_error() + runs.generous_l.type2_error();
+  }
+  // Fig. 9's shape: generous l must beat tiny l by a wide margin.
+  EXPECT_LT(generous_error, 0.6 * tiny_error);
+}
+
+TEST(PaperProtocol, GenerousSketchAgreesWithExactAlmostEverywhere) {
+  const ProtocolRuns runs = run_protocol(404);
+  const ConfusionMatrix& cm = runs.generous_l;
+  const double agreement =
+      static_cast<double>(cm.true_positives + cm.true_negatives) /
+      static_cast<double>(cm.total());
+  EXPECT_GT(agreement, 0.9);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,104 @@
+// Cross-implementation parity and determinism properties.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "core/evaluation.hpp"
+#include "core/sketch_detector.hpp"
+#include "dist/distributed_detector.hpp"
+
+namespace spca {
+namespace {
+
+using testing::small_topology;
+using testing::small_trace;
+
+SketchDetectorConfig base_config() {
+  SketchDetectorConfig config;
+  config.window = 64;
+  config.sketch_rows = 24;
+  config.rank_policy = RankPolicy::fixed(3);
+  config.seed = 1234;
+  return config;
+}
+
+TEST(Parity, SketchDetectorIsDeterministic) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 120, 1, 3, 70);
+  SketchDetector a(trace.num_flows(), base_config());
+  SketchDetector b(trace.num_flows(), base_config());
+  const DetectorRun run_a = run_detector(a, trace);
+  const DetectorRun run_b = run_detector(b, trace);
+  for (std::size_t t = 0; t < 120; ++t) {
+    EXPECT_EQ(run_a.detections[t].alarm, run_b.detections[t].alarm);
+    EXPECT_EQ(run_a.detections[t].distance, run_b.detections[t].distance);
+  }
+}
+
+TEST(Parity, DifferentSeedsChangeSketchesNotSemantics) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 160, 2);
+  SketchDetectorConfig config_a = base_config();
+  config_a.sketch_rows = 64;  // enough rows that the model is seed-stable
+  SketchDetectorConfig config_b = config_a;
+  config_b.seed = 4321;
+  SketchDetector a(trace.num_flows(), config_a);
+  SketchDetector b(trace.num_flows(), config_b);
+  const DetectorRun run_a = run_detector(a, trace);
+  const DetectorRun run_b = run_detector(b, trace);
+  // Verdicts should agree on the vast majority of quiet intervals even
+  // though the underlying sketches differ.
+  std::size_t agree = 0, total = 0;
+  for (std::size_t t = 64; t < 160; ++t) {
+    ++total;
+    if (run_a.detections[t].alarm == run_b.detections[t].alarm) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.75);
+}
+
+TEST(Parity, MonitorPartitioningDoesNotChangeVerdicts) {
+  // 1, 2, 4, or 8 monitors: the deployment is a pure partitioning detail.
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 130, 3, 3, 70);
+  const SketchDetectorConfig config = base_config();
+
+  DistributedDetector one(trace.num_flows(), 1, config);
+  DistributedDetector four(trace.num_flows(), 4, config);
+  DistributedDetector eight(trace.num_flows(), 8, config);
+  const DetectorRun run_one = run_detector(one, trace);
+  const DetectorRun run_four = run_detector(four, trace);
+  const DetectorRun run_eight = run_detector(eight, trace);
+
+  for (std::size_t t = 0; t < 130; ++t) {
+    EXPECT_EQ(run_one.detections[t].alarm, run_four.detections[t].alarm)
+        << "t=" << t;
+    EXPECT_EQ(run_four.detections[t].alarm, run_eight.detections[t].alarm)
+        << "t=" << t;
+    EXPECT_NEAR(run_one.detections[t].distance,
+                run_eight.detections[t].distance,
+                1e-6 * (1.0 + run_one.detections[t].distance));
+  }
+}
+
+TEST(Parity, ProjectionSchemesAllDetectTheSameSpike) {
+  const Topology topo = small_topology();
+  TraceSet trace = testing::flat_trace(topo, 160, 4);
+  // Clear but not spectrum-dominating (see the poisoning note in the
+  // Lakhina spike test).
+  for (const std::size_t f : {1u, 6u, 9u}) {
+    trace.volumes()(150, f) *= 1.4;
+  }
+  for (const auto kind :
+       {ProjectionKind::kGaussian, ProjectionKind::kTugOfWar,
+        ProjectionKind::kSparse, ProjectionKind::kVerySparse}) {
+    SketchDetectorConfig config = base_config();
+    config.window = 128;
+    config.projection = kind;
+    config.sketch_rows = 64;
+    SketchDetector detector(trace.num_flows(), config);
+    const DetectorRun run = run_detector(detector, trace);
+    EXPECT_TRUE(run.detections[150].alarm) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,204 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 gen(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = standard_normal(gen);
+    }
+  }
+  return a;
+}
+
+void expect_orthonormal(const Matrix& v, double tol) {
+  const Matrix vtv = multiply(transpose(v), v);
+  EXPECT_LT(max_abs_diff(vtv, Matrix::identity(v.cols())), tol);
+}
+
+TEST(EigenSym, DiagonalMatrixReturnsSortedDiagonal) {
+  const Matrix a = Matrix::diagonal(Vector{2.0, 9.0, -1.0});
+  const EigenSym e = eigen_symmetric(a);
+  EXPECT_DOUBLE_EQ(e.values[0], 9.0);
+  EXPECT_DOUBLE_EQ(e.values[1], 2.0);
+  EXPECT_DOUBLE_EQ(e.values[2], -1.0);
+}
+
+TEST(EigenSym, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const EigenSym e = eigen_symmetric(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), std::sqrt(0.5), 1e-12);
+}
+
+class EigenSymRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenSymRandomTest, ReconstructsInput) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, 42 + n);
+  const EigenSym e = eigen_symmetric(a);
+  // A = V diag(lambda) V^T
+  const Matrix reconstructed =
+      multiply(multiply(e.vectors, Matrix::diagonal(e.values)),
+               transpose(e.vectors));
+  EXPECT_LT(max_abs_diff(a, reconstructed), 1e-10 * std::max(1.0, max_abs(a)));
+}
+
+TEST_P(EigenSymRandomTest, VectorsAreOrthonormal) {
+  const std::size_t n = GetParam();
+  const EigenSym e = eigen_symmetric(random_symmetric(n, 100 + n));
+  expect_orthonormal(e.vectors, 1e-12);
+}
+
+TEST_P(EigenSymRandomTest, ValuesAreDescending) {
+  const std::size_t n = GetParam();
+  const EigenSym e = eigen_symmetric(random_symmetric(n, 200 + n));
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_GE(e.values[i - 1], e.values[i]);
+  }
+}
+
+TEST_P(EigenSymRandomTest, TraceEqualsEigenvalueSum) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, 300 + n);
+  const EigenSym e = eigen_symmetric(a);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    sum += e.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-10 * std::max(1.0, std::abs(trace)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSymRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+TEST(EigenSym, PsdGramHasNonNegativeEigenvalues) {
+  Xoshiro256 gen(7);
+  Matrix b(12, 6);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) b(i, j) = standard_normal(gen);
+  }
+  const EigenSym e = eigen_symmetric(gram(b));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_GE(e.values[i], -1e-10);
+  }
+}
+
+TEST(EigenSym, ZeroMatrixHandled) {
+  const EigenSym e = eigen_symmetric(Matrix(4, 4));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(e.values[i], 0.0);
+  expect_orthonormal(e.vectors, 1e-15);
+}
+
+TEST(EigenSym, RejectsNonSquare) {
+  EXPECT_THROW((void)eigen_symmetric(Matrix(2, 3)), ContractViolation);
+}
+
+TEST(EigenSymWarm, MatchesColdSolverOnPerturbedMatrix) {
+  // The streaming use case: decompose A, perturb slightly, warm-start from
+  // A's basis — results must match the cold solver.
+  const Matrix a = gram(random_symmetric(12, 55));  // PSD for clean ordering
+  const EigenSym cold_a = eigen_symmetric(a);
+
+  Matrix perturbed = a;
+  Xoshiro256 gen(56);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = i; j < 12; ++j) {
+      const double d = 1e-3 * standard_normal(gen);
+      perturbed(i, j) += d;
+      perturbed(j, i) = perturbed(i, j);
+    }
+  }
+  const EigenSym cold = eigen_symmetric(perturbed);
+  const EigenSym warm = eigen_symmetric_warm(perturbed, cold_a.vectors);
+  for (std::size_t k = 0; k < 12; ++k) {
+    EXPECT_NEAR(warm.values[k], cold.values[k],
+                1e-9 * std::max(1.0, cold.values[0]));
+  }
+  // Same reconstruction (vectors can differ by sign/rotation in clusters).
+  const Matrix reconstructed =
+      multiply(multiply(warm.vectors, Matrix::diagonal(warm.values)),
+               transpose(warm.vectors));
+  EXPECT_LT(max_abs_diff(perturbed, reconstructed), 1e-9);
+}
+
+TEST(EigenSymWarm, VectorsStayOrthonormal) {
+  const Matrix a = random_symmetric(9, 57);
+  const EigenSym cold = eigen_symmetric(a);
+  const EigenSym warm = eigen_symmetric_warm(a, cold.vectors);
+  expect_orthonormal(warm.vectors, 1e-11);
+}
+
+TEST(EigenSymWarm, RejectsWrongShapeBasis) {
+  const Matrix a = random_symmetric(5, 58);
+  EXPECT_THROW((void)eigen_symmetric_warm(a, Matrix(4, 4)),
+               ContractViolation);
+}
+
+class EigenTopKTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenTopKTest, MatchesJacobiLeadingPairs) {
+  const std::size_t k = GetParam();
+  // PSD matrix with decaying spectrum (orthogonal iteration needs gaps).
+  Xoshiro256 gen(59);
+  Matrix b(40, 10);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      b(i, j) = standard_normal(gen) * std::pow(0.6, static_cast<double>(j));
+    }
+  }
+  const Matrix a = gram(b);
+  const EigenSym full = eigen_symmetric(a);
+  const EigenSym top = eigen_top_k(a, k, 1e-12, 2000);
+  ASSERT_EQ(top.values.size(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_NEAR(top.values[j], full.values[j], 1e-6 * full.values[0])
+        << "pair " << j;
+    // Vectors match up to sign.
+    double dot_abs = 0.0;
+    for (std::size_t i = 0; i < 10; ++i) {
+      dot_abs += top.vectors(i, j) * full.vectors(i, j);
+    }
+    EXPECT_NEAR(std::abs(dot_abs), 1.0, 1e-5) << "pair " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, EigenTopKTest, ::testing::Values(1, 2, 4, 6));
+
+TEST(EigenTopK, ZeroMatrixHandled) {
+  const EigenSym top = eigen_top_k(Matrix(6, 6), 3);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(top.values[j], 0.0);
+}
+
+TEST(EigenTopK, Validation) {
+  const Matrix a = gram(random_symmetric(4, 60));
+  EXPECT_THROW((void)eigen_top_k(a, 0), ContractViolation);
+  EXPECT_THROW((void)eigen_top_k(a, 5), ContractViolation);
+  EXPECT_THROW((void)eigen_top_k(Matrix(2, 3), 1), ContractViolation);
+}
+
+TEST(EigenSym, SmallRelativeEigenvaluesAccurate) {
+  // Jacobi's selling point: small eigenvalues to high relative accuracy.
+  const Matrix a = Matrix::diagonal(Vector{1.0, 1e-8, 1e-12});
+  const EigenSym e = eigen_symmetric(a);
+  EXPECT_NEAR(e.values[1] / 1e-8, 1.0, 1e-10);
+  EXPECT_NEAR(e.values[2] / 1e-12, 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,132 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Xoshiro256 gen(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = standard_normal(gen);
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, InitializerListLayout) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerRejected) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), ContractViolation);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_EQ(i3(1, 1), 1.0);
+  EXPECT_EQ(i3(0, 2), 0.0);
+  const Matrix d = Matrix::diagonal(Vector{2.0, 5.0});
+  EXPECT_EQ(d(1, 1), 5.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, RowColExtractionAndAssignment) {
+  Matrix m(2, 3);
+  m.set_row(0, Vector{1.0, 2.0, 3.0});
+  m.set_col(2, Vector{7.0, 8.0});
+  EXPECT_EQ(m.row(0)[1], 2.0);
+  EXPECT_EQ(m(0, 2), 7.0);
+  EXPECT_EQ(m.col(2)[1], 8.0);
+}
+
+TEST(Matrix, CheckedAtThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), ContractViolation);
+  EXPECT_THROW((void)m.at(0, 2), ContractViolation);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = multiply(a, b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchRejected) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 2);
+  EXPECT_THROW((void)multiply(a, b), ContractViolation);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1.0, 0.0, 2.0}, {0.0, 3.0, 0.0}};
+  const Vector x{1.0, 1.0, 1.0};
+  const Vector y = multiply(a, x);
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[1], 3.0);
+}
+
+TEST(Matrix, VectorTransposeProductMatchesTransposedMultiply) {
+  const Matrix a = random_matrix(5, 4, 1);
+  Xoshiro256 gen(2);
+  Vector x(5);
+  for (std::size_t i = 0; i < 5; ++i) x[i] = standard_normal(gen);
+  const Vector via_helper = multiply_transposed(x, a);
+  const Vector via_transpose = multiply(transpose(a), x);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(via_helper[j], via_transpose[j], 1e-12);
+  }
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix a = random_matrix(4, 6, 3);
+  const Matrix att = transpose(transpose(a));
+  EXPECT_EQ(max_abs_diff(a, att), 0.0);
+}
+
+TEST(Matrix, GramEqualsExplicitProduct) {
+  const Matrix a = random_matrix(7, 4, 4);
+  const Matrix g = gram(a);
+  const Matrix explicit_g = multiply(transpose(a), a);
+  EXPECT_LT(max_abs_diff(g, explicit_g), 1e-12);
+}
+
+TEST(Matrix, GramIsSymmetric) {
+  const Matrix g = gram(random_matrix(10, 5, 5));
+  const Matrix gt = transpose(g);
+  EXPECT_EQ(max_abs_diff(g, gt), 0.0);
+}
+
+TEST(Matrix, FrobeniusNormMatchesDefinition) {
+  const Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+}
+
+TEST(Matrix, MaxAbsFindsLargestMagnitude) {
+  const Matrix a{{1.0, -9.0}, {3.0, 2.0}};
+  EXPECT_EQ(max_abs(a), 9.0);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{10.0, 20.0}};
+  EXPECT_EQ((a + b)(0, 1), 22.0);
+  EXPECT_EQ((b - a)(0, 0), 9.0);
+  EXPECT_EQ((a * 3.0)(0, 1), 6.0);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,123 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Xoshiro256 gen(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = standard_normal(gen);
+  }
+  return m;
+}
+
+class QrShapeTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(QrShapeTest, FactorsReconstructInput) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = random_matrix(rows, cols, rows * 3 + cols);
+  const Qr f = qr(a);
+  EXPECT_LT(max_abs_diff(a, multiply(f.q, f.r)), 1e-11);
+}
+
+TEST_P(QrShapeTest, QHasOrthonormalColumns) {
+  const auto [rows, cols] = GetParam();
+  const Qr f = qr(random_matrix(rows, cols, rows * 11 + cols));
+  const Matrix qtq = multiply(transpose(f.q), f.q);
+  EXPECT_LT(max_abs_diff(qtq, Matrix::identity(cols)), 1e-12);
+}
+
+TEST_P(QrShapeTest, RIsUpperTriangular) {
+  const auto [rows, cols] = GetParam();
+  const Qr f = qr(random_matrix(rows, cols, rows * 17 + cols));
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_EQ(f.r(i, j), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapeTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                                           std::pair<std::size_t, std::size_t>{4, 4},
+                                           std::pair<std::size_t, std::size_t>{10, 3},
+                                           std::pair<std::size_t, std::size_t>{25, 8}));
+
+TEST(Qr, RejectsWideMatrix) {
+  EXPECT_THROW((void)qr(Matrix(2, 5)), ContractViolation);
+}
+
+TEST(SolveUpperTriangular, MatchesHandSolution) {
+  const Matrix r{{2.0, 1.0}, {0.0, 4.0}};
+  const Vector y{8.0, 8.0};
+  const Vector x = solve_upper_triangular(r, y);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+}
+
+TEST(SolveUpperTriangular, SingularDiagonalRejected) {
+  const Matrix r{{1.0, 1.0}, {0.0, 0.0}};
+  EXPECT_THROW((void)solve_upper_triangular(r, Vector{1.0, 1.0}),
+               NumericalError);
+}
+
+TEST(LeastSquares, RecoversExactSolution) {
+  // Consistent square system.
+  const Matrix a{{1.0, 2.0}, {3.0, 5.0}};
+  const Vector b{5.0, 13.0};  // x = (1, 2)
+  const Vector x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, FitsLineThroughNoisyPoints) {
+  // Overdetermined: fit y = 2x + 1 exactly from 5 exact samples.
+  Matrix a(5, 2);
+  Vector b(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double x = static_cast<double>(i);
+    a(i, 0) = x;
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * x + 1.0;
+  }
+  const Vector coeffs = solve_least_squares(a, b);
+  EXPECT_NEAR(coeffs[0], 2.0, 1e-12);
+  EXPECT_NEAR(coeffs[1], 1.0, 1e-12);
+}
+
+TEST(LeastSquares, ResidualIsOrthogonalToColumnSpace) {
+  const Matrix a = random_matrix(12, 4, 23);
+  Xoshiro256 gen(29);
+  Vector b(12);
+  for (std::size_t i = 0; i < 12; ++i) b[i] = standard_normal(gen);
+  const Vector x = solve_least_squares(a, b);
+  Vector residual = b;
+  residual -= multiply(a, x);
+  const Vector atr = multiply_transposed(residual, a);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(atr[j], 0.0, 1e-10);
+  }
+}
+
+TEST(LeastSquares, RankDeficientRejected) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);  // dependent columns
+  }
+  EXPECT_THROW((void)solve_least_squares(a, Vector(4, 1.0)), NumericalError);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,96 @@
+#include "linalg/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+TEST(ColumnStats, MeansMatchHandComputation) {
+  const Matrix a{{1.0, 10.0}, {3.0, 30.0}};
+  const Vector mean = column_means(a);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 20.0);
+}
+
+TEST(ColumnStats, VariancesArePopulationNormalized) {
+  const Matrix a{{0.0}, {2.0}};  // mean 1, squared deviations 1 + 1, /2
+  const Vector var = column_variances(a);
+  EXPECT_DOUBLE_EQ(var[0], 1.0);
+}
+
+TEST(ColumnStats, CenteringZeroesColumnMeans) {
+  Xoshiro256 gen(1);
+  Matrix a(30, 4);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      a(i, j) = 100.0 + standard_normal(gen);
+    }
+  }
+  const Vector mean = column_means(center_columns(a));
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(mean[j], 0.0, 1e-12);
+  }
+}
+
+TEST(ColumnStats, CenteredGramDiagonalEqualsDeviations) {
+  const Matrix a{{0.0}, {2.0}, {4.0}};  // mean 2, deviations -2,0,2
+  const Matrix g = centered_gram(a);
+  EXPECT_DOUBLE_EQ(g(0, 0), 8.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Xoshiro256 gen(9);
+  RunningStats rs;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = 5.0 + 2.0 * standard_normal(gen);
+    values.push_back(x);
+    rs.add(x);
+  }
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double m2 = 0.0;
+  for (const double v : values) m2 += (v - mean) * (v - mean);
+
+  EXPECT_EQ(rs.count(), values.size());
+  EXPECT_NEAR(rs.mean(), mean, 1e-10);
+  EXPECT_NEAR(rs.sum_squared_deviations(), m2, 1e-7);
+  EXPECT_NEAR(rs.variance_population(), m2 / 1000.0, 1e-9);
+  EXPECT_NEAR(rs.variance_sample(), m2 / 999.0, 1e-9);
+}
+
+TEST(RunningStats, TracksMinMax) {
+  RunningStats rs;
+  rs.add(3.0);
+  rs.add(-1.0);
+  rs.add(7.0);
+  EXPECT_EQ(rs.min(), -1.0);
+  EXPECT_EQ(rs.max(), 7.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats rs;
+  rs.add(4.2);
+  EXPECT_EQ(rs.variance_population(), 0.0);
+  EXPECT_EQ(rs.variance_sample(), 0.0);
+  EXPECT_EQ(rs.mean(), 4.2);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation scenario: huge mean, small variance.
+  RunningStats rs;
+  const double offset = 1e12;
+  for (int i = 0; i < 100; ++i) {
+    rs.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  }
+  EXPECT_NEAR(rs.variance_population(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace spca

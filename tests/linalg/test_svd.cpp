@@ -1,0 +1,136 @@
+#include "linalg/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen_sym.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Xoshiro256 gen(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = standard_normal(gen);
+  }
+  return m;
+}
+
+struct Shape {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class SvdShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SvdShapeTest, ReconstructsInput) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = random_matrix(rows, cols, rows * 100 + cols);
+  const Svd f = svd(a);
+  const Matrix reconstructed = svd_reconstruct(f);
+  EXPECT_LT(max_abs_diff(a, reconstructed), 1e-10);
+}
+
+TEST_P(SvdShapeTest, RightVectorsOrthonormal) {
+  const auto [rows, cols] = GetParam();
+  const Svd f = svd(random_matrix(rows, cols, rows * 7 + cols));
+  const Matrix vtv = multiply(transpose(f.right), f.right);
+  EXPECT_LT(max_abs_diff(vtv, Matrix::identity(cols)), 1e-12);
+}
+
+TEST_P(SvdShapeTest, ValuesDescendingAndNonNegative) {
+  const auto [rows, cols] = GetParam();
+  const Svd f = svd(random_matrix(rows, cols, rows * 13 + cols));
+  for (std::size_t j = 0; j < f.values.size(); ++j) {
+    EXPECT_GE(f.values[j], 0.0);
+    if (j > 0) EXPECT_GE(f.values[j - 1], f.values[j]);
+  }
+}
+
+TEST_P(SvdShapeTest, FrobeniusNormPreserved) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = random_matrix(rows, cols, rows * 31 + cols);
+  const Svd f = svd(a, /*want_left=*/false);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < f.values.size(); ++j) {
+    sum += f.values[j] * f.values[j];
+  }
+  EXPECT_NEAR(std::sqrt(sum), frobenius_norm(a), 1e-10);
+}
+
+TEST_P(SvdShapeTest, SquaredValuesMatchGramEigenvalues) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = random_matrix(rows, cols, rows * 77 + cols);
+  const Svd f = svd(a, /*want_left=*/false);
+  const EigenSym e = eigen_symmetric(gram(a));
+  for (std::size_t j = 0; j < cols; ++j) {
+    EXPECT_NEAR(f.values[j] * f.values[j], std::max(e.values[j], 0.0),
+                1e-8 * std::max(1.0, e.values[0]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TallSquareWide, SvdShapeTest,
+    ::testing::Values(Shape{1, 1}, Shape{5, 5}, Shape{20, 4}, Shape{50, 9},
+                      Shape{4, 20},  // wide: sketch case l < m
+                      Shape{10, 81}, Shape{3, 3}));
+
+TEST(Svd, WideMatrixHasExactZeroTrailingValues) {
+  // A 4 x 10 matrix has rank at most 4: values 5..10 must be zero.
+  const Matrix a = random_matrix(4, 10, 5);
+  const Svd f = svd(a, /*want_left=*/false);
+  for (std::size_t j = 4; j < 10; ++j) {
+    EXPECT_NEAR(f.values[j], 0.0, 1e-10);
+  }
+}
+
+TEST(Svd, LeftVectorsOrthonormalOnNonNullColumns) {
+  const Matrix a = random_matrix(8, 5, 6);
+  const Svd f = svd(a);
+  const Matrix utu = multiply(transpose(f.left), f.left);
+  EXPECT_LT(max_abs_diff(utu, Matrix::identity(5)), 1e-12);
+}
+
+TEST(Svd, KnownDiagonalCase) {
+  const Matrix a{{3.0, 0.0}, {0.0, -4.0}};  // singular values 4, 3
+  const Svd f = svd(a, /*want_left=*/false);
+  EXPECT_NEAR(f.values[0], 4.0, 1e-12);
+  EXPECT_NEAR(f.values[1], 3.0, 1e-12);
+}
+
+TEST(Svd, RankOneMatrix) {
+  // outer product u v^T has a single singular value |u||v|.
+  Matrix a(6, 4);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      a(i, j) = static_cast<double>(i + 1) * static_cast<double>(j + 1);
+    }
+  }
+  const Svd f = svd(a, /*want_left=*/false);
+  const double u2 = 1 + 4 + 9 + 16 + 25 + 36;
+  const double v2 = 1 + 4 + 9 + 16;
+  EXPECT_NEAR(f.values[0], std::sqrt(u2 * v2), 1e-9);
+  for (std::size_t j = 1; j < 4; ++j) EXPECT_NEAR(f.values[j], 0.0, 1e-9);
+}
+
+TEST(Svd, ZeroMatrixYieldsZeroValues) {
+  const Svd f = svd(Matrix(5, 3));
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(f.values[j], 0.0);
+}
+
+TEST(Svd, SkippingLeftSideStillGivesValuesAndRight) {
+  const Matrix a = random_matrix(10, 6, 8);
+  const Svd with_left = svd(a, true);
+  const Svd without_left = svd(a, false);
+  EXPECT_TRUE(without_left.left.empty());
+  for (std::size_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(with_left.values[j], without_left.values[j], 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,92 @@
+#include "linalg/vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+TEST(Vector, ConstructsZeroInitialized) {
+  const Vector v(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vector, InitializerListAndFill) {
+  const Vector a{1.0, 2.0, 3.0};
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2], 3.0);
+  const Vector b(3, 7.5);
+  EXPECT_EQ(b[0], 7.5);
+}
+
+TEST(Vector, CheckedAccessThrowsOutOfRange) {
+  Vector v(2);
+  EXPECT_NO_THROW((void)v.at(1));
+  EXPECT_THROW((void)v.at(2), ContractViolation);
+}
+
+TEST(Vector, ArithmeticOperators) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, -1.0};
+  const Vector sum = a + b;
+  EXPECT_EQ(sum[0], 4.0);
+  EXPECT_EQ(sum[1], 1.0);
+  const Vector diff = a - b;
+  EXPECT_EQ(diff[0], -2.0);
+  const Vector scaled = 2.0 * a;
+  EXPECT_EQ(scaled[1], 4.0);
+}
+
+TEST(Vector, MismatchedSizesThrow) {
+  Vector a(2), b(3);
+  EXPECT_THROW(a += b, ContractViolation);
+  EXPECT_THROW((void)dot(a, b), ContractViolation);
+}
+
+TEST(Vector, DotAndNorms) {
+  const Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm_squared(a), 25.0);
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+  const Vector b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 7.0);
+}
+
+TEST(Vector, AxpyAccumulates) {
+  const Vector x{1.0, 2.0};
+  Vector y{10.0, 20.0};
+  axpy(0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.5);
+  EXPECT_DOUBLE_EQ(y[1], 21.0);
+}
+
+TEST(Vector, NormalizeMakesUnitLength) {
+  Vector v{3.0, 0.0, 4.0};
+  normalize(v);
+  EXPECT_NEAR(norm(v), 1.0, 1e-15);
+  EXPECT_NEAR(v[0], 0.6, 1e-15);
+}
+
+TEST(Vector, NormalizeRejectsZeroVector) {
+  Vector v(3);
+  EXPECT_THROW(normalize(v), NumericalError);
+}
+
+TEST(Vector, DivisionByZeroScalarRejected) {
+  Vector v{1.0};
+  EXPECT_THROW(v /= 0.0, ContractViolation);
+}
+
+TEST(Vector, SpanViewsUnderlyingStorage) {
+  Vector v{1.0, 2.0, 3.0};
+  auto s = v.span();
+  s[1] = 9.0;
+  EXPECT_EQ(v[1], 9.0);
+}
+
+}  // namespace
+}  // namespace spca

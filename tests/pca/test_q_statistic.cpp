@@ -1,0 +1,127 @@
+#include "pca/q_statistic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+TEST(InverseNormalCdf, MatchesKnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.99), 2.326347874040841, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.841344746068543), 1.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.00134989803163009), -3.0, 1e-8);
+}
+
+TEST(InverseNormalCdf, SymmetricAboutHalf) {
+  for (const double p : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(inverse_normal_cdf(p), -inverse_normal_cdf(1.0 - p), 1e-10);
+  }
+}
+
+TEST(InverseNormalCdf, RoundTripsThroughErfc) {
+  for (const double p : {0.001, 0.025, 0.2, 0.5, 0.9, 0.999}) {
+    const double x = inverse_normal_cdf(p);
+    const double cdf = 0.5 * std::erfc(-x / std::sqrt(2.0));
+    EXPECT_NEAR(cdf, p, 1e-12);
+  }
+}
+
+TEST(InverseNormalCdf, RejectsBoundaryProbabilities) {
+  EXPECT_THROW((void)inverse_normal_cdf(0.0), ContractViolation);
+  EXPECT_THROW((void)inverse_normal_cdf(1.0), ContractViolation);
+}
+
+TEST(ResidualMoments, SumsResidualSpectrumOnly) {
+  const Vector sv{4.0, 2.0, 1.0};  // with n = 5: variances 4, 1, 0.25
+  const ResidualMoments m = residual_moments(sv, 1, 5);
+  EXPECT_DOUBLE_EQ(m.phi1, 1.0 + 0.25);
+  EXPECT_DOUBLE_EQ(m.phi2, 1.0 + 0.0625);
+  EXPECT_DOUBLE_EQ(m.phi3, 1.0 + 0.015625);
+}
+
+TEST(ResidualMoments, FullRankLeavesNothing) {
+  const Vector sv{4.0, 2.0};
+  const ResidualMoments m = residual_moments(sv, 2, 10);
+  EXPECT_EQ(m.phi1, 0.0);
+}
+
+TEST(QStatistic, DegenerateSpectrumGivesZeroThreshold) {
+  const Vector sv{5.0, 0.0, 0.0};
+  EXPECT_EQ(q_statistic_threshold_squared(sv, 1, 100, 0.01), 0.0);
+}
+
+TEST(QStatistic, ThresholdDecreasesWithAlpha) {
+  // Higher allowed false-alarm rate -> lower threshold.
+  const Vector sv{10.0, 5.0, 3.0, 2.0, 1.0};
+  const double strict = q_statistic_threshold_squared(sv, 2, 200, 0.001);
+  const double loose = q_statistic_threshold_squared(sv, 2, 200, 0.1);
+  EXPECT_GT(strict, loose);
+  EXPECT_GT(loose, 0.0);
+}
+
+TEST(QStatistic, ThresholdShrinksWithLargerNormalSubspace) {
+  // Moving components out of the residual can only reduce phi1 and the
+  // threshold (for this strictly decreasing spectrum).
+  const Vector sv{10.0, 5.0, 3.0, 2.0, 1.0};
+  double prev = q_statistic_threshold_squared(sv, 1, 200, 0.01);
+  for (std::size_t r = 2; r < 5; ++r) {
+    const double cur = q_statistic_threshold_squared(sv, r, 200, 0.01);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(QStatistic, UnsquaredIsSqrtOfSquared) {
+  const Vector sv{8.0, 4.0, 2.0, 1.0};
+  const double squared = q_statistic_threshold_squared(sv, 2, 50, 0.05);
+  const double plain = q_statistic_threshold(sv, 2, 50, 0.05);
+  EXPECT_NEAR(plain * plain, squared, 1e-9);
+}
+
+TEST(QStatistic, CalibratedFalseAlarmRateOnGaussianResiduals) {
+  // Statistical calibration check: for i.i.d. Gaussian data (no structure),
+  // the SPE with the Q threshold should flag roughly alpha of samples.
+  // Here the residual subspace IS the data distribution, so the SPE is a
+  // chi-square-like statistic the Q approximation was designed for.
+  const std::size_t n = 4000, m = 8, r = 0;
+  Xoshiro256 gen(123);
+  std::vector<double> residual_norm2(n);
+  // Unit-variance coordinates: singular values eta_j = sqrt(n-1).
+  Vector sv(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    sv[j] = std::sqrt(static_cast<double>(n - 1));
+  }
+  const double alpha = 0.05;
+  const double threshold2 = q_statistic_threshold_squared(sv, r, n, alpha);
+  std::size_t alarms = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double norm2 = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double z = standard_normal(gen);
+      norm2 += z * z;
+    }
+    if (norm2 > threshold2) ++alarms;
+  }
+  const double rate = static_cast<double>(alarms) / static_cast<double>(n);
+  EXPECT_NEAR(rate, alpha, 0.025);
+}
+
+TEST(QStatistic, PreconditionsEnforced) {
+  const Vector sv{1.0, 0.5};
+  EXPECT_THROW((void)q_statistic_threshold_squared(sv, 3, 10, 0.01),
+               ContractViolation);
+  EXPECT_THROW((void)q_statistic_threshold_squared(sv, 1, 1, 0.01),
+               ContractViolation);
+  EXPECT_THROW((void)q_statistic_threshold_squared(sv, 1, 10, 0.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

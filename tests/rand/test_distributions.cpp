@@ -1,0 +1,139 @@
+#include "rand/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+TEST(BitsToDouble, UnitRangeIsHalfOpen) {
+  EXPECT_DOUBLE_EQ(bits_to_unit_double(0), 0.0);
+  EXPECT_LT(bits_to_unit_double(~0ULL), 1.0);
+  EXPECT_GT(bits_to_unit_double(~0ULL), 0.999999999);
+}
+
+TEST(BitsToDouble, OpenRangeExcludesZero) {
+  EXPECT_GT(bits_to_open_unit_double(0), 0.0);
+  EXPECT_LE(bits_to_open_unit_double(~0ULL), 1.0);
+}
+
+TEST(UniformReal, StaysInRangeAndCoversIt) {
+  Xoshiro256 gen(3);
+  double lo_seen = 1e9, hi_seen = -1e9;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = uniform_real(gen, -2.0, 5.0);
+    ASSERT_GE(u, -2.0);
+    ASSERT_LT(u, 5.0);
+    lo_seen = std::min(lo_seen, u);
+    hi_seen = std::max(hi_seen, u);
+  }
+  EXPECT_LT(lo_seen, -1.9);
+  EXPECT_GT(hi_seen, 4.9);
+}
+
+TEST(UniformIndex, ExactRangeAndRoughUniformity) {
+  Xoshiro256 gen(17);
+  std::vector<int> histogram(7, 0);
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto idx = uniform_index(gen, 7);
+    ASSERT_LT(idx, 7u);
+    ++histogram[idx];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kDraws / 7, 500);
+  }
+}
+
+TEST(StandardNormal, MomentsMatch) {
+  Xoshiro256 gen(11);
+  double sum = 0.0, sum2 = 0.0, sum4 = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double z = standard_normal(gen);
+    sum += z;
+    sum2 += z * z;
+    sum4 += z * z * z * z;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kDraws, 1.0, 0.03);
+  EXPECT_NEAR(sum4 / kDraws, 3.0, 0.15);  // normal kurtosis
+}
+
+TEST(Lognormal, MeanMatchesClosedForm) {
+  Xoshiro256 gen(23);
+  const double mu = 0.3, sigma = 0.4;
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += lognormal(gen, mu, sigma);
+  }
+  const double expected = std::exp(mu + sigma * sigma / 2.0);
+  EXPECT_NEAR(sum / kDraws, expected, 0.02);
+}
+
+TEST(Exponential, MeanIsOneOverLambda) {
+  Xoshiro256 gen(29);
+  const double lambda = 2.5;
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = exponential(gen, lambda);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 1.0 / lambda, 0.01);
+}
+
+TEST(Pareto, RespectsScaleAndMedian) {
+  Xoshiro256 gen(31);
+  const double xm = 2.0, alpha = 3.0;
+  int above_median = 0;
+  constexpr int kDraws = 100000;
+  const double median = xm * std::pow(2.0, 1.0 / alpha);
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = pareto(gen, xm, alpha);
+    ASSERT_GE(x, xm);
+    if (x > median) ++above_median;
+  }
+  EXPECT_NEAR(static_cast<double>(above_median) / kDraws, 0.5, 0.01);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatchLambda) {
+  const double lambda = GetParam();
+  Xoshiro256 gen(37);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = static_cast<double>(poisson(gen, lambda));
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum2 / kDraws - mean * mean;
+  EXPECT_NEAR(mean, lambda, 0.05 * lambda + 0.05);
+  EXPECT_NEAR(var, lambda, 0.10 * lambda + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeMeans, PoissonMeanTest,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0, 200.0));
+
+TEST(Poisson, ZeroAndNegativeLambdaYieldZero) {
+  Xoshiro256 gen(41);
+  EXPECT_EQ(poisson(gen, 0.0), 0u);
+  EXPECT_EQ(poisson(gen, -1.0), 0u);
+}
+
+TEST(BoxMuller, ExtremeUniformsStayFinite) {
+  EXPECT_TRUE(std::isfinite(box_muller(1e-300, 0.25)));
+  EXPECT_TRUE(std::isfinite(box_muller(1.0, 0.0)));
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "rand/splitmix64.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+TEST(SplitMix64, GeneratorMatchesMixFunction) {
+  // The sequential generator's first output equals the standalone mixer
+  // applied to the seed — both implement the same SplitMix64 step.
+  for (const std::uint64_t seed : {0ULL, 1ULL, 1234567ULL, ~0ULL}) {
+    SplitMix64 gen(seed);
+    EXPECT_EQ(gen(), splitmix64_mix(seed));
+  }
+}
+
+TEST(SplitMix64, SecondOutputAdvancesByGoldenGamma) {
+  SplitMix64 gen(42);
+  (void)gen();
+  EXPECT_EQ(gen(), splitmix64_mix(42 + 0x9e3779b97f4a7c15ULL));
+}
+
+TEST(SplitMix64, MixIsBijectiveOnSamples) {
+  // A bijection never collides; sample a dense cluster of inputs.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 10000; ++x) {
+    outputs.insert(splitmix64_mix(x));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(SplitMix64, DeterministicAcrossInstances) {
+  SplitMix64 a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DeterministicAcrossInstances) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, BitsLookBalanced) {
+  // Population count over many draws should be ~32 per word.
+  Xoshiro256 gen(2024);
+  double total_bits = 0;
+  constexpr int kDraws = 4096;
+  for (int i = 0; i < kDraws; ++i) {
+    total_bits += __builtin_popcountll(gen());
+  }
+  const double mean_bits = total_bits / kDraws;
+  EXPECT_NEAR(mean_bits, 32.0, 0.5);
+}
+
+TEST(Xoshiro256, JumpProducesDisjointStream) {
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  b.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(first.contains(b()));
+  }
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,135 @@
+#include "rand/projection_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+class ProjectionSchemeTest : public ::testing::TestWithParam<ProjectionKind> {
+ protected:
+  ProjectionSource make_source(std::uint64_t seed) const {
+    if (GetParam() == ProjectionKind::kVerySparse) {
+      return ProjectionSource::very_sparse(seed, 4096);
+    }
+    return ProjectionSource(GetParam(), seed, 3.0);
+  }
+};
+
+TEST_P(ProjectionSchemeTest, DeterministicAcrossInstances) {
+  // The property the distributed protocol relies on: two monitors with the
+  // same parameters generate identical coefficients.
+  const ProjectionSource a = make_source(77);
+  const ProjectionSource b = make_source(77);
+  for (std::int64_t t = 0; t < 50; ++t) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      EXPECT_EQ(a.value(t, k), b.value(t, k));
+    }
+  }
+}
+
+TEST_P(ProjectionSchemeTest, DifferentSeedsGiveDifferentStreams) {
+  const ProjectionSource a = make_source(1);
+  const ProjectionSource b = make_source(2);
+  int differing = 0;
+  for (std::int64_t t = 0; t < 256; ++t) {
+    if (a.value(t, 0) != b.value(t, 0)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST_P(ProjectionSchemeTest, UnitVarianceZeroMean) {
+  const ProjectionSource source = make_source(2024);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double r = source.value(i, 3);
+    sum += r;
+    sum2 += r * r;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / kDraws, 1.0, 0.05);
+}
+
+TEST_P(ProjectionSchemeTest, RowsAreUncorrelated) {
+  const ProjectionSource source = make_source(555);
+  double cross = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    cross += source.value(i, 0) * source.value(i, 1);
+  }
+  EXPECT_NEAR(cross / kDraws, 0.0, 0.05);
+}
+
+std::string scheme_name(const ::testing::TestParamInfo<ProjectionKind>& info) {
+  switch (info.param) {
+    case ProjectionKind::kGaussian:
+      return "Gaussian";
+    case ProjectionKind::kTugOfWar:
+      return "TugOfWar";
+    case ProjectionKind::kSparse:
+      return "Sparse";
+    case ProjectionKind::kVerySparse:
+      return "VerySparse";
+  }
+  return "Unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ProjectionSchemeTest,
+    ::testing::Values(ProjectionKind::kGaussian, ProjectionKind::kTugOfWar,
+                      ProjectionKind::kSparse, ProjectionKind::kVerySparse),
+    scheme_name);
+
+TEST(ProjectionSource, TugOfWarValuesArePlusMinusOne) {
+  const ProjectionSource source(ProjectionKind::kTugOfWar, 9);
+  for (std::int64_t t = 0; t < 1000; ++t) {
+    const double r = source.value(t, 0);
+    EXPECT_TRUE(r == 1.0 || r == -1.0);
+  }
+}
+
+TEST(ProjectionSource, SparseValuesAreZeroOrPlusMinusSqrtS) {
+  const double s = 3.0;
+  const ProjectionSource source(ProjectionKind::kSparse, 10, s);
+  int zeros = 0;
+  constexpr int kDraws = 30000;
+  const double root_s = std::sqrt(s);
+  for (std::int64_t t = 0; t < kDraws; ++t) {
+    const double r = source.value(t, 0);
+    if (r == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(std::abs(r), root_s, 1e-12);
+    }
+  }
+  // P(zero) = 1 - 1/s = 2/3.
+  EXPECT_NEAR(static_cast<double>(zeros) / kDraws, 2.0 / 3.0, 0.02);
+}
+
+TEST(ProjectionSource, VerySparseUsesSqrtNSparsity) {
+  const auto source = ProjectionSource::very_sparse(3, 10000);
+  EXPECT_DOUBLE_EQ(source.sparsity(), 100.0);
+  // P(nonzero) = 1/s = 1%.
+  int nonzero = 0;
+  constexpr int kDraws = 100000;
+  for (std::int64_t t = 0; t < kDraws; ++t) {
+    if (source.value(t, 0) != 0.0) ++nonzero;
+  }
+  EXPECT_NEAR(static_cast<double>(nonzero) / kDraws, 0.01, 0.003);
+}
+
+TEST(ProjectionKindNames, RoundTripThroughStrings) {
+  for (const auto kind :
+       {ProjectionKind::kGaussian, ProjectionKind::kTugOfWar,
+        ProjectionKind::kSparse, ProjectionKind::kVerySparse}) {
+    EXPECT_EQ(projection_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)projection_kind_from_string("bogus"), InputError);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,66 @@
+#include "rand/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+TEST(ZipfSampler, ProbabilitiesSumToOne) {
+  const ZipfSampler zipf(100, 1.2);
+  double total = 0.0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) {
+    total += zipf.probability(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, RankOneIsMostPopularWithPowerLawRatio) {
+  const ZipfSampler zipf(50, 1.0);
+  EXPECT_GT(zipf.probability(0), zipf.probability(1));
+  // P(0)/P(9) = 10^s = 10 for s = 1.
+  EXPECT_NEAR(zipf.probability(0) / zipf.probability(9), 10.0, 1e-9);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  const ZipfSampler zipf(8, 0.0);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(zipf.probability(k), 1.0 / 8.0, 1e-12);
+  }
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatch) {
+  const ZipfSampler zipf(16, 1.0);
+  Xoshiro256 gen(7);
+  std::vector<int> histogram(16, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::size_t k = zipf(gen);
+    ASSERT_LT(k, 16u);
+    ++histogram[k];
+  }
+  for (std::size_t k = 0; k < 16; ++k) {
+    const double freq = static_cast<double>(histogram[k]) / kDraws;
+    EXPECT_NEAR(freq, zipf.probability(k), 0.005) << "rank " << k;
+  }
+}
+
+TEST(ZipfSampler, UnitTransformEdges) {
+  const ZipfSampler zipf(4, 1.0);
+  EXPECT_EQ(zipf.sample_from_unit(0.0), 0u);
+  EXPECT_LT(zipf.sample_from_unit(0.999999999), 4u);
+  EXPECT_THROW((void)zipf.sample_from_unit(1.0), ContractViolation);
+}
+
+TEST(ZipfSampler, Validation) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), ContractViolation);
+  EXPECT_THROW(ZipfSampler(4, -0.5), ContractViolation);
+  EXPECT_NO_THROW(ZipfSampler(1, 2.0));
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,162 @@
+#include "sketch/count_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/contracts.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+#include "rand/zipf.hpp"
+
+namespace spca {
+namespace {
+
+TEST(CountMinSketch, ExactForFewDistinctKeys) {
+  CountMinSketch cm(64, 4, 1);
+  cm.add(10, 5.0);
+  cm.add(20, 3.0);
+  cm.add(10, 2.0);
+  EXPECT_DOUBLE_EQ(cm.estimate(10), 7.0);
+  EXPECT_DOUBLE_EQ(cm.estimate(20), 3.0);
+  EXPECT_DOUBLE_EQ(cm.total(), 10.0);
+}
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  CountMinSketch cm(32, 3, 2);
+  std::map<std::uint32_t, double> truth;
+  Xoshiro256 gen(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto key = static_cast<std::uint32_t>(uniform_index(gen, 500));
+    const double w = 1.0 + bits_to_unit_double(gen());
+    cm.add(key, w);
+    truth[key] += w;
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cm.estimate(key), count - 1e-9) << "key " << key;
+  }
+}
+
+TEST(CountMinSketch, AccuracyBoundHoldsOnAverage) {
+  // Overshoot <= eps * total for most keys with the accuracy factory.
+  const double eps = 0.01;
+  CountMinSketch cm = CountMinSketch::with_accuracy(eps, 0.01, 7);
+  std::map<std::uint32_t, double> truth;
+  Xoshiro256 gen(5);
+  const ZipfSampler zipf(2000, 1.1);
+  for (int i = 0; i < 50000; ++i) {
+    const auto key = static_cast<std::uint32_t>(zipf(gen));
+    cm.add(key);
+    truth[key] += 1.0;
+  }
+  std::size_t violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (cm.estimate(key) - count > eps * cm.total()) ++violations;
+  }
+  EXPECT_LE(violations, truth.size() / 50);  // <= 2% of keys
+}
+
+TEST(CountMinSketch, UnseenKeysUsuallySmall) {
+  CountMinSketch cm = CountMinSketch::with_accuracy(0.005, 0.01, 9);
+  for (std::uint32_t k = 0; k < 100; ++k) cm.add(k, 10.0);
+  // A key never added: estimate bounded by eps * total = 5.
+  EXPECT_LE(cm.estimate(999999), 0.005 * cm.total() + 10.0);
+}
+
+TEST(CountMinSketch, MergeEqualsCombinedStream) {
+  CountMinSketch a(64, 4, 11);
+  CountMinSketch b(64, 4, 11);
+  CountMinSketch combined(64, 4, 11);
+  for (std::uint32_t k = 0; k < 50; ++k) {
+    a.add(k, static_cast<double>(k));
+    combined.add(k, static_cast<double>(k));
+  }
+  for (std::uint32_t k = 25; k < 75; ++k) {
+    b.add(k, 2.0);
+    combined.add(k, 2.0);
+  }
+  a.merge(b);
+  for (std::uint32_t k = 0; k < 75; ++k) {
+    EXPECT_DOUBLE_EQ(a.estimate(k), combined.estimate(k));
+  }
+  EXPECT_DOUBLE_EQ(a.total(), combined.total());
+}
+
+TEST(CountMinSketch, MergeShapeMismatchRejected) {
+  CountMinSketch a(64, 4, 1);
+  CountMinSketch b(32, 4, 1);
+  CountMinSketch c(64, 4, 2);
+  EXPECT_THROW(a.merge(b), ContractViolation);
+  EXPECT_THROW(a.merge(c), ContractViolation);
+}
+
+TEST(CountMinSketch, ResetClears) {
+  CountMinSketch cm(16, 2, 1);
+  cm.add(5, 100.0);
+  cm.reset();
+  EXPECT_DOUBLE_EQ(cm.estimate(5), 0.0);
+  EXPECT_DOUBLE_EQ(cm.total(), 0.0);
+}
+
+TEST(CountMinSketch, Validation) {
+  EXPECT_THROW(CountMinSketch(0, 2, 1), ContractViolation);
+  EXPECT_THROW(CountMinSketch(4, 0, 1), ContractViolation);
+  EXPECT_THROW(CountMinSketch::with_accuracy(0.0, 0.1, 1),
+               ContractViolation);
+  CountMinSketch cm(4, 2, 1);
+  EXPECT_THROW(cm.add(1, -1.0), ContractViolation);
+}
+
+TEST(HeavyHitterTracker, FindsDominantKeysInZipfStream) {
+  HeavyHitterTracker tracker(32, 0.001, 0.01, 13);
+  Xoshiro256 gen(17);
+  const ZipfSampler zipf(5000, 1.2);
+  for (int i = 0; i < 100000; ++i) {
+    tracker.add(static_cast<std::uint32_t>(zipf(gen)));
+  }
+  // Rank 0 has probability ~0.29 under Zipf(1.2, 5000): clearly heavy.
+  const auto hitters = tracker.hitters(0.05);
+  ASSERT_FALSE(hitters.empty());
+  EXPECT_EQ(hitters[0].key, 0u);
+  // Results are sorted by estimate.
+  for (std::size_t i = 1; i < hitters.size(); ++i) {
+    EXPECT_GE(hitters[i - 1].estimate, hitters[i].estimate);
+  }
+}
+
+TEST(HeavyHitterTracker, TopKRespectsK) {
+  HeavyHitterTracker tracker(64, 0.001, 0.01, 19);
+  for (std::uint32_t k = 0; k < 40; ++k) {
+    tracker.add(k, static_cast<double>(40 - k));
+  }
+  const auto top = tracker.top(5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].key, 0u);
+  EXPECT_DOUBLE_EQ(top[0].estimate, 40.0);
+}
+
+TEST(HeavyHitterTracker, CapacityEvictsWeakest) {
+  HeavyHitterTracker tracker(4, 0.001, 0.01, 23);
+  // Five keys with clearly distinct weights; the lightest is evicted.
+  tracker.add(1, 100.0);
+  tracker.add(2, 80.0);
+  tracker.add(3, 60.0);
+  tracker.add(4, 40.0);
+  tracker.add(5, 1.0);
+  const auto top = tracker.top(10);
+  EXPECT_EQ(top.size(), 4u);
+  for (const auto& h : top) {
+    EXPECT_NE(h.key, 5u);
+  }
+}
+
+TEST(HeavyHitterTracker, ResetStartsFresh) {
+  HeavyHitterTracker tracker(8, 0.01, 0.01, 29);
+  tracker.add(1, 10.0);
+  tracker.reset();
+  EXPECT_TRUE(tracker.top(5).empty());
+  EXPECT_DOUBLE_EQ(tracker.sketch().total(), 0.0);
+}
+
+}  // namespace
+}  // namespace spca

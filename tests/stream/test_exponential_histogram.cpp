@@ -1,0 +1,108 @@
+#include "stream/exponential_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+
+#include "common/contracts.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+TEST(ExponentialHistogram, EmptyEstimatesZero) {
+  ExponentialHistogram eh(100, 0.1);
+  EXPECT_EQ(eh.estimate(), 0.0);
+  EXPECT_EQ(eh.bucket_count(), 0u);
+}
+
+TEST(ExponentialHistogram, ExactWhileBucketsAreSingletons) {
+  ExponentialHistogram eh(1000, 0.5);
+  for (int t = 0; t < 3; ++t) eh.add(t);
+  // With 3 events and allowance >= 3 per size, the estimate counts all but
+  // half of the oldest singleton: 3 - 0.5.
+  EXPECT_DOUBLE_EQ(eh.estimate(), 2.5);
+  EXPECT_EQ(eh.upper_bound(), 3u);
+}
+
+TEST(ExponentialHistogram, ExpiresOldEvents) {
+  ExponentialHistogram eh(10, 0.1);
+  eh.add(0);
+  eh.add(5);
+  eh.advance(20);
+  EXPECT_EQ(eh.upper_bound(), 0u);
+  EXPECT_EQ(eh.estimate(), 0.0);
+}
+
+TEST(ExponentialHistogram, RejectsTimeGoingBackwards) {
+  ExponentialHistogram eh(10, 0.1);
+  eh.add(5);
+  EXPECT_THROW(eh.add(4), ContractViolation);
+}
+
+TEST(ExponentialHistogram, RejectsBadParameters) {
+  EXPECT_THROW(ExponentialHistogram(0, 0.1), ContractViolation);
+  EXPECT_THROW(ExponentialHistogram(10, 0.0), ContractViolation);
+  EXPECT_THROW(ExponentialHistogram(10, 1.5), ContractViolation);
+}
+
+class EhAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EhAccuracyTest, RelativeErrorBoundedByEpsilon) {
+  // Property check of the DGIM guarantee against an exact sliding window.
+  const double epsilon = GetParam();
+  const std::uint64_t window = 512;
+  ExponentialHistogram eh(window, epsilon);
+  Xoshiro256 gen(99);
+  std::deque<std::int64_t> exact;  // event timestamps
+
+  for (std::int64_t t = 0; t < 4000; ++t) {
+    const bool event = bits_to_unit_double(gen()) < 0.4;
+    if (event) {
+      eh.add(t);
+      exact.push_back(t);
+    } else {
+      eh.advance(t);
+    }
+    while (!exact.empty() &&
+           exact.front() <= t - static_cast<std::int64_t>(window)) {
+      exact.pop_front();
+    }
+    const double truth = static_cast<double>(exact.size());
+    if (truth >= 16.0) {  // bound is meaningful once counts are nontrivial
+      EXPECT_LE(std::abs(eh.estimate() - truth), epsilon * truth + 1.0)
+          << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EhAccuracyTest,
+                         ::testing::Values(0.5, 0.2, 0.1, 0.05));
+
+TEST(ExponentialHistogram, BucketCountIsLogarithmic) {
+  // O((1/eps) log n) buckets: doubling the stream length adds O(1/eps).
+  const double epsilon = 0.1;
+  ExponentialHistogram eh(1 << 14, epsilon);
+  std::size_t at_4k = 0;
+  for (std::int64_t t = 0; t < (1 << 14); ++t) {
+    eh.add(t);
+    if (t == (1 << 12)) at_4k = eh.bucket_count();
+  }
+  const std::size_t at_16k = eh.bucket_count();
+  // Two extra doublings => at most ~2 * (1/eps + 2) more buckets.
+  EXPECT_LE(at_16k, at_4k + 2 * (static_cast<std::size_t>(1.0 / epsilon) + 2));
+}
+
+TEST(ExponentialHistogram, BulkAddMatchesRepeatedAdd) {
+  ExponentialHistogram a(100, 0.2);
+  ExponentialHistogram b(100, 0.2);
+  a.add(1, 5);
+  for (int i = 0; i < 5; ++i) b.add(1);
+  EXPECT_EQ(a.upper_bound(), b.upper_bound());
+  EXPECT_EQ(a.bucket_count(), b.bucket_count());
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,59 @@
+#include "stream/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+namespace {
+
+TEST(SlidingWindowStats, EvictsOldestWhenFull) {
+  SlidingWindowStats w(3);
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) w.add(x);
+  EXPECT_EQ(w.count(), 3u);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.values().front(), 2.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+}
+
+TEST(SlidingWindowStats, VarianceMatchesDefinition) {
+  SlidingWindowStats w(4);
+  for (const double x : {2.0, 4.0, 4.0, 6.0}) w.add(x);
+  // mean 4, squared deviations 4 + 0 + 0 + 4 = 8.
+  EXPECT_DOUBLE_EQ(w.sum_squared_deviations(), 8.0);
+}
+
+TEST(SlidingWindowStats, QueriesOnEmptyRejected) {
+  SlidingWindowStats w(4);
+  EXPECT_THROW((void)w.mean(), ContractViolation);
+  EXPECT_THROW((void)w.sum_squared_deviations(), ContractViolation);
+}
+
+TEST(SlidingWindowMatrix, MaterializesChronologicalMatrix) {
+  SlidingWindowMatrix w(2, 3);
+  w.add_row(Vector{1.0, 2.0, 3.0});
+  w.add_row(Vector{4.0, 5.0, 6.0});
+  w.add_row(Vector{7.0, 8.0, 9.0});  // evicts the first row
+  const Matrix m = w.to_matrix();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(SlidingWindowMatrix, ColumnMeansOverWindowOnly) {
+  SlidingWindowMatrix w(2, 2);
+  w.add_row(Vector{100.0, 0.0});
+  w.add_row(Vector{2.0, 4.0});
+  w.add_row(Vector{4.0, 8.0});
+  const Vector mean = w.column_means();
+  EXPECT_DOUBLE_EQ(mean[0], 3.0);
+  EXPECT_DOUBLE_EQ(mean[1], 6.0);
+}
+
+TEST(SlidingWindowMatrix, RejectsWrongDimensionRow) {
+  SlidingWindowMatrix w(4, 3);
+  EXPECT_THROW(w.add_row(Vector{1.0, 2.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,110 @@
+#include "synth/address_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "synth/packet_synthesizer.hpp"
+#include "traffic/entropy.hpp"
+
+namespace spca {
+namespace {
+
+std::vector<Packet> normal_packets(std::uint64_t seed) {
+  auto packets = synthesize_packets(3.0e5, od_flow_id(1, 2, 4), 4, 0,
+                                    PacketSizeModel{}, seed);
+  assign_addresses(packets, AddressModel{}, seed);
+  return packets;
+}
+
+TEST(AddressModel, PoolsAreDisjointPerRouter) {
+  EXPECT_NE(host_address(1, 5), host_address(2, 5));
+  EXPECT_EQ(host_address(1, 5) >> 20, 1u);
+}
+
+TEST(AddressModel, AddressesComeFromEndpointPools) {
+  for (const Packet& p : normal_packets(3)) {
+    EXPECT_EQ(p.src_addr >> 20, p.origin);
+    EXPECT_EQ(p.dst_addr >> 20, p.destination);
+  }
+}
+
+TEST(AddressModel, PopularityIsSkewed) {
+  // Zipf(1.0): the most popular host should carry far more packets than a
+  // mid-rank one.
+  const auto packets = normal_packets(4);
+  std::map<std::uint32_t, int> counts;
+  for (const Packet& p : packets) ++counts[p.src_addr];
+  int max_count = 0;
+  for (const auto& [addr, count] : counts) max_count = std::max(max_count, count);
+  const double mean_count =
+      static_cast<double>(packets.size()) / static_cast<double>(counts.size());
+  EXPECT_GT(max_count, 5.0 * mean_count);
+}
+
+TEST(AddressModel, DeterministicInSeed) {
+  const auto a = normal_packets(9);
+  const auto b = normal_packets(9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src_addr, b[i].src_addr);
+    EXPECT_EQ(a[i].dst_addr, b[i].dst_addr);
+  }
+}
+
+TEST(ScanPackets, SingleSourceManyDestinations) {
+  const auto scan = synthesize_scan_packets(od_flow_id(0, 3, 4), 4, 7, 400,
+                                            64, AddressModel{}, 5);
+  ASSERT_EQ(scan.size(), 400u);
+  std::set<std::uint32_t> sources, destinations;
+  for (const Packet& p : scan) {
+    EXPECT_EQ(p.origin, 0u);
+    EXPECT_EQ(p.destination, 3u);
+    EXPECT_EQ(p.size_bytes, 64u);
+    EXPECT_EQ(p.interval, 7);
+    sources.insert(p.src_addr);
+    destinations.insert(p.dst_addr);
+  }
+  EXPECT_EQ(sources.size(), 1u);
+  EXPECT_GT(destinations.size(), 200u);  // near-uniform sweep of 512 hosts
+}
+
+TEST(ScanPackets, EntropySignatureDwarfsNormalTraffic) {
+  // The pipeline property the entropy detector relies on: a scan pushes
+  // the flow's destination-address entropy far above its normal level
+  // while adding negligible volume.
+  const FlowId flow = od_flow_id(1, 2, 4);
+  auto normal = synthesize_packets(3.0e5, flow, 4, 0, PacketSizeModel{}, 6);
+  assign_addresses(normal, AddressModel{}, 6);
+  EntropyAggregator agg(16, EntropyAggregator::Feature::kDestinationAddress);
+  for (const Packet& p : normal) agg.record(p, 4);
+  const double normal_entropy = agg.counter(flow).entropy_bits();
+  (void)agg.end_interval();
+
+  auto with_scan = normal;
+  const auto scan = synthesize_scan_packets(flow, 4, 0, 400, 64,
+                                            AddressModel{}, 7);
+  double scan_bytes = 0.0;
+  for (const Packet& p : scan) {
+    with_scan.push_back(p);
+    scan_bytes += static_cast<double>(p.size_bytes);
+  }
+  for (const Packet& p : with_scan) agg.record(p, 4);
+  const double scan_entropy = agg.counter(flow).entropy_bits();
+
+  EXPECT_GT(scan_entropy, normal_entropy + 1.0);  // > 1 bit jump
+  EXPECT_LT(scan_bytes, 0.1 * 3.0e5);             // < 10% volume change
+}
+
+TEST(ScanPackets, Validation) {
+  EXPECT_THROW((void)synthesize_scan_packets(0, 4, 0, 0, 64, AddressModel{}, 1),
+               ContractViolation);
+  EXPECT_THROW((void)synthesize_scan_packets(0, 4, 0, 10, 0, AddressModel{}, 1),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,202 @@
+#include "synth/anomaly_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "linalg/stats.hpp"
+#include "synth/traffic_model.hpp"
+
+namespace spca {
+namespace {
+
+class AnomalyInjectorTest : public ::testing::Test {
+ protected:
+  Topology topo_ = abilene_topology();
+
+  TraceSet make_trace() {
+    TrafficModelConfig config;
+    config.num_intervals = 288;
+    config.seed = 11;
+    return generate_traffic(topo_, config);
+  }
+};
+
+TEST_F(AnomalyInjectorTest, DdosScalesVictimFlowsOnly) {
+  TraceSet trace = make_trace();
+  const TraceSet clean = make_trace();
+  AnomalyInjector injector(topo_, 1);
+  const RouterId victim = topo_.router_id("WASH");
+  injector.inject_ddos(trace, 100, 3, victim, 2.0);
+
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].kind, "ddos");
+  EXPECT_EQ(trace.events()[0].flows.size(), 8u);  // all origins but WASH
+
+  for (std::size_t j = 0; j < trace.num_flows(); ++j) {
+    const OdPair od = od_pair_of(static_cast<FlowId>(j), 9);
+    const double expected_factor =
+        (od.destination == victim && od.origin != victim) ? 3.0 : 1.0;
+    EXPECT_NEAR(trace.volumes()(101, j) / clean.volumes()(101, j),
+                expected_factor, 1e-9)
+        << "flow " << j;
+    // Outside the episode nothing changes.
+    EXPECT_DOUBLE_EQ(trace.volumes()(99, j), clean.volumes()(99, j));
+    EXPECT_DOUBLE_EQ(trace.volumes()(103, j), clean.volumes()(103, j));
+  }
+}
+
+TEST_F(AnomalyInjectorTest, BotnetAddsFractionOfStd) {
+  TraceSet trace = make_trace();
+  const TraceSet clean = make_trace();
+  const Vector variances = column_variances(clean.volumes());
+  AnomalyInjector injector(topo_, 2);
+  const std::vector<FlowId> flows = {3, 17, 40};
+  injector.inject_botnet(trace, 50, 2, flows, 2.0);
+
+  for (const FlowId f : flows) {
+    const double delta = 2.0 * std::sqrt(variances[f]);
+    EXPECT_NEAR(trace.volumes()(50, f) - clean.volumes()(50, f), delta,
+                1e-6 * delta);
+    EXPECT_NEAR(trace.volumes()(51, f) - clean.volumes()(51, f), delta,
+                1e-6 * delta);
+  }
+  EXPECT_EQ(trace.events()[0].kind, "botnet");
+}
+
+TEST_F(AnomalyInjectorTest, LocalStdIsBelowGlobalStdUnderDiurnal) {
+  // The first-difference estimator removes the diurnal trend, so the local
+  // std must be well below the trace-wide std for seasonal traffic.
+  const TraceSet trace = make_trace();
+  const Vector local = AnomalyInjector::local_std(trace);
+  const Vector global = column_variances(trace.volumes());
+  for (std::size_t j = 0; j < trace.num_flows(); ++j) {
+    EXPECT_GT(local[j], 0.0);
+    EXPECT_LT(local[j], std::sqrt(global[j]));
+  }
+}
+
+TEST_F(AnomalyInjectorTest, BotnetLocalAddsFractionOfLocalStd) {
+  TraceSet trace = make_trace();
+  const TraceSet clean = make_trace();
+  const Vector local = AnomalyInjector::local_std(clean);
+  AnomalyInjector injector(topo_, 12);
+  const std::vector<FlowId> flows = {4, 19};
+  injector.inject_botnet_local(trace, 60, 2, flows, 2.5);
+  for (const FlowId f : flows) {
+    const double delta = 2.5 * local[f];
+    EXPECT_NEAR(trace.volumes()(60, f) - clean.volumes()(60, f), delta,
+                1e-6 * delta);
+    EXPECT_NEAR(trace.volumes()(61, f) - clean.volumes()(61, f), delta,
+                1e-6 * delta);
+  }
+  EXPECT_EQ(trace.events()[0].kind, "botnet");
+}
+
+TEST_F(AnomalyInjectorTest, FlashCrowdRampsUpAndDown) {
+  TraceSet trace = make_trace();
+  const TraceSet clean = make_trace();
+  AnomalyInjector injector(topo_, 3);
+  const RouterId dest = topo_.router_id("NEWY");
+  injector.inject_flash_crowd(trace, 10, 9, dest, 2.0);
+
+  const FlowId f = topo_.flow_id("LOSA", "NEWY");
+  const auto factor = [&](std::int64_t t) {
+    return trace.volumes()(static_cast<std::size_t>(t), f) /
+           clean.volumes()(static_cast<std::size_t>(t), f);
+  };
+  // Mid-episode boost exceeds the edges (triangular shape).
+  EXPECT_GT(factor(14), factor(10));
+  EXPECT_GT(factor(14), factor(18));
+  EXPECT_GT(factor(14), 2.0);  // near the configured peak
+}
+
+TEST_F(AnomalyInjectorTest, OutageSuppressesBothDirections) {
+  TraceSet trace = make_trace();
+  const TraceSet clean = make_trace();
+  AnomalyInjector injector(topo_, 4);
+  const RouterId router = topo_.router_id("KANS");
+  injector.inject_outage(trace, 200, 2, router, 0.1);
+
+  const FlowId out = topo_.flow_id("KANS", "ATLA");
+  const FlowId in = topo_.flow_id("ATLA", "KANS");
+  EXPECT_NEAR(trace.volumes()(200, out) / clean.volumes()(200, out), 0.1,
+              1e-9);
+  EXPECT_NEAR(trace.volumes()(201, in) / clean.volumes()(201, in), 0.1,
+              1e-9);
+}
+
+TEST_F(AnomalyInjectorTest, ScanAddsFlatVolumeFromOrigin) {
+  TraceSet trace = make_trace();
+  const TraceSet clean = make_trace();
+  AnomalyInjector injector(topo_, 5);
+  const RouterId origin = topo_.router_id("SEAT");
+  injector.inject_scan(trace, 30, 1, origin, 12345.0);
+
+  for (RouterId d = 0; d < 9; ++d) {
+    if (d == origin) continue;
+    const FlowId f = od_flow_id(origin, d, 9);
+    EXPECT_NEAR(trace.volumes()(30, f) - clean.volumes()(30, f), 12345.0,
+                1e-6);
+  }
+}
+
+TEST_F(AnomalyInjectorTest, EpisodeClampedToTraceEnd) {
+  TraceSet trace = make_trace();
+  AnomalyInjector injector(topo_, 6);
+  injector.inject_ddos(trace, 286, 10, 0, 1.0);
+  EXPECT_EQ(trace.events()[0].end, 287);
+}
+
+TEST_F(AnomalyInjectorTest, MixtureInjectsRequestedCountNonOverlapping) {
+  TraceSet trace = make_trace();
+  AnomalyInjector injector(topo_, 7);
+  const auto events = injector.inject_mixture(trace, 12, 0, 288);
+  EXPECT_EQ(events.size(), 12u);
+  // Episodes must not overlap.
+  std::set<std::int64_t> used;
+  for (const auto& e : events) {
+    for (std::int64_t t = e.start; t <= e.end; ++t) {
+      EXPECT_TRUE(used.insert(t).second) << "overlap at " << t;
+    }
+  }
+  // Mixture is botnet-heavy by design.
+  std::size_t botnets = 0;
+  for (const auto& e : events) {
+    if (e.kind == "botnet") ++botnets;
+  }
+  EXPECT_GE(botnets, 3u);
+}
+
+TEST_F(AnomalyInjectorTest, MixtureIsDeterministicInSeed) {
+  TraceSet a = make_trace();
+  TraceSet b = make_trace();
+  AnomalyInjector ia(topo_, 9);
+  AnomalyInjector ib(topo_, 9);
+  (void)ia.inject_mixture(a, 6, 0, 288);
+  (void)ib.inject_mixture(b, 6, 0, 288);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].start, b.events()[i].start);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+  }
+}
+
+TEST_F(AnomalyInjectorTest, ArgumentValidation) {
+  TraceSet trace = make_trace();
+  AnomalyInjector injector(topo_, 10);
+  EXPECT_THROW(injector.inject_ddos(trace, 0, 1, 99, 1.0),
+               ContractViolation);
+  EXPECT_THROW(injector.inject_ddos(trace, 0, 0, 0, 1.0), ContractViolation);
+  EXPECT_THROW(injector.inject_ddos(trace, 500, 1, 0, 1.0),
+               ContractViolation);
+  EXPECT_THROW(injector.inject_botnet(trace, 0, 1, {}, 1.0),
+               ContractViolation);
+  EXPECT_THROW(injector.inject_outage(trace, 0, 1, 0, 1.5),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

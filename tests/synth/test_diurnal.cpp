@@ -1,0 +1,69 @@
+#include "synth/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spca {
+namespace {
+
+TEST(Diurnal, PeaksNearConfiguredFraction) {
+  DiurnalProfile profile;
+  const double peak_time = profile.peak_fraction * profile.day_seconds;
+  const double at_peak = diurnal_multiplier(profile, peak_time);
+  // Scan the day: nothing should exceed the configured peak by much.
+  double best = 0.0;
+  for (int step = 0; step < 288; ++step) {
+    best = std::max(best,
+                    diurnal_multiplier(profile, step * 300.0));
+  }
+  EXPECT_NEAR(best, at_peak, 0.02);
+  EXPECT_GT(at_peak, 1.2);
+}
+
+TEST(Diurnal, TroughIsWellBelowPeak) {
+  DiurnalProfile profile;
+  const double peak =
+      diurnal_multiplier(profile, profile.peak_fraction * profile.day_seconds);
+  const double trough = diurnal_multiplier(
+      profile, (profile.peak_fraction + 0.5) * profile.day_seconds);
+  EXPECT_LT(trough, 0.7 * peak);
+}
+
+TEST(Diurnal, FloorIsRespected) {
+  DiurnalProfile profile;
+  profile.daily_amplitude = 2.0;  // exaggerated: cosine dips below floor
+  profile.floor = 0.2;
+  for (int step = 0; step < 1000; ++step) {
+    EXPECT_GE(diurnal_multiplier(profile, step * 600.0), 0.2);
+  }
+}
+
+TEST(Diurnal, WeekendDipAppliesOnDays5And6) {
+  DiurnalProfile profile;
+  profile.weekend_dip = 0.4;
+  const double weekday = diurnal_multiplier(profile, 2.0 * 86400.0);
+  const double weekend = diurnal_multiplier(profile, 5.0 * 86400.0);
+  // Same time of day, different day class.
+  EXPECT_NEAR(weekend, weekday * 0.6, 1e-9);
+}
+
+TEST(Diurnal, PeriodicAcrossWeeks) {
+  DiurnalProfile profile;
+  const double t = 1.25 * 86400.0;
+  EXPECT_NEAR(diurnal_multiplier(profile, t),
+              diurnal_multiplier(profile, t + 7.0 * 86400.0), 1e-9);
+}
+
+TEST(Diurnal, FlatProfileIsConstantOne) {
+  DiurnalProfile profile;
+  profile.daily_amplitude = 0.0;
+  profile.harmonic_amplitude = 0.0;
+  profile.weekend_dip = 0.0;
+  for (int step = 0; step < 100; ++step) {
+    EXPECT_NEAR(diurnal_multiplier(profile, step * 3600.0), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace spca

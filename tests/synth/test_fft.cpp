@@ -1,0 +1,118 @@
+#include "synth/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+using Cplx = std::complex<double>;
+
+TEST(NextPowerOfTwo, RoundsUp) {
+  EXPECT_EQ(next_power_of_two(0), 1u);
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1025), 2048u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Cplx> data(6);
+  EXPECT_THROW(fft(data), ContractViolation);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Cplx> data(8);
+  data[0] = 1.0;
+  fft(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-14);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-14);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 32;
+  std::vector<Cplx> data(n);
+  const std::size_t k0 = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase =
+        2.0 * std::numbers::pi * static_cast<double>(k0 * i) / static_cast<double>(n);
+    data[i] = Cplx(std::cos(phase), std::sin(phase));
+  }
+  fft(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = (k == k0) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(data[k]), expected, 1e-10) << "bin " << k;
+  }
+}
+
+TEST(Fft, InverseRoundTrips) {
+  Xoshiro256 gen(3);
+  std::vector<Cplx> data(64);
+  std::vector<Cplx> original(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = Cplx(standard_normal(gen), standard_normal(gen));
+    original[i] = data[i];
+  }
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Xoshiro256 gen(4);
+  std::vector<Cplx> data(128);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = Cplx(standard_normal(gen), 0.0);
+    time_energy += std::norm(x);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy,
+              1e-9 * time_energy);
+}
+
+TEST(Fft, MatchesNaiveDftOnSmallInput) {
+  Xoshiro256 gen(5);
+  const std::size_t n = 16;
+  std::vector<Cplx> data(n);
+  for (auto& x : data) x = Cplx(standard_normal(gen), standard_normal(gen));
+  std::vector<Cplx> naive(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Cplx sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * i) / static_cast<double>(n);
+      sum += data[i] * Cplx(std::cos(angle), std::sin(angle));
+    }
+    naive[k] = sum;
+  }
+  fft(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), naive[k].real(), 1e-10);
+    EXPECT_NEAR(data[k].imag(), naive[k].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, SizeOneAndEmptyAreNoOps) {
+  std::vector<Cplx> one = {Cplx(3.0, -1.0)};
+  fft(one);
+  EXPECT_EQ(one[0], Cplx(3.0, -1.0));
+  std::vector<Cplx> empty;
+  EXPECT_NO_THROW(fft(empty));
+}
+
+}  // namespace
+}  // namespace spca

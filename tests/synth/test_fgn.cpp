@@ -1,0 +1,162 @@
+#include "synth/fgn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/stats.hpp"
+
+namespace spca {
+namespace {
+
+double sample_autocovariance(const std::vector<double>& xs, std::size_t lag) {
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    sum += (xs[i] - mean) * (xs[i + lag] - mean);
+  }
+  return sum / static_cast<double>(xs.size() - lag);
+}
+
+TEST(FgnAutocovariance, LagZeroIsUnitVariance) {
+  for (const double h : {0.5, 0.7, 0.9}) {
+    EXPECT_DOUBLE_EQ(fgn_autocovariance(0, h), 1.0);
+  }
+}
+
+TEST(FgnAutocovariance, HalfHurstIsWhiteNoise) {
+  // H = 0.5 reduces fGn to i.i.d. Gaussian noise: zero covariance at lags.
+  for (std::size_t lag = 1; lag < 10; ++lag) {
+    EXPECT_NEAR(fgn_autocovariance(lag, 0.5), 0.0, 1e-12);
+  }
+}
+
+TEST(FgnAutocovariance, PositiveAndSlowlyDecayingForHighHurst) {
+  double prev = fgn_autocovariance(1, 0.85);
+  EXPECT_GT(prev, 0.0);
+  for (std::size_t lag = 2; lag < 50; ++lag) {
+    const double cur = fgn_autocovariance(lag, 0.85);
+    EXPECT_GT(cur, 0.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(FgnDaviesHarte, DeterministicInSeed) {
+  const auto a = fgn_davies_harte(64, 0.8, 5);
+  const auto b = fgn_davies_harte(64, 0.8, 5);
+  const auto c = fgn_davies_harte(64, 0.8, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+class FgnHurstTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FgnHurstTest, UnitVarianceAndZeroMean) {
+  const double hurst = GetParam();
+  constexpr std::size_t kLen = 4096;
+  constexpr std::uint64_t kSeries = 8;
+  // For LRD series the per-series sample mean has std ~ n^{H-1}, and the
+  // per-series sample variance is biased low by the same n^{2H-2} term —
+  // both effects are large for high Hurst and must be accounted for, not
+  // hidden by loose tolerances.
+  RunningStats per_series_mean;
+  double variance_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < kSeries; ++seed) {
+    RunningStats series;
+    for (const double x : fgn_davies_harte(kLen, hurst, seed)) {
+      series.add(x);
+    }
+    per_series_mean.add(series.mean());
+    variance_sum += series.variance_population();
+  }
+  const double mean_std =
+      std::pow(static_cast<double>(kLen), hurst - 1.0) /
+      std::sqrt(static_cast<double>(kSeries));
+  EXPECT_NEAR(per_series_mean.mean(), 0.0, 4.0 * mean_std + 0.01);
+  const double variance_bias =
+      std::pow(static_cast<double>(kLen), 2.0 * hurst - 2.0);
+  EXPECT_NEAR(variance_sum / static_cast<double>(kSeries),
+              1.0 - variance_bias, 0.12);
+}
+
+TEST_P(FgnHurstTest, Lag1AutocovarianceMatchesTheory) {
+  const double hurst = GetParam();
+  constexpr std::size_t kLen = 4096;
+  double acc = 0.0;
+  constexpr int kSeries = 12;
+  for (int s = 0; s < kSeries; ++s) {
+    const auto xs = fgn_davies_harte(kLen, hurst, 100 + s);
+    acc += sample_autocovariance(xs, 1);
+  }
+  // Subtracting the sample mean biases the LRD autocovariance estimator by
+  // approximately -Var(sample mean) = -n^{2H-2} (Hosking 1996).
+  const double expected = fgn_autocovariance(1, hurst) -
+                          std::pow(static_cast<double>(kLen),
+                                   2.0 * hurst - 2.0);
+  EXPECT_NEAR(acc / kSeries, expected, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstValues, FgnHurstTest,
+                         ::testing::Values(0.5, 0.6, 0.75, 0.9));
+
+TEST(FgnDaviesHarte, AggregatedVarianceShowsLongRangeDependence) {
+  // For fGn with Hurst H, Var(mean of m consecutive samples) ~ m^{2H-2}.
+  // Estimate the scaling exponent from block variances.
+  const double hurst = 0.85;
+  const std::size_t n = 1 << 15;
+  std::vector<double> xs = fgn_davies_harte(n, hurst, 9);
+  const auto block_variance = [&](std::size_t m) {
+    RunningStats stats;
+    for (std::size_t start = 0; start + m <= n; start += m) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < m; ++i) mean += xs[start + i];
+      stats.add(mean / static_cast<double>(m));
+    }
+    return stats.variance_population();
+  };
+  const double v8 = block_variance(8);
+  const double v64 = block_variance(64);
+  const double exponent = std::log(v64 / v8) / std::log(8.0);
+  // Theory: 2H - 2 = -0.3. White noise would give -1.
+  EXPECT_NEAR(exponent, 2.0 * hurst - 2.0, 0.15);
+}
+
+TEST(FgnHosking, MatchesDaviesHarteDistribution) {
+  // Cross-validate the two exact samplers: same variance and lag-1
+  // autocovariance on moderate-size series.
+  const double hurst = 0.75;
+  RunningStats dh_stats, hos_stats;
+  double dh_acf = 0.0, hos_acf = 0.0;
+  constexpr int kSeries = 6;
+  constexpr std::size_t kLen = 512;
+  for (int s = 0; s < kSeries; ++s) {
+    const auto dh = fgn_davies_harte(kLen, hurst, 40 + s);
+    const auto hos = fgn_hosking(kLen, hurst, 40 + s);
+    for (const double x : dh) dh_stats.add(x);
+    for (const double x : hos) hos_stats.add(x);
+    dh_acf += sample_autocovariance(dh, 1);
+    hos_acf += sample_autocovariance(hos, 1);
+  }
+  EXPECT_NEAR(dh_stats.variance_population(), hos_stats.variance_population(),
+              0.15);
+  EXPECT_NEAR(dh_acf / kSeries, hos_acf / kSeries, 0.12);
+}
+
+TEST(Fgn, ParameterValidation) {
+  EXPECT_THROW((void)fgn_davies_harte(0, 0.8, 1), ContractViolation);
+  EXPECT_THROW((void)fgn_davies_harte(8, 0.0, 1), ContractViolation);
+  EXPECT_THROW((void)fgn_davies_harte(8, 1.0, 1), ContractViolation);
+  EXPECT_THROW((void)fgn_hosking(8, 1.5, 1), ContractViolation);
+}
+
+TEST(Fgn, LengthOneSeriesWorks) {
+  EXPECT_EQ(fgn_davies_harte(1, 0.8, 2).size(), 1u);
+  EXPECT_EQ(fgn_hosking(1, 0.8, 2).size(), 1u);
+}
+
+}  // namespace
+}  // namespace spca

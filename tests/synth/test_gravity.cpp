@@ -1,0 +1,58 @@
+#include "synth/gravity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+namespace {
+
+TEST(GravityMeans, TotalMatchesTarget) {
+  const Vector means = gravity_means({1.0, 2.0, 3.0}, 6000.0);
+  double total = 0.0;
+  for (std::size_t j = 0; j < means.size(); ++j) total += means[j];
+  EXPECT_NEAR(total, 6000.0, 1e-9);
+}
+
+TEST(GravityMeans, ProportionalToWeightProducts) {
+  const Vector means = gravity_means({1.0, 2.0}, 100.0, /*self_fraction=*/0.0);
+  // Flows: (0,0)=0, (0,1) ~ 2, (1,0) ~ 2, (1,1)=0.
+  EXPECT_DOUBLE_EQ(means[0], 0.0);
+  EXPECT_DOUBLE_EQ(means[3], 0.0);
+  EXPECT_DOUBLE_EQ(means[1], 50.0);
+  EXPECT_DOUBLE_EQ(means[2], 50.0);
+}
+
+TEST(GravityMeans, HeavierRouterPairsGetMoreTraffic) {
+  const Vector means = gravity_means({1.0, 2.0, 4.0}, 1000.0);
+  const auto flow = [&](RouterId o, RouterId d) {
+    return means[od_flow_id(o, d, 3)];
+  };
+  EXPECT_GT(flow(2, 1), flow(1, 0));
+  EXPECT_NEAR(flow(2, 1) / flow(1, 0), 4.0, 1e-9);
+}
+
+TEST(GravityMeans, SelfFractionScalesDiagonal) {
+  const Vector with_self = gravity_means({1.0, 1.0}, 100.0, 0.5);
+  const Vector no_self = gravity_means({1.0, 1.0}, 100.0, 0.0);
+  EXPECT_GT(with_self[od_flow_id(0, 0, 2)], 0.0);
+  EXPECT_EQ(no_self[od_flow_id(0, 0, 2)], 0.0);
+}
+
+TEST(GravityMeans, Validation) {
+  EXPECT_THROW((void)gravity_means({1.0}, 100.0), ContractViolation);
+  EXPECT_THROW((void)gravity_means({1.0, 0.0}, 100.0), ContractViolation);
+  EXPECT_THROW((void)gravity_means({1.0, 1.0}, 0.0), ContractViolation);
+  EXPECT_THROW((void)gravity_means({1.0, 1.0}, 10.0, -0.1),
+               ContractViolation);
+}
+
+TEST(AbileneWeights, MatchTopologySize) {
+  EXPECT_EQ(abilene_router_weights().size(), 9u);
+  for (const double w : abilene_router_weights()) {
+    EXPECT_GT(w, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace spca

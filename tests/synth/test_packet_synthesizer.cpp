@@ -1,0 +1,85 @@
+#include "synth/packet_synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/volume_counter.hpp"
+
+namespace spca {
+namespace {
+
+TEST(PacketSynthesizer, PacketsSumToVolume) {
+  const PacketSizeModel model;
+  const double volume = 250000.0;
+  const auto packets = synthesize_packets(volume, 5, 3, 0, model, 1);
+  double total = 0.0;
+  for (const auto& p : packets) total += static_cast<double>(p.size_bytes);
+  EXPECT_NEAR(total, volume, 1.0);
+}
+
+TEST(PacketSynthesizer, PacketsCarryFlowOdPair) {
+  const PacketSizeModel model;
+  const FlowId flow = od_flow_id(1, 2, 3);
+  const auto packets = synthesize_packets(50000.0, flow, 3, 7, model, 2);
+  ASSERT_FALSE(packets.empty());
+  for (const auto& p : packets) {
+    EXPECT_EQ(p.origin, 1u);
+    EXPECT_EQ(p.destination, 2u);
+    EXPECT_EQ(p.interval, 7);
+  }
+}
+
+TEST(PacketSynthesizer, BimodalSizesRoughlyMatchFraction) {
+  PacketSizeModel model;
+  model.large_fraction = 0.5;
+  const auto packets = synthesize_packets(3.0e6, 0, 3, 0, model, 3);
+  std::size_t large = 0;
+  for (const auto& p : packets) {
+    if (p.size_bytes >= model.large_bytes) ++large;
+  }
+  const double fraction =
+      static_cast<double>(large) / static_cast<double>(packets.size());
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+TEST(PacketSynthesizer, ZeroVolumeYieldsNoPackets) {
+  EXPECT_TRUE(synthesize_packets(0.0, 0, 3, 0, PacketSizeModel{}, 4).empty());
+}
+
+TEST(PacketSynthesizer, TinyVolumeStillAccounted) {
+  const auto packets = synthesize_packets(10.0, 0, 3, 0, PacketSizeModel{}, 5);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].size_bytes, 10u);
+}
+
+TEST(PacketSynthesizer, DeterministicInSeed) {
+  const auto a = synthesize_packets(1e5, 2, 3, 0, PacketSizeModel{}, 9);
+  const auto b = synthesize_packets(1e5, 2, 3, 0, PacketSizeModel{}, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].size_bytes, b[i].size_bytes);
+  }
+}
+
+TEST(PacketSynthesizer, IntervalStreamReproducesTraceThroughVolumeCounter) {
+  // End-to-end: volumes -> packets -> VolumeCounter -> volumes.
+  Matrix volumes(1, 9);
+  for (std::size_t j = 0; j < 9; ++j) {
+    volumes(0, j) = 10000.0 + 1000.0 * static_cast<double>(j);
+  }
+  std::vector<std::string> names(9, "");
+  for (std::size_t j = 0; j < 9; ++j) names[j] = "f" + std::to_string(j);
+  const TraceSet trace(std::move(volumes), 300.0, names);
+
+  const auto stream = synthesize_interval(trace, 0, 3, PacketSizeModel{}, 17);
+  VolumeCounter counter(9);
+  for (const auto& p : stream) {
+    counter.record_packet(p, 3);
+  }
+  const Vector recovered = counter.end_interval();
+  for (std::size_t j = 0; j < 9; ++j) {
+    EXPECT_NEAR(recovered[j], trace.volumes()(0, j), 1.0) << "flow " << j;
+  }
+}
+
+}  // namespace
+}  // namespace spca

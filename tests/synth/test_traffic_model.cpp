@@ -1,0 +1,128 @@
+#include "synth/traffic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/stats.hpp"
+#include "pca/pca_model.hpp"
+
+namespace spca {
+namespace {
+
+TrafficModelConfig small_config() {
+  TrafficModelConfig config;
+  config.num_intervals = 576;  // two days at 5-minute intervals
+  config.seed = 7;
+  return config;
+}
+
+TEST(TrafficModel, ShapesAndNames) {
+  const Topology topo = abilene_topology();
+  const TraceSet trace = generate_traffic(topo, small_config());
+  EXPECT_EQ(trace.num_intervals(), 576u);
+  EXPECT_EQ(trace.num_flows(), 81u);
+  EXPECT_EQ(trace.flow_names()[topo.flow_id("ATLA", "CHIC")], "ATLA-CHIC");
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TrafficModel, DeterministicInSeed) {
+  const Topology topo = abilene_topology();
+  const TraceSet a = generate_traffic(topo, small_config());
+  const TraceSet b = generate_traffic(topo, small_config());
+  EXPECT_EQ(max_abs_diff(a.volumes(), b.volumes()), 0.0);
+  TrafficModelConfig other = small_config();
+  other.seed = 8;
+  const TraceSet c = generate_traffic(topo, other);
+  EXPECT_GT(max_abs_diff(a.volumes(), c.volumes()), 0.0);
+}
+
+TEST(TrafficModel, VolumesArePositiveAndPlausible) {
+  const TraceSet trace =
+      generate_traffic(abilene_topology(), small_config());
+  double total = 0.0;
+  for (std::size_t t = 0; t < trace.num_intervals(); ++t) {
+    for (std::size_t j = 0; j < trace.num_flows(); ++j) {
+      const double v = trace.volumes()(t, j);
+      ASSERT_GT(v, 0.0);
+      ASSERT_TRUE(std::isfinite(v));
+      total += v;
+    }
+  }
+  // Network-wide mean volume should be near the configured rate.
+  const double per_interval = total / static_cast<double>(trace.num_intervals());
+  const TrafficModelConfig config = small_config();
+  const double target = config.bytes_per_second * config.interval_seconds;
+  EXPECT_NEAR(per_interval / target, 1.0, 0.35);
+}
+
+TEST(TrafficModel, IntervalLengthScalesVolume) {
+  TrafficModelConfig five_min = small_config();
+  // Flat seasonal profile: otherwise the two traces cover different spans
+  // of the diurnal cycle and their means are not directly comparable.
+  five_min.diurnal.daily_amplitude = 0.0;
+  five_min.diurnal.harmonic_amplitude = 0.0;
+  five_min.diurnal.weekend_dip = 0.0;
+  TrafficModelConfig one_min = five_min;
+  one_min.interval_seconds = 60.0;
+  const Topology topo = abilene_topology();
+  const TraceSet a = generate_traffic(topo, five_min);
+  const TraceSet b = generate_traffic(topo, one_min);
+  const double mean_a = column_means(a.volumes())[1];
+  const double mean_b = column_means(b.volumes())[1];
+  EXPECT_NEAR(mean_a / mean_b, 5.0, 0.5);
+}
+
+TEST(TrafficModel, DiurnalCycleVisibleInAggregate) {
+  TrafficModelConfig config = small_config();
+  config.num_intervals = 288;  // one day
+  const TraceSet trace = generate_traffic(abilene_topology(), config);
+  // Compare network totals at the configured peak vs the trough.
+  const auto total_at = [&](std::size_t t) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < trace.num_flows(); ++j) {
+      sum += trace.volumes()(t, j);
+    }
+    return sum;
+  };
+  const std::size_t peak_idx =
+      static_cast<std::size_t>(config.diurnal.peak_fraction * 288.0);
+  const std::size_t trough_idx = (peak_idx + 144) % 288;
+  EXPECT_GT(total_at(peak_idx), 1.3 * total_at(trough_idx));
+}
+
+TEST(TrafficModel, TrafficLivesNearLowDimensionalSubspace) {
+  // The PCA premise: a few components capture most of the energy of the
+  // centered traffic matrix.
+  TrafficModelConfig config = small_config();
+  config.num_intervals = 864;
+  const TraceSet trace = generate_traffic(abilene_topology(), config);
+  const PcaModel model = PcaModel::from_data(trace.volumes());
+  const std::size_t r90 = select_rank_by_energy(model.singular_values(), 0.9);
+  EXPECT_LE(r90, 12u);
+}
+
+TEST(TrafficModel, GravityStructureSurvivesNoise) {
+  const TraceSet trace =
+      generate_traffic(abilene_topology(), small_config());
+  const Topology topo = abilene_topology();
+  const Vector means = column_means(trace.volumes());
+  // NEWY-CHIC (heavy metros) must far exceed KANS-SALT (light metros).
+  EXPECT_GT(means[topo.flow_id("NEWY", "CHIC")],
+            3.0 * means[topo.flow_id("KANS", "SALT")]);
+}
+
+TEST(TrafficModel, ConfigValidation) {
+  const Topology topo = abilene_topology();
+  TrafficModelConfig config;
+  config.num_intervals = 1;
+  EXPECT_THROW((void)generate_traffic(topo, config), ContractViolation);
+  config = TrafficModelConfig{};
+  config.interval_seconds = 0.0;
+  EXPECT_THROW((void)generate_traffic(topo, config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,119 @@
+#include "traffic/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+namespace {
+
+TEST(EntropyCounter, EmptyAndSingletonHaveZeroEntropy) {
+  EntropyCounter counter;
+  EXPECT_EQ(counter.entropy_bits(), 0.0);
+  counter.add(42, 100);
+  EXPECT_EQ(counter.entropy_bits(), 0.0);
+  EXPECT_EQ(counter.normalized_entropy(), 0.0);
+  EXPECT_EQ(counter.distinct(), 1u);
+  EXPECT_EQ(counter.total(), 100u);
+}
+
+TEST(EntropyCounter, FairCoinIsOneBit) {
+  EntropyCounter counter;
+  counter.add(0, 500);
+  counter.add(1, 500);
+  EXPECT_NEAR(counter.entropy_bits(), 1.0, 1e-12);
+  EXPECT_NEAR(counter.normalized_entropy(), 1.0, 1e-12);
+}
+
+TEST(EntropyCounter, UniformOverKIsLog2K) {
+  EntropyCounter counter;
+  for (std::uint32_t v = 0; v < 32; ++v) counter.add(v, 10);
+  EXPECT_NEAR(counter.entropy_bits(), 5.0, 1e-12);
+}
+
+TEST(EntropyCounter, SkewReducesEntropy) {
+  EntropyCounter skewed;
+  skewed.add(0, 900);
+  skewed.add(1, 50);
+  skewed.add(2, 50);
+  EntropyCounter uniform;
+  uniform.add(0, 333);
+  uniform.add(1, 333);
+  uniform.add(2, 334);
+  EXPECT_LT(skewed.entropy_bits(), uniform.entropy_bits());
+  EXPECT_LT(skewed.normalized_entropy(), 1.0);
+}
+
+TEST(EntropyCounter, KnownBiasedCoin) {
+  // H(0.25) = 0.25*2 + 0.75*log2(4/3).
+  EntropyCounter counter;
+  counter.add(0, 250);
+  counter.add(1, 750);
+  const double expected = 0.25 * 2.0 + 0.75 * std::log2(4.0 / 3.0);
+  EXPECT_NEAR(counter.entropy_bits(), expected, 1e-12);
+}
+
+TEST(EntropyCounter, ResetClearsState) {
+  EntropyCounter counter;
+  counter.add(1);
+  counter.add(2);
+  counter.reset();
+  EXPECT_EQ(counter.total(), 0u);
+  EXPECT_EQ(counter.distinct(), 0u);
+  EXPECT_EQ(counter.entropy_bits(), 0.0);
+}
+
+TEST(EntropyCounter, ZeroWeightRejected) {
+  EntropyCounter counter;
+  EXPECT_THROW(counter.add(1, 0), ContractViolation);
+}
+
+TEST(EntropyAggregator, RoutesPacketsToOdFlows) {
+  EntropyAggregator agg(9, EntropyAggregator::Feature::kDestinationAddress);
+  Packet p;
+  p.origin = 1;
+  p.destination = 2;
+  p.dst_addr = 7;
+  agg.record(p, 3);
+  p.dst_addr = 8;
+  agg.record(p, 3);
+  const FlowId f = od_flow_id(1, 2, 3);
+  EXPECT_EQ(agg.counter(f).distinct(), 2u);
+  EXPECT_EQ(agg.counter(0).distinct(), 0u);
+}
+
+TEST(EntropyAggregator, FeatureSelectsField) {
+  EntropyAggregator src_agg(4, EntropyAggregator::Feature::kSourceAddress);
+  Packet p;
+  p.origin = 0;
+  p.destination = 1;
+  p.src_addr = 1;
+  p.dst_addr = 99;
+  src_agg.record(p, 2);
+  p.src_addr = 2;
+  src_agg.record(p, 2);
+  const FlowId f = od_flow_id(0, 1, 2);
+  EXPECT_EQ(src_agg.counter(f).distinct(), 2u);  // two sources, one dest
+}
+
+TEST(EntropyAggregator, EndIntervalFlushesAndResets) {
+  EntropyAggregator agg(4, EntropyAggregator::Feature::kDestinationAddress);
+  Packet p;
+  p.origin = 0;
+  p.destination = 1;
+  const FlowId f = od_flow_id(0, 1, 2);
+  p.dst_addr = 1;
+  agg.record(p, 2);
+  p.dst_addr = 2;
+  agg.record(p, 2);
+  const Vector h = agg.end_interval();
+  EXPECT_NEAR(h[f], 1.0, 1e-12);
+  EXPECT_EQ(agg.counter(f).total(), 0u);
+  const Vector next = agg.end_interval();
+  EXPECT_EQ(next[f], 0.0);
+}
+
+}  // namespace
+}  // namespace spca

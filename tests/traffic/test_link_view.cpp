@@ -1,0 +1,123 @@
+#include "traffic/link_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "synth/anomaly_injector.hpp"
+#include "synth/traffic_model.hpp"
+
+namespace spca {
+namespace {
+
+TEST(LinkView, LinkLoadsMatchRoutingMatrixPerInterval) {
+  const Topology topo = abilene_topology();
+  const Routing routing(topo);
+  TrafficModelConfig config;
+  config.num_intervals = 16;
+  config.seed = 4;
+  const TraceSet od = generate_traffic(topo, config);
+  const TraceSet links = to_link_trace(od, topo, routing);
+
+  EXPECT_EQ(links.num_intervals(), od.num_intervals());
+  EXPECT_EQ(links.num_flows(), topo.num_links());
+  for (std::size_t t = 0; t < od.num_intervals(); t += 5) {
+    const Vector expected = routing.link_loads(od.row(t));
+    for (std::size_t e = 0; e < topo.num_links(); ++e) {
+      EXPECT_DOUBLE_EQ(links.volumes()(t, e), expected[e]);
+    }
+  }
+}
+
+TEST(LinkView, LinkNamesComeFromEndpoints) {
+  const Topology topo = abilene_topology();
+  const Routing routing(topo);
+  TrafficModelConfig config;
+  config.num_intervals = 4;
+  const TraceSet links =
+      to_link_trace(generate_traffic(topo, config), topo, routing);
+  bool found = false;
+  for (const auto& name : links.flow_names()) {
+    if (name == "SEAT--SALT" || name == "SALT--SEAT") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LinkView, ConservesTotalBytesTimesPathLength) {
+  // Each flow's volume appears once per link on its path, so the link-space
+  // total equals sum over flows of volume * path length.
+  const Topology topo = abilene_topology();
+  const Routing routing(topo);
+  TrafficModelConfig config;
+  config.num_intervals = 3;
+  config.seed = 9;
+  const TraceSet od = generate_traffic(topo, config);
+  const TraceSet links = to_link_trace(od, topo, routing);
+  for (std::size_t t = 0; t < 3; ++t) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < od.num_flows(); ++j) {
+      const OdPair pair = od_pair_of(static_cast<FlowId>(j),
+                                     topo.num_routers());
+      expected += od.volumes()(t, j) *
+                  static_cast<double>(
+                      routing.path(pair.origin, pair.destination).size());
+    }
+    double actual = 0.0;
+    for (std::size_t e = 0; e < links.num_flows(); ++e) {
+      actual += links.volumes()(t, e);
+    }
+    EXPECT_NEAR(actual, expected, 1e-6 * expected);
+  }
+}
+
+TEST(LinkView, EventsMapToTraversedLinks) {
+  const Topology topo = abilene_topology();
+  const Routing routing(topo);
+  TrafficModelConfig config;
+  config.num_intervals = 32;
+  config.seed = 10;
+  TraceSet od = generate_traffic(topo, config);
+  AnomalyInjector injector(topo, 3);
+  injector.inject_botnet(od, 10, 2, {topo.flow_id("SEAT", "SALT")}, 2.0);
+
+  const TraceSet links = to_link_trace(od, topo, routing);
+  ASSERT_EQ(links.events().size(), 1u);
+  const auto& event = links.events()[0];
+  EXPECT_EQ(event.kind, "botnet");
+  EXPECT_EQ(event.start, 10);
+  // SEAT-SALT is a direct link in the topology: exactly one link affected.
+  const auto& path =
+      routing.path(topo.router_id("SEAT"), topo.router_id("SALT"));
+  ASSERT_EQ(event.flows.size(), path.size());
+  EXPECT_EQ(event.flows[0], static_cast<std::uint32_t>(path[0]));
+}
+
+TEST(LinkView, SelfFlowsVanishInLinkSpace) {
+  // o == d flows traverse no links; a trace of only self traffic maps to
+  // zero link loads.
+  const Topology topo = abilene_topology();
+  const Routing routing(topo);
+  Matrix volumes(2, topo.num_od_flows());
+  for (RouterId r = 0; r < topo.num_routers(); ++r) {
+    volumes(0, od_flow_id(r, r, topo.num_routers())) = 100.0;
+  }
+  std::vector<std::string> names;
+  for (FlowId f = 0; f < topo.num_od_flows(); ++f) {
+    names.push_back(topo.flow_name(f));
+  }
+  const TraceSet od(std::move(volumes), 300.0, names);
+  const TraceSet links = to_link_trace(od, topo, routing);
+  for (std::size_t e = 0; e < links.num_flows(); ++e) {
+    EXPECT_EQ(links.volumes()(0, e), 0.0);
+  }
+}
+
+TEST(LinkView, RejectsDimensionMismatch) {
+  const Topology topo = abilene_topology();
+  const Routing routing(topo);
+  const TraceSet bad(Matrix(4, 5), 300.0,
+                     {"a", "b", "c", "d", "e"});
+  EXPECT_THROW((void)to_link_trace(bad, topo, routing), ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,97 @@
+#include "traffic/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+namespace {
+
+Topology line_topology() {
+  // A - B - C with weights 1 and 2.
+  return Topology({"A", "B", "C"}, {Link{0, 1, 1.0}, Link{1, 2, 2.0}});
+}
+
+TEST(Routing, LineGraphDistances) {
+  const Routing routing(line_topology());
+  EXPECT_DOUBLE_EQ(routing.distance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(routing.distance(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(routing.distance(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(routing.distance(1, 1), 0.0);
+}
+
+TEST(Routing, PathsListLinksInOrder) {
+  const Routing routing(line_topology());
+  const auto& path = routing.path(0, 2);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 0u);  // link A-B
+  EXPECT_EQ(path[1], 1u);  // link B-C
+  EXPECT_TRUE(routing.path(1, 1).empty());
+}
+
+TEST(Routing, ShortcutPreferredWhenCheaper) {
+  // Triangle where the direct edge is more expensive than the detour.
+  const Topology topo({"A", "B", "C"},
+                      {Link{0, 2, 10.0}, Link{0, 1, 2.0}, Link{1, 2, 3.0}});
+  const Routing routing(topo);
+  EXPECT_DOUBLE_EQ(routing.distance(0, 2), 5.0);
+  EXPECT_EQ(routing.path(0, 2).size(), 2u);
+}
+
+TEST(Routing, RoutingMatrixMarksPathLinks) {
+  const Routing routing(line_topology());
+  const Matrix& a = routing.routing_matrix();
+  EXPECT_EQ(a.rows(), 2u);   // links
+  EXPECT_EQ(a.cols(), 9u);   // 3x3 OD pairs
+  const FlowId ac = od_flow_id(0, 2, 3);
+  EXPECT_EQ(a(0, ac), 1.0);
+  EXPECT_EQ(a(1, ac), 1.0);
+  const FlowId ab = od_flow_id(0, 1, 3);
+  EXPECT_EQ(a(0, ab), 1.0);
+  EXPECT_EQ(a(1, ab), 0.0);
+}
+
+TEST(Routing, LinkLoadsAggregateOdVolumes) {
+  const Routing routing(line_topology());
+  Vector od(9);
+  od[od_flow_id(0, 2, 3)] = 5.0;  // A->C crosses both links
+  od[od_flow_id(1, 2, 3)] = 7.0;  // B->C crosses link 1 only
+  const Vector loads = routing.link_loads(od);
+  EXPECT_DOUBLE_EQ(loads[0], 5.0);
+  EXPECT_DOUBLE_EQ(loads[1], 12.0);
+}
+
+TEST(Routing, AbileneAllPairsReachableWithSaneHopCounts) {
+  const Topology topo = abilene_topology();
+  const Routing routing(topo);
+  for (RouterId o = 0; o < topo.num_routers(); ++o) {
+    for (RouterId d = 0; d < topo.num_routers(); ++d) {
+      if (o == d) continue;
+      EXPECT_TRUE(std::isfinite(routing.distance(o, d)));
+      const auto& path = routing.path(o, d);
+      EXPECT_GE(path.size(), 1u);
+      EXPECT_LE(path.size(), 5u);  // small-diameter backbone
+    }
+  }
+}
+
+TEST(Routing, SymmetricDistancesOnUndirectedGraph) {
+  const Topology topo = abilene_topology();
+  const Routing routing(topo);
+  for (RouterId o = 0; o < topo.num_routers(); ++o) {
+    for (RouterId d = 0; d < topo.num_routers(); ++d) {
+      EXPECT_DOUBLE_EQ(routing.distance(o, d), routing.distance(d, o));
+    }
+  }
+}
+
+TEST(Routing, BoundsChecked) {
+  const Routing routing(line_topology());
+  EXPECT_THROW((void)routing.distance(0, 9), ContractViolation);
+  EXPECT_THROW((void)routing.link_loads(Vector(4)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,133 @@
+#include "traffic/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+TEST(OdFlowId, RoundTripsThroughPair) {
+  const std::uint32_t routers = 9;
+  for (RouterId o = 0; o < routers; ++o) {
+    for (RouterId d = 0; d < routers; ++d) {
+      const FlowId f = od_flow_id(o, d, routers);
+      const OdPair p = od_pair_of(f, routers);
+      EXPECT_EQ(p.origin, o);
+      EXPECT_EQ(p.destination, d);
+    }
+  }
+}
+
+TEST(OdFlowId, IdsAreDenseAndUnique) {
+  const std::uint32_t routers = 5;
+  std::vector<bool> seen(routers * routers, false);
+  for (RouterId o = 0; o < routers; ++o) {
+    for (RouterId d = 0; d < routers; ++d) {
+      const FlowId f = od_flow_id(o, d, routers);
+      ASSERT_LT(f, seen.size());
+      EXPECT_FALSE(seen[f]);
+      seen[f] = true;
+    }
+  }
+}
+
+TEST(AbileneTopology, HasTheNineSec6Routers) {
+  const Topology topo = abilene_topology();
+  EXPECT_EQ(topo.num_routers(), 9u);
+  EXPECT_EQ(topo.num_od_flows(), 81u);
+  for (const char* name : {"ATLA", "CHIC", "HOUS", "KANS", "LOSA", "NEWY",
+                           "SALT", "SEAT", "WASH"}) {
+    EXPECT_NO_THROW((void)topo.router_id(name)) << name;
+  }
+  EXPECT_THROW((void)topo.router_id("DNVR"), InputError);
+}
+
+TEST(AbileneTopology, IsConnected) {
+  const Topology topo = abilene_topology();
+  // BFS from router 0 must reach every router.
+  std::vector<bool> visited(topo.num_routers(), false);
+  std::vector<RouterId> frontier = {0};
+  visited[0] = true;
+  while (!frontier.empty()) {
+    const RouterId u = frontier.back();
+    frontier.pop_back();
+    for (const auto& e : topo.neighbors(u)) {
+      if (!visited[e.neighbor]) {
+        visited[e.neighbor] = true;
+        frontier.push_back(e.neighbor);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < visited.size(); ++i) {
+    EXPECT_TRUE(visited[i]) << topo.router_name(static_cast<RouterId>(i));
+  }
+}
+
+TEST(AbileneTopology, AdjacencyIsSymmetric) {
+  const Topology topo = abilene_topology();
+  for (RouterId u = 0; u < topo.num_routers(); ++u) {
+    for (const auto& e : topo.neighbors(u)) {
+      bool back_edge = false;
+      for (const auto& back : topo.neighbors(e.neighbor)) {
+        if (back.neighbor == u && back.link == e.link) back_edge = true;
+      }
+      EXPECT_TRUE(back_edge);
+    }
+  }
+}
+
+TEST(Abilene11Topology, MatchesTheClassicMap) {
+  const Topology topo = abilene11_topology();
+  EXPECT_EQ(topo.num_routers(), 11u);
+  EXPECT_EQ(topo.num_od_flows(), 121u);  // Lakhina'04's m
+  EXPECT_EQ(topo.num_links(), 14u);
+  // Spot-check well-known circuits.
+  bool found_ipls_chin = false;
+  const RouterId ipls = topo.router_id("IPLS");
+  for (const auto& e : topo.neighbors(ipls)) {
+    if (e.neighbor == topo.router_id("CHIN")) found_ipls_chin = true;
+  }
+  EXPECT_TRUE(found_ipls_chin);
+}
+
+TEST(Abilene11Topology, IsConnected) {
+  const Topology topo = abilene11_topology();
+  std::vector<bool> visited(topo.num_routers(), false);
+  std::vector<RouterId> frontier = {0};
+  visited[0] = true;
+  while (!frontier.empty()) {
+    const RouterId u = frontier.back();
+    frontier.pop_back();
+    for (const auto& e : topo.neighbors(u)) {
+      if (!visited[e.neighbor]) {
+        visited[e.neighbor] = true;
+        frontier.push_back(e.neighbor);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < visited.size(); ++i) {
+    EXPECT_TRUE(visited[i]) << topo.router_name(static_cast<RouterId>(i));
+  }
+}
+
+TEST(Topology, FlowNamesCombineRouterNames) {
+  const Topology topo = abilene_topology();
+  const FlowId f = topo.flow_id("ATLA", "CHIC");
+  EXPECT_EQ(topo.flow_name(f), "ATLA-CHIC");
+}
+
+TEST(Topology, RejectsMalformedLinks) {
+  EXPECT_THROW(Topology({"A", "B"}, {Link{0, 0, 1.0}}), ContractViolation);
+  EXPECT_THROW(Topology({"A", "B"}, {Link{0, 5, 1.0}}), ContractViolation);
+  EXPECT_THROW(Topology({"A", "B"}, {Link{0, 1, -1.0}}), ContractViolation);
+}
+
+TEST(Topology, RouterNameBoundsChecked) {
+  const Topology topo = abilene_topology();
+  EXPECT_THROW((void)topo.router_name(99), ContractViolation);
+}
+
+}  // namespace
+}  // namespace spca

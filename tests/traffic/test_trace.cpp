@@ -1,0 +1,128 @@
+#include "traffic/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+TraceSet make_trace() {
+  Matrix volumes(4, 2);
+  volumes(0, 0) = 1.5;
+  volumes(1, 1) = 2.5;
+  volumes(3, 0) = 9.0;
+  return TraceSet(std::move(volumes), 300.0, {"A-B", "B-A"});
+}
+
+TEST(TraceSet, BasicAccessors) {
+  const TraceSet trace = make_trace();
+  EXPECT_EQ(trace.num_intervals(), 4u);
+  EXPECT_EQ(trace.num_flows(), 2u);
+  EXPECT_DOUBLE_EQ(trace.interval_seconds(), 300.0);
+  EXPECT_DOUBLE_EQ(trace.row(1)[1], 2.5);
+  EXPECT_EQ(trace.flow_names()[1], "B-A");
+}
+
+TEST(TraceSet, RejectsMismatchedNames) {
+  EXPECT_THROW(TraceSet(Matrix(2, 3), 300.0, {"only-one"}),
+               ContractViolation);
+}
+
+TEST(TraceSet, EventsDriveLabels) {
+  TraceSet trace = make_trace();
+  trace.add_event(AnomalyEvent{1, 2, {0}, "botnet", 3.0});
+  EXPECT_FALSE(trace.is_anomalous(0));
+  EXPECT_TRUE(trace.is_anomalous(1));
+  EXPECT_TRUE(trace.is_anomalous(2));
+  EXPECT_FALSE(trace.is_anomalous(3));
+  const auto labels = trace.labels();
+  EXPECT_EQ(labels, (std::vector<bool>{false, true, true, false}));
+}
+
+TEST(TraceSet, EventValidation) {
+  TraceSet trace = make_trace();
+  EXPECT_THROW(trace.add_event(AnomalyEvent{3, 2, {0}, "x", 1.0}),
+               ContractViolation);
+  EXPECT_THROW(trace.add_event(AnomalyEvent{0, 1, {}, "x", 1.0}),
+               ContractViolation);
+}
+
+TEST(TraceSet, SaveLoadRoundTrip) {
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "spca_trace_test").string();
+  TraceSet trace = make_trace();
+  trace.add_event(AnomalyEvent{1, 2, {0, 1}, "ddos", 2.5});
+  trace.save(prefix);
+
+  const TraceSet loaded = TraceSet::load(prefix);
+  EXPECT_EQ(loaded.num_intervals(), 4u);
+  EXPECT_EQ(loaded.num_flows(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.interval_seconds(), 300.0);
+  EXPECT_DOUBLE_EQ(loaded.volumes()(3, 0), 9.0);
+  EXPECT_EQ(loaded.flow_names()[0], "A-B");
+  ASSERT_EQ(loaded.events().size(), 1u);
+  EXPECT_EQ(loaded.events()[0].kind, "ddos");
+  EXPECT_EQ(loaded.events()[0].flows, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(loaded.events()[0].magnitude, 2.5);
+
+  std::filesystem::remove(prefix + "_volumes.csv");
+  std::filesystem::remove(prefix + "_events.csv");
+}
+
+class TraceLoadFailureTest : public ::testing::Test {
+ protected:
+  std::string prefix_ = (std::filesystem::temp_directory_path() /
+                         "spca_trace_corrupt")
+                            .string();
+
+  void write_files(const std::string& volumes, const std::string& events) {
+    std::ofstream(prefix_ + "_volumes.csv") << volumes;
+    std::ofstream(prefix_ + "_events.csv") << events;
+  }
+
+  void TearDown() override {
+    std::filesystem::remove(prefix_ + "_volumes.csv");
+    std::filesystem::remove(prefix_ + "_events.csv");
+  }
+};
+
+TEST_F(TraceLoadFailureTest, MissingFilesRejected) {
+  EXPECT_THROW((void)TraceSet::load("/nonexistent/prefix"), InputError);
+}
+
+TEST_F(TraceLoadFailureTest, WrongHeaderRejected) {
+  write_files("bogus,a\n1,2\n", "start,end,kind,magnitude,flows\n");
+  EXPECT_THROW((void)TraceSet::load(prefix_), InputError);
+}
+
+TEST_F(TraceLoadFailureTest, MalformedVolumeRejected) {
+  write_files("interval_seconds,f0\n300,notanumber\n",
+              "start,end,kind,magnitude,flows\n");
+  EXPECT_THROW((void)TraceSet::load(prefix_), InputError);
+}
+
+TEST_F(TraceLoadFailureTest, MalformedEventRejected) {
+  write_files("interval_seconds,f0\n300,1.5\n",
+              "start,end,kind,magnitude,flows\nxx,2,ddos,1.0,0\n");
+  EXPECT_THROW((void)TraceSet::load(prefix_), InputError);
+}
+
+TEST_F(TraceLoadFailureTest, EmptyVolumesRejected) {
+  write_files("interval_seconds,f0\n",
+              "start,end,kind,magnitude,flows\n");
+  EXPECT_THROW((void)TraceSet::load(prefix_), InputError);
+}
+
+TEST(TraceSet, VolumesAreMutable) {
+  TraceSet trace = make_trace();
+  trace.volumes()(0, 0) = 42.0;
+  EXPECT_DOUBLE_EQ(trace.row(0)[0], 42.0);
+}
+
+}  // namespace
+}  // namespace spca
