@@ -4,6 +4,7 @@
 
 #include "core/lakhina_detector.hpp"
 #include "core/sketch_detector.hpp"
+#include "obs/bench_main.hpp"
 #include "synth/traffic_model.hpp"
 
 namespace {
@@ -63,4 +64,4 @@ BENCHMARK(BM_LakhinaObserve)->Arg(1)->Arg(8)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPCA_BENCHMARK_MAIN_WITH_OBSERVABILITY();

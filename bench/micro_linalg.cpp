@@ -3,6 +3,7 @@
 
 #include "linalg/eigen_sym.hpp"
 #include "linalg/svd.hpp"
+#include "obs/bench_main.hpp"
 #include "rand/distributions.hpp"
 #include "rand/xoshiro256.hpp"
 
@@ -104,4 +105,4 @@ BENCHMARK(BM_MatVec)->Arg(81)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPCA_BENCHMARK_MAIN_WITH_OBSERVABILITY();

@@ -2,6 +2,7 @@
 // and the sketch emission of eq. (17).
 #include <benchmark/benchmark.h>
 
+#include "obs/bench_main.hpp"
 #include "rand/distributions.hpp"
 #include "rand/xoshiro256.hpp"
 #include "sketch/flow_sketch.hpp"
@@ -66,4 +67,4 @@ BENCHMARK(BM_ProjectionCoefficient)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPCA_BENCHMARK_MAIN_WITH_OBSERVABILITY();

@@ -2,6 +2,7 @@
 // Theorem 1 claims are O(l) amortized at a local monitor.
 #include <benchmark/benchmark.h>
 
+#include "obs/bench_main.hpp"
 #include "rand/distributions.hpp"
 #include "rand/xoshiro256.hpp"
 #include "stream/exponential_histogram.hpp"
@@ -55,4 +56,4 @@ BENCHMARK(BM_ExponentialHistogramAdd)->Arg(4096)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPCA_BENCHMARK_MAIN_WITH_OBSERVABILITY();

@@ -13,6 +13,7 @@
 #include "common/table.hpp"
 #include "core/spca.hpp"
 #include "dist/distributed_detector.hpp"
+#include "obs/report.hpp"
 #include "synth/packet_synthesizer.hpp"
 
 int main(int argc, char** argv) {
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   flags.define("packet-intervals", "3",
                "intervals driven by an explicit packet stream");
   flags.define("seed", "99", "scenario seed");
+  define_observability_flags(flags);
   try {
     if (!flags.parse(argc, argv)) return 0;
     const auto window = static_cast<std::size_t>(flags.integer("window"));
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
               << deployment.noc().sketch_pulls()
               << "; monitor summary state: "
               << deployment.monitor_memory_bytes() / 1024 << " KiB total\n";
+    export_observability(flags);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

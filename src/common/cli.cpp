@@ -96,6 +96,14 @@ bool CliFlags::boolean(const std::string& name) const {
   throw InputError("flag --" + name + " expects a boolean, got '" + v + "'");
 }
 
+void define_observability_flags(CliFlags& flags) {
+  flags.define("metrics-out", "",
+               "write the metrics registry as JSON to this path on exit");
+  flags.define("trace-out", "",
+               "write the detection-event trace as JSON lines to this path "
+               "on exit");
+}
+
 std::string CliFlags::usage() const {
   std::ostringstream oss;
   oss << description_ << "\n\nFlags:\n";

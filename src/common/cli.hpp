@@ -46,4 +46,10 @@ class CliFlags final {
   std::vector<Flag> flags_;
 };
 
+/// Defines the standard observability flag pair every bench and example
+/// shares: --metrics-out (JSON metrics report path) and --trace-out
+/// (JSON-lines detection-event trace path), both defaulting to "" (off).
+/// obs/report.hpp's export_observability(flags) consumes them.
+void define_observability_flags(CliFlags& flags);
+
 }  // namespace spca

@@ -1,12 +1,15 @@
 #include "common/log.hpp"
 
-#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
 
 namespace spca {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -21,16 +24,60 @@ const char* level_name(LogLevel level) noexcept {
   }
   return "?";
 }
+
+LogLevel initial_level() noexcept {
+  const char* env = std::getenv("SPCA_LOG_LEVEL");
+  if (env != nullptr) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
-namespace detail {
-void log_line(LogLevel level, const std::string& message) {
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
 }
+
+namespace detail {
+
+std::string iso8601_utc_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, static_cast<int>(millis));
+  return buffer;
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  std::cerr << iso8601_utc_now() << " [" << level_name(level) << "] "
+            << message << '\n';
+}
+
 }  // namespace detail
 
 }  // namespace spca

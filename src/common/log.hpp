@@ -1,9 +1,22 @@
 // Minimal leveled logger. Output goes to stderr so benches can keep stdout
 // clean for result tables.
+//
+// Every line carries an ISO-8601 UTC timestamp and a level tag:
+//
+//   2026-08-05T12:34:56.789Z [INFO] message
+//
+// The initial minimum level can be overridden with the SPCA_LOG_LEVEL
+// environment variable (debug | info | warn | error, case-insensitive);
+// set_log_level() still wins afterwards. Per-interval instrumentation that
+// would flood stderr should go through SPCA_LOG_EVERY_N.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace spca {
 
@@ -13,8 +26,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
+/// Parses a level name ("debug", "INFO", "Warn", "error"); nullopt if the
+/// name is unknown. Used for the SPCA_LOG_LEVEL environment override and
+/// exposed for flag parsing.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
+
 namespace detail {
 void log_line(LogLevel level, const std::string& message);
+
+/// ISO-8601 UTC timestamp with millisecond precision (exposed for tests).
+[[nodiscard]] std::string iso8601_utc_now();
 }  // namespace detail
 
 /// Logs `message` at `level` if it passes the global filter.
@@ -44,3 +65,16 @@ void log_error(const Args&... args) {
 }
 
 }  // namespace spca
+
+/// Logs only the 1st, (n+1)th, (2n+1)th ... execution of this statement
+/// (per call site, thread-safe), so per-interval instrumentation cannot
+/// flood stderr. `n` must be >= 1.
+#define SPCA_LOG_EVERY_N(n, level, ...)                                      \
+  do {                                                                       \
+    static std::atomic<std::uint64_t> spca_log_every_n_counter{0};           \
+    if (spca_log_every_n_counter.fetch_add(1, std::memory_order_relaxed) %   \
+            static_cast<std::uint64_t>(n) ==                                 \
+        0) {                                                                 \
+      ::spca::log((level), __VA_ARGS__);                                     \
+    }                                                                        \
+  } while (0)

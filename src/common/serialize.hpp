@@ -30,6 +30,7 @@ class ByteWriter final {
   void put_all(const std::vector<T>& values) {
     static_assert(std::is_trivially_copyable_v<T>);
     put(static_cast<std::uint64_t>(values.size()));
+    if (values.empty()) return;  // data() may be null; memcpy forbids that
     const std::size_t offset = buffer_.size();
     buffer_.resize(offset + values.size() * sizeof(T));
     std::memcpy(buffer_.data() + offset, values.data(),
@@ -69,8 +70,10 @@ class ByteReader final {
       throw ProtocolError("ByteReader: truncated array");
     }
     std::vector<T> values(count);
-    std::memcpy(values.data(), buffer_.data() + offset_, count * sizeof(T));
-    offset_ += count * sizeof(T);
+    if (count > 0) {
+      std::memcpy(values.data(), buffer_.data() + offset_, count * sizeof(T));
+      offset_ += count * sizeof(T);
+    }
     return values;
   }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "pca/q_statistic.hpp"
 
 namespace spca {
@@ -21,8 +24,14 @@ LakhinaDetector::LakhinaDetector(std::size_t dimensions,
   SPCA_EXPECTS(config.recompute_period >= 1);
 }
 
-Detection LakhinaDetector::observe(std::int64_t /*t*/, const Vector& x) {
+Detection LakhinaDetector::observe(std::int64_t t, const Vector& x) {
+  static Histogram& observe_seconds =
+      MetricsRegistry::global().histogram("spca.lakhina.observe_seconds");
+  static Counter& alarms =
+      MetricsRegistry::global().counter("spca.lakhina.alarms");
+
   SPCA_EXPECTS(x.size() == m_);
+  const ScopedTimer timer(observe_seconds);
   if (!shift_) shift_ = x;
 
   // Shifted copy keeps accumulator magnitudes small (see header).
@@ -68,10 +77,21 @@ Detection LakhinaDetector::observe(std::int64_t /*t*/, const Vector& x) {
   det.distance = model_->anomaly_distance(x, rank_);
   det.threshold = std::sqrt(threshold_squared_);
   det.alarm = det.distance * det.distance > threshold_squared_;
+  if (det.alarm) alarms.inc();
+  EventTrace::global().record({name(), t, det.distance * det.distance,
+                               threshold_squared_, rank_, det.model_refreshed,
+                               det.alarm});
   return det;
 }
 
 void LakhinaDetector::refresh_model() {
+  static Histogram& eig_seconds =
+      MetricsRegistry::global().histogram("spca.lakhina.eig_seconds");
+  static Counter& refreshes =
+      MetricsRegistry::global().counter("spca.lakhina.model_refreshes");
+  const ScopedTimer timer(eig_seconds);
+  refreshes.inc();
+
   const double n = static_cast<double>(window_.size());
   // Centered Gram: G = sum v v^T - n vbar vbar^T (shift cancels).
   Vector mean_shifted = sum_;

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "pca/q_statistic.hpp"
 
 namespace spca {
@@ -29,7 +32,19 @@ SketchDetector::SketchDetector(std::size_t dimensions,
 }
 
 Detection SketchDetector::observe(std::int64_t t, const Vector& x) {
+  static Histogram& observe_seconds =
+      MetricsRegistry::global().histogram("spca.detector.observe_seconds");
+  static Counter& alarms =
+      MetricsRegistry::global().counter("spca.detector.alarms");
+  static Counter& stale_passes =
+      MetricsRegistry::global().counter("spca.detector.stale_passes");
+  static Counter& lazy_pulls =
+      MetricsRegistry::global().counter("spca.detector.lazy_pulls");
+  static Counter& false_refreshes =
+      MetricsRegistry::global().counter("spca.detector.false_refreshes");
+
   SPCA_EXPECTS(x.size() == m_);
+  const ScopedTimer timer(observe_seconds);
   for (std::size_t j = 0; j < m_; ++j) {
     flows_[j].add(t, x[j]);
   }
@@ -53,14 +68,23 @@ Detection SketchDetector::observe(std::int64_t t, const Vector& x) {
     // recompute PCA and the threshold, and re-check before alarming.
     refresh_model();
     det.model_refreshed = true;
+    lazy_pulls.inc();
     distance = model_.anomaly_distance(x, rank_);
     alarm = distance * distance > threshold_squared_;
+    // A false refresh: the stale model's suspicion did not survive refit.
+    if (!alarm) false_refreshes.inc();
+  } else if (config_.lazy && !det.model_refreshed) {
+    stale_passes.inc();
   }
   last_centered_ = model_.center(x);
   det.distance = distance;
   det.threshold = std::sqrt(threshold_squared_);
   det.alarm = alarm;
   det.normal_rank = rank_;
+  if (alarm) alarms.inc();
+  EventTrace::global().record({name(), t, distance * distance,
+                               threshold_squared_, rank_, det.model_refreshed,
+                               alarm});
   return det;
 }
 
@@ -81,14 +105,34 @@ Vector SketchDetector::sketch_means() const {
 }
 
 void SketchDetector::refresh_model() {
-  const Matrix z = sketch_matrix();
+  static Histogram& assembly_seconds = MetricsRegistry::global().histogram(
+      "spca.detector.sketch_assembly_seconds");
+  static Histogram& svd_seconds =
+      MetricsRegistry::global().histogram("spca.detector.svd_seconds");
+  static Counter& refreshes =
+      MetricsRegistry::global().counter("spca.detector.model_refreshes");
+  static Gauge& memory_gauge =
+      MetricsRegistry::global().gauge("spca.sketch.memory_bytes");
+
+  Matrix z(0, 0);
+  Vector means;
+  {
+    const ScopedTimer timer(assembly_seconds);
+    z = sketch_matrix();
+    means = sketch_means();
+  }
   // Effective sample count: what the histograms actually summarize.
   const std::uint64_t n_eff = std::max<std::uint64_t>(flows_[0].count(), 2);
-  model_ = PcaModel::from_sketch(z, sketch_means(), n_eff);
+  {
+    const ScopedTimer timer(svd_seconds);
+    model_ = PcaModel::from_sketch(z, std::move(means), n_eff);
+    rank_ = config_.rank_policy.select(model_, z);
+    threshold_squared_ = q_statistic_threshold_squared(
+        model_.singular_values(), rank_, n_eff, config_.alpha);
+  }
   ++model_computations_;
-  rank_ = config_.rank_policy.select(model_, z);
-  threshold_squared_ = q_statistic_threshold_squared(
-      model_.singular_values(), rank_, n_eff, config_.alpha);
+  refreshes.inc();
+  memory_gauge.set(static_cast<double>(memory_bytes()));
 }
 
 Vector SketchDetector::distance_profile() const {
@@ -107,7 +151,20 @@ Vector SketchDetector::distance_profile() const {
 }
 
 std::size_t SketchDetector::memory_bytes() const noexcept {
-  std::size_t bytes = 0;
+  // Fixed-size detector state: the object itself, the retained last
+  // centered vector, and the fitted model's heap allocations (spectrum,
+  // m x m component basis, column means). These are O(m^2) and independent
+  // of the window length n, so Theorem 1's O(w log n) summary-state bound
+  // is unaffected — but the absolute number now matches what a deployment
+  // actually holds in memory.
+  std::size_t bytes = sizeof(*this);
+  bytes += last_centered_.size() * sizeof(double);
+  if (model_.fitted()) {
+    bytes += model_.singular_values().size() * sizeof(double);
+    bytes += model_.column_means().size() * sizeof(double);
+    bytes += model_.components().rows() * model_.components().cols() *
+             sizeof(double);
+  }
   for (const auto& f : flows_) bytes += f.memory_bytes();
   return bytes;
 }

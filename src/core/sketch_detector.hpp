@@ -74,7 +74,10 @@ class SketchDetector final : public Detector {
     return model_computations_;
   }
 
-  /// Total summary bytes across all flow sketches (Theorem 1 accounting).
+  /// Total bytes of detector state: every flow sketch's summary (the
+  /// Theorem 1 O(w log n) part) plus the detector's fixed-size members —
+  /// the fitted model and the retained last-centered vector. Mirrored into
+  /// the `spca.sketch.memory_bytes` gauge on every model refresh.
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
   /// Serializes the complete detector state — configuration, every flow's

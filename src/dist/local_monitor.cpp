@@ -4,6 +4,9 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 
 namespace spca {
 
@@ -40,6 +43,18 @@ void LocalMonitor::ingest_volume(FlowId flow, double bytes) {
 }
 
 void LocalMonitor::end_interval(std::int64_t t, SimNetwork& network) {
+  // Per-monitor interval-close latency: the O(w log n) Fig. 4 update of all
+  // owned flows plus the volume report send.
+  static Histogram& update_seconds =
+      MetricsRegistry::global().histogram("spca.monitor.update_seconds");
+  static Counter& intervals =
+      MetricsRegistry::global().counter("spca.monitor.intervals");
+  const ScopedTimer timer(update_seconds);
+  intervals.inc();
+  // One heartbeat a day at 5-minute intervals; debug level sees them all.
+  SPCA_LOG_EVERY_N(288, LogLevel::kDebug, "monitor ", id_,
+                   ": closing interval ", t);
+
   const Vector volumes = counter_.end_interval();
   for (std::size_t i = 0; i < sketches_.size(); ++i) {
     sketches_[i].add(t, volumes[i]);
@@ -64,6 +79,9 @@ void LocalMonitor::handle_mail(SimNetwork& network) {
           "LocalMonitor: sketch request received by a counter-only monitor "
           "(the NOC must be configured with host_sketches)");
     }
+    static Counter& responses =
+        MetricsRegistry::global().counter("spca.monitor.sketch_responses");
+    responses.inc();
     network.send(make_sketch_response(msg.interval));
   }
 }

@@ -5,6 +5,10 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "pca/q_statistic.hpp"
 
 namespace spca {
@@ -98,6 +102,14 @@ void Noc::ingest_sketch_responses(SimNetwork& network) {
 }
 
 void Noc::refit() {
+  // The NOC-side O(m^2 l) PCA step of Theorem 1: SVD of the assembled
+  // sketch matrix plus rank selection and threshold computation.
+  static Histogram& refit_seconds =
+      MetricsRegistry::global().histogram("spca.noc.refit_seconds");
+  static Counter& refits = MetricsRegistry::global().counter("spca.noc.refits");
+  const ScopedTimer timer(refit_seconds);
+  refits.inc();
+
   Matrix z(config_.sketch_rows, m_);
   Vector means(m_);
   std::uint64_t n_eff = 2;
@@ -122,8 +134,25 @@ Detection Noc::detect(std::int64_t t, const Vector& x,
                       const std::vector<NodeId>& monitors,
                       SimNetwork& network,
                       const std::function<void()>& pump_monitors) {
+  static Histogram& detect_seconds =
+      MetricsRegistry::global().histogram("spca.noc.detect_seconds");
+  static Histogram& pull_seconds =
+      MetricsRegistry::global().histogram("spca.noc.pull_round_trip_seconds");
+  static Counter& pulls =
+      MetricsRegistry::global().counter("spca.noc.sketch_pulls");
+  static Counter& stale_passes =
+      MetricsRegistry::global().counter("spca.noc.stale_passes");
+  static Counter& lazy_pulls =
+      MetricsRegistry::global().counter("spca.noc.lazy_pulls");
+  static Counter& false_refreshes =
+      MetricsRegistry::global().counter("spca.noc.false_refreshes");
+  static Counter& alarms = MetricsRegistry::global().counter("spca.noc.alarms");
+
   SPCA_EXPECTS(x.size() == m_);
+  const ScopedTimer detect_timer(detect_seconds);
   const auto pull = [&] {
+    const ScopedTimer pull_timer(pull_seconds);
+    pulls.inc();
     if (config_.host_sketches) {
       // No communication: read the NOC's own histograms.
       for (std::size_t j = 0; j < m_; ++j) {
@@ -153,10 +182,19 @@ Detection Noc::detect(std::int64_t t, const Vector& x,
   double distance = model_->anomaly_distance(x, rank_);
   bool alarm = distance * distance > threshold_squared_;
   if (alarm && config_.lazy && !det.model_refreshed) {
+    log_debug("noc: stale model flagged interval ", t,
+              ", pulling fresh sketches");
     pull();
     det.model_refreshed = true;
+    lazy_pulls.inc();
     distance = model_->anomaly_distance(x, rank_);
     alarm = distance * distance > threshold_squared_;
+    if (!alarm) {
+      false_refreshes.inc();
+      log_debug("noc: interval ", t, " cleared by the refreshed model");
+    }
+  } else if (config_.lazy && !det.model_refreshed) {
+    stale_passes.inc();
   }
   det.distance = distance;
   det.threshold = std::sqrt(threshold_squared_);
@@ -172,7 +210,11 @@ Detection Noc::detect(std::int64_t t, const Vector& x,
     network.send(alert);
     (void)network.drain(kNocId);  // consume the console message
     ++alarms_sent_;
+    alarms.inc();
   }
+  EventTrace::global().record({"noc", t, distance * distance,
+                               threshold_squared_, rank_, det.model_refreshed,
+                               alarm});
   return det;
 }
 

@@ -1,14 +1,33 @@
 #include "dist/sim_network.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace spca {
 
 void SimNetwork::send(const Message& msg) {
+  static Counter& messages =
+      MetricsRegistry::global().counter("spca.net.messages");
+  static Counter& bytes = MetricsRegistry::global().counter("spca.net.bytes");
+  // Indexed by MessageType value; slot 0 is unused.
+  static Counter* const bytes_by_type[5] = {
+      nullptr,
+      &MetricsRegistry::global().counter("spca.net.volume_report_bytes"),
+      &MetricsRegistry::global().counter("spca.net.sketch_request_bytes"),
+      &MetricsRegistry::global().counter("spca.net.sketch_response_bytes"),
+      &MetricsRegistry::global().counter("spca.net.alarm_bytes"),
+  };
+
   std::vector<std::byte> wire = serialize(msg);
   ++stats_.messages;
   stats_.bytes += wire.size();
   const auto type_index = static_cast<std::size_t>(msg.type);
   ++stats_.messages_by_type[type_index];
   stats_.bytes_by_type[type_index] += wire.size();
+  messages.inc();
+  bytes.inc(wire.size());
+  if (type_index >= 1 && type_index <= 4) {
+    bytes_by_type[type_index]->inc(wire.size());
+  }
   queues_[msg.to].push_back(std::move(wire));
 }
 

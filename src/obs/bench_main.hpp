@@ -1,0 +1,66 @@
+// Drop-in replacement for BENCHMARK_MAIN() that adds the standard
+// observability flag pair to google-benchmark binaries: the micro benches
+// run as usual, then the global metrics registry and event trace are
+// exported to --metrics-out / --trace-out if given.
+//
+// Header-only on purpose: the obs library itself does not link against
+// google-benchmark; this code compiles inside each micro-bench TU.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace spca {
+
+/// Extracts --metrics-out/--trace-out from argv (both --flag=value and
+/// --flag value forms), forwards the rest to google-benchmark, runs the
+/// registered benchmarks, and exports the observability state.
+inline int benchmark_main_with_observability(int argc, char** argv) {
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string* sink = nullptr;
+    std::size_t prefix_len = 0;
+    if (arg.rfind("--metrics-out", 0) == 0) {
+      sink = &metrics_out;
+      prefix_len = 13;
+    } else if (arg.rfind("--trace-out", 0) == 0) {
+      sink = &trace_out;
+      prefix_len = 11;
+    }
+    if (sink != nullptr && arg.size() == prefix_len && i + 1 < argc) {
+      *sink = argv[++i];
+      continue;
+    }
+    if (sink != nullptr && arg.size() > prefix_len &&
+        arg[prefix_len] == '=') {
+      *sink = arg.substr(prefix_len + 1);
+      continue;
+    }
+    rest.push_back(argv[i]);
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  export_observability(metrics_out, trace_out);
+  return 0;
+}
+
+}  // namespace spca
+
+/// BENCHMARK_MAIN() with the --metrics-out / --trace-out flag pair.
+#define SPCA_BENCHMARK_MAIN_WITH_OBSERVABILITY()                  \
+  int main(int argc, char** argv) {                               \
+    return ::spca::benchmark_main_with_observability(argc, argv); \
+  }

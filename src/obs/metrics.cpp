@@ -1,0 +1,220 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace spca {
+
+namespace {
+
+constexpr double kEmptyMin = std::numeric_limits<double>::infinity();
+constexpr double kEmptyMax = -std::numeric_limits<double>::infinity();
+
+void atomic_store_min(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_store_max(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void append_number(std::ostringstream& oss, double value) {
+  oss << std::setprecision(std::numeric_limits<double>::max_digits10)
+      << value;
+}
+
+void append_json_string(std::ostringstream& oss, const std::string& s) {
+  oss << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') oss << '\\';
+    oss << c;
+  }
+  oss << '"';
+}
+
+}  // namespace
+
+void Histogram::record(double value) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
+  atomic_store_min(min_, value);
+  atomic_store_max(max_, value);
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const noexcept {
+  if (count() == 0) return 0.0;
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  if (count() == 0) return 0.0;
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+std::size_t Histogram::bucket_index(double value) noexcept {
+  if (!(value > kMinTracked)) return 0;
+  // value / kMinTracked can overflow to infinity for huge values; compare in
+  // floating point before the integer cast (casting inf is undefined).
+  const double scaled = std::log2(value / kMinTracked) *
+                        static_cast<double>(kBucketsPerOctave);
+  if (!(scaled < static_cast<double>(kBucketCount - 1))) {
+    return kBucketCount - 1;
+  }
+  return static_cast<std::size_t>(scaled);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      // Geometric midpoint of the bucket, clamped to the observed range.
+      const double mid =
+          kMinTracked *
+          std::exp2((static_cast<double>(i) + 0.5) /
+                    static_cast<double>(kBucketsPerOctave));
+      return std::clamp(mid, min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kEmptyMin, std::memory_order_relaxed);
+  max_.store(kEmptyMax, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::render_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream oss;
+  for (const auto& [name, c] : counters_) {
+    oss << name << " count=" << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    oss << name << " value=";
+    append_number(oss, g->value());
+    oss << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    oss << name << " count=" << h->count() << " sum=";
+    append_number(oss, h->sum());
+    oss << " min=";
+    append_number(oss, h->min());
+    oss << " p50=";
+    append_number(oss, h->quantile(0.50));
+    oss << " p95=";
+    append_number(oss, h->quantile(0.95));
+    oss << " p99=";
+    append_number(oss, h->quantile(0.99));
+    oss << " max=";
+    append_number(oss, h->max());
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::string MetricsRegistry::render_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream oss;
+  oss << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) oss << ',';
+    first = false;
+    append_json_string(oss, name);
+    oss << ':' << c->value();
+  }
+  oss << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) oss << ',';
+    first = false;
+    append_json_string(oss, name);
+    oss << ':';
+    append_number(oss, g->value());
+  }
+  oss << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) oss << ',';
+    first = false;
+    append_json_string(oss, name);
+    oss << ":{\"count\":" << h->count() << ",\"sum\":";
+    append_number(oss, h->sum());
+    oss << ",\"mean\":";
+    append_number(oss, h->mean());
+    oss << ",\"min\":";
+    append_number(oss, h->min());
+    oss << ",\"p50\":";
+    append_number(oss, h->quantile(0.50));
+    oss << ",\"p90\":";
+    append_number(oss, h->quantile(0.90));
+    oss << ",\"p95\":";
+    append_number(oss, h->quantile(0.95));
+    oss << ",\"p99\":";
+    append_number(oss, h->quantile(0.99));
+    oss << ",\"max\":";
+    append_number(oss, h->max());
+    oss << '}';
+  }
+  oss << "}}";
+  return oss.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace spca

@@ -1,0 +1,151 @@
+// Runtime metrics for the paper's resource claims: named counters, gauges,
+// and log-scale latency histograms collected while the detectors run, so
+// the O(w log n) monitor cost, the O(m^2 l) NOC cost, and the lazy
+// protocol's communication savings are measured artifacts instead of hand
+// computations.
+//
+// All instruments are thread-safe (lock-free atomics on the hot path; a
+// mutex guards only name registration and rendering), and references
+// returned by the registry stay valid for the registry's lifetime, so call
+// sites can resolve a name once and increment forever.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spca {
+
+namespace detail {
+/// Atomic add for doubles (std::atomic<double>::fetch_add is not available
+/// on every libstdc++ this builds against); CAS loop, relaxed ordering.
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonically increasing event count.
+class Counter final {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. bytes of summary state held).
+class Gauge final {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept { detail::atomic_add(value_, delta); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale histogram for positive values (latencies in seconds, sizes in
+/// bytes). Buckets grow geometrically by 2^(1/8) (~9% relative width) from
+/// `kMinTracked`, so quantile estimates carry at most half a bucket (~4.5%)
+/// of relative error. Values below the first bound clamp into bucket 0 and
+/// values above the last bound into the final bucket; `min()`/`max()` stay
+/// exact regardless.
+class Histogram final {
+ public:
+  /// Smallest distinguishable value: 1 ns when recording seconds.
+  static constexpr double kMinTracked = 1e-9;
+  /// 8 buckets per power of two.
+  static constexpr std::size_t kBucketsPerOctave = 8;
+  /// 42 octaves reach kMinTracked * 2^42 ~ 4.4e3 (over an hour in seconds).
+  static constexpr std::size_t kBucketCount = 42 * kBucketsPerOctave;
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// Smallest/largest recorded value; 0.0 while empty.
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Estimated q-quantile (q in [0, 1]); 0.0 while empty. Bucket-resolution
+  /// accuracy: the geometric midpoint of the bucket holding the target rank,
+  /// clamped to the exact [min, max] range.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+  /// Bucket index a value falls into (exposed for tests).
+  [[nodiscard]] static std::size_t bucket_index(double value) noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-infinity sentinels while empty; min()/max() translate them to 0.0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+};
+
+/// Name -> instrument map with process-lifetime reference stability.
+class MetricsRegistry final {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by name. The returned reference stays valid for the
+  /// registry's lifetime; resolving the same name twice yields the same
+  /// instrument.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Zeroes every registered instrument without invalidating references.
+  void reset();
+
+  /// Plain-text exposition, one instrument per line, sorted by name.
+  [[nodiscard]] std::string render_text() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// with count/sum/mean/min/max/p50/p90/p95/p99 per histogram.
+  [[nodiscard]] std::string render_json() const;
+
+  /// The process-wide registry every built-in instrumentation site uses.
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace spca

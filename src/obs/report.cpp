@@ -1,0 +1,37 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics.hpp"
+
+namespace spca {
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw InputError("cannot open '" + path + "' for writing");
+  }
+  out << content;
+  if (!out) {
+    throw InputError("failed writing '" + path + "'");
+  }
+}
+
+void export_observability(const std::string& metrics_path,
+                          const std::string& trace_path) {
+  if (!metrics_path.empty()) {
+    write_text_file(metrics_path,
+                    MetricsRegistry::global().render_json() + "\n");
+  }
+  if (!trace_path.empty()) {
+    write_text_file(trace_path, EventTrace::global().to_jsonl());
+  }
+}
+
+void export_observability(const CliFlags& flags) {
+  export_observability(flags.str("metrics-out"), flags.str("trace-out"));
+}
+
+}  // namespace spca

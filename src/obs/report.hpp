@@ -1,0 +1,24 @@
+// File export of the observability state: the bridge between the standard
+// --metrics-out / --trace-out flag pair (defined in common/cli) and the
+// global MetricsRegistry / EventTrace, shared by benches and examples.
+#pragma once
+
+#include <string>
+
+#include "common/cli.hpp"
+
+namespace spca {
+
+/// Writes `content` to `path`, overwriting; throws InputError on failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+/// Writes the global registry's JSON to `metrics_path` and the global event
+/// trace's JSON lines to `trace_path`; an empty path skips that export.
+void export_observability(const std::string& metrics_path,
+                          const std::string& trace_path);
+
+/// Convenience overload reading the standard flag pair (see
+/// `define_observability_flags` in common/cli): --metrics-out, --trace-out.
+void export_observability(const CliFlags& flags);
+
+}  // namespace spca

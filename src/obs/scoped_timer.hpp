@@ -1,0 +1,43 @@
+// RAII latency probe: measures the enclosing scope on the monotonic clock
+// and records the elapsed seconds into a Histogram on destruction.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace spca {
+
+/// Feeds one Histogram sample per scope. Non-copyable; `dismiss()` cancels
+/// the recording (e.g. when the scope exits via an error path that should
+/// not pollute latency quantiles).
+class ScopedTimer final {
+ public:
+  explicit ScopedTimer(Histogram& sink) noexcept
+      : sink_(&sink), start_(Clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      sink_->record(
+          std::chrono::duration<double>(Clock::now() - start_).count());
+    }
+  }
+
+  /// Drops the pending sample.
+  void dismiss() noexcept { sink_ = nullptr; }
+
+  /// Seconds elapsed so far (for call sites that also want the raw value).
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* sink_;
+  Clock::time_point start_;
+};
+
+}  // namespace spca

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 
 namespace spca {
 
@@ -28,13 +29,22 @@ FlowSketch FlowSketch::from_state(std::uint64_t window, double epsilon,
 }
 
 void FlowSketch::add(std::int64_t t, double volume) {
+  // Resolved once per process; two relaxed atomic increments per update.
+  static Counter& updates =
+      MetricsRegistry::global().counter("spca.sketch.updates");
+  static Counter& merges =
+      MetricsRegistry::global().counter("spca.sketch.bucket_merges");
+
   std::vector<double> payload(2 * rows_);
   for (std::size_t k = 0; k < rows_; ++k) {
     const double r = projection_.value(t, k);
     payload[k] = volume * r;      // Z contribution (Fig. 3 Step 2)
     payload[rows_ + k] = r;       // R contribution
   }
+  const std::uint64_t merges_before = histogram_.merge_count();
   histogram_.add(t, volume, payload);
+  updates.inc();
+  merges.inc(histogram_.merge_count() - merges_before);
 }
 
 Vector FlowSketch::sketch() const {

@@ -136,6 +136,7 @@ void VarianceHistogram::compact() {
     if (rule1 && rule2) {
       buckets_[p] = merge_buckets(buckets_[p], buckets_[p + 1]);
       buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(p + 1));
+      ++merges_;
     } else {
       suffix = scalar_merge(suffix, scalar_of(buckets_[p]));
       ++p;

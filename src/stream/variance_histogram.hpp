@@ -79,6 +79,11 @@ class VarianceHistogram final {
   }
   [[nodiscard]] std::int64_t now() const noexcept { return now_; }
 
+  /// Lifetime count of bucket merges performed by the Rule 1-3 compaction;
+  /// instrumentation reads the delta around `add` (the stream layer itself
+  /// stays free of any metrics dependency).
+  [[nodiscard]] std::uint64_t merge_count() const noexcept { return merges_; }
+
   /// Live buckets, newest first (exposed for tests and space accounting).
   [[nodiscard]] const std::deque<VhBucket>& buckets() const noexcept {
     return buckets_;
@@ -96,6 +101,7 @@ class VarianceHistogram final {
   std::size_t payload_size_;
   std::int64_t now_ = 0;
   bool has_elements_ = false;
+  std::uint64_t merges_ = 0;
   std::deque<VhBucket> buckets_;  // index 0 = newest (B_1j of the paper)
 };
 

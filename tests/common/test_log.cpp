@@ -1,0 +1,97 @@
+// Leveled logging: line format, level filtering, SPCA_LOG_LEVEL parsing,
+// and the SPCA_LOG_EVERY_N rate limiter.
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace spca {
+namespace {
+
+// Every test restores the global level so ordering does not matter.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST_F(LogTest, ParseLogLevelAcceptsKnownNamesCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("ERROR"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+}
+
+TEST_F(LogTest, TimestampIsIso8601UtcWithMilliseconds) {
+  const std::regex pattern(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z$)");
+  EXPECT_TRUE(std::regex_match(detail::iso8601_utc_now(), pattern));
+}
+
+TEST_F(LogTest, LinesCarryTimestampAndLevelTag) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  log_info("hello ", 42);
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  const std::regex pattern(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z \[INFO\] hello 42\n$)");
+  EXPECT_TRUE(std::regex_match(out, pattern)) << out;
+}
+
+TEST_F(LogTest, MessagesBelowTheMinimumLevelAreDropped) {
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  log_debug("dropped");
+  log_info("dropped");
+  log_warn("kept");
+  log_error("kept");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_lines(out), 2u);
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] kept"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] kept"), std::string::npos);
+}
+
+TEST_F(LogTest, LogEveryNFiresOnFirstAndEveryNthExecution) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < 10; ++i) {
+    SPCA_LOG_EVERY_N(5, LogLevel::kInfo, "tick ", i);
+  }
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_lines(out), 2u);  // executions 1 and 6
+  EXPECT_NE(out.find("tick 0"), std::string::npos);
+  EXPECT_NE(out.find("tick 5"), std::string::npos);
+}
+
+TEST_F(LogTest, LogEveryNCountsPerCallSite) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < 3; ++i) {
+    SPCA_LOG_EVERY_N(100, LogLevel::kInfo, "site-a");
+  }
+  for (int i = 0; i < 3; ++i) {
+    SPCA_LOG_EVERY_N(100, LogLevel::kInfo, "site-b");
+  }
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_lines(out), 2u);  // first execution of each site
+}
+
+}  // namespace
+}  // namespace spca

@@ -107,6 +107,35 @@ TEST(Checkpoint, RejectsCorruptedBlobs) {
   EXPECT_THROW((void)SketchDetector::restore_state(trailing), ProtocolError);
 }
 
+TEST(Checkpoint, ObservabilityCountersSurviveRestore) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 150, 21, /*anomalies=*/2,
+                                     /*warmup=*/64);
+  SketchDetector original(trace.num_flows(), checkpoint_config());
+  for (std::size_t t = 0; t < 100; ++t) {
+    (void)original.observe(static_cast<std::int64_t>(t), trace.row(t));
+  }
+  ASSERT_GT(original.observed(), 0u);
+  ASSERT_GT(original.model_computations(), 0u);
+
+  SketchDetector restored =
+      SketchDetector::restore_state(original.save_state());
+  EXPECT_EQ(restored.observed(), original.observed());
+  EXPECT_EQ(restored.model_computations(), original.model_computations());
+  EXPECT_EQ(restored.memory_bytes(), original.memory_bytes());
+
+  // The counters keep advancing in lockstep after the restart, so restored
+  // processes report continuous (not reset) observability totals.
+  for (std::size_t t = 100; t < 150; ++t) {
+    (void)original.observe(static_cast<std::int64_t>(t), trace.row(t));
+    (void)restored.observe(static_cast<std::int64_t>(t), trace.row(t));
+    ASSERT_EQ(restored.observed(), original.observed()) << "t=" << t;
+    ASSERT_EQ(restored.model_computations(), original.model_computations())
+        << "t=" << t;
+  }
+  EXPECT_EQ(original.observed(), 150u);
+}
+
 TEST(Checkpoint, SketchStateIsPreservedExactly) {
   const Topology topo = small_topology();
   const TraceSet trace = small_trace(topo, 90, 19);

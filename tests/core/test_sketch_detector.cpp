@@ -7,6 +7,7 @@
 #include "../helpers.hpp"
 #include "common/contracts.hpp"
 #include "core/lakhina_detector.hpp"
+#include "obs/metrics.hpp"
 
 namespace spca {
 namespace {
@@ -180,6 +181,32 @@ TEST(SketchDetector, MemoryGrowsSublinearlyInWindow) {
   const std::size_t at_1k = bytes_for(1024);
   const std::size_t at_8k = bytes_for(8192);
   EXPECT_LT(static_cast<double>(at_8k), 3.0 * static_cast<double>(at_1k));
+}
+
+TEST(SketchDetector, MemoryBytesCountsFixedMembersAndMatchesGauge) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 80, 11);
+  SketchDetectorConfig config = small_config(64, 16);
+  config.lazy = false;  // eager mode refreshes every ready interval
+  SketchDetector detector(trace.num_flows(), config);
+
+  // Even before any traffic the total must cover the detector object and
+  // the per-flow sketches, not just the histogram buckets.
+  EXPECT_GT(detector.memory_bytes(), sizeof(SketchDetector));
+
+  for (std::size_t t = 0; t < 80; ++t) {
+    (void)detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+  }
+  // A fitted model adds its matrices to the footprint.
+  EXPECT_GT(detector.memory_bytes(),
+            sizeof(SketchDetector) +
+                trace.num_flows() * config.sketch_rows * sizeof(double));
+
+  // The last observe() ended in refresh_model(), which mirrors the current
+  // footprint into the gauge: both views must agree exactly.
+  const double gauge =
+      MetricsRegistry::global().gauge("spca.sketch.memory_bytes").value();
+  EXPECT_EQ(static_cast<std::size_t>(gauge), detector.memory_bytes());
 }
 
 TEST(SketchDetector, ConfigValidation) {

@@ -1,0 +1,91 @@
+// File export of the observability state (--metrics-out / --trace-out).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace spca {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+class TempDir final {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("spca-obs-test-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(Report, WriteTextFileRoundTripsAndThrowsOnBadPath) {
+  const TempDir dir;
+  const auto file = dir.path() / "out.txt";
+  write_text_file(file.string(), "hello\n");
+  EXPECT_EQ(slurp(file), "hello\n");
+  EXPECT_THROW(write_text_file((dir.path() / "no/such/dir/x").string(), "x"),
+               InputError);
+}
+
+TEST(Report, ExportWritesGlobalStateAndSkipsEmptyPaths) {
+  const TempDir dir;
+  MetricsRegistry::global().counter("report.test.counter").inc(11);
+  DetectionEvent event;
+  event.detector = "report-test";
+  event.interval = 123;
+  EventTrace::global().record(event);
+
+  const auto metrics = dir.path() / "metrics.json";
+  const auto trace = dir.path() / "trace.jsonl";
+  export_observability(metrics.string(), trace.string());
+
+  const std::string json = slurp(metrics);
+  EXPECT_NE(json.find("\"report.test.counter\":11"), std::string::npos);
+  bool found = false;
+  for (const DetectionEvent& e : EventTrace::parse_jsonl(slurp(trace))) {
+    found = found || e == event;
+  }
+  EXPECT_TRUE(found);
+
+  // Empty paths are a no-op, not an error.
+  export_observability("", "");
+}
+
+TEST(Report, FlagsOverloadReadsTheStandardPair) {
+  const TempDir dir;
+  CliFlags flags("test");
+  define_observability_flags(flags);
+  const std::string metrics_arg =
+      "--metrics-out=" + (dir.path() / "m.json").string();
+  const char* argv[] = {"test", metrics_arg.c_str()};
+  ASSERT_TRUE(flags.parse(2, argv));
+  export_observability(flags);
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "m.json"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path() / "t.jsonl"));
+}
+
+}  // namespace
+}  // namespace spca
