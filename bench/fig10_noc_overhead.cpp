@@ -15,6 +15,7 @@
 #include "linalg/svd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "par/thread_pool.hpp"
 #include "pca/pca_model.hpp"
 #include "rand/distributions.hpp"
 #include "rand/xoshiro256.hpp"
@@ -58,9 +59,11 @@ int main(int argc, char** argv) {
                "evaluated intervals of the distributed measurement run");
   flags.define("dist-l", "80", "sketch length of the distributed run");
   flags.define("dist-monitors", "9", "local monitors of the distributed run");
+  define_threads_flag(flags);
   define_observability_flags(flags);
   try {
     if (!flags.parse(argc, argv)) return 0;
+    (void)configure_threads_from_flag(flags);
     const auto m = static_cast<std::size_t>(flags.integer("flows"));
     const auto l_values = bench::parse_size_list(flags.str("l-list"));
     const int repeats = static_cast<int>(flags.integer("repeats"));

@@ -2,8 +2,10 @@
 #include <benchmark/benchmark.h>
 
 #include "linalg/eigen_sym.hpp"
+#include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
 #include "obs/bench_main.hpp"
+#include "par/thread_pool.hpp"
 #include "rand/distributions.hpp"
 #include "rand/xoshiro256.hpp"
 
@@ -90,6 +92,55 @@ void BM_SvdWindowShape(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SvdWindowShape)->Arg(576)->Arg(2016)->Unit(benchmark::kMillisecond);
+
+void BM_BlockedMultiply(benchmark::State& state) {
+  // The cache-tiled matmul kernel across the threads sweep. Square shapes
+  // large enough to clear the kernel's inline-grain threshold.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t saved = global_threads();
+  set_global_threads(threads);
+  const Matrix a = random_matrix(n, n, 8);
+  const Matrix b = random_matrix(n, n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiply(a, b));
+  }
+  set_global_threads(saved);
+}
+BENCHMARK(BM_BlockedMultiply)
+    ->Args({192, 1})
+    ->Args({192, 2})
+    ->Args({192, 4})
+    ->Args({384, 1})
+    ->Args({384, 2})
+    ->Args({384, 4});
+
+void BM_QrThreads(benchmark::State& state) {
+  // Householder QR with parallel trailing updates, threads sweep.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t saved = global_threads();
+  set_global_threads(threads);
+  const Matrix a = random_matrix(n, n / 2, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qr(a));
+  }
+  set_global_threads(saved);
+}
+BENCHMARK(BM_QrThreads)->Args({512, 1})->Args({512, 2})->Args({512, 4});
+
+void BM_GramThreads(benchmark::State& state) {
+  // gram() across the threads sweep at the fig. 7 trace shape.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t saved = global_threads();
+  set_global_threads(threads);
+  const Matrix a = random_matrix(4032, 81, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gram(a));
+  }
+  set_global_threads(saved);
+}
+BENCHMARK(BM_GramThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_MatVec(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));

@@ -2,7 +2,10 @@
 // and the sketch emission of eq. (17).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "obs/bench_main.hpp"
+#include "par/thread_pool.hpp"
 #include "rand/distributions.hpp"
 #include "rand/xoshiro256.hpp"
 #include "sketch/flow_sketch.hpp"
@@ -51,6 +54,83 @@ void BM_FlowSketchEmit(benchmark::State& state) {
   state.counters["buckets"] = static_cast<double>(sketch.bucket_count());
 }
 BENCHMARK(BM_FlowSketchEmit)->Arg(50)->Arg(200)->Arg(400);
+
+void BM_MonitorIntervalClose(benchmark::State& state) {
+  // The LocalMonitor interval-close hot path: a bank of w per-flow sketch
+  // updates fanned out across the pool. Arg pair = (flows, threads); the
+  // threads sweep is what the BENCH_micro.json speedup column reads.
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t saved = global_threads();
+  set_global_threads(threads);
+  const ProjectionSource source(ProjectionKind::kTugOfWar, 1);
+  std::vector<FlowSketch> bank;
+  bank.reserve(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    bank.emplace_back(4032, 0.01, 50, source);
+  }
+  Xoshiro256 gen(5);
+  Vector volumes(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    volumes[i] = 1e8 + 1e7 * standard_normal(gen);
+  }
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    const std::int64_t now = t++;
+    global_pool().parallel_for(0, flows, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        bank[i].add(now, volumes[i]);
+      }
+    });
+  }
+  set_global_threads(saved);
+}
+BENCHMARK(BM_MonitorIntervalClose)
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
+void BM_SketchResponseEmit(benchmark::State& state) {
+  // The sketch-response emission path: w report_into calls with per-lane
+  // scratch, parallelized the same way LocalMonitor::make_sketch_response is.
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t saved = global_threads();
+  set_global_threads(threads);
+  constexpr std::size_t kRows = 50;
+  const ProjectionSource source(ProjectionKind::kTugOfWar, 1);
+  std::vector<FlowSketch> bank;
+  bank.reserve(flows);
+  Xoshiro256 gen(6);
+  for (std::size_t i = 0; i < flows; ++i) {
+    bank.emplace_back(4032, 0.05, kRows, source);
+  }
+  for (std::int64_t t = 0; t < 1024; ++t) {
+    for (std::size_t i = 0; i < flows; ++i) {
+      bank[i].add(t, 1e8 + 1e7 * standard_normal(gen));
+    }
+  }
+  const std::size_t block = kRows + 2;
+  std::vector<double> payload(flows * block);
+  for (auto _ : state) {
+    global_pool().parallel_for(0, flows, [&](std::size_t lo, std::size_t hi) {
+      Vector z;
+      for (std::size_t i = lo; i < hi; ++i) {
+        double* out = payload.data() + i * block;
+        const FlowSketch::Report report = bank[i].report_into(z);
+        out[0] = report.mean;
+        out[1] = static_cast<double>(report.count);
+        for (std::size_t k = 0; k < kRows; ++k) out[2 + k] = z[k];
+      }
+    });
+    benchmark::DoNotOptimize(payload.data());
+  }
+  set_global_threads(saved);
+}
+BENCHMARK(BM_SketchResponseEmit)->Args({256, 1})->Args({256, 2})->Args({256, 4});
 
 void BM_ProjectionCoefficient(benchmark::State& state) {
   const auto kind = static_cast<ProjectionKind>(state.range(0));

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "par/thread_pool.hpp"
 #include "synth/anomaly_injector.hpp"
 #include "synth/traffic_model.hpp"
 #include "traffic/topology.hpp"
@@ -49,10 +50,13 @@ inline void define_scenario_flags(CliFlags& flags) {
   flags.define("paper-scale", "false",
                "use the paper's full two-week window (slow: n = 4032 at "
                "5-minute intervals)");
+  define_threads_flag(flags);
 }
 
-/// Builds the scenario from parsed flags.
+/// Builds the scenario from parsed flags and configures the parallel layer
+/// from the shared --threads flag.
 inline Scenario scenario_from_flags(const CliFlags& flags) {
+  (void)configure_threads_from_flag(flags);
   Scenario s;
   s.interval_seconds = flags.real("interval-seconds");
   s.window = static_cast<std::size_t>(flags.integer("window"));

@@ -7,6 +7,7 @@
 #include "bench/support/scenario.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
+#include "par/thread_pool.hpp"
 #include "rand/distributions.hpp"
 #include "rand/xoshiro256.hpp"
 #include "sketch/flow_sketch.hpp"
@@ -20,6 +21,10 @@ int main(int argc, char** argv) {
   flags.define("sketch-rows", "16", "sketch length l carried by the VH");
   flags.define("eps-list", "0.5,0.2,0.1,0.05", "VH epsilons to sweep");
   flags.define("n-list", "1024,4096,16384,65536", "window lengths to sweep");
+  flags.define("threads-list", "1,2,4",
+               "pool sizes for the monitor-scale interval-close sweep");
+  flags.define("flows", "256",
+               "flows per monitor in the interval-close sweep (w)");
   try {
     if (!flags.parse(argc, argv)) return 0;
     const auto l = static_cast<std::size_t>(flags.integer("sketch-rows"));
@@ -80,6 +85,51 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << "\n# Lemma 1 requires vhat/v_min >= 1 - eps for every row "
                  "above.\n";
+
+    // Monitor-scale interval close: w per-flow updates fanned out across
+    // the pool, as LocalMonitor::end_interval does. The speedup column is
+    // relative to the threads=1 row (bit-identical output by construction).
+    const auto flows = static_cast<std::size_t>(flags.integer("flows"));
+    const auto thread_values =
+        bench::parse_size_list(flags.str("threads-list"));
+    std::cout << "\n# Monitor interval close at w = " << flows
+              << " flows (l = " << l << ", n = 4096)\n";
+    TablePrinter par_table(
+        {"threads", "interval_us", "updates_per_sec", "speedup"});
+    const std::size_t saved_threads = global_threads();
+    double serial_us = 0.0;
+    for (const std::size_t threads : thread_values) {
+      set_global_threads(threads);
+      const ProjectionSource source(ProjectionKind::kTugOfWar, 7);
+      std::vector<FlowSketch> bank;
+      bank.reserve(flows);
+      for (std::size_t i = 0; i < flows; ++i) {
+        bank.emplace_back(4096, 0.1, l, source);
+      }
+      Xoshiro256 gen(91);
+      Vector volumes(flows);
+      for (std::size_t i = 0; i < flows; ++i) {
+        volumes[i] = 1e8 + 1e7 * standard_normal(gen);
+      }
+      constexpr std::size_t kIntervals = 512;
+      Stopwatch watch;
+      for (std::size_t t = 0; t < kIntervals; ++t) {
+        global_pool().parallel_for(
+            0, flows, [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                bank[i].add(static_cast<std::int64_t>(t), volumes[i]);
+              }
+            });
+      }
+      const double interval_us = watch.microseconds() / kIntervals;
+      if (serial_us == 0.0) serial_us = interval_us;
+      par_table.row({std::to_string(threads), std::to_string(interval_us),
+                     std::to_string(1e6 * static_cast<double>(flows) /
+                                    interval_us),
+                     std::to_string(serial_us / interval_us)});
+    }
+    set_global_threads(saved_threads);
+    par_table.print(std::cout);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

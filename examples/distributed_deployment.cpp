@@ -14,6 +14,7 @@
 #include "core/spca.hpp"
 #include "dist/distributed_detector.hpp"
 #include "obs/report.hpp"
+#include "par/thread_pool.hpp"
 #include "synth/packet_synthesizer.hpp"
 
 int main(int argc, char** argv) {
@@ -28,9 +29,11 @@ int main(int argc, char** argv) {
   flags.define("packet-intervals", "3",
                "intervals driven by an explicit packet stream");
   flags.define("seed", "99", "scenario seed");
+  define_threads_flag(flags);
   define_observability_flags(flags);
   try {
     if (!flags.parse(argc, argv)) return 0;
+    (void)configure_threads_from_flag(flags);
     const auto window = static_cast<std::size_t>(flags.integer("window"));
     const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
 

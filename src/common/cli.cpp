@@ -96,6 +96,12 @@ bool CliFlags::boolean(const std::string& name) const {
   throw InputError("flag --" + name + " expects a boolean, got '" + v + "'");
 }
 
+void define_threads_flag(CliFlags& flags) {
+  flags.define("threads", "0",
+               "execution lanes for the parallel layer (0 = hardware "
+               "concurrency, 1 = serial)");
+}
+
 void define_observability_flags(CliFlags& flags) {
   flags.define("metrics-out", "",
                "write the metrics registry as JSON to this path on exit");

@@ -52,4 +52,9 @@ class CliFlags final {
 /// obs/report.hpp's export_observability(flags) consumes them.
 void define_observability_flags(CliFlags& flags);
 
+/// Defines the standard `--threads` flag (execution lanes for the parallel
+/// layer; 0 = hardware concurrency, 1 = fully serial). par/thread_pool.hpp's
+/// configure_threads_from_flag(flags) consumes it.
+void define_threads_flag(CliFlags& flags);
+
 }  // namespace spca

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "par/thread_pool.hpp"
 
 namespace spca {
 
@@ -56,9 +57,16 @@ void LocalMonitor::end_interval(std::int64_t t, SimNetwork& network) {
                    ": closing interval ", t);
 
   const Vector volumes = counter_.end_interval();
-  for (std::size_t i = 0; i < sketches_.size(); ++i) {
-    sketches_[i].add(t, volumes[i]);
-  }
+  // The per-flow O(l) updates and VH bucket merges are independent across
+  // flows (each FlowSketch owns its histogram; the shared ProjectionSource
+  // is stateless), so the Fig. 4 interval close fans out across the pool.
+  // Static chunking keeps the result bit-identical to the serial loop.
+  global_pool().parallel_for(0, sketches_.size(),
+                             [&](std::size_t lo, std::size_t hi) {
+                               for (std::size_t i = lo; i < hi; ++i) {
+                                 sketches_[i].add(t, volumes[i]);
+                               }
+                             });
   Message report;
   report.type = MessageType::kVolumeReport;
   report.from = id_;
@@ -93,13 +101,21 @@ Message LocalMonitor::make_sketch_response(std::int64_t interval) const {
   response.to = kNocId;
   response.interval = interval;
   response.ids = flows_;
-  response.values.reserve(flows_.size() * (sketch_rows_ + 2));
-  for (const auto& sketch : sketches_) {
-    response.values.push_back(sketch.mean());
-    response.values.push_back(static_cast<double>(sketch.count()));
-    const Vector z = sketch.sketch();
-    response.values.insert(response.values.end(), z.begin(), z.end());
-  }
+  // Every flow owns a fixed-size block [mean, count, z_1..z_l] of the
+  // payload, so emission parallelizes over flows with disjoint writes.
+  const std::size_t block = sketch_rows_ + 2;
+  response.values.resize(flows_.size() * block);
+  global_pool().parallel_for(
+      0, sketches_.size(), [&](std::size_t lo, std::size_t hi) {
+        Vector z;
+        for (std::size_t i = lo; i < hi; ++i) {
+          double* out = response.values.data() + i * block;
+          const FlowSketch::Report report = sketches_[i].report_into(z);
+          out[0] = report.mean;
+          out[1] = static_cast<double>(report.count);
+          for (std::size_t k = 0; k < sketch_rows_; ++k) out[2 + k] = z[k];
+        }
+      });
   return response;
 }
 

@@ -9,6 +9,7 @@
 #include "obs/event_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "par/thread_pool.hpp"
 #include "pca/q_statistic.hpp"
 
 namespace spca {
@@ -56,10 +57,13 @@ Vector Noc::collect_volumes(std::int64_t t, SimNetwork& network) {
   }
   if (config_.host_sketches) {
     // Theorem 1 alternative mode: the NOC maintains the histograms itself,
-    // fed straight from the volume reports.
-    for (std::size_t j = 0; j < m_; ++j) {
-      hosted_sketches_[j].add(t, x[j]);
-    }
+    // fed straight from the volume reports. This is the NOC's O(m log n)
+    // update; the per-flow histograms are independent, so it fans out.
+    global_pool().parallel_for(0, m_, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        hosted_sketches_[j].add(t, x[j]);
+      }
+    });
   }
   return x;
 }
@@ -120,10 +124,20 @@ void Noc::refit() {
     }
     means[j] = state.mean;
     n_eff = std::max(n_eff, state.count);
-    for (std::size_t k = 0; k < config_.sketch_rows; ++k) {
-      z(k, j) = state.sketch[k];
-    }
   }
+  // Sketch-matrix assembly: flow j owns column j of Z-hat, so the column
+  // scatter fans out across the pool with disjoint writes.
+  global_pool().parallel_for(
+      0, m_,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          const FlowState& state = flow_state_[j];
+          for (std::size_t k = 0; k < config_.sketch_rows; ++k) {
+            z(k, j) = state.sketch[k];
+          }
+        }
+      },
+      /*min_grain=*/64);
   model_ = PcaModel::from_sketch(z, means, n_eff);
   rank_ = config_.rank_policy.select(*model_, z);
   threshold_squared_ = q_statistic_threshold_squared(
@@ -154,15 +168,21 @@ Detection Noc::detect(std::int64_t t, const Vector& x,
     const ScopedTimer pull_timer(pull_seconds);
     pulls.inc();
     if (config_.host_sketches) {
-      // No communication: read the NOC's own histograms.
-      for (std::size_t j = 0; j < m_; ++j) {
-        FlowState& state = flow_state_[j];
-        state.mean = hosted_sketches_[j].mean();
-        state.count = hosted_sketches_[j].count();
-        const Vector z = hosted_sketches_[j].sketch();
-        state.sketch.assign(z.begin(), z.end());
-        state.seen = true;
-      }
+      // No communication: read the NOC's own histograms. Each flow's state
+      // comes from its own FlowSketch, so the read fans out across flows
+      // (one aggregate pass per flow via report_into).
+      global_pool().parallel_for(0, m_, [&](std::size_t lo, std::size_t hi) {
+        Vector z;
+        for (std::size_t j = lo; j < hi; ++j) {
+          FlowState& state = flow_state_[j];
+          const FlowSketch::Report report =
+              hosted_sketches_[j].report_into(z);
+          state.mean = report.mean;
+          state.count = report.count;
+          state.sketch.assign(z.begin(), z.end());
+          state.seen = true;
+        }
+      });
       ++sketch_pulls_;  // counts model recomputations in this mode
       refit();
       return;

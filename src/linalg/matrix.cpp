@@ -4,8 +4,28 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "par/thread_pool.hpp"
 
 namespace spca {
+
+namespace {
+
+/// Cache tile edge for the k dimension of the matrix product: 64 rows of B
+/// at m <= ~512 columns keep the streamed block inside L2 while the output
+/// row stays in L1.
+constexpr std::size_t kTileK = 64;
+
+/// Minimum number of multiply-adds a parallel chunk must amortize; below
+/// this the fork/join overhead beats the speedup and the kernels run inline
+/// (which is also what keeps the tiny fixed-size tests allocation-quiet).
+constexpr std::size_t kMinChunkFlops = 32 * 1024;
+
+std::size_t grain_for(std::size_t flops_per_item) noexcept {
+  return std::max<std::size_t>(
+      1, kMinChunkFlops / std::max<std::size_t>(1, flops_per_item));
+}
+
+}  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     : rows_(rows.size()), cols_(rows.size() ? rows.begin()->size() : 0) {
@@ -82,40 +102,70 @@ Matrix& Matrix::operator*=(double scalar) noexcept {
 Matrix multiply(const Matrix& a, const Matrix& b) {
   SPCA_EXPECTS(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        c(i, j) += aik * b(k, j);
-      }
-    }
-  }
+  const std::size_t inner = a.cols();
+  const std::size_t n = b.cols();
+  // Output rows are independent, so the fan-out is over rows of A; within a
+  // chunk the k dimension is tiled (kTileK rows of B stay cache-hot across
+  // the chunk's rows) while each c(i, j) still accumulates in ascending k —
+  // the same addition sequence as the classic i-k-j loop, so results are
+  // bit-identical to the serial kernel at every thread count.
+  global_pool().parallel_for(
+      0, a.rows(),
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t kk = 0; kk < inner; kk += kTileK) {
+          const std::size_t k_end = std::min(kk + kTileK, inner);
+          for (std::size_t i = row_lo; i < row_hi; ++i) {
+            const auto a_row = a.row_span(i);
+            const auto c_row = c.row_span(i);
+            for (std::size_t k = kk; k < k_end; ++k) {
+              const double aik = a_row[k];
+              if (aik == 0.0) continue;
+              const auto b_row = b.row_span(k);
+              for (std::size_t j = 0; j < n; ++j) {
+                c_row[j] += aik * b_row[j];
+              }
+            }
+          }
+        }
+      },
+      grain_for(inner * n));
   return c;
 }
 
 Vector multiply(const Matrix& a, const Vector& x) {
   SPCA_EXPECTS(a.cols() == x.size());
   Vector y(a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double sum = 0.0;
-    const auto row = a.row_span(i);
-    for (std::size_t j = 0; j < row.size(); ++j) sum += row[j] * x[j];
-    y[i] = sum;
-  }
+  global_pool().parallel_for(
+      0, a.rows(),
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t i = row_lo; i < row_hi; ++i) {
+          double sum = 0.0;
+          const auto row = a.row_span(i);
+          for (std::size_t j = 0; j < row.size(); ++j) sum += row[j] * x[j];
+          y[i] = sum;
+        }
+      },
+      grain_for(a.cols()));
   return y;
 }
 
 Vector multiply_transposed(const Vector& x, const Matrix& a) {
   SPCA_EXPECTS(a.rows() == x.size());
   Vector y(a.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    const auto row = a.row_span(i);
-    for (std::size_t j = 0; j < row.size(); ++j) y[j] += xi * row[j];
-  }
+  // Fan out over output entries (columns of A): each y[j] accumulates over
+  // rows in ascending order with the serial kernel's zero skip, so the
+  // per-entry addition sequence — and hence the bits — match serial.
+  global_pool().parallel_for(
+      0, a.cols(),
+      [&](std::size_t col_lo, std::size_t col_hi) {
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+          const double xi = x[i];
+          if (xi == 0.0) continue;
+          const auto row = a.row_span(i);
+          for (std::size_t j = col_lo; j < col_hi; ++j) y[j] += xi * row[j];
+        }
+      },
+      grain_for(a.rows()));
   return y;
 }
 
@@ -132,16 +182,27 @@ Matrix transpose(const Matrix& a) {
 Matrix gram(const Matrix& a) {
   const std::size_t m = a.cols();
   Matrix g(m, m);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const auto row = a.row_span(i);
-    for (std::size_t p = 0; p < m; ++p) {
-      const double rp = row[p];
-      if (rp == 0.0) continue;
-      for (std::size_t q = p; q < m; ++q) {
-        g(p, q) += rp * row[q];
-      }
-    }
-  }
+  // Fan out over output rows p of the upper triangle: every g(p, q) belongs
+  // to exactly one chunk and accumulates over data rows in ascending order
+  // with the serial kernel's zero skip — bit-identical to serial. Each lane
+  // streams the whole matrix once, trading reads (which parallelize) for a
+  // deterministic, reduction-free combine.
+  global_pool().parallel_for(
+      0, m,
+      [&](std::size_t p_lo, std::size_t p_hi) {
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+          const auto row = a.row_span(i);
+          for (std::size_t p = p_lo; p < p_hi; ++p) {
+            const double rp = row[p];
+            if (rp == 0.0) continue;
+            const auto g_row = g.row_span(p);
+            for (std::size_t q = p; q < m; ++q) {
+              g_row[q] += rp * row[q];
+            }
+          }
+        }
+      },
+      grain_for(a.rows() * (m / 2 + 1)));
   for (std::size_t p = 0; p < m; ++p) {
     for (std::size_t q = 0; q < p; ++q) {
       g(p, q) = g(q, p);

@@ -5,8 +5,23 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "par/thread_pool.hpp"
 
 namespace spca {
+
+namespace {
+
+/// Minimum multiply-adds per parallel chunk of a Householder update; small
+/// trailing blocks run inline (same results either way — each column/row is
+/// an independent unit of work).
+constexpr std::size_t kMinChunkFlops = 32 * 1024;
+
+std::size_t grain_for(std::size_t flops_per_item) noexcept {
+  return std::max<std::size_t>(
+      1, kMinChunkFlops / std::max<std::size_t>(1, flops_per_item));
+}
+
+}  // namespace
 
 Qr qr(const Matrix& a) {
   SPCA_EXPECTS(a.rows() >= a.cols());
@@ -33,20 +48,32 @@ Qr qr(const Matrix& a) {
     for (std::size_t i = k; i < n; ++i) vnorm2 += vhh[i] * vhh[i];
     if (vnorm2 == 0.0) continue;
 
-    // work <- (I - 2 v v^T / v^T v) * work
-    for (std::size_t j = k; j < m; ++j) {
-      double dotv = 0.0;
-      for (std::size_t i = k; i < n; ++i) dotv += vhh[i] * work(i, j);
-      const double scale = 2.0 * dotv / vnorm2;
-      for (std::size_t i = k; i < n; ++i) work(i, j) -= scale * vhh[i];
-    }
-    // q <- q * (I - 2 v v^T / v^T v)
-    for (std::size_t i = 0; i < n; ++i) {
-      double dotv = 0.0;
-      for (std::size_t j = k; j < n; ++j) dotv += q(i, j) * vhh[j];
-      const double scale = 2.0 * dotv / vnorm2;
-      for (std::size_t j = k; j < n; ++j) q(i, j) -= scale * vhh[j];
-    }
+    // work <- (I - 2 v v^T / v^T v) * work: columns are independent, and
+    // each column's dot product runs over rows in the serial order, so the
+    // parallel update is bit-identical to the serial one.
+    global_pool().parallel_for(
+        k, m,
+        [&](std::size_t j_lo, std::size_t j_hi) {
+          for (std::size_t j = j_lo; j < j_hi; ++j) {
+            double dotv = 0.0;
+            for (std::size_t i = k; i < n; ++i) dotv += vhh[i] * work(i, j);
+            const double scale = 2.0 * dotv / vnorm2;
+            for (std::size_t i = k; i < n; ++i) work(i, j) -= scale * vhh[i];
+          }
+        },
+        grain_for(2 * (n - k)));
+    // q <- q * (I - 2 v v^T / v^T v): rows are independent.
+    global_pool().parallel_for(
+        0, n,
+        [&](std::size_t i_lo, std::size_t i_hi) {
+          for (std::size_t i = i_lo; i < i_hi; ++i) {
+            double dotv = 0.0;
+            for (std::size_t j = k; j < n; ++j) dotv += q(i, j) * vhh[j];
+            const double scale = 2.0 * dotv / vnorm2;
+            for (std::size_t j = k; j < n; ++j) q(i, j) -= scale * vhh[j];
+          }
+        },
+        grain_for(2 * (n - k)));
   }
 
   Qr out;

@@ -3,16 +3,36 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "par/thread_pool.hpp"
 
 namespace spca {
+
+namespace {
+
+/// Minimum elements per parallel chunk of the centering kernels.
+constexpr std::size_t kMinChunkElems = 32 * 1024;
+
+std::size_t grain_for(std::size_t elems_per_item) noexcept {
+  return std::max<std::size_t>(
+      1, kMinChunkElems / std::max<std::size_t>(1, elems_per_item));
+}
+
+}  // namespace
 
 Vector column_means(const Matrix& a) {
   SPCA_EXPECTS(a.rows() > 0);
   Vector mean(a.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const auto row = a.row_span(i);
-    for (std::size_t j = 0; j < row.size(); ++j) mean[j] += row[j];
-  }
+  // Fan out over columns so each mean[j] accumulates over rows in the serial
+  // (ascending) order — bit-identical to the serial sweep.
+  global_pool().parallel_for(
+      0, a.cols(),
+      [&](std::size_t j_lo, std::size_t j_hi) {
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+          const auto row = a.row_span(i);
+          for (std::size_t j = j_lo; j < j_hi; ++j) mean[j] += row[j];
+        }
+      },
+      grain_for(a.rows()));
   mean /= static_cast<double>(a.rows());
   return mean;
 }
@@ -34,10 +54,15 @@ Vector column_variances(const Matrix& a) {
 Matrix center_columns(const Matrix& a) {
   const Vector mean = column_means(a);
   Matrix y = a;
-  for (std::size_t i = 0; i < y.rows(); ++i) {
-    auto row = y.row_span(i);
-    for (std::size_t j = 0; j < row.size(); ++j) row[j] -= mean[j];
-  }
+  global_pool().parallel_for(
+      0, y.rows(),
+      [&](std::size_t i_lo, std::size_t i_hi) {
+        for (std::size_t i = i_lo; i < i_hi; ++i) {
+          auto row = y.row_span(i);
+          for (std::size_t j = 0; j < row.size(); ++j) row[j] -= mean[j];
+        }
+      },
+      grain_for(y.cols()));
   return y;
 }
 

@@ -3,25 +3,80 @@
 // run as usual, then the global metrics registry and event trace are
 // exported to --metrics-out / --trace-out if given.
 //
+// Two further flags serve the perf harness:
+//   --threads N      configures the parallel layer's global pool before any
+//                    benchmark runs (0 = hardware concurrency, 1 = serial).
+//   --bench-json P   appends one JSONL record per benchmark run to P:
+//                    {"suite","name","ns_per_op","threads"}. Append mode on
+//                    purpose — the micro binaries share one BENCH_micro.json.
+//
 // Header-only on purpose: the obs library itself does not link against
 // google-benchmark; this code compiles inside each micro-bench TU.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "obs/report.hpp"
+#include "par/thread_pool.hpp"
 
 namespace spca {
 
-/// Extracts --metrics-out/--trace-out from argv (both --flag=value and
-/// --flag value forms), forwards the rest to google-benchmark, runs the
-/// registered benchmarks, and exports the observability state.
+namespace detail {
+
+/// Console passthrough that additionally appends machine-readable JSONL
+/// records (one per per-iteration run; aggregates and errored runs are
+/// skipped) to the --bench-json file.
+class JsonlCaptureReporter final : public benchmark::ConsoleReporter {
+ public:
+  JsonlCaptureReporter(std::string path, std::string suite)
+      : path_(std::move(path)), suite_(std::move(suite)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) return;
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      // GetAdjustedRealTime is per-iteration time in the run's time unit.
+      const double per_iter_in_unit = run.GetAdjustedRealTime();
+      const double unit_per_second =
+          benchmark::GetTimeUnitMultiplier(run.time_unit);
+      const double ns_per_op = per_iter_in_unit / unit_per_second * 1e9;
+      std::fprintf(f,
+                   "{\"suite\": \"%s\", \"name\": \"%s\", \"ns_per_op\": "
+                   "%.3f, \"threads\": %zu}\n",
+                   suite_.c_str(), run.benchmark_name().c_str(), ns_per_op,
+                   global_threads());
+    }
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  std::string suite_;
+};
+
+inline std::string basename_of(const char* argv0) {
+  const std::string path(argv0 != nullptr ? argv0 : "bench");
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace detail
+
+/// Extracts --metrics-out/--trace-out/--threads/--bench-json from argv
+/// (both --flag=value and --flag value forms), forwards the rest to
+/// google-benchmark, runs the registered benchmarks, and exports the
+/// observability state.
 inline int benchmark_main_with_observability(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
+  std::string threads_arg;
+  std::string bench_json;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -34,6 +89,12 @@ inline int benchmark_main_with_observability(int argc, char** argv) {
     } else if (arg.rfind("--trace-out", 0) == 0) {
       sink = &trace_out;
       prefix_len = 11;
+    } else if (arg.rfind("--bench-json", 0) == 0) {
+      sink = &bench_json;
+      prefix_len = 12;
+    } else if (arg.rfind("--threads", 0) == 0) {
+      sink = &threads_arg;
+      prefix_len = 9;
     }
     if (sink != nullptr && arg.size() == prefix_len && i + 1 < argc) {
       *sink = argv[++i];
@@ -46,12 +107,21 @@ inline int benchmark_main_with_observability(int argc, char** argv) {
     }
     rest.push_back(argv[i]);
   }
+  if (!threads_arg.empty()) {
+    set_global_threads(static_cast<std::size_t>(std::stoul(threads_arg)));
+  }
   int rest_argc = static_cast<int>(rest.size());
   benchmark::Initialize(&rest_argc, rest.data());
   if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  if (bench_json.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    detail::JsonlCaptureReporter reporter(bench_json,
+                                          detail::basename_of(argv[0]));
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
   benchmark::Shutdown();
   export_observability(metrics_out, trace_out);
   return 0;

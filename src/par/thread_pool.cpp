@@ -1,0 +1,224 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/contracts.hpp"
+#include "obs/metrics.hpp"
+
+namespace spca {
+
+namespace {
+
+thread_local bool t_pool_worker = false;
+
+std::size_t resolve_threads(std::size_t threads) noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  struct Task {
+    RawTask fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+  };
+
+  std::size_t lanes = 1;
+  std::vector<std::thread> workers;
+  std::deque<Task> queue;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+
+  void worker_loop() {
+    t_pool_worker = true;
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (queue.empty()) return;  // stop requested and drained
+        task = queue.front();
+        queue.pop_front();
+      }
+      task.fn(task.ctx, task.lo, task.hi);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  impl_->lanes = resolve_threads(threads);
+  impl_->workers.reserve(impl_->lanes - 1);
+  for (std::size_t i = 0; i + 1 < impl_->lanes; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+std::size_t ThreadPool::size() const noexcept { return impl_->lanes; }
+
+bool ThreadPool::on_worker_thread() noexcept { return t_pool_worker; }
+
+std::size_t ThreadPool::plan_lanes(std::size_t begin, std::size_t end,
+                                   std::size_t min_grain) const noexcept {
+  if (end <= begin) return 0;
+  if (t_pool_worker) return 1;  // nested section: run inline on this worker
+  const std::size_t n = end - begin;
+  std::size_t lanes = impl_->lanes;
+  if (min_grain > 1) lanes = std::min(lanes, n / min_grain);
+  return std::clamp<std::size_t>(lanes, 1, n);
+}
+
+namespace {
+
+/// Shared state of one parallel_for call; lives on the caller's stack for
+/// the (blocking) duration of the call.
+struct ForContext {
+  void (*body)(void*, std::size_t, std::size_t) = nullptr;
+  void* ctx = nullptr;
+  std::size_t begin = 0;
+  std::size_t n = 0;
+  std::size_t lanes = 0;
+  std::vector<std::exception_ptr> errors;
+  std::size_t pending = 0;  // guarded by mutex
+  std::mutex mutex;
+  std::condition_variable done;
+
+  void run_chunk(std::size_t c) noexcept {
+    const std::size_t lo = begin + c * n / lanes;
+    const std::size_t hi = begin + (c + 1) * n / lanes;
+    try {
+      body(ctx, lo, hi);
+    } catch (...) {
+      errors[c] = std::current_exception();
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::run_chunks(std::size_t begin, std::size_t end,
+                            std::size_t lanes, RawTask body, void* ctx) {
+  static Counter& tasks = MetricsRegistry::global().counter("spca.par.tasks");
+  tasks.inc(lanes);
+
+  ForContext context;
+  context.body = body;
+  context.ctx = ctx;
+  context.begin = begin;
+  context.n = end - begin;
+  context.lanes = lanes;
+  context.errors.resize(lanes);
+  context.pending = lanes - 1;
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (std::size_t c = 1; c < lanes; ++c) {
+      impl_->queue.push_back(Impl::Task{
+          [](void* p, std::size_t c_index, std::size_t) {
+            auto* fc = static_cast<ForContext*>(p);
+            fc->run_chunk(c_index);
+            {
+              std::lock_guard<std::mutex> done_lock(fc->mutex);
+              --fc->pending;
+            }
+            fc->done.notify_one();
+          },
+          &context, c, 0});
+    }
+  }
+  impl_->cv.notify_all();
+
+  context.run_chunk(0);  // the caller is lane 0
+
+  {
+    std::unique_lock<std::mutex> lock(context.mutex);
+    context.done.wait(lock, [&] { return context.pending == 0; });
+  }
+  for (std::exception_ptr& error : context.errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::post_raw(RawTask task, void* ctx) {
+  if (impl_->workers.empty()) {
+    task(ctx, 0, 0);  // no workers: run inline
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    SPCA_EXPECTS(!impl_->stop);
+    impl_->queue.push_back(Impl::Task{task, ctx, 0, 0});
+  }
+  impl_->cv.notify_one();
+}
+
+namespace {
+
+struct GlobalPoolState {
+  std::mutex mutex;
+  std::unique_ptr<ThreadPool> pool;
+  std::size_t configured = 0;  // 0 = hardware concurrency
+};
+
+GlobalPoolState& global_state() {
+  static GlobalPoolState state;
+  return state;
+}
+
+void publish_pool_size(std::size_t lanes) {
+  MetricsRegistry::global()
+      .gauge("spca.par.pool_size")
+      .set(static_cast<double>(lanes));
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  GlobalPoolState& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.pool) {
+    state.pool = std::make_unique<ThreadPool>(state.configured);
+    publish_pool_size(state.pool->size());
+  }
+  return *state.pool;
+}
+
+void set_global_threads(std::size_t threads) {
+  GlobalPoolState& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.configured = threads;
+  state.pool.reset();  // next global_pool() call rebuilds at the new size
+  state.pool = std::make_unique<ThreadPool>(threads);
+  publish_pool_size(state.pool->size());
+}
+
+std::size_t global_threads() { return global_pool().size(); }
+
+std::size_t configure_threads_from_flag(const CliFlags& flags) {
+  const std::int64_t requested = flags.integer("threads");
+  SPCA_EXPECTS(requested >= 0);
+  set_global_threads(static_cast<std::size_t>(requested));
+  return global_threads();
+}
+
+}  // namespace spca

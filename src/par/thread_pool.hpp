@@ -1,0 +1,125 @@
+// Fixed-size thread pool with deterministic static chunking.
+//
+// The design goal is *bit-identical* results at every thread count: work is
+// split into contiguous chunks whose boundaries depend only on the range and
+// the lane count — never on timing — and every parallelized call site either
+// writes disjoint outputs per chunk or combines chunk results in chunk order.
+// A pool of size 1 spawns no workers at all and runs everything inline, so
+// `--threads 1` is exactly the serial code path.
+//
+// There is no work stealing on purpose: stealing reorders execution, which
+// is harmless for disjoint writes but makes reasoning about determinism (and
+// replaying TSan reports) harder, and the fan-outs in this codebase — per-flow
+// sketch updates, per-column Householder updates — are regular enough that
+// static chunking already balances within ~2x.
+//
+// Nesting: a `parallel_for` issued from inside a pool worker runs inline on
+// that worker (no deadlock, same results). Blocking on a `submit` future from
+// a pool worker is NOT supported and will deadlock.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace spca {
+
+class CliFlags;
+
+/// Fixed-size pool of `size()` execution lanes: `size() - 1` worker threads
+/// plus the calling thread, which always participates in `parallel_for`.
+class ThreadPool final {
+ public:
+  /// `threads` = total lane count; 0 resolves to hardware_concurrency
+  /// (at least 1). A pool of size 1 has no worker threads.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (worker threads + the caller).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Runs `body(lo, hi)` over contiguous chunks covering [begin, end) and
+  /// blocks until every chunk finished. Chunk boundaries are the static
+  /// split of the range into `lanes` pieces where
+  ///   lanes = min(size(), (end - begin) / max(min_grain, 1), end - begin)
+  /// clamped to at least 1 — a pure function of the arguments and the pool
+  /// size, so the decomposition is deterministic. With one lane (or when
+  /// called from a pool worker) the body runs inline as `body(begin, end)`.
+  ///
+  /// Exceptions thrown by chunk bodies are captured per chunk; after all
+  /// chunks finish the exception of the lowest-indexed failing chunk is
+  /// rethrown (again deterministic).
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                    std::size_t min_grain = 1) {
+    const std::size_t lanes = plan_lanes(begin, end, min_grain);
+    if (lanes <= 1) {
+      if (end > begin) body(begin, end);
+      return;
+    }
+    run_chunks(
+        begin, end, lanes,
+        [](void* ctx, std::size_t lo, std::size_t hi) {
+          (*static_cast<std::remove_reference_t<Body>*>(ctx))(lo, hi);
+        },
+        &body);
+  }
+
+  /// Schedules a single task and returns its future. On a pool of size 1 the
+  /// task runs inline before `submit` returns.
+  template <typename F>
+  [[nodiscard]] auto submit(F f) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto* task = new std::packaged_task<R()>(std::move(f));
+    std::future<R> future = task->get_future();
+    post_raw(
+        [](void* ctx, std::size_t, std::size_t) {
+          auto* t = static_cast<std::packaged_task<R()>*>(ctx);
+          (*t)();
+          delete t;
+        },
+        task);
+    return future;
+  }
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool); used to run nested parallel sections inline.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+ private:
+  using RawTask = void (*)(void* ctx, std::size_t lo, std::size_t hi);
+
+  [[nodiscard]] std::size_t plan_lanes(std::size_t begin, std::size_t end,
+                                       std::size_t min_grain) const noexcept;
+  void run_chunks(std::size_t begin, std::size_t end, std::size_t lanes,
+                  RawTask body, void* ctx);
+  void post_raw(RawTask task, void* ctx);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide pool used by every parallelized hot path (linalg
+/// kernels, monitor interval close, NOC assembly). Created on first use with
+/// `set_global_threads`'s last value, or hardware_concurrency if never set.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Replaces the global pool with one of `threads` lanes (0 = hardware
+/// concurrency). Must not be called while parallel work is in flight;
+/// references previously returned by `global_pool()` are invalidated.
+void set_global_threads(std::size_t threads);
+
+/// Lane count of the current global pool (resolving it if needed).
+[[nodiscard]] std::size_t global_threads();
+
+/// Reads the standard `--threads` flag (see `define_threads_flag` in
+/// common/cli), configures the global pool with it, and returns the resolved
+/// lane count.
+std::size_t configure_threads_from_flag(const CliFlags& flags);
+
+}  // namespace spca

@@ -35,34 +35,54 @@ void FlowSketch::add(std::int64_t t, double volume) {
   static Counter& merges =
       MetricsRegistry::global().counter("spca.sketch.bucket_merges");
 
-  std::vector<double> payload(2 * rows_);
+  payload_scratch_.resize(2 * rows_);  // no-op after the first call
   for (std::size_t k = 0; k < rows_; ++k) {
     const double r = projection_.value(t, k);
-    payload[k] = volume * r;      // Z contribution (Fig. 3 Step 2)
-    payload[rows_ + k] = r;       // R contribution
+    payload_scratch_[k] = volume * r;  // Z contribution (Fig. 3 Step 2)
+    payload_scratch_[rows_ + k] = r;   // R contribution
   }
   const std::uint64_t merges_before = histogram_.merge_count();
-  histogram_.add(t, volume, payload);
+  histogram_.add(t, volume, payload_scratch_);
   updates.inc();
   merges.inc(histogram_.merge_count() - merges_before);
 }
 
 Vector FlowSketch::sketch() const {
-  const VhBucket all = histogram_.aggregate();
   Vector z(rows_);
-  if (all.count == 0) return z;
+  sketch_into(z);
+  return z;
+}
+
+void FlowSketch::sketch_into(Vector& out) const {
+  (void)report_into(out);
+}
+
+FlowSketch::Report FlowSketch::report_into(Vector& z) const {
+  histogram_.aggregate_into(aggregate_scratch_);
+  const VhBucket& all = aggregate_scratch_;
+  if (z.size() != rows_) z = Vector(rows_);
+  if (all.count == 0) {
+    for (std::size_t k = 0; k < rows_; ++k) z[k] = 0.0;
+    return {};
+  }
   const double inv_sqrt_l = 1.0 / std::sqrt(static_cast<double>(rows_));
   for (std::size_t k = 0; k < rows_; ++k) {
     const double z_all = all.payload[k];
     const double r_all = all.payload[rows_ + k];
     z[k] = inv_sqrt_l * (z_all - all.mean * r_all);  // eq. (17), see header
   }
-  return z;
+  return {all.mean, all.count};
 }
 
-double FlowSketch::mean() const { return histogram_.aggregate().mean; }
+double FlowSketch::mean() const {
+  histogram_.aggregate_into(aggregate_scratch_);
+  return aggregate_scratch_.mean;
+}
 
-std::uint64_t FlowSketch::count() const { return histogram_.aggregate().count; }
+std::uint64_t FlowSketch::count() const {
+  histogram_.aggregate_into(aggregate_scratch_);
+  return aggregate_scratch_.count;
+}
 
 double FlowSketch::variance_estimate() const {
   return histogram_.variance_estimate();

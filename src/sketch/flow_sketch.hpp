@@ -57,6 +57,21 @@ class FlowSketch final {
   /// Emits the length-l sketch vector z-hat of eq. (17).
   [[nodiscard]] Vector sketch() const;
 
+  /// Allocation-free emission for per-interval hot paths: resizes `out` to l
+  /// if needed and fills it with z-hat.
+  void sketch_into(Vector& out) const;
+
+  /// The (mean, count) pair a sketch report carries alongside z-hat.
+  struct Report {
+    double mean = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  /// One-pass emission of the full report block: fills `z` with z-hat and
+  /// returns (mean, count) from the same bucket aggregate, instead of the
+  /// three separate aggregate passes of sketch() + mean() + count().
+  Report report_into(Vector& z) const;
+
   /// Mean traffic volume over the (approximated) window: the mu_all used by
   /// the NOC to center incoming measurement vectors.
   [[nodiscard]] double mean() const;
@@ -85,6 +100,13 @@ class FlowSketch final {
   std::size_t rows_;
   ProjectionSource projection_;
   VarianceHistogram histogram_;  // payload = [Z_1..Z_l, R_1..R_l]
+  // Reused per-call buffers: these run once per flow per interval, so the
+  // O(l) allocations would otherwise dominate small-flow monitors. The
+  // mutable aggregate scratch makes the const readers (sketch/mean/count)
+  // safe to call concurrently on *distinct* FlowSketch objects but NOT on a
+  // shared one — which is the parallel layer's fan-out unit anyway.
+  std::vector<double> payload_scratch_;
+  mutable VhBucket aggregate_scratch_;
 };
 
 }  // namespace spca

@@ -7,24 +7,30 @@
 namespace spca {
 
 VhBucket merge_buckets(const VhBucket& a, const VhBucket& b) {
-  SPCA_EXPECTS(a.payload.size() == b.payload.size());
-  if (a.count == 0) return b;
-  if (b.count == 0) return a;
+  VhBucket out = a;
+  merge_into(out, b);
+  return out;
+}
 
-  VhBucket out;
-  out.timestamp = std::min(a.timestamp, b.timestamp);  // the older one
-  out.count = a.count + b.count;                       // eq. (11)
+void merge_into(VhBucket& a, const VhBucket& b) {
+  SPCA_EXPECTS(a.payload.size() == b.payload.size());
+  if (a.count == 0) {
+    a = b;
+    return;
+  }
+  if (b.count == 0) return;
+
+  a.timestamp = std::min(a.timestamp, b.timestamp);  // the older one
   const double na = static_cast<double>(a.count);
   const double nb = static_cast<double>(b.count);
-  out.mean = (na * a.mean + nb * b.mean) / (na + nb);  // eq. (12)
+  a.count += b.count;  // eq. (11)
   const double dmean = a.mean - b.mean;
-  out.variance =
+  a.variance =
       a.variance + b.variance + na * nb / (na + nb) * dmean * dmean;  // (13)
-  out.payload.resize(a.payload.size());
-  for (std::size_t k = 0; k < out.payload.size(); ++k) {
-    out.payload[k] = a.payload[k] + b.payload[k];  // eqs. (14), (15)
+  a.mean = (na * a.mean + nb * b.mean) / (na + nb);                   // (12)
+  for (std::size_t k = 0; k < a.payload.size(); ++k) {
+    a.payload[k] += b.payload[k];  // eqs. (14), (15)
   }
-  return out;
 }
 
 VarianceHistogram::VarianceHistogram(std::uint64_t window, double epsilon,
@@ -134,7 +140,7 @@ void VarianceHistogram::compact() {
     const bool rule2 =
         candidate.count <= (epsilon_ / 10.0) * suffix.count;
     if (rule1 && rule2) {
-      buckets_[p] = merge_buckets(buckets_[p], buckets_[p + 1]);
+      merge_into(buckets_[p], buckets_[p + 1]);  // reuses the payload buffer
       buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(p + 1));
       ++merges_;
     } else {
@@ -145,9 +151,19 @@ void VarianceHistogram::compact() {
 }
 
 VhBucket VarianceHistogram::aggregate() const {
-  // In-place accumulation: one payload buffer for the whole pass instead of
-  // an O(l) allocation per bucket.
   VhBucket all;
+  aggregate_into(all);
+  return all;
+}
+
+void VarianceHistogram::aggregate_into(VhBucket& all) const {
+  // In-place accumulation: one payload buffer for the whole pass instead of
+  // an O(l) allocation per bucket; the buffer itself is the caller's and is
+  // only reallocated if its capacity is short.
+  all.timestamp = 0;
+  all.count = 0;
+  all.mean = 0.0;
+  all.variance = 0.0;
   all.payload.assign(payload_size_, 0.0);
   for (auto it = buckets_.rbegin(); it != buckets_.rend(); ++it) {
     const VhBucket& b = *it;
@@ -169,7 +185,6 @@ VhBucket VarianceHistogram::aggregate() const {
       all.payload[k] += b.payload[k];
     }
   }
-  return all;
 }
 
 double VarianceHistogram::variance_estimate() const {

@@ -41,6 +41,11 @@ struct VhBucket {
 /// Merges two buckets with equations (11)-(15); payloads add element-wise.
 [[nodiscard]] VhBucket merge_buckets(const VhBucket& a, const VhBucket& b);
 
+/// In-place variant: merges `b` into `a` reusing `a`'s payload storage (the
+/// per-merge allocation would otherwise run once per flow per compaction).
+/// Performs the identical floating-point operations as `merge_buckets`.
+void merge_into(VhBucket& a, const VhBucket& b);
+
 /// The sliding-window variance histogram.
 class VarianceHistogram final {
  public:
@@ -65,6 +70,10 @@ class VarianceHistogram final {
   /// Merge of all live buckets: the B_all of eq. (17), whose `variance` is
   /// the V-hat of Lemma 1.
   [[nodiscard]] VhBucket aggregate() const;
+
+  /// Allocation-free variant for per-interval hot paths: writes the merge of
+  /// all live buckets into `out`, reusing `out.payload`'s capacity.
+  void aggregate_into(VhBucket& out) const;
 
   /// Estimated variance (sum of squared deviations) over the window.
   [[nodiscard]] double variance_estimate() const;

@@ -1,0 +1,202 @@
+// Bit-equality of the parallelized hot paths: for every pool size the
+// results must be byte-identical to the serial (threads = 1) execution —
+// the parallel layer's core guarantee (static chunking + unchanged per-entry
+// accumulation order).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "../helpers.hpp"
+#include "dist/distributed_detector.hpp"
+#include "dist/local_monitor.hpp"
+#include "dist/message.hpp"
+#include "dist/sim_network.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/stats.hpp"
+#include "par/thread_pool.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+using testing::small_topology;
+using testing::small_trace;
+
+constexpr std::size_t kThreadSweep[] = {1, 2, 7};
+
+/// Restores the global pool size after each test.
+class ParallelEquivalence : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = global_threads(); }
+  void TearDown() override { set_global_threads(saved_); }
+
+ private:
+  std::size_t saved_ = 1;
+};
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Xoshiro256 gen(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = standard_normal(gen);
+  }
+  return m;
+}
+
+void expect_bit_equal(const Matrix& a, const Matrix& b,
+                      const char* what, std::size_t threads) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      // EXPECT_EQ on doubles is exact comparison — that is the point.
+      EXPECT_EQ(a(i, j), b(i, j))
+          << what << " differs at (" << i << "," << j << ") with threads="
+          << threads;
+    }
+  }
+}
+
+TEST_F(ParallelEquivalence, BlockedMultiplyMatchesSerialBitwise) {
+  // Sizes past the inline-grain threshold so the pool actually engages.
+  const Matrix a = random_matrix(210, 190, 1);
+  const Matrix b = random_matrix(190, 230, 2);
+  set_global_threads(1);
+  const Matrix reference = multiply(a, b);
+  for (const std::size_t threads : kThreadSweep) {
+    set_global_threads(threads);
+    expect_bit_equal(multiply(a, b), reference, "multiply", threads);
+  }
+}
+
+TEST_F(ParallelEquivalence, GramMatchesSerialBitwise) {
+  const Matrix a = random_matrix(600, 90, 3);
+  set_global_threads(1);
+  const Matrix reference = gram(a);
+  for (const std::size_t threads : kThreadSweep) {
+    set_global_threads(threads);
+    expect_bit_equal(gram(a), reference, "gram", threads);
+  }
+}
+
+TEST_F(ParallelEquivalence, QrMatchesSerialBitwise) {
+  const Matrix a = random_matrix(300, 80, 4);
+  set_global_threads(1);
+  const Qr reference = qr(a);
+  for (const std::size_t threads : kThreadSweep) {
+    set_global_threads(threads);
+    const Qr factored = qr(a);
+    expect_bit_equal(factored.q, reference.q, "qr.q", threads);
+    expect_bit_equal(factored.r, reference.r, "qr.r", threads);
+  }
+}
+
+TEST_F(ParallelEquivalence, CenteringMatchesSerialBitwise) {
+  const Matrix y = random_matrix(500, 120, 5);
+  set_global_threads(1);
+  const Vector mean_ref = column_means(y);
+  const Matrix centered_ref = center_columns(y);
+  for (const std::size_t threads : kThreadSweep) {
+    set_global_threads(threads);
+    const Vector mean = column_means(y);
+    for (std::size_t j = 0; j < mean.size(); ++j) {
+      EXPECT_EQ(mean[j], mean_ref[j]) << "threads=" << threads;
+    }
+    expect_bit_equal(center_columns(y), centered_ref, "center_columns",
+                     threads);
+  }
+}
+
+/// Drives one LocalMonitor over `intervals` intervals of deterministic
+/// volumes, then pulls one sketch response; returns its payload.
+std::vector<double> monitor_response_payload(std::size_t intervals) {
+  constexpr NodeId kMonitorId = 1;
+  const ProjectionSource source(ProjectionKind::kTugOfWar, 11);
+  std::vector<FlowId> flows(16);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flows[i] = static_cast<FlowId>(i);
+  }
+  SimNetwork network;
+  LocalMonitor monitor(kMonitorId, flows, /*window=*/32, /*epsilon=*/0.05,
+                       /*sketch_rows=*/8, source);
+  Xoshiro256 gen(17);
+  for (std::size_t t = 0; t < intervals; ++t) {
+    for (const FlowId flow : flows) {
+      monitor.ingest_volume(flow, 1e8 + 1e7 * standard_normal(gen));
+    }
+    monitor.end_interval(static_cast<std::int64_t>(t), network);
+    (void)network.drain(kNocId);  // consume the volume report
+  }
+  Message request;
+  request.type = MessageType::kSketchRequest;
+  request.from = kNocId;
+  request.to = kMonitorId;
+  request.interval = static_cast<std::int64_t>(intervals - 1);
+  network.send(request);
+  monitor.handle_mail(network);
+  const std::vector<Message> responses = network.drain(kNocId);
+  EXPECT_EQ(responses.size(), 1u);
+  return responses.empty() ? std::vector<double>{} : responses[0].values;
+}
+
+TEST_F(ParallelEquivalence, MonitorIntervalCloseAndResponseBitwise) {
+  set_global_threads(1);
+  const std::vector<double> reference = monitor_response_payload(48);
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t threads : kThreadSweep) {
+    set_global_threads(threads);
+    const std::vector<double> payload = monitor_response_payload(48);
+    ASSERT_EQ(payload.size(), reference.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      EXPECT_EQ(payload[i], reference[i])
+          << "sketch response differs at " << i << " with threads=" << threads;
+    }
+  }
+}
+
+/// Runs the full distributed deployment and returns the per-interval
+/// (distance, threshold, alarm) triples.
+std::vector<double> distributed_trajectory(const TraceSet& trace,
+                                           bool hosted) {
+  SketchDetectorConfig config;
+  config.window = 32;
+  config.epsilon = 0.01;
+  config.sketch_rows = 8;
+  config.rank_policy = RankPolicy::fixed(3);
+  config.seed = 7;
+  DistributedDetector detector(trace.num_flows(), 4, config, hosted);
+  std::vector<double> out;
+  for (std::size_t t = 0; t < trace.num_intervals(); ++t) {
+    const Detection det =
+        detector.observe(static_cast<std::int64_t>(t), trace.row(t));
+    out.push_back(det.distance);
+    out.push_back(det.threshold);
+    out.push_back(det.alarm ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+TEST_F(ParallelEquivalence, NocAssemblyAndDetectionBitwise) {
+  const Topology topo = small_topology();
+  const TraceSet trace = small_trace(topo, 48, 1);
+  for (const bool hosted : {false, true}) {
+    set_global_threads(1);
+    const std::vector<double> reference = distributed_trajectory(trace, hosted);
+    for (const std::size_t threads : kThreadSweep) {
+      set_global_threads(threads);
+      const std::vector<double> run = distributed_trajectory(trace, hosted);
+      ASSERT_EQ(run.size(), reference.size());
+      for (std::size_t i = 0; i < run.size(); ++i) {
+        EXPECT_EQ(run[i], reference[i])
+            << "trajectory differs at " << i << " with threads=" << threads
+            << " hosted=" << hosted;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spca

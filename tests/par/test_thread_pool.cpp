@@ -1,0 +1,177 @@
+// ThreadPool unit tests: chunk coverage, determinism of the static split,
+// exception propagation, reuse after drain, and the inline fast paths.
+#include "par/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spca {
+namespace {
+
+TEST(ThreadPool, SizeOneHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ZeroResolvesToAtLeastOneLane) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  for (const std::size_t lanes : {1u, 2u, 3u, 7u}) {
+    ThreadPool pool(lanes);
+    for (const std::size_t n : {0u, 1u, 2u, 5u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "lanes=" << lanes << " n=" << n
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForRespectsOffsetRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(20);
+  pool.parallel_for(7, 17, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 7 && i < 17) ? 1 : 0) << "i=" << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  pool.parallel_for(9, 3, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, MinGrainForcesInlineExecution) {
+  ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  // 10 items at grain 100 -> one lane -> a single inline body(0, 10) call,
+  // and calls is touched from the calling thread only.
+  pool.parallel_for(
+      0, 10, [&](std::size_t lo, std::size_t hi) { calls.push_back({lo, hi}); },
+      /*min_grain=*/100);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].first, 0u);
+  EXPECT_EQ(calls[0].second, 10u);
+}
+
+TEST(ThreadPool, LowestIndexedChunkExceptionWins) {
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    try {
+      // 4 lanes over [0, 8) -> chunks of 2; every chunk from lo >= 2 throws.
+      // The rethrown error must always be chunk 1's (lo == 2), regardless of
+      // completion order.
+      pool.parallel_for(0, 8, [](std::size_t lo, std::size_t) {
+        if (lo >= 2) {
+          throw std::runtime_error("chunk " + std::to_string(lo));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 2");
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAfterExceptionAndDrain) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 12,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::logic_error("boom");
+                                 }),
+               std::logic_error);
+  // The pool must still schedule fresh work correctly.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+    std::size_t local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitRunsInlineOnSizeOnePool) {
+  ThreadPool pool(1);
+  bool ran = false;
+  auto future = pool.submit([&] { ran = true; });
+  // No workers: the task must have executed before submit returned.
+  EXPECT_TRUE(ran);
+  future.get();
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // A nested fan-out from inside a chunk body must complete inline on
+      // pool workers (and may fan out again on the caller lane).
+      pool.parallel_for(i * 8, (i + 1) * 8,
+                        [&](std::size_t nlo, std::size_t nhi) {
+                          for (std::size_t j = nlo; j < nhi; ++j) {
+                            hits[j].fetch_add(1);
+                          }
+                        });
+    }
+  });
+  for (std::size_t j = 0; j < 64; ++j) {
+    EXPECT_EQ(hits[j].load(), 1) << "j=" << j;
+  }
+}
+
+TEST(ThreadPool, GlobalPoolResizes) {
+  const std::size_t saved = global_threads();
+  set_global_threads(3);
+  EXPECT_EQ(global_threads(), 3u);
+  EXPECT_EQ(global_pool().size(), 3u);
+  set_global_threads(1);
+  EXPECT_EQ(global_threads(), 1u);
+  set_global_threads(saved);
+}
+
+TEST(ThreadPool, ManySmallRoundsReuseWorkers) {
+  // Drain/refill churn: many tiny parallel_for rounds back to back.
+  ThreadPool pool(4);
+  std::vector<long> data(256, 0);
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(0, data.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ++data[i];
+    });
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], 200) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace spca
