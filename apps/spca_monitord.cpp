@@ -1,0 +1,72 @@
+// Monitor daemon binary: dials the NOC (with retry/backoff, so it can be
+// started before spca_nocd is up), replays its share of the scenario trace,
+// and answers the NOC's sketch pulls. See spca_nocd.cpp for a full loopback
+// deployment example.
+//
+// Restart a killed monitor with --first-interval=<t> to rebuild its sketch
+// state locally and rejoin the running deployment at interval t.
+#include <csignal>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "net/monitor_daemon.hpp"
+#include "obs/report.hpp"
+#include "par/thread_pool.hpp"
+
+namespace {
+
+spca::MonitorDaemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spca;
+  CliFlags flags("spca_monitord: monitor daemon of the TCP deployment");
+  flags.define("connect", "127.0.0.1", "NOC address (numeric IPv4)");
+  flags.define("port", "47000", "NOC port");
+  flags.define("monitor-id", "1", "this monitor's node id (1..monitors)");
+  flags.define("first-interval", "0",
+               "first interval to report (earlier ones are absorbed "
+               "locally; use after a restart)");
+  flags.define("last-interval", "-1",
+               "one-past-last interval to report (-1 = scenario end)");
+  flags.define("connect-attempts", "40",
+               "max NOC dial attempts (0 = unlimited)");
+  define_scenario_flags(flags);
+  define_threads_flag(flags);
+  define_observability_flags(flags);
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    (void)configure_threads_from_flag(flags);
+
+    MonitorDaemonConfig config;
+    config.scenario = scenario_from_flags(flags);
+    config.monitor_id = static_cast<NodeId>(flags.integer("monitor-id"));
+    config.noc_host = flags.str("connect");
+    config.noc_port = static_cast<std::uint16_t>(flags.integer("port"));
+    config.first_interval = flags.integer("first-interval");
+    config.last_interval = flags.integer("last-interval");
+    config.retry.max_attempts =
+        static_cast<std::size_t>(flags.integer("connect-attempts"));
+    MonitorDaemon daemon(config);
+    g_daemon = &daemon;
+    (void)std::signal(SIGTERM, handle_signal);
+    (void)std::signal(SIGINT, handle_signal);
+
+    const MonitorDaemonResult result = daemon.run();
+    std::cout << "monitord " << config.monitor_id << ": "
+              << result.intervals_reported << " intervals, "
+              << result.stats.bytes << " bytes sent, " << result.reconnects
+              << " reconnects\n";
+    export_observability(flags);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "spca_monitord: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -153,7 +153,7 @@ int main(int argc, char** argv) {
               << registry.counter("spca.noc.stale_passes").value()
               << "); alarms: " << alarms << '\n'
               << "network bytes: "
-              << registry.counter("spca.net.bytes").value() << " over "
+              << registry.counter("spca.net.bytes_tx").value() << " over "
               << registry.counter("spca.net.messages").value()
               << " messages\n"
               << "noc refit (SVD) latency ms: p50="

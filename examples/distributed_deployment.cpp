@@ -7,12 +7,21 @@
 //
 // Prints the per-phase communication budget and shows the lazy protocol
 // pulling sketches only when suspicion arises.
+//
+// --transport=tcp swaps the simulated network for a loopback-TCP bus: the
+// same deployment, but every message crosses a real kernel socket with wire
+// framing. The trajectory and byte counts are identical by construction.
+// For a true multi-process run, see apps/spca_nocd and apps/spca_monitord.
 #include <iostream>
 
+#include <memory>
+
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/spca.hpp"
 #include "dist/distributed_detector.hpp"
+#include "net/tcp_bus.hpp"
 #include "obs/report.hpp"
 #include "par/thread_pool.hpp"
 #include "synth/packet_synthesizer.hpp"
@@ -29,6 +38,9 @@ int main(int argc, char** argv) {
   flags.define("packet-intervals", "3",
                "intervals driven by an explicit packet stream");
   flags.define("seed", "99", "scenario seed");
+  flags.define("transport", "sim",
+               "message carrier: sim (in-process queues) or tcp (loopback "
+               "sockets with real framing)");
   define_threads_flag(flags);
   define_observability_flags(flags);
   try {
@@ -56,9 +68,23 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.integer("sketch-rows"));
     config.rank_policy = RankPolicy::fixed(6);
     config.seed = seed ^ 0xd15cULL;
-    DistributedDetector deployment(
-        trace.num_flows(),
-        static_cast<std::size_t>(flags.integer("monitors")), config);
+    const auto num_monitors =
+        static_cast<std::size_t>(flags.integer("monitors"));
+    const std::string transport_kind = flags.str("transport");
+    std::unique_ptr<TcpBus> bus;
+    if (transport_kind == "tcp") {
+      std::vector<NodeId> nodes{kNocId};
+      for (std::size_t k = 1; k <= num_monitors; ++k) {
+        nodes.push_back(static_cast<NodeId>(k));
+      }
+      bus = std::make_unique<TcpBus>(nodes);
+      std::cout << "transport: loopback TCP (every message crosses a real "
+                   "kernel socket)\n";
+    } else if (transport_kind != "sim") {
+      throw InputError("--transport must be sim or tcp");
+    }
+    DistributedDetector deployment(trace.num_flows(), num_monitors, config,
+                                   /*noc_hosted_sketches=*/false, bus.get());
 
     // Demonstrate the packet-level path: expand the first few intervals
     // into packets and verify the NOC assembles the same volumes.

@@ -28,9 +28,16 @@ class NumericalError final : public Error {
   using Error::Error;
 };
 
-/// A simulated distributed-protocol invariant was broken (e.g. a sketch
-/// response for an interval the NOC never requested).
+/// A distributed-protocol invariant was broken (e.g. a sketch response for
+/// an interval the NOC never requested, or a malformed wire frame).
 class ProtocolError final : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A socket-level transport failure: connect/accept failure, I/O timeout,
+/// or a peer that vanished beyond the reconnect budget.
+class TransportError final : public Error {
  public:
   using Error::Error;
 };

@@ -66,7 +66,10 @@ class ByteReader final {
   [[nodiscard]] std::vector<T> get_all() {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto count = get<std::uint64_t>();
-    if (offset_ + count * sizeof(T) > buffer_.size()) {
+    // Divide instead of multiplying: `count * sizeof(T)` can wrap around for
+    // a hostile length field, which would pass the bounds check and then
+    // allocate/copy out of bounds.
+    if (count > remaining() / sizeof(T)) {
       throw ProtocolError("ByteReader: truncated array");
     }
     std::vector<T> values(count);

@@ -4,33 +4,15 @@
 
 namespace spca {
 
-namespace {
-
-NocConfig noc_config_from(const SketchDetectorConfig& config,
-                          bool host_sketches) {
-  NocConfig noc;
-  noc.window = config.window;
-  noc.sketch_rows = config.sketch_rows;
-  noc.alpha = config.alpha;
-  noc.rank_policy = config.rank_policy;
-  noc.lazy = config.lazy;
-  noc.host_sketches = host_sketches;
-  noc.epsilon = config.epsilon;
-  noc.projection = config.projection;
-  noc.sparsity = config.sparsity;
-  noc.seed = config.seed;
-  return noc;
-}
-
-}  // namespace
-
 DistributedDetector::DistributedDetector(std::size_t dimensions,
                                          std::size_t num_monitors,
                                          const SketchDetectorConfig& config,
-                                         bool noc_hosted_sketches)
+                                         bool noc_hosted_sketches,
+                                         Transport* transport)
     : m_(dimensions),
       config_(config),
       noc_hosted_(noc_hosted_sketches),
+      transport_(transport != nullptr ? transport : &network_),
       noc_(dimensions, noc_config_from(config, noc_hosted_sketches)) {
   SPCA_EXPECTS(dimensions >= 2);
   SPCA_EXPECTS(num_monitors >= 1 && num_monitors <= dimensions);
@@ -63,18 +45,18 @@ Detection DistributedDetector::observe(std::int64_t t, const Vector& x) {
     for (const FlowId flow : monitor->flows()) {
       monitor->ingest_volume(flow, x[flow]);
     }
-    monitor->end_interval(t, network_);
+    monitor->end_interval(t, *transport_);
   }
   // The NOC assembles the network-wide measurement vector.
-  const Vector assembled = noc_.collect_volumes(t, network_);
+  const Vector assembled = noc_.collect_volumes(t, *transport_);
   ++observed_;
   if (observed_ < config_.window) {
     return Detection{};  // warm-up, matching SketchDetector
   }
   const auto pump = [this] {
-    for (const auto& monitor : monitors_) monitor->handle_mail(network_);
+    for (const auto& monitor : monitors_) monitor->handle_mail(*transport_);
   };
-  return noc_.detect(t, assembled, monitor_ids_, network_, pump);
+  return noc_.detect(t, assembled, monitor_ids_, *transport_, pump);
 }
 
 std::size_t DistributedDetector::monitor_memory_bytes() const noexcept {

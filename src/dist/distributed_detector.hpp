@@ -26,9 +26,14 @@ class DistributedDetector final : public Detector {
   /// `noc_hosted_sketches` selects Theorem 1's low-resource deployment:
   /// monitors run only the Volume Counter, the NOC maintains every flow's
   /// histogram itself, and no sketch-pull messages are ever sent.
+  ///
+  /// `transport` overrides the message carrier (e.g. a loopback TcpBus);
+  /// nullptr uses the built-in SimNetwork. The caller keeps ownership and
+  /// must outlive the detector.
   DistributedDetector(std::size_t dimensions, std::size_t num_monitors,
                       const SketchDetectorConfig& config,
-                      bool noc_hosted_sketches = false);
+                      bool noc_hosted_sketches = false,
+                      Transport* transport = nullptr);
 
   [[nodiscard]] bool noc_hosted_sketches() const noexcept {
     return noc_hosted_;
@@ -44,9 +49,9 @@ class DistributedDetector final : public Detector {
   }
 
   [[nodiscard]] const NetworkStats& network_stats() const noexcept {
-    return network_.stats();
+    return transport_->stats();
   }
-  void reset_network_stats() noexcept { network_.reset_stats(); }
+  void reset_network_stats() noexcept { transport_->reset_stats(); }
 
   [[nodiscard]] const Noc& noc() const noexcept { return noc_; }
   [[nodiscard]] std::size_t num_monitors() const noexcept {
@@ -60,7 +65,8 @@ class DistributedDetector final : public Detector {
   std::size_t m_;
   SketchDetectorConfig config_;
   bool noc_hosted_ = false;
-  SimNetwork network_;
+  SimNetwork network_;          // default carrier
+  Transport* transport_ = nullptr;  // the active carrier (may be external)
   std::vector<std::unique_ptr<LocalMonitor>> monitors_;
   std::vector<NodeId> monitor_ids_;
   Noc noc_;

@@ -43,7 +43,24 @@ void LocalMonitor::ingest_volume(FlowId flow, double bytes) {
   counter_.record_bytes(static_cast<FlowId>(it - flows_.begin()), bytes);
 }
 
-void LocalMonitor::end_interval(std::int64_t t, SimNetwork& network) {
+Vector LocalMonitor::flush_interval(std::int64_t t) {
+  const Vector volumes = counter_.end_interval();
+  // The per-flow O(l) updates and VH bucket merges are independent across
+  // flows (each FlowSketch owns its histogram; the shared ProjectionSource
+  // is stateless), so the Fig. 4 interval close fans out across the pool.
+  // Static chunking keeps the result bit-identical to the serial loop.
+  global_pool().parallel_for(0, sketches_.size(),
+                             [&](std::size_t lo, std::size_t hi) {
+                               for (std::size_t i = lo; i < hi; ++i) {
+                                 sketches_[i].add(t, volumes[i]);
+                               }
+                             });
+  return volumes;
+}
+
+void LocalMonitor::absorb_interval(std::int64_t t) { (void)flush_interval(t); }
+
+void LocalMonitor::end_interval(std::int64_t t, Transport& network) {
   // Per-monitor interval-close latency: the O(w log n) Fig. 4 update of all
   // owned flows plus the volume report send.
   static Histogram& update_seconds =
@@ -56,17 +73,7 @@ void LocalMonitor::end_interval(std::int64_t t, SimNetwork& network) {
   SPCA_LOG_EVERY_N(288, LogLevel::kDebug, "monitor ", id_,
                    ": closing interval ", t);
 
-  const Vector volumes = counter_.end_interval();
-  // The per-flow O(l) updates and VH bucket merges are independent across
-  // flows (each FlowSketch owns its histogram; the shared ProjectionSource
-  // is stateless), so the Fig. 4 interval close fans out across the pool.
-  // Static chunking keeps the result bit-identical to the serial loop.
-  global_pool().parallel_for(0, sketches_.size(),
-                             [&](std::size_t lo, std::size_t hi) {
-                               for (std::size_t i = lo; i < hi; ++i) {
-                                 sketches_[i].add(t, volumes[i]);
-                               }
-                             });
+  const Vector volumes = flush_interval(t);
   Message report;
   report.type = MessageType::kVolumeReport;
   report.from = id_;
@@ -77,21 +84,25 @@ void LocalMonitor::end_interval(std::int64_t t, SimNetwork& network) {
   network.send(report);
 }
 
-void LocalMonitor::handle_mail(SimNetwork& network) {
+void LocalMonitor::handle_mail(Transport& network) {
   for (const Message& msg : network.drain(id_)) {
-    if (msg.type != MessageType::kSketchRequest) {
-      throw ProtocolError("LocalMonitor: unexpected message type");
-    }
-    if (counter_only_) {
-      throw ProtocolError(
-          "LocalMonitor: sketch request received by a counter-only monitor "
-          "(the NOC must be configured with host_sketches)");
-    }
-    static Counter& responses =
-        MetricsRegistry::global().counter("spca.monitor.sketch_responses");
-    responses.inc();
-    network.send(make_sketch_response(msg.interval));
+    handle_request(msg, network);
   }
+}
+
+void LocalMonitor::handle_request(const Message& msg, Transport& network) {
+  if (msg.type != MessageType::kSketchRequest) {
+    throw ProtocolError("LocalMonitor: unexpected message type");
+  }
+  if (counter_only_) {
+    throw ProtocolError(
+        "LocalMonitor: sketch request received by a counter-only monitor "
+        "(the NOC must be configured with host_sketches)");
+  }
+  static Counter& responses =
+      MetricsRegistry::global().counter("spca.monitor.sketch_responses");
+  responses.inc();
+  network.send(make_sketch_response(msg.interval));
 }
 
 Message LocalMonitor::make_sketch_response(std::int64_t interval) const {

@@ -8,8 +8,8 @@
 #include <vector>
 
 #include "dist/message.hpp"
-#include "dist/sim_network.hpp"
 #include "linalg/vector.hpp"
+#include "net/transport.hpp"
 #include "rand/projection_source.hpp"
 #include "sketch/flow_sketch.hpp"
 #include "traffic/flow.hpp"
@@ -42,10 +42,20 @@ class LocalMonitor final {
 
   /// Ends interval `t`: flushes the volume counter into the sketches and
   /// sends the volume report to the NOC. O(w log n) for w owned flows.
-  void end_interval(std::int64_t t, SimNetwork& network);
+  void end_interval(std::int64_t t, Transport& network);
+
+  /// Ends interval `t` locally: flushes the counter into the sketches
+  /// without sending anything. A restarted monitor daemon replays its trace
+  /// through this to rebuild sketch state the NOC has already accounted
+  /// for, so the post-reconnect trajectory continues bit-identically.
+  void absorb_interval(std::int64_t t);
 
   /// Handles queued requests (sketch pulls), sending responses.
-  void handle_mail(SimNetwork& network);
+  void handle_mail(Transport& network);
+
+  /// Answers one sketch request (used by the daemon event loop, which
+  /// receives its mail through the transport's inbox rather than drain()).
+  void handle_request(const Message& msg, Transport& network);
 
   [[nodiscard]] NodeId id() const noexcept { return id_; }
   [[nodiscard]] const std::vector<FlowId>& flows() const noexcept {
@@ -57,6 +67,8 @@ class LocalMonitor final {
 
  private:
   [[nodiscard]] Message make_sketch_response(std::int64_t interval) const;
+  /// Flushes the counter into the sketches; returns the interval volumes.
+  Vector flush_interval(std::int64_t t);
 
   NodeId id_;
   std::vector<FlowId> flows_;

@@ -44,6 +44,16 @@ Message deserialize(const std::vector<std::byte>& buffer) {
   msg.interval = in.get<std::int64_t>();
   const auto id_count = in.get<std::uint32_t>();
   const auto value_count = in.get<std::uint32_t>();
+  // Validate the announced payload size against the bytes actually present
+  // before reserving anything: a hostile length field must not drive a
+  // multi-gigabyte allocation. The division form cannot overflow.
+  const std::size_t rest = in.remaining();
+  if (id_count > rest / sizeof(std::uint32_t) ||
+      value_count > rest / sizeof(double) ||
+      id_count * sizeof(std::uint32_t) + value_count * sizeof(double) !=
+          rest) {
+    throw ProtocolError("deserialize: payload length mismatch");
+  }
   msg.ids.reserve(id_count);
   for (std::uint32_t i = 0; i < id_count; ++i) {
     msg.ids.push_back(in.get<std::uint32_t>());

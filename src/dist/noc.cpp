@@ -14,6 +14,22 @@
 
 namespace spca {
 
+NocConfig noc_config_from(const SketchDetectorConfig& config,
+                          bool host_sketches) {
+  NocConfig noc;
+  noc.window = config.window;
+  noc.sketch_rows = config.sketch_rows;
+  noc.alpha = config.alpha;
+  noc.rank_policy = config.rank_policy;
+  noc.lazy = config.lazy;
+  noc.host_sketches = host_sketches;
+  noc.epsilon = config.epsilon;
+  noc.projection = config.projection;
+  noc.sparsity = config.sparsity;
+  noc.seed = config.seed;
+  return noc;
+}
+
 Noc::Noc(std::size_t num_flows, const NocConfig& config)
     : m_(num_flows), config_(config), flow_state_(num_flows) {
   SPCA_EXPECTS(num_flows >= 2);
@@ -33,10 +49,11 @@ Noc::Noc(std::size_t num_flows, const NocConfig& config)
   }
 }
 
-Vector Noc::collect_volumes(std::int64_t t, SimNetwork& network) {
+Vector Noc::assemble_volumes(std::int64_t t,
+                             const std::vector<Message>& reports) {
   Vector x(m_);
   std::vector<bool> seen(m_, false);
-  for (const Message& msg : network.drain(kNocId)) {
+  for (const Message& msg : reports) {
     if (msg.type != MessageType::kVolumeReport || msg.interval != t) {
       throw ProtocolError("Noc: unexpected message while collecting volumes");
     }
@@ -68,9 +85,13 @@ Vector Noc::collect_volumes(std::int64_t t, SimNetwork& network) {
   return x;
 }
 
+Vector Noc::collect_volumes(std::int64_t t, Transport& network) {
+  return assemble_volumes(t, network.drain(kNocId));
+}
+
 void Noc::request_sketches(std::int64_t t,
                            const std::vector<NodeId>& monitors,
-                           SimNetwork& network) {
+                           Transport& network) {
   for (const NodeId monitor : monitors) {
     Message request;
     request.type = MessageType::kSketchRequest;
@@ -82,25 +103,29 @@ void Noc::request_sketches(std::int64_t t,
   ++sketch_pulls_;
 }
 
-void Noc::ingest_sketch_responses(SimNetwork& network) {
+void Noc::ingest_sketch_response(const Message& msg) {
+  if (msg.type != MessageType::kSketchResponse) {
+    throw ProtocolError("Noc: expected sketch responses");
+  }
+  const std::size_t block = config_.sketch_rows + 2;
+  if (msg.values.size() != msg.ids.size() * block) {
+    throw ProtocolError("Noc: malformed sketch response");
+  }
+  for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+    const std::uint32_t flow = msg.ids[i];
+    if (flow >= m_) throw ProtocolError("Noc: sketch for unknown flow");
+    FlowState& state = flow_state_[flow];
+    const double* base = msg.values.data() + i * block;
+    state.mean = base[0];
+    state.count = static_cast<std::uint64_t>(base[1]);
+    state.sketch.assign(base + 2, base + block);
+    state.seen = true;
+  }
+}
+
+void Noc::ingest_sketch_responses(Transport& network) {
   for (const Message& msg : network.drain(kNocId)) {
-    if (msg.type != MessageType::kSketchResponse) {
-      throw ProtocolError("Noc: expected sketch responses");
-    }
-    const std::size_t block = config_.sketch_rows + 2;
-    if (msg.values.size() != msg.ids.size() * block) {
-      throw ProtocolError("Noc: malformed sketch response");
-    }
-    for (std::size_t i = 0; i < msg.ids.size(); ++i) {
-      const std::uint32_t flow = msg.ids[i];
-      if (flow >= m_) throw ProtocolError("Noc: sketch for unknown flow");
-      FlowState& state = flow_state_[flow];
-      const double* base = msg.values.data() + i * block;
-      state.mean = base[0];
-      state.count = static_cast<std::uint64_t>(base[1]);
-      state.sketch.assign(base + 2, base + block);
-      state.seen = true;
-    }
+    ingest_sketch_response(msg);
   }
   refit();
 }
@@ -144,10 +169,29 @@ void Noc::refit() {
       model_->singular_values(), rank_, n_eff, config_.alpha);
 }
 
-Detection Noc::detect(std::int64_t t, const Vector& x,
-                      const std::vector<NodeId>& monitors,
-                      SimNetwork& network,
-                      const std::function<void()>& pump_monitors) {
+void Noc::pull_hosted() {
+  SPCA_EXPECTS(config_.host_sketches);
+  // No communication: read the NOC's own histograms. Each flow's state
+  // comes from its own FlowSketch, so the read fans out across flows
+  // (one aggregate pass per flow via report_into).
+  global_pool().parallel_for(0, m_, [&](std::size_t lo, std::size_t hi) {
+    Vector z;
+    for (std::size_t j = lo; j < hi; ++j) {
+      FlowState& state = flow_state_[j];
+      const FlowSketch::Report report = hosted_sketches_[j].report_into(z);
+      state.mean = report.mean;
+      state.count = report.count;
+      state.sketch.assign(z.begin(), z.end());
+      state.seen = true;
+    }
+  });
+  ++sketch_pulls_;  // counts model recomputations in this mode
+  refit();
+}
+
+Detection Noc::detect_with_pull(std::int64_t t, const Vector& x,
+                                const std::function<void()>& pull,
+                                Transport& network) {
   static Histogram& detect_seconds =
       MetricsRegistry::global().histogram("spca.noc.detect_seconds");
   static Histogram& pull_seconds =
@@ -164,37 +208,15 @@ Detection Noc::detect(std::int64_t t, const Vector& x,
 
   SPCA_EXPECTS(x.size() == m_);
   const ScopedTimer detect_timer(detect_seconds);
-  const auto pull = [&] {
+  const auto timed_pull = [&] {
     const ScopedTimer pull_timer(pull_seconds);
     pulls.inc();
-    if (config_.host_sketches) {
-      // No communication: read the NOC's own histograms. Each flow's state
-      // comes from its own FlowSketch, so the read fans out across flows
-      // (one aggregate pass per flow via report_into).
-      global_pool().parallel_for(0, m_, [&](std::size_t lo, std::size_t hi) {
-        Vector z;
-        for (std::size_t j = lo; j < hi; ++j) {
-          FlowState& state = flow_state_[j];
-          const FlowSketch::Report report =
-              hosted_sketches_[j].report_into(z);
-          state.mean = report.mean;
-          state.count = report.count;
-          state.sketch.assign(z.begin(), z.end());
-          state.seen = true;
-        }
-      });
-      ++sketch_pulls_;  // counts model recomputations in this mode
-      refit();
-      return;
-    }
-    request_sketches(t, monitors, network);
-    pump_monitors();
-    ingest_sketch_responses(network);
+    pull();
   };
 
   Detection det;
   if (!model_ || !config_.lazy) {
-    pull();
+    timed_pull();
     det.model_refreshed = true;
   }
 
@@ -204,7 +226,7 @@ Detection Noc::detect(std::int64_t t, const Vector& x,
   if (alarm && config_.lazy && !det.model_refreshed) {
     log_debug("noc: stale model flagged interval ", t,
               ", pulling fresh sketches");
-    pull();
+    timed_pull();
     det.model_refreshed = true;
     lazy_pulls.inc();
     distance = model_->anomaly_distance(x, rank_);
@@ -225,10 +247,12 @@ Detection Noc::detect(std::int64_t t, const Vector& x,
     Message alert;
     alert.type = MessageType::kAlarm;
     alert.from = kNocId;
-    alert.to = kNocId;  // operator console; stays local in the simulation
+    alert.to = kNocId;  // operator console; stays local at the NOC
     alert.interval = t;
     network.send(alert);
-    (void)network.drain(kNocId);  // consume the console message
+    // Consume only the console alarm: a drain here would also swallow any
+    // protocol traffic a concurrent transport has already delivered.
+    (void)network.take(kNocId, MessageType::kAlarm);
     ++alarms_sent_;
     alarms.inc();
   }
@@ -236,6 +260,21 @@ Detection Noc::detect(std::int64_t t, const Vector& x,
                                threshold_squared_, rank_, det.model_refreshed,
                                alarm});
   return det;
+}
+
+Detection Noc::detect(std::int64_t t, const Vector& x,
+                      const std::vector<NodeId>& monitors, Transport& network,
+                      const std::function<void()>& pump_monitors) {
+  const auto pull = [&] {
+    if (config_.host_sketches) {
+      pull_hosted();
+      return;
+    }
+    request_sketches(t, monitors, network);
+    pump_monitors();
+    ingest_sketch_responses(network);
+  };
+  return detect_with_pull(t, x, pull, network);
 }
 
 }  // namespace spca

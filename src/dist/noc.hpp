@@ -5,6 +5,12 @@
 //   d(y*) <= delta  -> no anomaly, keep the stale model (no communication)
 //   d(y*) >  delta  -> pull fresh sketches, refit, re-check; alarm only if
 //                      the fresh model still flags the vector.
+//
+// The class is transport-generic: the synchronous simulation drives it via
+// `detect` (which pumps the in-process monitors inline), while the TCP NOC
+// daemon drives the same state machine via the `assemble_volumes` /
+// `ingest_sketch_response` / `refit` / `detect_with_pull` building blocks,
+// supplying its own pull round-trip over the wire.
 #pragma once
 
 #include <cstdint>
@@ -13,8 +19,9 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "core/sketch_detector.hpp"
 #include "dist/message.hpp"
-#include "dist/sim_network.hpp"
+#include "net/transport.hpp"
 #include "pca/pca_model.hpp"
 #include "sketch/flow_sketch.hpp"
 
@@ -47,36 +54,67 @@ struct NocConfig {
   std::uint64_t seed = 42;
 };
 
+/// Derives the NOC-side configuration from the shared detector parameters
+/// (used by DistributedDetector and the NOC daemon, so both deployments fit
+/// the same model from the same flags).
+[[nodiscard]] NocConfig noc_config_from(const SketchDetectorConfig& config,
+                                        bool host_sketches);
+
 /// The NOC node.
 class Noc final {
  public:
   Noc(std::size_t num_flows, const NocConfig& config);
 
-  /// Ingests queued volume reports for interval `t` and returns the
-  /// assembled measurement vector once every flow has reported.
-  [[nodiscard]] Vector collect_volumes(std::int64_t t, SimNetwork& network);
+  /// Validates and assembles the volume reports of interval `t` into the
+  /// network-wide measurement vector (feeding the NOC-hosted sketches in
+  /// host_sketches mode). Every flow must be covered exactly once.
+  [[nodiscard]] Vector assemble_volumes(std::int64_t t,
+                                        const std::vector<Message>& reports);
+
+  /// Drains queued volume reports for interval `t` and assembles them.
+  [[nodiscard]] Vector collect_volumes(std::int64_t t, Transport& network);
 
   /// Requests sketches from all monitors (they must answer before
   /// `ingest_sketch_responses` is called).
-  void request_sketches(std::int64_t t,
-                        const std::vector<NodeId>& monitors,
-                        SimNetwork& network);
+  void request_sketches(std::int64_t t, const std::vector<NodeId>& monitors,
+                        Transport& network);
+
+  /// Stores one sketch response into the per-flow state (no refit).
+  void ingest_sketch_response(const Message& msg);
 
   /// Ingests queued sketch responses and refits the PCA model.
-  void ingest_sketch_responses(SimNetwork& network);
+  void ingest_sketch_responses(Transport& network);
 
-  /// Runs the lazy detection protocol for measurement `x` of interval `t`.
-  /// `monitors` are the monitor node ids to pull from when needed and
-  /// `pump_monitors` must deliver pending requests to them (the simulation's
-  /// stand-in for the monitors' event loops running concurrently).
+  /// Recomputes the PCA model, rank, and threshold from the stored per-flow
+  /// sketch state. Every flow must have reported at least once.
+  void refit();
+
+  /// host_sketches mode: refreshes the per-flow state from the NOC's own
+  /// histograms and refits — the no-communication pull.
+  void pull_hosted();
+
+  /// Runs the lazy detection protocol for measurement `x` of interval `t`,
+  /// with `pull` as the "fetch fresh sketches and refit" round-trip. The
+  /// model is guaranteed fresh after `pull` returns. Alarms are sent to the
+  /// operator console (kNocId) through `network` and consumed again via
+  /// `take`, so concurrently queued protocol traffic is untouched.
+  [[nodiscard]] Detection detect_with_pull(std::int64_t t, const Vector& x,
+                                           const std::function<void()>& pull,
+                                           Transport& network);
+
+  /// Synchronous-simulation front end of `detect_with_pull`: the pull
+  /// round-trip requests sketches, runs `pump_monitors` (the stand-in for
+  /// the monitors' event loops), and ingests the responses.
   [[nodiscard]] Detection detect(std::int64_t t, const Vector& x,
                                  const std::vector<NodeId>& monitors,
-                                 SimNetwork& network,
+                                 Transport& network,
                                  const std::function<void()>& pump_monitors);
 
   [[nodiscard]] const std::optional<PcaModel>& model() const noexcept {
     return model_;
   }
+  [[nodiscard]] std::size_t num_flows() const noexcept { return m_; }
+  [[nodiscard]] const NocConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::uint64_t sketch_pulls() const noexcept {
     return sketch_pulls_;
   }
@@ -85,8 +123,6 @@ class Noc final {
   }
 
  private:
-  void refit();
-
   std::size_t m_;
   NocConfig config_;
   /// Last received sketch state per flow: mean, count, z-vector.

@@ -1,33 +1,10 @@
 #include "dist/sim_network.hpp"
 
-#include "obs/metrics.hpp"
-
 namespace spca {
 
 void SimNetwork::send(const Message& msg) {
-  static Counter& messages =
-      MetricsRegistry::global().counter("spca.net.messages");
-  static Counter& bytes = MetricsRegistry::global().counter("spca.net.bytes");
-  // Indexed by MessageType value; slot 0 is unused.
-  static Counter* const bytes_by_type[5] = {
-      nullptr,
-      &MetricsRegistry::global().counter("spca.net.volume_report_bytes"),
-      &MetricsRegistry::global().counter("spca.net.sketch_request_bytes"),
-      &MetricsRegistry::global().counter("spca.net.sketch_response_bytes"),
-      &MetricsRegistry::global().counter("spca.net.alarm_bytes"),
-  };
-
   std::vector<std::byte> wire = serialize(msg);
-  ++stats_.messages;
-  stats_.bytes += wire.size();
-  const auto type_index = static_cast<std::size_t>(msg.type);
-  ++stats_.messages_by_type[type_index];
-  stats_.bytes_by_type[type_index] += wire.size();
-  messages.inc();
-  bytes.inc(wire.size());
-  if (type_index >= 1 && type_index <= 4) {
-    bytes_by_type[type_index]->inc(wire.size());
-  }
+  account_send(stats_, msg, wire.size());
   queues_[msg.to].push_back(std::move(wire));
 }
 
@@ -40,6 +17,25 @@ std::vector<Message> SimNetwork::drain(NodeId node) {
     out.push_back(deserialize(wire));
   }
   it->second.clear();
+  return out;
+}
+
+std::vector<Message> SimNetwork::take(NodeId node, MessageType type) {
+  std::vector<Message> out;
+  auto it = queues_.find(node);
+  if (it == queues_.end()) return out;
+  std::vector<std::vector<std::byte>> rest;
+  rest.reserve(it->second.size());
+  for (auto& wire : it->second) {
+    // Byte 0 of the wire format is the message type; peeking avoids a full
+    // parse of the messages that stay queued.
+    if (!wire.empty() && static_cast<MessageType>(wire[0]) == type) {
+      out.push_back(deserialize(wire));
+    } else {
+      rest.push_back(std::move(wire));
+    }
+  }
+  it->second = std::move(rest);
   return out;
 }
 

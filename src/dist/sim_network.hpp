@@ -2,39 +2,36 @@
 // wire accounting (messages are serialized on send and parsed on drain).
 #pragma once
 
-#include <array>
-#include <cstdint>
 #include <map>
 #include <vector>
 
 #include "dist/message.hpp"
+#include "net/transport.hpp"
 
 namespace spca {
 
-/// Cumulative traffic statistics of the simulation.
-struct NetworkStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  /// Per message type (indexed by MessageType value 1..4).
-  std::array<std::uint64_t, 5> messages_by_type{};
-  std::array<std::uint64_t, 5> bytes_by_type{};
-};
-
 /// Routes serialized messages between nodes and keeps delivery statistics.
-class SimNetwork final {
+class SimNetwork final : public Transport {
  public:
   /// Serializes and enqueues `msg` for its destination.
-  void send(const Message& msg);
+  void send(const Message& msg) override;
 
   /// Delivers (parses and removes) every message queued for `node`, in
   /// send order.
-  [[nodiscard]] std::vector<Message> drain(NodeId node);
+  [[nodiscard]] std::vector<Message> drain(NodeId node) override;
+
+  /// Delivers only the queued messages of `type` for `node`, leaving the
+  /// rest queued in order.
+  [[nodiscard]] std::vector<Message> take(NodeId node,
+                                          MessageType type) override;
 
   /// True if `node` has queued messages.
-  [[nodiscard]] bool has_mail(NodeId node) const;
+  [[nodiscard]] bool has_mail(NodeId node) const override;
 
-  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = NetworkStats{}; }
+  [[nodiscard]] const NetworkStats& stats() const noexcept override {
+    return stats_;
+  }
+  void reset_stats() noexcept override { stats_ = NetworkStats{}; }
 
  private:
   std::map<NodeId, std::vector<std::vector<std::byte>>> queues_;

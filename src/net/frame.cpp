@@ -1,0 +1,108 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace spca {
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const std::size_t offset = out.size();
+  out.resize(offset + sizeof(v));
+  std::memcpy(out.data() + offset, &v, sizeof(v));
+}
+
+std::uint32_t read_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+[[noreturn]] void frame_error(const char* what) {
+  static Counter& errors =
+      MetricsRegistry::global().counter("spca.net.frame_errors");
+  errors.inc();
+  throw ProtocolError(what);
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_frame(FrameType type,
+                                    const std::vector<std::byte>& payload) {
+  if (payload.size() > kMaxFramePayloadBytes) {
+    frame_error("encode_frame: payload exceeds kMaxFramePayloadBytes");
+  }
+  std::vector<std::byte> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(static_cast<std::byte>(kWireVersion));
+  out.push_back(static_cast<std::byte>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::byte> encode_interval_payload(std::int64_t t) {
+  std::vector<std::byte> payload(sizeof(t));
+  std::memcpy(payload.data(), &t, sizeof(t));
+  return payload;
+}
+
+std::int64_t decode_interval_payload(const std::vector<std::byte>& payload) {
+  if (payload.size() != sizeof(std::int64_t)) {
+    frame_error("advance frame: bad payload size");
+  }
+  std::int64_t t;
+  std::memcpy(&t, payload.data(), sizeof(t));
+  return t;
+}
+
+void FrameDecoder::feed(const std::byte* data, std::size_t n) {
+  buffer_.insert(buffer_.end(), data, data + n);
+  parse_available();
+}
+
+void FrameDecoder::parse_available() {
+  std::size_t offset = 0;
+  while (buffer_.size() - offset >= kFrameHeaderBytes) {
+    const std::byte* header = buffer_.data() + offset;
+    if (read_u32(header) != kFrameMagic) {
+      frame_error("FrameDecoder: bad magic");
+    }
+    if (static_cast<std::uint8_t>(header[4]) != kWireVersion) {
+      frame_error("FrameDecoder: unsupported wire version");
+    }
+    const auto type = static_cast<std::uint8_t>(header[5]);
+    if (type < 1 || type > 3) {
+      frame_error("FrameDecoder: unknown frame type");
+    }
+    const std::uint32_t length = read_u32(header + 6);
+    if (length > kMaxFramePayloadBytes) {
+      frame_error("FrameDecoder: frame length exceeds limit");
+    }
+    if (buffer_.size() - offset - kFrameHeaderBytes < length) {
+      break;  // incomplete: wait for more bytes
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.assign(header + kFrameHeaderBytes,
+                         header + kFrameHeaderBytes + length);
+    frames_.push_back(std::move(frame));
+    offset += kFrameHeaderBytes + length;
+  }
+  if (offset > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+}
+
+Frame FrameDecoder::pop() {
+  Frame frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+}  // namespace spca

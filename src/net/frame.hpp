@@ -1,0 +1,93 @@
+// Wire framing of the TCP transport: every socket carries a stream of
+// length-prefixed frames so message boundaries survive TCP's byte-stream
+// semantics and a corrupt or misaligned peer is detected immediately.
+//
+// Frame layout (little-endian):
+//
+//   offset 0  u32  magic     0x41435053 ("SPCA" as bytes on the wire)
+//   offset 4  u8   version   kWireVersion
+//   offset 5  u8   type      FrameType
+//   offset 6  u32  length    payload bytes following the header
+//   offset 10 ...  payload
+//
+// kMessage payloads are exactly the output of `serialize()` in
+// dist/message; control frames (kHello, kAdvance) carry transport-level
+// payloads that never enter the Message statistics, so NetworkStats stays
+// byte-identical between SimNetwork and TCP runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace spca {
+
+/// First four bytes of every frame: 'S' 'P' 'C' 'A'.
+inline constexpr std::uint32_t kFrameMagic = 0x41435053u;
+/// Protocol version; bumped on any incompatible frame or message change.
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Fixed header size in bytes.
+inline constexpr std::size_t kFrameHeaderBytes = 10;
+/// Upper bound on a single frame payload. Generous for sketch responses
+/// (a million-flow response is ~0.7 GiB would be sharded upstream); mostly
+/// a guard against a corrupt length field demanding an absurd allocation.
+inline constexpr std::size_t kMaxFramePayloadBytes = 256ull * 1024 * 1024;
+
+/// What a frame carries.
+enum class FrameType : std::uint8_t {
+  /// A serialized protocol `Message`.
+  kMessage = 1,
+  /// Connection handshake: payload is the sender's NodeId (u32).
+  kHello = 2,
+  /// NOC -> monitor flow control: payload is the completed interval (i64).
+  /// Monitors hold interval t+1 until the NOC finished t, which keeps the
+  /// multi-process protocol in the same lock-step as the simulation.
+  kAdvance = 3,
+};
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kMessage;
+  std::vector<std::byte> payload;
+};
+
+/// Encodes a frame: header + payload, ready for the socket.
+[[nodiscard]] std::vector<std::byte> encode_frame(
+    FrameType type, const std::vector<std::byte>& payload);
+
+/// Encodes a kAdvance payload (the completed interval, little-endian i64).
+[[nodiscard]] std::vector<std::byte> encode_interval_payload(std::int64_t t);
+
+/// Decodes a kAdvance payload; throws ProtocolError on a bad size.
+[[nodiscard]] std::int64_t decode_interval_payload(
+    const std::vector<std::byte>& payload);
+
+/// Incremental frame parser: feed arbitrary byte chunks as they arrive from
+/// the socket (partial reads welcome), pop complete frames. Throws
+/// ProtocolError on bad magic, unknown version, unknown frame type, or an
+/// oversized length field — the connection must be dropped after that.
+class FrameDecoder final {
+ public:
+  /// Appends `n` received bytes and parses any frames they complete.
+  void feed(const std::byte* data, std::size_t n);
+
+  /// True if a complete frame is ready to pop.
+  [[nodiscard]] bool has_frame() const noexcept { return !frames_.empty(); }
+
+  /// Removes and returns the oldest complete frame; has_frame() must hold.
+  [[nodiscard]] Frame pop();
+
+  /// Bytes buffered towards the next (incomplete) frame.
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size();
+  }
+
+ private:
+  void parse_available();
+
+  std::vector<std::byte> buffer_;
+  std::deque<Frame> frames_;
+};
+
+}  // namespace spca

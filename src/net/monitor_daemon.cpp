@@ -1,0 +1,106 @@
+#include "net/monitor_daemon.hpp"
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "dist/local_monitor.hpp"
+#include "net/frame.hpp"
+
+namespace spca {
+
+namespace {
+
+constexpr std::chrono::milliseconds kWaitSlice{100};
+
+}  // namespace
+
+MonitorDaemon::MonitorDaemon(MonitorDaemonConfig config)
+    : config_(std::move(config)) {}
+
+MonitorDaemonResult MonitorDaemon::run() {
+  const NetScenario scenario = build_scenario(config_.scenario);
+  const std::size_t m = scenario.trace.num_flows();
+  const SketchDetectorConfig& det = scenario.detector;
+  SPCA_EXPECTS(config_.monitor_id >= 1 &&
+               config_.monitor_id <= config_.scenario.monitors);
+
+  const ProjectionSource source =
+      det.projection == ProjectionKind::kVerySparse
+          ? ProjectionSource::very_sparse(det.seed, det.window)
+          : ProjectionSource(det.projection, det.seed, det.sparsity);
+  const std::vector<FlowId> flows =
+      scenario_flows_of(m, config_.scenario.monitors, config_.monitor_id);
+  LocalMonitor monitor(config_.monitor_id, flows, det.window, det.epsilon,
+                       det.sketch_rows, source);
+
+  const auto end = config_.last_interval >= 0
+                       ? config_.last_interval
+                       : static_cast<std::int64_t>(config_.scenario.intervals);
+  SPCA_EXPECTS(config_.first_interval >= 0 && config_.first_interval <= end);
+
+  // Warm rebuild: replay the intervals the NOC has already accounted for,
+  // without sending anything. After this the sketch state is exactly what a
+  // never-restarted monitor would hold entering first_interval.
+  for (std::int64_t t = 0; t < config_.first_interval; ++t) {
+    for (const FlowId flow : flows) {
+      monitor.ingest_volume(
+          flow, scenario.trace.volumes()(static_cast<std::size_t>(t), flow));
+    }
+    monitor.absorb_interval(t);
+  }
+
+  TcpTransportConfig tcp;
+  tcp.node_id = config_.monitor_id;
+  tcp.peers.push_back({kNocId, config_.noc_host, config_.noc_port});
+  tcp.retry = config_.retry;
+  tcp.io_timeout = config_.io_timeout;
+  TcpTransport transport(tcp);
+  transport.start();
+  log_info("monitord ", config_.monitor_id, ": connected to ",
+           config_.noc_host, ":", config_.noc_port, ", intervals [",
+           config_.first_interval, ", ", end, ")");
+
+  MonitorDaemonResult result;
+  for (std::int64_t t = config_.first_interval; t < end; ++t) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    for (const FlowId flow : flows) {
+      monitor.ingest_volume(
+          flow, scenario.trace.volumes()(static_cast<std::size_t>(t), flow));
+    }
+    monitor.end_interval(t, transport);
+    ++result.intervals_reported;
+
+    // Serve sketch pulls until the NOC finishes interval t. Requests for t
+    // precede advance(t) on the connection (TCP preserves the NOC's send
+    // order), so by the time we move on every pull has been answered.
+    bool advanced = false;
+    auto waited = std::chrono::milliseconds(0);
+    while (!advanced && !stop_.load(std::memory_order_relaxed)) {
+      for (const Message& msg : transport.drain(config_.monitor_id)) {
+        monitor.handle_request(msg, transport);
+      }
+      while (auto control = transport.poll_control()) {
+        if (control->type != FrameType::kAdvance) continue;
+        if (decode_interval_payload(control->payload) >= t) advanced = true;
+      }
+      if (advanced) break;
+      if (!transport.wait_for_activity(kWaitSlice)) {
+        waited += kWaitSlice;
+        if (waited >= config_.io_timeout) {
+          throw TransportError("monitord: no advance from the NOC within "
+                               "the I/O timeout");
+        }
+      }
+    }
+  }
+
+  result.reconnects = transport.reconnects();
+  result.stats = transport.stats();
+  transport.stop();
+  log_info("monitord ", config_.monitor_id, ": done after ",
+           result.intervals_reported, " intervals (", result.reconnects,
+           " reconnects)");
+  return result;
+}
+
+}  // namespace spca

@@ -1,0 +1,71 @@
+// Monitor daemon: wraps a LocalMonitor in a TCP event loop. Dials the NOC
+// (with retry/backoff), replays its share of the scenario trace, answers
+// sketch pulls, and advances intervals in lock-step with the NOC's kAdvance
+// frames — which keeps the multi-process trajectory bit-identical to the
+// synchronous simulation.
+//
+// Restart story: a daemon started with first_interval > 0 rebuilds its
+// sketch state by absorbing the earlier intervals locally (no messages),
+// then reconnects and continues from first_interval. The NOC has already
+// accounted those intervals, so the joint trajectory continues unchanged —
+// this is what lets a killed monitor rejoin mid-run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/scenario.hpp"
+#include "net/socket.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace spca {
+
+/// Monitor daemon configuration.
+struct MonitorDaemonConfig {
+  NetScenarioConfig scenario;
+  /// This monitor's NodeId (1..scenario.monitors).
+  NodeId monitor_id = 1;
+  /// NOC endpoint to dial.
+  std::string noc_host = "127.0.0.1";
+  std::uint16_t noc_port = 0;
+  /// First interval to report (earlier intervals are absorbed locally).
+  std::int64_t first_interval = 0;
+  /// One-past-last interval to report; -1 = scenario end. An early stop
+  /// exits gracefully after the NOC advanced past the last interval, which
+  /// models a planned kill in the restart tests.
+  std::int64_t last_interval = -1;
+  RetryPolicy retry;
+  std::chrono::milliseconds io_timeout{15000};
+};
+
+/// What a finished run did.
+struct MonitorDaemonResult {
+  /// Intervals reported over the wire (excludes absorbed ones).
+  std::int64_t intervals_reported = 0;
+  /// Connection re-establishments observed by the transport.
+  std::uint64_t reconnects = 0;
+  /// Send-side wire accounting of this monitor.
+  NetworkStats stats;
+};
+
+/// The monitor process body (also runnable on a thread in tests).
+class MonitorDaemon final {
+ public:
+  explicit MonitorDaemon(MonitorDaemonConfig config);
+
+  /// Runs to completion (or until request_stop()); returns the run summary.
+  /// Throws TransportError if the NOC stays unreachable past the retry
+  /// budget or an established connection times out.
+  MonitorDaemonResult run();
+
+  /// Asks a running daemon to wind down at the next poll slice (signal-safe
+  /// apart from the atomic store; the SIGTERM handler calls this).
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  MonitorDaemonConfig config_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace spca

@@ -1,0 +1,127 @@
+#include "net/noc_daemon.hpp"
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "dist/noc.hpp"
+#include "net/frame.hpp"
+
+namespace spca {
+
+namespace {
+
+constexpr std::chrono::milliseconds kWaitSlice{100};
+
+TcpTransportConfig noc_tcp_config(const NocDaemonConfig& config) {
+  TcpTransportConfig tcp;
+  tcp.node_id = kNocId;
+  tcp.listen_host = config.listen_host;
+  tcp.listen_port = config.listen_port;
+  tcp.io_timeout = config.io_timeout;
+  return tcp;
+}
+
+}  // namespace
+
+NocDaemon::NocDaemon(NocDaemonConfig config)
+    : config_(std::move(config)), transport_(noc_tcp_config(config_)) {}
+
+NocDaemon::~NocDaemon() { transport_.stop(); }
+
+void NocDaemon::start() {
+  SPCA_EXPECTS(!started_);
+  started_ = true;
+  transport_.start();
+  log_info("nocd: listening on ", config_.listen_host, ":", bound_port());
+}
+
+std::uint16_t NocDaemon::bound_port() const noexcept {
+  return transport_.listen_port();
+}
+
+std::uint64_t NocDaemon::reconnects() const noexcept {
+  return transport_.reconnects();
+}
+
+ScenarioRun NocDaemon::run() {
+  SPCA_EXPECTS(started_);
+  const NetScenario scenario = build_scenario(config_.scenario);
+  const std::size_t num_monitors = config_.scenario.monitors;
+  const std::vector<NodeId> monitor_ids = scenario_monitor_ids(num_monitors);
+  Noc noc(scenario.trace.num_flows(),
+          noc_config_from(scenario.detector, /*host_sketches=*/false));
+
+  // Waits until `ready()` or the interval deadline; false when stopping.
+  const auto wait_until = [&](const auto& ready, const char* what) {
+    auto waited = std::chrono::milliseconds(0);
+    while (!ready()) {
+      if (stop_.load(std::memory_order_relaxed)) return false;
+      if (!transport_.wait_for_mail(kNocId, kWaitSlice)) {
+        waited += kWaitSlice;
+        if (waited >= config_.interval_deadline) {
+          throw TransportError(std::string("nocd: timed out waiting for ") +
+                               what);
+        }
+      }
+    }
+    return true;
+  };
+
+  ScenarioRun run;
+  const auto intervals = static_cast<std::int64_t>(config_.scenario.intervals);
+  for (std::int64_t t = 0; t < intervals; ++t) {
+    // Phase 1: every monitor reports its flows' volumes for interval t.
+    // The kAdvance lock-step guarantees no report for t+1 can arrive yet.
+    std::vector<Message> reports;
+    if (!wait_until(
+            [&] {
+              for (Message& msg :
+                   transport_.take(kNocId, MessageType::kVolumeReport)) {
+                reports.push_back(std::move(msg));
+              }
+              return reports.size() >= num_monitors;
+            },
+            "volume reports")) {
+      break;
+    }
+    const Vector x = noc.assemble_volumes(t, reports);
+
+    // Phase 2: detection, matching DistributedDetector's warm-up skip.
+    if (t + 1 >= static_cast<std::int64_t>(scenario.detector.window)) {
+      const auto pull = [&] {
+        noc.request_sketches(t, monitor_ids, transport_);
+        std::size_t responses = 0;
+        if (!wait_until(
+                [&] {
+                  for (const Message& msg :
+                       transport_.take(kNocId, MessageType::kSketchResponse)) {
+                    noc.ingest_sketch_response(msg);
+                    ++responses;
+                  }
+                  return responses >= num_monitors;
+                },
+                "sketch responses")) {
+          throw TransportError("nocd: stopped during a sketch pull");
+        }
+        noc.refit();
+      };
+      const Detection det = noc.detect_with_pull(t, x, pull, transport_);
+      run.distances.push_back(det.distance);
+      if (det.alarm) run.alarm_intervals.push_back(t);
+    }
+
+    // Phase 3: release the monitors into interval t+1.
+    for (const NodeId monitor : monitor_ids) {
+      transport_.send_control(monitor, FrameType::kAdvance,
+                              encode_interval_payload(t));
+    }
+  }
+
+  run.stats = transport_.stats();
+  log_info("nocd: finished, ", run.alarm_intervals.size(), " alarms, ",
+           noc.sketch_pulls(), " sketch pulls, ", transport_.reconnects(),
+           " reconnects");
+  return run;
+}
+
+}  // namespace spca

@@ -1,0 +1,62 @@
+// NOC daemon: wraps the Noc protocol engine in a TCP server loop. Listens
+// for the monitors, assembles each interval's volume reports, runs the lazy
+// detection protocol (pulling sketches over the wire when the stale model
+// raises a hand), and releases the monitors into the next interval with a
+// kAdvance frame — the flow control that keeps the multi-process run in the
+// simulation's lock-step, and therefore bit-identical to it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/scenario.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace spca {
+
+/// NOC daemon configuration.
+struct NocDaemonConfig {
+  NetScenarioConfig scenario;
+  /// Listen endpoint (port 0 picks an ephemeral port, see bound_port()).
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  /// How long to wait for a missing monitor (report or sketch response)
+  /// before giving up on the run. Generous by default: a killed monitor
+  /// needs time to restart, rebuild, and reconnect.
+  std::chrono::milliseconds interval_deadline{60000};
+  std::chrono::milliseconds io_timeout{15000};
+};
+
+/// The NOC process body (also runnable on a thread in tests).
+class NocDaemon final {
+ public:
+  explicit NocDaemon(NocDaemonConfig config);
+  ~NocDaemon();
+
+  /// Binds the listener and starts accepting monitors; must be called
+  /// before run() (split out so tests can learn the ephemeral port first).
+  void start();
+
+  /// The bound listen port (valid after start()).
+  [[nodiscard]] std::uint16_t bound_port() const noexcept;
+
+  /// Runs the deployment to completion (or until request_stop()) and
+  /// returns the trajectory. Throws TransportError if a monitor stays away
+  /// longer than the interval deadline.
+  ScenarioRun run();
+
+  /// Asks a running daemon to wind down at the next poll slice.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Connection re-establishments observed so far (valid after start()).
+  [[nodiscard]] std::uint64_t reconnects() const noexcept;
+
+ private:
+  NocDaemonConfig config_;
+  TcpTransport transport_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+};
+
+}  // namespace spca

@@ -1,0 +1,125 @@
+#include "net/scenario.hpp"
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "dist/distributed_detector.hpp"
+#include "synth/anomaly_injector.hpp"
+#include "synth/traffic_model.hpp"
+#include "traffic/topology.hpp"
+
+namespace spca {
+
+namespace {
+
+Topology scenario_topology(const std::string& name) {
+  if (name == "diamond") {
+    return Topology({"A", "B", "C", "D"},
+                    {Link{0, 1, 1.0}, Link{1, 2, 1.0}, Link{2, 3, 1.0},
+                     Link{3, 0, 1.0}, Link{0, 2, 1.5}});
+  }
+  if (name == "abilene") return abilene_topology();
+  throw InputError("unknown scenario topology: " + name +
+                   " (expected diamond or abilene)");
+}
+
+}  // namespace
+
+NetScenario build_scenario(const NetScenarioConfig& config) {
+  if (config.intervals <= config.window) {
+    throw InputError("scenario: intervals must exceed the window");
+  }
+  if (config.monitors == 0) {
+    throw InputError("scenario: at least one monitor required");
+  }
+  const Topology topology = scenario_topology(config.topology);
+  if (config.monitors > topology.num_od_flows()) {
+    throw InputError("scenario: more monitors than flows");
+  }
+
+  TrafficModelConfig traffic;
+  traffic.num_intervals = config.intervals;
+  traffic.interval_seconds = 300.0;
+  traffic.seed = config.seed;
+  traffic.network_noise = 0.08;
+  traffic.flow_noise = 0.10;
+  traffic.measurement_noise = 0.03;
+  TraceSet trace = generate_traffic(topology, traffic);
+  if (config.anomalies > 0) {
+    AnomalyInjector injector(topology, config.seed ^ 0xabcdef);
+    (void)injector.inject_mixture(
+        trace, config.anomalies, static_cast<std::int64_t>(config.window),
+        static_cast<std::int64_t>(config.intervals));
+  }
+
+  SketchDetectorConfig detector;
+  detector.window = config.window;
+  detector.epsilon = 0.01;
+  detector.sketch_rows = config.sketch_rows;
+  detector.alpha = 0.01;
+  detector.rank_policy = RankPolicy::fixed(3);
+  detector.seed = config.seed;
+  detector.lazy = true;
+  return NetScenario{config, std::move(trace), detector};
+}
+
+std::vector<FlowId> scenario_flows_of(std::size_t num_flows,
+                                      std::size_t num_monitors,
+                                      NodeId monitor) {
+  SPCA_EXPECTS(monitor >= 1 && monitor <= num_monitors);
+  std::vector<FlowId> flows;
+  for (std::size_t j = monitor - 1; j < num_flows; j += num_monitors) {
+    flows.push_back(static_cast<FlowId>(j));
+  }
+  return flows;
+}
+
+std::vector<NodeId> scenario_monitor_ids(std::size_t num_monitors) {
+  std::vector<NodeId> ids;
+  ids.reserve(num_monitors);
+  for (std::size_t k = 0; k < num_monitors; ++k) {
+    ids.push_back(static_cast<NodeId>(k + 1));
+  }
+  return ids;
+}
+
+ScenarioRun run_scenario_reference(const NetScenario& scenario,
+                                   Transport* transport) {
+  DistributedDetector detector(scenario.trace.num_flows(),
+                               scenario.config.monitors, scenario.detector,
+                               /*noc_hosted_sketches=*/false, transport);
+  ScenarioRun run;
+  for (std::size_t t = 0; t < scenario.config.intervals; ++t) {
+    const Detection det =
+        detector.observe(static_cast<std::int64_t>(t), scenario.trace.row(t));
+    if (!det.ready) continue;
+    run.distances.push_back(det.distance);
+    if (det.alarm) run.alarm_intervals.push_back(static_cast<std::int64_t>(t));
+  }
+  run.stats = detector.network_stats();
+  return run;
+}
+
+void define_scenario_flags(CliFlags& flags) {
+  flags.define("topology", "diamond",
+               "Scenario topology: diamond (16 flows) or abilene (81 flows)");
+  flags.define("intervals", "96", "Measurement intervals to replay");
+  flags.define("window", "24", "Sliding-window length n (also the warm-up)");
+  flags.define("sketch-rows", "12", "Sketch length l");
+  flags.define("monitors", "2", "Number of monitor processes");
+  flags.define("seed", "7", "Deterministic world seed");
+  flags.define("anomalies", "4", "Anomaly episodes injected after warm-up");
+}
+
+NetScenarioConfig scenario_from_flags(const CliFlags& flags) {
+  NetScenarioConfig config;
+  config.topology = flags.str("topology");
+  config.intervals = static_cast<std::size_t>(flags.integer("intervals"));
+  config.window = static_cast<std::size_t>(flags.integer("window"));
+  config.sketch_rows = static_cast<std::size_t>(flags.integer("sketch-rows"));
+  config.monitors = static_cast<std::size_t>(flags.integer("monitors"));
+  config.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  config.anomalies = static_cast<std::size_t>(flags.integer("anomalies"));
+  return config;
+}
+
+}  // namespace spca

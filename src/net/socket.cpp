@@ -1,0 +1,230 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+#include "rand/splitmix64.hpp"
+
+namespace spca {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Numeric IPv4 only (the daemons bind and dial 127.0.0.1 or explicit
+  // addresses); name resolution would drag in blocking getaddrinfo.
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("invalid IPv4 address: " + host);
+  }
+  return addr;
+}
+
+/// Waits for `events` on `fd`; returns false on timeout.
+bool poll_one(int fd, short events, std::chrono::milliseconds timeout) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, static_cast<int>(timeout.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    return rc > 0;
+  }
+}
+
+}  // namespace
+
+SocketFd& SocketFd::operator=(SocketFd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+void SocketFd::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream::TcpStream(SocketFd fd) : fd_(std::move(fd)) {
+  if (fd_.valid()) {
+    set_nonblocking(fd_.get());
+    // The protocol exchanges small latency-sensitive frames; never batch.
+    const int one = 1;
+    (void)::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
+                             std::chrono::milliseconds timeout) {
+  const sockaddr_in addr = make_addr(host, port);
+  SocketFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  set_nonblocking(fd.get());
+  const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  if (rc < 0) {
+    if (!poll_one(fd.get(), POLLOUT, timeout)) {
+      throw TransportError("connect " + host + ":" + std::to_string(port) +
+                           ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      throw_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      throw TransportError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(err));
+    }
+  }
+  return TcpStream(std::move(fd));
+}
+
+void TcpStream::send_all(const std::byte* data, std::size_t n,
+                         std::chrono::milliseconds timeout) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc =
+        ::send(fd_.get(), data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!poll_one(fd_.get(), POLLOUT, timeout)) {
+        throw TransportError("send_all: write timed out");
+      }
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+std::ptrdiff_t TcpStream::recv_some(std::byte* out, std::size_t n,
+                                    std::chrono::milliseconds timeout) {
+  for (;;) {
+    const ssize_t rc = ::recv(fd_.get(), out, n, 0);
+    if (rc > 0) return static_cast<std::ptrdiff_t>(rc);
+    if (rc == 0) return 0;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_one(fd_.get(), POLLIN, timeout)) return -1;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    // A reset peer is EOF-equivalent for the reader: the connection died.
+    if (errno == ECONNRESET) return 0;
+    throw_errno("recv");
+  }
+}
+
+void TcpStream::shutdown_send() noexcept {
+  if (fd_.valid()) (void)::shutdown(fd_.get(), SHUT_WR);
+}
+
+void TcpStream::shutdown_both() noexcept {
+  if (fd_.valid()) (void)::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  fd_ = SocketFd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw_errno("socket");
+  const int one = 1;
+  (void)::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_.get(), 16) < 0) throw_errno("listen");
+  set_nonblocking(fd_.get());
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpStream TcpListener::accept(std::chrono::milliseconds timeout) {
+  if (!fd_.valid()) throw TransportError("accept on a closed listener");
+  if (!poll_one(fd_.get(), POLLIN, timeout)) return TcpStream{};
+  const int fd = ::accept(fd_.get(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return TcpStream{};
+    }
+    throw_errno("accept");
+  }
+  return TcpStream(SocketFd(fd));
+}
+
+TcpStream connect_with_retry(
+    const std::string& host, std::uint16_t port, const RetryPolicy& policy,
+    const std::function<void(std::size_t, std::chrono::milliseconds)>&
+        attempt_sink) {
+  SplitMix64 jitter_rng(policy.seed);
+  double delay_ms = static_cast<double>(policy.backoff_initial.count());
+  std::string last_error;
+  for (std::size_t attempt = 1;
+       policy.max_attempts == 0 || attempt <= policy.max_attempts;
+       ++attempt) {
+    try {
+      return TcpStream::connect(host, port, policy.connect_timeout);
+    } catch (const TransportError& e) {
+      last_error = e.what();
+    }
+    // Exponential backoff with uniform multiplicative jitter in
+    // [1 - jitter, 1 + jitter], so a herd of reconnecting monitors spreads
+    // out instead of hammering the NOC in sync.
+    const double unit =
+        static_cast<double>(jitter_rng() >> 11) * 0x1.0p-53;
+    const double scale = 1.0 + policy.jitter * (2.0 * unit - 1.0);
+    const auto delay = std::chrono::milliseconds(
+        static_cast<std::int64_t>(delay_ms * scale));
+    if (attempt_sink) attempt_sink(attempt, delay);
+    std::this_thread::sleep_for(delay);
+    delay_ms = std::min(delay_ms * policy.backoff_multiplier,
+                        static_cast<double>(policy.backoff_max.count()));
+  }
+  throw TransportError("connect_with_retry " + host + ":" +
+                       std::to_string(port) + ": attempts exhausted (" +
+                       last_error + ")");
+}
+
+}  // namespace spca

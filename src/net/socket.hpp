@@ -1,0 +1,128 @@
+// Thin RAII layer over POSIX TCP sockets: listener, stream, and a
+// connect-with-retry helper with exponential backoff and jitter.
+//
+// All blocking operations are poll()-based with explicit timeouts so daemon
+// shutdown never hangs on a dead peer, and writes use MSG_NOSIGNAL so a
+// vanished peer surfaces as an error instead of SIGPIPE.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace spca {
+
+/// Owns a socket file descriptor; move-only.
+class SocketFd {
+ public:
+  SocketFd() = default;
+  explicit SocketFd(int fd) noexcept : fd_(fd) {}
+  ~SocketFd() { close(); }
+  SocketFd(SocketFd&& other) noexcept : fd_(other.release()) {}
+  SocketFd& operator=(SocketFd&& other) noexcept;
+  SocketFd(const SocketFd&) = delete;
+  SocketFd& operator=(const SocketFd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP byte stream.
+class TcpStream final {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(SocketFd fd);
+
+  /// Connects to host:port, waiting up to `timeout`. Throws TransportError
+  /// on failure (connection refused, timeout, resolution failure).
+  [[nodiscard]] static TcpStream connect(const std::string& host,
+                                         std::uint16_t port,
+                                         std::chrono::milliseconds timeout);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+
+  /// Writes all `n` bytes, waiting up to `timeout` for socket-buffer space
+  /// per poll round. Throws TransportError on timeout or a dead peer.
+  void send_all(const std::byte* data, std::size_t n,
+                std::chrono::milliseconds timeout);
+
+  /// Reads up to `n` bytes into `out`. Returns the number of bytes read,
+  /// 0 on orderly EOF, or -1 if `timeout` elapsed with nothing to read.
+  /// Throws TransportError on a socket error.
+  [[nodiscard]] std::ptrdiff_t recv_some(std::byte* out, std::size_t n,
+                                         std::chrono::milliseconds timeout);
+
+  /// Half-closes the send direction so the peer sees EOF (graceful
+  /// shutdown); reads stay possible.
+  void shutdown_send() noexcept;
+
+  /// Shuts down both directions: a reader blocked in poll() on this socket
+  /// (even in another thread) wakes up and sees EOF. Unlike close(), the fd
+  /// stays owned, so there is no use-after-close race.
+  void shutdown_both() noexcept;
+
+  /// Closes the socket; any blocked peer poll wakes with EOF/error.
+  void close() noexcept { fd_.close(); }
+
+  [[nodiscard]] int native_handle() const noexcept { return fd_.get(); }
+
+ private:
+  SocketFd fd_;
+};
+
+/// A listening TCP socket bound to host:port (port 0 = ephemeral).
+class TcpListener final {
+ public:
+  TcpListener(const std::string& host, std::uint16_t port);
+
+  /// The actually bound port (resolves ephemeral port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Waits up to `timeout` for an incoming connection; returns an invalid
+  /// stream on timeout. Throws TransportError on listener failure.
+  [[nodiscard]] TcpStream accept(std::chrono::milliseconds timeout);
+
+  /// Closes the listening socket; a blocked accept() returns invalid.
+  void close() noexcept { fd_.close(); }
+
+ private:
+  SocketFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Reconnect policy: exponential backoff with multiplicative jitter.
+struct RetryPolicy {
+  /// Connect attempts before giving up (0 = unlimited).
+  std::size_t max_attempts = 40;
+  std::chrono::milliseconds connect_timeout{2000};
+  std::chrono::milliseconds backoff_initial{25};
+  std::chrono::milliseconds backoff_max{2000};
+  double backoff_multiplier = 2.0;
+  /// Uniform jitter fraction: each delay is scaled by 1 +/- jitter.
+  double jitter = 0.2;
+  /// Seed of the deterministic jitter sequence.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Connects with retries under `policy`. `attempt_sink`, when set, is called
+/// once per failed attempt with the delay about to be slept (lets callers
+/// count retries and abort via exception). Throws TransportError once the
+/// attempt budget is exhausted.
+[[nodiscard]] TcpStream connect_with_retry(
+    const std::string& host, std::uint16_t port, const RetryPolicy& policy,
+    const std::function<void(std::size_t attempt,
+                             std::chrono::milliseconds delay)>& attempt_sink =
+        {});
+
+}  // namespace spca

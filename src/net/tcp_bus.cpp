@@ -1,0 +1,164 @@
+#include "net/tcp_bus.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "obs/scoped_timer.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace spca {
+
+namespace {
+
+constexpr std::chrono::milliseconds kIoTimeout{10000};
+
+}  // namespace
+
+TcpBus::TcpBus(const std::vector<NodeId>& nodes) {
+  SPCA_EXPECTS(!nodes.empty());
+  TcpListener listener("127.0.0.1", 0);
+  for (const NodeId node : nodes) {
+    Endpoint ep;
+    ep.tx = TcpStream::connect("127.0.0.1", listener.port(), kIoTimeout);
+    ep.rx = listener.accept(kIoTimeout);
+    if (!ep.rx.valid()) {
+      throw TransportError("TcpBus: loopback accept timed out");
+    }
+    const bool inserted = endpoints_.emplace(node, std::move(ep)).second;
+    SPCA_EXPECTS(inserted);
+  }
+}
+
+TcpBus::Endpoint& TcpBus::endpoint_for(NodeId node) {
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) {
+    throw TransportError("TcpBus: unknown node " + std::to_string(node));
+  }
+  return it->second;
+}
+
+const TcpBus::Endpoint& TcpBus::endpoint_for(NodeId node) const {
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) {
+    throw TransportError("TcpBus: unknown node " + std::to_string(node));
+  }
+  return it->second;
+}
+
+void TcpBus::pump_available(Endpoint& ep) {
+  std::byte buf[64 * 1024];
+  for (;;) {
+    const std::ptrdiff_t n =
+        ep.rx.recv_some(buf, sizeof(buf), std::chrono::milliseconds(0));
+    if (n <= 0) return;  // nothing queued right now
+    ep.decoder.feed(buf, static_cast<std::size_t>(n));
+    while (ep.decoder.has_frame()) {
+      Frame frame = ep.decoder.pop();
+      if (frame.type != FrameType::kMessage) {
+        throw ProtocolError("TcpBus: unexpected control frame");
+      }
+      static Counter& bytes_rx =
+          MetricsRegistry::global().counter("spca.net.bytes_rx");
+      bytes_rx.inc(frame.payload.size());
+      ep.inbox.push_back(deserialize(frame.payload));
+      SPCA_EXPECTS(ep.in_flight > 0);
+      --ep.in_flight;
+    }
+  }
+}
+
+void TcpBus::pump_all(Endpoint& ep) {
+  std::byte buf[64 * 1024];
+  while (ep.in_flight > 0) {
+    // The frames are already written to the connected peer socket, so a
+    // bounded blocking read always makes progress.
+    const std::ptrdiff_t n = ep.rx.recv_some(buf, sizeof(buf), kIoTimeout);
+    if (n == 0) throw TransportError("TcpBus: loopback connection closed");
+    if (n < 0) throw TransportError("TcpBus: loopback read timed out");
+    ep.decoder.feed(buf, static_cast<std::size_t>(n));
+    while (ep.decoder.has_frame()) {
+      Frame frame = ep.decoder.pop();
+      if (frame.type != FrameType::kMessage) {
+        throw ProtocolError("TcpBus: unexpected control frame");
+      }
+      static Counter& bytes_rx =
+          MetricsRegistry::global().counter("spca.net.bytes_rx");
+      bytes_rx.inc(frame.payload.size());
+      ep.inbox.push_back(deserialize(frame.payload));
+      SPCA_EXPECTS(ep.in_flight > 0);
+      --ep.in_flight;
+    }
+  }
+}
+
+void TcpBus::send(const Message& msg) {
+  static Histogram& send_seconds =
+      MetricsRegistry::global().histogram("spca.net.send_seconds");
+  Endpoint& ep = endpoint_for(msg.to);
+  std::vector<std::byte> wire = serialize(msg);
+  account_send(stats_, msg, wire.size());
+  const std::vector<std::byte> frame = encode_frame(FrameType::kMessage, wire);
+  const ScopedTimer timer(send_seconds);
+  ++ep.in_flight;
+  // Write in bounded slices; if the destination's socket buffer fills up
+  // (nobody drained it yet), pull its pending frames into the inbox to make
+  // room — the single-threaded analogue of the receiver's reader thread.
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t rc = ::send(ep.tx.native_handle(), frame.data() + sent,
+                              frame.size() - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Destination buffers full: absorb its pending frames, then give the
+      // loopback stack a moment to move bytes before retrying.
+      pump_available(ep);
+      pollfd p{};
+      p.fd = ep.tx.native_handle();
+      p.events = POLLOUT;
+      (void)::poll(&p, 1, 1);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    throw TransportError(std::string("TcpBus: send failed: ") +
+                         std::strerror(errno));
+  }
+}
+
+std::vector<Message> TcpBus::drain(NodeId node) {
+  Endpoint& ep = endpoint_for(node);
+  pump_all(ep);
+  std::vector<Message> out(std::make_move_iterator(ep.inbox.begin()),
+                           std::make_move_iterator(ep.inbox.end()));
+  ep.inbox.clear();
+  return out;
+}
+
+std::vector<Message> TcpBus::take(NodeId node, MessageType type) {
+  Endpoint& ep = endpoint_for(node);
+  pump_all(ep);
+  std::vector<Message> out;
+  std::deque<Message> rest;
+  for (Message& msg : ep.inbox) {
+    if (msg.type == type) {
+      out.push_back(std::move(msg));
+    } else {
+      rest.push_back(std::move(msg));
+    }
+  }
+  ep.inbox.swap(rest);
+  return out;
+}
+
+bool TcpBus::has_mail(NodeId node) const {
+  const Endpoint& ep = endpoint_for(node);
+  return ep.in_flight > 0 || !ep.inbox.empty();
+}
+
+}  // namespace spca

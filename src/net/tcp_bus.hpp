@@ -1,0 +1,66 @@
+// Single-process TCP loopback bus: a Transport whose every message crosses
+// a real kernel TCP connection (one loopback socket pair per node), while
+// keeping SimNetwork's deterministic synchronous semantics — send() returns
+// once the frame is written, drain(node) blocks until every frame sent to
+// `node` has been read back, parsed, and reassembled.
+//
+// This is the drop-in transport for DistributedDetector: the whole
+// simulated deployment runs unchanged, but the bytes genuinely traverse the
+// loopback stack with framing, so the Sim-vs-TCP parity tests compare real
+// wire behaviour without multi-threaded nondeterminism. The multi-process
+// deployment uses TcpTransport + the daemons instead.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace spca {
+
+/// Deterministic loopback-TCP hub for a fixed node set.
+class TcpBus final : public Transport {
+ public:
+  /// Opens one loopback connection pair per node in `nodes` (the NOC plus
+  /// every monitor id). Throws TransportError if the loopback stack is
+  /// unavailable.
+  explicit TcpBus(const std::vector<NodeId>& nodes);
+
+  void send(const Message& msg) override;
+  [[nodiscard]] std::vector<Message> drain(NodeId node) override;
+  [[nodiscard]] std::vector<Message> take(NodeId node,
+                                          MessageType type) override;
+  [[nodiscard]] bool has_mail(NodeId node) const override;
+  [[nodiscard]] const NetworkStats& stats() const noexcept override {
+    return stats_;
+  }
+  void reset_stats() noexcept override { stats_ = NetworkStats{}; }
+
+ private:
+  /// One node's mailbox: the bus writes frames into `tx`, reads them back
+  /// from `rx` (the accepted end of the same loopback connection).
+  struct Endpoint {
+    TcpStream tx;
+    TcpStream rx;
+    FrameDecoder decoder;
+    std::deque<Message> inbox;
+    /// Frames written to tx but not yet read from rx.
+    std::size_t in_flight = 0;
+  };
+
+  Endpoint& endpoint_for(NodeId node);
+  [[nodiscard]] const Endpoint& endpoint_for(NodeId node) const;
+  /// Reads whatever is available on `node`'s rx socket into its inbox.
+  void pump_available(Endpoint& ep);
+  /// Blocks until every in-flight frame of `node` landed in its inbox.
+  void pump_all(Endpoint& ep);
+
+  std::map<NodeId, Endpoint> endpoints_;
+  NetworkStats stats_;
+};
+
+}  // namespace spca

@@ -1,0 +1,404 @@
+#include "net/tcp_transport.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/scoped_timer.hpp"
+
+namespace spca {
+
+namespace {
+
+constexpr std::chrono::milliseconds kPollSlice{200};
+
+std::vector<std::byte> encode_node_id(NodeId id) {
+  std::vector<std::byte> payload(sizeof(NodeId));
+  std::memcpy(payload.data(), &id, sizeof(NodeId));
+  return payload;
+}
+
+NodeId decode_node_id(const std::vector<std::byte>& payload) {
+  if (payload.size() != sizeof(NodeId)) {
+    throw ProtocolError("hello frame: bad payload size");
+  }
+  NodeId id;
+  std::memcpy(&id, payload.data(), sizeof(NodeId));
+  return id;
+}
+
+}  // namespace
+
+/// One live connection. `alive` flips to false exactly once (under the
+/// transport mutex) when either side dies; the stream is then shut down but
+/// not closed, so a reader still blocked on it wakes with EOF safely.
+struct TcpTransport::Conn {
+  NodeId peer = 0;
+  TcpStream stream;
+  std::mutex write_mutex;
+  std::atomic<bool> alive{true};
+  bool outbound = false;
+  /// Reassembly state. Shared between the handshake read and the reader
+  /// thread: bytes that arrive glued to the hello frame (the peer's first
+  /// messages usually do) stay buffered here instead of being lost.
+  FrameDecoder decoder;
+};
+
+TcpTransport::TcpTransport(TcpTransportConfig config)
+    : config_(std::move(config)) {}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+std::uint16_t TcpTransport::listen_port() const noexcept {
+  return listener_ ? listener_->port() : 0;
+}
+
+void TcpTransport::start() {
+  SPCA_EXPECTS(!started_);
+  started_ = true;
+  if (!config_.listen_host.empty()) {
+    listener_.emplace(config_.listen_host, config_.listen_port);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+  for (const auto& peer : config_.peers) {
+    register_conn(connect_peer(peer, /*is_reconnect=*/false));
+  }
+}
+
+void TcpTransport::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (auto& [id, conn] : conns_) {
+      conn->alive.store(false, std::memory_order_relaxed);
+      conn->stream.shutdown_both();
+    }
+  }
+  inbox_cv_.notify_all();
+  conn_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& reader : reader_threads_) {
+    if (reader.joinable()) reader.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  conns_.clear();
+  listener_.reset();
+}
+
+void TcpTransport::accept_loop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    TcpStream stream;
+    try {
+      stream = listener_->accept(kPollSlice);
+    } catch (const TransportError& e) {
+      log_warn("tcp: accept failed: ", e.what());
+      return;
+    }
+    if (!stream.valid()) continue;
+    // Handshake: the dialer must introduce itself before anything else.
+    try {
+      auto conn = std::make_shared<Conn>();
+      std::byte buf[512];
+      while (!conn->decoder.has_frame()) {
+        const std::ptrdiff_t n =
+            stream.recv_some(buf, sizeof(buf), config_.io_timeout);
+        if (n <= 0) throw ProtocolError("hello frame: peer closed early");
+        conn->decoder.feed(buf, static_cast<std::size_t>(n));
+      }
+      const Frame hello = conn->decoder.pop();
+      if (hello.type != FrameType::kHello) {
+        throw ProtocolError("expected hello as the first frame");
+      }
+      conn->peer = decode_node_id(hello.payload);
+      conn->stream = std::move(stream);
+      register_conn(conn);
+    } catch (const std::exception& e) {
+      static Counter& errors =
+          MetricsRegistry::global().counter("spca.net.frame_errors");
+      errors.inc();
+      log_warn("tcp: rejected inbound connection: ", e.what());
+    }
+  }
+}
+
+void TcpTransport::register_conn(const std::shared_ptr<Conn>& conn) {
+  bool seen_before = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      conn->alive.store(false, std::memory_order_relaxed);
+      conn->stream.shutdown_both();
+      return;
+    }
+    auto it = conns_.find(conn->peer);
+    if (it != conns_.end()) {
+      it->second->alive.store(false, std::memory_order_relaxed);
+      it->second->stream.shutdown_both();
+    }
+    // Count registrations per peer so a re-register is recognized even when
+    // the previous connection already died of EOF and was dropped.
+    seen_before = registrations_[conn->peer]++ > 0;
+    conns_[conn->peer] = conn;
+    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+  if (seen_before && !conn->outbound) {
+    // An inbound peer came back on a fresh socket (its previous connection
+    // is superseded); outbound reconnects are counted at connect time.
+    static Counter& reconnects =
+        MetricsRegistry::global().counter("spca.net.reconnects");
+    reconnects.inc();
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn_cv_.notify_all();
+}
+
+void TcpTransport::drop_conn(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  conn->alive.store(false, std::memory_order_relaxed);
+  conn->stream.shutdown_both();
+  auto it = conns_.find(conn->peer);
+  if (it != conns_.end() && it->second == conn) conns_.erase(it);
+}
+
+void TcpTransport::reader_loop(std::shared_ptr<Conn> conn) {
+  static Counter& bytes_rx =
+      MetricsRegistry::global().counter("spca.net.bytes_rx");
+  static Counter& control_rx =
+      MetricsRegistry::global().counter("spca.net.control_rx");
+  static Counter& frame_errors =
+      MetricsRegistry::global().counter("spca.net.frame_errors");
+
+  FrameDecoder& decoder = conn->decoder;
+  std::vector<std::byte> buf(64 * 1024);
+  try {
+    // Frames may already be buffered from the handshake read.
+    bool first_pass = true;
+    while (conn->alive.load(std::memory_order_relaxed)) {
+      if (!first_pass || !decoder.has_frame()) {
+        const std::ptrdiff_t n =
+            conn->stream.recv_some(buf.data(), buf.size(), kPollSlice);
+        if (n < 0) continue;  // poll slice elapsed; re-check liveness
+        if (n == 0) break;    // EOF: peer shut down
+        decoder.feed(buf.data(), static_cast<std::size_t>(n));
+      }
+      first_pass = false;
+      while (decoder.has_frame()) {
+        Frame frame = decoder.pop();
+        switch (frame.type) {
+          case FrameType::kMessage: {
+            Message msg = deserialize(frame.payload);
+            bytes_rx.inc(frame.payload.size());
+            deliver_local(std::move(msg));
+            break;
+          }
+          case FrameType::kAdvance: {
+            control_rx.inc();
+            std::lock_guard<std::mutex> lock(mutex_);
+            control_.push_back(
+                ControlFrame{conn->peer, frame.type, std::move(frame.payload)});
+            inbox_cv_.notify_all();
+            break;
+          }
+          case FrameType::kHello:
+            throw ProtocolError("unexpected hello on established connection");
+        }
+      }
+    }
+  } catch (const ProtocolError& e) {
+    frame_errors.inc();
+    log_warn("tcp: dropping connection to node ", conn->peer, ": ", e.what());
+  } catch (const TransportError& e) {
+    log_warn("tcp: read error from node ", conn->peer, ": ", e.what());
+  }
+  drop_conn(conn);
+  inbox_cv_.notify_all();
+  conn_cv_.notify_all();
+}
+
+std::shared_ptr<TcpTransport::Conn> TcpTransport::connect_peer(
+    const TcpTransportConfig::Peer& peer, bool is_reconnect) {
+  static Counter& retries =
+      MetricsRegistry::global().counter("spca.net.connect_retries");
+  RetryPolicy policy = config_.retry;
+  // Distinct deterministic jitter sequences per (endpoint, peer) pair.
+  policy.seed ^= (static_cast<std::uint64_t>(config_.node_id) << 32) ^ peer.id;
+  auto conn = std::make_shared<Conn>();
+  conn->peer = peer.id;
+  conn->outbound = true;
+  conn->stream = connect_with_retry(
+      peer.host, peer.port, policy,
+      [](std::size_t, std::chrono::milliseconds) { retries.inc(); });
+  const std::vector<std::byte> hello =
+      encode_frame(FrameType::kHello, encode_node_id(config_.node_id));
+  conn->stream.send_all(hello.data(), hello.size(), config_.io_timeout);
+  if (is_reconnect) {
+    static Counter& reconnects =
+        MetricsRegistry::global().counter("spca.net.reconnects");
+    reconnects.inc();
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return conn;
+}
+
+std::shared_ptr<TcpTransport::Conn> TcpTransport::conn_for(NodeId to) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = conns_.find(to);
+    if (it != conns_.end() &&
+        it->second->alive.load(std::memory_order_relaxed)) {
+      return it->second;
+    }
+  }
+  // No live connection. Outbound peers are redialed (with backoff); for
+  // inbound peers the only cure is the peer reconnecting to us, so wait for
+  // its handshake up to the I/O timeout.
+  for (const auto& peer : config_.peers) {
+    if (peer.id == to) {
+      auto conn = connect_peer(peer, /*is_reconnect=*/true);
+      register_conn(conn);
+      return conn;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool ok = conn_cv_.wait_for(lock, config_.io_timeout, [&] {
+    if (stopping_) return true;
+    auto it = conns_.find(to);
+    return it != conns_.end() &&
+           it->second->alive.load(std::memory_order_relaxed);
+  });
+  if (stopping_ || !ok) {
+    throw TransportError("no connection to node " + std::to_string(to));
+  }
+  return conns_.at(to);
+}
+
+void TcpTransport::write_frame(NodeId to, const std::vector<std::byte>& frame) {
+  for (int attempt = 0;; ++attempt) {
+    std::shared_ptr<Conn> conn = conn_for(to);
+    try {
+      std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+      conn->stream.send_all(frame.data(), frame.size(), config_.io_timeout);
+      return;
+    } catch (const TransportError& e) {
+      drop_conn(conn);
+      if (attempt >= 1) throw;
+      log_warn("tcp: send to node ", to, " failed (", e.what(),
+               "), reconnecting once");
+    }
+  }
+}
+
+void TcpTransport::deliver_local(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inbox_.push_back(std::move(msg));
+  }
+  inbox_cv_.notify_all();
+}
+
+void TcpTransport::send(const Message& msg) {
+  static Histogram& send_seconds =
+      MetricsRegistry::global().histogram("spca.net.send_seconds");
+  std::vector<std::byte> wire = serialize(msg);
+  account_send(stats_, msg, wire.size());
+  const ScopedTimer timer(send_seconds);
+  if (msg.to == config_.node_id) {
+    // Self-delivery (the NOC's operator alarm): honest bytes, no socket.
+    deliver_local(deserialize(wire));
+    return;
+  }
+  write_frame(msg.to, encode_frame(FrameType::kMessage, wire));
+}
+
+void TcpTransport::send_control(NodeId to, FrameType type,
+                                const std::vector<std::byte>& payload) {
+  static Counter& control_tx =
+      MetricsRegistry::global().counter("spca.net.control_tx");
+  control_tx.inc();
+  write_frame(to, encode_frame(type, payload));
+}
+
+std::vector<Message> TcpTransport::drain(NodeId node) {
+  SPCA_EXPECTS(node == config_.node_id);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out(std::make_move_iterator(inbox_.begin()),
+                           std::make_move_iterator(inbox_.end()));
+  inbox_.clear();
+  return out;
+}
+
+std::vector<Message> TcpTransport::take(NodeId node, MessageType type) {
+  SPCA_EXPECTS(node == config_.node_id);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out;
+  std::deque<Message> rest;
+  for (Message& msg : inbox_) {
+    if (msg.type == type) {
+      out.push_back(std::move(msg));
+    } else {
+      rest.push_back(std::move(msg));
+    }
+  }
+  inbox_.swap(rest);
+  return out;
+}
+
+bool TcpTransport::has_mail(NodeId node) const {
+  SPCA_EXPECTS(node == config_.node_id);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !inbox_.empty();
+}
+
+bool TcpTransport::wait_for_mail(NodeId node,
+                                 std::chrono::milliseconds timeout) {
+  SPCA_EXPECTS(node == config_.node_id);
+  std::unique_lock<std::mutex> lock(mutex_);
+  inbox_cv_.wait_for(lock, timeout,
+                     [&] { return stopping_ || !inbox_.empty(); });
+  return !inbox_.empty();
+}
+
+std::optional<ControlFrame> TcpTransport::poll_control() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (control_.empty()) return std::nullopt;
+  ControlFrame frame = std::move(control_.front());
+  control_.pop_front();
+  return frame;
+}
+
+bool TcpTransport::wait_for_activity(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  inbox_cv_.wait_for(lock, timeout, [&] {
+    return stopping_ || !inbox_.empty() || !control_.empty();
+  });
+  return !inbox_.empty() || !control_.empty();
+}
+
+bool TcpTransport::connected(NodeId peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = conns_.find(peer);
+  return it != conns_.end() &&
+         it->second->alive.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TcpTransport::reconnects() const noexcept {
+  return reconnects_.load(std::memory_order_relaxed);
+}
+
+std::vector<NodeId> TcpTransport::connected_peers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<NodeId> peers;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->alive.load(std::memory_order_relaxed)) peers.push_back(id);
+  }
+  return peers;
+}
+
+}  // namespace spca

@@ -1,0 +1,147 @@
+// Per-node TCP endpoint implementing the Transport interface: the monitor
+// and NOC daemons each own one, configured with a listen address (NOC) or
+// outbound peers (monitors dial the NOC).
+//
+// Robustness is built in rather than bolted on:
+//   * outbound connects retry with exponential backoff + jitter;
+//   * a send onto a dead outbound connection reconnects and resends once;
+//   * a send towards a not-yet-(re)connected inbound peer waits for the
+//     peer's handshake up to the I/O timeout before failing;
+//   * reads reassemble partial frames (FrameDecoder) and tolerate EOF;
+//   * stop() (also run by the destructor) closes everything and joins all
+//     reader threads, so daemons shut down gracefully on SIGTERM.
+//
+// Wire accounting matches SimNetwork byte-for-byte: NetworkStats counts
+// serialized Message payloads only; framing overhead, hellos, and advance
+// frames appear in the spca.net.frame_* / control metrics instead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace spca {
+
+/// Endpoint configuration.
+struct TcpTransportConfig {
+  /// This endpoint's node id (kNocId for the NOC daemon).
+  NodeId node_id = kNocId;
+  /// Listen address; empty host disables the listener (monitor side).
+  std::string listen_host;
+  std::uint16_t listen_port = 0;
+  /// Outbound peers to dial at start() (monitor side: the NOC).
+  struct Peer {
+    NodeId id = kNocId;
+    std::string host;
+    std::uint16_t port = 0;
+  };
+  std::vector<Peer> peers;
+  /// Connect retry/backoff policy for outbound peers.
+  RetryPolicy retry;
+  /// Read/write timeout of established connections.
+  std::chrono::milliseconds io_timeout{15000};
+};
+
+/// A transport-level control frame received from a peer.
+struct ControlFrame {
+  NodeId from = 0;
+  FrameType type = FrameType::kHello;
+  std::vector<std::byte> payload;
+};
+
+/// The socket transport endpoint.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportConfig config);
+  ~TcpTransport() override;
+
+  /// Binds the listener (if configured) and dials every outbound peer,
+  /// retrying with backoff. Must be called once before any send/drain.
+  void start();
+
+  /// Closes all connections and joins the I/O threads; idempotent.
+  void stop();
+
+  /// The bound listen port (after start(); resolves an ephemeral port 0).
+  [[nodiscard]] std::uint16_t listen_port() const noexcept;
+
+  // Transport interface.
+  void send(const Message& msg) override;
+  [[nodiscard]] std::vector<Message> drain(NodeId node) override;
+  [[nodiscard]] std::vector<Message> take(NodeId node,
+                                          MessageType type) override;
+  [[nodiscard]] bool has_mail(NodeId node) const override;
+  bool wait_for_mail(NodeId node, std::chrono::milliseconds timeout) override;
+  [[nodiscard]] const NetworkStats& stats() const noexcept override {
+    return stats_;
+  }
+  void reset_stats() noexcept override { stats_ = NetworkStats{}; }
+
+  /// Sends a control frame (kAdvance) to `to`; same delivery guarantees as
+  /// send() but never enters NetworkStats.
+  void send_control(NodeId to, FrameType type,
+                    const std::vector<std::byte>& payload);
+
+  /// Pops the oldest queued control frame, if any.
+  [[nodiscard]] std::optional<ControlFrame> poll_control();
+
+  /// Blocks until a message or control frame is queued or `timeout`
+  /// elapses; true if anything is available.
+  bool wait_for_activity(std::chrono::milliseconds timeout);
+
+  /// True while a live connection to `peer` exists.
+  [[nodiscard]] bool connected(NodeId peer) const;
+
+  /// Successful re-establishments of previously live connections.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept;
+
+  /// Node ids with a currently live connection (for tests/introspection).
+  [[nodiscard]] std::vector<NodeId> connected_peers() const;
+
+ private:
+  struct Conn;
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Conn> conn);
+  std::shared_ptr<Conn> connect_peer(const TcpTransportConfig::Peer& peer,
+                                     bool is_reconnect);
+  std::shared_ptr<Conn> conn_for(NodeId to);
+  void register_conn(const std::shared_ptr<Conn>& conn);
+  void drop_conn(const std::shared_ptr<Conn>& conn);
+  void deliver_local(Message msg);
+  void write_frame(NodeId to, const std::vector<std::byte>& frame);
+
+  TcpTransportConfig config_;
+  NetworkStats stats_;
+
+  mutable std::mutex mutex_;  // guards conns_, inbox_, control_, stopping_
+  std::condition_variable inbox_cv_;
+  std::condition_variable conn_cv_;
+  std::map<NodeId, std::shared_ptr<Conn>> conns_;
+  /// Lifetime registrations per peer (reconnect detection across EOF drops).
+  std::map<NodeId, std::uint64_t> registrations_;
+  std::deque<Message> inbox_;
+  std::deque<ControlFrame> control_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::atomic<std::uint64_t> reconnects_{0};
+
+  std::optional<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> reader_threads_;
+};
+
+}  // namespace spca

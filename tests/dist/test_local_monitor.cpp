@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "dist/sim_network.hpp"
 #include "sketch/flow_sketch.hpp"
 
 namespace spca {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace spca {
@@ -60,6 +63,84 @@ TEST(Message, UnknownTypeRejected) {
   auto wire = serialize(sample_message());
   wire[0] = std::byte{9};
   EXPECT_THROW((void)deserialize(wire), ProtocolError);
+}
+
+// --- wire-hardening edge cases -------------------------------------------
+
+// A length field implying more payload than the buffer holds must be
+// rejected up front, before any allocation sized from it.
+TEST(Message, OversizedIdCountRejected) {
+  auto wire = serialize(sample_message());
+  // id_count lives at offset 17 (type 1 + from 4 + to 4 + interval 8).
+  const std::uint32_t huge = 0x7fffffffu;
+  std::memcpy(wire.data() + 17, &huge, sizeof(huge));
+  EXPECT_THROW((void)deserialize(wire), ProtocolError);
+}
+
+TEST(Message, OversizedValueCountRejected) {
+  auto wire = serialize(sample_message());
+  const std::uint32_t huge = 0xffffffffu;  // * sizeof(double) wraps 32-bit
+  std::memcpy(wire.data() + 21, &huge, sizeof(huge));
+  EXPECT_THROW((void)deserialize(wire), ProtocolError);
+}
+
+// Counts that individually fit but jointly exceed the payload.
+TEST(Message, InconsistentCountsRejected) {
+  Message msg = sample_message();
+  auto wire = serialize(msg);
+  const auto id_count = static_cast<std::uint32_t>(msg.ids.size() + 1);
+  std::memcpy(wire.data() + 17, &id_count, sizeof(id_count));
+  EXPECT_THROW((void)deserialize(wire), ProtocolError);
+}
+
+TEST(Message, HeaderShorterThanHeaderRejected) {
+  const std::vector<std::byte> wire(10, std::byte{1});
+  EXPECT_THROW((void)deserialize(wire), ProtocolError);
+}
+
+TEST(Message, SingleFlowSketchBlockRoundTrip) {
+  // The smallest sketch response: one flow, one [mean, count, z...] block.
+  Message msg;
+  msg.type = MessageType::kSketchResponse;
+  msg.from = 1;
+  msg.to = kNocId;
+  msg.interval = 0;
+  msg.ids = {0};
+  msg.values = {123.5, 17.0, -0.25, 0.75, 1.0};
+  const Message parsed = deserialize(serialize(msg));
+  EXPECT_EQ(parsed.ids, msg.ids);
+  EXPECT_EQ(parsed.values, msg.values);
+}
+
+TEST(Message, MaxMessageTypeRoundTrip) {
+  Message msg;
+  msg.type = MessageType::kAlarm;  // the highest defined type value
+  msg.from = kNocId;
+  msg.to = kNocId;
+  msg.interval = std::numeric_limits<std::int64_t>::max();
+  const Message parsed = deserialize(serialize(msg));
+  EXPECT_EQ(parsed.type, MessageType::kAlarm);
+  EXPECT_EQ(parsed.interval, std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Message, ExtremeIntervalValuesRoundTrip) {
+  for (const std::int64_t interval :
+       {std::numeric_limits<std::int64_t>::min(), std::int64_t{-1},
+        std::int64_t{0}, std::numeric_limits<std::int64_t>::max()}) {
+    Message msg;
+    msg.type = MessageType::kVolumeReport;
+    msg.interval = interval;
+    EXPECT_EQ(deserialize(serialize(msg)).interval, interval);
+  }
+}
+
+TEST(Message, NonFiniteValuesSurviveTheWire) {
+  Message msg = sample_message();
+  msg.values = {std::numeric_limits<double>::infinity(),
+                -std::numeric_limits<double>::infinity(),
+                std::numeric_limits<double>::denorm_min()};
+  const Message parsed = deserialize(serialize(msg));
+  EXPECT_EQ(parsed.values, msg.values);
 }
 
 TEST(Message, HeaderOnlySizeIs25Bytes) {

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "dist/local_monitor.hpp"
+#include "dist/sim_network.hpp"
 
 namespace spca {
 namespace {

@@ -8,6 +8,7 @@
 #include "core/lakhina_detector.hpp"
 #include "core/sketch_detector.hpp"
 #include "dist/distributed_detector.hpp"
+#include "dist/sim_network.hpp"
 #include "synth/packet_synthesizer.hpp"
 #include "traffic/routing.hpp"
 

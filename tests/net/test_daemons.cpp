@@ -1,0 +1,222 @@
+// Loopback end-to-end of the daemon pair: a NocDaemon and its MonitorDaemons
+// running as real TcpTransport endpoints on 127.0.0.1 must reproduce the
+// SimNetwork reference trajectory bit for bit, survive a monitor kill and
+// restart mid-run, and tolerate monitors dialing before the NOC listens.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/monitor_daemon.hpp"
+#include "net/noc_daemon.hpp"
+#include "net/scenario.hpp"
+
+namespace spca {
+namespace {
+
+using namespace std::chrono_literals;
+
+NetScenarioConfig small_scenario() {
+  NetScenarioConfig config;
+  config.topology = "diamond";
+  config.intervals = 40;
+  config.window = 12;
+  config.sketch_rows = 8;
+  config.monitors = 2;
+  config.seed = 7;
+  config.anomalies = 3;
+  return config;
+}
+
+RetryPolicy fast_retry() {
+  RetryPolicy retry;
+  retry.max_attempts = 400;
+  retry.connect_timeout = 1000ms;
+  retry.backoff_initial = 5ms;
+  retry.backoff_max = 50ms;
+  return retry;
+}
+
+MonitorDaemonConfig monitor_config(const NetScenarioConfig& scenario,
+                                   NodeId id, std::uint16_t port) {
+  MonitorDaemonConfig config;
+  config.scenario = scenario;
+  config.monitor_id = id;
+  config.noc_host = "127.0.0.1";
+  config.noc_port = port;
+  config.retry = fast_retry();
+  config.io_timeout = 20000ms;
+  return config;
+}
+
+/// Runs one monitor daemon on the calling thread, capturing any exception.
+void run_monitor(MonitorDaemonConfig config, MonitorDaemonResult& result,
+                 std::exception_ptr& error) {
+  try {
+    MonitorDaemon daemon(std::move(config));
+    result = daemon.run();
+  } catch (...) {
+    error = std::current_exception();
+  }
+}
+
+void expect_matches_reference(const ScenarioRun& run,
+                              const ScenarioRun& reference) {
+  EXPECT_EQ(run.alarm_intervals, reference.alarm_intervals);
+  ASSERT_EQ(run.distances.size(), reference.distances.size());
+  for (std::size_t i = 0; i < reference.distances.size(); ++i) {
+    EXPECT_EQ(run.distances[i], reference.distances[i])
+        << "interval index " << i;
+  }
+}
+
+TEST(Daemons, LoopbackDeploymentMatchesSimReferenceBitForBit) {
+  const NetScenarioConfig config = small_scenario();
+  const NetScenario scenario = build_scenario(config);
+  const ScenarioRun reference = run_scenario_reference(scenario);
+
+  NocDaemonConfig noc_config;
+  noc_config.scenario = config;
+  noc_config.listen_port = 0;
+  noc_config.interval_deadline = 30000ms;
+  NocDaemon noc(noc_config);
+  noc.start();
+
+  std::vector<std::thread> threads;
+  std::vector<MonitorDaemonResult> results(config.monitors);
+  std::vector<std::exception_ptr> errors(config.monitors);
+  for (std::size_t k = 0; k < config.monitors; ++k) {
+    threads.emplace_back(run_monitor,
+                         monitor_config(config,
+                                        static_cast<NodeId>(k + 1),
+                                        noc.bound_port()),
+                         std::ref(results[k]), std::ref(errors[k]));
+  }
+
+  const ScenarioRun run = noc.run();
+  for (auto& t : threads) t.join();
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  expect_matches_reference(run, reference);
+  EXPECT_EQ(noc.reconnects(), 0u);
+
+  // The deployment-wide wire accounting (NOC sends + every monitor's sends)
+  // equals the single-transport reference byte for byte.
+  NetworkStats total = run.stats;
+  for (const auto& result : results) {
+    EXPECT_EQ(result.intervals_reported,
+              static_cast<std::int64_t>(config.intervals));
+    total += result.stats;
+  }
+  EXPECT_TRUE(total == reference.stats);
+}
+
+TEST(Daemons, MonitorKillAndRestartSurvivesViaReconnect) {
+  const NetScenarioConfig config = small_scenario();
+  const NetScenario scenario = build_scenario(config);
+  const ScenarioRun reference = run_scenario_reference(scenario);
+
+  // Kill point: past warm-up, so the restarted daemon has real sketch state
+  // to rebuild before rejoining.
+  const auto kill_at = static_cast<std::int64_t>(config.window + 6);
+
+  NocDaemonConfig noc_config;
+  noc_config.scenario = config;
+  noc_config.listen_port = 0;
+  noc_config.interval_deadline = 30000ms;
+  NocDaemon noc(noc_config);
+  noc.start();
+
+  // Monitor 2 runs the whole scenario; monitor 1 exits after kill_at and a
+  // fresh daemon process-equivalent restarts from that interval, absorbing
+  // the earlier trace locally.
+  MonitorDaemonResult steady_result, first_result, reborn_result;
+  std::exception_ptr steady_error, restart_error;
+  std::thread steady(run_monitor, monitor_config(config, 2, noc.bound_port()),
+                     std::ref(steady_result), std::ref(steady_error));
+  std::thread restarting([&] {
+    try {
+      MonitorDaemonConfig first = monitor_config(config, 1, noc.bound_port());
+      first.last_interval = kill_at;
+      MonitorDaemon killed(first);
+      first_result = killed.run();
+
+      MonitorDaemonConfig second = monitor_config(config, 1, noc.bound_port());
+      second.first_interval = kill_at;
+      MonitorDaemon reborn(second);
+      reborn_result = reborn.run();
+    } catch (...) {
+      restart_error = std::current_exception();
+    }
+  });
+
+  const ScenarioRun run = noc.run();
+  steady.join();
+  restarting.join();
+  if (steady_error) std::rethrow_exception(steady_error);
+  if (restart_error) std::rethrow_exception(restart_error);
+
+  // The trajectory is unchanged by the kill/restart...
+  expect_matches_reference(run, reference);
+  // ...the NOC observed monitor 1 coming back...
+  EXPECT_GE(noc.reconnects(), 1u);
+  // ...and the two monitor-1 incarnations covered the scenario between them.
+  EXPECT_EQ(first_result.intervals_reported, kill_at);
+  EXPECT_EQ(reborn_result.intervals_reported,
+            static_cast<std::int64_t>(config.intervals) - kill_at);
+  EXPECT_EQ(steady_result.intervals_reported,
+            static_cast<std::int64_t>(config.intervals));
+}
+
+TEST(Daemons, MonitorsStartedBeforeTheNocBackOffAndConnect) {
+  NetScenarioConfig config = small_scenario();
+  config.intervals = 24;  // keep the run short; this tests startup ordering
+  config.anomalies = 1;
+  const NetScenario scenario = build_scenario(config);
+  const ScenarioRun reference = run_scenario_reference(scenario);
+
+  // Reserve an ephemeral port, then free it so the monitors dial a port
+  // nobody listens on yet.
+  std::uint16_t port = 0;
+  {
+    TcpListener reserve("127.0.0.1", 0);
+    port = reserve.port();
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<MonitorDaemonResult> results(config.monitors);
+  std::vector<std::exception_ptr> errors(config.monitors);
+  for (std::size_t k = 0; k < config.monitors; ++k) {
+    threads.emplace_back(run_monitor,
+                         monitor_config(config,
+                                        static_cast<NodeId>(k + 1), port),
+                         std::ref(results[k]), std::ref(errors[k]));
+  }
+
+  // Let the monitors burn a few connect attempts before the NOC exists.
+  std::this_thread::sleep_for(100ms);
+
+  NocDaemonConfig noc_config;
+  noc_config.scenario = config;
+  noc_config.listen_host = "127.0.0.1";
+  noc_config.listen_port = port;
+  noc_config.interval_deadline = 30000ms;
+  NocDaemon noc(noc_config);
+  noc.start();
+  const ScenarioRun run = noc.run();
+
+  for (auto& t : threads) t.join();
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  expect_matches_reference(run, reference);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,161 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  out.reserve(values.size());
+  for (const int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  const auto payload = bytes_of({1, 2, 3, 4, 5});
+  const auto wire = encode_frame(FrameType::kMessage, payload);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  ASSERT_TRUE(decoder.has_frame());
+  const Frame frame = decoder.pop();
+  EXPECT_EQ(frame.type, FrameType::kMessage);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_FALSE(decoder.has_frame());
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Frame, HeaderLayoutIsStable) {
+  const auto wire = encode_frame(FrameType::kHello, bytes_of({0xaa, 0xbb}));
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, wire.data(), sizeof(magic));
+  EXPECT_EQ(magic, kFrameMagic);
+  EXPECT_EQ(wire[4], std::byte{kWireVersion});
+  EXPECT_EQ(wire[5], static_cast<std::byte>(FrameType::kHello));
+  std::uint32_t length = 0;
+  std::memcpy(&length, wire.data() + 6, sizeof(length));
+  EXPECT_EQ(length, 2u);
+}
+
+TEST(Frame, ByteByBytePartialFeedsReassemble) {
+  const auto payload = bytes_of({9, 8, 7, 6, 5, 4, 3, 2, 1, 0});
+  const auto wire = encode_frame(FrameType::kMessage, payload);
+
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(decoder.has_frame());
+    decoder.feed(&wire[i], 1);
+  }
+  ASSERT_TRUE(decoder.has_frame());
+  EXPECT_EQ(decoder.pop().payload, payload);
+}
+
+TEST(Frame, MultipleFramesInOneFeed) {
+  auto wire = encode_frame(FrameType::kMessage, bytes_of({1}));
+  const auto second = encode_frame(FrameType::kAdvance,
+                                   encode_interval_payload(42));
+  const auto third = encode_frame(FrameType::kMessage, {});
+  wire.insert(wire.end(), second.begin(), second.end());
+  wire.insert(wire.end(), third.begin(), third.end());
+
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  ASSERT_TRUE(decoder.has_frame());
+  EXPECT_EQ(decoder.pop().type, FrameType::kMessage);
+  ASSERT_TRUE(decoder.has_frame());
+  const Frame advance = decoder.pop();
+  EXPECT_EQ(advance.type, FrameType::kAdvance);
+  EXPECT_EQ(decode_interval_payload(advance.payload), 42);
+  ASSERT_TRUE(decoder.has_frame());
+  EXPECT_TRUE(decoder.pop().payload.empty());
+  EXPECT_FALSE(decoder.has_frame());
+}
+
+TEST(Frame, TruncatedHeaderStaysPending) {
+  const auto wire = encode_frame(FrameType::kMessage, bytes_of({1, 2, 3}));
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), kFrameHeaderBytes - 1);
+  EXPECT_FALSE(decoder.has_frame());
+  EXPECT_EQ(decoder.pending_bytes(), kFrameHeaderBytes - 1);
+}
+
+TEST(Frame, BadMagicRejected) {
+  auto wire = encode_frame(FrameType::kMessage, bytes_of({1}));
+  wire[0] = std::byte{0x00};
+  FrameDecoder decoder;
+  EXPECT_THROW(decoder.feed(wire.data(), wire.size()), ProtocolError);
+}
+
+TEST(Frame, WrongVersionRejected) {
+  auto wire = encode_frame(FrameType::kMessage, bytes_of({1}));
+  wire[4] = std::byte{kWireVersion + 1};
+  FrameDecoder decoder;
+  EXPECT_THROW(decoder.feed(wire.data(), wire.size()), ProtocolError);
+}
+
+TEST(Frame, UnknownFrameTypeRejected) {
+  auto wire = encode_frame(FrameType::kMessage, bytes_of({1}));
+  wire[5] = std::byte{0x7f};
+  FrameDecoder decoder;
+  EXPECT_THROW(decoder.feed(wire.data(), wire.size()), ProtocolError);
+}
+
+// A hostile length field must be rejected from the header alone, before any
+// allocation sized from it.
+TEST(Frame, OversizedLengthFieldRejected) {
+  auto wire = encode_frame(FrameType::kMessage, bytes_of({1}));
+  const std::uint32_t huge =
+      static_cast<std::uint32_t>(kMaxFramePayloadBytes) + 1;
+  std::memcpy(wire.data() + 6, &huge, sizeof(huge));
+  FrameDecoder decoder;
+  EXPECT_THROW(decoder.feed(wire.data(), kFrameHeaderBytes), ProtocolError);
+}
+
+TEST(Frame, ZeroLengthPayloadSupported) {
+  const auto wire = encode_frame(FrameType::kAdvance, {});
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  ASSERT_TRUE(decoder.has_frame());
+  EXPECT_TRUE(decoder.pop().payload.empty());
+}
+
+// Garbage glued behind a valid frame must not corrupt that frame; the
+// decoder rejects the trailing bytes once it sees their (bad) header.
+TEST(Frame, TrailingGarbageDetectedAfterValidFrame) {
+  auto wire = encode_frame(FrameType::kMessage, bytes_of({1, 2}));
+  const auto garbage = bytes_of({0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x00,
+                                 0x00, 0x00, 0x00});
+  wire.insert(wire.end(), garbage.begin(), garbage.end());
+  FrameDecoder decoder;
+  EXPECT_THROW(decoder.feed(wire.data(), wire.size()), ProtocolError);
+  // The complete frame before the garbage still parsed.
+  ASSERT_TRUE(decoder.has_frame());
+  EXPECT_EQ(decoder.pop().payload, bytes_of({1, 2}));
+}
+
+TEST(Frame, IntervalPayloadRoundTrip) {
+  for (const std::int64_t t : {std::numeric_limits<std::int64_t>::min(),
+                               std::int64_t{-1}, std::int64_t{0},
+                               std::int64_t{12345},
+                               std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(decode_interval_payload(encode_interval_payload(t)), t);
+  }
+}
+
+TEST(Frame, IntervalPayloadWrongSizeRejected) {
+  EXPECT_THROW((void)decode_interval_payload(bytes_of({1, 2, 3})),
+               ProtocolError);
+  EXPECT_THROW((void)decode_interval_payload({}), ProtocolError);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,141 @@
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr const char* kLoopback = "127.0.0.1";
+
+TEST(Socket, ListenerBindsEphemeralPort) {
+  TcpListener listener(kLoopback, 0);
+  EXPECT_GT(listener.port(), 0);
+  TcpListener other(kLoopback, 0);
+  EXPECT_NE(listener.port(), other.port());
+}
+
+TEST(Socket, ConnectSendReceiveRoundTrip) {
+  TcpListener listener(kLoopback, 0);
+  TcpStream client = TcpStream::connect(kLoopback, listener.port(), 2000ms);
+  TcpStream server = listener.accept(2000ms);
+  ASSERT_TRUE(client.valid());
+  ASSERT_TRUE(server.valid());
+
+  const std::string text = "sketch-pca over the wire";
+  client.send_all(reinterpret_cast<const std::byte*>(text.data()),
+                  text.size(), 2000ms);
+
+  std::vector<std::byte> received;
+  while (received.size() < text.size()) {
+    std::byte chunk[8];
+    const std::ptrdiff_t n = server.recv_some(chunk, sizeof(chunk), 2000ms);
+    ASSERT_GT(n, 0);
+    received.insert(received.end(), chunk, chunk + n);
+  }
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(received.data()),
+                        received.size()),
+            text);
+}
+
+TEST(Socket, AcceptTimesOutWithInvalidStream) {
+  TcpListener listener(kLoopback, 0);
+  const TcpStream stream = listener.accept(20ms);
+  EXPECT_FALSE(stream.valid());
+}
+
+TEST(Socket, RecvTimesOutWithMinusOne) {
+  TcpListener listener(kLoopback, 0);
+  TcpStream client = TcpStream::connect(kLoopback, listener.port(), 2000ms);
+  TcpStream server = listener.accept(2000ms);
+  std::byte buf[4];
+  EXPECT_EQ(server.recv_some(buf, sizeof(buf), 20ms), -1);
+  (void)client;
+}
+
+TEST(Socket, ShutdownSendSurfacesAsEof) {
+  TcpListener listener(kLoopback, 0);
+  TcpStream client = TcpStream::connect(kLoopback, listener.port(), 2000ms);
+  TcpStream server = listener.accept(2000ms);
+  client.shutdown_send();
+  std::byte buf[4];
+  EXPECT_EQ(server.recv_some(buf, sizeof(buf), 2000ms), 0);
+}
+
+TEST(Socket, ConnectRefusedThrowsTransportError) {
+  // Bind-then-close guarantees the port is currently unused.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(kLoopback, 0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW((void)TcpStream::connect(kLoopback, dead_port, 500ms),
+               TransportError);
+}
+
+TEST(Socket, RetryExhaustionCountsAttempts) {
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(kLoopback, 0);
+    dead_port = listener.port();
+  }
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.connect_timeout = 200ms;
+  policy.backoff_initial = 1ms;
+  policy.backoff_max = 2ms;
+  std::size_t failures = 0;
+  std::chrono::milliseconds last_delay{0};
+  EXPECT_THROW(
+      (void)connect_with_retry(kLoopback, dead_port, policy,
+                               [&](std::size_t attempt,
+                                   std::chrono::milliseconds delay) {
+                                 failures = attempt;
+                                 last_delay = delay;
+                               }),
+      TransportError);
+  // One sink call per failed attempt.
+  EXPECT_EQ(failures, 3u);
+  EXPECT_GT(last_delay.count(), 0);
+}
+
+TEST(Socket, RetrySucceedsOnceListenerAppears) {
+  // Reserve a port, drop the listener, dial with retries, and bring the
+  // listener back mid-backoff: the dialer must land on a later attempt.
+  TcpListener reserve(kLoopback, 0);
+  const std::uint16_t port = reserve.port();
+  reserve.close();
+
+  RetryPolicy policy;
+  policy.max_attempts = 200;
+  policy.connect_timeout = 200ms;
+  policy.backoff_initial = 5ms;
+  policy.backoff_max = 20ms;
+
+  std::thread rescuer([&] {
+    std::this_thread::sleep_for(50ms);
+    TcpListener listener(kLoopback, port);
+    TcpStream server = listener.accept(5000ms);
+    EXPECT_TRUE(server.valid());
+  });
+
+  std::size_t failed_attempts = 0;
+  TcpStream client = connect_with_retry(
+      kLoopback, port, policy,
+      [&](std::size_t, std::chrono::milliseconds) { ++failed_attempts; });
+  EXPECT_TRUE(client.valid());
+  EXPECT_GE(failed_attempts, 1u);
+  rescuer.join();
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,250 @@
+#include "net/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/frame.hpp"
+
+namespace spca {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr const char* kLoopback = "127.0.0.1";
+
+Message volume_report(NodeId from, std::int64_t interval) {
+  Message msg;
+  msg.type = MessageType::kVolumeReport;
+  msg.from = from;
+  msg.to = kNocId;
+  msg.interval = interval;
+  msg.ids = {1, 2};
+  msg.values = {10.0, 20.0};
+  return msg;
+}
+
+TcpTransportConfig noc_config() {
+  TcpTransportConfig config;
+  config.node_id = kNocId;
+  config.listen_host = kLoopback;
+  config.listen_port = 0;  // ephemeral
+  config.io_timeout = 5000ms;
+  return config;
+}
+
+TcpTransportConfig monitor_config(NodeId id, std::uint16_t noc_port) {
+  TcpTransportConfig config;
+  config.node_id = id;
+  config.peers.push_back({kNocId, kLoopback, noc_port});
+  config.retry.max_attempts = 100;
+  config.retry.backoff_initial = 5ms;
+  config.retry.backoff_max = 50ms;
+  config.io_timeout = 5000ms;
+  return config;
+}
+
+TEST(TcpTransport, SendAndDrainBothDirections) {
+  TcpTransport noc(noc_config());
+  noc.start();
+  TcpTransport monitor(monitor_config(1, noc.listen_port()));
+  monitor.start();
+
+  // Monitor -> NOC.
+  const Message report = volume_report(1, 3);
+  monitor.send(report);
+  ASSERT_TRUE(noc.wait_for_mail(kNocId, 5000ms));
+  const auto at_noc = noc.drain(kNocId);
+  ASSERT_EQ(at_noc.size(), 1u);
+  EXPECT_EQ(at_noc[0].type, MessageType::kVolumeReport);
+  EXPECT_EQ(at_noc[0].from, 1);
+  EXPECT_EQ(at_noc[0].interval, 3);
+  EXPECT_EQ(at_noc[0].values, report.values);
+
+  // NOC -> monitor over the same (inbound) connection.
+  Message request;
+  request.type = MessageType::kSketchRequest;
+  request.from = kNocId;
+  request.to = 1;
+  request.interval = 3;
+  noc.send(request);
+  ASSERT_TRUE(monitor.wait_for_mail(1, 5000ms));
+  const auto at_monitor = monitor.drain(1);
+  ASSERT_EQ(at_monitor.size(), 1u);
+  EXPECT_EQ(at_monitor[0].type, MessageType::kSketchRequest);
+
+  // Send-side accounting lives on the sender only.
+  EXPECT_EQ(monitor.stats().messages, 1u);
+  EXPECT_EQ(noc.stats().messages, 1u);
+  monitor.stop();
+  noc.stop();
+}
+
+TEST(TcpTransport, TakeConsumesOnlyMatchingMessages) {
+  TcpTransport noc(noc_config());
+  noc.start();
+  TcpTransport monitor(monitor_config(1, noc.listen_port()));
+  monitor.start();
+
+  monitor.send(volume_report(1, 1));
+  Message alarm;
+  alarm.type = MessageType::kAlarm;
+  alarm.from = 1;
+  alarm.to = kNocId;
+  alarm.interval = 1;
+  monitor.send(alarm);
+  monitor.send(volume_report(1, 2));
+
+  // TCP preserves order on one connection: once the last message is
+  // visible, all three are queued.
+  std::vector<Message> alarms;
+  std::vector<Message> reports;
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (reports.size() < 2 && std::chrono::steady_clock::now() < deadline) {
+    (void)noc.wait_for_mail(kNocId, 100ms);
+    for (auto& m : noc.take(kNocId, MessageType::kVolumeReport)) {
+      reports.push_back(std::move(m));
+    }
+    for (auto& m : noc.take(kNocId, MessageType::kAlarm)) {
+      alarms.push_back(std::move(m));
+    }
+  }
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].interval, 1);
+  EXPECT_EQ(reports[1].interval, 2);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].type, MessageType::kAlarm);
+  EXPECT_FALSE(noc.has_mail(kNocId));
+  monitor.stop();
+  noc.stop();
+}
+
+TEST(TcpTransport, SelfDeliveryBypassesTheWireButNotTheCodec) {
+  TcpTransport noc(noc_config());
+  noc.start();
+  Message note = volume_report(kNocId, 9);
+  note.to = kNocId;
+  noc.send(note);
+  ASSERT_TRUE(noc.has_mail(kNocId));
+  const auto mail = noc.drain(kNocId);
+  ASSERT_EQ(mail.size(), 1u);
+  EXPECT_EQ(mail[0].interval, 9);
+  EXPECT_EQ(noc.stats().messages, 1u);  // self-sends are still accounted
+  noc.stop();
+}
+
+TEST(TcpTransport, ControlFramesCarryAdvance) {
+  TcpTransport noc(noc_config());
+  noc.start();
+  TcpTransport monitor(monitor_config(1, noc.listen_port()));
+  monitor.start();
+
+  // The NOC needs the inbound connection before it can address monitor 1;
+  // a first report establishes it.
+  monitor.send(volume_report(1, 0));
+  ASSERT_TRUE(noc.wait_for_mail(kNocId, 5000ms));
+  (void)noc.drain(kNocId);
+
+  noc.send_control(1, FrameType::kAdvance, encode_interval_payload(7));
+  ASSERT_TRUE(monitor.wait_for_activity(5000ms));
+  const auto control = monitor.poll_control();
+  ASSERT_TRUE(control.has_value());
+  EXPECT_EQ(control->from, kNocId);
+  EXPECT_EQ(control->type, FrameType::kAdvance);
+  EXPECT_EQ(decode_interval_payload(control->payload), 7);
+  // Control traffic never enters the message statistics.
+  EXPECT_EQ(noc.stats().messages, 0u);
+  EXPECT_EQ(noc.stats().bytes, 0u);
+  monitor.stop();
+  noc.stop();
+}
+
+TEST(TcpTransport, ReconnectAfterPeerRestartIsCountedAndWorks) {
+  TcpTransport noc(noc_config());
+  noc.start();
+  const std::uint16_t port = noc.listen_port();
+
+  {
+    TcpTransport monitor(monitor_config(1, port));
+    monitor.start();
+    monitor.send(volume_report(1, 0));
+    ASSERT_TRUE(noc.wait_for_mail(kNocId, 5000ms));
+    EXPECT_EQ(noc.drain(kNocId).size(), 1u);
+    monitor.stop();  // graceful shutdown: the NOC sees EOF and drops 1
+  }
+
+  // Wait until the NOC noticed the drop before restarting.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (noc.connected(1) && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_FALSE(noc.connected(1));
+  EXPECT_EQ(noc.reconnects(), 0u);
+
+  // The restarted monitor re-dials; its registration is a reconnect.
+  TcpTransport reborn(monitor_config(1, port));
+  reborn.start();
+  reborn.send(volume_report(1, 1));
+  ASSERT_TRUE(noc.wait_for_mail(kNocId, 5000ms));
+  const auto mail = noc.drain(kNocId);
+  ASSERT_EQ(mail.size(), 1u);
+  EXPECT_EQ(mail[0].interval, 1);
+  EXPECT_EQ(noc.reconnects(), 1u);
+  EXPECT_TRUE(noc.connected(1));
+  reborn.stop();
+  noc.stop();
+}
+
+TEST(TcpTransport, DialerBacksOffUntilListenerAppears) {
+  // Reserve a port, close it, and start the dialer before the listener
+  // exists — it must keep retrying instead of failing fast.
+  std::uint16_t port = 0;
+  {
+    TcpListener reserve(kLoopback, 0);
+    port = reserve.port();
+  }
+
+  TcpTransportConfig late = noc_config();
+  late.listen_port = port;
+
+  std::thread dialer_thread([&] {
+    TcpTransport monitor(monitor_config(1, port));
+    monitor.start();  // blocks in connect_with_retry until the NOC is up
+    monitor.send(volume_report(1, 5));
+    monitor.stop();
+  });
+
+  std::this_thread::sleep_for(100ms);
+  TcpTransport noc(late);
+  noc.start();
+  EXPECT_TRUE(noc.wait_for_mail(kNocId, 5000ms));
+  const auto mail = noc.drain(kNocId);
+  ASSERT_EQ(mail.size(), 1u);
+  EXPECT_EQ(mail[0].interval, 5);
+  dialer_thread.join();
+  noc.stop();
+}
+
+TEST(TcpTransport, ConnectedPeersReflectsLiveConnections) {
+  TcpTransport noc(noc_config());
+  noc.start();
+  EXPECT_TRUE(noc.connected_peers().empty());
+  TcpTransport monitor(monitor_config(3, noc.listen_port()));
+  monitor.start();
+  monitor.send(volume_report(3, 0));
+  ASSERT_TRUE(noc.wait_for_mail(kNocId, 5000ms));
+  const auto peers = noc.connected_peers();
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0], 3);
+  EXPECT_TRUE(monitor.connected(kNocId));
+  monitor.stop();
+  noc.stop();
+}
+
+}  // namespace
+}  // namespace spca
