@@ -3,14 +3,19 @@
 // and answers the NOC's sketch pulls. See spca_nocd.cpp for a full loopback
 // deployment example.
 //
-// Restart a killed monitor with --first-interval=<t> to rebuild its sketch
-// state locally and rejoin the running deployment at interval t.
+// Restart story: with --checkpoint-dir the daemon snapshots its sketch
+// state durably (every --checkpoint-every intervals and at shutdown —
+// SIGTERM writes a final snapshot before exiting) and a restarted daemon
+// resumes from the newest valid snapshot instead of replaying the trace.
+// Without snapshots, --first-interval=<t> rebuilds the state locally and
+// rejoins the running deployment at interval t.
 #include <csignal>
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "net/monitor_daemon.hpp"
+#include "net/net_flags.hpp"
 #include "obs/report.hpp"
 #include "par/thread_pool.hpp"
 
@@ -30,13 +35,18 @@ int main(int argc, char** argv) {
   flags.define("connect", "127.0.0.1", "NOC address (numeric IPv4)");
   flags.define("port", "47000", "NOC port");
   flags.define("monitor-id", "1", "this monitor's node id (1..monitors)");
-  flags.define("first-interval", "0",
-               "first interval to report (earlier ones are absorbed "
-               "locally; use after a restart)");
+  flags.define("first-interval", "-1",
+               "first interval to report; earlier ones come from the "
+               "checkpoint and/or local absorption (-1 = resume from the "
+               "newest checkpoint when present, else 0)");
   flags.define("last-interval", "-1",
                "one-past-last interval to report (-1 = scenario end)");
-  flags.define("connect-attempts", "40",
-               "max NOC dial attempts (0 = unlimited)");
+  flags.define("checkpoint-dir", "",
+               "durable snapshot directory (empty = no checkpointing)");
+  flags.define("checkpoint-every", "8",
+               "periodic snapshot cadence in intervals (0 = shutdown "
+               "snapshot only)");
+  define_transport_flags(flags);
   define_scenario_flags(flags);
   define_threads_flag(flags);
   define_observability_flags(flags);
@@ -51,8 +61,10 @@ int main(int argc, char** argv) {
     config.noc_port = static_cast<std::uint16_t>(flags.integer("port"));
     config.first_interval = flags.integer("first-interval");
     config.last_interval = flags.integer("last-interval");
-    config.retry.max_attempts =
-        static_cast<std::size_t>(flags.integer("connect-attempts"));
+    config.checkpoint_dir = flags.str("checkpoint-dir");
+    config.checkpoint_every = flags.integer("checkpoint-every");
+    config.retry = retry_policy_from_flags(flags);
+    config.io_timeout = io_timeout_from_flags(flags);
     MonitorDaemon daemon(config);
     g_daemon = &daemon;
     (void)std::signal(SIGTERM, handle_signal);
@@ -63,6 +75,16 @@ int main(int argc, char** argv) {
               << result.intervals_reported << " intervals, "
               << result.stats.bytes << " bytes sent, " << result.reconnects
               << " reconnects\n";
+    if (result.restored_from_checkpoint) {
+      std::cout << "monitord " << config.monitor_id
+                << ": restored from checkpoint, absorbed "
+                << result.intervals_absorbed << " tail intervals, joined at "
+                << result.start_interval << "\n";
+    }
+    if (!result.final_checkpoint_path.empty()) {
+      std::cout << "monitord " << config.monitor_id << ": final checkpoint "
+                << result.final_checkpoint_path << "\n";
+    }
     export_observability(flags);
     return 0;
   } catch (const std::exception& e) {

@@ -15,6 +15,7 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "net/net_flags.hpp"
 #include "net/noc_daemon.hpp"
 #include "obs/report.hpp"
 #include "par/thread_pool.hpp"
@@ -38,6 +39,13 @@ int main(int argc, char** argv) {
                "max wait for a missing monitor per interval");
   flags.define("check-against-sim", "false",
                "verify the trajectory against a SimNetwork replay");
+  flags.define("checkpoint-dir", "",
+               "durable snapshot directory (empty = no checkpointing; with "
+               "a valid snapshot the daemon resumes mid-scenario)");
+  flags.define("checkpoint-every", "8",
+               "periodic snapshot cadence in intervals (0 = shutdown "
+               "snapshot only)");
+  define_transport_flags(flags);
   define_scenario_flags(flags);
   define_threads_flag(flags);
   define_observability_flags(flags);
@@ -51,6 +59,9 @@ int main(int argc, char** argv) {
     config.listen_port = static_cast<std::uint16_t>(flags.integer("port"));
     config.interval_deadline =
         std::chrono::milliseconds(flags.integer("interval-deadline-ms"));
+    config.io_timeout = io_timeout_from_flags(flags);
+    config.checkpoint_dir = flags.str("checkpoint-dir");
+    config.checkpoint_every = flags.integer("checkpoint-every");
     NocDaemon daemon(config);
     g_daemon = &daemon;
     (void)std::signal(SIGTERM, handle_signal);

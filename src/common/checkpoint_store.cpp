@@ -1,0 +1,193 @@
+#include "common/checkpoint_store.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/contracts.hpp"
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace spca {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4B435053;  // "SPCK"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 4;
+
+void put_raw(std::vector<std::byte>& out, const void* data, std::size_t n) {
+  if (n == 0) return;  // an empty payload has a null data()
+  const std::size_t offset = out.size();
+  out.resize(offset + n);
+  std::memcpy(out.data() + offset, data, n);
+}
+
+template <typename T>
+T read_raw(const std::vector<std::byte>& buf, std::size_t offset) {
+  T value;
+  std::memcpy(&value, buf.data() + offset, sizeof(T));
+  return value;
+}
+
+/// Parses the sequence number out of "<name>.<seq>.ckpt"; nullopt when the
+/// filename does not belong to `name`.
+std::optional<std::uint64_t> seq_of(const std::string& filename,
+                                    const std::string& name) {
+  const std::string prefix = name + ".";
+  const std::string suffix = ".ckpt";
+  if (filename.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return std::nullopt;
+  }
+  const char* first = filename.data() + prefix.size();
+  const char* last = filename.data() + filename.size() - suffix.size();
+  std::uint64_t seq = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, seq);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return seq;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir, std::string name,
+                                 std::size_t retain)
+    : dir_(std::move(dir)), name_(std::move(name)), retain_(retain) {
+  SPCA_EXPECTS(!dir_.empty());
+  SPCA_EXPECTS(!name_.empty());
+  SPCA_EXPECTS(retain_ >= 1);
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw TransportError("checkpoint: cannot create directory " + dir_ + ": " +
+                         ec.message());
+  }
+}
+
+std::string CheckpointStore::write(std::uint64_t seq,
+                                   const std::vector<std::byte>& payload) {
+  std::vector<std::byte> file;
+  file.reserve(kHeaderBytes + payload.size());
+  put_raw(file, &kMagic, sizeof(kMagic));
+  put_raw(file, &kVersion, sizeof(kVersion));
+  put_raw(file, &seq, sizeof(seq));
+  const std::uint64_t size = payload.size();
+  put_raw(file, &size, sizeof(size));
+  // The CRC covers everything the header promises (seq, size) plus the
+  // payload, so a flip anywhere but the magic/version bytes is caught by it
+  // and those two are checked verbatim.
+  std::uint32_t crc = crc32_update(kCrc32Init, &seq, sizeof(seq));
+  crc = crc32_update(crc, &size, sizeof(size));
+  crc = crc32_finish(crc32_update(crc, payload.data(), payload.size()));
+  put_raw(file, &crc, sizeof(crc));
+  put_raw(file, payload.data(), payload.size());
+
+  const fs::path final_path =
+      fs::path(dir_) / (name_ + "." + std::to_string(seq) + ".ckpt");
+  const fs::path tmp_path = fs::path(final_path.string() + ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw TransportError("checkpoint: cannot open " + tmp_path.string());
+    }
+    out.write(reinterpret_cast<const char*>(file.data()),
+              static_cast<std::streamsize>(file.size()));
+    out.flush();
+    if (!out) {
+      throw TransportError("checkpoint: short write to " + tmp_path.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    throw TransportError("checkpoint: cannot rename " + tmp_path.string() +
+                         ": " + ec.message());
+  }
+
+  // Prune beyond the retain limit, oldest first.
+  std::vector<std::string> snapshots = list();
+  while (snapshots.size() > retain_) {
+    fs::remove(snapshots.front(), ec);  // best effort
+    snapshots.erase(snapshots.begin());
+  }
+  return final_path.string();
+}
+
+std::vector<std::string> CheckpointStore::list() const {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string filename = entry.path().filename().string();
+    if (const auto seq = seq_of(filename, name_)) {
+      found.emplace_back(*seq, entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [seq, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+CheckpointSnapshot CheckpointStore::read_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw TransportError("checkpoint: cannot open " + path);
+  const std::streamsize file_size = in.tellg();
+  in.seekg(0);
+  if (file_size < static_cast<std::streamsize>(kHeaderBytes)) {
+    throw ProtocolError("checkpoint: truncated header in " + path);
+  }
+  std::vector<std::byte> file(static_cast<std::size_t>(file_size));
+  in.read(reinterpret_cast<char*>(file.data()), file_size);
+  if (!in) throw TransportError("checkpoint: cannot read " + path);
+
+  if (read_raw<std::uint32_t>(file, 0) != kMagic) {
+    throw ProtocolError("checkpoint: bad magic in " + path);
+  }
+  if (read_raw<std::uint32_t>(file, 4) != kVersion) {
+    throw ProtocolError("checkpoint: unknown version in " + path);
+  }
+  const auto seq = read_raw<std::uint64_t>(file, 8);
+  const auto size = read_raw<std::uint64_t>(file, 16);
+  const auto expected_crc = read_raw<std::uint32_t>(file, 24);
+  if (size != file.size() - kHeaderBytes) {
+    throw ProtocolError("checkpoint: payload size mismatch in " + path);
+  }
+  std::uint32_t crc = crc32_update(kCrc32Init, &seq, sizeof(seq));
+  crc = crc32_update(crc, &size, sizeof(size));
+  crc = crc32_finish(
+      crc32_update(crc, file.data() + kHeaderBytes, file.size() - kHeaderBytes));
+  if (crc != expected_crc) {
+    throw ProtocolError("checkpoint: crc mismatch in " + path);
+  }
+
+  CheckpointSnapshot snapshot;
+  snapshot.seq = seq;
+  snapshot.payload.assign(file.begin() + static_cast<std::ptrdiff_t>(
+                                             kHeaderBytes),
+                          file.end());
+  snapshot.path = path;
+  return snapshot;
+}
+
+std::optional<CheckpointSnapshot> CheckpointStore::load_latest() const {
+  std::vector<std::string> snapshots = list();
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    try {
+      return read_snapshot(*it);
+    } catch (const Error& e) {
+      log_warn("checkpoint: skipping ", *it, ": ", e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace spca

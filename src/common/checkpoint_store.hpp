@@ -1,0 +1,73 @@
+// Durable, CRC-guarded, versioned snapshot files — the persistence half of
+// the fault-recovery subsystem (see DESIGN.md §11). The store is a plain
+// mechanism (atomic write, scan, validate) and lives in common/ so the net
+// daemons can use it; the policy of *what* to snapshot and when lives with
+// the daemons and src/fault/.
+//
+// On-disk layout of one snapshot (little-endian):
+//
+//   u32 magic 'SPCK' | u32 version | u64 seq | u64 payload_size
+//   | u32 crc (CRC-32 over the seq and payload_size fields + payload)
+//   | payload
+//
+// Files are named `<name>.<seq>.ckpt` inside the store directory. Writes go
+// to a temporary file first and are renamed into place, so a crash mid-write
+// leaves at most a stray .tmp, never a half-written snapshot. load_latest()
+// walks snapshots newest-first and falls back to an older one when the
+// newest fails validation — a torn or bit-flipped file costs one checkpoint
+// interval, not the run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spca {
+
+/// One validated snapshot read back from disk.
+struct CheckpointSnapshot {
+  /// Monotonic sequence number (for the daemons: the next interval to run).
+  std::uint64_t seq = 0;
+  /// The application blob (e.g. LocalMonitor::save_state output).
+  std::vector<std::byte> payload;
+  /// The file it came from.
+  std::string path;
+};
+
+/// Manages the snapshot files of one named node inside a directory.
+class CheckpointStore final {
+ public:
+  /// Creates `dir` (and parents) if missing. `name` distinguishes nodes
+  /// sharing a directory (e.g. "monitor1", "noc"); `retain` bounds how many
+  /// snapshots of this node are kept on disk (oldest pruned first, >= 1).
+  CheckpointStore(std::string dir, std::string name, std::size_t retain = 3);
+
+  /// Atomically writes a snapshot; returns its path. Prunes old snapshots
+  /// beyond the retain limit. Throws TransportError on I/O failure.
+  std::string write(std::uint64_t seq, const std::vector<std::byte>& payload);
+
+  /// Newest snapshot that validates (magic, version, size, CRC); corrupt
+  /// newer files are skipped with a warning. nullopt when none survives.
+  [[nodiscard]] std::optional<CheckpointSnapshot> load_latest() const;
+
+  /// Paths of this node's snapshot files, oldest first.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Reads and validates one snapshot file; throws ProtocolError on any
+  /// corruption (bad magic/version, truncation, trailing bytes, CRC
+  /// mismatch) and TransportError if the file cannot be read.
+  [[nodiscard]] static CheckpointSnapshot read_snapshot(
+      const std::string& path);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string dir_;
+  std::string name_;
+  std::size_t retain_;
+};
+
+}  // namespace spca

@@ -102,6 +102,20 @@ void define_threads_flag(CliFlags& flags) {
                "concurrency, 1 = serial)");
 }
 
+void define_transport_flags(CliFlags& flags) {
+  flags.define("connect-attempts", "40",
+               "max outbound connect attempts before giving up");
+  flags.define("connect-timeout-ms", "2000",
+               "timeout of a single connect attempt (milliseconds)");
+  flags.define("backoff-initial-ms", "25",
+               "initial connect retry backoff (milliseconds)");
+  flags.define("backoff-max-ms", "2000",
+               "connect retry backoff ceiling (milliseconds)");
+  flags.define("io-timeout-ms", "15000",
+               "read/write deadline on established connections "
+               "(milliseconds)");
+}
+
 void define_observability_flags(CliFlags& flags) {
   flags.define("metrics-out", "",
                "write the metrics registry as JSON to this path on exit");

@@ -1,0 +1,30 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum shared
+// by the wire frame codec and the checkpoint files. One implementation so a
+// frame CRC and a snapshot CRC can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spca {
+
+/// Initial/streaming state for an incremental CRC-32 computation.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+/// Folds `n` bytes into a running CRC state. Start from kCrc32Init, finish
+/// with crc32_finish. Safe to call with n == 0 (data may then be null).
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                         std::size_t n) noexcept;
+
+/// Final xor of the streaming state.
+[[nodiscard]] constexpr std::uint32_t crc32_finish(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte range. crc32("123456789") == 0xCBF43926.
+[[nodiscard]] inline std::uint32_t crc32(const void* data,
+                                         std::size_t n) noexcept {
+  return crc32_finish(crc32_update(kCrc32Init, data, n));
+}
+
+}  // namespace spca

@@ -18,7 +18,10 @@ LocalMonitor::LocalMonitor(NodeId id, std::vector<FlowId> flows,
                            bool counter_only)
     : id_(id),
       flows_(std::move(flows)),
+      window_(window),
+      epsilon_(epsilon),
       sketch_rows_(sketch_rows),
+      projection_(projection),
       counter_only_(counter_only),
       counter_(static_cast<std::uint32_t>(flows_.size())) {
   SPCA_EXPECTS(id != kNocId);

@@ -65,6 +65,17 @@ class LocalMonitor final {
   /// Summary-state bytes across the monitor's sketches (Theorem 1).
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
+  /// Serializes the full monitor state — configuration, unflushed volume
+  /// buckets, and every sketch's VH buckets — into a versioned blob. A
+  /// monitor restored from it answers sketch requests bit-identically to
+  /// one that lived through the whole stream (dist/local_monitor_io.cpp).
+  [[nodiscard]] std::vector<std::byte> save_state() const;
+
+  /// Rebuilds a monitor from `save_state` output; throws ProtocolError on a
+  /// malformed or truncated blob.
+  [[nodiscard]] static LocalMonitor restore_state(
+      const std::vector<std::byte>& blob);
+
  private:
   [[nodiscard]] Message make_sketch_response(std::int64_t interval) const;
   /// Flushes the counter into the sketches; returns the interval volumes.
@@ -72,7 +83,10 @@ class LocalMonitor final {
 
   NodeId id_;
   std::vector<FlowId> flows_;
+  std::uint64_t window_;
+  double epsilon_;
   std::size_t sketch_rows_;
+  ProjectionSource projection_;
   bool counter_only_;
   VolumeCounter counter_;
   std::vector<FlowSketch> sketches_;  // aligned with flows_; empty when

@@ -122,6 +122,16 @@ class Noc final {
     return alarms_sent_;
   }
 
+  /// Serializes the full NOC state — configuration, per-flow sketch state,
+  /// hosted histograms, the fitted model, rank, and threshold — into a
+  /// versioned blob (dist/noc_io.cpp). A restored NOC continues the lazy
+  /// protocol bit-identically.
+  [[nodiscard]] std::vector<std::byte> save_state() const;
+
+  /// Rebuilds a NOC from `save_state` output; throws ProtocolError on a
+  /// malformed or truncated blob.
+  [[nodiscard]] static Noc restore_state(const std::vector<std::byte>& blob);
+
  private:
   std::size_t m_;
   NocConfig config_;

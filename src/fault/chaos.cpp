@@ -1,0 +1,216 @@
+#include "fault/chaos.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "dist/sim_network.hpp"
+#include "net/monitor_daemon.hpp"
+#include "net/noc_daemon.hpp"
+#include "obs/metrics.hpp"
+
+namespace spca {
+
+namespace {
+
+std::optional<std::int64_t> kill_of(const FaultPlanConfig& faults,
+                                    NodeId node) {
+  std::optional<std::int64_t> found;
+  for (const FaultEvent& e : faults.kills) {
+    if (e.node != node) continue;
+    if (found) {
+      throw InputError("chaos: multiple kills scheduled for monitor " +
+                       std::to_string(node));
+    }
+    found = e.interval;
+  }
+  return found;
+}
+
+bool reset_at(const FaultPlanConfig& faults, NodeId node, std::int64_t t) {
+  for (const FaultEvent& e : faults.resets) {
+    if (e.node == node && e.interval == t) return true;
+  }
+  return false;
+}
+
+void validate(const ChaosConfig& config) {
+  const auto monitors = static_cast<NodeId>(config.scenario.monitors);
+  const auto intervals = static_cast<std::int64_t>(config.scenario.intervals);
+  const auto check_node = [&](const FaultEvent& e, const char* kind) {
+    if (e.node < 1 || e.node > monitors) {
+      throw InputError(std::string("chaos: ") + kind + " targets monitor " +
+                       std::to_string(e.node) + ", deployment has " +
+                       std::to_string(monitors));
+    }
+    if (e.interval >= intervals) {
+      throw InputError(std::string("chaos: ") + kind + " at interval " +
+                       std::to_string(e.interval) + ", scenario ends at " +
+                       std::to_string(intervals));
+    }
+  };
+  for (const FaultEvent& e : config.faults.kills) {
+    check_node(e, "kill");
+    if (e.interval < 1) {
+      throw InputError("chaos: kill intervals must be >= 1");
+    }
+  }
+  for (const FaultEvent& e : config.faults.resets) check_node(e, "reset");
+  if (!config.tcp &&
+      (!config.faults.kills.empty() || !config.faults.resets.empty())) {
+    throw InputError("chaos: kill/reset events need the tcp mode "
+                     "(sim mode has no daemons to restart)");
+  }
+  if (config.tcp && !config.faults.kills.empty() &&
+      config.checkpoint_dir.empty()) {
+    throw InputError("chaos: kills need --checkpoint-dir, the restarted "
+                     "monitor must have a snapshot to recover from");
+  }
+}
+
+}  // namespace
+
+bool trajectories_match(const ScenarioRun& a, const ScenarioRun& b) {
+  if (a.alarm_intervals != b.alarm_intervals) return false;
+  if (a.distances.size() != b.distances.size()) return false;
+  return a.distances.empty() ||
+         std::memcmp(a.distances.data(), b.distances.data(),
+                     a.distances.size() * sizeof(double)) == 0;
+}
+
+ChaosResult run_chaos(const ChaosConfig& config) {
+  validate(config);
+  const NetScenario scenario = build_scenario(config.scenario);
+
+  ChaosResult result;
+  result.reference = run_scenario_reference(scenario);
+
+  FaultStatsAccumulator acc;
+  if (!config.tcp) {
+    // SimNetwork mode: one shared decorator carries every node's traffic.
+    SimNetwork sim;
+    {
+      FaultyTransport faulty(sim, config.faults, &acc);
+      result.run = run_scenario_reference(scenario, &faulty);
+    }
+  } else {
+    Counter& kills_metric =
+        MetricsRegistry::global().counter("spca.fault.injected_kills");
+    Counter& resets_metric =
+        MetricsRegistry::global().counter("spca.fault.injected_resets");
+
+    NocDaemonConfig nc;
+    nc.scenario = config.scenario;
+    nc.interval_deadline = config.interval_deadline;
+    nc.io_timeout = config.io_timeout;
+    nc.wrap_transport = [&](Transport& inner) {
+      return std::make_unique<FaultyTransport>(inner, config.faults, &acc);
+    };
+    NocDaemon nocd(nc);
+    nocd.start();
+    const std::uint16_t port = nocd.bound_port();
+
+    std::atomic<std::uint64_t> kills{0};
+    std::atomic<std::uint64_t> resets{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<bool> all_restored{true};
+    const std::size_t num_monitors = config.scenario.monitors;
+    std::vector<std::exception_ptr> errors(num_monitors);
+    std::vector<std::thread> threads;
+    threads.reserve(num_monitors);
+    for (std::size_t i = 0; i < num_monitors; ++i) {
+      const NodeId id = static_cast<NodeId>(i + 1);
+      threads.emplace_back([&, id, i] {
+        try {
+          MonitorDaemonConfig mc;
+          mc.scenario = config.scenario;
+          mc.monitor_id = id;
+          mc.noc_port = port;
+          mc.retry = config.retry;
+          mc.io_timeout = config.io_timeout;
+          mc.checkpoint_dir = config.checkpoint_dir;
+          mc.checkpoint_every = config.checkpoint_every;
+          mc.wrap_transport = [&](Transport& inner) {
+            return std::make_unique<FaultyTransport>(inner, config.faults,
+                                                     &acc);
+          };
+          mc.after_advance = [&, id](std::int64_t t, TcpTransport& tcp) {
+            if (!reset_at(config.faults, id, t)) return;
+            // Protocol-quiet point: advance(t) was consumed, nothing is in
+            // flight towards this monitor — the flap loses no frames.
+            tcp.reset_connection(kNocId);
+            tcp.ensure_connected(kNocId);
+            resets.fetch_add(1, std::memory_order_relaxed);
+            resets_metric.inc();
+          };
+          const std::optional<std::int64_t> kill =
+              kill_of(config.faults, id);
+          if (kill) {
+            // First incarnation: dies after reporting intervals < kill. A
+            // crash kill leaves only the periodic snapshots behind.
+            mc.last_interval = *kill;
+            mc.final_checkpoint = !config.crash_kills;
+            const MonitorDaemonResult first = MonitorDaemon(mc).run();
+            reconnects.fetch_add(first.reconnects,
+                                 std::memory_order_relaxed);
+            kills.fetch_add(1, std::memory_order_relaxed);
+            kills_metric.inc();
+            log_info("chaos: killed monitor ", id, " at interval ", *kill);
+            // Second incarnation: recover from the checkpoint and rejoin.
+            MonitorDaemonConfig rc = mc;
+            rc.last_interval = -1;
+            rc.final_checkpoint = true;
+            rc.first_interval = config.crash_kills ? *kill : kAutoInterval;
+            const MonitorDaemonResult second = MonitorDaemon(rc).run();
+            reconnects.fetch_add(second.reconnects,
+                                 std::memory_order_relaxed);
+            if (!second.restored_from_checkpoint) {
+              all_restored.store(false, std::memory_order_relaxed);
+            }
+          } else {
+            const MonitorDaemonResult r = MonitorDaemon(mc).run();
+            reconnects.fetch_add(r.reconnects, std::memory_order_relaxed);
+          }
+        } catch (...) {
+          errors[i] = std::current_exception();
+          nocd.request_stop();
+        }
+      });
+    }
+
+    std::exception_ptr noc_error;
+    try {
+      result.run = nocd.run();
+    } catch (...) {
+      noc_error = std::current_exception();
+    }
+    for (std::thread& t : threads) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    if (noc_error) std::rethrow_exception(noc_error);
+
+    result.kills = kills.load(std::memory_order_relaxed);
+    result.resets = resets.load(std::memory_order_relaxed);
+    result.monitor_reconnects = reconnects.load(std::memory_order_relaxed);
+    result.restored_from_checkpoint =
+        all_restored.load(std::memory_order_relaxed);
+  }
+
+  result.faults = acc.total();
+  result.match = trajectories_match(result.run, result.reference);
+  log_info("chaos: ", result.match ? "MATCH" : "MISMATCH", " (",
+           result.faults.drops, " drops, ", result.faults.corruptions,
+           " corruptions, ", result.faults.duplicates, " dups, ",
+           result.faults.reorders, " reorders, ", result.kills, " kills, ",
+           result.resets, " resets)");
+  return result;
+}
+
+}  // namespace spca

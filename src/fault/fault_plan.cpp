@@ -1,0 +1,152 @@
+#include "fault/fault_plan.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace spca {
+
+namespace {
+
+/// Uniform double in [0, 1) from one generator step.
+double next_unit(SplitMix64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+double parse_probability(const std::string& key, const std::string& value) {
+  double out = 0.0;
+  try {
+    std::size_t pos = 0;
+    out = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+  } catch (const std::exception&) {
+    throw InputError("fault spec: " + key + " expects a number, got '" +
+                     value + "'");
+  }
+  if (out < 0.0 || out > 0.9) {
+    throw InputError("fault spec: " + key + " must be in [0, 0.9], got '" +
+                     value + "'");
+  }
+  return out;
+}
+
+FaultEvent parse_event(const std::string& key, const std::string& value) {
+  const std::size_t at = value.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= value.size()) {
+    throw InputError("fault spec: " + key + " expects NODE@INTERVAL, got '" +
+                     value + "'");
+  }
+  FaultEvent event;
+  const char* node_first = value.data();
+  const char* node_last = value.data() + at;
+  auto [np, nec] = std::from_chars(node_first, node_last, event.node);
+  const char* t_first = value.data() + at + 1;
+  const char* t_last = value.data() + value.size();
+  auto [tp, tec] = std::from_chars(t_first, t_last, event.interval);
+  if (nec != std::errc{} || np != node_last || tec != std::errc{} ||
+      tp != t_last || event.node == 0 || event.interval < 0) {
+    throw InputError("fault spec: " + key + " expects NODE@INTERVAL, got '" +
+                     value + "'");
+  }
+  return event;
+}
+
+}  // namespace
+
+FaultPlanConfig parse_fault_spec(const std::string& spec) {
+  FaultPlanConfig config;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw InputError("fault spec: expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "drop") {
+      config.drop = parse_probability(key, value);
+    } else if (key == "dup") {
+      config.duplicate = parse_probability(key, value);
+    } else if (key == "reorder") {
+      config.reorder = parse_probability(key, value);
+    } else if (key == "corrupt") {
+      config.corrupt = parse_probability(key, value);
+    } else if (key == "seed") {
+      std::uint64_t seed = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), seed);
+      if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        throw InputError("fault spec: seed expects an integer, got '" + value +
+                         "'");
+      }
+      config.seed = seed;
+    } else if (key == "kill") {
+      config.kills.push_back(parse_event(key, value));
+    } else if (key == "reset") {
+      config.resets.push_back(parse_event(key, value));
+    } else {
+      throw InputError("fault spec: unknown key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+std::string to_string(const FaultPlanConfig& config) {
+  std::ostringstream oss;
+  oss << "drop=" << config.drop << ",dup=" << config.duplicate
+      << ",reorder=" << config.reorder << ",corrupt=" << config.corrupt;
+  for (const FaultEvent& e : config.kills) {
+    oss << ",kill=" << e.node << '@' << e.interval;
+  }
+  for (const FaultEvent& e : config.resets) {
+    oss << ",reset=" << e.node << '@' << e.interval;
+  }
+  oss << ",seed=" << config.seed;
+  return oss.str();
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config)
+    : config_(std::move(config)),
+      drop_rng_(splitmix64_mix(config_.seed ^ 0x64726f70ULL)),      // "drop"
+      duplicate_rng_(splitmix64_mix(config_.seed ^ 0x647570ULL)),   // "dup"
+      reorder_rng_(splitmix64_mix(config_.seed ^ 0x72656f72ULL)),   // "reor"
+      corrupt_rng_(splitmix64_mix(config_.seed ^ 0x636f7272ULL)) {  // "corr"
+}
+
+bool FaultPlan::next_drop() {
+  return next_unit(drop_rng_) < config_.drop;
+}
+
+bool FaultPlan::next_duplicate() {
+  return next_unit(duplicate_rng_) < config_.duplicate;
+}
+
+bool FaultPlan::next_reorder() {
+  return next_unit(reorder_rng_) < config_.reorder;
+}
+
+bool FaultPlan::next_corrupt() {
+  return next_unit(corrupt_rng_) < config_.corrupt;
+}
+
+std::optional<std::int64_t> FaultPlan::kill_interval(NodeId node) const {
+  for (const FaultEvent& e : config_.kills) {
+    if (e.node == node) return e.interval;
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::reset_scheduled(NodeId node, std::int64_t interval) const {
+  for (const FaultEvent& e : config_.resets) {
+    if (e.node == node && e.interval == interval) return true;
+  }
+  return false;
+}
+
+}  // namespace spca

@@ -1,0 +1,95 @@
+// Seeded, scriptable fault schedule — the single source of randomness of
+// the fault-injection subsystem.
+//
+// A plan is built from a compact spec string such as
+//
+//   "drop=0.05,dup=0.02,reorder=0.1,corrupt=0.03,kill=1@18,reset=2@9,seed=42"
+//
+// and drives every decision from dedicated SplitMix64 streams derived from
+// the seed, so a chaos run is exactly replayable: the same spec produces
+// the same faults in the same order, which is what lets CI assert the final
+// trajectory bit-for-bit against the fault-free reference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/message.hpp"
+#include "rand/splitmix64.hpp"
+
+namespace spca {
+
+/// One scheduled node-level event (a monitor kill or a connection reset).
+struct FaultEvent {
+  /// Monitor NodeId the event hits.
+  NodeId node = 0;
+  /// Interval at which it fires (kill: after reporting intervals < t;
+  /// reset: right after the monitor received kAdvance(t), a protocol-quiet
+  /// point where no frame is in flight towards it).
+  std::int64_t interval = 0;
+};
+
+/// Parsed fault schedule.
+struct FaultPlanConfig {
+  /// Per-send probabilities in [0, 0.9]: message dropped (retransmitted),
+  /// duplicated, held back (reordered), or corrupted in flight (detected by
+  /// the frame CRC and retransmitted).
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;
+  /// Seed of the decision streams.
+  std::uint64_t seed = 1;
+  /// Scheduled monitor kills (the daemon exits after the given interval and
+  /// a fresh incarnation restarts from its checkpoint).
+  std::vector<FaultEvent> kills;
+  /// Scheduled connection resets.
+  std::vector<FaultEvent> resets;
+};
+
+/// Parses a spec string ("drop=0.05,dup=0.02,reorder=0.1,corrupt=0.03,
+/// kill=NODE@T,reset=NODE@T,seed=42"; kill/reset repeatable, every key
+/// optional, empty spec = no faults). Throws InputError on malformed input
+/// or probabilities outside [0, 0.9] (the cap keeps the retransmit loops
+/// finitely biased).
+[[nodiscard]] FaultPlanConfig parse_fault_spec(const std::string& spec);
+
+/// Renders a config back into spec-string form (round-trips through
+/// parse_fault_spec; used by spca_chaos logging).
+[[nodiscard]] std::string to_string(const FaultPlanConfig& config);
+
+/// The live decision engine. Each fault kind draws from its own SplitMix64
+/// stream, so e.g. enabling duplication does not shift the drop sequence —
+/// schedules stay comparable across spec changes.
+class FaultPlan final {
+ public:
+  explicit FaultPlan(FaultPlanConfig config);
+
+  [[nodiscard]] const FaultPlanConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Next decision of each stream; every call advances that stream once.
+  [[nodiscard]] bool next_drop();
+  [[nodiscard]] bool next_duplicate();
+  [[nodiscard]] bool next_reorder();
+  [[nodiscard]] bool next_corrupt();
+
+  /// The interval at which `node` is scheduled to be killed, if any.
+  [[nodiscard]] std::optional<std::int64_t> kill_interval(NodeId node) const;
+
+  /// True if a connection reset is scheduled for `node` at `interval`.
+  [[nodiscard]] bool reset_scheduled(NodeId node,
+                                     std::int64_t interval) const;
+
+ private:
+  FaultPlanConfig config_;
+  SplitMix64 drop_rng_;
+  SplitMix64 duplicate_rng_;
+  SplitMix64 reorder_rng_;
+  SplitMix64 corrupt_rng_;
+};
+
+}  // namespace spca

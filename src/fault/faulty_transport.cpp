@@ -1,0 +1,138 @@
+#include "fault/faulty_transport.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace spca {
+
+namespace {
+
+Counter& fault_counter(const char* name) {
+  return MetricsRegistry::global().counter(name);
+}
+
+}  // namespace
+
+void FaultStatsAccumulator::add(const FaultInjectionStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_.drops += stats.drops;
+  total_.corruptions += stats.corruptions;
+  total_.duplicates += stats.duplicates;
+  total_.reorders += stats.reorders;
+  total_.retransmits += stats.retransmits;
+  total_.deduplicated += stats.deduplicated;
+}
+
+FaultInjectionStats FaultStatsAccumulator::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+FaultyTransport::FaultyTransport(Transport& inner, const FaultPlanConfig& plan,
+                                 FaultStatsAccumulator* sink)
+    : inner_(inner), plan_(plan), sink_(sink) {}
+
+FaultyTransport::~FaultyTransport() {
+  if (sink_ != nullptr) sink_->add(fault_stats_);
+}
+
+void FaultyTransport::send(const Message& msg) {
+  static Counter& drops = fault_counter("spca.fault.injected_drops");
+  static Counter& corruptions = fault_counter("spca.fault.injected_corruptions");
+  static Counter& duplicates = fault_counter("spca.fault.injected_duplicates");
+  static Counter& reorders = fault_counter("spca.fault.injected_reorders");
+  static Counter& retransmits = fault_counter("spca.fault.retransmits");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // ARQ: a dropped attempt never reaches the inner transport; a corrupted
+  // attempt is always detected (the frame CRC catches any byte flip) and
+  // behaves the same. Either way the sender retries — the loop terminates
+  // with probability 1 because the per-attempt fault probabilities are
+  // capped at 0.9.
+  for (;;) {
+    if (plan_.next_drop()) {
+      ++fault_stats_.drops;
+      ++fault_stats_.retransmits;
+      drops.inc();
+      retransmits.inc();
+      continue;
+    }
+    if (plan_.next_corrupt()) {
+      ++fault_stats_.corruptions;
+      ++fault_stats_.retransmits;
+      corruptions.inc();
+      retransmits.inc();
+      continue;
+    }
+    break;
+  }
+
+  const int copies = plan_.next_duplicate() ? 2 : 1;
+  if (copies == 2) {
+    ++fault_stats_.duplicates;
+    duplicates.inc();
+  }
+  for (int c = 0; c < copies; ++c) {
+    if (plan_.next_reorder()) {
+      ++fault_stats_.reorders;
+      reorders.inc();
+      held_.push_back(msg);
+    } else {
+      inner_.send(msg);
+    }
+  }
+}
+
+void FaultyTransport::flush_held() const {
+  for (const Message& msg : held_) inner_.send(msg);
+  held_.clear();
+}
+
+std::vector<Message> FaultyTransport::deduplicate(
+    std::vector<Message> messages) const {
+  static Counter& deduplicated = fault_counter("spca.fault.deduplicated");
+  std::vector<Message> out;
+  out.reserve(messages.size());
+  for (Message& msg : messages) {
+    const DedupKey key{static_cast<std::uint8_t>(msg.type), msg.from, msg.to,
+                       msg.interval};
+    if (delivered_.insert(key).second) {
+      out.push_back(std::move(msg));
+    } else {
+      ++fault_stats_.deduplicated;
+      deduplicated.inc();
+    }
+  }
+  return out;
+}
+
+std::vector<Message> FaultyTransport::drain(NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_held();
+  return deduplicate(inner_.drain(node));
+}
+
+std::vector<Message> FaultyTransport::take(NodeId node, MessageType type) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_held();
+  return deduplicate(inner_.take(node, type));
+}
+
+bool FaultyTransport::has_mail(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_held();
+  return inner_.has_mail(node);
+}
+
+bool FaultyTransport::wait_for_mail(NodeId node,
+                                    std::chrono::milliseconds timeout) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_held();
+  return inner_.wait_for_mail(node, timeout);
+}
+
+FaultInjectionStats FaultyTransport::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_stats_;
+}
+
+}  // namespace spca

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 
@@ -41,6 +42,9 @@ std::vector<std::byte> encode_frame(FrameType type,
   out.push_back(static_cast<std::byte>(kWireVersion));
   out.push_back(static_cast<std::byte>(type));
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = crc32_update(kCrc32Init, out.data(), kFrameCrcCoverBytes);
+  crc = crc32_finish(crc32_update(crc, payload.data(), payload.size()));
+  put_u32(out, crc);
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
@@ -85,6 +89,12 @@ void FrameDecoder::parse_available() {
     }
     if (buffer_.size() - offset - kFrameHeaderBytes < length) {
       break;  // incomplete: wait for more bytes
+    }
+    const std::uint32_t expected = read_u32(header + kFrameCrcCoverBytes);
+    std::uint32_t crc = crc32_update(kCrc32Init, header, kFrameCrcCoverBytes);
+    crc = crc32_finish(crc32_update(crc, header + kFrameHeaderBytes, length));
+    if (crc != expected) {
+      frame_error("FrameDecoder: crc mismatch");
     }
     Frame frame;
     frame.type = static_cast<FrameType>(type);

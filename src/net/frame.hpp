@@ -8,7 +8,13 @@
 //   offset 4  u8   version   kWireVersion
 //   offset 5  u8   type      FrameType
 //   offset 6  u32  length    payload bytes following the header
-//   offset 10 ...  payload
+//   offset 10 u32  crc       CRC-32 over bytes [0, 10) and the payload
+//   offset 14 ...  payload
+//
+// The CRC covers the first ten header bytes plus the payload (not itself),
+// so corruption anywhere in a frame is rejected from the frame alone —
+// before the payload reaches deserialize() — and any single-byte flip is
+// caught deterministically.
 //
 // kMessage payloads are exactly the output of `serialize()` in
 // dist/message; control frames (kHello, kAdvance) carry transport-level
@@ -26,9 +32,12 @@ namespace spca {
 /// First four bytes of every frame: 'S' 'P' 'C' 'A'.
 inline constexpr std::uint32_t kFrameMagic = 0x41435053u;
 /// Protocol version; bumped on any incompatible frame or message change.
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2 added the CRC-32 header field.
+inline constexpr std::uint8_t kWireVersion = 2;
 /// Fixed header size in bytes.
-inline constexpr std::size_t kFrameHeaderBytes = 10;
+inline constexpr std::size_t kFrameHeaderBytes = 14;
+/// Header bytes covered by the CRC (everything before the crc field).
+inline constexpr std::size_t kFrameCrcCoverBytes = 10;
 /// Upper bound on a single frame payload. Generous for sketch responses
 /// (a million-flow response is ~0.7 GiB would be sharded upstream); mostly
 /// a guard against a corrupt length field demanding an absurd allocation.
@@ -65,8 +74,9 @@ struct Frame {
 
 /// Incremental frame parser: feed arbitrary byte chunks as they arrive from
 /// the socket (partial reads welcome), pop complete frames. Throws
-/// ProtocolError on bad magic, unknown version, unknown frame type, or an
-/// oversized length field — the connection must be dropped after that.
+/// ProtocolError on bad magic, unknown version, unknown frame type, an
+/// oversized length field, or a CRC mismatch — the connection must be
+/// dropped after that.
 class FrameDecoder final {
  public:
   /// Appends `n` received bytes and parses any frames they complete.

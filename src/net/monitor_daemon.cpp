@@ -1,10 +1,14 @@
 #include "net/monitor_daemon.hpp"
 
+#include <chrono>
+
+#include "common/checkpoint_store.hpp"
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "dist/local_monitor.hpp"
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
 
 namespace spca {
 
@@ -12,17 +16,24 @@ namespace {
 
 constexpr std::chrono::milliseconds kWaitSlice{100};
 
+std::string monitor_store_name(NodeId id) {
+  return "monitor" + std::to_string(id);
+}
+
 }  // namespace
 
 MonitorDaemon::MonitorDaemon(MonitorDaemonConfig config)
     : config_(std::move(config)) {}
 
 MonitorDaemonResult MonitorDaemon::run() {
+  const auto recovery_begin = std::chrono::steady_clock::now();
   const NetScenario scenario = build_scenario(config_.scenario);
   const std::size_t m = scenario.trace.num_flows();
   const SketchDetectorConfig& det = scenario.detector;
   SPCA_EXPECTS(config_.monitor_id >= 1 &&
                config_.monitor_id <= config_.scenario.monitors);
+  SPCA_EXPECTS(config_.first_interval >= kAutoInterval);
+  SPCA_EXPECTS(config_.checkpoint_every >= 0);
 
   const ProjectionSource source =
       det.projection == ProjectionKind::kVerySparse
@@ -30,23 +41,78 @@ MonitorDaemonResult MonitorDaemon::run() {
           : ProjectionSource(det.projection, det.seed, det.sparsity);
   const std::vector<FlowId> flows =
       scenario_flows_of(m, config_.scenario.monitors, config_.monitor_id);
-  LocalMonitor monitor(config_.monitor_id, flows, det.window, det.epsilon,
-                       det.sketch_rows, source);
 
   const auto end = config_.last_interval >= 0
                        ? config_.last_interval
                        : static_cast<std::int64_t>(config_.scenario.intervals);
-  SPCA_EXPECTS(config_.first_interval >= 0 && config_.first_interval <= end);
+
+  std::optional<CheckpointStore> store;
+  if (!config_.checkpoint_dir.empty()) {
+    store.emplace(config_.checkpoint_dir,
+                  monitor_store_name(config_.monitor_id));
+  }
+
+  // Pick the sketch state and the interval at which to join the protocol.
+  // Preference order: restore a snapshot (and absorb only the tail up to
+  // the join interval), else absorb the full prefix from scratch.
+  MonitorDaemonResult result;
+  std::optional<LocalMonitor> monitor;
+  std::int64_t join =
+      config_.first_interval == kAutoInterval ? 0 : config_.first_interval;
+  std::int64_t absorb_from = 0;
+  if (store) {
+    if (auto snap = store->load_latest()) {
+      const auto seq = static_cast<std::int64_t>(snap->seq);
+      if (config_.first_interval != kAutoInterval &&
+          seq > config_.first_interval) {
+        log_warn("monitord ", config_.monitor_id, ": snapshot ", snap->path,
+                 " is ahead of --first-interval ", config_.first_interval,
+                 "; rebuilding from scratch");
+      } else {
+        try {
+          LocalMonitor restored = LocalMonitor::restore_state(snap->payload);
+          if (restored.id() != config_.monitor_id ||
+              restored.flows() != flows) {
+            throw ProtocolError(
+                "snapshot belongs to a different monitor or deployment");
+          }
+          monitor.emplace(std::move(restored));
+          if (config_.first_interval == kAutoInterval) join = seq;
+          absorb_from = seq;
+          result.restored_from_checkpoint = true;
+          log_info("monitord ", config_.monitor_id, ": restored interval ",
+                   seq, " from ", snap->path);
+        } catch (const Error& e) {
+          log_warn("monitord ", config_.monitor_id, ": ignoring snapshot ",
+                   snap->path, ": ", e.what());
+        }
+      }
+    }
+  }
+  SPCA_EXPECTS(join >= 0 && join <= end);
+  if (!monitor) {
+    monitor.emplace(config_.monitor_id, flows, det.window, det.epsilon,
+                    det.sketch_rows, source);
+  }
 
   // Warm rebuild: replay the intervals the NOC has already accounted for,
   // without sending anything. After this the sketch state is exactly what a
-  // never-restarted monitor would hold entering first_interval.
-  for (std::int64_t t = 0; t < config_.first_interval; ++t) {
+  // never-restarted monitor would hold entering `join`.
+  for (std::int64_t t = absorb_from; t < join; ++t) {
     for (const FlowId flow : flows) {
-      monitor.ingest_volume(
+      monitor->ingest_volume(
           flow, scenario.trace.volumes()(static_cast<std::size_t>(t), flow));
     }
-    monitor.absorb_interval(t);
+    monitor->absorb_interval(t);
+    ++result.intervals_absorbed;
+  }
+  result.start_interval = join;
+  if (result.restored_from_checkpoint || result.intervals_absorbed > 0) {
+    const std::chrono::duration<double> recovery =
+        std::chrono::steady_clock::now() - recovery_begin;
+    MetricsRegistry::global()
+        .histogram("spca.fault.recovery_seconds")
+        .record(recovery.count());
   }
 
   TcpTransportConfig tcp;
@@ -56,18 +122,28 @@ MonitorDaemonResult MonitorDaemon::run() {
   tcp.io_timeout = config_.io_timeout;
   TcpTransport transport(tcp);
   transport.start();
+  std::unique_ptr<Transport> wrapped;
+  if (config_.wrap_transport) wrapped = config_.wrap_transport(transport);
+  Transport& bus = wrapped ? *wrapped : static_cast<Transport&>(transport);
   log_info("monitord ", config_.monitor_id, ": connected to ",
-           config_.noc_host, ":", config_.noc_port, ", intervals [",
-           config_.first_interval, ", ", end, ")");
+           config_.noc_host, ":", config_.noc_port, ", intervals [", join,
+           ", ", end, ")");
 
-  MonitorDaemonResult result;
-  for (std::int64_t t = config_.first_interval; t < end; ++t) {
+  // The last snapshot-consistent state: `consistent_blob` is the sketch
+  // state entering interval `consistent_seq`, captured only at lock-step
+  // quiet points (right after the NOC advanced past an interval). A stop
+  // mid-interval persists this, never a state the NOC has not accounted.
+  std::vector<std::byte> consistent_blob;
+  std::int64_t consistent_seq = join;
+  if (store) consistent_blob = monitor->save_state();
+
+  for (std::int64_t t = join; t < end; ++t) {
     if (stop_.load(std::memory_order_relaxed)) break;
     for (const FlowId flow : flows) {
-      monitor.ingest_volume(
+      monitor->ingest_volume(
           flow, scenario.trace.volumes()(static_cast<std::size_t>(t), flow));
     }
-    monitor.end_interval(t, transport);
+    monitor->end_interval(t, bus);
     ++result.intervals_reported;
 
     // Serve sketch pulls until the NOC finishes interval t. Requests for t
@@ -76,8 +152,8 @@ MonitorDaemonResult MonitorDaemon::run() {
     bool advanced = false;
     auto waited = std::chrono::milliseconds(0);
     while (!advanced && !stop_.load(std::memory_order_relaxed)) {
-      for (const Message& msg : transport.drain(config_.monitor_id)) {
-        monitor.handle_request(msg, transport);
+      for (const Message& msg : bus.drain(config_.monitor_id)) {
+        monitor->handle_request(msg, bus);
       }
       while (auto control = transport.poll_control()) {
         if (control->type != FrameType::kAdvance) continue;
@@ -92,6 +168,24 @@ MonitorDaemonResult MonitorDaemon::run() {
         }
       }
     }
+    if (!advanced) break;
+    if (config_.after_advance) config_.after_advance(t, transport);
+    if (store) {
+      consistent_blob = monitor->save_state();
+      consistent_seq = t + 1;
+      if (config_.checkpoint_every > 0 &&
+          (t + 1) % config_.checkpoint_every == 0) {
+        store->write(static_cast<std::uint64_t>(consistent_seq),
+                     consistent_blob);
+      }
+    }
+  }
+
+  if (store && config_.final_checkpoint) {
+    result.final_checkpoint_path = store->write(
+        static_cast<std::uint64_t>(consistent_seq), consistent_blob);
+    log_info("monitord ", config_.monitor_id, ": final checkpoint (interval ",
+             consistent_seq, ") at ", result.final_checkpoint_path);
   }
 
   result.reconnects = transport.reconnects();

@@ -4,22 +4,36 @@
 // frames — which keeps the multi-process trajectory bit-identical to the
 // synchronous simulation.
 //
-// Restart story: a daemon started with first_interval > 0 rebuilds its
-// sketch state by absorbing the earlier intervals locally (no messages),
-// then reconnects and continues from first_interval. The NOC has already
-// accounted those intervals, so the joint trajectory continues unchanged —
-// this is what lets a killed monitor rejoin mid-run.
+// Restart story, in order of preference:
+//   * checkpoint_dir holds a snapshot and first_interval == kAutoInterval:
+//     the monitor restores its full sketch state from the snapshot and
+//     resumes at the snapshot's interval — no replay at all (the clean
+//     SIGTERM/EOF path, which always writes a final snapshot).
+//   * checkpoint_dir holds a snapshot and first_interval is explicit (a
+//     crash kill: the operator knows where the NOC is waiting): restore the
+//     snapshot, then absorb only the short tail [snapshot, first_interval)
+//     locally instead of replaying the whole history.
+//   * no usable snapshot: absorb [0, first_interval) — the PR-4 behaviour.
+// In every case the NOC has already accounted the skipped intervals, so the
+// joint trajectory continues bit-identically.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "net/scenario.hpp"
 #include "net/socket.hpp"
 #include "net/tcp_transport.hpp"
+#include "net/transport.hpp"
 
 namespace spca {
+
+/// first_interval sentinel: resume from the latest valid snapshot in
+/// checkpoint_dir, or 0 when there is none.
+inline constexpr std::int64_t kAutoInterval = -1;
 
 /// Monitor daemon configuration.
 struct MonitorDaemonConfig {
@@ -29,7 +43,8 @@ struct MonitorDaemonConfig {
   /// NOC endpoint to dial.
   std::string noc_host = "127.0.0.1";
   std::uint16_t noc_port = 0;
-  /// First interval to report (earlier intervals are absorbed locally).
+  /// First interval to report (earlier intervals come from the snapshot
+  /// and/or local absorption). kAutoInterval resumes from the checkpoint.
   std::int64_t first_interval = 0;
   /// One-past-last interval to report; -1 = scenario end. An early stop
   /// exits gracefully after the NOC advanced past the last interval, which
@@ -37,6 +52,21 @@ struct MonitorDaemonConfig {
   std::int64_t last_interval = -1;
   RetryPolicy retry;
   std::chrono::milliseconds io_timeout{15000};
+  /// Durable snapshot directory; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Snapshot cadence in intervals (0 = shutdown snapshot only).
+  std::int64_t checkpoint_every = 0;
+  /// Write a snapshot at shutdown (SIGTERM/EOF/last_interval). Chaos tests
+  /// disable this to model a crash kill that only leaves periodic snapshots.
+  bool final_checkpoint = true;
+  /// Fault-injection hook: wraps the TCP transport for all Message-level
+  /// traffic (reports, pulls, responses). Control frames and connection
+  /// management stay on the raw transport. Keeps net/ ignorant of fault/.
+  std::function<std::unique_ptr<Transport>(Transport&)> wrap_transport;
+  /// Fault-injection hook: runs right after kAdvance(t) was received — a
+  /// protocol-quiet point where a connection reset cannot lose in-flight
+  /// frames (fault/chaos uses it to flap the NOC link deterministically).
+  std::function<void(std::int64_t, TcpTransport&)> after_advance;
 };
 
 /// What a finished run did.
@@ -47,6 +77,15 @@ struct MonitorDaemonResult {
   std::uint64_t reconnects = 0;
   /// Send-side wire accounting of this monitor.
   NetworkStats stats;
+  /// True when the sketch state came from a checkpoint snapshot.
+  bool restored_from_checkpoint = false;
+  /// Intervals absorbed locally before joining (tail after a restore, or
+  /// the full prefix without one).
+  std::int64_t intervals_absorbed = 0;
+  /// First interval reported over the wire.
+  std::int64_t start_interval = 0;
+  /// Path of the shutdown snapshot ("" when checkpointing is off).
+  std::string final_checkpoint_path;
 };
 
 /// The monitor process body (also runnable on a thread in tests).

@@ -1,0 +1,22 @@
+// Readers for the shared transport tuning flags (define_transport_flags in
+// common/cli). They live in net/ because common/ must not depend on the
+// socket layer's RetryPolicy type.
+#pragma once
+
+#include <chrono>
+
+#include "common/cli.hpp"
+#include "net/socket.hpp"
+
+namespace spca {
+
+/// Builds the outbound dial retry policy from --connect-attempts,
+/// --connect-timeout-ms, --backoff-initial-ms, --backoff-max-ms.
+/// Throws InputError on non-positive values.
+[[nodiscard]] RetryPolicy retry_policy_from_flags(const CliFlags& flags);
+
+/// Reads --io-timeout-ms. Throws InputError on non-positive values.
+[[nodiscard]] std::chrono::milliseconds io_timeout_from_flags(
+    const CliFlags& flags);
+
+}  // namespace spca

@@ -1,5 +1,6 @@
 #include "net/noc_daemon.hpp"
 
+#include "common/checkpoint_store.hpp"
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -45,18 +46,48 @@ std::uint64_t NocDaemon::reconnects() const noexcept {
 
 ScenarioRun NocDaemon::run() {
   SPCA_EXPECTS(started_);
+  SPCA_EXPECTS(config_.checkpoint_every >= 0);
   const NetScenario scenario = build_scenario(config_.scenario);
   const std::size_t num_monitors = config_.scenario.monitors;
   const std::vector<NodeId> monitor_ids = scenario_monitor_ids(num_monitors);
-  Noc noc(scenario.trace.num_flows(),
-          noc_config_from(scenario.detector, /*host_sketches=*/false));
+
+  std::optional<CheckpointStore> store;
+  if (!config_.checkpoint_dir.empty()) {
+    store.emplace(config_.checkpoint_dir, "noc");
+  }
+
+  std::optional<Noc> noc;
+  std::int64_t start = 0;
+  if (store) {
+    if (auto snap = store->load_latest()) {
+      try {
+        Noc restored = Noc::restore_state(snap->payload);
+        if (restored.num_flows() != scenario.trace.num_flows()) {
+          throw ProtocolError("snapshot belongs to a different deployment");
+        }
+        noc.emplace(std::move(restored));
+        start = static_cast<std::int64_t>(snap->seq);
+        log_info("nocd: restored interval ", start, " from ", snap->path);
+      } catch (const Error& e) {
+        log_warn("nocd: ignoring snapshot ", snap->path, ": ", e.what());
+      }
+    }
+  }
+  if (!noc) {
+    noc.emplace(scenario.trace.num_flows(),
+                noc_config_from(scenario.detector, /*host_sketches=*/false));
+  }
+
+  std::unique_ptr<Transport> wrapped;
+  if (config_.wrap_transport) wrapped = config_.wrap_transport(transport_);
+  Transport& bus = wrapped ? *wrapped : static_cast<Transport&>(transport_);
 
   // Waits until `ready()` or the interval deadline; false when stopping.
   const auto wait_until = [&](const auto& ready, const char* what) {
     auto waited = std::chrono::milliseconds(0);
     while (!ready()) {
       if (stop_.load(std::memory_order_relaxed)) return false;
-      if (!transport_.wait_for_mail(kNocId, kWaitSlice)) {
+      if (!bus.wait_for_mail(kNocId, kWaitSlice)) {
         waited += kWaitSlice;
         if (waited >= config_.interval_deadline) {
           throw TransportError(std::string("nocd: timed out waiting for ") +
@@ -69,14 +100,16 @@ ScenarioRun NocDaemon::run() {
 
   ScenarioRun run;
   const auto intervals = static_cast<std::int64_t>(config_.scenario.intervals);
-  for (std::int64_t t = 0; t < intervals; ++t) {
+  SPCA_EXPECTS(start <= intervals);
+  std::int64_t done_through = start;
+  for (std::int64_t t = start; t < intervals; ++t) {
     // Phase 1: every monitor reports its flows' volumes for interval t.
     // The kAdvance lock-step guarantees no report for t+1 can arrive yet.
     std::vector<Message> reports;
     if (!wait_until(
             [&] {
               for (Message& msg :
-                   transport_.take(kNocId, MessageType::kVolumeReport)) {
+                   bus.take(kNocId, MessageType::kVolumeReport)) {
                 reports.push_back(std::move(msg));
               }
               return reports.size() >= num_monitors;
@@ -84,18 +117,18 @@ ScenarioRun NocDaemon::run() {
             "volume reports")) {
       break;
     }
-    const Vector x = noc.assemble_volumes(t, reports);
+    const Vector x = noc->assemble_volumes(t, reports);
 
     // Phase 2: detection, matching DistributedDetector's warm-up skip.
     if (t + 1 >= static_cast<std::int64_t>(scenario.detector.window)) {
       const auto pull = [&] {
-        noc.request_sketches(t, monitor_ids, transport_);
+        noc->request_sketches(t, monitor_ids, bus);
         std::size_t responses = 0;
         if (!wait_until(
                 [&] {
                   for (const Message& msg :
-                       transport_.take(kNocId, MessageType::kSketchResponse)) {
-                    noc.ingest_sketch_response(msg);
+                       bus.take(kNocId, MessageType::kSketchResponse)) {
+                    noc->ingest_sketch_response(msg);
                     ++responses;
                   }
                   return responses >= num_monitors;
@@ -103,9 +136,9 @@ ScenarioRun NocDaemon::run() {
                 "sketch responses")) {
           throw TransportError("nocd: stopped during a sketch pull");
         }
-        noc.refit();
+        noc->refit();
       };
-      const Detection det = noc.detect_with_pull(t, x, pull, transport_);
+      const Detection det = noc->detect_with_pull(t, x, pull, bus);
       run.distances.push_back(det.distance);
       if (det.alarm) run.alarm_intervals.push_back(t);
     }
@@ -115,11 +148,24 @@ ScenarioRun NocDaemon::run() {
       transport_.send_control(monitor, FrameType::kAdvance,
                               encode_interval_payload(t));
     }
+    done_through = t + 1;
+    if (store && config_.checkpoint_every > 0 &&
+        done_through % config_.checkpoint_every == 0) {
+      store->write(static_cast<std::uint64_t>(done_through),
+                   noc->save_state());
+    }
+  }
+
+  if (store) {
+    const std::string path = store->write(
+        static_cast<std::uint64_t>(done_through), noc->save_state());
+    log_info("nocd: final checkpoint (interval ", done_through, ") at ",
+             path);
   }
 
   run.stats = transport_.stats();
   log_info("nocd: finished, ", run.alarm_intervals.size(), " alarms, ",
-           noc.sketch_pulls(), " sketch pulls, ", transport_.reconnects(),
+           noc->sketch_pulls(), " sketch pulls, ", transport_.reconnects(),
            " reconnects");
   return run;
 }

@@ -8,10 +8,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "net/scenario.hpp"
 #include "net/tcp_transport.hpp"
+#include "net/transport.hpp"
 
 namespace spca {
 
@@ -26,6 +29,16 @@ struct NocDaemonConfig {
   /// needs time to restart, rebuild, and reconnect.
   std::chrono::milliseconds interval_deadline{60000};
   std::chrono::milliseconds io_timeout{15000};
+  /// Durable snapshot directory; empty disables checkpointing. With a valid
+  /// snapshot present, run() restores the model and resumes at the
+  /// snapshot's interval instead of starting from 0.
+  std::string checkpoint_dir;
+  /// Snapshot cadence in intervals (0 = shutdown snapshot only).
+  std::int64_t checkpoint_every = 0;
+  /// Fault-injection hook: wraps the TCP transport for all Message-level
+  /// traffic (reports, sketch pulls, alarms). Control frames stay on the
+  /// raw transport. Keeps net/ ignorant of fault/.
+  std::function<std::unique_ptr<Transport>(Transport&)> wrap_transport;
 };
 
 /// The NOC process body (also runnable on a thread in tests).
@@ -42,8 +55,10 @@ class NocDaemon final {
   [[nodiscard]] std::uint16_t bound_port() const noexcept;
 
   /// Runs the deployment to completion (or until request_stop()) and
-  /// returns the trajectory. Throws TransportError if a monitor stays away
-  /// longer than the interval deadline.
+  /// returns the trajectory. When resuming from a checkpoint, the returned
+  /// distances/alarms cover only the intervals this incarnation processed.
+  /// Throws TransportError if a monitor stays away longer than the interval
+  /// deadline.
   ScenarioRun run();
 
   /// Asks a running daemon to wind down at the next poll slice.

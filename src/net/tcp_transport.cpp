@@ -392,6 +392,28 @@ std::uint64_t TcpTransport::reconnects() const noexcept {
   return reconnects_.load(std::memory_order_relaxed);
 }
 
+void TcpTransport::reset_connection(NodeId peer) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = conns_.find(peer);
+    if (it == conns_.end()) return;
+    conn = it->second;
+  }
+  drop_conn(conn);
+  conn_cv_.notify_all();
+}
+
+void TcpTransport::ensure_connected(NodeId peer) {
+  if (connected(peer)) return;
+  for (const auto& p : config_.peers) {
+    if (p.id == peer) {
+      register_conn(connect_peer(p, /*is_reconnect=*/true));
+      return;
+    }
+  }
+}
+
 std::vector<NodeId> TcpTransport::connected_peers() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<NodeId> peers;

@@ -111,6 +111,17 @@ class TcpTransport final : public Transport {
   /// Node ids with a currently live connection (for tests/introspection).
   [[nodiscard]] std::vector<NodeId> connected_peers() const;
 
+  /// Forcibly severs the live connection to `peer` (if any), as if the link
+  /// flapped: the socket is shut down and the reader drops it. Fault
+  /// injection calls this at protocol-quiet points; the next send (or an
+  /// ensure_connected) redials outbound peers transparently.
+  void reset_connection(NodeId peer);
+
+  /// Redials `peer` now if it is an outbound peer with no live connection.
+  /// Lets a daemon that just reset its own link re-establish it proactively
+  /// instead of deadlocking until the next send's I/O timeout.
+  void ensure_connected(NodeId peer);
+
  private:
   struct Conn;
 

@@ -45,6 +45,20 @@ class VolumeCounter final {
     return intervals_;
   }
 
+  /// Raw unflushed buckets (exposed for checkpointing).
+  [[nodiscard]] const std::vector<double>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Reconstructs a counter from exported state (checkpoint restore).
+  [[nodiscard]] static VolumeCounter from_state(std::vector<double> buckets,
+                                                std::uint64_t intervals) {
+    VolumeCounter counter(static_cast<std::uint32_t>(buckets.size()));
+    counter.buckets_ = std::move(buckets);
+    counter.intervals_ = intervals;
+    return counter;
+  }
+
  private:
   std::vector<double> buckets_;
   std::uint64_t intervals_ = 0;

@@ -1,0 +1,263 @@
+// Chaos harness end-to-end: scripted fault schedules against both the
+// simulated and the real TCP deployment must leave the detection trajectory
+// bit-identical to the fault-free reference, and hostile bytes on the wire
+// must never take a daemon down.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/chaos.hpp"
+#include "net/frame.hpp"
+#include "net/monitor_daemon.hpp"
+#include "net/noc_daemon.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+
+namespace spca {
+namespace {
+
+using namespace std::chrono_literals;
+
+namespace fs = std::filesystem;
+
+class TempDir final {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = fs::temp_directory_path() /
+            ("spca-chaos-" + tag + "-" + std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+NetScenarioConfig small_scenario() {
+  NetScenarioConfig config;
+  config.topology = "diamond";
+  config.intervals = 40;
+  config.window = 12;
+  config.sketch_rows = 8;
+  config.monitors = 2;
+  config.seed = 7;
+  config.anomalies = 3;
+  return config;
+}
+
+RetryPolicy fast_retry() {
+  RetryPolicy retry;
+  retry.max_attempts = 400;
+  retry.connect_timeout = 1000ms;
+  retry.backoff_initial = 5ms;
+  retry.backoff_max = 50ms;
+  return retry;
+}
+
+ChaosConfig base_config() {
+  ChaosConfig config;
+  config.scenario = small_scenario();
+  config.retry = fast_retry();
+  config.io_timeout = 20000ms;
+  config.interval_deadline = 30000ms;
+  return config;
+}
+
+TEST(Chaos, SimModeMasksHeavyMessageFaults) {
+  ChaosConfig config = base_config();
+  config.faults =
+      parse_fault_spec("drop=0.25,dup=0.15,reorder=0.25,corrupt=0.15,seed=3");
+  const ChaosResult result = run_chaos(config);
+  EXPECT_TRUE(result.match);
+  EXPECT_GT(result.faults.drops, 0u);
+  EXPECT_GT(result.faults.corruptions, 0u);
+  EXPECT_GT(result.faults.duplicates, 0u);
+  EXPECT_GT(result.faults.reorders, 0u);
+  EXPECT_EQ(result.faults.retransmits,
+            result.faults.drops + result.faults.corruptions);
+  EXPECT_EQ(result.faults.deduplicated, result.faults.duplicates);
+}
+
+TEST(Chaos, ValidationRejectsInfeasibleSchedules) {
+  {
+    ChaosConfig config = base_config();  // sim mode
+    config.faults = parse_fault_spec("kill=1@18");
+    EXPECT_THROW((void)run_chaos(config), InputError);
+  }
+  {
+    ChaosConfig config = base_config();
+    config.tcp = true;  // kills without a checkpoint directory
+    config.faults = parse_fault_spec("kill=1@18");
+    EXPECT_THROW((void)run_chaos(config), InputError);
+  }
+  {
+    ChaosConfig config = base_config();
+    config.tcp = true;
+    config.checkpoint_dir = "/tmp/never-created";
+    config.faults = parse_fault_spec("kill=9@18");  // unknown monitor
+    EXPECT_THROW((void)run_chaos(config), InputError);
+  }
+  {
+    ChaosConfig config = base_config();
+    config.tcp = true;
+    config.faults = parse_fault_spec("reset=1@100");  // past scenario end
+    EXPECT_THROW((void)run_chaos(config), InputError);
+  }
+}
+
+TEST(Chaos, TcpKillRestartsFromShutdownCheckpoint) {
+  const TempDir dir("cleankill");
+  ChaosConfig config = base_config();
+  config.tcp = true;
+  config.checkpoint_dir = dir.str();
+  config.checkpoint_every = 6;
+  config.faults = parse_fault_spec("drop=0.05,reorder=0.05,kill=1@18,seed=5");
+  const ChaosResult result = run_chaos(config);
+  EXPECT_TRUE(result.match);
+  EXPECT_EQ(result.kills, 1u);
+  // The reborn monitor restored the shutdown snapshot instead of replaying.
+  EXPECT_TRUE(result.restored_from_checkpoint);
+}
+
+TEST(Chaos, TcpCrashKillRestoresPeriodicSnapshotAndAbsorbsTail) {
+  const TempDir dir("crashkill");
+  ChaosConfig config = base_config();
+  config.tcp = true;
+  config.checkpoint_dir = dir.str();
+  config.checkpoint_every = 6;
+  config.crash_kills = true;  // no shutdown snapshot: restore 18, absorb 3
+  config.faults = parse_fault_spec("kill=2@21,seed=6");
+  const ChaosResult result = run_chaos(config);
+  EXPECT_TRUE(result.match);
+  EXPECT_EQ(result.kills, 1u);
+  EXPECT_TRUE(result.restored_from_checkpoint);
+}
+
+TEST(Chaos, TcpConnectionResetsAreSurvivedWithoutDivergence) {
+  ChaosConfig config = base_config();
+  config.tcp = true;
+  config.faults =
+      parse_fault_spec("drop=0.05,dup=0.05,reset=1@20,reset=2@25,seed=8");
+  const ChaosResult result = run_chaos(config);
+  EXPECT_TRUE(result.match);
+  EXPECT_EQ(result.resets, 2u);
+  EXPECT_GE(result.monitor_reconnects, 2u);
+}
+
+/// Sends raw bytes to the daemon's listen port on a throwaway connection.
+void send_rogue_bytes(std::uint16_t port, const std::vector<std::byte>& bytes) {
+  TcpStream rogue = TcpStream::connect("127.0.0.1", port, 2000ms);
+  if (!bytes.empty()) rogue.send_all(bytes.data(), bytes.size(), 2000ms);
+  rogue.shutdown_send();
+  // Give the reader a moment to parse and reject before we disappear.
+  std::array<std::byte, 16> sink;
+  (void)rogue.recv_some(sink.data(), sink.size(), 200ms);
+}
+
+std::vector<std::byte> ascii_bytes(const std::string& text) {
+  std::vector<std::byte> out(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    out[i] = static_cast<std::byte>(text[i]);
+  }
+  return out;
+}
+
+TEST(Chaos, RogueAndCorruptConnectionsNeverCrashTheNocDaemon) {
+  const NetScenarioConfig config = small_scenario();
+  const NetScenario scenario = build_scenario(config);
+  const ScenarioRun reference = run_scenario_reference(scenario);
+  Counter& frame_errors =
+      MetricsRegistry::global().counter("spca.net.frame_errors");
+  const std::uint64_t errors_before = frame_errors.value();
+
+  NocDaemonConfig noc_config;
+  noc_config.scenario = config;
+  noc_config.listen_port = 0;
+  noc_config.interval_deadline = 30000ms;
+  NocDaemon noc(noc_config);
+  noc.start();
+  const std::uint16_t port = noc.bound_port();
+
+  // Hostile peers, before the real monitors show up: wrong protocol
+  // entirely, a valid hello followed by a CRC-corrupted frame, a truncated
+  // frame, an unknown frame type, and a silent connect-and-vanish.
+  send_rogue_bytes(port, ascii_bytes("GET / HTTP/1.1\r\nHost: noc\r\n\r\n"));
+  {
+    std::vector<std::byte> hello_payload(4);
+    hello_payload[0] = std::byte{99};  // NodeId 99: not part of the protocol
+    std::vector<std::byte> bytes =
+        encode_frame(FrameType::kHello, hello_payload);
+    std::vector<std::byte> corrupt =
+        encode_frame(FrameType::kMessage, ascii_bytes("payload"));
+    corrupt[kFrameHeaderBytes] ^= std::byte{0x40};  // breaks the CRC
+    bytes.insert(bytes.end(), corrupt.begin(), corrupt.end());
+    send_rogue_bytes(port, bytes);
+  }
+  {
+    std::vector<std::byte> truncated =
+        encode_frame(FrameType::kMessage, ascii_bytes("half a frame"));
+    truncated.resize(truncated.size() / 2);
+    send_rogue_bytes(port, truncated);
+  }
+  {
+    std::vector<std::byte> unknown = encode_frame(FrameType::kHello, {});
+    unknown[5] = std::byte{0x7E};  // type nobody knows
+    send_rogue_bytes(port, unknown);
+  }
+  send_rogue_bytes(port, {});
+
+  // The deployment still runs to a bit-identical trajectory.
+  std::vector<std::thread> threads;
+  std::vector<MonitorDaemonResult> results(config.monitors);
+  std::vector<std::exception_ptr> errors(config.monitors);
+  for (std::size_t k = 0; k < config.monitors; ++k) {
+    threads.emplace_back([&, k] {
+      try {
+        MonitorDaemonConfig mc;
+        mc.scenario = config;
+        mc.monitor_id = static_cast<NodeId>(k + 1);
+        mc.noc_port = port;
+        mc.retry = fast_retry();
+        mc.io_timeout = 20000ms;
+        MonitorDaemon daemon(mc);
+        results[k] = daemon.run();
+      } catch (...) {
+        errors[k] = std::current_exception();
+      }
+    });
+  }
+  // One more hostile burst while the run is in flight.
+  send_rogue_bytes(port, ascii_bytes("\x01\x02\x03\x04garbage mid-run"));
+
+  const ScenarioRun run = noc.run();
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  EXPECT_EQ(run.alarm_intervals, reference.alarm_intervals);
+  ASSERT_EQ(run.distances.size(), reference.distances.size());
+  for (std::size_t i = 0; i < reference.distances.size(); ++i) {
+    EXPECT_EQ(run.distances[i], reference.distances[i]) << "index " << i;
+  }
+  // The hostile frames were detected and counted, not absorbed silently.
+  EXPECT_GE(frame_errors.value() - errors_before, 3u);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,205 @@
+// CheckpointStore: atomic durable snapshots with validation strong enough
+// that a restarted daemon never trusts a torn or bit-flipped file.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/checkpoint_store.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir final {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = fs::temp_directory_path() /
+            ("spca-ckpt-" + tag + "-" + std::to_string(::getpid()));
+    fs::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+std::vector<std::byte> blob_of(const std::string& text) {
+  std::vector<std::byte> out(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    out[i] = static_cast<std::byte>(text[i]);
+  }
+  return out;
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointStore, WriteThenLoadRoundTripsPayloadAndSeq) {
+  const TempDir dir("roundtrip");
+  CheckpointStore store(dir.str(), "monitor1");
+  const std::vector<std::byte> payload = blob_of("sketch state bytes");
+  const std::string path = store.write(17, payload);
+  EXPECT_TRUE(fs::exists(path));
+
+  const auto latest = store.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->seq, 17u);
+  EXPECT_EQ(latest->payload, payload);
+  EXPECT_EQ(latest->path, path);
+}
+
+TEST(CheckpointStore, EmptyDirectoryLoadsNothing) {
+  const TempDir dir("empty");
+  const CheckpointStore store(dir.str(), "monitor1");
+  EXPECT_FALSE(store.load_latest().has_value());
+  EXPECT_TRUE(store.list().empty());
+}
+
+TEST(CheckpointStore, LatestWinsAndNamespacesAreIsolated) {
+  const TempDir dir("latest");
+  CheckpointStore a(dir.str(), "monitor1");
+  CheckpointStore b(dir.str(), "monitor2");
+  (void)a.write(3, blob_of("m1 old"));
+  (void)a.write(9, blob_of("m1 new"));
+  (void)b.write(5, blob_of("m2"));
+
+  EXPECT_EQ(a.load_latest()->seq, 9u);
+  EXPECT_EQ(a.load_latest()->payload, blob_of("m1 new"));
+  EXPECT_EQ(b.load_latest()->seq, 5u);
+  EXPECT_EQ(b.load_latest()->payload, blob_of("m2"));
+}
+
+TEST(CheckpointStore, RetainLimitPrunesOldestFirst) {
+  const TempDir dir("retain");
+  CheckpointStore store(dir.str(), "noc", /*retain=*/2);
+  (void)store.write(1, blob_of("one"));
+  (void)store.write(2, blob_of("two"));
+  (void)store.write(3, blob_of("three"));
+
+  const std::vector<std::string> kept = store.list();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(CheckpointStore::read_snapshot(kept[0]).seq, 2u);
+  EXPECT_EQ(CheckpointStore::read_snapshot(kept[1]).seq, 3u);
+}
+
+TEST(CheckpointStore, TruncatedSnapshotIsRejected) {
+  const TempDir dir("truncated");
+  CheckpointStore store(dir.str(), "monitor1");
+  const std::string path = store.write(4, blob_of("payload under test"));
+
+  const std::vector<char> full = read_file(path);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{10}, full.size() - 1}) {
+    write_file(path, std::vector<char>(full.begin(),
+                                       full.begin() +
+                                           static_cast<std::ptrdiff_t>(keep)));
+    EXPECT_THROW((void)CheckpointStore::read_snapshot(path), ProtocolError)
+        << "kept " << keep << " of " << full.size() << " bytes";
+  }
+}
+
+TEST(CheckpointStore, EveryPossibleBitFlipIsRejected) {
+  const TempDir dir("bitflip");
+  CheckpointStore store(dir.str(), "monitor1");
+  const std::string path = store.write(11, blob_of("abcdefgh"));
+  const std::vector<char> good = read_file(path);
+  EXPECT_NO_THROW((void)CheckpointStore::read_snapshot(path));
+
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<char> bad = good;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      write_file(path, bad);
+      EXPECT_THROW((void)CheckpointStore::read_snapshot(path), ProtocolError)
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(CheckpointStore, TrailingGarbageIsRejected) {
+  const TempDir dir("trailing");
+  CheckpointStore store(dir.str(), "monitor1");
+  const std::string path = store.write(2, blob_of("data"));
+  std::vector<char> padded = read_file(path);
+  padded.push_back('\0');
+  write_file(path, padded);
+  EXPECT_THROW((void)CheckpointStore::read_snapshot(path), ProtocolError);
+}
+
+TEST(CheckpointStore, LoadLatestFallsBackPastACorruptNewestSnapshot) {
+  const TempDir dir("fallback");
+  CheckpointStore store(dir.str(), "monitor1");
+  (void)store.write(5, blob_of("good old"));
+  const std::string newest = store.write(8, blob_of("bad new"));
+
+  std::vector<char> bad = read_file(newest);
+  bad.back() = static_cast<char>(bad.back() ^ 0x01);
+  write_file(newest, bad);
+
+  const auto latest = store.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->seq, 5u);
+  EXPECT_EQ(latest->payload, blob_of("good old"));
+}
+
+TEST(CheckpointStore, StrayFilesInTheDirectoryAreIgnored) {
+  const TempDir dir("stray");
+  CheckpointStore store(dir.str(), "monitor1");
+  (void)store.write(1, blob_of("real"));
+  write_file(dir.str() + "/monitor1.notanumber.ckpt", {'x'});
+  write_file(dir.str() + "/monitor1.3.ckpt.tmp", {'y'});
+  write_file(dir.str() + "/unrelated.txt", {'z'});
+
+  ASSERT_EQ(store.list().size(), 1u);
+  EXPECT_EQ(store.load_latest()->seq, 1u);
+}
+
+TEST(CheckpointStore, WriteLeavesNoTemporaryBehind) {
+  const TempDir dir("tmpclean");
+  CheckpointStore store(dir.str(), "monitor1");
+  (void)store.write(1, blob_of("payload"));
+  for (const auto& entry : fs::directory_iterator(dir.str())) {
+    EXPECT_EQ(entry.path().extension().string(), ".ckpt")
+        << entry.path().string();
+  }
+}
+
+TEST(CheckpointStore, EmptyPayloadRoundTrips) {
+  const TempDir dir("emptypayload");
+  CheckpointStore store(dir.str(), "noc");
+  (void)store.write(0, {});
+  const auto latest = store.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->seq, 0u);
+  EXPECT_TRUE(latest->payload.empty());
+}
+
+TEST(CheckpointStore, MissingFileThrowsTransportError) {
+  const TempDir dir("missing");
+  const CheckpointStore store(dir.str(), "monitor1");
+  EXPECT_THROW((void)CheckpointStore::read_snapshot(dir.str() + "/nope.ckpt"),
+               TransportError);
+}
+
+}  // namespace
+}  // namespace spca

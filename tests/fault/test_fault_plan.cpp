@@ -1,0 +1,142 @@
+// FaultPlan: spec-string parsing, replayability, and stream independence —
+// the properties that make a chaos schedule a deterministic artifact.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace spca {
+namespace {
+
+TEST(FaultPlan, EmptySpecMeansNoFaults) {
+  const FaultPlanConfig config = parse_fault_spec("");
+  EXPECT_EQ(config.drop, 0.0);
+  EXPECT_EQ(config.duplicate, 0.0);
+  EXPECT_EQ(config.reorder, 0.0);
+  EXPECT_EQ(config.corrupt, 0.0);
+  EXPECT_TRUE(config.kills.empty());
+  EXPECT_TRUE(config.resets.empty());
+
+  FaultPlan plan(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(plan.next_drop());
+    EXPECT_FALSE(plan.next_duplicate());
+    EXPECT_FALSE(plan.next_reorder());
+    EXPECT_FALSE(plan.next_corrupt());
+  }
+}
+
+TEST(FaultPlan, SpecRoundTripsThroughToString) {
+  const std::string spec =
+      "drop=0.05,dup=0.02,reorder=0.1,corrupt=0.03,kill=1@18,reset=2@9,"
+      "seed=42";
+  const FaultPlanConfig config = parse_fault_spec(spec);
+  EXPECT_DOUBLE_EQ(config.drop, 0.05);
+  EXPECT_DOUBLE_EQ(config.duplicate, 0.02);
+  EXPECT_DOUBLE_EQ(config.reorder, 0.1);
+  EXPECT_DOUBLE_EQ(config.corrupt, 0.03);
+  EXPECT_EQ(config.seed, 42u);
+  ASSERT_EQ(config.kills.size(), 1u);
+  EXPECT_EQ(config.kills[0].node, 1u);
+  EXPECT_EQ(config.kills[0].interval, 18);
+  ASSERT_EQ(config.resets.size(), 1u);
+  EXPECT_EQ(config.resets[0].node, 2u);
+  EXPECT_EQ(config.resets[0].interval, 9);
+
+  const FaultPlanConfig again = parse_fault_spec(to_string(config));
+  EXPECT_EQ(again.drop, config.drop);
+  EXPECT_EQ(again.duplicate, config.duplicate);
+  EXPECT_EQ(again.reorder, config.reorder);
+  EXPECT_EQ(again.corrupt, config.corrupt);
+  EXPECT_EQ(again.seed, config.seed);
+  ASSERT_EQ(again.kills.size(), config.kills.size());
+  EXPECT_EQ(again.kills[0].node, config.kills[0].node);
+  EXPECT_EQ(again.kills[0].interval, config.kills[0].interval);
+}
+
+TEST(FaultPlan, RepeatedEventKeysAccumulate) {
+  const FaultPlanConfig config =
+      parse_fault_spec("kill=1@10,kill=2@20,reset=1@5,reset=1@7");
+  ASSERT_EQ(config.kills.size(), 2u);
+  ASSERT_EQ(config.resets.size(), 2u);
+
+  const FaultPlan plan(config);
+  EXPECT_EQ(plan.kill_interval(1).value(), 10);
+  EXPECT_EQ(plan.kill_interval(2).value(), 20);
+  EXPECT_FALSE(plan.kill_interval(3).has_value());
+  EXPECT_TRUE(plan.reset_scheduled(1, 5));
+  EXPECT_TRUE(plan.reset_scheduled(1, 7));
+  EXPECT_FALSE(plan.reset_scheduled(1, 6));
+  EXPECT_FALSE(plan.reset_scheduled(2, 5));
+}
+
+TEST(FaultPlan, SameSeedReplaysTheSameDecisionSequence) {
+  const FaultPlanConfig config =
+      parse_fault_spec("drop=0.3,dup=0.2,reorder=0.4,corrupt=0.1,seed=9");
+  FaultPlan a(config);
+  FaultPlan b(config);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_drop(), b.next_drop());
+    EXPECT_EQ(a.next_duplicate(), b.next_duplicate());
+    EXPECT_EQ(a.next_reorder(), b.next_reorder());
+    EXPECT_EQ(a.next_corrupt(), b.next_corrupt());
+  }
+}
+
+TEST(FaultPlan, StreamsAreIndependentAcrossFaultKinds) {
+  // Enabling a second fault kind must not shift the first kind's sequence:
+  // each kind draws from its own seeded stream.
+  FaultPlanConfig drop_only;
+  drop_only.drop = 0.5;
+  drop_only.seed = 123;
+  FaultPlanConfig both = drop_only;
+  both.duplicate = 0.5;
+
+  FaultPlan a(drop_only);
+  FaultPlan b(both);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.next_drop(), b.next_drop());
+    (void)b.next_duplicate();  // interleave; must not disturb the drops
+  }
+}
+
+TEST(FaultPlan, ProbabilitiesRoughlyMatchOverManyDraws) {
+  FaultPlanConfig config;
+  config.drop = 0.25;
+  config.seed = 7;
+  FaultPlan plan(config);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += plan.next_drop() ? 1 : 0;
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_fault_spec("drop"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("=0.1"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("drop=abc"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("drop=-0.1"), InputError);
+  // The 0.9 cap keeps every retransmit loop finite.
+  EXPECT_THROW((void)parse_fault_spec("drop=0.95"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("corrupt=1.0"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("lose=0.1"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("seed=abc"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("kill=1"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("kill=@5"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("kill=1@"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("kill=0@5"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("kill=1@-3"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("reset=x@5"), InputError);
+}
+
+TEST(FaultPlan, ToleratesEmptySegments) {
+  const FaultPlanConfig config = parse_fault_spec(",drop=0.1,,seed=5,");
+  EXPECT_DOUBLE_EQ(config.drop, 0.1);
+  EXPECT_EQ(config.seed, 5u);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,196 @@
+// FaultyTransport: the fault -> recovery pairings in isolation, and the
+// headline invariant — a full simulated deployment over a heavily faulted
+// channel reproduces the fault-free trajectory bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/sim_network.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_transport.hpp"
+#include "net/scenario.hpp"
+
+namespace spca {
+namespace {
+
+Message message_for(NodeId from, NodeId to, std::int64_t interval,
+                    MessageType type = MessageType::kVolumeReport) {
+  Message msg;
+  msg.type = type;
+  msg.from = from;
+  msg.to = to;
+  msg.interval = interval;
+  msg.ids = {1, 2};
+  msg.values = {1.5, 2.5};
+  return msg;
+}
+
+TEST(FaultyTransport, NoFaultsIsATransparentPassThrough) {
+  SimNetwork sim;
+  FaultyTransport faulty(sim, FaultPlanConfig{});
+  faulty.send(message_for(1, kNocId, 0));
+  faulty.send(message_for(2, kNocId, 0));
+
+  EXPECT_TRUE(faulty.has_mail(kNocId));
+  const std::vector<Message> mail = faulty.drain(kNocId);
+  ASSERT_EQ(mail.size(), 2u);
+  EXPECT_EQ(mail[0].from, 1u);
+  EXPECT_EQ(mail[1].from, 2u);
+
+  const FaultInjectionStats stats = faulty.fault_stats();
+  EXPECT_EQ(stats.drops, 0u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.reorders, 0u);
+  EXPECT_EQ(stats.retransmits, 0u);
+}
+
+TEST(FaultyTransport, DropsAndCorruptionsAreMaskedByRetransmission) {
+  SimNetwork sim;
+  FaultPlanConfig plan;
+  plan.drop = 0.5;
+  plan.corrupt = 0.3;
+  plan.seed = 4;
+  FaultyTransport faulty(sim, plan);
+
+  for (std::int64_t t = 0; t < 50; ++t) {
+    faulty.send(message_for(1, kNocId, t));
+  }
+  // Every message arrives exactly once despite the injected losses.
+  const std::vector<Message> mail = faulty.drain(kNocId);
+  ASSERT_EQ(mail.size(), 50u);
+  for (std::int64_t t = 0; t < 50; ++t) EXPECT_EQ(mail[t].interval, t);
+
+  const FaultInjectionStats stats = faulty.fault_stats();
+  EXPECT_GT(stats.drops + stats.corruptions, 0u);
+  EXPECT_EQ(stats.retransmits, stats.drops + stats.corruptions);
+}
+
+TEST(FaultyTransport, DuplicatesAreRemovedOnTheReceiveSide) {
+  SimNetwork sim;
+  FaultPlanConfig plan;
+  plan.duplicate = 0.9;
+  plan.seed = 5;
+  FaultyTransport faulty(sim, plan);
+
+  for (std::int64_t t = 0; t < 30; ++t) {
+    faulty.send(message_for(1, kNocId, t));
+  }
+  const std::vector<Message> mail = faulty.drain(kNocId);
+  ASSERT_EQ(mail.size(), 30u);
+  for (std::int64_t t = 0; t < 30; ++t) EXPECT_EQ(mail[t].interval, t);
+
+  const FaultInjectionStats stats = faulty.fault_stats();
+  EXPECT_GT(stats.duplicates, 0u);
+  EXPECT_EQ(stats.deduplicated, stats.duplicates);
+}
+
+TEST(FaultyTransport, DistinctMessagesWithSharedKeyPartsAreNotDeduplicated) {
+  SimNetwork sim;
+  FaultPlanConfig plan;  // no faults: dedup must never eat legitimate mail
+  FaultyTransport faulty(sim, plan);
+
+  // Same (from, to, interval) but different types, and same type across
+  // intervals/senders: all legitimate, all must be delivered.
+  faulty.send(message_for(1, kNocId, 7, MessageType::kVolumeReport));
+  faulty.send(message_for(1, kNocId, 7, MessageType::kSketchResponse));
+  faulty.send(message_for(2, kNocId, 7, MessageType::kVolumeReport));
+  faulty.send(message_for(1, kNocId, 8, MessageType::kVolumeReport));
+  EXPECT_EQ(faulty.drain(kNocId).size(), 4u);
+}
+
+TEST(FaultyTransport, ReorderedMessagesAreReleasedByTheNextReceiveOp) {
+  SimNetwork sim;
+  FaultPlanConfig plan;
+  plan.reorder = 0.9;
+  plan.seed = 6;
+  FaultyTransport faulty(sim, plan);
+
+  for (std::int64_t t = 0; t < 20; ++t) {
+    faulty.send(message_for(1, kNocId, t));
+  }
+  const FaultInjectionStats before = faulty.fault_stats();
+  EXPECT_GT(before.reorders, 0u);
+
+  // Nothing is lost: a drain releases every held message.
+  std::vector<Message> mail = faulty.drain(kNocId);
+  std::vector<Message> more = faulty.drain(kNocId);
+  EXPECT_EQ(mail.size() + more.size(), 20u);
+}
+
+TEST(FaultyTransport, TakeFiltersByTypeAcrossHeldMessages) {
+  SimNetwork sim;
+  FaultPlanConfig plan;
+  plan.reorder = 0.9;
+  plan.seed = 8;
+  FaultyTransport faulty(sim, plan);
+
+  faulty.send(message_for(1, kNocId, 3, MessageType::kVolumeReport));
+  faulty.send(message_for(1, kNocId, 3, MessageType::kSketchResponse));
+  faulty.send(message_for(2, kNocId, 3, MessageType::kVolumeReport));
+
+  const std::vector<Message> reports =
+      faulty.take(kNocId, MessageType::kVolumeReport);
+  EXPECT_EQ(reports.size(), 2u);
+  const std::vector<Message> responses =
+      faulty.take(kNocId, MessageType::kSketchResponse);
+  EXPECT_EQ(responses.size(), 1u);
+}
+
+TEST(FaultyTransport, StatsAccumulatorCollectsAcrossDecoratorLifetimes) {
+  SimNetwork sim;
+  FaultStatsAccumulator acc;
+  FaultPlanConfig plan;
+  plan.duplicate = 0.9;
+  plan.seed = 9;
+  for (int incarnation = 0; incarnation < 2; ++incarnation) {
+    FaultyTransport faulty(sim, plan, &acc);
+    for (std::int64_t t = 0; t < 10; ++t) {
+      faulty.send(message_for(1, kNocId, 100 * incarnation + t));
+    }
+    (void)faulty.drain(kNocId);
+  }
+  const FaultInjectionStats total = acc.total();
+  EXPECT_GT(total.duplicates, 0u);
+  EXPECT_EQ(total.deduplicated, total.duplicates);
+}
+
+TEST(FaultyTransport, HeavilyFaultedDeploymentMatchesReferenceBitForBit) {
+  NetScenarioConfig config;
+  config.topology = "diamond";
+  config.intervals = 40;
+  config.window = 12;
+  config.sketch_rows = 8;
+  config.monitors = 2;
+  config.seed = 7;
+  config.anomalies = 3;
+  const NetScenario scenario = build_scenario(config);
+  const ScenarioRun reference = run_scenario_reference(scenario);
+
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    SimNetwork sim;
+    FaultPlanConfig plan;
+    plan.drop = 0.3;
+    plan.duplicate = 0.2;
+    plan.reorder = 0.3;
+    plan.corrupt = 0.2;
+    plan.seed = seed;
+    FaultyTransport faulty(sim, plan);
+    const ScenarioRun run = run_scenario_reference(scenario, &faulty);
+
+    EXPECT_EQ(run.alarm_intervals, reference.alarm_intervals) << "seed "
+                                                              << seed;
+    ASSERT_EQ(run.distances.size(), reference.distances.size());
+    for (std::size_t i = 0; i < reference.distances.size(); ++i) {
+      EXPECT_EQ(run.distances[i], reference.distances[i])
+          << "seed " << seed << " interval index " << i;
+    }
+    const FaultInjectionStats stats = faulty.fault_stats();
+    EXPECT_GT(stats.drops, 0u) << "seed " << seed;
+    EXPECT_GT(stats.duplicates, 0u) << "seed " << seed;
+    EXPECT_GT(stats.reorders, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,260 @@
+// Durable node state: LocalMonitor and Noc snapshot blobs restore
+// bit-identically (including mid-window, with unflushed volume buckets and
+// a live model), and malformed blobs are rejected cleanly.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dist/local_monitor.hpp"
+#include "dist/noc.hpp"
+#include "dist/sim_network.hpp"
+#include "net/scenario.hpp"
+
+namespace spca {
+namespace {
+
+NetScenarioConfig small_scenario() {
+  NetScenarioConfig config;
+  config.topology = "diamond";
+  config.intervals = 40;
+  config.window = 12;
+  config.sketch_rows = 8;
+  config.monitors = 2;
+  config.seed = 7;
+  config.anomalies = 3;
+  return config;
+}
+
+ProjectionSource source_of(const SketchDetectorConfig& det) {
+  return det.projection == ProjectionKind::kVerySparse
+             ? ProjectionSource::very_sparse(det.seed, det.window)
+             : ProjectionSource(det.projection, det.seed, det.sparsity);
+}
+
+std::vector<LocalMonitor> build_monitors(const NetScenario& scenario) {
+  const SketchDetectorConfig& det = scenario.detector;
+  const std::size_t m = scenario.trace.num_flows();
+  std::vector<LocalMonitor> monitors;
+  for (std::size_t k = 1; k <= scenario.config.monitors; ++k) {
+    monitors.emplace_back(
+        static_cast<NodeId>(k),
+        scenario_flows_of(m, scenario.config.monitors,
+                          static_cast<NodeId>(k)),
+        det.window, det.epsilon, det.sketch_rows, source_of(det));
+  }
+  return monitors;
+}
+
+/// One lock-step interval of the manual deployment; mirrors what
+/// DistributedDetector::observe does.
+std::optional<Detection> run_interval(const NetScenario& scenario, Noc& noc,
+                                      std::vector<LocalMonitor>& monitors,
+                                      SimNetwork& net, std::int64_t t) {
+  for (LocalMonitor& monitor : monitors) {
+    for (const FlowId flow : monitor.flows()) {
+      monitor.ingest_volume(
+          flow, scenario.trace.volumes()(static_cast<std::size_t>(t), flow));
+    }
+    monitor.end_interval(t, net);
+  }
+  const Vector x = noc.collect_volumes(t, net);
+  if (t + 1 < static_cast<std::int64_t>(scenario.detector.window)) {
+    return std::nullopt;
+  }
+  const std::vector<NodeId> ids =
+      scenario_monitor_ids(scenario.config.monitors);
+  return noc.detect(t, x, ids, net, [&] {
+    for (LocalMonitor& monitor : monitors) monitor.handle_mail(net);
+  });
+}
+
+TEST(NodeCheckpoint, MonitorRestoresMidWindowWithUnflushedVolumes) {
+  const NetScenario scenario = build_scenario(small_scenario());
+  const SketchDetectorConfig& det = scenario.detector;
+  const std::vector<FlowId> flows =
+      scenario_flows_of(scenario.trace.num_flows(), 2, 1);
+  LocalMonitor monitor(1, flows, det.window, det.epsilon, det.sketch_rows,
+                       source_of(det));
+
+  // Flush 20 intervals, then leave half-ingested volumes in the counter —
+  // the awkward mid-interval state a snapshot must carry faithfully.
+  for (std::int64_t t = 0; t < 20; ++t) {
+    for (const FlowId flow : flows) {
+      monitor.ingest_volume(
+          flow, scenario.trace.volumes()(static_cast<std::size_t>(t), flow));
+    }
+    monitor.absorb_interval(t);
+  }
+  for (const FlowId flow : flows) monitor.ingest_volume(flow, 123.5);
+
+  LocalMonitor restored = LocalMonitor::restore_state(monitor.save_state());
+  EXPECT_EQ(restored.id(), monitor.id());
+  EXPECT_EQ(restored.flows(), monitor.flows());
+
+  // Both finish interval 20 and answer a sketch pull: reports and
+  // responses must agree bit for bit.
+  SimNetwork net_a;
+  SimNetwork net_b;
+  monitor.end_interval(20, net_a);
+  restored.end_interval(20, net_b);
+  Message request;
+  request.type = MessageType::kSketchRequest;
+  request.from = kNocId;
+  request.to = 1;
+  request.interval = 20;
+  monitor.handle_request(request, net_a);
+  restored.handle_request(request, net_b);
+
+  const std::vector<Message> mail_a = net_a.drain(kNocId);
+  const std::vector<Message> mail_b = net_b.drain(kNocId);
+  ASSERT_EQ(mail_a.size(), 2u);
+  ASSERT_EQ(mail_b.size(), 2u);
+  for (std::size_t i = 0; i < mail_a.size(); ++i) {
+    EXPECT_EQ(mail_a[i].ids, mail_b[i].ids);
+    ASSERT_EQ(mail_a[i].values.size(), mail_b[i].values.size());
+    for (std::size_t j = 0; j < mail_a[i].values.size(); ++j) {
+      EXPECT_EQ(mail_a[i].values[j], mail_b[i].values[j])
+          << "message " << i << " value " << j;
+    }
+  }
+}
+
+TEST(NodeCheckpoint, DeploymentSnapshotMidRunContinuesBitIdentically) {
+  const NetScenario scenario = build_scenario(small_scenario());
+  const auto intervals = static_cast<std::int64_t>(scenario.config.intervals);
+  const std::int64_t snap_at = 25;  // past warm-up, with a fitted model
+
+  // Reference: one uninterrupted run.
+  std::vector<double> ref_distances;
+  std::vector<std::int64_t> ref_alarms;
+  {
+    SimNetwork net;
+    Noc noc(scenario.trace.num_flows(),
+            noc_config_from(scenario.detector, /*host_sketches=*/false));
+    std::vector<LocalMonitor> monitors = build_monitors(scenario);
+    for (std::int64_t t = 0; t < intervals; ++t) {
+      const auto det = run_interval(scenario, noc, monitors, net, t);
+      if (!det) continue;
+      ref_distances.push_back(det->distance);
+      if (det->alarm) ref_alarms.push_back(t);
+    }
+  }
+
+  // Snapshot the whole deployment after interval snap_at - 1, restore every
+  // node from its blob, and continue with the clones only.
+  std::vector<double> distances;
+  std::vector<std::int64_t> alarms;
+  {
+    SimNetwork net;
+    Noc noc(scenario.trace.num_flows(),
+            noc_config_from(scenario.detector, /*host_sketches=*/false));
+    std::vector<LocalMonitor> monitors = build_monitors(scenario);
+    for (std::int64_t t = 0; t < snap_at; ++t) {
+      const auto det = run_interval(scenario, noc, monitors, net, t);
+      if (!det) continue;
+      distances.push_back(det->distance);
+      if (det->alarm) alarms.push_back(t);
+    }
+
+    Noc restored_noc = Noc::restore_state(noc.save_state());
+    EXPECT_EQ(restored_noc.sketch_pulls(), noc.sketch_pulls());
+    std::vector<LocalMonitor> restored_monitors;
+    for (const LocalMonitor& monitor : monitors) {
+      restored_monitors.push_back(
+          LocalMonitor::restore_state(monitor.save_state()));
+    }
+    SimNetwork fresh_net;
+    for (std::int64_t t = snap_at; t < intervals; ++t) {
+      const auto det = run_interval(scenario, restored_noc,
+                                    restored_monitors, fresh_net, t);
+      if (!det) continue;
+      distances.push_back(det->distance);
+      if (det->alarm) alarms.push_back(t);
+    }
+  }
+
+  EXPECT_EQ(alarms, ref_alarms);
+  ASSERT_EQ(distances.size(), ref_distances.size());
+  for (std::size_t i = 0; i < ref_distances.size(); ++i) {
+    EXPECT_EQ(distances[i], ref_distances[i]) << "detection index " << i;
+  }
+}
+
+TEST(NodeCheckpoint, MonitorBlobCorruptionIsRejectedCleanly) {
+  const NetScenario scenario = build_scenario(small_scenario());
+  const SketchDetectorConfig& det = scenario.detector;
+  const std::vector<FlowId> flows =
+      scenario_flows_of(scenario.trace.num_flows(), 2, 1);
+  LocalMonitor monitor(1, flows, det.window, det.epsilon, det.sketch_rows,
+                       source_of(det));
+  for (std::int64_t t = 0; t < 8; ++t) {
+    for (const FlowId flow : flows) monitor.ingest_volume(flow, 10.0 + t);
+    monitor.absorb_interval(t);
+  }
+  const std::vector<std::byte> blob = monitor.save_state();
+
+  // Wrong magic.
+  std::vector<std::byte> bad_magic = blob;
+  bad_magic[0] = static_cast<std::byte>(0xFF);
+  EXPECT_THROW((void)LocalMonitor::restore_state(bad_magic), ProtocolError);
+
+  // Wrong version.
+  std::vector<std::byte> bad_version = blob;
+  bad_version[4] = static_cast<std::byte>(0x7F);
+  EXPECT_THROW((void)LocalMonitor::restore_state(bad_version),
+               ProtocolError);
+
+  // Trailing garbage.
+  std::vector<std::byte> padded = blob;
+  padded.push_back(std::byte{0});
+  EXPECT_THROW((void)LocalMonitor::restore_state(padded), ProtocolError);
+
+  // Truncation at every prefix length must throw, never crash or hang
+  // (run under ASan/UBSan in CI).
+  for (std::size_t len = 0; len < blob.size();
+       len += (len < 64 ? 1 : 97)) {
+    const std::vector<std::byte> truncated(blob.begin(),
+                                           blob.begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   len));
+    EXPECT_THROW((void)LocalMonitor::restore_state(truncated), ProtocolError)
+        << "length " << len;
+  }
+}
+
+TEST(NodeCheckpoint, NocBlobCorruptionIsRejectedCleanly) {
+  const NetScenario scenario = build_scenario(small_scenario());
+  SimNetwork net;
+  Noc noc(scenario.trace.num_flows(),
+          noc_config_from(scenario.detector, /*host_sketches=*/false));
+  std::vector<LocalMonitor> monitors = build_monitors(scenario);
+  for (std::int64_t t = 0; t < 20; ++t) {
+    (void)run_interval(scenario, noc, monitors, net, t);
+  }
+  ASSERT_TRUE(noc.model().has_value());
+  const std::vector<std::byte> blob = noc.save_state();
+
+  std::vector<std::byte> bad_magic = blob;
+  bad_magic[0] = static_cast<std::byte>(0xFF);
+  EXPECT_THROW((void)Noc::restore_state(bad_magic), ProtocolError);
+
+  std::vector<std::byte> padded = blob;
+  padded.push_back(std::byte{0});
+  EXPECT_THROW((void)Noc::restore_state(padded), ProtocolError);
+
+  for (std::size_t len = 0; len < blob.size();
+       len += (len < 64 ? 1 : 211)) {
+    const std::vector<std::byte> truncated(blob.begin(),
+                                           blob.begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   len));
+    EXPECT_THROW((void)Noc::restore_state(truncated), ProtocolError)
+        << "length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace spca

@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace spca {
@@ -44,6 +45,21 @@ TEST(Frame, HeaderLayoutIsStable) {
   std::uint32_t length = 0;
   std::memcpy(&length, wire.data() + 6, sizeof(length));
   EXPECT_EQ(length, 2u);
+  // The CRC covers the first ten header bytes plus the payload.
+  std::uint32_t crc_field = 0;
+  std::memcpy(&crc_field, wire.data() + kFrameCrcCoverBytes, sizeof(crc_field));
+  std::uint32_t expected =
+      crc32_update(kCrc32Init, wire.data(), kFrameCrcCoverBytes);
+  expected = crc32_finish(
+      crc32_update(expected, wire.data() + kFrameHeaderBytes, 2));
+  EXPECT_EQ(crc_field, expected);
+}
+
+TEST(Frame, Crc32KnownVector) {
+  // The IEEE CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
 }
 
 TEST(Frame, ByteByBytePartialFeedsReassemble) {
@@ -120,6 +136,38 @@ TEST(Frame, OversizedLengthFieldRejected) {
   EXPECT_THROW(decoder.feed(wire.data(), kFrameHeaderBytes), ProtocolError);
 }
 
+// Every single-byte flip in the payload must fail the CRC check — this is
+// what lets FaultyTransport's corrupt fault be masked deterministically by
+// retransmission.
+TEST(Frame, AnyPayloadByteFlipRejectedByCrc) {
+  const auto payload = bytes_of({10, 20, 30, 40});
+  const auto wire = encode_frame(FrameType::kMessage, payload);
+  for (std::size_t i = kFrameHeaderBytes; i < wire.size(); ++i) {
+    auto corrupt = wire;
+    corrupt[i] ^= std::byte{0x01};
+    FrameDecoder decoder;
+    EXPECT_THROW(decoder.feed(corrupt.data(), corrupt.size()), ProtocolError)
+        << "payload byte " << i;
+  }
+}
+
+TEST(Frame, CorruptCrcFieldRejected) {
+  auto wire = encode_frame(FrameType::kMessage, bytes_of({1, 2, 3}));
+  wire[kFrameCrcCoverBytes] ^= std::byte{0x80};
+  FrameDecoder decoder;
+  EXPECT_THROW(decoder.feed(wire.data(), wire.size()), ProtocolError);
+}
+
+// A length field corrupted within bounds truncates the payload the decoder
+// sees; the CRC (which covers the length bytes) still catches it.
+TEST(Frame, InBoundsLengthCorruptionCaughtByCrc) {
+  auto wire = encode_frame(FrameType::kMessage, bytes_of({1, 2, 3, 4, 5}));
+  const std::uint32_t shorter = 4;
+  std::memcpy(wire.data() + 6, &shorter, sizeof(shorter));
+  FrameDecoder decoder;
+  EXPECT_THROW(decoder.feed(wire.data(), wire.size()), ProtocolError);
+}
+
 TEST(Frame, ZeroLengthPayloadSupported) {
   const auto wire = encode_frame(FrameType::kAdvance, {});
   FrameDecoder decoder;
@@ -133,7 +181,7 @@ TEST(Frame, ZeroLengthPayloadSupported) {
 TEST(Frame, TrailingGarbageDetectedAfterValidFrame) {
   auto wire = encode_frame(FrameType::kMessage, bytes_of({1, 2}));
   const auto garbage = bytes_of({0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x00,
-                                 0x00, 0x00, 0x00});
+                                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00});
   wire.insert(wire.end(), garbage.begin(), garbage.end());
   FrameDecoder decoder;
   EXPECT_THROW(decoder.feed(wire.data(), wire.size()), ProtocolError);
