@@ -41,6 +41,9 @@ int main(int argc, char** argv) {
                "newest checkpoint when present, else 0)");
   flags.define("last-interval", "-1",
                "one-past-last interval to report (-1 = scenario end)");
+  flags.define("ingest-records", "",
+               "stream interval volumes from this flow-record file (binary "
+               "or CSV) instead of the synthetic scenario trace");
   flags.define("checkpoint-dir", "",
                "durable snapshot directory (empty = no checkpointing)");
   flags.define("checkpoint-every", "8",
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
     config.noc_port = static_cast<std::uint16_t>(flags.integer("port"));
     config.first_interval = flags.integer("first-interval");
     config.last_interval = flags.integer("last-interval");
+    config.ingest_records = flags.str("ingest-records");
     config.checkpoint_dir = flags.str("checkpoint-dir");
     config.checkpoint_every = flags.integer("checkpoint-every");
     config.retry = retry_policy_from_flags(flags);

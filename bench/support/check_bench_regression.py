@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the JSONL bench records.
+
+Compares a fresh --bench-json capture against a committed baseline
+(bench/baselines/BENCH_micro.json by default). Records are matched on
+(suite, name, threads); a benchmark whose ns_per_op grew by more than
+--tolerance (default 15%) fails the gate with exit code 1.
+
+Benchmarks present on only one side are reported but never fail the gate:
+the baseline may carry suites the current run did not exercise, and a new
+benchmark has no baseline yet.
+
+Usage:
+  check_bench_regression.py CURRENT.json [--baseline BASELINE.json]
+                            [--tolerance 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    """Reads a JSONL bench file into {(suite, name, threads): ns_per_op}."""
+    records = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                key = (rec["suite"], rec["name"], int(rec["threads"]))
+                ns = float(rec["ns_per_op"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as e:
+                raise SystemExit(f"{path}:{line_no}: malformed record: {e}")
+            # Repeated runs of the same benchmark: keep the fastest, which is
+            # the standard way to suppress scheduler noise on shared runners.
+            if key not in records or ns < records[key]:
+                records[key] = ns
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly captured --bench-json file")
+    parser.add_argument("--baseline",
+                        default="bench/baselines/BENCH_micro.json")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional slowdown (0.15 = +15%%)")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    regressions = []
+    compared = 0
+    for key, ns in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            print(f"  new (no baseline): {key[0]}/{key[1]} t={key[2]}")
+            continue
+        compared += 1
+        ratio = ns / base if base > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((key, base, ns, ratio))
+            marker = "  <-- REGRESSION"
+        print(f"  {key[0]}/{key[1]} t={key[2]}: "
+              f"{base:.1f} -> {ns:.1f} ns/op ({ratio - 1.0:+.1%}){marker}")
+
+    if compared == 0:
+        raise SystemExit("no benchmark matched the baseline — "
+                         "wrong file or empty capture?")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0%}:")
+        for key, base, ns, ratio in regressions:
+            print(f"  {key[0]}/{key[1]} t={key[2]}: "
+                  f"{base:.1f} -> {ns:.1f} ns/op ({ratio - 1.0:+.1%})")
+        return 1
+
+    print(f"\nOK: {compared} benchmark(s) within {args.tolerance:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

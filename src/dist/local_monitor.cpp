@@ -63,6 +63,31 @@ Vector LocalMonitor::flush_interval(std::int64_t t) {
 
 void LocalMonitor::absorb_interval(std::int64_t t) { (void)flush_interval(t); }
 
+void LocalMonitor::absorb_block(std::int64_t first, std::size_t count,
+                                std::span<const double> volumes) {
+  const std::size_t w = flows_.size();
+  SPCA_EXPECTS(volumes.size() == count * w);
+  if (count == 0) return;
+  // The counter plays no part here (the pipeline aggregated the volumes
+  // already), but its interval count must stay in step with the per-interval
+  // path so checkpoints remain interchangeable.
+  counter_.advance_intervals(count);
+  if (counter_only_) return;
+  // Per-flow streams are independent; each lane walks its flow's column
+  // through the whole block with one batched sketch update. Static chunking
+  // keeps the result bit-identical to the serial loop at any thread count.
+  global_pool().parallel_for(0, w, [&](std::size_t lo, std::size_t hi) {
+    std::vector<SketchUpdate> batch(count);
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t r = 0; r < count; ++r) {
+        batch[r].t = first + static_cast<std::int64_t>(r);
+        batch[r].volume = volumes[r * w + i];
+      }
+      sketches_[i].add_batch(batch);
+    }
+  });
+}
+
 void LocalMonitor::end_interval(std::int64_t t, Transport& network) {
   // Per-monitor interval-close latency: the O(w log n) Fig. 4 update of all
   // owned flows plus the volume report send.

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dist/message.hpp"
@@ -49,6 +50,17 @@ class LocalMonitor final {
   /// through this to rebuild sketch state the NOC has already accounted
   /// for, so the post-reconnect trajectory continues bit-identically.
   void absorb_interval(std::int64_t t);
+
+  /// Batched local absorption: replays `count` consecutive intervals
+  /// [first, first + count) whose pre-aggregated volumes are given row-major
+  /// (`volumes[i * flows().size() + j]` = interval first+i, owned flow j, in
+  /// flows() order). The per-flow updates go through FlowSketch::add_batch,
+  /// so the resulting state is bit-identical to calling ingest_volume +
+  /// absorb_interval per interval — at every block size and thread count.
+  /// Requires an empty (just-flushed) volume counter; this is the ingest
+  /// pipeline's hot path.
+  void absorb_block(std::int64_t first, std::size_t count,
+                    std::span<const double> volumes);
 
   /// Handles queued requests (sketch pulls), sending responses.
   void handle_mail(Transport& network);

@@ -1,0 +1,43 @@
+// Adapter between the record-stream world and the interval-lock-step world:
+// streams a record file as per-interval aggregated volume rows, which is the
+// shape the net/ daemons (and anything else built around TraceSet rows)
+// consume. Aggregation is a plain double add in stream order, so a file
+// written by export_records reproduces the source matrix rows bit-exactly —
+// a daemon fed through this source follows the identical trajectory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ingest/record_file.hpp"
+
+namespace spca {
+
+/// Streaming per-interval view of a record file.
+class RecordIntervalSource final {
+ public:
+  /// Opens `path` (binary or CSV; sniffed). Throws InputError on malformed
+  /// input, like the underlying reader.
+  explicit RecordIntervalSource(const std::string& path);
+
+  [[nodiscard]] const RecordFileHeader& header() const noexcept {
+    return reader_.header();
+  }
+
+  /// Fills `out` (resized to num_flows) with the next interval's aggregated
+  /// volumes and sets `t` to its index. Every interval 0..num_intervals-1 is
+  /// emitted in order — intervals without records yield all-zero rows, the
+  /// same rows the pre-aggregated matrix holds. Returns false once all
+  /// intervals were emitted.
+  bool next_interval(std::vector<double>& out, std::int64_t& t);
+
+ private:
+  RecordFileReader reader_;
+  RecordBatch batch_;
+  std::uint32_t pos_ = 0;    // next unconsumed record in batch_
+  std::int64_t next_t_ = 0;  // next interval to emit
+  bool done_ = false;        // reader exhausted
+};
+
+}  // namespace spca

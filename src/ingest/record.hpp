@@ -1,0 +1,51 @@
+// Flow-record model of the ingest pipeline: the unit of work the line-rate
+// front end moves from trace readers into a monitor.
+//
+// A FlowRecord is one pre-aggregated NetFlow-style observation: "flow j saw
+// `bytes` of traffic during measurement interval t". Several records may
+// cover the same (interval, flow) cell — their byte counts add, exactly like
+// packets adding into the Volume Counter of Sec. IV-A — and a monitor's
+// per-record work stays O(1), which is what lets the pipeline absorb
+// millions of records per second (Theorem 1's operating regime).
+//
+// Records travel in fixed-size batches so the SPSC ring amortizes its
+// producer/consumer synchronization over kCapacity records.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace spca {
+
+/// One flow observation of the record stream. Fixed 16-byte little-endian
+/// layout — this is also the on-disk record of the binary trace format.
+struct FlowRecord {
+  /// Measurement interval index the observation falls into (non-decreasing
+  /// along a stream).
+  std::uint32_t interval = 0;
+  /// Global OD-flow id (< the stream's flow count).
+  std::uint32_t flow = 0;
+  /// Observed byte volume; must be finite and non-negative.
+  double bytes = 0.0;
+};
+
+static_assert(std::is_trivially_copyable_v<FlowRecord>);
+static_assert(sizeof(FlowRecord) == 16,
+              "FlowRecord is the on-disk record layout and must stay packed");
+
+/// A fixed-capacity run of records: the unit carried by the SPSC ring.
+struct RecordBatch {
+  static constexpr std::size_t kCapacity = 512;
+
+  std::array<FlowRecord, kCapacity> records;
+  std::uint32_t count = 0;
+
+  [[nodiscard]] bool full() const noexcept { return count == kCapacity; }
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+  void clear() noexcept { count = 0; }
+  void push(const FlowRecord& r) noexcept { records[count++] = r; }
+};
+
+}  // namespace spca

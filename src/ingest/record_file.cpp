@@ -1,0 +1,370 @@
+#include "ingest/record_file.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstring>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace spca {
+
+namespace {
+
+// "SPCR" little-endian, followed by the format version.
+constexpr std::uint32_t kMagic = 0x52435053;
+constexpr std::uint32_t kVersion = 1;
+
+/// Fixed binary header. Packed to 32 bytes; FlowRecords follow directly.
+struct BinaryHeader {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t num_flows = 0;
+  std::uint32_t num_intervals = 0;
+  double interval_seconds = 0.0;
+  std::uint64_t record_count = 0;
+};
+static_assert(sizeof(BinaryHeader) == 32);
+
+constexpr const char* kCsvHeader =
+    "interval,flow,bytes,num_flows,num_intervals,interval_seconds";
+
+[[noreturn]] void malformed(const std::string& path, const std::string& what) {
+  throw InputError("record file '" + path + "': " + what);
+}
+
+/// Reads one line (without the trailing newline) into `line`; false at EOF.
+bool read_line(std::FILE* f, std::string& line) {
+  line.clear();
+  char buf[256];
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    line.append(buf);
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+  }
+  return !line.empty();
+}
+
+template <typename T>
+T parse_unsigned(std::string_view field, const std::string& path,
+                 const char* what) {
+  T value{};
+  const auto [p, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || p != field.data() + field.size()) {
+    malformed(path, std::string("malformed ") + what + " '" +
+                        std::string(field) + "'");
+  }
+  return value;
+}
+
+double parse_real(std::string_view field, const std::string& path,
+                  const char* what) {
+  double value = 0.0;
+  const auto [p, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || p != field.data() + field.size()) {
+    malformed(path, std::string("malformed ") + what + " '" +
+                        std::string(field) + "'");
+  }
+  return value;
+}
+
+/// Splits a CSV record line into exactly `n` fields (in-place views).
+void split_fields(std::string_view line, std::string_view* fields,
+                  std::size_t n, const std::string& path) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t comma = line.find(',', start);
+    const bool last = i + 1 == n;
+    if (last != (comma == std::string_view::npos)) {
+      malformed(path, "wrong column count in row '" + std::string(line) + "'");
+    }
+    fields[i] = last ? line.substr(start) : line.substr(start, comma - start);
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+RecordFormat record_format_from_string(std::string_view name) {
+  if (name == "binary") return RecordFormat::kBinary;
+  if (name == "csv") return RecordFormat::kCsv;
+  throw InputError("unknown record format: '" + std::string(name) + "'");
+}
+
+void split_cell_exact(double volume, std::uint32_t parts,
+                      std::vector<double>& out) {
+  SPCA_EXPECTS(parts >= 1);
+  out.assign(parts, 0.0);
+  if (parts == 1 || volume == 0.0 || !std::isfinite(volume)) {
+    out[0] = volume;
+    return;
+  }
+  // Decompose |volume| = m * 2^e with m an integer < 2^53, then hand each
+  // part an integer share of m. Every partial sum of shares is an integer
+  // <= m < 2^53 at the same exponent e, hence exactly representable — so the
+  // left-to-right double summation commits no rounding at any step.
+  int exponent = 0;
+  const double frac = std::frexp(std::fabs(volume), &exponent);
+  const auto m = static_cast<std::uint64_t>(std::ldexp(frac, 53));  // exact
+  const int e = exponent - 53;
+  if (e < -1074) {
+    // Shares would sit below the subnormal granularity 2^-1074 and round;
+    // a volume this close to zero travels as a single record instead.
+    out[0] = volume;
+    return;
+  }
+  const std::uint64_t share = m / parts;
+  const std::uint64_t remainder = m % parts;
+  const double sign = volume < 0.0 ? -1.0 : 1.0;
+  for (std::uint32_t i = 0; i < parts; ++i) {
+    const std::uint64_t part_m = share + (i < remainder ? 1 : 0);
+    out[i] = sign * std::ldexp(static_cast<double>(part_m), e);
+  }
+}
+
+void export_records(const TraceSet& trace, const std::string& path,
+                    const RecordExportOptions& options) {
+  SPCA_EXPECTS(options.records_per_cell >= 1);
+  if (trace.num_flows() > 0xffffffffULL ||
+      trace.num_intervals() > 0xffffffffULL) {
+    throw InputError("export_records: trace too large for the record format");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw InputError("export_records: cannot open '" + path +
+                     "' for writing");
+  }
+  const std::uint32_t flows = static_cast<std::uint32_t>(trace.num_flows());
+  const std::uint32_t intervals =
+      static_cast<std::uint32_t>(trace.num_intervals());
+  const std::uint64_t total = static_cast<std::uint64_t>(intervals) * flows *
+                              options.records_per_cell;
+  bool ok = true;
+  if (options.format == RecordFormat::kBinary) {
+    BinaryHeader header;
+    header.num_flows = flows;
+    header.num_intervals = intervals;
+    header.interval_seconds = trace.interval_seconds();
+    header.record_count = total;
+    ok = std::fwrite(&header, sizeof header, 1, f) == 1;
+  } else {
+    ok = std::fprintf(f, "%s\n", kCsvHeader) > 0;
+  }
+  bool first_row = true;
+  std::vector<double> parts;
+  std::vector<FlowRecord> chunk;
+  chunk.reserve(4096);
+  for (std::uint32_t t = 0; ok && t < intervals; ++t) {
+    for (std::uint32_t j = 0; ok && j < flows; ++j) {
+      split_cell_exact(trace.volumes()(t, j), options.records_per_cell,
+                       parts);
+      for (const double bytes : parts) {
+        if (options.format == RecordFormat::kBinary) {
+          chunk.push_back({t, j, bytes});
+          if (chunk.size() == chunk.capacity()) {
+            ok = std::fwrite(chunk.data(), sizeof(FlowRecord), chunk.size(),
+                             f) == chunk.size();
+            chunk.clear();
+          }
+        } else {
+          if (first_row) {
+            ok = std::fprintf(f, "%u,%u,%s,%u,%u,%s\n", t, j,
+                              format_double(bytes).c_str(), flows, intervals,
+                              format_double(trace.interval_seconds()).c_str())
+                 > 0;
+            first_row = false;
+          } else {
+            ok = std::fprintf(f, "%u,%u,%s,0,0,0\n", t, j,
+                              format_double(bytes).c_str()) > 0;
+          }
+        }
+      }
+    }
+  }
+  if (ok && !chunk.empty()) {
+    ok = std::fwrite(chunk.data(), sizeof(FlowRecord), chunk.size(), f) ==
+         chunk.size();
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) throw InputError("export_records: write to '" + path + "' failed");
+}
+
+TraceSet import_records(const std::string& path) {
+  RecordFileReader reader(path);
+  const RecordFileHeader& header = reader.header();
+  Matrix volumes(header.num_intervals, header.num_flows);
+  RecordBatch batch;
+  while (reader.next_batch(batch) > 0) {
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+      const FlowRecord& r = batch.records[i];
+      volumes(r.interval, r.flow) += r.bytes;
+    }
+  }
+  std::vector<std::string> names;
+  names.reserve(header.num_flows);
+  for (std::uint32_t j = 0; j < header.num_flows; ++j) {
+    names.push_back("f" + std::to_string(j));
+  }
+  return TraceSet(std::move(volumes), header.interval_seconds,
+                  std::move(names));
+}
+
+RecordFileReader::RecordFileReader(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw InputError("record file '" + path + "': cannot open for reading");
+  }
+  try {
+    // Sniff the format: binary files start with the SPCR magic.
+    std::uint32_t magic = 0;
+    const std::size_t got = std::fread(&magic, 1, sizeof magic, file_);
+    std::rewind(file_);
+    if (got == sizeof magic && magic == kMagic) {
+      format_ = RecordFormat::kBinary;
+      parse_binary_header(path);
+    } else {
+      format_ = RecordFormat::kCsv;
+      parse_csv_header(path);
+    }
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
+  }
+}
+
+RecordFileReader::~RecordFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RecordFileReader::parse_binary_header(const std::string& path) {
+  BinaryHeader header;
+  if (std::fread(&header, sizeof header, 1, file_) != 1) {
+    malformed(path, "truncated header");
+  }
+  if (header.magic != kMagic) malformed(path, "bad magic");
+  if (header.version != kVersion) {
+    malformed(path, "unsupported version " + std::to_string(header.version));
+  }
+  if (header.num_flows == 0) malformed(path, "zero flows");
+  if (header.num_intervals == 0) malformed(path, "zero intervals");
+  if (!std::isfinite(header.interval_seconds) ||
+      header.interval_seconds <= 0.0) {
+    malformed(path, "invalid interval_seconds");
+  }
+  // Validate the record count against the physical file size before trusting
+  // it: truncation and trailing garbage are both rejected up front.
+  if (std::fseek(file_, 0, SEEK_END) != 0) malformed(path, "seek failed");
+  const long size = std::ftell(file_);
+  if (size < 0) malformed(path, "tell failed");
+  const std::uint64_t body =
+      static_cast<std::uint64_t>(size) - sizeof(BinaryHeader);
+  if (body != header.record_count * sizeof(FlowRecord)) {
+    malformed(path, "record count disagrees with file size (truncated?)");
+  }
+  if (std::fseek(file_, sizeof(BinaryHeader), SEEK_SET) != 0) {
+    malformed(path, "seek failed");
+  }
+  header_.num_flows = header.num_flows;
+  header_.num_intervals = header.num_intervals;
+  header_.interval_seconds = header.interval_seconds;
+  header_.record_count = header.record_count;
+}
+
+void RecordFileReader::parse_csv_header(const std::string& path) {
+  if (!read_line(file_, csv_line_)) malformed(path, "empty file");
+  if (csv_line_ != kCsvHeader) {
+    malformed(path, "bad CSV header '" + csv_line_ + "'");
+  }
+  // Metadata rides on the first data row (the TraceSet convention); read it
+  // here so header() is populated before the first next_batch call. The row
+  // itself stays pending for next_batch_csv to consume.
+  do {
+    if (!read_line(file_, csv_line_)) malformed(path, "no data rows");
+  } while (csv_line_.empty());
+  std::string_view fields[6];
+  split_fields(csv_line_, fields, 6, path);
+  header_.num_flows =
+      parse_unsigned<std::uint32_t>(fields[3], path, "num_flows");
+  header_.num_intervals =
+      parse_unsigned<std::uint32_t>(fields[4], path, "num_intervals");
+  header_.interval_seconds = parse_real(fields[5], path, "interval_seconds");
+  if (header_.num_flows == 0) malformed(path, "zero flows");
+  if (header_.num_intervals == 0) malformed(path, "zero intervals");
+  if (!std::isfinite(header_.interval_seconds) ||
+      header_.interval_seconds <= 0.0) {
+    malformed(path, "invalid interval_seconds");
+  }
+  pending_line_ = true;
+}
+
+std::size_t RecordFileReader::next_batch(RecordBatch& out) {
+  out.clear();
+  const std::size_t n = format_ == RecordFormat::kBinary
+                            ? next_batch_binary(out)
+                            : next_batch_csv(out);
+  return n;
+}
+
+std::size_t RecordFileReader::next_batch_binary(RecordBatch& out) {
+  const std::uint64_t left = header_.record_count - records_read_;
+  const std::size_t want =
+      static_cast<std::size_t>(std::min<std::uint64_t>(left,
+                                                       RecordBatch::kCapacity));
+  if (want == 0) return 0;
+  const std::size_t got =
+      std::fread(out.records.data(), sizeof(FlowRecord), want, file_);
+  if (got != want) malformed(path_, "short read (file changed underneath?)");
+  out.count = static_cast<std::uint32_t>(got);
+  for (std::uint32_t i = 0; i < out.count; ++i) validate(out.records[i]);
+  records_read_ += got;
+  return got;
+}
+
+std::size_t RecordFileReader::next_batch_csv(RecordBatch& out) {
+  std::string_view fields[6];
+  while (!out.full()) {
+    if (!pending_line_ && !read_line(file_, csv_line_)) break;
+    pending_line_ = false;
+    if (csv_line_.empty()) continue;
+    split_fields(csv_line_, fields, 6, path_);
+    FlowRecord r;
+    r.interval = parse_unsigned<std::uint32_t>(fields[0], path_, "interval");
+    r.flow = parse_unsigned<std::uint32_t>(fields[1], path_, "flow");
+    r.bytes = parse_real(fields[2], path_, "bytes");
+    validate(r);
+    out.push(r);
+    ++records_read_;
+  }
+  header_.record_count = records_read_;
+  return out.count;
+}
+
+void RecordFileReader::validate(const FlowRecord& record) {
+  if (record.flow >= header_.num_flows) {
+    malformed(path_, "flow id " + std::to_string(record.flow) +
+                         " out of range (flows: " +
+                         std::to_string(header_.num_flows) + ")");
+  }
+  if (record.interval >= header_.num_intervals) {
+    malformed(path_, "interval " + std::to_string(record.interval) +
+                         " out of range (intervals: " +
+                         std::to_string(header_.num_intervals) + ")");
+  }
+  if (static_cast<std::int64_t>(record.interval) < last_interval_) {
+    malformed(path_, "interval went backwards at record " +
+                         std::to_string(records_read_));
+  }
+  if (!std::isfinite(record.bytes) || record.bytes < 0.0) {
+    malformed(path_, "non-finite or negative byte volume");
+  }
+  last_interval_ = static_cast<std::int64_t>(record.interval);
+}
+
+}  // namespace spca

@@ -1,0 +1,121 @@
+// Flow-record trace files: the on-disk sources the ingest pipeline reads.
+//
+// Two formats carry the same logical stream:
+//
+//   * Binary ("SPCR"): a fixed 32-byte header — magic, version, flow count,
+//     interval count, interval seconds, record count — followed by packed
+//     16-byte FlowRecords. The reader validates the header before trusting
+//     any length field (same discipline as the wire-frame codec) and checks
+//     every record: flow id in range, interval in range and non-decreasing,
+//     byte volume finite and non-negative. Truncation is detected up front
+//     from the file size.
+//   * CSV: columns interval,flow,bytes,num_flows,num_intervals,
+//     interval_seconds; the three metadata columns are meaningful on the
+//     first data row only (the TraceSet convention) and zero afterwards.
+//     Parsed streamingly — record CSVs can dwarf the interval-matrix CSVs
+//     CsvReader was built for — with the same per-record validation.
+//
+// TraceSet round trip: export_records turns the pre-aggregated interval
+// matrix into a record stream, optionally splitting each (interval, flow)
+// cell into several sub-records whose *sequential* double sum reproduces the
+// cell volume bit-exactly (see split_cell_exact), so a replay through the
+// record path yields the identical trajectory. import_records aggregates a
+// record file back into a TraceSet.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ingest/record.hpp"
+#include "traffic/trace.hpp"
+
+namespace spca {
+
+/// On-disk format of a record file.
+enum class RecordFormat {
+  kBinary,
+  kCsv,
+};
+
+/// Parses "binary" / "csv"; throws InputError otherwise.
+[[nodiscard]] RecordFormat record_format_from_string(std::string_view name);
+
+/// Stream metadata carried by both formats.
+struct RecordFileHeader {
+  std::uint32_t num_flows = 0;
+  std::uint32_t num_intervals = 0;
+  double interval_seconds = 0.0;
+  /// Total records in the file (0 in CSV headers until read to the end).
+  std::uint64_t record_count = 0;
+};
+
+/// Splits `volume` into `parts` non-negative doubles whose left-to-right
+/// sequential double-precision sum is bit-exactly `volume` (partial sums are
+/// constructed to be exactly representable via Sterbenz-style cancellation).
+/// This is what makes sub-interval record streams replayable without any
+/// floating-point drift relative to the pre-aggregated matrix.
+void split_cell_exact(double volume, std::uint32_t parts,
+                      std::vector<double>& out);
+
+/// Options of export_records.
+struct RecordExportOptions {
+  RecordFormat format = RecordFormat::kBinary;
+  /// Sub-records per (interval, flow) cell; >1 models packet-level NetFlow
+  /// streams and exercises the O(1)-per-record aggregation path.
+  std::uint32_t records_per_cell = 1;
+};
+
+/// Writes `trace` as a record file at `path`. Records are ordered interval-
+/// major, flow-minor, sub-record last — the aggregation order the replay
+/// consumer reproduces. Throws InputError on I/O failure or a trace whose
+/// shape does not fit the format (e.g. > 2^32 flows).
+void export_records(const TraceSet& trace, const std::string& path,
+                    const RecordExportOptions& options = {});
+
+/// Reads a record file back into a pre-aggregated TraceSet (flow names are
+/// synthesized, events are not part of the record format). The aggregation
+/// adds sub-records in stream order, so a file written by export_records
+/// reproduces the source volumes bit-exactly.
+[[nodiscard]] TraceSet import_records(const std::string& path);
+
+/// Streaming record-file reader used by the pipeline's producer thread.
+/// Detects the format from the file contents. Every batch is validated;
+/// malformed input throws InputError (never garbage records downstream).
+class RecordFileReader final {
+ public:
+  explicit RecordFileReader(const std::string& path);
+  ~RecordFileReader();
+
+  RecordFileReader(const RecordFileReader&) = delete;
+  RecordFileReader& operator=(const RecordFileReader&) = delete;
+
+  [[nodiscard]] const RecordFileHeader& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] RecordFormat format() const noexcept { return format_; }
+
+  /// Fills `out` with up to RecordBatch::kCapacity validated records;
+  /// returns the number read (0 at end of stream).
+  std::size_t next_batch(RecordBatch& out);
+
+ private:
+  void parse_binary_header(const std::string& path);
+  void parse_csv_header(const std::string& path);
+  std::size_t next_batch_binary(RecordBatch& out);
+  std::size_t next_batch_csv(RecordBatch& out);
+  void validate(const FlowRecord& record);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  RecordFormat format_ = RecordFormat::kBinary;
+  RecordFileHeader header_;
+  std::uint64_t records_read_ = 0;
+  std::int64_t last_interval_ = -1;
+  bool pending_line_ = false;  // csv_line_ holds an unconsumed data row
+  std::string csv_line_;       // reused line buffer
+};
+
+}  // namespace spca

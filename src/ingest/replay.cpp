@@ -1,0 +1,221 @@
+#include "ingest/replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "ingest/spsc_ring.hpp"
+#include "obs/metrics.hpp"
+
+namespace spca {
+
+namespace {
+
+/// spca.ingest.* instruments, resolved once per process.
+struct IngestMetrics {
+  Counter& records = MetricsRegistry::global().counter("spca.ingest.records");
+  Counter& batches = MetricsRegistry::global().counter("spca.ingest.batches");
+  Counter& intervals =
+      MetricsRegistry::global().counter("spca.ingest.intervals");
+  Counter& passes = MetricsRegistry::global().counter("spca.ingest.passes");
+  Counter& producer_blocks =
+      MetricsRegistry::global().counter("spca.ingest.producer_blocks");
+  Gauge& records_per_sec =
+      MetricsRegistry::global().gauge("spca.ingest.records_per_sec");
+  Histogram& ring_occupancy =
+      MetricsRegistry::global().histogram("spca.ingest.ring_occupancy");
+};
+
+IngestMetrics& ingest_metrics() {
+  static IngestMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+ReplayCheck replay_check_from_string(std::string_view name) {
+  if (name == "off") return ReplayCheck::kOff;
+  if (name == "volumes") return ReplayCheck::kVolumes;
+  if (name == "full") return ReplayCheck::kFull;
+  throw InputError("unknown replay check mode: '" + std::string(name) + "'");
+}
+
+ReplayStats replay_records(LocalMonitor& monitor, const ReplayConfig& config) {
+  SPCA_EXPECTS(config.repeat >= 1);
+  SPCA_EXPECTS(config.interval_block >= 1);
+  SPCA_EXPECTS(config.check_every >= 1);
+
+  RecordFileHeader header;
+  {
+    RecordFileReader probe(config.record_path);
+    header = probe.header();
+  }
+  const std::size_t w = monitor.flows().size();
+  if (w != header.num_flows) {
+    throw InputError("replay: monitor owns " + std::to_string(w) +
+                     " flows but '" + config.record_path + "' carries " +
+                     std::to_string(header.num_flows));
+  }
+
+  // Golden data: the pre-aggregated matrix the record stream must reproduce,
+  // and (under kFull) a reference monitor driven down the per-interval path.
+  std::unique_ptr<TraceSet> golden;
+  std::unique_ptr<LocalMonitor> reference;
+  if (config.check != ReplayCheck::kOff) {
+    golden = std::make_unique<TraceSet>(import_records(config.record_path));
+  }
+  if (config.check == ReplayCheck::kFull) {
+    reference = std::make_unique<LocalMonitor>(monitor);
+  }
+
+  SpscRing<RecordBatch> ring(config.ring_batches);
+  std::exception_ptr producer_error;
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  // Producer: re-streams the file until both the pass quota and the wall-
+  // time quota are met, with an empty batch marking each end of pass.
+  std::thread producer([&] {
+    try {
+      std::uint32_t pass = 0;
+      while (pass < config.repeat || elapsed() < config.min_seconds) {
+        RecordFileReader reader(config.record_path);
+        RecordBatch batch;
+        while (reader.next_batch(batch) > 0) {
+          if (!ring.push(std::move(batch))) return;  // consumer closed
+        }
+        RecordBatch sentinel;
+        if (!ring.push(std::move(sentinel))) return;
+        ++pass;
+      }
+    } catch (...) {
+      producer_error = std::current_exception();
+    }
+    ring.close();
+  });
+
+  ReplayStats stats;
+  auto& metrics = ingest_metrics();
+  const std::int64_t ni = header.num_intervals;
+  const std::size_t block_rows = config.interval_block;
+  std::vector<double> block(block_rows * w, 0.0);
+  std::int64_t block_first = 0;  // global interval of block row 0
+  std::int64_t pass_base = 0;    // global interval offset of the current pass
+
+  const auto fail = [&](std::string message) {
+    stats.parity_ok = false;
+    stats.parity_error = std::move(message);
+    ring.close();
+  };
+
+  const auto compare_states = [&](std::int64_t upto) {
+    if (monitor.save_state() != reference->save_state()) {
+      fail("monitor state diverged from the per-interval reference by "
+           "interval " +
+           std::to_string(upto));
+    }
+  };
+
+  // Flushes the first `rows` block rows into the monitor (and the checkers).
+  const auto flush = [&](std::size_t rows) {
+    if (golden != nullptr) {
+      for (std::size_t r = 0; r < rows && stats.parity_ok; ++r) {
+        const std::int64_t t_in_pass = (block_first + r) % ni;
+        for (std::size_t j = 0; j < w; ++j) {
+          const double want = golden->volumes()(t_in_pass, j);
+          const double got = block[r * w + j];
+          if (std::memcmp(&want, &got, sizeof want) != 0) {
+            fail("interval " +
+                 std::to_string(block_first + static_cast<std::int64_t>(r)) +
+                 " flow " + std::to_string(j) +
+                 ": replayed volume differs from the pre-aggregated matrix");
+            break;
+          }
+        }
+      }
+      if (!stats.parity_ok) return;
+    }
+    monitor.absorb_block(block_first, rows,
+                         std::span<const double>(block.data(), rows * w));
+    if (reference != nullptr) {
+      const auto& flows = monitor.flows();
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t j = 0; j < w; ++j) {
+          reference->ingest_volume(flows[j], block[r * w + j]);
+        }
+        reference->absorb_interval(block_first + static_cast<std::int64_t>(r));
+      }
+      const std::int64_t end = block_first + static_cast<std::int64_t>(rows);
+      if (end / config.check_every != block_first / config.check_every) {
+        compare_states(end);
+      }
+    }
+    stats.intervals += rows;
+    metrics.intervals.inc(rows);
+    block_first += static_cast<std::int64_t>(rows);
+    std::fill(block.begin(), block.begin() + static_cast<std::ptrdiff_t>(
+                                                 rows * w),
+              0.0);
+  };
+
+  RecordBatch batch;
+  while (stats.parity_ok && ring.pop(batch)) {
+    metrics.ring_occupancy.record(static_cast<double>(ring.size()));
+    if (batch.empty()) {  // end-of-pass sentinel
+      ++stats.passes;
+      metrics.passes.inc();
+      pass_base += ni;
+      continue;
+    }
+    ++stats.batches;
+    metrics.batches.inc();
+    stats.records += batch.count;
+    metrics.records.inc(batch.count);
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+      const FlowRecord& rec = batch.records[i];
+      const std::int64_t t = pass_base + rec.interval;
+      while (stats.parity_ok &&
+             t >= block_first + static_cast<std::int64_t>(block_rows)) {
+        flush(block_rows);
+      }
+      if (!stats.parity_ok) break;
+      block[static_cast<std::size_t>(t - block_first) * w + rec.flow] +=
+          rec.bytes;
+    }
+  }
+
+  // Drain the trailing intervals of the final pass (possibly all-zero rows
+  // up to the file's interval count, matching the per-interval path).
+  if (stats.parity_ok) {
+    while (block_first < pass_base && stats.parity_ok) {
+      flush(std::min<std::size_t>(
+          block_rows, static_cast<std::size_t>(pass_base - block_first)));
+    }
+    if (reference != nullptr && stats.parity_ok) compare_states(block_first);
+  }
+
+  producer.join();
+  if (producer_error != nullptr) std::rethrow_exception(producer_error);
+
+  stats.seconds = elapsed();
+  stats.producer_blocks = ring.blocked_pushes();
+  stats.records_per_sec =
+      stats.seconds > 0.0 ? static_cast<double>(stats.records) / stats.seconds
+                          : 0.0;
+  metrics.producer_blocks.inc(stats.producer_blocks);
+  metrics.records_per_sec.set(stats.records_per_sec);
+  return stats;
+}
+
+}  // namespace spca

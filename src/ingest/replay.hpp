@@ -1,0 +1,85 @@
+// Replay engine: the ingest pipeline assembled end to end.
+//
+// A producer thread streams a record file (RecordFileReader) into the SPSC
+// ring; the calling thread consumes batches, aggregates them O(1) per record
+// into a small block of consecutive intervals, and flushes each completed
+// block into a LocalMonitor through the batched absorb_block path. The
+// division of labor mirrors a deployed monitor: the reader plays the packet
+// capture front end, the ring the NIC queue, the consumer the Volume
+// Counter + sketch update of Fig. 4.
+//
+// Determinism: records are applied in stream order and every per-cell
+// accumulation is a plain double add in that order, so (with record files
+// written by export_records) the per-interval volumes equal the source
+// matrix bit-for-bit, and absorb_block is bit-identical to the per-interval
+// path by construction. The optional checkers assert both facts while the
+// replay runs rather than trusting them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dist/local_monitor.hpp"
+#include "ingest/record_file.hpp"
+
+namespace spca {
+
+/// How much parity checking the replay performs while streaming.
+enum class ReplayCheck {
+  /// No checking: pure throughput measurement.
+  kOff,
+  /// Every flushed interval row is compared bit-exactly against the
+  /// pre-aggregated golden matrix (import_records of the same file).
+  kVolumes,
+  /// kVolumes plus a reference monitor fed through the per-interval
+  /// ingest_volume/absorb_interval path; full monitor state (save_state
+  /// blobs) is compared at a cadence and at the end.
+  kFull,
+};
+
+/// Parses "off" / "volumes" / "full"; throws InputError otherwise.
+[[nodiscard]] ReplayCheck replay_check_from_string(std::string_view name);
+
+/// Knobs of one replay run.
+struct ReplayConfig {
+  /// Record file to stream (binary or CSV; format is sniffed).
+  std::string record_path;
+  /// SPSC ring capacity in batches (rounded up to a power of two).
+  std::size_t ring_batches = 64;
+  /// Intervals aggregated per absorb_block flush.
+  std::size_t interval_block = 8;
+  /// Minimum number of passes over the file.
+  std::uint32_t repeat = 1;
+  /// Keep re-streaming (beyond `repeat`) until this much wall time elapsed;
+  /// 0 disables. Passes after the first shift every interval by the file's
+  /// interval count, so the monitor sees one long coherent stream.
+  double min_seconds = 0.0;
+  ReplayCheck check = ReplayCheck::kVolumes;
+  /// Interval cadence of the full-state comparison under kFull.
+  std::int64_t check_every = 64;
+};
+
+/// What a replay run observed.
+struct ReplayStats {
+  std::uint64_t records = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t intervals = 0;
+  std::uint64_t passes = 0;
+  /// push() calls that found the ring full (backpressure events).
+  std::uint64_t producer_blocks = 0;
+  double seconds = 0.0;
+  double records_per_sec = 0.0;
+  /// False iff a checker caught a divergence; parity_error says where.
+  bool parity_ok = true;
+  std::string parity_error;
+};
+
+/// Streams `config.record_path` through `monitor` (which must be freshly
+/// constructed, own exactly the file's flows, and have seen no intervals).
+/// Updates the spca.ingest.* metrics. Throws InputError on malformed input
+/// or a monitor/file shape mismatch; checker failures are reported through
+/// ReplayStats::parity_ok instead (the stream stops early).
+ReplayStats replay_records(LocalMonitor& monitor, const ReplayConfig& config);
+
+}  // namespace spca

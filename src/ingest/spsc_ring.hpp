@@ -1,0 +1,193 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// The ingest pipeline's only cross-thread hand-off: one reader thread pushes
+// record batches, one consumer thread pops them. The design is the classic
+// two-index ring (Lamport queue) with C++11 acquire/release ordering:
+//
+//   * the producer owns `tail_` (writes with release), the consumer owns
+//     `head_` (writes with release);
+//   * each side reads the other's index with acquire, and caches it to avoid
+//     touching the shared cache line on every operation;
+//   * a slot's contents are written before the tail release-store publishes
+//     it, and a consumed slot is released to the producer by the head
+//     release-store — so TSan sees a clean happens-before edge for every
+//     slot in both directions.
+//
+// Backpressure is blocking, never lossy: a full ring makes push() spin-wait
+// (pause → yield → micro-sleep) until the consumer frees a slot or the ring
+// is closed. close() wakes both sides: push() returns false immediately,
+// pop() drains the remaining items and then returns false.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+namespace detail {
+
+/// Escalating wait used by both ring sides: cheap PAUSE spins first (the
+/// other side is typically nanoseconds away), then scheduler yields, then
+/// 50us sleeps so a stalled peer does not burn a core.
+class SpinBackoff final {
+ public:
+  void wait() noexcept {
+    ++spins_;
+    if (spins_ <= 64) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+      return;
+    }
+    if (spins_ <= 1024) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+ private:
+  std::uint32_t spins_ = 0;
+};
+
+}  // namespace detail
+
+/// Bounded SPSC ring. Exactly one thread may call the producer operations
+/// (push/try_push) and exactly one thread the consumer operations
+/// (pop/try_pop); close() and the observers are safe from either side.
+template <typename T>
+class SpscRing final {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    SPCA_EXPECTS(capacity >= 1);
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer: enqueues `item`, blocking while the ring is full (the
+  /// backpressure path — records are never dropped). Returns false iff the
+  /// ring was closed, in which case `item` was not enqueued.
+  bool push(T&& item) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (free_slots(tail) == 0) {
+      blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
+      detail::SpinBackoff backoff;
+      while (free_slots(tail) == 0) {
+        if (closed_.load(std::memory_order_acquire)) return false;
+        backoff.wait();
+      }
+    }
+    if (closed_.load(std::memory_order_acquire)) return false;
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: non-blocking push; false when full or closed.
+  bool try_push(T&& item) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (free_slots(tail) == 0) return false;
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: dequeues into `out`, blocking while the ring is empty.
+  /// Returns false iff the ring is closed AND fully drained — every item
+  /// pushed before close() is still delivered.
+  bool pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (available(head) == 0) {
+      detail::SpinBackoff backoff;
+      while (available(head) == 0) {
+        if (closed_.load(std::memory_order_acquire) && available(head) == 0) {
+          // Re-check after observing closed: a final push may have landed
+          // between the availability check and the closed load.
+          cached_tail_ = tail_.load(std::memory_order_acquire);
+          if (cached_tail_ == head) return false;
+          break;
+        }
+        backoff.wait();
+      }
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: non-blocking pop; false when nothing is available right now.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (available(head) == 0) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Marks the ring closed (idempotent, callable from any thread): blocked
+  /// producers give up, the consumer drains and then sees end-of-stream.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Instantaneous occupancy; racy by design (monitoring only).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Number of push() calls that found the ring full and had to wait — the
+  /// backpressure signal exported as spca.ingest.producer_blocks.
+  [[nodiscard]] std::uint64_t blocked_pushes() const noexcept {
+    return blocked_pushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Producer-side free-slot count, refreshing the cached head only when the
+  /// ring looks full (keeps the common case on one cache line).
+  [[nodiscard]] std::size_t free_slots(std::uint64_t tail) noexcept {
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+    }
+    return capacity() - static_cast<std::size_t>(tail - cached_head_);
+  }
+
+  /// Consumer-side available count, refreshing the cached tail on empty.
+  [[nodiscard]] std::size_t available(std::uint64_t head) noexcept {
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+    }
+    return static_cast<std::size_t>(cached_tail_ - head);
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer-owned line: tail index plus the producer's view of head.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+  // Consumer-owned line: head index plus the consumer's view of tail.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+  alignas(64) std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> blocked_pushes_{0};
+};
+
+}  // namespace spca

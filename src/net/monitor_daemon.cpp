@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "dist/local_monitor.hpp"
+#include "ingest/interval_source.hpp"
 #include "net/frame.hpp"
 #include "obs/metrics.hpp"
 
@@ -95,13 +96,46 @@ MonitorDaemonResult MonitorDaemon::run() {
                     det.sketch_rows, source);
   }
 
+  // Volume source: the scenario's synthetic trace, or a streamed record
+  // file when --ingest-records is set. Both the warm rebuild and the live
+  // loop walk intervals strictly in order, which is all the streaming
+  // source supports; intervals skipped by a checkpoint restore are drained
+  // and discarded.
+  std::optional<RecordIntervalSource> record_source;
+  std::vector<double> record_row;
+  std::int64_t streamed_to = -1;
+  if (!config_.ingest_records.empty()) {
+    record_source.emplace(config_.ingest_records);
+    if (record_source->header().num_flows != m ||
+        record_source->header().num_intervals !=
+            config_.scenario.intervals) {
+      throw InputError("monitord: record file '" + config_.ingest_records +
+                       "' does not match the scenario shape");
+    }
+  }
+  const auto volume_row = [&](std::int64_t t) -> const double* {
+    if (!record_source) return nullptr;
+    std::int64_t got = 0;
+    while (streamed_to < t) {
+      if (!record_source->next_interval(record_row, got)) {
+        throw InputError("monitord: record stream ended before interval " +
+                         std::to_string(t));
+      }
+      streamed_to = got;
+    }
+    return record_row.data();
+  };
+
   // Warm rebuild: replay the intervals the NOC has already accounted for,
   // without sending anything. After this the sketch state is exactly what a
   // never-restarted monitor would hold entering `join`.
   for (std::int64_t t = absorb_from; t < join; ++t) {
+    const double* row = volume_row(t);
     for (const FlowId flow : flows) {
       monitor->ingest_volume(
-          flow, scenario.trace.volumes()(static_cast<std::size_t>(t), flow));
+          flow, row != nullptr ? row[flow]
+                               : scenario.trace.volumes()(
+                                     static_cast<std::size_t>(t), flow));
     }
     monitor->absorb_interval(t);
     ++result.intervals_absorbed;
@@ -139,9 +173,12 @@ MonitorDaemonResult MonitorDaemon::run() {
 
   for (std::int64_t t = join; t < end; ++t) {
     if (stop_.load(std::memory_order_relaxed)) break;
+    const double* row = volume_row(t);
     for (const FlowId flow : flows) {
       monitor->ingest_volume(
-          flow, scenario.trace.volumes()(static_cast<std::size_t>(t), flow));
+          flow, row != nullptr ? row[flow]
+                               : scenario.trace.volumes()(
+                                     static_cast<std::size_t>(t), flow));
     }
     monitor->end_interval(t, bus);
     ++result.intervals_reported;

@@ -52,6 +52,12 @@ struct MonitorDaemonConfig {
   std::int64_t last_interval = -1;
   RetryPolicy retry;
   std::chrono::milliseconds io_timeout{15000};
+  /// Stream the monitor's interval volumes from this flow-record file
+  /// (binary or CSV, see ingest/record_file.hpp) instead of the scenario's
+  /// synthetic trace. The file must carry the scenario's full flow count and
+  /// interval count; a file exported from the scenario trace reproduces the
+  /// synthetic trajectory bit-identically. Empty = use the scenario trace.
+  std::string ingest_records;
   /// Durable snapshot directory; empty disables checkpointing.
   std::string checkpoint_dir;
   /// Snapshot cadence in intervals (0 = shutdown snapshot only).

@@ -137,10 +137,12 @@ void ThreadPool::run_chunks(std::size_t begin, std::size_t end,
           [](void* p, std::size_t c_index, std::size_t) {
             auto* fc = static_cast<ForContext*>(p);
             fc->run_chunk(c_index);
-            {
-              std::lock_guard<std::mutex> done_lock(fc->mutex);
-              --fc->pending;
-            }
+            // Notify while holding the mutex: the context lives on the
+            // caller's stack, and the waiter may destroy it the moment it
+            // can reacquire the lock and see pending == 0. Signaling after
+            // unlock would race with that destruction.
+            std::lock_guard<std::mutex> done_lock(fc->mutex);
+            --fc->pending;
             fc->done.notify_one();
           },
           &context, c, 0});

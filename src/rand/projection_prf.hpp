@@ -1,0 +1,45 @@
+// The keyed PRF behind ProjectionSource: hashes (seed, t, k, lane) into 64
+// well-mixed bits via chained SplitMix64 finalizers.
+//
+// Exposed in a header (rather than staying private to projection_source.cpp)
+// so the batched SIMD projection kernel (sketch/projection_batch) can produce
+// *bit-identical* coefficients: both paths must agree on every intermediate
+// mix, and sharing the definition makes that agreement structural instead of
+// a copy that could drift.
+#pragma once
+
+#include <cstdint>
+
+#include "rand/splitmix64.hpp"
+
+namespace spca {
+
+/// Seed pre-whitening constant: mixed into the user seed before hashing so
+/// small consecutive seeds land far apart.
+inline constexpr std::uint64_t kProjectionPrfSalt = 0x5bf03635dd275b2dULL;
+
+/// The (seed, t)-dependent prefix of the PRF chain, independent of the sketch
+/// row k. Hot batched callers hoist this per update and finish with
+/// `projection_prf_finish` per row.
+[[nodiscard]] constexpr std::uint64_t projection_prf_base(
+    std::uint64_t seed, std::int64_t t) noexcept {
+  std::uint64_t h = splitmix64_mix(seed ^ kProjectionPrfSalt);
+  return splitmix64_mix(h ^ static_cast<std::uint64_t>(t));
+}
+
+/// Completes the chain for sketch row `k` and lane `lane`.
+[[nodiscard]] constexpr std::uint64_t projection_prf_finish(
+    std::uint64_t base, std::size_t k, std::uint64_t lane) noexcept {
+  const std::uint64_t h = splitmix64_mix(base ^ static_cast<std::uint64_t>(k));
+  return splitmix64_mix(h ^ lane);
+}
+
+/// Keyed PRF: hashes (seed, t, k, lane) into 64 well-mixed bits.
+[[nodiscard]] constexpr std::uint64_t projection_prf(std::uint64_t seed,
+                                                     std::int64_t t,
+                                                     std::size_t k,
+                                                     std::uint64_t lane) noexcept {
+  return projection_prf_finish(projection_prf_base(seed, t), k, lane);
+}
+
+}  // namespace spca

@@ -5,20 +5,18 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "rand/distributions.hpp"
-#include "rand/splitmix64.hpp"
+#include "rand/projection_prf.hpp"
 
 namespace spca {
 
 namespace {
 
-/// Keyed PRF: hashes (seed, t, k, lane) into 64 well-mixed bits.
+/// Keyed PRF: hashes (seed, t, k, lane) into 64 well-mixed bits. The
+/// definition lives in rand/projection_prf.hpp so the batched SIMD kernel
+/// shares it bit for bit.
 std::uint64_t prf(std::uint64_t seed, std::int64_t t, std::size_t k,
                   std::uint64_t lane) noexcept {
-  std::uint64_t h = splitmix64_mix(seed ^ 0x5bf03635dd275b2dULL);
-  h = splitmix64_mix(h ^ static_cast<std::uint64_t>(t));
-  h = splitmix64_mix(h ^ static_cast<std::uint64_t>(k));
-  h = splitmix64_mix(h ^ lane);
-  return h;
+  return projection_prf(seed, t, k, lane);
 }
 
 }  // namespace

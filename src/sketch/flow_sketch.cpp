@@ -5,8 +5,29 @@
 
 #include "common/contracts.hpp"
 #include "obs/metrics.hpp"
+#include "sketch/projection_batch.hpp"
 
 namespace spca {
+
+namespace {
+
+/// Fills the 2l payload block for one (t, volume) update: the batched kernel
+/// for tug-of-war, the generic per-coefficient path otherwise. Both agree
+/// bit for bit with ProjectionSource::value.
+void fill_payload(const ProjectionSource& projection, std::int64_t t,
+                  double volume, std::size_t l, double* payload) {
+  if (projection.kind() == ProjectionKind::kTugOfWar) {
+    fill_tow_payload(projection.seed(), t, volume, l, payload);
+    return;
+  }
+  for (std::size_t k = 0; k < l; ++k) {
+    const double r = projection.value(t, k);
+    payload[k] = volume * r;   // Z contribution (Fig. 3 Step 2)
+    payload[l + k] = r;        // R contribution
+  }
+}
+
+}  // namespace
 
 FlowSketch::FlowSketch(std::uint64_t window, double epsilon,
                        std::size_t sketch_rows,
@@ -36,14 +57,30 @@ void FlowSketch::add(std::int64_t t, double volume) {
       MetricsRegistry::global().counter("spca.sketch.bucket_merges");
 
   payload_scratch_.resize(2 * rows_);  // no-op after the first call
-  for (std::size_t k = 0; k < rows_; ++k) {
-    const double r = projection_.value(t, k);
-    payload_scratch_[k] = volume * r;  // Z contribution (Fig. 3 Step 2)
-    payload_scratch_[rows_ + k] = r;   // R contribution
-  }
+  fill_payload(projection_, t, volume, rows_, payload_scratch_.data());
   const std::uint64_t merges_before = histogram_.merge_count();
   histogram_.add(t, volume, payload_scratch_);
   updates.inc();
+  merges.inc(histogram_.merge_count() - merges_before);
+}
+
+void FlowSketch::add_batch(std::span<const SketchUpdate> batch) {
+  static Counter& updates =
+      MetricsRegistry::global().counter("spca.sketch.updates");
+  static Counter& merges =
+      MetricsRegistry::global().counter("spca.sketch.bucket_merges");
+  static Counter& batches =
+      MetricsRegistry::global().counter("spca.sketch.batches");
+
+  if (batch.empty()) return;
+  payload_scratch_.resize(2 * rows_);
+  const std::uint64_t merges_before = histogram_.merge_count();
+  for (const SketchUpdate& u : batch) {
+    fill_payload(projection_, u.t, u.volume, rows_, payload_scratch_.data());
+    histogram_.add(u.t, u.volume, payload_scratch_);
+  }
+  updates.inc(batch.size());
+  batches.inc();
   merges.inc(histogram_.merge_count() - merges_before);
 }
 

@@ -20,12 +20,21 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "linalg/vector.hpp"
 #include "rand/projection_source.hpp"
 #include "stream/variance_histogram.hpp"
 
 namespace spca {
+
+/// One pre-aggregated interval update, the unit of FlowSketch::add_batch.
+struct SketchUpdate {
+  /// Interval timestamp (strictly increasing across a batch).
+  std::int64_t t = 0;
+  /// Aggregated traffic volume of the flow in that interval.
+  double volume = 0.0;
+};
 
 /// Streaming sketch of one aggregated flow over a sliding window.
 class FlowSketch final {
@@ -53,6 +62,14 @@ class FlowSketch final {
   /// Feeds the traffic volume of this flow for interval `t` (strictly
   /// increasing across calls).
   void add(std::int64_t t, double volume);
+
+  /// Feeds a block of interval updates (timestamps strictly increasing
+  /// within the batch and relative to earlier calls). Bit-identical to
+  /// calling add() once per element at every batch size; the tug-of-war
+  /// payload blocks come from the batched SIMD kernel behind runtime CPU
+  /// dispatch (sketch/projection_batch.hpp), which is exact integer/sign
+  /// arithmetic and therefore cannot perturb the trajectory.
+  void add_batch(std::span<const SketchUpdate> updates);
 
   /// Emits the length-l sketch vector z-hat of eq. (17).
   [[nodiscard]] Vector sketch() const;

@@ -75,6 +75,10 @@ void VarianceHistogram::add(std::int64_t t, double x,
   fresh.count = 1;
   fresh.mean = x;
   fresh.variance = 0.0;
+  if (!spare_payloads_.empty()) {
+    fresh.payload = std::move(spare_payloads_.back());
+    spare_payloads_.pop_back();
+  }
   fresh.payload.assign(payload.begin(), payload.end());
   buckets_.push_front(std::move(fresh));
 
@@ -82,10 +86,18 @@ void VarianceHistogram::add(std::int64_t t, double x,
   compact();
 }
 
+void VarianceHistogram::recycle(VhBucket& bucket) {
+  // Bounded spare pool: enough to absorb the expire+merge churn of one add.
+  if (spare_payloads_.size() < 8 && bucket.payload.capacity() > 0) {
+    spare_payloads_.push_back(std::move(bucket.payload));
+  }
+}
+
 void VarianceHistogram::expire(std::int64_t t) {
   while (!buckets_.empty() &&
          buckets_.back().timestamp <=
              t - static_cast<std::int64_t>(window_)) {
+    recycle(buckets_.back());
     buckets_.pop_back();
   }
 }
@@ -141,6 +153,7 @@ void VarianceHistogram::compact() {
         candidate.count <= (epsilon_ / 10.0) * suffix.count;
     if (rule1 && rule2) {
       merge_into(buckets_[p], buckets_[p + 1]);  // reuses the payload buffer
+      recycle(buckets_[p + 1]);
       buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(p + 1));
       ++merges_;
     } else {

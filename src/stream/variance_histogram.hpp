@@ -104,6 +104,7 @@ class VarianceHistogram final {
  private:
   void expire(std::int64_t t);
   void compact();
+  void recycle(VhBucket& bucket);
 
   std::uint64_t window_;
   double epsilon_;
@@ -112,6 +113,11 @@ class VarianceHistogram final {
   bool has_elements_ = false;
   std::uint64_t merges_ = 0;
   std::deque<VhBucket> buckets_;  // index 0 = newest (B_1j of the paper)
+  // Payload buffers of expired/merged buckets, kept for reuse: the ingest
+  // hot path runs one add() per flow per interval, and the O(l) payload
+  // allocation per add would otherwise dominate it. Values are always fully
+  // overwritten on reuse, so recycling cannot change any result.
+  std::vector<std::vector<double>> spare_payloads_;
 };
 
 }  // namespace spca

@@ -1,6 +1,7 @@
 #include "traffic/trace.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <sstream>
 
 #include "common/contracts.hpp"
@@ -20,6 +21,18 @@ double parse_double(const std::string& s) {
   } catch (const std::exception&) {
     throw InputError("TraceSet: malformed number '" + s + "'");
   }
+}
+
+/// Numeric parse that additionally rejects NaN/Inf — stod happily accepts
+/// "nan" and "inf", and a single such cell would silently poison every
+/// sketch and PCA computation downstream.
+double parse_finite(const std::string& s, const char* what) {
+  const double v = parse_double(s);
+  if (!std::isfinite(v)) {
+    throw InputError("TraceSet: non-finite " + std::string(what) + " '" + s +
+                     "'");
+  }
+  return v;
 }
 
 std::int64_t parse_int(const std::string& s) {
@@ -109,10 +122,14 @@ TraceSet TraceSet::load(const std::string& prefix) {
   Matrix volumes(rows.size(), flow_names.size());
   for (std::size_t t = 0; t < rows.size(); ++t) {
     for (std::size_t j = 0; j < flow_names.size(); ++j) {
-      volumes(t, j) = parse_double(rows[t][j + 1]);
+      volumes(t, j) = parse_finite(rows[t][j + 1], "volume");
     }
   }
-  const double interval_seconds = parse_double(rows[0][0]);
+  const double interval_seconds = parse_finite(rows[0][0], "interval_seconds");
+  if (interval_seconds <= 0.0) {
+    throw InputError("TraceSet: interval_seconds must be positive, got '" +
+                     rows[0][0] + "'");
+  }
 
   TraceSet trace(std::move(volumes), interval_seconds, std::move(flow_names));
 
@@ -121,12 +138,24 @@ TraceSet TraceSet::load(const std::string& prefix) {
     AnomalyEvent e;
     e.start = parse_int(r[0]);
     e.end = parse_int(r[1]);
+    if (e.start > e.end) {
+      throw InputError("TraceSet: event range [" + r[0] + ", " + r[1] +
+                       "] is inverted");
+    }
     e.kind = r[2];
-    e.magnitude = parse_double(r[3]);
+    e.magnitude = parse_finite(r[3], "magnitude");
     std::istringstream flows(r[4]);
     std::string tok;
     while (std::getline(flows, tok, ';')) {
-      e.flows.push_back(static_cast<std::uint32_t>(parse_int(tok)));
+      const std::int64_t flow = parse_int(tok);
+      if (flow < 0 || static_cast<std::size_t>(flow) >= trace.num_flows()) {
+        throw InputError("TraceSet: event flow id '" + tok +
+                         "' out of range");
+      }
+      e.flows.push_back(static_cast<std::uint32_t>(flow));
+    }
+    if (e.flows.empty()) {
+      throw InputError("TraceSet: event with no flows");
     }
     trace.add_event(std::move(e));
   }

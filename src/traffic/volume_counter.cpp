@@ -35,6 +35,12 @@ Vector VolumeCounter::end_interval() {
   return x;
 }
 
+void VolumeCounter::advance_intervals(std::uint64_t n) {
+  SPCA_EXPECTS(std::all_of(buckets_.begin(), buckets_.end(),
+                           [](double b) { return b == 0.0; }));
+  intervals_ += n;
+}
+
 double VolumeCounter::volume(FlowId flow) const {
   SPCA_EXPECTS(flow < buckets_.size());
   return buckets_[flow];

@@ -33,6 +33,12 @@ class VolumeCounter final {
   /// num_flows) and resets every bucket to zero for the next interval.
   [[nodiscard]] Vector end_interval();
 
+  /// Marks `n` intervals as completed without flushing anything. The batched
+  /// ingest path aggregates interval volumes outside the counter, so this
+  /// keeps `intervals_completed` (and hence checkpoint state) identical to
+  /// the per-interval path. All buckets must be zero (nothing unflushed).
+  void advance_intervals(std::uint64_t n);
+
   /// Current (unflushed) volume of one flow.
   [[nodiscard]] double volume(FlowId flow) const;
 

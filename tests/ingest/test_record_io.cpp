@@ -1,0 +1,349 @@
+// Record-file round trips and malformed-input hardening: TraceSet ->
+// record file -> TraceSet must be bit-exact in both formats and at every
+// records-per-cell split, and every corruption must surface as InputError.
+#include "ingest/record_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "../helpers.hpp"
+#include "common/error.hpp"
+#include "ingest/interval_source.hpp"
+
+namespace spca {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RecordIoTest : public ::testing::Test {
+ protected:
+  std::string path_ =
+      (fs::temp_directory_path() /
+       ("spca_records_" +
+        std::string(::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name())))
+          .string();
+
+  void TearDown() override { fs::remove(path_); }
+
+  void write_raw(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+};
+
+TEST(SplitCellExact, SequentialSumIsBitExact) {
+  std::vector<double> parts;
+  std::mt19937_64 rng(42);
+  std::vector<double> volumes = {0.0,
+                                 1.0,
+                                 1.0 / 3.0,
+                                 6.25e7,
+                                 1e-300,
+                                 std::numeric_limits<double>::denorm_min(),
+                                 std::numeric_limits<double>::max() / 4,
+                                 -123.456,
+                                 5e-324};
+  for (int i = 0; i < 200; ++i) {
+    volumes.push_back(std::ldexp(
+        static_cast<double>(rng() >> 11),
+        static_cast<int>(rng() % 64) - 32));
+  }
+  for (const double v : volumes) {
+    for (const std::uint32_t k : {1u, 2u, 3u, 7u, 128u, 1000u}) {
+      split_cell_exact(v, k, parts);
+      ASSERT_EQ(parts.size(), k);
+      double sum = 0.0;
+      for (const double p : parts) sum += p;
+      ASSERT_EQ(0, std::memcmp(&sum, &v, sizeof v))
+          << "v=" << v << " parts=" << k << " sum=" << sum;
+    }
+  }
+}
+
+TEST(SplitCellExact, NonFiniteAndSinglePartPassThrough) {
+  std::vector<double> parts;
+  split_cell_exact(42.0, 1, parts);
+  EXPECT_EQ(parts, std::vector<double>{42.0});
+  const double inf = std::numeric_limits<double>::infinity();
+  split_cell_exact(inf, 4, parts);
+  EXPECT_EQ(parts[0], inf);
+  EXPECT_EQ(parts[1], 0.0);
+}
+
+void expect_traces_bit_identical(const TraceSet& a, const TraceSet& b) {
+  ASSERT_EQ(a.num_intervals(), b.num_intervals());
+  ASSERT_EQ(a.num_flows(), b.num_flows());
+  ASSERT_DOUBLE_EQ(a.interval_seconds(), b.interval_seconds());
+  for (std::size_t t = 0; t < a.num_intervals(); ++t) {
+    for (std::size_t j = 0; j < a.num_flows(); ++j) {
+      const double x = a.volumes()(t, j);
+      const double y = b.volumes()(t, j);
+      ASSERT_EQ(0, std::memcmp(&x, &y, sizeof x))
+          << "t=" << t << " j=" << j << " " << x << " vs " << y;
+    }
+  }
+}
+
+TEST_F(RecordIoTest, BinaryRoundTripIsBitExact) {
+  const TraceSet trace =
+      testing::small_trace(testing::small_topology(), 40, 11);
+  for (const std::uint32_t rpc : {1u, 3u, 128u}) {
+    RecordExportOptions options;
+    options.records_per_cell = rpc;
+    export_records(trace, path_, options);
+    const TraceSet back = import_records(path_);
+    expect_traces_bit_identical(trace, back);
+  }
+}
+
+TEST_F(RecordIoTest, CsvRoundTripIsBitExact) {
+  const TraceSet trace =
+      testing::small_trace(testing::small_topology(), 24, 3);
+  RecordExportOptions options;
+  options.format = RecordFormat::kCsv;
+  options.records_per_cell = 2;
+  export_records(trace, path_, options);
+  const TraceSet back = import_records(path_);
+  expect_traces_bit_identical(trace, back);
+}
+
+TEST_F(RecordIoTest, HeaderCarriesStreamMetadata) {
+  const TraceSet trace =
+      testing::small_trace(testing::small_topology(), 10, 5);
+  RecordExportOptions options;
+  options.records_per_cell = 2;
+  export_records(trace, path_, options);
+  RecordFileReader reader(path_);
+  EXPECT_EQ(reader.format(), RecordFormat::kBinary);
+  EXPECT_EQ(reader.header().num_flows, trace.num_flows());
+  EXPECT_EQ(reader.header().num_intervals, 10u);
+  EXPECT_DOUBLE_EQ(reader.header().interval_seconds,
+                   trace.interval_seconds());
+  EXPECT_EQ(reader.header().record_count, 10u * trace.num_flows() * 2u);
+}
+
+TEST_F(RecordIoTest, IntervalSourceReproducesTraceRows) {
+  const TraceSet trace =
+      testing::small_trace(testing::small_topology(), 16, 9);
+  RecordExportOptions options;
+  options.records_per_cell = 4;
+  export_records(trace, path_, options);
+  RecordIntervalSource source(path_);
+  std::vector<double> row;
+  std::int64_t t = -1;
+  for (std::int64_t want = 0; want < 16; ++want) {
+    ASSERT_TRUE(source.next_interval(row, t));
+    ASSERT_EQ(t, want);
+    ASSERT_EQ(row.size(), trace.num_flows());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double x = trace.volumes()(static_cast<std::size_t>(t), j);
+      ASSERT_EQ(0, std::memcmp(&row[j], &x, sizeof x));
+    }
+  }
+  EXPECT_FALSE(source.next_interval(row, t));
+}
+
+TEST_F(RecordIoTest, IntervalSourceEmitsZeroRowsForAbsentIntervals) {
+  // Hand-built binary file: 3 flows x 4 intervals, records only in t=1.
+  std::string bytes;
+  const auto append = [&bytes](const void* p, std::size_t n) {
+    bytes.append(static_cast<const char*>(p), n);
+  };
+  const std::uint32_t header_words[2] = {0x52435053u, 1u};  // magic, version
+  const std::uint32_t shape[2] = {3u, 4u};
+  const double seconds = 300.0;
+  const std::uint64_t count = 2;
+  append(header_words, 8);
+  append(shape, 8);
+  append(&seconds, 8);
+  append(&count, 8);
+  const FlowRecord records[2] = {{1, 0, 5.5}, {1, 2, 2.25}};
+  append(records, sizeof records);
+  write_raw(bytes);
+
+  RecordIntervalSource source(path_);
+  std::vector<double> row;
+  std::int64_t t = -1;
+  ASSERT_TRUE(source.next_interval(row, t));
+  EXPECT_EQ(row, (std::vector<double>{0.0, 0.0, 0.0}));
+  ASSERT_TRUE(source.next_interval(row, t));
+  EXPECT_EQ(row, (std::vector<double>{5.5, 0.0, 2.25}));
+  ASSERT_TRUE(source.next_interval(row, t));
+  EXPECT_EQ(row, (std::vector<double>{0.0, 0.0, 0.0}));
+  ASSERT_TRUE(source.next_interval(row, t));
+  EXPECT_FALSE(source.next_interval(row, t));
+}
+
+TEST_F(RecordIoTest, TruncatedBinaryRejected) {
+  const TraceSet trace = testing::small_trace(testing::small_topology(), 8, 1);
+  export_records(trace, path_);
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  write_raw(bytes.substr(0, bytes.size() - 7));
+  EXPECT_THROW(RecordFileReader reader(path_), InputError);
+}
+
+TEST_F(RecordIoTest, MalformedBinaryHeadersRejected) {
+  const std::uint32_t magic = 0x52435053u;
+  const auto build = [&](std::uint32_t version, std::uint32_t flows,
+                         std::uint32_t intervals, double seconds,
+                         std::uint64_t count) {
+    std::string bytes;
+    const auto append = [&bytes](const void* p, std::size_t n) {
+      bytes.append(static_cast<const char*>(p), n);
+    };
+    append(&magic, 4);
+    append(&version, 4);
+    append(&flows, 4);
+    append(&intervals, 4);
+    append(&seconds, 8);
+    append(&count, 8);
+    return bytes;
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  write_raw(build(2, 1, 1, 300.0, 0));  // unsupported version
+  EXPECT_THROW(RecordFileReader r(path_), InputError);
+  write_raw(build(1, 0, 1, 300.0, 0));  // zero flows
+  EXPECT_THROW(RecordFileReader r(path_), InputError);
+  write_raw(build(1, 1, 0, 300.0, 0));  // zero intervals
+  EXPECT_THROW(RecordFileReader r(path_), InputError);
+  write_raw(build(1, 1, 1, nan, 0));  // non-finite interval seconds
+  EXPECT_THROW(RecordFileReader r(path_), InputError);
+  write_raw(build(1, 1, 1, -5.0, 0));  // negative interval seconds
+  EXPECT_THROW(RecordFileReader r(path_), InputError);
+  write_raw(build(1, 1, 1, 300.0, 7));  // count disagrees with file size
+  EXPECT_THROW(RecordFileReader r(path_), InputError);
+}
+
+TEST_F(RecordIoTest, InvalidBinaryRecordsRejected) {
+  const auto build = [&](const FlowRecord& record) {
+    std::string bytes;
+    const auto append = [&bytes](const void* p, std::size_t n) {
+      bytes.append(static_cast<const char*>(p), n);
+    };
+    const std::uint32_t header_words[4] = {0x52435053u, 1u, /*flows=*/2u,
+                                           /*intervals=*/2u};
+    const double seconds = 60.0;
+    const std::uint64_t count = 1;
+    append(header_words, 16);
+    append(&seconds, 8);
+    append(&count, 8);
+    append(&record, sizeof record);
+    return bytes;
+  };
+  RecordBatch batch;
+  write_raw(build({0, 2, 1.0}));  // flow out of range
+  EXPECT_THROW(RecordFileReader(path_).next_batch(batch), InputError);
+  write_raw(build({2, 0, 1.0}));  // interval out of range
+  EXPECT_THROW(RecordFileReader(path_).next_batch(batch), InputError);
+  write_raw(build({0, 0, std::numeric_limits<double>::quiet_NaN()}));
+  EXPECT_THROW(RecordFileReader(path_).next_batch(batch), InputError);
+  write_raw(build({0, 0, -1.0}));  // negative volume
+  EXPECT_THROW(RecordFileReader(path_).next_batch(batch), InputError);
+}
+
+TEST_F(RecordIoTest, DecreasingIntervalsRejected) {
+  std::string bytes;
+  const auto append = [&bytes](const void* p, std::size_t n) {
+    bytes.append(static_cast<const char*>(p), n);
+  };
+  const std::uint32_t header_words[4] = {0x52435053u, 1u, 1u, 4u};
+  const double seconds = 60.0;
+  const std::uint64_t count = 2;
+  append(header_words, 16);
+  append(&seconds, 8);
+  append(&count, 8);
+  const FlowRecord records[2] = {{3, 0, 1.0}, {1, 0, 1.0}};
+  append(records, sizeof records);
+  write_raw(bytes);
+  RecordBatch batch;
+  EXPECT_THROW(RecordFileReader(path_).next_batch(batch), InputError);
+}
+
+TEST_F(RecordIoTest, MalformedCsvRejected) {
+  const std::string header =
+      "interval,flow,bytes,num_flows,num_intervals,interval_seconds\n";
+  const std::vector<std::string> bad_files = {
+      "",                                   // empty
+      "wrong,header\n",                     // wrong header
+      header,                               // no data rows
+      header + "0,0,1.5,2,4\n",             // wrong column count
+      header + "0,0,1.5,2,4,300,extra\n",   // wrong column count (too many)
+      header + "zero,0,1.5,2,4,300\n",      // non-numeric interval
+      header + "0,x,1.5,2,4,300\n",         // non-numeric flow
+      header + "0,0,bogus,2,4,300\n",       // non-numeric bytes
+      header + "0,0,nan,2,4,300\n",         // NaN bytes
+      header + "0,0,inf,2,4,300\n",         // Inf bytes
+      header + "0,0,-2.5,2,4,300\n",        // negative bytes
+      header + "0,0,1.5,0,4,300\n",         // zero flows
+      header + "0,0,1.5,2,0,300\n",         // zero intervals
+      header + "0,0,1.5,2,4,nan\n",         // non-finite seconds
+      header + "0,0,1.5,2,4,-1\n",          // negative seconds
+      header + "0,5,1.5,2,4,300\n",         // flow out of range
+      header + "9,0,1.5,2,4,300\n",         // interval out of range
+      header + "1,0,1.5,2,4,300\n0,0,2,0,0,0\n",  // decreasing interval
+  };
+  for (const std::string& contents : bad_files) {
+    write_raw(contents);
+    EXPECT_THROW(
+        {
+          RecordFileReader reader(path_);
+          RecordBatch batch;
+          while (reader.next_batch(batch) > 0) {
+          }
+        },
+        InputError)
+        << "accepted: " << contents;
+  }
+}
+
+TEST_F(RecordIoTest, FuzzedGarbageNeverCrashes) {
+  // Deterministic byte soup: every parse must either succeed or throw a
+  // typed Error — never crash, hang, or hand back unvalidated records.
+  std::mt19937_64 rng(0xfeedface);
+  std::string alphabet = "0123456789,.-+eEnaif\n\r \txyz";
+  alphabet.push_back('\0');
+  for (int round = 0; round < 200; ++round) {
+    std::string contents;
+    const std::size_t len = rng() % 300;
+    const bool binary_like = round % 3 == 0;
+    if (binary_like) {
+      const std::uint32_t magic = 0x52435053u;
+      contents.append(reinterpret_cast<const char*>(&magic), 4);
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      contents.push_back(alphabet[rng() % alphabet.size()]);
+    }
+    write_raw(contents);
+    try {
+      RecordFileReader reader(path_);
+      RecordBatch batch;
+      while (reader.next_batch(batch) > 0) {
+      }
+    } catch (const Error&) {
+      // expected for almost every input
+    }
+  }
+}
+
+TEST_F(RecordIoTest, ExportRejectsUnwritablePath) {
+  const TraceSet trace = testing::small_trace(testing::small_topology(), 4, 2);
+  EXPECT_THROW(export_records(trace, "/nonexistent-dir/records.spcr"),
+               InputError);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,187 @@
+// End-to-end replay parity: the full pipeline (reader thread -> SPSC ring ->
+// batched absorption) must leave the monitor in a state bit-identical to the
+// per-interval pre-aggregated path — at every block size, batch size, thread
+// count, and pass count.
+#include "ingest/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "../helpers.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "par/thread_pool.hpp"
+
+namespace spca {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kWindow = 32;
+constexpr double kEpsilon = 0.05;
+constexpr std::size_t kRows = 8;
+
+LocalMonitor make_monitor(std::size_t num_flows) {
+  const ProjectionSource projection(ProjectionKind::kTugOfWar, 77);
+  std::vector<FlowId> flows(num_flows);
+  for (std::size_t j = 0; j < num_flows; ++j) {
+    flows[j] = static_cast<FlowId>(j);
+  }
+  return LocalMonitor(1, flows, kWindow, kEpsilon, kRows, projection);
+}
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  std::string path_ =
+      (fs::temp_directory_path() /
+       ("spca_replay_" + std::string(::testing::UnitTest::GetInstance()
+                                         ->current_test_info()
+                                         ->name())))
+          .string();
+
+  void TearDown() override {
+    fs::remove(path_);
+    set_global_threads(1);
+  }
+};
+
+TEST_F(ReplayTest, FullCheckPassesAcrossConfigurations) {
+  const TraceSet trace =
+      testing::small_trace(testing::small_topology(), 48, 21);
+  RecordExportOptions options;
+  options.records_per_cell = 3;
+  export_records(trace, path_, options);
+
+  for (const std::size_t block : {1u, 5u, 64u}) {
+    LocalMonitor monitor = make_monitor(trace.num_flows());
+    ReplayConfig config;
+    config.record_path = path_;
+    config.interval_block = block;
+    config.ring_batches = 4;
+    config.check = ReplayCheck::kFull;
+    config.check_every = 7;
+    const ReplayStats stats = replay_records(monitor, config);
+    EXPECT_TRUE(stats.parity_ok) << stats.parity_error;
+    EXPECT_EQ(stats.records, 48u * trace.num_flows() * 3u);
+    EXPECT_EQ(stats.intervals, 48u);
+    EXPECT_EQ(stats.passes, 1u);
+    EXPECT_GT(stats.records_per_sec, 0.0);
+  }
+}
+
+TEST_F(ReplayTest, MultiplePassesExtendTheStream) {
+  const TraceSet trace =
+      testing::small_trace(testing::small_topology(), 16, 5);
+  export_records(trace, path_);
+  LocalMonitor monitor = make_monitor(trace.num_flows());
+  ReplayConfig config;
+  config.record_path = path_;
+  config.repeat = 3;
+  config.check = ReplayCheck::kFull;
+  config.check_every = 10;
+  const ReplayStats stats = replay_records(monitor, config);
+  EXPECT_TRUE(stats.parity_ok) << stats.parity_error;
+  EXPECT_EQ(stats.passes, 3u);
+  EXPECT_EQ(stats.intervals, 48u);
+  EXPECT_EQ(stats.records, 3u * 16u * trace.num_flows());
+}
+
+TEST_F(ReplayTest, ReplayedStateIsThreadCountInvariant) {
+  const TraceSet trace =
+      testing::small_trace(testing::small_topology(), 32, 13);
+  RecordExportOptions options;
+  options.records_per_cell = 2;
+  export_records(trace, path_, options);
+
+  std::vector<std::vector<std::byte>> states;
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    set_global_threads(threads);
+    LocalMonitor monitor = make_monitor(trace.num_flows());
+    ReplayConfig config;
+    config.record_path = path_;
+    config.check = ReplayCheck::kOff;
+    const ReplayStats stats = replay_records(monitor, config);
+    ASSERT_TRUE(stats.parity_ok);
+    states.push_back(monitor.save_state());
+  }
+  EXPECT_EQ(states[0], states[1]);
+  EXPECT_EQ(states[0], states[2]);
+}
+
+TEST_F(ReplayTest, AbsorbBlockMatchesPerIntervalPath) {
+  const TraceSet trace =
+      testing::small_trace(testing::small_topology(), 40, 17);
+  const std::size_t w = trace.num_flows();
+
+  LocalMonitor reference = make_monitor(w);
+  for (std::int64_t t = 0; t < 40; ++t) {
+    for (std::size_t j = 0; j < w; ++j) {
+      reference.ingest_volume(static_cast<FlowId>(j),
+                              trace.volumes()(static_cast<std::size_t>(t), j));
+    }
+    reference.absorb_interval(t);
+  }
+  const std::vector<std::byte> want = reference.save_state();
+
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    set_global_threads(threads);
+    for (const std::size_t block : {1u, 8u, 40u}) {
+      LocalMonitor monitor = make_monitor(w);
+      std::vector<double> volumes;
+      for (std::int64_t first = 0; first < 40;
+           first += static_cast<std::int64_t>(block)) {
+        const std::size_t rows =
+            std::min<std::size_t>(block, static_cast<std::size_t>(40 - first));
+        volumes.assign(rows * w, 0.0);
+        for (std::size_t r = 0; r < rows; ++r) {
+          for (std::size_t j = 0; j < w; ++j) {
+            volumes[r * w + j] = trace.volumes()(
+                static_cast<std::size_t>(first) + r, j);
+          }
+        }
+        monitor.absorb_block(first, rows, volumes);
+      }
+      EXPECT_EQ(monitor.save_state(), want)
+          << "threads=" << threads << " block=" << block;
+    }
+  }
+}
+
+TEST_F(ReplayTest, ShapeMismatchRejected) {
+  const TraceSet trace =
+      testing::small_trace(testing::small_topology(), 8, 2);
+  export_records(trace, path_);
+  LocalMonitor monitor = make_monitor(trace.num_flows() - 1);
+  ReplayConfig config;
+  config.record_path = path_;
+  EXPECT_THROW((void)replay_records(monitor, config), InputError);
+}
+
+TEST_F(ReplayTest, IngestMetricsAreExported) {
+  const TraceSet trace =
+      testing::small_trace(testing::small_topology(), 8, 4);
+  export_records(trace, path_);
+  auto& registry = MetricsRegistry::global();
+  const std::uint64_t records_before =
+      registry.counter("spca.ingest.records").value();
+  const std::uint64_t occupancy_before =
+      registry.histogram("spca.ingest.ring_occupancy").count();
+
+  LocalMonitor monitor = make_monitor(trace.num_flows());
+  ReplayConfig config;
+  config.record_path = path_;
+  const ReplayStats stats = replay_records(monitor, config);
+  ASSERT_TRUE(stats.parity_ok);
+
+  EXPECT_EQ(registry.counter("spca.ingest.records").value() - records_before,
+            stats.records);
+  EXPECT_GT(registry.histogram("spca.ingest.ring_occupancy").count(),
+            occupancy_before);
+  EXPECT_GT(registry.gauge("spca.ingest.records_per_sec").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace spca

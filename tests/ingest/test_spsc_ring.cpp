@@ -1,0 +1,168 @@
+// SPSC ring: FIFO integrity, blocking backpressure (nothing is ever
+// dropped), wraparound, and the close() protocol — exercised with real
+// producer/consumer threads so the TSan job verifies the memory ordering.
+#include "ingest/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace spca {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRing, SingleThreadOrderAndWraparound) {
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t next_in = 0;
+  std::uint64_t next_out = 0;
+  // Many times around the ring with a mixed fill level.
+  for (int round = 0; round < 1000; ++round) {
+    while (ring.try_push(std::uint64_t(next_in))) ++next_in;
+    std::uint64_t got = 0;
+    for (int i = 0; i < 3 && ring.try_pop(got); ++i) {
+      ASSERT_EQ(got, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_GT(next_out, 1000u);
+}
+
+TEST(SpscRing, TryPushFailsWhenFullTryPopWhenEmpty) {
+  SpscRing<int> ring(2);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+}
+
+TEST(SpscRing, CloseDrainsThenEndsStream) {
+  SpscRing<int> ring(8);
+  ASSERT_TRUE(ring.push(10));
+  ASSERT_TRUE(ring.push(11));
+  ring.close();
+  EXPECT_FALSE(ring.push(12));  // producers give up immediately
+  int out = 0;
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 10);
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 11);
+  EXPECT_FALSE(ring.pop(out));  // drained + closed = end of stream
+}
+
+TEST(SpscRing, ProducerBlocksUntilConsumerFreesASlot) {
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.push(0));
+  ASSERT_TRUE(ring.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(ring.push(2));  // blocks: ring is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  int out = 0;
+  ASSERT_TRUE(ring.pop(out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_GE(ring.blocked_pushes(), 1u);
+}
+
+TEST(SpscRing, ShutdownWhileFullUnblocksTheProducer) {
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.push(0));
+  ASSERT_TRUE(ring.push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(ring.push(2));  // blocked on full, then woken by close()
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ring.close();
+  producer.join();
+  // The items pushed before the close are still deliverable.
+  int out = 0;
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_FALSE(ring.pop(out));
+}
+
+/// Streams `count` sequenced items through a small ring and asserts the
+/// consumer sees exactly 0..count-1 in order. `slow_consumer` stalls the
+/// consumer periodically (forcing producer backpressure); `slow_producer`
+/// stalls the producer (forcing the consumer to wait on an empty ring).
+void stress(std::size_t count, bool slow_consumer, bool slow_producer) {
+  SpscRing<std::uint64_t> ring(8);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (slow_producer && i % 1024 == 0) std::this_thread::yield();
+      ASSERT_TRUE(ring.push(std::uint64_t(i)));
+    }
+    ring.close();
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t item = 0;
+  while (ring.pop(item)) {
+    ASSERT_EQ(item, expected);
+    ++expected;
+    if (slow_consumer && expected % 512 == 0) std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(expected, count);
+  if (slow_consumer) EXPECT_GT(ring.blocked_pushes(), 0u);
+}
+
+TEST(SpscRing, StressMatchedRates) { stress(200000, false, false); }
+
+TEST(SpscRing, StressSlowConsumer) { stress(100000, true, false); }
+
+TEST(SpscRing, StressSlowProducer) { stress(100000, false, true); }
+
+TEST(SpscRing, StressCloseWhileFullMidStream) {
+  // Producer pushes an unbounded stream; the consumer walks away after a
+  // prefix and closes. The producer must terminate (no deadlock) and every
+  // item the consumer did pop must be in sequence.
+  SpscRing<std::uint64_t> ring(4);
+  std::atomic<std::uint64_t> produced{0};
+  std::thread producer([&] {
+    std::uint64_t i = 0;
+    while (ring.push(std::uint64_t(i))) {
+      ++i;
+    }
+    produced.store(i);
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t item = 0;
+  while (expected < 1000 && ring.pop(item)) {
+    ASSERT_EQ(item, expected);
+    ++expected;
+  }
+  ring.close();
+  producer.join();
+  EXPECT_EQ(expected, 1000u);
+  EXPECT_GE(produced.load(), expected);
+}
+
+TEST(SpscRing, MoveOnlyPayloadsMoveThrough) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.push(std::make_unique<int>(41)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 41);
+}
+
+}  // namespace
+}  // namespace spca

@@ -7,10 +7,12 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "ingest/record_file.hpp"
 #include "net/monitor_daemon.hpp"
 #include "net/noc_daemon.hpp"
 #include "net/scenario.hpp"
@@ -172,6 +174,48 @@ TEST(Daemons, MonitorKillAndRestartSurvivesViaReconnect) {
             static_cast<std::int64_t>(config.intervals) - kill_at);
   EXPECT_EQ(steady_result.intervals_reported,
             static_cast<std::int64_t>(config.intervals));
+}
+
+TEST(Daemons, RecordIngestReproducesTheSyntheticTrajectory) {
+  // Monitors streaming their volumes from a record file exported off the
+  // scenario trace (--ingest-records) must follow the exact trajectory of
+  // monitors replaying the synthetic trace directly.
+  const NetScenarioConfig config = small_scenario();
+  const NetScenario scenario = build_scenario(config);
+  const ScenarioRun reference = run_scenario_reference(scenario);
+
+  const std::string records =
+      (std::filesystem::temp_directory_path() / "spca_daemon_ingest.spcr")
+          .string();
+  RecordExportOptions options;
+  options.records_per_cell = 2;
+  export_records(scenario.trace, records, options);
+
+  NocDaemonConfig noc_config;
+  noc_config.scenario = config;
+  noc_config.listen_port = 0;
+  noc_config.interval_deadline = 30000ms;
+  NocDaemon noc(noc_config);
+  noc.start();
+
+  std::vector<std::thread> threads;
+  std::vector<MonitorDaemonResult> results(config.monitors);
+  std::vector<std::exception_ptr> errors(config.monitors);
+  for (std::size_t k = 0; k < config.monitors; ++k) {
+    MonitorDaemonConfig monitor =
+        monitor_config(config, static_cast<NodeId>(k + 1), noc.bound_port());
+    monitor.ingest_records = records;
+    threads.emplace_back(run_monitor, std::move(monitor),
+                         std::ref(results[k]), std::ref(errors[k]));
+  }
+
+  const ScenarioRun run = noc.run();
+  for (auto& t : threads) t.join();
+  std::filesystem::remove(records);
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  expect_matches_reference(run, reference);
 }
 
 TEST(Daemons, MonitorsStartedBeforeTheNocBackOffAndConnect) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <random>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
@@ -116,6 +118,76 @@ TEST_F(TraceLoadFailureTest, EmptyVolumesRejected) {
   write_files("interval_seconds,f0\n",
               "start,end,kind,magnitude,flows\n");
   EXPECT_THROW((void)TraceSet::load(prefix_), InputError);
+}
+
+TEST_F(TraceLoadFailureTest, NonFiniteVolumesRejected) {
+  // stod happily parses these; load must not let them into the matrix.
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "INFINITY"}) {
+    write_files(std::string("interval_seconds,f0\n300,") + bad + "\n",
+                "start,end,kind,magnitude,flows\n");
+    EXPECT_THROW((void)TraceSet::load(prefix_), InputError) << bad;
+  }
+}
+
+TEST_F(TraceLoadFailureTest, BadIntervalSecondsRejected) {
+  for (const char* bad : {"0", "-300", "nan", "inf", "", "12x"}) {
+    write_files(std::string("interval_seconds,f0\n") + bad + ",1.5\n",
+                "start,end,kind,magnitude,flows\n");
+    EXPECT_THROW((void)TraceSet::load(prefix_), InputError) << bad;
+  }
+}
+
+TEST_F(TraceLoadFailureTest, WrongColumnCountRejected) {
+  write_files("interval_seconds,f0\n300,1.5,9\n",
+              "start,end,kind,magnitude,flows\n");
+  EXPECT_THROW((void)TraceSet::load(prefix_), InputError);
+  write_files("interval_seconds,f0,f1\n300,1.5\n",
+              "start,end,kind,magnitude,flows\n");
+  EXPECT_THROW((void)TraceSet::load(prefix_), InputError);
+}
+
+TEST_F(TraceLoadFailureTest, InvalidEventsRejected) {
+  const std::string volumes = "interval_seconds,f0\n300,1.5\n";
+  const std::string header = "start,end,kind,magnitude,flows\n";
+  for (const char* bad : {
+           "3,2,ddos,1.0,0",    // inverted range
+           "0,1,ddos,1.0,",     // no flows
+           "0,1,ddos,1.0,5",    // flow id out of range
+           "0,1,ddos,1.0,-1",   // negative flow id
+           "0,1,ddos,nan,0",    // non-finite magnitude
+           "0,1,ddos,1.0,0;x",  // malformed flow token
+       }) {
+    write_files(volumes, header + bad + "\n");
+    EXPECT_THROW((void)TraceSet::load(prefix_), InputError) << bad;
+  }
+}
+
+TEST_F(TraceLoadFailureTest, FuzzedGarbageNeverCrashes) {
+  // Deterministic byte soup over both CSVs: load must always either succeed
+  // or throw a typed Error — never crash or accept non-finite data.
+  std::mt19937_64 rng(0x5eed);
+  const std::string alphabet = "0123456789,.-+eEnaif\n; x";
+  for (int round = 0; round < 100; ++round) {
+    std::string volumes = "interval_seconds,f0\n";
+    std::string events = "start,end,kind,magnitude,flows\n";
+    for (std::size_t i = rng() % 60; i > 0; --i) {
+      volumes.push_back(alphabet[rng() % alphabet.size()]);
+    }
+    for (std::size_t i = rng() % 60; i > 0; --i) {
+      events.push_back(alphabet[rng() % alphabet.size()]);
+    }
+    write_files(volumes, events);
+    try {
+      const TraceSet loaded = TraceSet::load(prefix_);
+      for (std::size_t t = 0; t < loaded.num_intervals(); ++t) {
+        for (std::size_t j = 0; j < loaded.num_flows(); ++j) {
+          ASSERT_TRUE(std::isfinite(loaded.volumes()(t, j)));
+        }
+      }
+    } catch (const Error&) {
+      // expected for almost every input
+    }
+  }
 }
 
 TEST(TraceSet, VolumesAreMutable) {
