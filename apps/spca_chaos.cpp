@@ -8,15 +8,18 @@
 //
 //   # real TCP daemons, with a monitor killed at interval 18 and restarted
 //   # from its durable checkpoint:
-//   ./spca_chaos --mode=tcp --checkpoint-dir=/tmp/spca-ckpt \
+//   ./spca_chaos --mode=tcp --checkpoint-dir=/tmp/spca-ckpt
 //       --faults=drop=0.05,kill=1@18,reset=2@9,seed=3
 #include <iostream>
+#include <optional>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "fault/chaos.hpp"
 #include "net/net_flags.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/report.hpp"
+#include "obs/status_server.hpp"
 #include "par/thread_pool.hpp"
 
 int main(int argc, char** argv) {
@@ -40,6 +43,9 @@ int main(int argc, char** argv) {
                "restart restores a periodic snapshot and absorbs the tail");
   flags.define("interval-deadline-ms", "60000",
                "NOC-side max wait for a missing monitor per interval");
+  flags.define("status-port", "-1",
+               "serve /metrics, /metrics.json, /healthz, /spans on this "
+               "port while the schedule runs (-1 = off, 0 = ephemeral)");
   define_transport_flags(flags);
   define_scenario_flags(flags);
   define_threads_flag(flags);
@@ -47,6 +53,19 @@ int main(int argc, char** argv) {
   try {
     if (!flags.parse(argc, argv)) return 0;
     (void)configure_threads_from_flag(flags);
+    configure_observability(flags);
+    // The harness's main thread blocks inside run_chaos, so the status
+    // endpoint (when requested) polls from a helper thread instead of a
+    // daemon wait loop.
+    std::optional<StatusServer> status;
+    if (flags.integer("status-port") >= 0) {
+      StatusServerConfig scfg;
+      scfg.port = static_cast<int>(flags.integer("status-port"));
+      status.emplace(std::move(scfg));
+      status->serve_in_background();
+      std::cout << "chaos: status endpoint on 127.0.0.1:" << status->port()
+                << "\n";
+    }
 
     ChaosConfig config;
     config.scenario = scenario_from_flags(flags);
@@ -83,6 +102,8 @@ int main(int argc, char** argv) {
                 << result.reference.alarm_intervals.size() << " alarms, "
                 << result.run.distances.size() << " vs "
                 << result.reference.distances.size() << " detections)\n";
+      FlightRecorder::global().note("divergence");
+      (void)FlightRecorder::global().dump("divergence");
       return 2;
     }
     if (result.kills > 0 && !result.restored_from_checkpoint) {
@@ -95,6 +116,8 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "spca_chaos: " << e.what() << "\n";
+    FlightRecorder::global().note("fatal_error", -1, e.what());
+    (void)FlightRecorder::global().dump("error");
     return 1;
   }
 }

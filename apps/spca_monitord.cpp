@@ -16,6 +16,7 @@
 #include "common/error.hpp"
 #include "net/monitor_daemon.hpp"
 #include "net/net_flags.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/report.hpp"
 #include "par/thread_pool.hpp"
 
@@ -49,6 +50,11 @@ int main(int argc, char** argv) {
   flags.define("checkpoint-every", "8",
                "periodic snapshot cadence in intervals (0 = shutdown "
                "snapshot only)");
+  flags.define("status-port", "-1",
+               "serve /metrics, /metrics.json, /healthz, /spans on this "
+               "port while running (-1 = off, 0 = ephemeral)");
+  flags.define("status-host", "127.0.0.1",
+               "bind address of the status endpoint");
   define_transport_flags(flags);
   define_scenario_flags(flags);
   define_threads_flag(flags);
@@ -56,6 +62,7 @@ int main(int argc, char** argv) {
   try {
     if (!flags.parse(argc, argv)) return 0;
     (void)configure_threads_from_flag(flags);
+    configure_observability(flags);
 
     MonitorDaemonConfig config;
     config.scenario = scenario_from_flags(flags);
@@ -69,6 +76,8 @@ int main(int argc, char** argv) {
     config.checkpoint_every = flags.integer("checkpoint-every");
     config.retry = retry_policy_from_flags(flags);
     config.io_timeout = io_timeout_from_flags(flags);
+    config.status_port = static_cast<int>(flags.integer("status-port"));
+    config.status_host = flags.str("status-host");
     MonitorDaemon daemon(config);
     g_daemon = &daemon;
     (void)std::signal(SIGTERM, handle_signal);
@@ -93,6 +102,8 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "spca_monitord: " << e.what() << "\n";
+    FlightRecorder::global().note("fatal_error", -1, e.what());
+    (void)FlightRecorder::global().dump("error");
     return 1;
   }
 }

@@ -17,6 +17,7 @@
 #include "common/error.hpp"
 #include "net/net_flags.hpp"
 #include "net/noc_daemon.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/report.hpp"
 #include "par/thread_pool.hpp"
 
@@ -45,6 +46,11 @@ int main(int argc, char** argv) {
   flags.define("checkpoint-every", "8",
                "periodic snapshot cadence in intervals (0 = shutdown "
                "snapshot only)");
+  flags.define("status-port", "-1",
+               "serve /metrics, /metrics.json, /healthz, /spans on this "
+               "port while running (-1 = off, 0 = ephemeral)");
+  flags.define("status-host", "127.0.0.1",
+               "bind address of the status endpoint");
   define_transport_flags(flags);
   define_scenario_flags(flags);
   define_threads_flag(flags);
@@ -52,6 +58,7 @@ int main(int argc, char** argv) {
   try {
     if (!flags.parse(argc, argv)) return 0;
     (void)configure_threads_from_flag(flags);
+    configure_observability(flags);
 
     NocDaemonConfig config;
     config.scenario = scenario_from_flags(flags);
@@ -62,6 +69,8 @@ int main(int argc, char** argv) {
     config.io_timeout = io_timeout_from_flags(flags);
     config.checkpoint_dir = flags.str("checkpoint-dir");
     config.checkpoint_every = flags.integer("checkpoint-every");
+    config.status_port = static_cast<int>(flags.integer("status-port"));
+    config.status_host = flags.str("status-host");
     NocDaemon daemon(config);
     g_daemon = &daemon;
     (void)std::signal(SIGTERM, handle_signal);
@@ -95,6 +104,8 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "spca_nocd: " << e.what() << "\n";
+    FlightRecorder::global().note("fatal_error", -1, e.what());
+    (void)FlightRecorder::global().dump("error");
     return 1;
   }
 }

@@ -13,13 +13,16 @@
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "ingest/record_file.hpp"
 #include "ingest/replay.hpp"
 #include "net/scenario.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/report.hpp"
+#include "obs/status_server.hpp"
 #include "par/thread_pool.hpp"
 
 int main(int argc, char** argv) {
@@ -46,12 +49,27 @@ int main(int argc, char** argv) {
                "full-state comparison cadence in intervals (check=full)");
   flags.define("min-rate", "0",
                "fail (exit 3) when sustained records/s ends up below this");
+  flags.define("status-port", "-1",
+               "serve /metrics, /metrics.json, /healthz, /spans on this "
+               "port while the replay runs (-1 = off, 0 = ephemeral)");
   define_scenario_flags(flags);
   define_threads_flag(flags);
   define_observability_flags(flags);
   try {
     if (!flags.parse(argc, argv)) return 0;
     (void)configure_threads_from_flag(flags);
+    configure_observability(flags);
+    // The replay's main thread is busy streaming records, so the status
+    // endpoint (when requested) polls from a helper thread.
+    std::optional<StatusServer> status;
+    if (flags.integer("status-port") >= 0) {
+      StatusServerConfig scfg;
+      scfg.port = static_cast<int>(flags.integer("status-port"));
+      status.emplace(std::move(scfg));
+      status->serve_in_background();
+      std::cout << "spca_replay: status endpoint on 127.0.0.1:"
+                << status->port() << "\n";
+    }
     const NetScenario scenario = build_scenario(scenario_from_flags(flags));
 
     const std::string records = flags.str("records");
@@ -112,6 +130,8 @@ int main(int argc, char** argv) {
     if (!stats.parity_ok) {
       std::cerr << "spca_replay: parity FAILED: " << stats.parity_error
                 << "\n";
+      FlightRecorder::global().note("parity_failure", -1, stats.parity_error);
+      (void)FlightRecorder::global().dump("parity");
       return 2;
     }
     if (config.check != ReplayCheck::kOff) {
@@ -127,6 +147,8 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "spca_replay: " << e.what() << "\n";
+    FlightRecorder::global().note("fatal_error", -1, e.what());
+    (void)FlightRecorder::global().dump("error");
     return 1;
   }
 }

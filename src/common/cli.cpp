@@ -122,6 +122,12 @@ void define_observability_flags(CliFlags& flags) {
   flags.define("trace-out", "",
                "write the detection-event trace as JSON lines to this path "
                "on exit");
+  flags.define("span-out", "",
+               "write the per-stage interval span log as JSON lines to this "
+               "path on exit");
+  flags.define("flight-dir", "",
+               "enable the crash flight recorder; dumps land in this "
+               "directory on SIGUSR1, protocol errors, and fatal signals");
 }
 
 std::string CliFlags::usage() const {

@@ -46,10 +46,13 @@ class CliFlags final {
   std::vector<Flag> flags_;
 };
 
-/// Defines the standard observability flag pair every bench and example
-/// shares: --metrics-out (JSON metrics report path) and --trace-out
-/// (JSON-lines detection-event trace path), both defaulting to "" (off).
-/// obs/report.hpp's export_observability(flags) consumes them.
+/// Defines the standard observability flags every bench, example, and
+/// daemon shares: --metrics-out (JSON metrics report path), --trace-out
+/// (JSON-lines detection-event trace path), --span-out (JSON-lines
+/// per-stage interval span path), and --flight-dir (flight-recorder dump
+/// directory), all defaulting to "" (off). obs/report.hpp's
+/// configure_observability(flags) / export_observability(flags) consume
+/// them.
 void define_observability_flags(CliFlags& flags);
 
 /// Defines the standard `--threads` flag (execution lanes for the parallel

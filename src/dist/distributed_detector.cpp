@@ -1,6 +1,7 @@
 #include "dist/distributed_detector.hpp"
 
 #include "common/contracts.hpp"
+#include "obs/span_log.hpp"
 
 namespace spca {
 
@@ -42,8 +43,12 @@ Detection DistributedDetector::observe(std::int64_t t, const Vector& x) {
   SPCA_EXPECTS(x.size() == m_);
   // Monitors observe their flows' traffic and close the interval.
   for (const auto& monitor : monitors_) {
-    for (const FlowId flow : monitor->flows()) {
-      monitor->ingest_volume(flow, x[flow]);
+    {
+      const ScopedSpan span("monitor" + std::to_string(monitor->id()),
+                            kStageIngestAbsorb, t);
+      for (const FlowId flow : monitor->flows()) {
+        monitor->ingest_volume(flow, x[flow]);
+      }
     }
     monitor->end_interval(t, *transport_);
   }

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/span_log.hpp"
 #include "par/thread_pool.hpp"
 
 namespace spca {
@@ -101,7 +102,13 @@ void LocalMonitor::end_interval(std::int64_t t, Transport& network) {
   SPCA_LOG_EVERY_N(288, LogLevel::kDebug, "monitor ", id_,
                    ": closing interval ", t);
 
-  const Vector volumes = flush_interval(t);
+  const std::string node = "monitor" + std::to_string(id_);
+  Vector volumes;
+  {
+    const ScopedSpan span(node, kStageSketchClose, t);
+    volumes = flush_interval(t);
+  }
+  const ScopedSpan span(node, kStageWireTx, t);
   Message report;
   report.type = MessageType::kVolumeReport;
   report.from = id_;

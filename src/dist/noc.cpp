@@ -9,6 +9,7 @@
 #include "obs/event_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/span_log.hpp"
 #include "par/thread_pool.hpp"
 #include "pca/q_statistic.hpp"
 
@@ -51,6 +52,8 @@ Noc::Noc(std::size_t num_flows, const NocConfig& config)
 
 Vector Noc::assemble_volumes(std::int64_t t,
                              const std::vector<Message>& reports) {
+  last_interval_ = t;
+  const ScopedSpan span("noc", kStageNocFeed, t);
   Vector x(m_);
   std::vector<bool> seen(m_, false);
   for (const Message& msg : reports) {
@@ -137,6 +140,7 @@ void Noc::refit() {
       MetricsRegistry::global().histogram("spca.noc.refit_seconds");
   static Counter& refits = MetricsRegistry::global().counter("spca.noc.refits");
   const ScopedTimer timer(refit_seconds);
+  const ScopedSpan span("noc", kStageRefit, last_interval_);
   refits.inc();
 
   Matrix z(config_.sketch_rows, m_);
@@ -207,7 +211,9 @@ Detection Noc::detect_with_pull(std::int64_t t, const Vector& x,
   static Counter& alarms = MetricsRegistry::global().counter("spca.noc.alarms");
 
   SPCA_EXPECTS(x.size() == m_);
+  last_interval_ = t;
   const ScopedTimer detect_timer(detect_seconds);
+  const ScopedSpan decision_span("noc", kStageDecision, t);
   const auto timed_pull = [&] {
     const ScopedTimer pull_timer(pull_seconds);
     pulls.inc();

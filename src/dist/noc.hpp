@@ -150,6 +150,10 @@ class Noc final {
   double threshold_squared_ = 0.0;
   std::uint64_t sketch_pulls_ = 0;
   std::uint64_t alarms_sent_ = 0;
+  /// Interval the NOC most recently worked on; labels the refit span,
+  /// since refit() itself is interval-agnostic. Not checkpointed: it is
+  /// telemetry only and must never influence the trajectory.
+  std::int64_t last_interval_ = -1;
 };
 
 }  // namespace spca

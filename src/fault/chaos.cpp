@@ -13,6 +13,7 @@
 #include "dist/sim_network.hpp"
 #include "net/monitor_daemon.hpp"
 #include "net/noc_daemon.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace spca {
@@ -148,6 +149,8 @@ ChaosResult run_chaos(const ChaosConfig& config) {
             tcp.ensure_connected(kNocId);
             resets.fetch_add(1, std::memory_order_relaxed);
             resets_metric.inc();
+            FlightRecorder::global().note(
+                "reset", t, "monitor " + std::to_string(id));
           };
           const std::optional<std::int64_t> kill =
               kill_of(config.faults, id);
@@ -162,6 +165,10 @@ ChaosResult run_chaos(const ChaosConfig& config) {
             kills.fetch_add(1, std::memory_order_relaxed);
             kills_metric.inc();
             log_info("chaos: killed monitor ", id, " at interval ", *kill);
+            FlightRecorder::global().note(
+                "kill", *kill,
+                "monitor " + std::to_string(id) +
+                    (config.crash_kills ? " (crash)" : " (clean)"));
             // Second incarnation: recover from the checkpoint and rejoin.
             MonitorDaemonConfig rc = mc;
             rc.last_interval = -1;

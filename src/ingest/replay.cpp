@@ -12,6 +12,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "ingest/spsc_ring.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace spca {
@@ -115,6 +116,7 @@ ReplayStats replay_records(LocalMonitor& monitor, const ReplayConfig& config) {
 
   const auto fail = [&](std::string message) {
     stats.parity_ok = false;
+    FlightRecorder::global().note("replay_parity", block_first, message);
     stats.parity_error = std::move(message);
     ring.close();
   };
@@ -171,11 +173,15 @@ ReplayStats replay_records(LocalMonitor& monitor, const ReplayConfig& config) {
 
   RecordBatch batch;
   while (stats.parity_ok && ring.pop(batch)) {
+    // The consumer is the replay's long-running loop, so it doubles as the
+    // SIGUSR1 flight-dump servicing point (an atomic check when idle).
+    (void)FlightRecorder::global().poll_dump_request();
     metrics.ring_occupancy.record(static_cast<double>(ring.size()));
     if (batch.empty()) {  // end-of-pass sentinel
       ++stats.passes;
       metrics.passes.inc();
       pass_base += ni;
+      FlightRecorder::global().note("replay_pass", pass_base);
       continue;
     }
     ++stats.batches;

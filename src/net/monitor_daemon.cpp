@@ -1,6 +1,7 @@
 #include "net/monitor_daemon.hpp"
 
 #include <chrono>
+#include <sstream>
 
 #include "common/checkpoint_store.hpp"
 #include "common/contracts.hpp"
@@ -9,7 +10,10 @@
 #include "dist/local_monitor.hpp"
 #include "ingest/interval_source.hpp"
 #include "net/frame.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_log.hpp"
+#include "obs/status_server.hpp"
 
 namespace spca {
 
@@ -28,6 +32,40 @@ MonitorDaemon::MonitorDaemon(MonitorDaemonConfig config)
 
 MonitorDaemonResult MonitorDaemon::run() {
   const auto recovery_begin = std::chrono::steady_clock::now();
+
+  // Live status endpoint, up before the (possibly long) warm rebuild so an
+  // operator can watch recovery progress; polled from every wait slice of
+  // the protocol loop below.
+  std::atomic<std::int64_t> current_interval{-1};
+  std::atomic<bool> restored_flag{false};
+  std::optional<StatusServer> status;
+  if (config_.status_port >= 0) {
+    StatusServerConfig scfg;
+    scfg.host = config_.status_host;
+    scfg.port = config_.status_port;
+    scfg.healthy = [this] { return !stop_.load(std::memory_order_relaxed); };
+    scfg.health_body = [this, &current_interval, &restored_flag] {
+      std::ostringstream oss;
+      oss << "{\"healthy\":"
+          << (stop_.load(std::memory_order_relaxed) ? "false" : "true")
+          << ",\"role\":\"monitor\",\"id\":"
+          << static_cast<int>(config_.monitor_id) << ",\"interval\":"
+          << current_interval.load(std::memory_order_relaxed)
+          << ",\"restored_from_checkpoint\":"
+          << (restored_flag.load(std::memory_order_relaxed) ? "true" : "false")
+          << "}\n";
+      return oss.str();
+    };
+    status.emplace(std::move(scfg));
+    if (config_.on_status_port) config_.on_status_port(status->port());
+    log_info("monitord ", config_.monitor_id, ": status endpoint on ",
+             config_.status_host, ":", status->port());
+  }
+  const auto poll_telemetry = [&] {
+    if (status) status->poll();
+    (void)FlightRecorder::global().poll_dump_request();
+  };
+
   const NetScenario scenario = build_scenario(config_.scenario);
   const std::size_t m = scenario.trace.num_flows();
   const SketchDetectorConfig& det = scenario.detector;
@@ -81,6 +119,7 @@ MonitorDaemonResult MonitorDaemon::run() {
           if (config_.first_interval == kAutoInterval) join = seq;
           absorb_from = seq;
           result.restored_from_checkpoint = true;
+          restored_flag.store(true, std::memory_order_relaxed);
           log_info("monitord ", config_.monitor_id, ": restored interval ",
                    seq, " from ", snap->path);
         } catch (const Error& e) {
@@ -129,7 +168,10 @@ MonitorDaemonResult MonitorDaemon::run() {
   // Warm rebuild: replay the intervals the NOC has already accounted for,
   // without sending anything. After this the sketch state is exactly what a
   // never-restarted monitor would hold entering `join`.
+  // (Not span-instrumented: a never-restarted run has no rebuild, and the
+  // sim and TCP span trees must stay structurally identical.)
   for (std::int64_t t = absorb_from; t < join; ++t) {
+    poll_telemetry();
     const double* row = volume_row(t);
     for (const FlowId flow : flows) {
       monitor->ingest_volume(
@@ -173,12 +215,17 @@ MonitorDaemonResult MonitorDaemon::run() {
 
   for (std::int64_t t = join; t < end; ++t) {
     if (stop_.load(std::memory_order_relaxed)) break;
+    current_interval.store(t, std::memory_order_relaxed);
     const double* row = volume_row(t);
-    for (const FlowId flow : flows) {
-      monitor->ingest_volume(
-          flow, row != nullptr ? row[flow]
-                               : scenario.trace.volumes()(
-                                     static_cast<std::size_t>(t), flow));
+    {
+      const ScopedSpan span("monitor" + std::to_string(config_.monitor_id),
+                            kStageIngestAbsorb, t);
+      for (const FlowId flow : flows) {
+        monitor->ingest_volume(
+            flow, row != nullptr ? row[flow]
+                                 : scenario.trace.volumes()(
+                                       static_cast<std::size_t>(t), flow));
+      }
     }
     monitor->end_interval(t, bus);
     ++result.intervals_reported;
@@ -204,9 +251,12 @@ MonitorDaemonResult MonitorDaemon::run() {
                                "the I/O timeout");
         }
       }
+      poll_telemetry();
     }
     if (!advanced) break;
     if (config_.after_advance) config_.after_advance(t, transport);
+    FlightRecorder::global().capture_metrics(
+        "monitor" + std::to_string(config_.monitor_id) + "_interval", t);
     if (store) {
       consistent_blob = monitor->save_state();
       consistent_seq = t + 1;

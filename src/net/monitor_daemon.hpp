@@ -73,6 +73,14 @@ struct MonitorDaemonConfig {
   /// protocol-quiet point where a connection reset cannot lose in-flight
   /// frames (fault/chaos uses it to flap the NOC link deterministically).
   std::function<void(std::int64_t, TcpTransport&)> after_advance;
+  /// Live status endpoint (obs/status_server.hpp): /metrics, /metrics.json,
+  /// /healthz, /spans. -1 disables; 0 binds an ephemeral port (reported via
+  /// on_status_port). Polled from the daemon's wait slices, so a slow
+  /// scraper can never stall the protocol.
+  int status_port = -1;
+  std::string status_host = "127.0.0.1";
+  /// Called with the bound status port right after the server comes up.
+  std::function<void(int)> on_status_port;
 };
 
 /// What a finished run did.

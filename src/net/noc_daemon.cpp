@@ -1,11 +1,15 @@
 #include "net/noc_daemon.hpp"
 
+#include <sstream>
+
 #include "common/checkpoint_store.hpp"
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "dist/noc.hpp"
 #include "net/frame.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/status_server.hpp"
 
 namespace spca {
 
@@ -82,6 +86,40 @@ ScenarioRun NocDaemon::run() {
   if (config_.wrap_transport) wrapped = config_.wrap_transport(transport_);
   Transport& bus = wrapped ? *wrapped : static_cast<Transport&>(transport_);
 
+  // Live status endpoint, polled from this loop's wait slices. Health and
+  // the /healthz body read only atomics/transport counters, so a scrape
+  // never touches (or perturbs) protocol state.
+  const auto intervals_total =
+      static_cast<std::int64_t>(config_.scenario.intervals);
+  std::atomic<std::int64_t> current_interval{start};
+  std::optional<StatusServer> status;
+  if (config_.status_port >= 0) {
+    StatusServerConfig scfg;
+    scfg.host = config_.status_host;
+    scfg.port = config_.status_port;
+    scfg.healthy = [this] { return !stop_.load(std::memory_order_relaxed); };
+    scfg.health_body = [this, &current_interval, intervals_total] {
+      std::ostringstream oss;
+      oss << "{\"healthy\":"
+          << (stop_.load(std::memory_order_relaxed) ? "false" : "true")
+          << ",\"role\":\"noc\",\"interval\":"
+          << current_interval.load(std::memory_order_relaxed)
+          << ",\"intervals_total\":" << intervals_total
+          << ",\"reconnects\":" << transport_.reconnects()
+          << ",\"checkpointing\":"
+          << (config_.checkpoint_dir.empty() ? "false" : "true") << "}\n";
+      return oss.str();
+    };
+    status.emplace(std::move(scfg));
+    if (config_.on_status_port) config_.on_status_port(status->port());
+    log_info("nocd: status endpoint on ", config_.status_host, ":",
+             status->port());
+  }
+  const auto poll_telemetry = [&] {
+    if (status) status->poll();
+    (void)FlightRecorder::global().poll_dump_request();
+  };
+
   // Waits until `ready()` or the interval deadline; false when stopping.
   const auto wait_until = [&](const auto& ready, const char* what) {
     auto waited = std::chrono::milliseconds(0);
@@ -94,6 +132,7 @@ ScenarioRun NocDaemon::run() {
                                what);
         }
       }
+      poll_telemetry();
     }
     return true;
   };
@@ -103,6 +142,8 @@ ScenarioRun NocDaemon::run() {
   SPCA_EXPECTS(start <= intervals);
   std::int64_t done_through = start;
   for (std::int64_t t = start; t < intervals; ++t) {
+    current_interval.store(t, std::memory_order_relaxed);
+    poll_telemetry();
     // Phase 1: every monitor reports its flows' volumes for interval t.
     // The kAdvance lock-step guarantees no report for t+1 can arrive yet.
     std::vector<Message> reports;
@@ -149,10 +190,13 @@ ScenarioRun NocDaemon::run() {
                               encode_interval_payload(t));
     }
     done_through = t + 1;
+    current_interval.store(done_through, std::memory_order_relaxed);
+    FlightRecorder::global().capture_metrics("noc_interval", t);
     if (store && config_.checkpoint_every > 0 &&
         done_through % config_.checkpoint_every == 0) {
       store->write(static_cast<std::uint64_t>(done_through),
                    noc->save_state());
+      FlightRecorder::global().note("noc_checkpoint", done_through);
     }
   }
 

@@ -39,6 +39,14 @@ struct NocDaemonConfig {
   /// traffic (reports, sketch pulls, alarms). Control frames stay on the
   /// raw transport. Keeps net/ ignorant of fault/.
   std::function<std::unique_ptr<Transport>(Transport&)> wrap_transport;
+  /// Live status endpoint (obs/status_server.hpp): /metrics, /metrics.json,
+  /// /healthz, /spans. -1 disables; 0 binds an ephemeral port (reported via
+  /// on_status_port). Polled from the daemon's wait slices, so a slow
+  /// scraper can never stall the protocol.
+  int status_port = -1;
+  std::string status_host = "127.0.0.1";
+  /// Called with the bound status port right after the server comes up.
+  std::function<void(int)> on_status_port;
 };
 
 /// The NOC process body (also runnable on a thread in tests).

@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/scoped_timer.hpp"
 
 namespace spca {
@@ -124,6 +125,8 @@ void TcpTransport::accept_loop() {
           MetricsRegistry::global().counter("spca.net.frame_errors");
       errors.inc();
       log_warn("tcp: rejected inbound connection: ", e.what());
+      FlightRecorder::global().note("protocol_error", -1, e.what());
+      (void)FlightRecorder::global().dump("protocol_error");
     }
   }
 }
@@ -214,6 +217,10 @@ void TcpTransport::reader_loop(std::shared_ptr<Conn> conn) {
   } catch (const ProtocolError& e) {
     frame_errors.inc();
     log_warn("tcp: dropping connection to node ", conn->peer, ": ", e.what());
+    FlightRecorder::global().note(
+        "protocol_error", -1,
+        "node " + std::to_string(conn->peer) + ": " + e.what());
+    (void)FlightRecorder::global().dump("protocol_error");
   } catch (const TransportError& e) {
     log_warn("tcp: read error from node ", conn->peer, ": ", e.what());
   }

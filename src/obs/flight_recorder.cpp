@@ -1,0 +1,299 @@
+#include "obs/flight_recorder.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace spca {
+
+namespace {
+
+[[nodiscard]] double unix_now_seconds() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+void append_escaped(std::ostringstream& oss, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        oss << "\\\"";
+        break;
+      case '\\':
+        oss << "\\\\";
+        break;
+      case '\n':
+        oss << "\\n";
+        break;
+      case '\r':
+        oss << "\\r";
+        break;
+      case '\t':
+        oss << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          oss << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(static_cast<unsigned char>(c)) << std::dec
+              << std::setfill(' ');
+        } else {
+          oss << c;
+        }
+    }
+  }
+}
+
+/// Dump reasons land in file names: keep [a-z0-9_-], map the rest to '_'.
+[[nodiscard]] std::string sanitize_reason(const std::string& reason) {
+  std::string out = reason.empty() ? std::string("manual") : reason;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out.substr(0, 48);
+}
+
+[[nodiscard]] std::string utc_stamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y%m%dT%H%M%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const FlightEntry& entry) {
+  std::ostringstream oss;
+  oss << "{\"seq\":" << entry.seq << ",\"unix_s\":"
+      << std::setprecision(std::numeric_limits<double>::max_digits10)
+      << entry.unix_seconds << ",\"kind\":\"";
+  append_escaped(oss, entry.kind);
+  oss << "\",\"label\":\"";
+  append_escaped(oss, entry.label);
+  oss << "\",\"interval\":" << entry.interval;
+  if (entry.kind == "metrics") {
+    // The detail is itself the registry's JSON rendering; embed it as a
+    // value so the dump stays one parseable object per line.
+    oss << ",\"metrics\":" << entry.detail;
+  } else {
+    oss << ",\"detail\":\"";
+    append_escaped(oss, entry.detail);
+    oss << '"';
+  }
+  oss << '}';
+  return oss.str();
+}
+
+void FlightRecorder::configure(std::string dump_dir, std::size_t capacity) {
+  SPCA_EXPECTS(capacity >= 1);
+  std::error_code ec;
+  std::filesystem::create_directories(dump_dir, ec);
+  if (ec) {
+    log_warn("flight recorder: cannot create dump dir '", dump_dir,
+             "': ", ec.message());
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  dump_dir_ = std::move(dump_dir);
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.reserve(std::min<std::size_t>(capacity, 1024));
+  recorded_ = 0;
+  enabled_.store(true, std::memory_order_release);
+}
+
+bool FlightRecorder::enabled() const {
+  return enabled_.load(std::memory_order_acquire);
+}
+
+void FlightRecorder::note(std::string label, std::int64_t interval,
+                          std::string detail) {
+  if (!enabled()) return;
+  FlightEntry entry;
+  entry.unix_seconds = unix_now_seconds();
+  entry.kind = "event";
+  entry.label = std::move(label);
+  entry.interval = interval;
+  entry.detail = std::move(detail);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry.seq = recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[recorded_ % capacity_] = std::move(entry);
+  }
+  ++recorded_;
+}
+
+void FlightRecorder::capture_metrics(std::string label, std::int64_t interval) {
+  if (!enabled()) return;
+  FlightEntry entry;
+  entry.unix_seconds = unix_now_seconds();
+  entry.kind = "metrics";
+  entry.label = std::move(label);
+  entry.interval = interval;
+  entry.detail = MetricsRegistry::global().render_json();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry.seq = recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[recorded_ % capacity_] = std::move(entry);
+  }
+  ++recorded_;
+}
+
+std::string FlightRecorder::dump(const std::string& reason) noexcept {
+  try {
+    if (!enabled()) return std::string();
+    std::string dir;
+    std::uint64_t dump_index = 0;
+    std::vector<FlightEntry> entries;
+    std::uint64_t lifetime = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      dir = dump_dir_;
+      dump_index = dumps_++;
+      lifetime = recorded_;
+      entries.reserve(ring_.size());
+      if (ring_.size() < capacity_) {
+        entries = ring_;
+      } else {
+        const std::size_t oldest = recorded_ % capacity_;
+        for (std::size_t i = 0; i < capacity_; ++i) {
+          entries.push_back(ring_[(oldest + i) % capacity_]);
+        }
+      }
+    }
+    const std::string path = dir + "/flight-" + utc_stamp() + "-" +
+                             std::to_string(::getpid()) + "-" +
+                             std::to_string(dump_index) + "-" +
+                             sanitize_reason(reason) + ".jsonl";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      log_warn("flight recorder: cannot open '", path, "' for writing");
+      return std::string();
+    }
+    std::ostringstream header;
+    header << "{\"kind\":\"dump_header\",\"reason\":\"";
+    append_escaped(header, reason);
+    header << "\",\"unix_s\":"
+           << std::setprecision(std::numeric_limits<double>::max_digits10)
+           << unix_now_seconds() << ",\"pid\":" << ::getpid()
+           << ",\"entries\":" << entries.size()
+           << ",\"recorded\":" << lifetime << '}';
+    out << header.str() << '\n';
+    for (const FlightEntry& entry : entries) {
+      out << to_json(entry) << '\n';
+    }
+    out.flush();
+    if (!out) {
+      log_warn("flight recorder: failed writing '", path, "'");
+      return std::string();
+    }
+    MetricsRegistry::global().counter("spca.flight.dumps").inc();
+    log_info("flight recorder: dumped ", entries.size(), " entries to ", path,
+             " (reason: ", reason, ")");
+    return path;
+  } catch (...) {
+    return std::string();
+  }
+}
+
+void FlightRecorder::request_dump() noexcept {
+  dump_requested_.store(true, std::memory_order_release);
+}
+
+std::string FlightRecorder::poll_dump_request() {
+  if (!dump_requested_.exchange(false, std::memory_order_acq_rel)) {
+    return std::string();
+  }
+  return dump("signal");
+}
+
+std::vector<FlightEntry> FlightRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) return ring_;
+  std::vector<FlightEntry> out;
+  out.reserve(capacity_);
+  const std::size_t oldest = recorded_ % capacity_;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    out.push_back(ring_[(oldest + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+void FlightRecorder::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_release);
+  dump_requested_.store(false, std::memory_order_release);
+  dump_dir_.clear();
+  ring_.clear();
+  recorded_ = 0;
+  dumps_ = 0;
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+namespace {
+
+void usr1_handler(int) { FlightRecorder::global().request_dump(); }
+
+std::atomic<bool> fatal_dump_in_progress{false};
+
+void fatal_handler(int signo) {
+  // Last-gasp best effort: dump() allocates and locks, which is not
+  // async-signal-safe — acceptable here because the process is about to
+  // die anyway and the recursion guard stops a handler-within-handler
+  // loop. Default disposition is restored first so the re-raise kills the
+  // process with the original signal even if dump() wedges a second fault.
+  std::signal(signo, SIG_DFL);
+  if (!fatal_dump_in_progress.exchange(true)) {
+    FlightRecorder::global().dump("fatal-signal-" + std::to_string(signo));
+  }
+  std::raise(signo);
+}
+
+}  // namespace
+
+void install_flight_recorder_signals() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  struct sigaction usr1 {};
+  usr1.sa_handler = usr1_handler;
+  sigemptyset(&usr1.sa_mask);
+  usr1.sa_flags = SA_RESTART;
+  sigaction(SIGUSR1, &usr1, nullptr);
+  for (const int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    struct sigaction fatal {};
+    fatal.sa_handler = fatal_handler;
+    sigemptyset(&fatal.sa_mask);
+    fatal.sa_flags = 0;
+    sigaction(signo, &fatal, nullptr);
+  }
+}
+
+}  // namespace spca

@@ -1,0 +1,36 @@
+// The documented inventory of every spca.* metric: one row per name with
+// its instrument kind and meaning. This table is the single source of
+// truth for docs/METRICS.md (`render_metrics_doc` emits that file's exact
+// content) and for the HELP lines of the Prometheus exposition, and the
+// catalog-coverage test fails whenever a metric registered at runtime is
+// missing a row here — so a new instrument cannot ship undocumented.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spca {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct MetricInfo {
+  const char* name;
+  MetricKind kind;
+  /// One-line meaning, written for the METRICS.md reference table.
+  const char* help;
+};
+
+/// Every documented metric, sorted by name.
+[[nodiscard]] const std::vector<MetricInfo>& metric_catalog();
+
+/// Catalog row for `name`, or nullptr if undocumented.
+[[nodiscard]] const MetricInfo* find_metric(const std::string& name);
+
+/// "counter" / "gauge" / "histogram".
+[[nodiscard]] const char* to_string(MetricKind kind);
+
+/// The full docs/METRICS.md content (generated header + one table per
+/// instrument kind).
+[[nodiscard]] std::string render_metrics_doc();
+
+}  // namespace spca

@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/metric_catalog.hpp"
+
 namespace spca {
 
 namespace {
@@ -37,10 +39,70 @@ void append_number(std::ostringstream& oss, double value) {
 void append_json_string(std::ostringstream& oss, const std::string& s) {
   oss << '"';
   for (const char c : s) {
-    if (c == '"' || c == '\\') oss << '\\';
-    oss << c;
+    switch (c) {
+      case '"':
+        oss << "\\\"";
+        break;
+      case '\\':
+        oss << "\\\\";
+        break;
+      case '\n':
+        oss << "\\n";
+        break;
+      case '\r':
+        oss << "\\r";
+        break;
+      case '\t':
+        oss << "\\t";
+        break;
+      case '\b':
+        oss << "\\b";
+        break;
+      case '\f':
+        oss << "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          oss << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(static_cast<unsigned char>(c)) << std::dec
+              << std::setfill(' ');
+        } else {
+          oss << c;
+        }
+    }
   }
   oss << '"';
+}
+
+/// `null` for empty histograms: 0.0 would read as a real observation.
+void append_stat(std::ostringstream& oss, const Histogram& h, double value) {
+  if (h.count() == 0) {
+    oss << "null";
+  } else {
+    append_number(oss, value);
+  }
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] only; everything else
+/// (notably the '.' separators of spca.* names) maps to '_'.
+[[nodiscard]] std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+void append_prometheus_header(std::ostringstream& oss, const std::string& name,
+                              const std::string& exposition_name,
+                              const char* type) {
+  if (const MetricInfo* info = find_metric(name); info != nullptr) {
+    oss << "# HELP " << exposition_name << ' ' << info->help << '\n';
+  }
+  oss << "# TYPE " << exposition_name << ' ' << type << '\n';
 }
 
 }  // namespace
@@ -193,23 +255,90 @@ std::string MetricsRegistry::render_json() const {
     oss << ":{\"count\":" << h->count() << ",\"sum\":";
     append_number(oss, h->sum());
     oss << ",\"mean\":";
-    append_number(oss, h->mean());
+    append_stat(oss, *h, h->mean());
     oss << ",\"min\":";
-    append_number(oss, h->min());
+    append_stat(oss, *h, h->min());
     oss << ",\"p50\":";
-    append_number(oss, h->quantile(0.50));
+    append_stat(oss, *h, h->quantile(0.50));
     oss << ",\"p90\":";
-    append_number(oss, h->quantile(0.90));
+    append_stat(oss, *h, h->quantile(0.90));
     oss << ",\"p95\":";
-    append_number(oss, h->quantile(0.95));
+    append_stat(oss, *h, h->quantile(0.95));
     oss << ",\"p99\":";
-    append_number(oss, h->quantile(0.99));
+    append_stat(oss, *h, h->quantile(0.99));
     oss << ",\"max\":";
-    append_number(oss, h->max());
+    append_stat(oss, *h, h->max());
     oss << '}';
   }
   oss << "}}";
   return oss.str();
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream oss;
+  for (const auto& [name, c] : counters_) {
+    const std::string exposition = prometheus_name(name);
+    append_prometheus_header(oss, name, exposition, "counter");
+    oss << exposition << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string exposition = prometheus_name(name);
+    append_prometheus_header(oss, name, exposition, "gauge");
+    oss << exposition << ' ';
+    append_number(oss, g->value());
+    oss << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string exposition = prometheus_name(name);
+    append_prometheus_header(oss, name, exposition, "summary");
+    // Quantile series only make sense once something was observed; _sum and
+    // _count are always well defined.
+    if (h->count() > 0) {
+      struct QuantilePoint {
+        const char* label;
+        double q;
+      };
+      static constexpr QuantilePoint kQuantiles[] = {
+          {"0.5", 0.50}, {"0.9", 0.90}, {"0.95", 0.95}, {"0.99", 0.99}};
+      for (const QuantilePoint& point : kQuantiles) {
+        oss << exposition << "{quantile=\"" << point.label << "\"} ";
+        append_number(oss, h->quantile(point.q));
+        oss << '\n';
+      }
+    }
+    oss << exposition << "_sum ";
+    append_number(oss, h->sum());
+    oss << '\n' << exposition << "_count " << h->count() << '\n';
+  }
+  return oss.str();
+}
+
+namespace {
+
+template <typename Map>
+[[nodiscard]] std::vector<std::string> keys_of(const Map& map) {
+  std::vector<std::string> out;
+  out.reserve(map.size());
+  for (const auto& [name, value] : map) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+}  // namespace
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return keys_of(counters_);
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return keys_of(gauges_);
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return keys_of(histograms_);
 }
 
 MetricsRegistry& MetricsRegistry::global() {

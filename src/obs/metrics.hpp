@@ -135,8 +135,23 @@ class MetricsRegistry final {
   [[nodiscard]] std::string render_text() const;
 
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}
-  /// with count/sum/mean/min/max/p50/p90/p95/p99 per histogram.
+  /// with count/sum/mean/min/max/p50/p90/p95/p99 per histogram. Empty
+  /// histograms render mean/min/max and all quantiles as `null` — there is
+  /// no observed value to report, and 0.0 would be indistinguishable from a
+  /// real measurement.
   [[nodiscard]] std::string render_json() const;
+
+  /// Prometheus text exposition (version 0.0.4): `.` in metric names maps
+  /// to `_`, counters/gauges emit one sample each, histograms emit a
+  /// summary (quantile series + _sum + _count). HELP lines come from the
+  /// metric catalog when the name is documented there.
+  [[nodiscard]] std::string render_prometheus() const;
+
+  /// Sorted names of every registered instrument of the given kind, for
+  /// catalog-coverage checks.
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+  [[nodiscard]] std::vector<std::string> gauge_names() const;
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
 
   /// The process-wide registry every built-in instrumentation site uses.
   [[nodiscard]] static MetricsRegistry& global();

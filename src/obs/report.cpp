@@ -4,7 +4,9 @@
 
 #include "common/error.hpp"
 #include "obs/event_trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_log.hpp"
 
 namespace spca {
 
@@ -20,7 +22,8 @@ void write_text_file(const std::string& path, const std::string& content) {
 }
 
 void export_observability(const std::string& metrics_path,
-                          const std::string& trace_path) {
+                          const std::string& trace_path,
+                          const std::string& span_path) {
   if (!metrics_path.empty()) {
     write_text_file(metrics_path,
                     MetricsRegistry::global().render_json() + "\n");
@@ -28,10 +31,21 @@ void export_observability(const std::string& metrics_path,
   if (!trace_path.empty()) {
     write_text_file(trace_path, EventTrace::global().to_jsonl());
   }
+  if (!span_path.empty()) {
+    write_text_file(span_path, SpanLog::global().to_jsonl());
+  }
 }
 
 void export_observability(const CliFlags& flags) {
-  export_observability(flags.str("metrics-out"), flags.str("trace-out"));
+  export_observability(flags.str("metrics-out"), flags.str("trace-out"),
+                       flags.str("span-out"));
+}
+
+void configure_observability(const CliFlags& flags) {
+  const std::string flight_dir = flags.str("flight-dir");
+  if (flight_dir.empty()) return;
+  FlightRecorder::global().configure(flight_dir);
+  install_flight_recorder_signals();
 }
 
 }  // namespace spca

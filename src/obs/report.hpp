@@ -1,6 +1,7 @@
 // File export of the observability state: the bridge between the standard
-// --metrics-out / --trace-out flag pair (defined in common/cli) and the
-// global MetricsRegistry / EventTrace, shared by benches and examples.
+// --metrics-out / --trace-out / --span-out / --flight-dir flags (defined
+// in common/cli) and the global MetricsRegistry / EventTrace / SpanLog /
+// FlightRecorder, shared by benches, examples, and daemons.
 #pragma once
 
 #include <string>
@@ -12,13 +13,21 @@ namespace spca {
 /// Writes `content` to `path`, overwriting; throws InputError on failure.
 void write_text_file(const std::string& path, const std::string& content);
 
-/// Writes the global registry's JSON to `metrics_path` and the global event
-/// trace's JSON lines to `trace_path`; an empty path skips that export.
+/// Writes the global registry's JSON to `metrics_path`, the global event
+/// trace's JSON lines to `trace_path`, and the global span log's JSON
+/// lines to `span_path`; an empty path skips that export.
 void export_observability(const std::string& metrics_path,
-                          const std::string& trace_path);
+                          const std::string& trace_path,
+                          const std::string& span_path = std::string());
 
-/// Convenience overload reading the standard flag pair (see
-/// `define_observability_flags` in common/cli): --metrics-out, --trace-out.
+/// Convenience overload reading the standard flags (see
+/// `define_observability_flags` in common/cli): --metrics-out,
+/// --trace-out, --span-out.
 void export_observability(const CliFlags& flags);
+
+/// Start-of-run counterpart of export_observability: enables the global
+/// flight recorder (and its SIGUSR1 / fatal-signal dump hooks) when
+/// --flight-dir is non-empty. Call right after flag parsing.
+void configure_observability(const CliFlags& flags);
 
 }  // namespace spca

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <filesystem>
+#include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,6 +19,9 @@
 #include "net/monitor_daemon.hpp"
 #include "net/noc_daemon.hpp"
 #include "net/scenario.hpp"
+#include "net/socket.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/span_log.hpp"
 
 namespace spca {
 namespace {
@@ -216,6 +222,110 @@ TEST(Daemons, RecordIngestReproducesTheSyntheticTrajectory) {
     if (error) std::rethrow_exception(error);
   }
   expect_matches_reference(run, reference);
+}
+
+/// One status-endpoint HTTP GET, reading until the server's HTTP/1.0 close.
+std::string http_get(int port, const std::string& path) {
+  TcpStream stream = TcpStream::connect(
+      "127.0.0.1", static_cast<std::uint16_t>(port), 5000ms);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  stream.send_all(reinterpret_cast<const std::byte*>(request.data()),
+                  request.size(), 5000ms);
+  std::string response;
+  std::byte buf[4096];
+  for (;;) {
+    const std::ptrdiff_t n = stream.recv_some(buf, sizeof(buf), 10000ms);
+    if (n <= 0) break;
+    response.append(reinterpret_cast<const char*>(buf),
+                    static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+TEST(Daemons, TelemetryPlaneIsBitInvariantAndScrapableLive) {
+  // The full telemetry plane — interval spans, the flight recorder, and a
+  // live status endpoint scraped mid-run — must not perturb the detection
+  // trajectory by a single bit, and the sim and TCP deployments must
+  // produce structurally identical span trees.
+  const NetScenarioConfig config = small_scenario();
+  const NetScenario scenario = build_scenario(config);
+
+  const std::string flight_dir =
+      (std::filesystem::temp_directory_path() / "spca_daemon_flight")
+          .string();
+  FlightRecorder::global().configure(flight_dir, 256);
+
+  SpanLog::global().clear();
+  const ScenarioRun reference = run_scenario_reference(scenario);
+  const std::vector<std::string> sim_signature =
+      structural_signature(SpanLog::global().snapshot());
+  EXPECT_FALSE(sim_signature.empty());
+
+  SpanLog::global().clear();
+  NocDaemonConfig noc_config;
+  noc_config.scenario = config;
+  noc_config.listen_port = 0;
+  noc_config.interval_deadline = 30000ms;
+  noc_config.status_port = 0;
+  std::promise<int> port_promise;
+  noc_config.on_status_port = [&port_promise](int port) {
+    port_promise.set_value(port);
+  };
+  NocDaemon noc(noc_config);
+  noc.start();
+
+  // Scrape every route while the deployment is live; the daemon serves
+  // from its wait slices, so the scrape rides on the protocol's idle time.
+  std::string metrics_json, healthz, prometheus;
+  std::thread scraper([&] {
+    std::future<int> port = port_promise.get_future();
+    if (port.wait_for(30s) != std::future_status::ready) return;
+    const int p = port.get();
+    metrics_json = http_get(p, "/metrics.json");
+    healthz = http_get(p, "/healthz");
+    prometheus = http_get(p, "/metrics");
+  });
+
+  std::vector<std::thread> threads;
+  std::vector<MonitorDaemonResult> results(config.monitors);
+  std::vector<std::exception_ptr> errors(config.monitors);
+  for (std::size_t k = 0; k < config.monitors; ++k) {
+    threads.emplace_back(run_monitor,
+                         monitor_config(config,
+                                        static_cast<NodeId>(k + 1),
+                                        noc.bound_port()),
+                         std::ref(results[k]), std::ref(errors[k]));
+  }
+
+  const ScenarioRun run = noc.run();
+  for (auto& t : threads) t.join();
+  scraper.join();
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Bit-invariance: all telemetry on, trajectory unchanged.
+  expect_matches_reference(run, reference);
+
+  // The live scrapes answered with real content.
+  EXPECT_NE(metrics_json.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics_json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(healthz.find("\"role\":\"noc\""), std::string::npos);
+  EXPECT_NE(prometheus.find("# TYPE"), std::string::npos);
+
+  // Sim and TCP runs traced the same stages on the same nodes for the same
+  // intervals.
+  const std::vector<std::string> tcp_signature =
+      structural_signature(SpanLog::global().snapshot());
+  EXPECT_EQ(sim_signature, tcp_signature);
+
+  // The flight recorder captured per-interval snapshots and can dump them.
+  EXPECT_GT(FlightRecorder::global().recorded(), 0u);
+  const std::string dump = FlightRecorder::global().dump("test");
+  EXPECT_NE(dump, "");
+  FlightRecorder::global().reset();
+  std::error_code ec;
+  std::filesystem::remove_all(flight_dir, ec);
 }
 
 TEST(Daemons, MonitorsStartedBeforeTheNocBackOffAndConnect) {

@@ -1,0 +1,118 @@
+// The metric catalog as the enforced source of truth: the table is sorted
+// and unique, docs/METRICS.md is exactly its rendering (regenerate with
+// SPCA_UPDATE_METRICS_DOC=1), and every spca.* metric a full detection run
+// registers has a documented row — an undocumented instrument fails CI.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/scenario.hpp"
+#include "obs/metric_catalog.hpp"
+#include "obs/metrics.hpp"
+
+namespace spca {
+namespace {
+
+TEST(MetricCatalog, IsSortedByNameWithoutDuplicates) {
+  const std::vector<MetricInfo>& catalog = metric_catalog();
+  ASSERT_FALSE(catalog.empty());
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(std::string(catalog[i - 1].name), std::string(catalog[i].name))
+        << "catalog out of order near '" << catalog[i].name << "'";
+  }
+}
+
+TEST(MetricCatalog, EveryRowHasANonEmptyHelpString) {
+  for (const MetricInfo& info : metric_catalog()) {
+    EXPECT_NE(std::string(info.help), "") << info.name;
+    // Help lines land in a markdown table: pipes would break the row.
+    EXPECT_EQ(std::string(info.help).find('|'), std::string::npos)
+        << info.name;
+  }
+}
+
+TEST(MetricCatalog, FindMetricResolvesDocumentedNamesOnly) {
+  const MetricInfo* info = find_metric("spca.noc.sketch_pulls");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(std::string(info->name), "spca.noc.sketch_pulls");
+  EXPECT_EQ(find_metric("spca.no.such.metric"), nullptr);
+  EXPECT_EQ(find_metric(""), nullptr);
+}
+
+TEST(MetricCatalog, KindNamesRender) {
+  EXPECT_EQ(std::string(to_string(MetricKind::kCounter)), "counter");
+  EXPECT_EQ(std::string(to_string(MetricKind::kGauge)), "gauge");
+  EXPECT_EQ(std::string(to_string(MetricKind::kHistogram)), "histogram");
+}
+
+TEST(MetricCatalog, RenderedDocListsEveryRow) {
+  const std::string doc = render_metrics_doc();
+  EXPECT_NE(doc.find("# Metrics reference"), std::string::npos);
+  for (const MetricInfo& info : metric_catalog()) {
+    EXPECT_NE(doc.find(info.name), std::string::npos)
+        << "doc is missing " << info.name;
+  }
+}
+
+TEST(MetricCatalog, DocsFileMatchesTheRenderedCatalog) {
+  const std::string path = std::string(SPCA_SOURCE_DIR) + "/docs/METRICS.md";
+  const std::string rendered = render_metrics_doc();
+  if (std::getenv("SPCA_UPDATE_METRICS_DOC") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << path << " is missing; regenerate it with\n"
+      << "  SPCA_UPDATE_METRICS_DOC=1 ctest -R DocsFileMatches";
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  EXPECT_EQ(oss.str(), rendered)
+      << "docs/METRICS.md is stale; regenerate it with\n"
+      << "  SPCA_UPDATE_METRICS_DOC=1 ctest -R DocsFileMatches";
+}
+
+TEST(MetricCatalog, AFullDetectionRunRegistersOnlyDocumentedMetrics) {
+  // Drive the whole sim pipeline so the instrumentation sites of every
+  // layer below net/ resolve their metrics, then require a catalog row for
+  // each. Test-only instruments use the reserved spca.test. prefix and are
+  // exempt; names outside spca.* are not part of the public surface.
+  NetScenarioConfig config;
+  config.topology = "diamond";
+  config.intervals = 24;
+  config.window = 8;
+  config.sketch_rows = 8;
+  config.monitors = 2;
+  config.seed = 11;
+  config.anomalies = 1;
+  const NetScenario scenario = build_scenario(config);
+  (void)run_scenario_reference(scenario);
+
+  MetricsRegistry& registry = MetricsRegistry::global();
+  const auto check = [&](const std::vector<std::string>& names,
+                         MetricKind kind) {
+    for (const std::string& name : names) {
+      if (name.rfind("spca.", 0) != 0) continue;
+      if (name.rfind("spca.test.", 0) == 0) continue;
+      const MetricInfo* info = find_metric(name);
+      ASSERT_NE(info, nullptr)
+          << "metric '" << name << "' is registered at runtime but has no "
+          << "row in src/obs/metric_catalog.cpp (add it, then regenerate "
+          << "docs/METRICS.md with SPCA_UPDATE_METRICS_DOC=1)";
+      EXPECT_EQ(info->kind, kind) << name << " is documented as the wrong "
+                                  << "instrument kind";
+    }
+  };
+  check(registry.counter_names(), MetricKind::kCounter);
+  check(registry.gauge_names(), MetricKind::kGauge);
+  check(registry.histogram_names(), MetricKind::kHistogram);
+}
+
+}  // namespace
+}  // namespace spca

@@ -3,7 +3,9 @@
 // operations, and registry rendering.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -187,6 +189,130 @@ TEST(MetricsRegistry, ResetZeroesWithoutInvalidatingReferences) {
 
 TEST(MetricsRegistry, GlobalRegistryIsASingleton) {
   EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(MetricsRegistry, EmptyHistogramRendersNullStatsInJson) {
+  MetricsRegistry registry;
+  (void)registry.histogram("never.recorded");
+  const std::string json = registry.render_json();
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":null"), std::string::npos);
+  // A single observation flips every stat to a real number.
+  registry.histogram("never.recorded").record(0.5);
+  const std::string after = registry.render_json();
+  EXPECT_EQ(after.find("null"), std::string::npos);
+}
+
+TEST(MetricsRegistry, RenderJsonEscapesMetricNames) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with\nnasties").inc();
+  const std::string json = registry.render_json();
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nnasties"), std::string::npos);
+  // The rendered text must not contain a raw newline inside the name.
+  EXPECT_EQ(json.find("with\nnasties"), std::string::npos);
+}
+
+TEST(MetricsRegistry, RenderPrometheusMapsNamesAndEmitsTypes) {
+  MetricsRegistry registry;
+  registry.counter("spca.noc.sketch_pulls").inc(4);
+  registry.gauge("spca.sketch.memory_bytes").set(2048.0);
+  for (int i = 0; i < 8; ++i) {
+    registry.histogram("spca.noc.detect_seconds").record(0.25);
+  }
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("# TYPE spca_noc_sketch_pulls counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("spca_noc_sketch_pulls 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE spca_sketch_memory_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("spca_sketch_memory_bytes 2048"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE spca_noc_detect_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("spca_noc_detect_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("spca_noc_detect_seconds_sum"), std::string::npos);
+  EXPECT_NE(text.find("spca_noc_detect_seconds_count 8"), std::string::npos);
+  // Documented names carry their catalog help line.
+  EXPECT_NE(text.find("# HELP spca_noc_sketch_pulls"), std::string::npos);
+}
+
+TEST(MetricsRegistry, RenderPrometheusSkipsQuantilesOfEmptyHistograms) {
+  MetricsRegistry registry;
+  (void)registry.histogram("spca.noc.refit_seconds");
+  const std::string text = registry.render_prometheus();
+  EXPECT_EQ(text.find("quantile"), std::string::npos);
+  // _sum and _count still appear so the series exists from first scrape.
+  EXPECT_NE(text.find("spca_noc_refit_seconds_sum 0"), std::string::npos);
+  EXPECT_NE(text.find("spca_noc_refit_seconds_count 0"), std::string::npos);
+}
+
+TEST(MetricsRegistry, NameAccessorsReportRegisteredInstrumentsSorted) {
+  MetricsRegistry registry;
+  (void)registry.counter("b.count");
+  (void)registry.counter("a.count");
+  (void)registry.gauge("g.value");
+  (void)registry.histogram("h.seconds");
+  const std::vector<std::string> counters = registry.counter_names();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0], "a.count");
+  EXPECT_EQ(counters[1], "b.count");
+  EXPECT_EQ(registry.gauge_names(),
+            std::vector<std::string>{std::string("g.value")});
+  EXPECT_EQ(registry.histogram_names(),
+            std::vector<std::string>{std::string("h.seconds")});
+}
+
+TEST(MetricsRegistry, ConcurrentWritersAndRenderingReaderAreRaceFree) {
+  // Exercised under TSan in CI: writers hammer all three instrument kinds
+  // (and keep registering fresh names) while a reader renders every
+  // exposition format — the documented "mutex guards registration and
+  // rendering only" contract must hold under real contention.
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, w] {
+      Counter& c = registry.counter("stress.count");
+      Gauge& g = registry.gauge("stress.level");
+      Histogram& h = registry.histogram("stress.seconds");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        g.add(1.0);
+        h.record(1e-3 * (1 + (i % 7)));
+        if (i % 512 == 0) {
+          (void)registry.counter("stress.dynamic." + std::to_string(w) + "." +
+                                 std::to_string(i));
+        }
+      }
+    });
+  }
+  std::thread reader([&registry, &stop] {
+    std::size_t renders = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string json = registry.render_json();
+      const std::string prom = registry.render_prometheus();
+      const std::string text = registry.render_text();
+      EXPECT_FALSE(json.empty());
+      EXPECT_FALSE(prom.empty());
+      EXPECT_FALSE(text.empty());
+      ++renders;
+    }
+    EXPECT_GT(renders, 0u);
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(registry.counter("stress.count").value(),
+            static_cast<std::uint64_t>(kWriters) * kPerThread);
+  EXPECT_EQ(registry.histogram("stress.seconds").count(),
+            static_cast<std::uint64_t>(kWriters) * kPerThread);
 }
 
 }  // namespace

@@ -1,0 +1,187 @@
+// Live-status endpoint behavior over real loopback sockets: routing,
+// content types, health transitions, HEAD handling, request caps, and both
+// drive modes (owner-polled and background thread). The HTTP client is the
+// net-layer TcpStream — the test binary links the umbrella library, so the
+// layering restriction on src/obs itself does not apply here.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+#include "common/error.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_log.hpp"
+#include "obs/status_server.hpp"
+
+namespace spca {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Sends one HTTP request and returns the full raw response (the server
+/// closes the connection after responding, HTTP/1.0 style). `server` is
+/// polled from this thread, so no background thread is needed.
+std::string polled_request(StatusServer& server, const std::string& request) {
+  TcpStream stream = TcpStream::connect(
+      "127.0.0.1", static_cast<std::uint16_t>(server.port()), 2000ms);
+  stream.send_all(reinterpret_cast<const std::byte*>(request.data()),
+                  request.size(), 2000ms);
+  std::string response;
+  std::byte buf[4096];
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    server.poll();
+    const std::ptrdiff_t n = stream.recv_some(buf, sizeof(buf), 10ms);
+    if (n == 0) return response;  // orderly close: response complete
+    if (n > 0) {
+      response.append(reinterpret_cast<const char*>(buf),
+                      static_cast<std::size_t>(n));
+    }
+  }
+  ADD_FAILURE() << "no complete response within the deadline";
+  return response;
+}
+
+std::string get(StatusServer& server, const std::string& path) {
+  return polled_request(server, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string()
+                                    : response.substr(split + 4);
+}
+
+TEST(StatusServer, BindsAnEphemeralPortAndReportsIt) {
+  StatusServer server(StatusServerConfig{});
+  EXPECT_GT(server.port(), 0);
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+TEST(StatusServer, RejectsAnUnbindableAddress) {
+  StatusServerConfig config;
+  config.host = "not-an-address";
+  EXPECT_THROW((void)StatusServer(std::move(config)), InputError);
+}
+
+TEST(StatusServer, ServesTheRegistryJson) {
+  MetricsRegistry::global().counter("spca.test.status_json").inc(3);
+  StatusServer server(StatusServerConfig{});
+  const std::string response = get(server, "/metrics.json");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(body_of(response).find("\"spca.test.status_json\":3"),
+            std::string::npos);
+}
+
+TEST(StatusServer, ServesThePrometheusExposition) {
+  MetricsRegistry::global().counter("spca.test.status_prom").inc();
+  StatusServer server(StatusServerConfig{});
+  const std::string response = get(server, "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  // Dots map to underscores in the exposition format.
+  EXPECT_NE(body_of(response).find("spca_test_status_prom"),
+            std::string::npos);
+}
+
+TEST(StatusServer, ServesTheGlobalSpanLogAsJsonl) {
+  {
+    const ScopedSpan span("status_test", kStageDecision, 77);
+  }
+  StatusServer server(StatusServerConfig{});
+  const std::string body = body_of(get(server, "/spans"));
+  EXPECT_NE(body.find("\"node\":\"status_test\""), std::string::npos);
+  EXPECT_NE(body.find("\"interval\":77"), std::string::npos);
+}
+
+TEST(StatusServer, HealthzFollowsTheOwnerCallback) {
+  bool healthy = true;
+  StatusServerConfig config;
+  config.healthy = [&healthy] { return healthy; };
+  StatusServer server(std::move(config));
+  std::string response = get(server, "/healthz");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(body_of(response).find("\"healthy\":true"), std::string::npos);
+  healthy = false;
+  response = get(server, "/healthz");
+  EXPECT_NE(response.find("HTTP/1.0 503"), std::string::npos);
+  EXPECT_NE(body_of(response).find("\"healthy\":false"), std::string::npos);
+}
+
+TEST(StatusServer, HealthzUsesTheCustomBodyWhenProvided) {
+  StatusServerConfig config;
+  config.health_body = [] {
+    return std::string("{\"healthy\":true,\"role\":\"noc\",\"interval\":12}");
+  };
+  StatusServer server(std::move(config));
+  EXPECT_NE(body_of(get(server, "/healthz")).find("\"role\":\"noc\""),
+            std::string::npos);
+}
+
+TEST(StatusServer, UnknownPathIs404AndCountsAnHttpError) {
+  StatusServer server(StatusServerConfig{});
+  Counter& errors =
+      MetricsRegistry::global().counter("spca.status.http_errors");
+  Counter& requests = MetricsRegistry::global().counter("spca.status.requests");
+  const std::uint64_t errors_before = errors.value();
+  const std::uint64_t requests_before = requests.value();
+  const std::string response = get(server, "/nope");
+  EXPECT_NE(response.find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_EQ(errors.value(), errors_before + 1);
+  EXPECT_EQ(requests.value(), requests_before + 1);
+}
+
+TEST(StatusServer, NonGetMethodsAre405) {
+  StatusServer server(StatusServerConfig{});
+  const std::string response =
+      polled_request(server, "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 405"), std::string::npos);
+}
+
+TEST(StatusServer, HeadReturnsHeadersWithoutABody) {
+  StatusServer server(StatusServerConfig{});
+  const std::string response =
+      polled_request(server, "HEAD /metrics.json HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: "), std::string::npos);
+  EXPECT_EQ(body_of(response), "");
+}
+
+TEST(StatusServer, OversizedRequestHeadIsRejectedWith431) {
+  StatusServerConfig config;
+  config.max_request_bytes = 64;
+  StatusServer server(std::move(config));
+  const std::string huge(256, 'x');
+  const std::string response =
+      polled_request(server, "GET /" + huge + " HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 431"), std::string::npos);
+}
+
+TEST(StatusServer, BackgroundModeServesWithoutOwnerPolling) {
+  StatusServer server(StatusServerConfig{});
+  server.serve_in_background(1ms);
+  TcpStream stream = TcpStream::connect(
+      "127.0.0.1", static_cast<std::uint16_t>(server.port()), 2000ms);
+  const std::string request = "GET /healthz HTTP/1.0\r\n\r\n";
+  stream.send_all(reinterpret_cast<const std::byte*>(request.data()),
+                  request.size(), 2000ms);
+  std::string response;
+  std::byte buf[1024];
+  for (;;) {
+    const std::ptrdiff_t n = stream.recv_some(buf, sizeof(buf), 5000ms);
+    if (n <= 0) break;
+    response.append(reinterpret_cast<const char*>(buf),
+                    static_cast<std::size_t>(n));
+  }
+  server.stop_background();
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spca
