@@ -59,6 +59,9 @@ int main(int argc, char** argv) {
                "evaluated intervals of the distributed measurement run");
   flags.define("dist-l", "80", "sketch length of the distributed run");
   flags.define("dist-monitors", "9", "local monitors of the distributed run");
+  flags.define("model-backend", "warm",
+               "NOC model backend of the distributed run: "
+               "exact | warm | rsvd | fd");
   define_threads_flag(flags);
   define_observability_flags(flags);
   try {
@@ -127,6 +130,7 @@ int main(int argc, char** argv) {
     config.sketch_rows = static_cast<std::size_t>(flags.integer("dist-l"));
     config.rank_policy = RankPolicy::fixed(6);
     config.seed = scenario.seed ^ 0xd15cULL;
+    config.backend.kind = parse_model_backend(flags.str("model-backend"));
     DistributedDetector deployment(
         trace.num_flows(),
         static_cast<std::size_t>(flags.integer("dist-monitors")), config);

@@ -2,9 +2,15 @@
 // the sketch method vs the exact baseline, at Abilene scale (m = 81).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "core/lakhina_detector.hpp"
 #include "core/sketch_detector.hpp"
 #include "obs/bench_main.hpp"
+#include "pca/backend/model_backend.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
 #include "synth/traffic_model.hpp"
 
 namespace {
@@ -61,6 +67,52 @@ void BM_LakhinaObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LakhinaObserve)->Arg(1)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_NocRefitBackend(benchmark::State& state, ModelBackendKind kind) {
+  // One NOC model refit at the lazy protocol's sketch shape (l = 200 rows,
+  // m flows): the dominant recurring cost of a network-wide deployment.
+  // Successive refits see slowly drifting rows, the steady-traffic regime
+  // where the warm backend stays on its warm-start path; exact re-solves
+  // cold every time, so the ratio at equal m is the speedup the default
+  // buys. m = 121 is the tier-1 topology above Abilene (11x11 OD pairs).
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t l = 200;
+  Xoshiro256 gen(2);
+  Matrix base(l, m);
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = 0; j < m; ++j) base(i, j) = standard_normal(gen);
+  }
+  constexpr std::size_t kVariants = 4;
+  std::vector<Matrix> drifted;
+  drifted.reserve(kVariants);
+  for (std::size_t v = 0; v < kVariants; ++v) {
+    Matrix z = base;
+    for (std::size_t i = 0; i < l; ++i) {
+      for (std::size_t j = 0; j < m; ++j) z(i, j) += 1e-4 * standard_normal(gen);
+    }
+    drifted.push_back(std::move(z));
+  }
+  ModelBackendConfig config;
+  config.kind = kind;
+  const auto backend = make_model_backend(config, m);
+  if (backend->wants_rows()) {
+    for (std::size_t i = 0; i < l; ++i) backend->absorb_row(base.row_span(i));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->fit_rows(
+        drifted[i % kVariants], Vector(m), static_cast<std::uint64_t>(2 * m)));
+    ++i;
+  }
+}
+BENCHMARK_CAPTURE(BM_NocRefitBackend, exact, ModelBackendKind::kExact)
+    ->Arg(81)->Arg(121)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_NocRefitBackend, warm, ModelBackendKind::kWarm)
+    ->Arg(81)->Arg(121)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_NocRefitBackend, rsvd, ModelBackendKind::kRsvd)
+    ->Arg(81)->Arg(121)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_NocRefitBackend, fd, ModelBackendKind::kFd)
+    ->Arg(81)->Arg(121)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

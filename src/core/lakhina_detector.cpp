@@ -15,6 +15,7 @@ LakhinaDetector::LakhinaDetector(std::size_t dimensions,
                                  const LakhinaConfig& config)
     : m_(dimensions),
       config_(config),
+      backend_(make_model_backend(config.backend, dimensions, config.window)),
       sum_(dimensions),
       gram_(dimensions, dimensions),
       last_centered_(dimensions) {
@@ -32,6 +33,7 @@ Detection LakhinaDetector::observe(std::int64_t t, const Vector& x) {
 
   SPCA_EXPECTS(x.size() == m_);
   const ScopedTimer timer(observe_seconds);
+  if (backend_->wants_rows()) backend_->absorb_row(x.span());
   if (!shift_) shift_ = x;
 
   // Shifted copy keeps accumulator magnitudes small (see header).
@@ -105,13 +107,11 @@ void LakhinaDetector::refresh_model() {
   Vector means = mean_shifted;
   means += *shift_;
 
-  // Warm-start from the previous basis: between consecutive intervals the
+  // The backend owns the eigensolver strategy: warm (default) seeds each
+  // refit with the previous basis — between consecutive intervals the
   // window covariance changes by two rank-one updates, so the eigenbasis
   // barely rotates and the warm Jacobi converges in a sweep or two.
-  const Matrix* warm_basis =
-      model_ ? &model_->components() : nullptr;
-  model_ = PcaModel::from_covariance(centered, std::move(means),
-                                     window_.size(), warm_basis);
+  model_ = backend_->fit_gram(centered, std::move(means), window_.size());
   ++model_computations_;
 
   Matrix fitted_data;
@@ -124,7 +124,10 @@ void LakhinaDetector::refresh_model() {
       fitted_data.set_row(i, row);
     }
   }
-  rank_ = config_.rank_policy.select(*model_, fitted_data);
+  // Truncated backends (rsvd/fd) only recover basis_cols genuine axes; the
+  // normal subspace cannot extend past them.
+  rank_ = std::min(config_.rank_policy.select(*model_, fitted_data),
+                   std::max<std::size_t>(model_->basis_cols(), 1));
   threshold_squared_ = q_statistic_threshold_squared(
       model_->singular_values(), rank_, window_.size(), config_.alpha);
 }

@@ -18,11 +18,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 
 #include "core/detector.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "pca/backend/model_backend.hpp"
 
 namespace spca {
 
@@ -37,6 +39,8 @@ struct LakhinaConfig {
   /// Recompute the eigendecomposition every this many intervals (1 = always,
   /// the exact method; larger values trade recency for speed).
   std::size_t recompute_period = 1;
+  /// Model-fitting strategy (exact | warm | rsvd | fd) and its tuning knobs.
+  ModelBackendConfig backend;
 };
 
 /// The exact PCA-subspace detector.
@@ -64,11 +68,17 @@ class LakhinaDetector final : public Detector {
     return model_computations_;
   }
 
+  /// The model-fitting strategy in use.
+  [[nodiscard]] const ModelBackend& backend() const noexcept {
+    return *backend_;
+  }
+
  private:
   void refresh_model();
 
   std::size_t m_;
   LakhinaConfig config_;
+  std::unique_ptr<ModelBackend> backend_;
   std::deque<Vector> window_;  // shifted rows (x - shift_)
   std::optional<Vector> shift_;
   Vector sum_;    // sum of shifted rows

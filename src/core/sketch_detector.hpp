@@ -13,9 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/detector.hpp"
+#include "pca/backend/model_backend.hpp"
 #include "rand/projection_source.hpp"
 #include "sketch/flow_sketch.hpp"
 
@@ -41,6 +44,8 @@ struct SketchDetectorConfig {
   std::uint64_t seed = 42;
   /// Lazy mode: refresh the PCA only when the stale model raises a hand.
   bool lazy = true;
+  /// Model-fitting strategy (exact | warm | rsvd | fd) and its tuning knobs.
+  ModelBackendConfig backend;
 };
 
 /// Sketch-based streaming PCA detector.
@@ -64,6 +69,11 @@ class SketchDetector final : public Detector {
 
   [[nodiscard]] const PcaModel& model() const noexcept { return model_; }
   [[nodiscard]] std::size_t normal_rank() const noexcept { return rank_; }
+
+  /// The model-fitting strategy in use (for tests and checkpoint codecs).
+  [[nodiscard]] const ModelBackend& backend() const noexcept {
+    return *backend_;
+  }
 
   /// Distances for all candidate ranks of the last observation (see
   /// LakhinaDetector::distance_profile).
@@ -89,9 +99,13 @@ class SketchDetector final : public Detector {
   /// Reconstructs a detector from `save_state` output. The restored
   /// detector continues the stream bit-for-bit identically to the original
   /// (see the checkpoint tests). Throws ProtocolError on a malformed or
-  /// version-mismatched blob.
+  /// version-mismatched blob. When `expected_backend` is set, a blob
+  /// written under a different model backend is rejected as ProtocolError:
+  /// backend state is not interchangeable, and silently refitting cold
+  /// would break the bit-identical-restore guarantee.
   [[nodiscard]] static SketchDetector restore_state(
-      const std::vector<std::byte>& blob);
+      const std::vector<std::byte>& blob,
+      std::optional<ModelBackendKind> expected_backend = std::nullopt);
 
   /// Intervals observed so far (warm-up progress).
   [[nodiscard]] std::uint64_t observed() const noexcept { return observed_; }
@@ -101,6 +115,7 @@ class SketchDetector final : public Detector {
 
   std::size_t m_;
   SketchDetectorConfig config_;
+  std::unique_ptr<ModelBackend> backend_;
   std::vector<FlowSketch> flows_;
   std::uint64_t observed_ = 0;
   PcaModel model_;

@@ -1,18 +1,26 @@
 // Checkpoint format of the SketchDetector (versioned, little-endian):
 //
-//   u32 magic 'SPCA' | u32 version
+//   u32 magic 'SPCA' | u32 version (2)
 //   config: u64 window | f64 epsilon | u64 sketch_rows | f64 alpha
 //           | u8 rank_kind | u64 fixed_rank | f64 energy_fraction
 //           | f64 ksigma_k | f64 scree_knee
 //           | u8 projection_kind | f64 sparsity | u64 seed | u8 lazy
+//           | backend config (see write_backend_config: u8 kind
+//             | f64 drift_threshold | i32 warm_sweeps | u64 rank
+//             | u64 oversample | i32 power_iters | u64 fd_rows | u64 seed)
 //   u64 dimensions | u64 observed | u64 model_computations
 //   model: u8 fitted; if fitted: u64 sample_count | f64[] singular_values
-//          | f64[] components (row-major m*m) | f64[] means
+//          | f64[] components (row-major m*m) | u64 basis_cols | f64[] means
 //          | u64 rank | f64 threshold_squared
+//   backend state (kind-specific, see ModelBackend::save_state)
 //   per flow (dimensions times):
 //     i64 now | u64 bucket_count
 //     per bucket: i64 timestamp | u64 count | f64 mean | f64 variance
 //                 | f64[] payload
+//
+// Version history: v1 had no backend config/state section and no
+// basis_cols; v1 blobs are no longer readable (restore throws
+// ProtocolError on the version word).
 #include <utility>
 
 #include "common/serialize.hpp"
@@ -22,7 +30,7 @@ namespace spca {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x53504341;  // "SPCA"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
 std::vector<std::byte> SketchDetector::save_state() const {
@@ -43,6 +51,7 @@ std::vector<std::byte> SketchDetector::save_state() const {
   out.put(config_.sparsity);
   out.put(config_.seed);
   out.put(static_cast<std::uint8_t>(config_.lazy ? 1 : 0));
+  write_backend_config(out, config_.backend);
 
   out.put(static_cast<std::uint64_t>(m_));
   out.put(observed_);
@@ -59,10 +68,12 @@ std::vector<std::byte> SketchDetector::save_state() const {
       }
     }
     out.put_all(components);
+    out.put(static_cast<std::uint64_t>(model_.basis_cols()));
     out.put_all(model_.column_means().data());
     out.put(static_cast<std::uint64_t>(rank_));
     out.put(threshold_squared_);
   }
+  backend_->save_state(out);
 
   for (const FlowSketch& flow : flows_) {
     const VarianceHistogram& vh = flow.histogram();
@@ -80,7 +91,8 @@ std::vector<std::byte> SketchDetector::save_state() const {
 }
 
 SketchDetector SketchDetector::restore_state(
-    const std::vector<std::byte>& blob) {
+    const std::vector<std::byte>& blob,
+    std::optional<ModelBackendKind> expected_backend) {
   ByteReader in(blob);
   if (in.get<std::uint32_t>() != kMagic) {
     throw ProtocolError("SketchDetector::restore_state: bad magic");
@@ -105,6 +117,14 @@ SketchDetector SketchDetector::restore_state(
   config.sparsity = in.get<double>();
   config.seed = in.get<std::uint64_t>();
   config.lazy = in.get<std::uint8_t>() != 0;
+  config.backend = read_backend_config(in);
+  if (expected_backend && config.backend.kind != *expected_backend) {
+    throw ProtocolError(
+        std::string("SketchDetector::restore_state: checkpoint written by "
+                    "the '") +
+        to_string(config.backend.kind) + "' model backend, expected '" +
+        to_string(*expected_backend) + "'");
+  }
 
   const auto m = static_cast<std::size_t>(in.get<std::uint64_t>());
   SketchDetector detector(m, config);
@@ -115,9 +135,10 @@ SketchDetector SketchDetector::restore_state(
     const auto sample_count = in.get<std::uint64_t>();
     Vector singular_values(in.get_all<double>());
     const std::vector<double> components_flat = in.get_all<double>();
+    const auto basis_cols = static_cast<std::size_t>(in.get<std::uint64_t>());
     Vector means(in.get_all<double>());
     if (singular_values.size() != m || means.size() != m ||
-        components_flat.size() != m * m) {
+        components_flat.size() != m * m || basis_cols > m) {
       throw ProtocolError("SketchDetector::restore_state: bad model shape");
     }
     Matrix components(m, m);
@@ -129,10 +150,11 @@ SketchDetector SketchDetector::restore_state(
     detector.model_ =
         PcaModel::from_parts(std::move(singular_values),
                              std::move(components), std::move(means),
-                             sample_count);
+                             sample_count, basis_cols);
     detector.rank_ = static_cast<std::size_t>(in.get<std::uint64_t>());
     detector.threshold_squared_ = in.get<double>();
   }
+  detector.backend_->restore_state(in);
 
   const ProjectionSource source =
       config.projection == ProjectionKind::kVerySparse

@@ -116,7 +116,13 @@ void LocalMonitor::end_interval(std::int64_t t, Transport& network) {
   report.interval = t;
   report.ids = flows_;
   report.values.assign(volumes.begin(), volumes.end());
+  last_report_ = report;
   network.send(report);
+}
+
+void LocalMonitor::resend_report(Transport& network) {
+  if (last_report_.ids.empty()) return;  // nothing reported yet
+  network.send(last_report_);
 }
 
 void LocalMonitor::handle_mail(Transport& network) {

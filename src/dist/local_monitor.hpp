@@ -62,6 +62,13 @@ class LocalMonitor final {
   void absorb_block(std::int64_t first, std::size_t count,
                     std::span<const double> volumes);
 
+  /// Re-sends the most recent volume report (no-op before the first
+  /// end_interval). Used by the daemon after a NOC reconnect: a report in
+  /// flight when the NOC went down died with the old connection, and the
+  /// restarted NOC cannot advance until it arrives again. The NOC tolerates
+  /// the duplicate copy that a racing original may also deliver.
+  void resend_report(Transport& network);
+
   /// Handles queued requests (sketch pulls), sending responses.
   void handle_mail(Transport& network);
 
@@ -103,6 +110,8 @@ class LocalMonitor final {
   VolumeCounter counter_;
   std::vector<FlowSketch> sketches_;  // aligned with flows_; empty when
                                       // counter_only_
+  Message last_report_;  // retained for resend_report; not checkpointed (a
+                         // restarted monitor reports again naturally)
 };
 
 }  // namespace spca

@@ -28,11 +28,15 @@ NocConfig noc_config_from(const SketchDetectorConfig& config,
   noc.projection = config.projection;
   noc.sparsity = config.sparsity;
   noc.seed = config.seed;
+  noc.backend = config.backend;
   return noc;
 }
 
 Noc::Noc(std::size_t num_flows, const NocConfig& config)
-    : m_(num_flows), config_(config), flow_state_(num_flows) {
+    : m_(num_flows),
+      config_(config),
+      backend_(make_model_backend(config.backend, num_flows, config.window)),
+      flow_state_(num_flows) {
   SPCA_EXPECTS(num_flows >= 2);
   SPCA_EXPECTS(config.sketch_rows >= 1);
   SPCA_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0);
@@ -85,6 +89,9 @@ Vector Noc::assemble_volumes(std::int64_t t,
       }
     });
   }
+  // The fd backend sketches the measurement stream itself, so it must see
+  // every assembled network-wide row as it arrives.
+  if (backend_->wants_rows()) backend_->absorb_row(x.span());
   return x;
 }
 
@@ -167,8 +174,11 @@ void Noc::refit() {
         }
       },
       /*min_grain=*/64);
-  model_ = PcaModel::from_sketch(z, means, n_eff);
-  rank_ = config_.rank_policy.select(*model_, z);
+  model_ = backend_->fit_rows(z, means, n_eff);
+  // Truncated backends (rsvd/fd) only recover basis_cols genuine axes; the
+  // normal subspace cannot extend past them.
+  rank_ = std::min(config_.rank_policy.select(*model_, z),
+                   std::max<std::size_t>(model_->basis_cols(), 1));
   threshold_squared_ = q_statistic_threshold_squared(
       model_->singular_values(), rank_, n_eff, config_.alpha);
 }

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "core/sketch_detector.hpp"
 #include "dist/message.hpp"
 #include "net/transport.hpp"
+#include "pca/backend/model_backend.hpp"
 #include "pca/pca_model.hpp"
 #include "sketch/flow_sketch.hpp"
 
@@ -52,6 +54,8 @@ struct NocConfig {
   ProjectionKind projection = ProjectionKind::kGaussian;
   double sparsity = 3.0;
   std::uint64_t seed = 42;
+  /// Model-fitting strategy (exact | warm | rsvd | fd) and its tuning knobs.
+  ModelBackendConfig backend;
 };
 
 /// Derives the NOC-side configuration from the shared detector parameters
@@ -122,6 +126,11 @@ class Noc final {
     return alarms_sent_;
   }
 
+  /// The model-fitting strategy in use (for tests and checkpoint codecs).
+  [[nodiscard]] const ModelBackend& backend() const noexcept {
+    return *backend_;
+  }
+
   /// Serializes the full NOC state — configuration, per-flow sketch state,
   /// hosted histograms, the fitted model, rank, and threshold — into a
   /// versioned blob (dist/noc_io.cpp). A restored NOC continues the lazy
@@ -129,12 +138,18 @@ class Noc final {
   [[nodiscard]] std::vector<std::byte> save_state() const;
 
   /// Rebuilds a NOC from `save_state` output; throws ProtocolError on a
-  /// malformed or truncated blob.
-  [[nodiscard]] static Noc restore_state(const std::vector<std::byte>& blob);
+  /// malformed or truncated blob. When `expected_backend` is set, a blob
+  /// written under a different model backend is rejected as ProtocolError:
+  /// backend state is not interchangeable, and silently refitting cold
+  /// would break the bit-identical-restore guarantee.
+  [[nodiscard]] static Noc restore_state(
+      const std::vector<std::byte>& blob,
+      std::optional<ModelBackendKind> expected_backend = std::nullopt);
 
  private:
   std::size_t m_;
   NocConfig config_;
+  std::unique_ptr<ModelBackend> backend_;
   /// Last received sketch state per flow: mean, count, z-vector.
   struct FlowState {
     double mean = 0.0;

@@ -1,11 +1,14 @@
 // Checkpoint format of the Noc (versioned, little-endian):
 //
-//   u32 magic 'SPCN' | u32 version
+//   u32 magic 'SPCN' | u32 version (2)
 //   config: u64 window | u64 sketch_rows | f64 alpha
 //           | u8 rank_kind | u64 fixed_rank | f64 energy_fraction
 //           | f64 ksigma_k | f64 scree_knee
 //           | u8 lazy | u8 host_sketches | f64 epsilon
 //           | u8 projection_kind | f64 sparsity | u64 seed
+//           | backend config (see write_backend_config: u8 kind
+//             | f64 drift_threshold | i32 warm_sweeps | u64 rank
+//             | u64 oversample | i32 power_iters | u64 fd_rows | u64 seed)
 //   u64 m | u64 sketch_pulls | u64 alarms_sent
 //   per flow (m times): f64 mean | u64 count | u8 seen | f64[] sketch
 //   u64 hosted_count (0 or m); per hosted sketch:
@@ -13,8 +16,13 @@
 //     per bucket: i64 timestamp | u64 count | f64 mean | f64 variance
 //                 | f64[] payload
 //   model: u8 fitted; if fitted: u64 sample_count | f64[] singular_values
-//          | f64[] components (row-major m*m) | f64[] means
+//          | f64[] components (row-major m*m) | u64 basis_cols | f64[] means
 //          | u64 rank | f64 threshold_squared
+//   backend state (kind-specific, see ModelBackend::save_state)
+//
+// Version history: v1 had no backend config/state section and no
+// basis_cols; v1 blobs are no longer readable (restore throws
+// ProtocolError on the version word).
 #include <utility>
 
 #include "common/serialize.hpp"
@@ -24,7 +32,7 @@ namespace spca {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x4E435053;  // "SPCN"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
 std::vector<std::byte> Noc::save_state() const {
@@ -46,6 +54,7 @@ std::vector<std::byte> Noc::save_state() const {
   out.put(static_cast<std::uint8_t>(config_.projection));
   out.put(config_.sparsity);
   out.put(config_.seed);
+  write_backend_config(out, config_.backend);
 
   out.put(static_cast<std::uint64_t>(m_));
   out.put(sketch_pulls_);
@@ -83,14 +92,17 @@ std::vector<std::byte> Noc::save_state() const {
       }
     }
     out.put_all(components);
+    out.put(static_cast<std::uint64_t>(model_->basis_cols()));
     out.put_all(model_->column_means().data());
     out.put(static_cast<std::uint64_t>(rank_));
     out.put(threshold_squared_);
   }
+  backend_->save_state(out);
   return std::move(out).take();
 }
 
-Noc Noc::restore_state(const std::vector<std::byte>& blob) {
+Noc Noc::restore_state(const std::vector<std::byte>& blob,
+                       std::optional<ModelBackendKind> expected_backend) {
   ByteReader in(blob);
   if (in.get<std::uint32_t>() != kMagic) {
     throw ProtocolError("Noc::restore_state: bad magic");
@@ -116,8 +128,15 @@ Noc Noc::restore_state(const std::vector<std::byte>& blob) {
   config.projection = static_cast<ProjectionKind>(in.get<std::uint8_t>());
   config.sparsity = in.get<double>();
   config.seed = in.get<std::uint64_t>();
+  config.backend = read_backend_config(in);
   if (config.alpha <= 0.0 || config.alpha >= 1.0 || config.sketch_rows == 0) {
     throw ProtocolError("Noc::restore_state: bad config");
+  }
+  if (expected_backend && config.backend.kind != *expected_backend) {
+    throw ProtocolError(
+        std::string("Noc::restore_state: checkpoint written by the '") +
+        to_string(config.backend.kind) + "' model backend, expected '" +
+        to_string(*expected_backend) + "'");
   }
 
   const auto m = static_cast<std::size_t>(in.get<std::uint64_t>());
@@ -171,9 +190,10 @@ Noc Noc::restore_state(const std::vector<std::byte>& blob) {
     const auto sample_count = in.get<std::uint64_t>();
     Vector singular_values(in.get_all<double>());
     const std::vector<double> components_flat = in.get_all<double>();
+    const auto basis_cols = static_cast<std::size_t>(in.get<std::uint64_t>());
     Vector means(in.get_all<double>());
     if (singular_values.size() != m || means.size() != m ||
-        components_flat.size() != m * m) {
+        components_flat.size() != m * m || basis_cols > m) {
       throw ProtocolError("Noc::restore_state: bad model shape");
     }
     Matrix components(m, m);
@@ -184,10 +204,11 @@ Noc Noc::restore_state(const std::vector<std::byte>& blob) {
     }
     noc.model_ = PcaModel::from_parts(std::move(singular_values),
                                       std::move(components), std::move(means),
-                                      sample_count);
+                                      sample_count, basis_cols);
     noc.rank_ = static_cast<std::size_t>(in.get<std::uint64_t>());
     noc.threshold_squared_ = in.get<double>();
   }
+  noc.backend_->restore_state(in);
   if (!in.exhausted()) {
     throw ProtocolError("Noc::restore_state: trailing bytes");
   }

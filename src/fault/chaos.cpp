@@ -4,6 +4,8 @@
 #include <cstring>
 #include <exception>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -26,7 +28,7 @@ std::optional<std::int64_t> kill_of(const FaultPlanConfig& faults,
   for (const FaultEvent& e : faults.kills) {
     if (e.node != node) continue;
     if (found) {
-      throw InputError("chaos: multiple kills scheduled for monitor " +
+      throw InputError("chaos: multiple kills scheduled for node " +
                        std::to_string(node));
     }
     found = e.interval;
@@ -57,7 +59,22 @@ void validate(const ChaosConfig& config) {
     }
   };
   for (const FaultEvent& e : config.faults.kills) {
-    check_node(e, "kill");
+    if (e.node == kNocId) {
+      // A NOC kill restarts the NOC daemon from its shutdown snapshot on
+      // the same port; only clean kills are supported (a crash-killed NOC
+      // cannot replay reports it never received from the monitors).
+      if (config.crash_kills) {
+        throw InputError("chaos: NOC kills must be clean "
+                         "(crash kills only apply to monitors)");
+      }
+      if (e.interval >= intervals) {
+        throw InputError("chaos: NOC kill at interval " +
+                         std::to_string(e.interval) + ", scenario ends at " +
+                         std::to_string(intervals));
+      }
+    } else {
+      check_node(e, "kill");
+    }
     if (e.interval < 1) {
       throw InputError("chaos: kill intervals must be >= 1");
     }
@@ -106,6 +123,9 @@ ChaosResult run_chaos(const ChaosConfig& config) {
     Counter& resets_metric =
         MetricsRegistry::global().counter("spca.fault.injected_resets");
 
+    const std::optional<std::int64_t> noc_kill =
+        kill_of(config.faults, kNocId);
+
     NocDaemonConfig nc;
     nc.scenario = config.scenario;
     nc.interval_deadline = config.interval_deadline;
@@ -113,9 +133,29 @@ ChaosResult run_chaos(const ChaosConfig& config) {
     nc.wrap_transport = [&](Transport& inner) {
       return std::make_unique<FaultyTransport>(inner, config.faults, &acc);
     };
-    NocDaemon nocd(nc);
-    nocd.start();
-    const std::uint16_t port = nocd.bound_port();
+    if (noc_kill) {
+      // First incarnation: checkpoints and stops after intervals < kill; its
+      // shutdown snapshot seeds the second incarnation on the same port.
+      nc.checkpoint_dir = config.checkpoint_dir;
+      nc.checkpoint_every = config.checkpoint_every;
+      nc.last_interval = *noc_kill;
+    }
+    auto nocd = std::make_unique<NocDaemon>(nc);
+    nocd->start();
+    const std::uint16_t port = nocd->bound_port();
+
+    // The monitors must be able to stop whichever NOC incarnation is live
+    // when they hit an error; a NOC kill swaps the daemon object mid-run.
+    std::mutex noc_mutex;
+    NocDaemon* active_noc = nocd.get();
+    const auto stop_noc = [&] {
+      const std::lock_guard<std::mutex> lock(noc_mutex);
+      if (active_noc != nullptr) active_noc->request_stop();
+    };
+    const auto swap_active_noc = [&](NocDaemon* next) {
+      const std::lock_guard<std::mutex> lock(noc_mutex);
+      active_noc = next;
+    };
 
     std::atomic<std::uint64_t> kills{0};
     std::atomic<std::uint64_t> resets{0};
@@ -186,16 +226,50 @@ ChaosResult run_chaos(const ChaosConfig& config) {
           }
         } catch (...) {
           errors[i] = std::current_exception();
-          nocd.request_stop();
+          stop_noc();
         }
       });
     }
 
     std::exception_ptr noc_error;
+    std::unique_ptr<NocDaemon> second;
     try {
-      result.run = nocd.run();
+      result.run = nocd->run();
+      if (noc_kill) {
+        // Clean NOC kill: tear the daemon down (freeing the listen port),
+        // then restart it from the shutdown snapshot. The monitors block in
+        // their wait-for-advance loop meanwhile and re-send the pending
+        // report once the link comes back.
+        swap_active_noc(nullptr);
+        nocd.reset();
+        kills.fetch_add(1, std::memory_order_relaxed);
+        kills_metric.inc();
+        log_info("chaos: killed NOC at interval ", *noc_kill);
+        FlightRecorder::global().note("kill", *noc_kill, "noc (clean)");
+        NocDaemonConfig rc = nc;
+        rc.listen_port = port;
+        rc.last_interval = -1;
+        second = std::make_unique<NocDaemon>(rc);
+        swap_active_noc(second.get());
+        second->start();
+        const ScenarioRun rest = second->run();
+        swap_active_noc(nullptr);
+        if (!second->restored_from_checkpoint()) {
+          all_restored.store(false, std::memory_order_relaxed);
+        }
+        // Stitch the incarnations into one trajectory: the first covers
+        // the post-warm-up intervals < kill, the second the remainder.
+        result.run.alarm_intervals.insert(result.run.alarm_intervals.end(),
+                                          rest.alarm_intervals.begin(),
+                                          rest.alarm_intervals.end());
+        result.run.distances.insert(result.run.distances.end(),
+                                    rest.distances.begin(),
+                                    rest.distances.end());
+        result.run.stats += rest.stats;
+      }
     } catch (...) {
       noc_error = std::current_exception();
+      stop_noc();
     }
     for (std::thread& t : threads) t.join();
     for (const std::exception_ptr& e : errors) {

@@ -44,8 +44,10 @@ FaultEvent parse_event(const std::string& key, const std::string& value) {
   const char* t_first = value.data() + at + 1;
   const char* t_last = value.data() + value.size();
   auto [tp, tec] = std::from_chars(t_first, t_last, event.interval);
+  // Node 0 is the NOC itself — a legal kill target (chaos validates which
+  // event kinds support it); intervals must be non-negative.
   if (nec != std::errc{} || np != node_last || tec != std::errc{} ||
-      tp != t_last || event.node == 0 || event.interval < 0) {
+      tp != t_last || event.interval < 0) {
     throw InputError("fault spec: " + key + " expects NODE@INTERVAL, got '" +
                      value + "'");
   }

@@ -40,8 +40,21 @@ EigenSym eigen_symmetric(const Matrix& input, int max_sweeps) {
       for (std::size_t j = 0; j < n; ++j) s += a(i, j) * a(i, j);
     return s;
   }();
-  // Relative tolerance on the off-diagonal mass; 0 matrices converge at once.
-  const double tol2 = frob2 * 1e-30;
+  // Relative tolerance on the off-diagonal mass; 0 matrices converge at
+  // once. 1e-26 leaves the off-diagonal norm at ~1e-13 of the Frobenius
+  // norm — eigenvalues accurate to ~1e-13 relative, orders beyond what the
+  // detection thresholds resolve — while sparing the near-converged endgame
+  // sweeps that dominate a warm-started solve (Jacobi converges
+  // quadratically, so each extra decade of tolerance costs a full sweep).
+  const double tol2 = frob2 * 1e-26;
+
+  // Per-element rotation threshold: an entry whose square is below
+  // tol2 / n^2 contributes at most tol2 * (n-1)/n in total even if every
+  // off-diagonal entry sits right at the threshold, so skipping those
+  // rotations cannot stall convergence — and it turns the near-diagonal
+  // sweeps of a warm-started solve into O(n^2) scans instead of O(n^3)
+  // rotation work.
+  const double skip2 = tol2 / (static_cast<double>(n) * static_cast<double>(n));
 
   int sweep = 0;
   while (off_diagonal_norm_squared(a) > tol2) {
@@ -51,7 +64,7 @@ EigenSym eigen_symmetric(const Matrix& input, int max_sweeps) {
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = a(p, q);
-        if (apq == 0.0) continue;
+        if (apq * apq <= skip2) continue;
         const double app = a(p, p);
         const double aqq = a(q, q);
         // Stable computation of the rotation angle (Golub & Van Loan 8.4).
@@ -96,6 +109,7 @@ EigenSym eigen_symmetric(const Matrix& input, int max_sweeps) {
   EigenSym out;
   out.values = Vector(n);
   out.vectors = Matrix(n, n);
+  out.sweeps = sweep;
   for (std::size_t k = 0; k < n; ++k) {
     out.values[k] = a(order[k], order[k]);
     for (std::size_t i = 0; i < n; ++i) {
@@ -106,19 +120,31 @@ EigenSym eigen_symmetric(const Matrix& input, int max_sweeps) {
 }
 
 EigenSym eigen_symmetric_warm(const Matrix& a, const Matrix& warm_basis,
-                              int max_sweeps) {
+                              int max_sweeps, int warm_sweeps) {
   SPCA_EXPECTS(a.rows() == a.cols());
   SPCA_EXPECTS(warm_basis.rows() == a.rows() &&
                warm_basis.cols() == a.cols());
+  SPCA_EXPECTS(warm_sweeps > 0);
   // Rotate into the warm basis: B = V^T A V is near-diagonal when V is
   // close to A's eigenbasis, so the inner Jacobi finishes almost at once.
   const Matrix b =
       multiply(transpose(warm_basis), multiply(a, warm_basis));
-  EigenSym inner = eigen_symmetric(b, max_sweeps);
-  EigenSym out;
-  out.values = std::move(inner.values);
-  out.vectors = multiply(warm_basis, inner.vectors);
-  return out;
+  try {
+    EigenSym inner = eigen_symmetric(b, std::min(max_sweeps, warm_sweeps));
+    EigenSym out;
+    out.values = std::move(inner.values);
+    out.vectors = multiply(warm_basis, inner.vectors);
+    out.sweeps = inner.sweeps;
+    return out;
+  } catch (const NumericalError&) {
+    // Degenerate or heavily rotated spectra can leave B far from diagonal;
+    // the cold path on the original matrix is then both cheaper and more
+    // accurate than grinding out the rotated problem.
+    EigenSym out = eigen_symmetric(a, max_sweeps);
+    out.sweeps += std::min(max_sweeps, warm_sweeps);
+    out.warm_fallback = true;
+    return out;
+  }
 }
 
 EigenSym eigen_top_k(const Matrix& a, std::size_t k, double tol,

@@ -21,6 +21,11 @@ struct EigenSym {
   Vector values;
   /// Orthonormal eigenvectors as columns, ordered to match `values`.
   Matrix vectors;
+  /// Jacobi sweeps the solve actually performed (cold + any warm attempt).
+  int sweeps = 0;
+  /// True when a warm-started solve abandoned the rotated problem and fell
+  /// back to the cold path (rank-deficient / near-degenerate spectra).
+  bool warm_fallback = false;
 };
 
 /// Decomposes the symmetric matrix `a`.
@@ -36,9 +41,16 @@ struct EigenSym {
 /// first — B = V^T A V — leaves B nearly diagonal, so Jacobi converges in
 /// one or two sweeps instead of O(log) of them. Results are identical to
 /// the cold solver up to rounding. `warm_basis` must be m x m orthonormal.
+///
+/// The inner solve runs under a `warm_sweeps` budget: spectra with repeated
+/// or near-degenerate eigenvalues rotate the eigenbasis arbitrarily between
+/// windows, which can leave B far from diagonal — instead of burning the
+/// full sweep limit there, the solve falls back to the cold path on `a` and
+/// reports it via `EigenSym::warm_fallback`.
 [[nodiscard]] EigenSym eigen_symmetric_warm(const Matrix& a,
                                             const Matrix& warm_basis,
-                                            int max_sweeps = 64);
+                                            int max_sweeps = 64,
+                                            int warm_sweeps = 8);
 
 /// Top-k eigenpairs of a positive semi-definite matrix by orthogonal
 /// (simultaneous) iteration: the alternative when only the r leading

@@ -1,0 +1,85 @@
+#include "linalg/rand_range.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "linalg/qr.hpp"
+#include "rand/distributions.hpp"
+#include "rand/splitmix64.hpp"
+
+namespace spca {
+
+Matrix gaussian_test_matrix(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  Matrix omega(rows, cols);
+  SplitMix64 gen(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      omega(i, j) = standard_normal(gen);
+    }
+  }
+  return omega;
+}
+
+Matrix rand_range_basis(const Matrix& a, std::size_t dim, int power_iters,
+                        std::uint64_t seed) {
+  SPCA_EXPECTS(a.rows() == a.cols());
+  SPCA_EXPECTS(dim >= 1 && dim <= a.rows());
+  SPCA_EXPECTS(power_iters >= 0);
+  Matrix y = multiply(a, gaussian_test_matrix(a.cols(), dim, seed));
+  // Re-orthonormalize between applications of A: powers of the spectrum
+  // collapse the test block onto the leading eigenvector fast enough that
+  // the un-orthonormalized columns lose independence in double precision.
+  for (int it = 0; it < power_iters; ++it) {
+    y = multiply(a, qr(y).q);
+  }
+  return qr(y).q;
+}
+
+EigenSym rand_eigen_top_k(const Matrix& a, std::size_t k,
+                          std::size_t oversample, int power_iters,
+                          std::uint64_t seed) {
+  SPCA_EXPECTS(a.rows() == a.cols());
+  SPCA_EXPECTS(k >= 1);
+  const std::size_t m = a.rows();
+  const std::size_t dim = std::min(k + oversample, m);
+  const Matrix q = rand_range_basis(a, dim, power_iters, seed);
+  // Exact small solve on the projected Rayleigh quotient.
+  const Matrix h = multiply(transpose(q), multiply(a, q));
+  EigenSym small = eigen_symmetric(h);
+  EigenSym out;
+  out.values = std::move(small.values);
+  out.vectors = multiply(q, small.vectors);
+  out.sweeps = small.sweeps;
+  return out;
+}
+
+Svd rand_svd_rows(const Matrix& z, std::size_t k, std::size_t oversample,
+                  int power_iters, std::uint64_t seed) {
+  SPCA_EXPECTS(k >= 1);
+  SPCA_EXPECTS(power_iters >= 0);
+  const std::size_t l = z.rows();
+  const std::size_t m = z.cols();
+  SPCA_EXPECTS(l >= 1 && m >= 1);
+  const std::size_t dim = std::min({k + oversample, l, m});
+
+  // Range-find the row space of Z: Y = Z^T Omega spans it, power iterations
+  // sharpen the split between kept and discarded singular directions.
+  const Matrix zt = transpose(z);
+  Matrix y = multiply(zt, gaussian_test_matrix(l, dim, seed));
+  for (int it = 0; it < power_iters; ++it) {
+    y = multiply(zt, multiply(z, qr(y).q));
+  }
+  const Matrix q = qr(y).q;  // m x dim
+
+  // Small exact SVD of the projected rows B = Z Q (l x dim): Z ~ U S W^T Q^T,
+  // so the right singular vectors of Z are Q * W.
+  const Matrix b = multiply(z, q);
+  Svd small = svd(b, /*want_left=*/false);
+  Svd out;
+  out.values = std::move(small.values);
+  out.right = multiply(q, small.right);
+  return out;
+}
+
+}  // namespace spca

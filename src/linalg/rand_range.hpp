@@ -1,0 +1,50 @@
+// Seeded randomized range-finder kernels (Halko/Martinsson/Tropp style).
+//
+// The NOC refit only needs the top-k principal axes plus enough spectral
+// mass accounting to build the Q-statistic threshold; a randomized range
+// finder recovers an (k+p)-dimensional dominant subspace of an m x m Gram
+// matrix in O(m^2 (k+p)) instead of the O(m^3) full Jacobi solve, and of
+// an l x m sketch matrix in O(l m (k+p)). All randomness flows from one
+// SplitMix64 stream derived from a caller-supplied seed, so results are
+// bit-identical across runs and thread counts (the Gaussian test matrix is
+// filled serially; the products use the deterministic parallel kernels).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/eigen_sym.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace spca {
+
+/// Fills an `rows x cols` matrix with i.i.d. standard normal entries drawn
+/// from a SplitMix64 stream seeded with `seed` (row-major fill order).
+[[nodiscard]] Matrix gaussian_test_matrix(std::size_t rows, std::size_t cols,
+                                          std::uint64_t seed);
+
+/// Approximate orthonormal basis for the dominant `dim`-dimensional column
+/// space of the symmetric PSD matrix `a`: Y = A*Omega followed by
+/// `power_iters` re-orthonormalized power iterations Y <- A*orth(Y).
+/// Returns an a.rows() x dim orthonormal block.
+[[nodiscard]] Matrix rand_range_basis(const Matrix& a, std::size_t dim,
+                                      int power_iters, std::uint64_t seed);
+
+/// Top-(k+p) eigenpairs of a symmetric PSD matrix via the randomized range
+/// finder: project onto Q = rand_range_basis(a, k+p), diagonalize the small
+/// (k+p)x(k+p) Rayleigh quotient exactly, and lift the eigenvectors back.
+/// Returns min(k+p, m) values (descending) with an m x dim vector block.
+[[nodiscard]] EigenSym rand_eigen_top_k(const Matrix& a, std::size_t k,
+                                        std::size_t oversample,
+                                        int power_iters, std::uint64_t seed);
+
+/// Truncated SVD of a (typically wide) l x m row matrix `z` keeping the top
+/// min(k+p, l, m) right singular pairs: range-find the row space of `z`
+/// through Y = Z^T*Omega with power iterations Y <- Z^T(Z*orth(Y)), then
+/// solve the small l x dim projected problem exactly. `right` has
+/// orthonormal columns (m x dim) and `left` is not materialized.
+[[nodiscard]] Svd rand_svd_rows(const Matrix& z, std::size_t k,
+                                std::size_t oversample, int power_iters,
+                                std::uint64_t seed);
+
+}  // namespace spca

@@ -229,6 +229,7 @@ MonitorDaemonResult MonitorDaemon::run() {
     }
     monitor->end_interval(t, bus);
     ++result.intervals_reported;
+    std::uint64_t seen_reconnects = transport.reconnects();
 
     // Serve sketch pulls until the NOC finishes interval t. Requests for t
     // precede advance(t) on the connection (TCP preserves the NOC's send
@@ -249,6 +250,23 @@ MonitorDaemonResult MonitorDaemon::run() {
         if (waited >= config_.io_timeout) {
           throw TransportError("monitord: no advance from the NOC within "
                                "the I/O timeout");
+        }
+        // A NOC that died after our report was sent never saw it; once the
+        // link is back (a restarted NOC daemon on the same endpoint), the
+        // report must go out again or neither side can make progress. The
+        // NOC deduplicates per-monitor reports, so the retry is safe even
+        // if the original copy also made it through.
+        try {
+          transport.ensure_connected(kNocId);
+          const std::uint64_t rc = transport.reconnects();
+          if (rc != seen_reconnects) {
+            seen_reconnects = rc;
+            monitor->resend_report(bus);
+            log_info("monitord ", config_.monitor_id,
+                     ": NOC link re-established, re-sent interval ", t);
+          }
+        } catch (const TransportError&) {
+          // NOC still restarting; the io_timeout above bounds the retries.
         }
       }
       poll_telemetry();

@@ -1,5 +1,6 @@
 #include "net/noc_daemon.hpp"
 
+#include <map>
 #include <sstream>
 
 #include "common/checkpoint_store.hpp"
@@ -65,12 +66,19 @@ ScenarioRun NocDaemon::run() {
   if (store) {
     if (auto snap = store->load_latest()) {
       try {
-        Noc restored = Noc::restore_state(snap->payload);
+        // The expected-backend check rejects a snapshot whose model backend
+        // differs from the configured one: backend state (warm basis, rsvd
+        // refit counter, fd sketch) is not interchangeable, and silently
+        // refitting cold would break the bit-identical-restore guarantee.
+        Noc restored = Noc::restore_state(
+            snap->payload,
+            parse_model_backend(config_.scenario.model_backend));
         if (restored.num_flows() != scenario.trace.num_flows()) {
           throw ProtocolError("snapshot belongs to a different deployment");
         }
         noc.emplace(std::move(restored));
         start = static_cast<std::int64_t>(snap->seq);
+        restored_.store(true, std::memory_order_relaxed);
         log_info("nocd: restored interval ", start, " from ", snap->path);
       } catch (const Error& e) {
         log_warn("nocd: ignoring snapshot ", snap->path, ": ", e.what());
@@ -139,25 +147,36 @@ ScenarioRun NocDaemon::run() {
 
   ScenarioRun run;
   const auto intervals = static_cast<std::int64_t>(config_.scenario.intervals);
+  const std::int64_t end = config_.last_interval >= 0
+                               ? std::min(intervals, config_.last_interval)
+                               : intervals;
   SPCA_EXPECTS(start <= intervals);
   std::int64_t done_through = start;
-  for (std::int64_t t = start; t < intervals; ++t) {
+  for (std::int64_t t = start; t < end; ++t) {
     current_interval.store(t, std::memory_order_relaxed);
     poll_telemetry();
     // Phase 1: every monitor reports its flows' volumes for interval t.
     // The kAdvance lock-step guarantees no report for t+1 can arrive yet.
-    std::vector<Message> reports;
+    // Keyed by sender: a monitor that reconnected (e.g. after this daemon
+    // restarted from a checkpoint) re-sends its report, and the duplicate
+    // copy is identical, so last-wins per monitor is safe. Reports for
+    // already-finished intervals (stale re-sends) are discarded.
+    std::map<NodeId, Message> reports_by_monitor;
     if (!wait_until(
             [&] {
               for (Message& msg :
                    bus.take(kNocId, MessageType::kVolumeReport)) {
-                reports.push_back(std::move(msg));
+                if (msg.interval < t) continue;  // stale re-send
+                reports_by_monitor[msg.from] = std::move(msg);
               }
-              return reports.size() >= num_monitors;
+              return reports_by_monitor.size() >= num_monitors;
             },
             "volume reports")) {
       break;
     }
+    std::vector<Message> reports;
+    reports.reserve(reports_by_monitor.size());
+    for (auto& [id, msg] : reports_by_monitor) reports.push_back(std::move(msg));
     const Vector x = noc->assemble_volumes(t, reports);
 
     // Phase 2: detection, matching DistributedDetector's warm-up skip.

@@ -35,6 +35,10 @@ struct NocDaemonConfig {
   std::string checkpoint_dir;
   /// Snapshot cadence in intervals (0 = shutdown snapshot only).
   std::int64_t checkpoint_every = 0;
+  /// Stop after completing intervals < last_interval (-1 = run the whole
+  /// scenario). The chaos harness uses this to kill a NOC incarnation
+  /// cleanly mid-run; the shutdown snapshot then seeds the next one.
+  std::int64_t last_interval = -1;
   /// Fault-injection hook: wraps the TCP transport for all Message-level
   /// traffic (reports, sketch pulls, alarms). Control frames stay on the
   /// raw transport. Keeps net/ ignorant of fault/.
@@ -75,10 +79,17 @@ class NocDaemon final {
   /// Connection re-establishments observed so far (valid after start()).
   [[nodiscard]] std::uint64_t reconnects() const noexcept;
 
+  /// True iff the last run() actually resumed from a checkpoint snapshot
+  /// (instead of starting the protocol from interval 0).
+  [[nodiscard]] bool restored_from_checkpoint() const noexcept {
+    return restored_.load(std::memory_order_relaxed);
+  }
+
  private:
   NocDaemonConfig config_;
   TcpTransport transport_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> restored_{false};
   bool started_ = false;
 };
 

@@ -59,6 +59,7 @@ NetScenario build_scenario(const NetScenarioConfig& config) {
   detector.rank_policy = RankPolicy::fixed(3);
   detector.seed = config.seed;
   detector.lazy = true;
+  detector.backend.kind = parse_model_backend(config.model_backend);
   return NetScenario{config, std::move(trace), detector};
 }
 
@@ -108,6 +109,8 @@ void define_scenario_flags(CliFlags& flags) {
   flags.define("monitors", "2", "Number of monitor processes");
   flags.define("seed", "7", "Deterministic world seed");
   flags.define("anomalies", "4", "Anomaly episodes injected after warm-up");
+  flags.define("model-backend", "warm",
+               "NOC model backend: exact | warm | rsvd | fd");
 }
 
 NetScenarioConfig scenario_from_flags(const CliFlags& flags) {
@@ -119,6 +122,8 @@ NetScenarioConfig scenario_from_flags(const CliFlags& flags) {
   config.monitors = static_cast<std::size_t>(flags.integer("monitors"));
   config.seed = static_cast<std::uint64_t>(flags.integer("seed"));
   config.anomalies = static_cast<std::size_t>(flags.integer("anomalies"));
+  config.model_backend = flags.str("model-backend");
+  (void)parse_model_backend(config.model_backend);  // validate early
   return config;
 }
 

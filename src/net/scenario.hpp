@@ -40,6 +40,8 @@ struct NetScenarioConfig {
   std::uint64_t seed = 7;
   /// Labelled anomaly episodes injected after warm-up.
   std::size_t anomalies = 4;
+  /// Model-fitting strategy of the NOC refit: exact | warm | rsvd | fd.
+  std::string model_backend = "warm";
 };
 
 /// A fully materialized scenario.
@@ -81,7 +83,8 @@ struct ScenarioRun {
                                                      nullptr);
 
 /// Declares the shared scenario flags (--topology, --intervals, --window,
-/// --sketch-rows, --monitors, --seed, --anomalies) on `flags`.
+/// --sketch-rows, --monitors, --seed, --anomalies, --model-backend) on
+/// `flags`.
 void define_scenario_flags(CliFlags& flags);
 
 /// Reads the scenario flags back; throws InputError on invalid values.

@@ -133,6 +133,14 @@ const MetricInfo kCatalog[] = {
      "Worker-thread count of the global thread pool."},
     {"spca.par.tasks", MetricKind::kCounter,
      "Chunk tasks executed by the thread pool."},
+    {"spca.pca.backend_sweeps", MetricKind::kCounter,
+     "Jacobi sweeps spent by the model backends across refits."},
+    {"spca.pca.drift_restarts", MetricKind::kCounter,
+     "Warm-backend cold restarts triggered by subspace drift."},
+    {"spca.pca.fd_shrinks", MetricKind::kCounter,
+     "Frequent-Directions sketch shrink operations."},
+    {"spca.pca.refit_seconds", MetricKind::kHistogram,
+     "Model-backend fit time per refit (any backend)."},
     {"spca.sketch.batches", MetricKind::kCounter,
      "Batched update calls into FlowSketch::add_batch."},
     {"spca.sketch.bucket_merges", MetricKind::kCounter,

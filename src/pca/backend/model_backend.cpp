@@ -1,0 +1,68 @@
+#include "pca/backend/model_backend.hpp"
+
+#include "common/error.hpp"
+
+namespace spca {
+
+ModelBackendKind parse_model_backend(std::string_view name) {
+  if (name == "exact") return ModelBackendKind::kExact;
+  if (name == "warm") return ModelBackendKind::kWarm;
+  if (name == "rsvd") return ModelBackendKind::kRsvd;
+  if (name == "fd") return ModelBackendKind::kFd;
+  throw InputError("unknown model backend '" + std::string(name) +
+                   "' (expected exact|warm|rsvd|fd)");
+}
+
+const char* to_string(ModelBackendKind kind) {
+  switch (kind) {
+    case ModelBackendKind::kExact:
+      return "exact";
+    case ModelBackendKind::kWarm:
+      return "warm";
+    case ModelBackendKind::kRsvd:
+      return "rsvd";
+    case ModelBackendKind::kFd:
+      return "fd";
+  }
+  return "unknown";
+}
+
+void write_backend_config(ByteWriter& out, const ModelBackendConfig& config) {
+  out.put(static_cast<std::uint8_t>(config.kind));
+  out.put(config.drift_threshold);
+  out.put(static_cast<std::int32_t>(config.warm_sweeps));
+  out.put(static_cast<std::uint64_t>(config.rank));
+  out.put(static_cast<std::uint64_t>(config.oversample));
+  out.put(static_cast<std::int32_t>(config.power_iters));
+  out.put(static_cast<std::uint64_t>(config.fd_rows));
+  out.put(config.seed);
+}
+
+ModelBackendConfig read_backend_config(ByteReader& in) {
+  ModelBackendConfig config;
+  const auto kind = in.get<std::uint8_t>();
+  if (kind > static_cast<std::uint8_t>(ModelBackendKind::kFd)) {
+    throw ProtocolError("model backend config: unknown backend kind");
+  }
+  config.kind = static_cast<ModelBackendKind>(kind);
+  config.drift_threshold = in.get<double>();
+  config.warm_sweeps = in.get<std::int32_t>();
+  config.rank = static_cast<std::size_t>(in.get<std::uint64_t>());
+  config.oversample = static_cast<std::size_t>(in.get<std::uint64_t>());
+  config.power_iters = in.get<std::int32_t>();
+  config.fd_rows = static_cast<std::size_t>(in.get<std::uint64_t>());
+  config.seed = in.get<std::uint64_t>();
+  if (config.warm_sweeps < 1 || config.rank == 0 || config.fd_rows < 2 ||
+      config.power_iters < 0 || !(config.drift_threshold >= 0.0)) {
+    throw ProtocolError("model backend config: implausible values");
+  }
+  return config;
+}
+
+void ModelBackend::absorb_row(std::span<const double> x) { (void)x; }
+
+void ModelBackend::save_state(ByteWriter& out) const { (void)out; }
+
+void ModelBackend::restore_state(ByteReader& in) { (void)in; }
+
+}  // namespace spca

@@ -20,22 +20,25 @@ PcaModel PcaModel::from_data(const Matrix& x) {
   Svd f = svd(y, /*want_left=*/false);
   model.singular_values_ = std::move(f.values);
   model.components_ = std::move(f.right);
+  model.basis_cols_ = model.dims_;
   return model;
 }
 
 PcaModel PcaModel::from_parts(Vector singular_values, Matrix components,
-                              Vector column_means,
-                              std::uint64_t sample_count) {
+                              Vector column_means, std::uint64_t sample_count,
+                              std::size_t basis_cols) {
   SPCA_EXPECTS(components.rows() == components.cols());
   SPCA_EXPECTS(components.rows() == singular_values.size());
   SPCA_EXPECTS(components.rows() == column_means.size());
   SPCA_EXPECTS(sample_count >= 2);
+  SPCA_EXPECTS(basis_cols <= components.cols());
   PcaModel model;
   model.dims_ = components.rows();
   model.sample_count_ = sample_count;
   model.singular_values_ = std::move(singular_values);
   model.components_ = std::move(components);
   model.means_ = std::move(column_means);
+  model.basis_cols_ = basis_cols == 0 ? model.dims_ : basis_cols;
   return model;
 }
 
@@ -58,6 +61,7 @@ PcaModel PcaModel::from_covariance(const Matrix& centered_gram,
     model.singular_values_[j] = std::sqrt(std::max(e.values[j], 0.0));
   }
   model.components_ = std::move(e.vectors);
+  model.basis_cols_ = model.dims_;
   return model;
 }
 
@@ -72,6 +76,7 @@ PcaModel PcaModel::from_sketch(const Matrix& z_hat, Vector column_means,
   Svd f = svd(z_hat, /*want_left=*/false);
   model.singular_values_ = std::move(f.values);
   model.components_ = std::move(f.right);
+  model.basis_cols_ = model.dims_;
   return model;
 }
 

@@ -25,12 +25,17 @@ class PcaModel final {
   /// columns and takes the SVD of Y (exact Lakhina-style PCA).
   [[nodiscard]] static PcaModel from_data(const Matrix& x);
 
-  /// Reassembles a model from its parts (checkpoint restore). `components`
-  /// must be m x m with orthonormal columns matching `singular_values`.
+  /// Reassembles a model from its parts (checkpoint restore, model
+  /// backends). `components` must be m x m; its first `basis_cols` columns
+  /// are genuine orthonormal principal directions matching
+  /// `singular_values`, any trailing columns are zero padding from a
+  /// truncated (rsvd/fd) fit. `basis_cols == 0` means all m columns are
+  /// genuine (the full-decomposition case).
   [[nodiscard]] static PcaModel from_parts(Vector singular_values,
                                            Matrix components,
                                            Vector column_means,
-                                           std::uint64_t sample_count);
+                                           std::uint64_t sample_count,
+                                           std::size_t basis_cols = 0);
 
   /// Fits from the centered Gram matrix G = Y^T Y (exactly what a streaming
   /// implementation maintains incrementally). The eigenvalues of G are the
@@ -63,10 +68,18 @@ class PcaModel final {
     return singular_values_;
   }
 
-  /// Orthonormal principal components as columns of an m x m matrix.
+  /// Orthonormal principal components as columns of an m x m matrix. Only
+  /// the first basis_cols() columns are guaranteed genuine; truncated
+  /// backends zero-pad the rest.
   [[nodiscard]] const Matrix& components() const noexcept {
     return components_;
   }
+
+  /// Number of genuine (orthonormal, spectrum-backed) leading columns in
+  /// components(). Full decompositions report m; truncated backends report
+  /// the recovered subspace width, and detection ranks must be clamped to
+  /// it.
+  [[nodiscard]] std::size_t basis_cols() const noexcept { return basis_cols_; }
 
   [[nodiscard]] const Vector& column_means() const noexcept { return means_; }
 
@@ -92,6 +105,7 @@ class PcaModel final {
 
  private:
   std::size_t dims_ = 0;
+  std::size_t basis_cols_ = 0;
   std::uint64_t sample_count_ = 0;
   Vector singular_values_;
   Matrix components_;

@@ -1,0 +1,136 @@
+#include "stream/frequent_directions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "linalg/svd.hpp"
+
+namespace spca {
+
+FrequentDirections::FrequentDirections(std::size_t rows, std::size_t dim)
+    : sketch_(rows, dim) {
+  SPCA_EXPECTS(rows >= 2);
+  SPCA_EXPECTS(dim >= 1);
+}
+
+void FrequentDirections::append(std::span<const double> row) {
+  SPCA_EXPECTS(row.size() == sketch_.cols());
+  if (next_row_ == sketch_.rows()) shrink();
+  std::span<double> dest = sketch_.row_span(next_row_);
+  std::copy(row.begin(), row.end(), dest.begin());
+  ++next_row_;
+  ++rows_absorbed_;
+}
+
+void FrequentDirections::scale(double factor) {
+  SPCA_EXPECTS(factor >= 0.0 && factor <= 1.0);
+  if (factor == 1.0) return;
+  for (std::size_t r = 0; r < next_row_; ++r) {
+    for (std::size_t c = 0; c < sketch_.cols(); ++c) {
+      sketch_(r, c) *= factor;
+    }
+  }
+  // The removed mass and deflation track squared mass of the *decayed*
+  // stream, so they age at the same rate as the represented rows.
+  removed_mass_ *= factor * factor;
+  deflation_ *= factor * factor;
+}
+
+void FrequentDirections::shrink() {
+  // B = U S V^T; replacing B with sqrt(max(S^2 - delta, 0)) V^T where delta
+  // is the (l/2+1)-th squared singular value frees half the rows while
+  // removing at most delta of covariance mass along any direction.
+  const Svd s = svd(sketch_, /*want_left=*/false);
+  const std::size_t half = sketch_.rows() / 2;
+  const std::size_t kept = std::min(half, s.values.size());
+  const double delta =
+      half < s.values.size() ? s.values[half] * s.values[half] : 0.0;
+
+  double before = 0.0;
+  for (std::size_t j = 0; j < s.values.size(); ++j) {
+    before += s.values[j] * s.values[j];
+  }
+  double after = 0.0;
+  Matrix fresh(sketch_.rows(), sketch_.cols());
+  for (std::size_t j = 0; j < kept; ++j) {
+    const double sq = s.values[j] * s.values[j] - delta;
+    if (sq <= 0.0) continue;
+    const double scale = std::sqrt(sq);
+    after += sq;
+    for (std::size_t c = 0; c < sketch_.cols(); ++c) {
+      fresh(j, c) = scale * s.right(c, j);
+    }
+  }
+  sketch_ = std::move(fresh);
+  next_row_ = kept;
+  removed_mass_ += before - after;
+  deflation_ += delta;
+  ++shrinks_;
+}
+
+void FrequentDirections::save_state(ByteWriter& writer) const {
+  writer.put(static_cast<std::uint64_t>(sketch_.rows()));
+  writer.put(static_cast<std::uint64_t>(sketch_.cols()));
+  writer.put(static_cast<std::uint64_t>(next_row_));
+  writer.put(rows_absorbed_);
+  writer.put(shrinks_);
+  writer.put(removed_mass_);
+  writer.put(deflation_);
+  for (std::size_t r = 0; r < sketch_.rows(); ++r) {
+    for (std::size_t c = 0; c < sketch_.cols(); ++c) {
+      writer.put(sketch_(r, c));
+    }
+  }
+}
+
+FrequentDirections FrequentDirections::restore_state(ByteReader& reader) {
+  const auto rows = reader.get<std::uint64_t>();
+  const auto dim = reader.get<std::uint64_t>();
+  const auto next_row = reader.get<std::uint64_t>();
+  if (rows < 2 || dim < 1 || rows > (1u << 20) || dim > (1u << 20)) {
+    throw ProtocolError("FrequentDirections: implausible sketch shape");
+  }
+  if (next_row > rows) {
+    throw ProtocolError("FrequentDirections: active row count out of range");
+  }
+  FrequentDirections fd(static_cast<std::size_t>(rows),
+                        static_cast<std::size_t>(dim));
+  fd.next_row_ = static_cast<std::size_t>(next_row);
+  fd.rows_absorbed_ = reader.get<std::uint64_t>();
+  fd.shrinks_ = reader.get<std::uint64_t>();
+  fd.removed_mass_ = reader.get<double>();
+  if (!std::isfinite(fd.removed_mass_) || fd.removed_mass_ < 0.0) {
+    throw ProtocolError("FrequentDirections: invalid removed mass");
+  }
+  fd.deflation_ = reader.get<double>();
+  if (!std::isfinite(fd.deflation_) || fd.deflation_ < 0.0) {
+    throw ProtocolError("FrequentDirections: invalid deflation");
+  }
+  for (std::size_t r = 0; r < fd.sketch_.rows(); ++r) {
+    for (std::size_t c = 0; c < fd.sketch_.cols(); ++c) {
+      fd.sketch_(r, c) = reader.get<double>();
+    }
+  }
+  return fd;
+}
+
+bool FrequentDirections::operator==(const FrequentDirections& other) const {
+  if (sketch_.rows() != other.sketch_.rows() ||
+      sketch_.cols() != other.sketch_.cols() ||
+      next_row_ != other.next_row_ ||
+      rows_absorbed_ != other.rows_absorbed_ || shrinks_ != other.shrinks_ ||
+      removed_mass_ != other.removed_mass_ ||
+      deflation_ != other.deflation_) {
+    return false;
+  }
+  for (std::size_t r = 0; r < sketch_.rows(); ++r) {
+    for (std::size_t c = 0; c < sketch_.cols(); ++c) {
+      if (sketch_(r, c) != other.sketch_(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace spca

@@ -1,0 +1,77 @@
+// Frequent-Directions matrix sketch (Liberty 2013; Ghashami et al. 2016).
+//
+// Maintains an l x m row sketch B of a stream of m-dimensional rows such
+// that 0 <= x^T(A^T A - B^T B)x <= 2 |A|_F^2 / l for every unit x — the
+// deterministic matrix analogue of the Misra-Gries frequent-items summary.
+// The NOC model backend feeds centered interval rows into it and refits
+// from B alone, giving O(l m) memory independent of the window length and
+// an O(l^2 m)-bounded shrink cost amortized over l/2 appends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "linalg/matrix.hpp"
+
+namespace spca {
+
+/// Streaming Frequent-Directions sketch over rows of fixed dimension.
+class FrequentDirections final {
+ public:
+  /// `rows` is the sketch size l (>= 2, even values use the full l/2 shrink
+  /// headroom); `dim` is the row dimension m.
+  FrequentDirections(std::size_t rows, std::size_t dim);
+
+  /// Appends one row; shrinks when the sketch is full.
+  void append(std::span<const double> row);
+
+  /// Multiplies every active row by `factor` in [0, 1] (and the removed
+  /// mass by `factor^2`): exponential forgetting, so B^T B tracks an
+  /// exponentially weighted covariance instead of the whole stream.
+  void scale(double factor);
+
+  /// The l x m sketch matrix; rows at index >= active_rows() are zero.
+  [[nodiscard]] const Matrix& sketch() const noexcept { return sketch_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return sketch_.rows(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return sketch_.cols(); }
+  /// Rows currently carrying data (the next append writes here).
+  [[nodiscard]] std::size_t active_rows() const noexcept { return next_row_; }
+
+  /// Rows ever absorbed and shrink cycles performed.
+  [[nodiscard]] std::uint64_t rows_absorbed() const noexcept {
+    return rows_absorbed_;
+  }
+  [[nodiscard]] std::uint64_t shrinks() const noexcept { return shrinks_; }
+
+  /// Squared Frobenius mass removed by shrinks so far: |A|_F^2 equals
+  /// |B|_F^2 + removed_mass() exactly, which the Q-statistic tail estimate
+  /// relies on.
+  [[nodiscard]] double removed_mass() const noexcept { return removed_mass_; }
+
+  /// Cumulative shrink deflation Delta = sum of the per-shrink delta_s. The
+  /// FD guarantee sandwiches the true covariance as
+  /// B^T B <= A^T A <= B^T B + Delta I, so Delta/2 added back to every
+  /// squared singular value is the midpoint covariance estimate.
+  [[nodiscard]] double deflation() const noexcept { return deflation_; }
+
+  /// Checkpoint support: byte-exact state round trip.
+  void save_state(ByteWriter& writer) const;
+  [[nodiscard]] static FrequentDirections restore_state(ByteReader& reader);
+
+  [[nodiscard]] bool operator==(const FrequentDirections& other) const;
+
+ private:
+  void shrink();
+
+  Matrix sketch_;
+  std::size_t next_row_ = 0;
+  std::uint64_t rows_absorbed_ = 0;
+  std::uint64_t shrinks_ = 0;
+  double removed_mass_ = 0.0;
+  double deflation_ = 0.0;
+};
+
+}  // namespace spca

@@ -118,6 +118,14 @@ TEST(Chaos, ValidationRejectsInfeasibleSchedules) {
     config.faults = parse_fault_spec("reset=1@100");  // past scenario end
     EXPECT_THROW((void)run_chaos(config), InputError);
   }
+  {
+    ChaosConfig config = base_config();
+    config.tcp = true;
+    config.checkpoint_dir = "/tmp/never-created";
+    config.crash_kills = true;  // NOC kills must be clean
+    config.faults = parse_fault_spec("kill=0@18");
+    EXPECT_THROW((void)run_chaos(config), InputError);
+  }
 }
 
 TEST(Chaos, TcpKillRestartsFromShutdownCheckpoint) {
@@ -142,6 +150,26 @@ TEST(Chaos, TcpCrashKillRestoresPeriodicSnapshotAndAbsorbsTail) {
   config.checkpoint_every = 6;
   config.crash_kills = true;  // no shutdown snapshot: restore 18, absorb 3
   config.faults = parse_fault_spec("kill=2@21,seed=6");
+  const ChaosResult result = run_chaos(config);
+  EXPECT_TRUE(result.match);
+  EXPECT_EQ(result.kills, 1u);
+  EXPECT_TRUE(result.restored_from_checkpoint);
+}
+
+TEST(Chaos, TcpNocKillUnderWarmBackendReconverges) {
+  // Kill the NOC itself mid-run while it runs the default warm backend —
+  // past the window, in the regime where anomalies trigger drift-driven
+  // cold restarts — and restore it from its checkpoint. The stitched
+  // trajectory must be bit-identical to the fault-free reference: the warm
+  // basis and drift bookkeeping ride in the snapshot, and the monitors
+  // re-send their pending reports to the reborn NOC.
+  const TempDir dir("nockill");
+  ChaosConfig config = base_config();
+  config.tcp = true;
+  config.checkpoint_dir = dir.str();
+  config.checkpoint_every = 6;
+  config.scenario.model_backend = "warm";
+  config.faults = parse_fault_spec("kill=0@20,seed=9");
   const ChaosResult result = run_chaos(config);
   EXPECT_TRUE(result.match);
   EXPECT_EQ(result.kills, 1u);

@@ -183,6 +183,109 @@ TEST(NodeCheckpoint, DeploymentSnapshotMidRunContinuesBitIdentically) {
   }
 }
 
+class NodeCheckpointBackend
+    : public ::testing::TestWithParam<ModelBackendKind> {};
+
+TEST_P(NodeCheckpointBackend, DeploymentSnapshotContinuesBitIdentically) {
+  // Same shape as the exact-path snapshot test above, but per model
+  // backend: whatever inter-refit state the backend carries (warm basis,
+  // rsvd refit counter, fd sketch) must survive the round trip so the
+  // continued run stays bit-identical.
+  NetScenarioConfig scenario_config = small_scenario();
+  scenario_config.model_backend = to_string(GetParam());
+  const NetScenario scenario = build_scenario(scenario_config);
+  const auto intervals = static_cast<std::int64_t>(scenario.config.intervals);
+  const std::int64_t snap_at = 25;
+
+  std::vector<double> ref_distances;
+  std::vector<std::int64_t> ref_alarms;
+  {
+    SimNetwork net;
+    Noc noc(scenario.trace.num_flows(),
+            noc_config_from(scenario.detector, /*host_sketches=*/false));
+    std::vector<LocalMonitor> monitors = build_monitors(scenario);
+    for (std::int64_t t = 0; t < intervals; ++t) {
+      const auto det = run_interval(scenario, noc, monitors, net, t);
+      if (!det) continue;
+      ref_distances.push_back(det->distance);
+      if (det->alarm) ref_alarms.push_back(t);
+    }
+  }
+
+  std::vector<double> distances;
+  std::vector<std::int64_t> alarms;
+  {
+    SimNetwork net;
+    Noc noc(scenario.trace.num_flows(),
+            noc_config_from(scenario.detector, /*host_sketches=*/false));
+    std::vector<LocalMonitor> monitors = build_monitors(scenario);
+    for (std::int64_t t = 0; t < snap_at; ++t) {
+      const auto det = run_interval(scenario, noc, monitors, net, t);
+      if (!det) continue;
+      distances.push_back(det->distance);
+      if (det->alarm) alarms.push_back(t);
+    }
+
+    Noc restored_noc = Noc::restore_state(noc.save_state(), GetParam());
+    EXPECT_EQ(restored_noc.backend().kind(), GetParam());
+    std::vector<LocalMonitor> restored_monitors;
+    for (const LocalMonitor& monitor : monitors) {
+      restored_monitors.push_back(
+          LocalMonitor::restore_state(monitor.save_state()));
+    }
+    SimNetwork fresh_net;
+    for (std::int64_t t = snap_at; t < intervals; ++t) {
+      const auto det = run_interval(scenario, restored_noc,
+                                    restored_monitors, fresh_net, t);
+      if (!det) continue;
+      distances.push_back(det->distance);
+      if (det->alarm) alarms.push_back(t);
+    }
+  }
+
+  EXPECT_EQ(alarms, ref_alarms);
+  ASSERT_EQ(distances.size(), ref_distances.size());
+  for (std::size_t i = 0; i < ref_distances.size(); ++i) {
+    EXPECT_EQ(distances[i], ref_distances[i]) << "detection index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, NodeCheckpointBackend,
+                         ::testing::Values(ModelBackendKind::kExact,
+                                           ModelBackendKind::kWarm,
+                                           ModelBackendKind::kRsvd,
+                                           ModelBackendKind::kFd),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(NodeCheckpoint, CrossBackendRestoreIsRejected) {
+  // A blob written under one backend must never be absorbed by a node
+  // configured for another: the inter-refit state is kind-specific, and a
+  // silent mismatch would corrupt the trajectory instead of failing fast.
+  NetScenarioConfig scenario_config = small_scenario();
+  scenario_config.model_backend = "warm";
+  const NetScenario scenario = build_scenario(scenario_config);
+  SimNetwork net;
+  Noc noc(scenario.trace.num_flows(),
+          noc_config_from(scenario.detector, /*host_sketches=*/false));
+  std::vector<LocalMonitor> monitors = build_monitors(scenario);
+  for (std::int64_t t = 0; t < 20; ++t) {
+    (void)run_interval(scenario, noc, monitors, net, t);
+  }
+  const std::vector<std::byte> blob = noc.save_state();
+
+  // Matching expectation restores fine; every other kind is rejected.
+  EXPECT_NO_THROW((void)Noc::restore_state(blob, ModelBackendKind::kWarm));
+  EXPECT_NO_THROW((void)Noc::restore_state(blob));
+  for (const ModelBackendKind other :
+       {ModelBackendKind::kExact, ModelBackendKind::kRsvd,
+        ModelBackendKind::kFd}) {
+    EXPECT_THROW((void)Noc::restore_state(blob, other), ProtocolError)
+        << to_string(other);
+  }
+}
+
 TEST(NodeCheckpoint, MonitorBlobCorruptionIsRejectedCleanly) {
   const NetScenario scenario = build_scenario(small_scenario());
   const SketchDetectorConfig& det = scenario.detector;

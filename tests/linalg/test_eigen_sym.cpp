@@ -144,6 +144,85 @@ TEST(EigenSymWarm, VectorsStayOrthonormal) {
   expect_orthonormal(warm.vectors, 1e-11);
 }
 
+TEST(EigenSymWarm, DuplicateEigenvaluesMatchColdSolver) {
+  // Clustered spectra are the warm path's worst case: the eigenbasis inside
+  // a duplicate cluster is arbitrary, so the rotated problem B = V^T A V
+  // can stay far from diagonal. The answer must still match cold.
+  const Matrix q = eigen_symmetric(random_symmetric(6, 71)).vectors;
+  const Matrix a = multiply(
+      multiply(q, Matrix::diagonal(Vector{5.0, 5.0, 5.0, 2.0, 2.0, 1.0})),
+      transpose(q));
+  Matrix perturbed = a;
+  Xoshiro256 gen(72);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i; j < 6; ++j) {
+      perturbed(i, j) += 1e-4 * standard_normal(gen);
+      perturbed(j, i) = perturbed(i, j);
+    }
+  }
+  const Matrix warm_basis = eigen_symmetric(perturbed).vectors;
+  const EigenSym cold = eigen_symmetric(a);
+  const EigenSym warm = eigen_symmetric_warm(a, warm_basis);
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_NEAR(warm.values[k], cold.values[k], 1e-10);
+  }
+  expect_orthonormal(warm.vectors, 1e-11);
+  const Matrix reconstructed =
+      multiply(multiply(warm.vectors, Matrix::diagonal(warm.values)),
+               transpose(warm.vectors));
+  EXPECT_LT(max_abs_diff(a, reconstructed), 1e-10);
+}
+
+TEST(EigenSymWarm, RankDeficientGramMatchesColdSolver) {
+  // Rank-3 Gram matrix: half the spectrum is exactly zero, another
+  // degenerate cluster the warm solve must survive.
+  Xoshiro256 gen(73);
+  Matrix b(8, 6);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      b(i, j) = standard_normal(gen);
+      b(i, j + 3) = b(i, j);  // duplicated columns: rank 3
+    }
+  }
+  const Matrix a = gram(b);
+  Matrix nudged = a;
+  for (std::size_t i = 0; i < 6; ++i) nudged(i, i) += 1e-5;
+  const Matrix warm_basis = eigen_symmetric(nudged).vectors;
+  const EigenSym cold = eigen_symmetric(a);
+  const EigenSym warm = eigen_symmetric_warm(a, warm_basis);
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_NEAR(warm.values[k], cold.values[k],
+                1e-9 * std::max(1.0, cold.values[0]));
+  }
+  for (std::size_t k = 3; k < 6; ++k) {
+    EXPECT_NEAR(warm.values[k], 0.0, 1e-9 * cold.values[0]);
+  }
+  expect_orthonormal(warm.vectors, 1e-11);
+}
+
+TEST(EigenSymWarm, ExhaustedWarmBudgetFallsBackToCold) {
+  // A warm basis unrelated to the input leaves the rotated problem dense;
+  // with a single-sweep budget the inner solve must give up, report the
+  // fallback, and reproduce the cold answer.
+  const Matrix a = gram(random_symmetric(10, 74));
+  const Matrix unrelated = eigen_symmetric(random_symmetric(10, 75)).vectors;
+  const EigenSym warm = eigen_symmetric_warm(a, unrelated, 64, 1);
+  EXPECT_TRUE(warm.warm_fallback);
+  const EigenSym cold = eigen_symmetric(a);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(warm.values[k], cold.values[k]) << "value " << k;
+  }
+  EXPECT_EQ(max_abs_diff(warm.vectors, cold.vectors), 0.0);
+}
+
+TEST(EigenSymWarm, GoodBasisDoesNotFallBack) {
+  const Matrix a = gram(random_symmetric(10, 76));
+  const Matrix basis = eigen_symmetric(a).vectors;
+  const EigenSym warm = eigen_symmetric_warm(a, basis);
+  EXPECT_FALSE(warm.warm_fallback);
+  EXPECT_LE(warm.sweeps, 2);
+}
+
 TEST(EigenSymWarm, RejectsWrongShapeBasis) {
   const Matrix a = random_symmetric(5, 58);
   EXPECT_THROW((void)eigen_symmetric_warm(a, Matrix(4, 4)),

@@ -1,0 +1,107 @@
+#include "linalg/rand_range.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+/// PSD test matrix with a geometrically decaying spectrum — the regime the
+/// range finder is built for.
+Matrix decaying_gram(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Xoshiro256 gen(seed);
+  Matrix b(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      b(i, j) = standard_normal(gen) * std::pow(0.6, static_cast<double>(j));
+    }
+  }
+  return gram(b);
+}
+
+TEST(RandRange, GaussianTestMatrixIsSeedDeterministic) {
+  const Matrix a = gaussian_test_matrix(7, 5, 11);
+  const Matrix b = gaussian_test_matrix(7, 5, 11);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  const Matrix c = gaussian_test_matrix(7, 5, 12);
+  EXPECT_GT(max_abs_diff(a, c), 0.0);
+}
+
+TEST(RandRange, GaussianTestMatrixMomentsAreStandardNormal) {
+  const Matrix a = gaussian_test_matrix(200, 50, 13);
+  double sum = 0.0, sum2 = 0.0;
+  const auto count = static_cast<double>(a.rows() * a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      sum += a(i, j);
+      sum2 += a(i, j) * a(i, j);
+    }
+  }
+  EXPECT_NEAR(sum / count, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / count, 1.0, 0.05);
+}
+
+TEST(RandRange, RangeBasisIsOrthonormal) {
+  const Matrix a = decaying_gram(40, 10, 14);
+  const Matrix q = rand_range_basis(a, 6, 2, 15);
+  ASSERT_EQ(q.rows(), 10u);
+  ASSERT_EQ(q.cols(), 6u);
+  const Matrix qtq = multiply(transpose(q), q);
+  EXPECT_LT(max_abs_diff(qtq, Matrix::identity(6)), 1e-10);
+}
+
+TEST(RandRange, TopKMatchesJacobiLeadingPairs) {
+  const Matrix a = decaying_gram(40, 10, 16);
+  const EigenSym full = eigen_symmetric(a);
+  const EigenSym top = rand_eigen_top_k(a, 4, 4, 2, 17);
+  ASSERT_GE(top.values.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(top.values[j], full.values[j], 1e-6 * full.values[0])
+        << "pair " << j;
+    double dot = 0.0;
+    for (std::size_t i = 0; i < 10; ++i) {
+      dot += top.vectors(i, j) * full.vectors(i, j);
+    }
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-5) << "pair " << j;
+  }
+}
+
+TEST(RandRange, TopKIsSeedDeterministic) {
+  const Matrix a = decaying_gram(40, 12, 18);
+  const EigenSym once = rand_eigen_top_k(a, 5, 3, 2, 19);
+  const EigenSym twice = rand_eigen_top_k(a, 5, 3, 2, 19);
+  for (std::size_t j = 0; j < once.values.size(); ++j) {
+    EXPECT_EQ(once.values[j], twice.values[j]) << "value " << j;
+  }
+  EXPECT_EQ(max_abs_diff(once.vectors, twice.vectors), 0.0);
+}
+
+TEST(RandRange, SvdRowsMatchesExactSvd) {
+  // A wide l x m sketch-shaped matrix with decaying row space.
+  Xoshiro256 gen(20);
+  Matrix z(12, 30);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 30; ++j) {
+      z(i, j) = standard_normal(gen) * std::pow(0.5, static_cast<double>(i));
+    }
+  }
+  const Svd exact = svd(z, /*want_left=*/false);
+  const Svd approx = rand_svd_rows(z, 4, 4, 2, 21);
+  ASSERT_GE(approx.values.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(approx.values[j], exact.values[j], 1e-6 * exact.values[0])
+        << "pair " << j;
+    double dot = 0.0;
+    for (std::size_t i = 0; i < 30; ++i) {
+      dot += approx.right(i, j) * exact.right(i, j);
+    }
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-5) << "pair " << j;
+  }
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,258 @@
+#include "pca/backend/model_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "obs/metrics.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+/// A centered Gram matrix with a decaying spectrum, slightly rotated per
+/// step — the sliding-window refit sequence the backends see in production.
+Matrix drifting_gram(std::size_t m, std::uint64_t seed, double noise) {
+  Xoshiro256 gen(seed);
+  Matrix b(4 * m, m);
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      b(i, j) = standard_normal(gen) *
+                std::pow(0.7, static_cast<double>(j)) *
+                (1.0 + noise * standard_normal(gen));
+    }
+  }
+  return gram(b);
+}
+
+Vector zero_means(std::size_t m) { return Vector(m); }
+
+ModelBackendConfig config_of(ModelBackendKind kind) {
+  ModelBackendConfig config;
+  config.kind = kind;
+  return config;
+}
+
+TEST(ModelBackend, ParseAndNameRoundTrip) {
+  for (const ModelBackendKind kind :
+       {ModelBackendKind::kExact, ModelBackendKind::kWarm,
+        ModelBackendKind::kRsvd, ModelBackendKind::kFd}) {
+    EXPECT_EQ(parse_model_backend(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)parse_model_backend("eigen"), InputError);
+  EXPECT_THROW((void)parse_model_backend(""), InputError);
+}
+
+TEST(ModelBackend, ConfigCodecRoundTrip) {
+  ModelBackendConfig config;
+  config.kind = ModelBackendKind::kRsvd;
+  config.drift_threshold = 0.125;
+  config.warm_sweeps = 5;
+  config.rank = 9;
+  config.oversample = 3;
+  config.power_iters = 1;
+  config.fd_rows = 33;
+  config.seed = 777;
+  ByteWriter writer;
+  write_backend_config(writer, config);
+  const std::vector<std::byte> blob = std::move(writer).take();
+  ByteReader reader(blob);
+  const ModelBackendConfig back = read_backend_config(reader);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(back.kind, config.kind);
+  EXPECT_EQ(back.drift_threshold, config.drift_threshold);
+  EXPECT_EQ(back.warm_sweeps, config.warm_sweeps);
+  EXPECT_EQ(back.rank, config.rank);
+  EXPECT_EQ(back.oversample, config.oversample);
+  EXPECT_EQ(back.power_iters, config.power_iters);
+  EXPECT_EQ(back.fd_rows, config.fd_rows);
+  EXPECT_EQ(back.seed, config.seed);
+}
+
+TEST(ModelBackend, WarmMatchesExactSpectrumAcrossRefits) {
+  const std::size_t m = 10;
+  const auto exact =
+      make_model_backend(config_of(ModelBackendKind::kExact), m);
+  const auto warm = make_model_backend(config_of(ModelBackendKind::kWarm), m);
+  for (std::uint64_t step = 0; step < 5; ++step) {
+    const Matrix g = drifting_gram(m, 90 + step, 0.02);
+    const PcaModel a = exact->fit_gram(g, zero_means(m), 40);
+    const PcaModel b = warm->fit_gram(g, zero_means(m), 40);
+    ASSERT_EQ(a.singular_values().size(), b.singular_values().size());
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_NEAR(a.singular_values()[j], b.singular_values()[j],
+                  1e-9 * std::max(1.0, a.singular_values()[0]))
+          << "step " << step << " value " << j;
+    }
+  }
+}
+
+TEST(ModelBackend, WarmDriftRestartIncrementsMetricAndStaysCorrect) {
+  Counter& restarts =
+      MetricsRegistry::global().counter("spca.pca.drift_restarts");
+  const std::size_t m = 8;
+  const auto warm = make_model_backend(config_of(ModelBackendKind::kWarm), m);
+  (void)warm->fit_gram(drifting_gram(m, 95, 0.0), zero_means(m), 40);
+  const std::uint64_t before = restarts.value();
+  // A Gram matrix whose eigenbasis is a random rotation of the previous
+  // one swings the subspace far past the drift threshold: the next refit
+  // must restart cold and still be right. (Two independent drifting_gram
+  // draws share near-axis-aligned eigenbases, so they would NOT drift.)
+  Xoshiro256 rot_gen(4242);
+  Matrix skew(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      skew(i, j) = skew(j, i) = standard_normal(rot_gen);
+    }
+  }
+  const Matrix q = eigen_symmetric(skew).vectors;
+  Vector spectrum(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    spectrum[j] = std::pow(0.5, static_cast<double>(j)) * 100.0;
+  }
+  const Matrix g =
+      multiply(multiply(q, Matrix::diagonal(spectrum)), transpose(q));
+  const PcaModel after = warm->fit_gram(g, zero_means(m), 40);
+  EXPECT_GE(restarts.value(), before + 1);
+  const auto exact =
+      make_model_backend(config_of(ModelBackendKind::kExact), m);
+  const PcaModel reference = exact->fit_gram(g, zero_means(m), 40);
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_NEAR(after.singular_values()[j], reference.singular_values()[j],
+                1e-9 * std::max(1.0, reference.singular_values()[0]));
+  }
+}
+
+TEST(ModelBackend, RsvdIsDeterministicAcrossInstances) {
+  const std::size_t m = 12;
+  const auto one = make_model_backend(config_of(ModelBackendKind::kRsvd), m);
+  const auto two = make_model_backend(config_of(ModelBackendKind::kRsvd), m);
+  for (std::uint64_t step = 0; step < 3; ++step) {
+    const Matrix g = drifting_gram(m, 100 + step, 0.02);
+    const PcaModel a = one->fit_gram(g, zero_means(m), 40);
+    const PcaModel b = two->fit_gram(g, zero_means(m), 40);
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(a.singular_values()[j], b.singular_values()[j])
+          << "step " << step << " value " << j;
+    }
+    EXPECT_EQ(max_abs_diff(a.components(), b.components()), 0.0);
+  }
+}
+
+TEST(ModelBackend, RsvdRecoversLeadingSpectrum) {
+  const std::size_t m = 12;
+  const Matrix g = drifting_gram(m, 110, 0.0);
+  const auto rsvd = make_model_backend(config_of(ModelBackendKind::kRsvd), m);
+  const auto exact =
+      make_model_backend(config_of(ModelBackendKind::kExact), m);
+  const PcaModel approx = rsvd->fit_gram(g, zero_means(m), 40);
+  const PcaModel reference = exact->fit_gram(g, zero_means(m), 40);
+  EXPECT_GT(approx.basis_cols(), 0u);
+  EXPECT_LE(approx.basis_cols(), m);
+  for (std::size_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(approx.singular_values()[j], reference.singular_values()[j],
+                1e-5 * reference.singular_values()[0])
+        << "value " << j;
+  }
+}
+
+TEST(ModelBackend, TruncatedBackendsConserveSpectralMass) {
+  // The synthesized tail must conserve total squared mass (phi_1 of the
+  // Q-statistic) relative to what the backend actually absorbed.
+  const std::size_t m = 12;
+  const Matrix g = drifting_gram(m, 115, 0.0);
+  const auto exact =
+      make_model_backend(config_of(ModelBackendKind::kExact), m);
+  const auto rsvd = make_model_backend(config_of(ModelBackendKind::kRsvd), m);
+  const PcaModel reference = exact->fit_gram(g, zero_means(m), 40);
+  const PcaModel approx = rsvd->fit_gram(g, zero_means(m), 40);
+  double exact_mass = 0.0, approx_mass = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    exact_mass += reference.singular_values()[j] *
+                  reference.singular_values()[j];
+    approx_mass += approx.singular_values()[j] * approx.singular_values()[j];
+  }
+  EXPECT_NEAR(approx_mass, exact_mass, 1e-6 * exact_mass);
+}
+
+TEST(ModelBackend, FdAbsorbsRowsAndFindsDominantDirection) {
+  const std::size_t m = 6;
+  ModelBackendConfig config = config_of(ModelBackendKind::kFd);
+  config.fd_rows = 4;
+  const auto fd = make_model_backend(config, m, /*window=*/32);
+  EXPECT_TRUE(fd->wants_rows());
+  Xoshiro256 gen(120);
+  std::vector<double> row(m);
+  for (int i = 0; i < 200; ++i) {
+    const double signal = 3.0 * standard_normal(gen);
+    for (std::size_t j = 0; j < m; ++j) {
+      row[j] = (j == 0 ? signal : 0.0) + 0.01 * standard_normal(gen);
+    }
+    fd->absorb_row(row);
+  }
+  const PcaModel model = fd->fit_rows(Matrix(1, m), zero_means(m), 32);
+  ASSERT_TRUE(model.fitted());
+  // Dominant component is e0 up to sign.
+  EXPECT_GT(std::abs(model.components()(0, 0)), 0.99);
+  EXPECT_GT(model.singular_values()[0], model.singular_values()[1] * 5.0);
+}
+
+class BackendStateRoundTrip
+    : public ::testing::TestWithParam<ModelBackendKind> {};
+
+TEST_P(BackendStateRoundTrip, SaveRestoreContinuesBitIdentically) {
+  const std::size_t m = 9;
+  ModelBackendConfig config = config_of(GetParam());
+  config.fd_rows = 6;
+  const auto original = make_model_backend(config, m, /*window=*/20);
+  std::vector<double> row(m);
+  const auto step = [&](ModelBackend& backend, std::uint64_t seed) {
+    if (backend.wants_rows()) {
+      Xoshiro256 rows_gen(seed);
+      for (int i = 0; i < 12; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+          row[j] = standard_normal(rows_gen);
+        }
+        backend.absorb_row(row);
+      }
+    }
+    return backend.fit_gram(drifting_gram(m, seed, 0.02), zero_means(m), 20);
+  };
+  (void)step(*original, 1);
+  (void)step(*original, 2);
+
+  ByteWriter writer;
+  original->save_state(writer);
+  const std::vector<std::byte> blob = std::move(writer).take();
+  const auto restored = make_model_backend(config, m, /*window=*/20);
+  ByteReader reader(blob);
+  restored->restore_state(reader);
+  EXPECT_TRUE(reader.exhausted());
+
+  const PcaModel a = step(*original, 3);
+  const PcaModel b = step(*restored, 3);
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_EQ(a.singular_values()[j], b.singular_values()[j]) << "value " << j;
+  }
+  EXPECT_EQ(max_abs_diff(a.components(), b.components()), 0.0);
+  EXPECT_EQ(a.basis_cols(), b.basis_cols());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BackendStateRoundTrip,
+                         ::testing::Values(ModelBackendKind::kExact,
+                                           ModelBackendKind::kWarm,
+                                           ModelBackendKind::kRsvd,
+                                           ModelBackendKind::kFd),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,192 @@
+#include "stream/frequent_directions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+Matrix random_rows(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Xoshiro256 gen(seed);
+  Matrix a(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) a(i, j) = standard_normal(gen);
+  }
+  return a;
+}
+
+FrequentDirections feed(const Matrix& a, std::size_t sketch_rows) {
+  FrequentDirections fd(sketch_rows, a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) fd.append(a.row_span(i));
+  return fd;
+}
+
+double frob2(const Matrix& a) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += a(i, j) * a(i, j);
+  }
+  return sum;
+}
+
+double quad_form(const Matrix& a, const Vector& x) {
+  // x^T (A^T A) x = |A x|^2.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double dot = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) dot += a(i, j) * x[j];
+    sum += dot * dot;
+  }
+  return sum;
+}
+
+TEST(FrequentDirections, CountersAndShape) {
+  const Matrix a = random_rows(50, 6, 30);
+  const FrequentDirections fd = feed(a, 8);
+  EXPECT_EQ(fd.rows(), 8u);
+  EXPECT_EQ(fd.dim(), 6u);
+  EXPECT_EQ(fd.rows_absorbed(), 50u);
+  EXPECT_GT(fd.shrinks(), 0u);
+  EXPECT_LE(fd.active_rows(), fd.rows());
+}
+
+TEST(FrequentDirections, MassConservationIsExact) {
+  const Matrix a = random_rows(64, 5, 31);
+  const FrequentDirections fd = feed(a, 6);
+  EXPECT_NEAR(frob2(a), frob2(fd.sketch()) + fd.removed_mass(),
+              1e-9 * frob2(a));
+}
+
+TEST(FrequentDirections, CovarianceSandwichHolds) {
+  // The FD guarantee: 0 <= x^T(A^T A - B^T B)x <= Delta for every unit x,
+  // with Delta = deflation() the cumulative shrink subtraction.
+  const Matrix a = random_rows(80, 7, 32);
+  const FrequentDirections fd = feed(a, 8);
+  EXPECT_GT(fd.deflation(), 0.0);
+  // Theory bound on the deflation itself.
+  EXPECT_LE(fd.deflation(), 2.0 * frob2(a) / 8.0);
+  Xoshiro256 gen(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector x(7);
+    double norm2 = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) {
+      x[j] = standard_normal(gen);
+      norm2 += x[j] * x[j];
+    }
+    for (std::size_t j = 0; j < 7; ++j) x[j] /= std::sqrt(norm2);
+    const double gap = quad_form(a, x) - quad_form(fd.sketch(), x);
+    EXPECT_GE(gap, -1e-8) << "trial " << trial;
+    EXPECT_LE(gap, fd.deflation() + 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(FrequentDirections, ScaleAgesSketchAndRemovedMass) {
+  const Matrix a = random_rows(40, 4, 34);
+  FrequentDirections fd = feed(a, 6);
+  const FrequentDirections before = fd;
+  fd.scale(0.5);
+  EXPECT_EQ(fd.removed_mass(), before.removed_mass() * 0.25);
+  EXPECT_EQ(fd.deflation(), before.deflation() * 0.25);
+  for (std::size_t r = 0; r < fd.active_rows(); ++r) {
+    for (std::size_t c = 0; c < fd.dim(); ++c) {
+      EXPECT_EQ(fd.sketch()(r, c), before.sketch()(r, c) * 0.5);
+    }
+  }
+  // Counters describe history, not mass: untouched by decay.
+  EXPECT_EQ(fd.rows_absorbed(), before.rows_absorbed());
+  EXPECT_EQ(fd.shrinks(), before.shrinks());
+}
+
+TEST(FrequentDirections, ScaleByOneIsANoOp) {
+  const Matrix a = random_rows(40, 4, 35);
+  FrequentDirections fd = feed(a, 6);
+  const FrequentDirections before = fd;
+  fd.scale(1.0);
+  EXPECT_TRUE(fd == before);
+}
+
+TEST(FrequentDirections, ScaleRejectsOutOfRangeFactor) {
+  FrequentDirections fd(4, 3);
+  EXPECT_THROW(fd.scale(1.5), ContractViolation);
+  EXPECT_THROW(fd.scale(-0.1), ContractViolation);
+}
+
+TEST(FrequentDirections, DecayedSketchTracksRecentCovariance) {
+  // Stationary stream along e0, then a regime switch to e1: with decay the
+  // sketch's dominant direction follows the switch; without it the old
+  // regime keeps dominating.
+  const std::size_t m = 4;
+  const double gamma = std::sqrt(1.0 - 1.0 / 16.0);
+  FrequentDirections decayed(4, m);
+  FrequentDirections frozen(4, m);
+  std::vector<double> row(m, 0.0);
+  for (int phase = 0; phase < 2; ++phase) {
+    for (int i = 0; i < 200; ++i) {
+      row.assign(m, 0.0);
+      row[static_cast<std::size_t>(phase)] = phase == 0 ? 2.0 : 1.0;
+      decayed.scale(gamma);
+      decayed.append(row);
+      frozen.append(row);
+    }
+  }
+  const auto energy = [m](const FrequentDirections& fd, std::size_t axis) {
+    Vector x(m);
+    x[axis] = 1.0;
+    return quad_form(fd.sketch(), x);
+  };
+  EXPECT_GT(energy(decayed, 1), energy(decayed, 0));
+  EXPECT_GT(energy(frozen, 0), energy(frozen, 1));
+}
+
+TEST(FrequentDirections, SaveRestoreRoundTripIsExact) {
+  const Matrix a = random_rows(30, 5, 36);
+  FrequentDirections fd = feed(a, 6);
+  ByteWriter writer;
+  fd.save_state(writer);
+  const std::vector<std::byte> blob = std::move(writer).take();
+  ByteReader reader(blob);
+  FrequentDirections restored = FrequentDirections::restore_state(reader);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_TRUE(restored == fd);
+  // Divergence-free continuation: both absorb the same tail.
+  const Matrix tail = random_rows(20, 5, 37);
+  for (std::size_t i = 0; i < tail.rows(); ++i) {
+    fd.append(tail.row_span(i));
+    restored.append(tail.row_span(i));
+  }
+  EXPECT_TRUE(restored == fd);
+}
+
+TEST(FrequentDirections, RestoreRejectsCorruptBlobs) {
+  const Matrix a = random_rows(30, 5, 38);
+  FrequentDirections fd = feed(a, 6);
+  ByteWriter writer;
+  fd.save_state(writer);
+  const std::vector<std::byte> blob = std::move(writer).take();
+
+  for (std::size_t len = 0; len < blob.size(); len += (len < 48 ? 1 : 61)) {
+    const std::vector<std::byte> truncated(
+        blob.begin(), blob.begin() + static_cast<std::ptrdiff_t>(len));
+    ByteReader reader(truncated);
+    EXPECT_THROW((void)FrequentDirections::restore_state(reader),
+                 ProtocolError)
+        << "length " << len;
+  }
+
+  std::vector<std::byte> bad_shape = blob;
+  bad_shape[0] = static_cast<std::byte>(0xFF);  // implausible row count
+  bad_shape[3] = static_cast<std::byte>(0xFF);
+  ByteReader reader(bad_shape);
+  EXPECT_THROW((void)FrequentDirections::restore_state(reader),
+               ProtocolError);
+}
+
+}  // namespace
+}  // namespace spca
