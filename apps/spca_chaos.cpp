@@ -10,6 +10,11 @@
 //   # from its durable checkpoint:
 //   ./spca_chaos --mode=tcp --checkpoint-dir=/tmp/spca-ckpt
 //       --faults=drop=0.05,kill=1@18,reset=2@9,seed=3
+//
+//   # 2-level hierarchy with regional NOC 0 killed mid-run and restarted
+//   # from its SPCR snapshot:
+//   ./spca_chaos --mode=tcp --regions=2 --monitors=4
+//       --checkpoint-dir=/tmp/spca-ckpt --faults=kill=r0@18,seed=3
 #include <iostream>
 #include <optional>
 
@@ -33,6 +38,9 @@ int main(int argc, char** argv) {
                "fault schedule: drop=P,dup=P,reorder=P,corrupt=P,"
                "kill=NODE@T,reset=NODE@T,seed=N (P in [0,0.9]; kill/reset "
                "repeatable; empty = no faults)");
+  flags.define("regions", "0",
+               "regional NOCs between the monitors and the root (tcp mode; "
+               "0 = flat; enables kill=r<idx>@T events)");
   flags.define("checkpoint-dir", "",
                "durable snapshot directory for the monitors (tcp mode; "
                "required when kills are scheduled)");
@@ -75,6 +83,7 @@ int main(int argc, char** argv) {
       throw InputError("--mode must be 'sim' or 'tcp', got '" + mode + "'");
     }
     config.tcp = mode == "tcp";
+    config.regions = static_cast<std::size_t>(flags.integer("regions"));
     config.checkpoint_dir = flags.str("checkpoint-dir");
     config.checkpoint_every = flags.integer("checkpoint-every");
     config.crash_kills = flags.boolean("crash-kills");

@@ -14,6 +14,7 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "dist/aggregate.hpp"
 #include "net/monitor_daemon.hpp"
 #include "net/net_flags.hpp"
 #include "obs/flight_recorder.hpp"
@@ -33,9 +34,12 @@ void handle_signal(int) {
 int main(int argc, char** argv) {
   using namespace spca;
   CliFlags flags("spca_monitord: monitor daemon of the TCP deployment");
-  flags.define("connect", "127.0.0.1", "NOC address (numeric IPv4)");
-  flags.define("port", "47000", "NOC port");
+  flags.define("connect", "127.0.0.1", "upstream address (numeric IPv4)");
+  flags.define("port", "47000", "upstream port");
   flags.define("monitor-id", "1", "this monitor's node id (1..monitors)");
+  flags.define("upstream-region", "-1",
+               "region index of the spca_regiond this monitor reports to "
+               "(-1 = flat deployment, dial the root NOC directly)");
   flags.define("first-interval", "-1",
                "first interval to report; earlier ones come from the "
                "checkpoint and/or local absorption (-1 = resume from the "
@@ -69,6 +73,11 @@ int main(int argc, char** argv) {
     config.monitor_id = static_cast<NodeId>(flags.integer("monitor-id"));
     config.noc_host = flags.str("connect");
     config.noc_port = static_cast<std::uint16_t>(flags.integer("port"));
+    const std::int64_t upstream_region = flags.integer("upstream-region");
+    if (upstream_region >= 0) {
+      config.upstream_id =
+          region_node_id(static_cast<std::size_t>(upstream_region));
+    }
     config.first_interval = flags.integer("first-interval");
     config.last_interval = flags.integer("last-interval");
     config.ingest_records = flags.str("ingest-records");

@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   flags.define("port", "47000", "listen port (0 = ephemeral)");
   flags.define("interval-deadline-ms", "60000",
                "max wait for a missing monitor per interval");
+  flags.define("regions", "0",
+               "regional NOCs between the monitors and this root (0 = flat "
+               "deployment; >0 expects spca_regiond children)");
   flags.define("check-against-sim", "false",
                "verify the trajectory against a SimNetwork replay");
   flags.define("checkpoint-dir", "",
@@ -64,6 +67,7 @@ int main(int argc, char** argv) {
     config.scenario = scenario_from_flags(flags);
     config.listen_host = flags.str("listen");
     config.listen_port = static_cast<std::uint16_t>(flags.integer("port"));
+    config.regions = static_cast<std::size_t>(flags.integer("regions"));
     config.interval_deadline =
         std::chrono::milliseconds(flags.integer("interval-deadline-ms"));
     config.io_timeout = io_timeout_from_flags(flags);

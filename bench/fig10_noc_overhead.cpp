@@ -11,8 +11,10 @@
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "dist/distributed_detector.hpp"
+#include "hier/hier_scenario.hpp"
 #include "linalg/stats.hpp"
 #include "linalg/svd.hpp"
+#include "net/scenario.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "par/thread_pool.hpp"
@@ -62,6 +64,14 @@ int main(int argc, char** argv) {
   flags.define("model-backend", "warm",
                "NOC model backend of the distributed run: "
                "exact | warm | rsvd | fd");
+  flags.define("hier-topology", "synth15",
+               "topology of the hierarchical accounting run");
+  flags.define("hier-monitors", "200",
+               "monitors of the hierarchical accounting run (0 disables)");
+  flags.define("hier-regions", "4",
+               "regional NOCs of the hierarchical accounting run");
+  flags.define("hier-intervals", "24",
+               "intervals of the hierarchical accounting run");
   define_threads_flag(flags);
   define_observability_flags(flags);
   try {
@@ -165,6 +175,45 @@ int main(int argc, char** argv) {
               << " p95=" << refit_seconds.quantile(0.95) * 1e3
               << " p99=" << refit_seconds.quantile(0.99) * 1e3
               << " (count=" << refit_seconds.count() << ")\n";
+
+    // Hierarchical scale-out accounting: the same scenario through a tier
+    // of regional NOCs, with the wire cost split by tree level. The
+    // upstream message count at the root shrinks from k to R per phase
+    // while the trajectory stays bit-identical to the flat run.
+    const auto hier_monitors =
+        static_cast<std::size_t>(flags.integer("hier-monitors"));
+    if (hier_monitors > 0) {
+      NetScenarioConfig nsc;
+      nsc.topology = flags.str("hier-topology");
+      nsc.monitors = hier_monitors;
+      nsc.intervals =
+          static_cast<std::size_t>(flags.integer("hier-intervals"));
+      nsc.window = 8;
+      nsc.sketch_rows = 6;
+      nsc.seed = 11;
+      nsc.anomalies = 2;
+      const auto regions =
+          static_cast<std::size_t>(flags.integer("hier-regions"));
+      const NetScenario net_scenario = build_scenario(nsc);
+      Stopwatch hier_watch;
+      const ScenarioRun hier = run_hier_scenario_sim(net_scenario, regions);
+      const double hier_ms = hier_watch.milliseconds();
+      const HierWireAccounting levels = hier_wire_accounting(hier.stats);
+      std::cout << "\n# Hierarchical run: " << hier_monitors << " monitors / "
+                << regions << " regions (" << nsc.topology << ", "
+                << nsc.intervals << " intervals), " << hier_ms << " ms\n"
+                << "monitor->region: " << levels.monitor_to_region_bytes
+                << " bytes over " << levels.monitor_to_region_messages
+                << " messages\n"
+                << "region->root:    " << levels.region_to_root_bytes
+                << " bytes over " << levels.region_to_root_messages
+                << " messages (" << hier_monitors << " -> " << regions
+                << " upstream senders)\n"
+                << "requests:        " << levels.request_bytes
+                << " bytes over " << levels.request_messages
+                << " messages\n"
+                << "alarms: " << hier.alarm_intervals.size() << "\n";
+    }
 
     export_observability(flags);
   } catch (const std::exception& e) {

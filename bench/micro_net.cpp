@@ -1,0 +1,135 @@
+// Microbenchmarks of the TCP transport's event loop: the per-drain dispatch
+// cost as the number of multiplexed connections grows, for both readiness
+// backends. The epoll loop's wake-up work is O(ready); the poll fallback
+// scans every watched descriptor, so its cost grows with the connection
+// count even when only one peer is active — exactly the gap that motivated
+// the hierarchical deployment's 200-monitor scale target.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/message.hpp"
+#include "net/poller.hpp"
+#include "net/tcp_transport.hpp"
+#include "obs/bench_main.hpp"
+
+namespace {
+
+using namespace spca;
+using namespace std::chrono_literals;
+
+/// A loopback deployment: one listening endpoint and `conns` dialed peers,
+/// all established before the timed loop starts.
+struct Deployment {
+  std::unique_ptr<TcpTransport> server;
+  std::vector<std::unique_ptr<TcpTransport>> clients;
+
+  Deployment(std::size_t conns, PollerBackend backend) {
+    TcpTransportConfig sc;
+    sc.node_id = kNocId;
+    sc.listen_host = "127.0.0.1";
+    sc.listen_port = 0;
+    sc.io_timeout = 20000ms;
+    sc.poller = backend;
+    server = std::make_unique<TcpTransport>(sc);
+    server->start();
+    const std::uint16_t port = server->listen_port();
+    for (std::size_t i = 0; i < conns; ++i) {
+      TcpTransportConfig cc;
+      cc.node_id = static_cast<NodeId>(i + 1);
+      cc.peers.push_back({kNocId, "127.0.0.1", port});
+      cc.io_timeout = 20000ms;
+      clients.push_back(std::make_unique<TcpTransport>(cc));
+      clients.back()->start();
+    }
+    // The handshakes complete asynchronously; a first round-trip from every
+    // client proves the whole fan-in is established.
+    for (std::size_t i = 0; i < conns; ++i) {
+      clients[i]->send(report(static_cast<NodeId>(i + 1), -1));
+    }
+    std::size_t delivered = 0;
+    while (delivered < conns) {
+      (void)server->wait_for_mail(kNocId, 100ms);
+      delivered += server->drain(kNocId).size();
+    }
+  }
+
+  static Message report(NodeId from, std::int64_t interval) {
+    Message msg;
+    msg.type = MessageType::kVolumeReport;
+    msg.from = from;
+    msg.to = kNocId;
+    msg.interval = interval;
+    msg.ids = {0, 1, 2, 3};
+    msg.values = {1e8, 2e8, 3e8, 4e8};
+    return msg;
+  }
+};
+
+/// One send + wake-up + drain round trip while `conns` connections are
+/// watched but only a single peer is active: the cost the backend charges
+/// for idle connections. Arg 0 = connection count, arg 1 = backend
+/// (0 = poll, 1 = epoll).
+void BM_TransportDrain(benchmark::State& state) {
+  const auto conns = static_cast<std::size_t>(state.range(0));
+  const PollerBackend backend =
+      state.range(1) == 0 ? PollerBackend::kPoll : PollerBackend::kEpoll;
+  Deployment net(conns, backend);
+  std::int64_t interval = 0;
+  std::uint64_t drained = 0;
+  for (auto _ : state) {
+    net.clients[0]->send(Deployment::report(1, interval++));
+    std::vector<Message> got;
+    while (got.empty()) {
+      (void)net.server->wait_for_mail(kNocId, 1000ms);
+      got = net.server->drain(kNocId);
+    }
+    drained += got.size();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(drained));
+  state.counters["watched"] =
+      static_cast<double>(net.server->watched_connections());
+  state.SetLabel(net.server->poller_backend());
+}
+BENCHMARK(BM_TransportDrain)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Full fan-in: every connection sends one report and the server drains
+/// them all — the per-interval hot path of a NOC (or regional NOC) shard.
+void BM_TransportFanIn(benchmark::State& state) {
+  const auto conns = static_cast<std::size_t>(state.range(0));
+  Deployment net(conns, PollerBackend::kAuto);
+  std::int64_t interval = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < conns; ++i) {
+      net.clients[i]->send(
+          Deployment::report(static_cast<NodeId>(i + 1), interval));
+    }
+    ++interval;
+    std::size_t delivered = 0;
+    while (delivered < conns) {
+      (void)net.server->wait_for_mail(kNocId, 1000ms);
+      delivered += net.server->drain(kNocId).size();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(conns));
+  state.SetLabel(net.server->poller_backend());
+}
+BENCHMARK(BM_TransportFanIn)->Arg(8)->Arg(64)->Arg(200)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+SPCA_BENCHMARK_MAIN_WITH_OBSERVABILITY();

@@ -112,7 +112,7 @@ void LocalMonitor::end_interval(std::int64_t t, Transport& network) {
   Message report;
   report.type = MessageType::kVolumeReport;
   report.from = id_;
-  report.to = kNocId;
+  report.to = upstream_;
   report.interval = t;
   report.ids = flows_;
   report.values.assign(volumes.begin(), volumes.end());
@@ -150,7 +150,7 @@ Message LocalMonitor::make_sketch_response(std::int64_t interval) const {
   Message response;
   response.type = MessageType::kSketchResponse;
   response.from = id_;
-  response.to = kNocId;
+  response.to = upstream_;
   response.interval = interval;
   response.ids = flows_;
   // Every flow owns a fixed-size block [mean, count, z_1..z_l] of the

@@ -81,6 +81,13 @@ class LocalMonitor final {
     return flows_;
   }
 
+  /// Where volume reports and sketch responses go. Defaults to the root NOC
+  /// (kNocId); the hierarchical deployment points it at the monitor's
+  /// regional NOC instead. Deployment topology, not stream state: it is not
+  /// checkpointed, and a restored monitor must be re-pointed by its daemon.
+  void set_upstream(NodeId upstream) noexcept { upstream_ = upstream; }
+  [[nodiscard]] NodeId upstream() const noexcept { return upstream_; }
+
   /// Summary-state bytes across the monitor's sketches (Theorem 1).
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
@@ -101,6 +108,7 @@ class LocalMonitor final {
   Vector flush_interval(std::int64_t t);
 
   NodeId id_;
+  NodeId upstream_ = kNocId;
   std::vector<FlowId> flows_;
   std::uint64_t window_;
   double epsilon_;

@@ -25,6 +25,11 @@ enum class MessageType : std::uint8_t {
   kSketchResponse = 3,
   /// NOC -> operator: anomaly alarm for an interval.
   kAlarm = 4,
+  /// Regional NOC -> root NOC: merged per-monitor payloads of one region
+  /// (volume reports or sketch responses), concatenated in sorted monitor
+  /// id order. The inner kind is recovered from the payload shape (see
+  /// dist/aggregate.hpp).
+  kAggregate = 5,
 };
 
 /// A protocol message: typed header plus id and value payloads.

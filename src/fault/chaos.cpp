@@ -12,7 +12,9 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "dist/aggregate.hpp"
 #include "dist/sim_network.hpp"
+#include "hier/regional_daemon.hpp"
 #include "net/monitor_daemon.hpp"
 #include "net/noc_daemon.hpp"
 #include "obs/flight_recorder.hpp"
@@ -46,6 +48,11 @@ bool reset_at(const FaultPlanConfig& faults, NodeId node, std::int64_t t) {
 void validate(const ChaosConfig& config) {
   const auto monitors = static_cast<NodeId>(config.scenario.monitors);
   const auto intervals = static_cast<std::int64_t>(config.scenario.intervals);
+  const bool hier = config.regions > 0;
+  if (hier && (!config.tcp || config.regions > config.scenario.monitors)) {
+    throw InputError("chaos: hierarchical mode needs tcp daemons and "
+                     "1 <= regions <= monitors");
+  }
   const auto check_node = [&](const FaultEvent& e, const char* kind) {
     if (e.node < 1 || e.node > monitors) {
       throw InputError(std::string("chaos: ") + kind + " targets monitor " +
@@ -62,13 +69,32 @@ void validate(const ChaosConfig& config) {
     if (e.node == kNocId) {
       // A NOC kill restarts the NOC daemon from its shutdown snapshot on
       // the same port; only clean kills are supported (a crash-killed NOC
-      // cannot replay reports it never received from the monitors).
+      // cannot replay reports it never received from the monitors). In
+      // hierarchical mode a root restart is not supported at all: the
+      // regions do not re-send already-forwarded aggregates, so a reborn
+      // root would wait forever for its next interval.
+      if (hier) {
+        throw InputError("chaos: root NOC kills are not supported in "
+                         "hierarchical mode (kill the regiond tier instead)");
+      }
       if (config.crash_kills) {
         throw InputError("chaos: NOC kills must be clean "
                          "(crash kills only apply to monitors)");
       }
       if (e.interval >= intervals) {
         throw InputError("chaos: NOC kill at interval " +
+                         std::to_string(e.interval) + ", scenario ends at " +
+                         std::to_string(intervals));
+      }
+    } else if (is_region_node(e.node)) {
+      if (!hier || region_index(e.node) >= config.regions) {
+        throw InputError("chaos: kill targets region " +
+                         std::to_string(region_index(e.node)) +
+                         ", deployment has " +
+                         std::to_string(config.regions) + " regions");
+      }
+      if (e.interval >= intervals) {
+        throw InputError("chaos: region kill at interval " +
                          std::to_string(e.interval) + ", scenario ends at " +
                          std::to_string(intervals));
       }
@@ -123,16 +149,24 @@ ChaosResult run_chaos(const ChaosConfig& config) {
     Counter& resets_metric =
         MetricsRegistry::global().counter("spca.fault.injected_resets");
 
+    const bool hier = config.regions > 0;
     const std::optional<std::int64_t> noc_kill =
         kill_of(config.faults, kNocId);
 
     NocDaemonConfig nc;
     nc.scenario = config.scenario;
+    nc.regions = config.regions;
     nc.interval_deadline = config.interval_deadline;
     nc.io_timeout = config.io_timeout;
-    nc.wrap_transport = [&](Transport& inner) {
-      return std::make_unique<FaultyTransport>(inner, config.faults, &acc);
-    };
+    if (!hier) {
+      // In hierarchical mode only the monitor endpoints are wrapped: both
+      // protocol phases of a region ride MessageType::kAggregate, so the
+      // decorator's (type, from, to, interval) dedup key is not unique on
+      // the region -> root hop (see ChaosConfig::regions).
+      nc.wrap_transport = [&](Transport& inner) {
+        return std::make_unique<FaultyTransport>(inner, config.faults, &acc);
+      };
+    }
     if (noc_kill) {
       // First incarnation: checkpoints and stops after intervals < kill; its
       // shutdown snapshot seeds the second incarnation on the same port.
@@ -162,6 +196,79 @@ ChaosResult run_chaos(const ChaosConfig& config) {
     std::atomic<std::uint64_t> reconnects{0};
     std::atomic<bool> all_restored{true};
     const std::size_t num_monitors = config.scenario.monitors;
+
+    // The hierarchical tier, started before the monitors so the shard
+    // ports are known. A killed region's thread runs two incarnations on
+    // one port; the second resumes from the SPCR snapshot.
+    std::vector<std::unique_ptr<RegionalDaemon>> tier;
+    std::vector<std::uint16_t> region_ports(config.regions, port);
+    std::vector<std::exception_ptr> region_errors(config.regions);
+    std::vector<std::thread> region_threads;
+    for (std::size_t r = 0; r < config.regions; ++r) {
+      RegionalDaemonConfig rc;
+      rc.scenario = config.scenario;
+      rc.regions = config.regions;
+      rc.region = r;
+      rc.root_port = port;
+      rc.retry = config.retry;
+      rc.io_timeout = config.io_timeout;
+      rc.interval_deadline = config.interval_deadline;
+      const std::optional<std::int64_t> kill =
+          kill_of(config.faults, region_node_id(r));
+      if (kill) {
+        rc.checkpoint_dir = config.checkpoint_dir;
+        rc.checkpoint_every = config.checkpoint_every;
+        rc.last_interval = *kill;
+        rc.final_checkpoint = !config.crash_kills;
+      }
+      tier.push_back(std::make_unique<RegionalDaemon>(rc));
+      tier.back()->start();
+      region_ports[r] = tier.back()->bound_port();
+    }
+    for (std::size_t r = 0; r < config.regions; ++r) {
+      const std::optional<std::int64_t> kill =
+          kill_of(config.faults, region_node_id(r));
+      region_threads.emplace_back([&, r, kill] {
+        try {
+          (void)tier[r]->run();
+          if (kill) {
+            // Tear the first incarnation down (freeing its listen port),
+            // then restart on the same port. The shard's monitors redial
+            // with backoff and re-send their current interval.
+            const std::uint16_t region_port = region_ports[r];
+            tier[r].reset();
+            kills.fetch_add(1, std::memory_order_relaxed);
+            kills_metric.inc();
+            log_info("chaos: killed region ", r, " at interval ", *kill);
+            FlightRecorder::global().note(
+                "kill", *kill,
+                "region " + std::to_string(r) +
+                    (config.crash_kills ? " (crash)" : " (clean)"));
+            RegionalDaemonConfig rc;
+            rc.scenario = config.scenario;
+            rc.regions = config.regions;
+            rc.region = r;
+            rc.listen_port = region_port;
+            rc.root_port = port;
+            rc.retry = config.retry;
+            rc.io_timeout = config.io_timeout;
+            rc.interval_deadline = config.interval_deadline;
+            rc.checkpoint_dir = config.checkpoint_dir;
+            rc.checkpoint_every = config.checkpoint_every;
+            RegionalDaemon second(rc);
+            second.start();
+            const RegionalDaemonResult res = second.run();
+            if (!res.restored_from_checkpoint) {
+              all_restored.store(false, std::memory_order_relaxed);
+            }
+          }
+        } catch (...) {
+          region_errors[r] = std::current_exception();
+          stop_noc();
+        }
+      });
+    }
+
     std::vector<std::exception_ptr> errors(num_monitors);
     std::vector<std::thread> threads;
     threads.reserve(num_monitors);
@@ -169,10 +276,18 @@ ChaosResult run_chaos(const ChaosConfig& config) {
       const NodeId id = static_cast<NodeId>(i + 1);
       threads.emplace_back([&, id, i] {
         try {
+          // In hierarchical mode the monitor dials its regional NOC; flat
+          // deployments dial the root directly.
+          const NodeId upstream =
+              hier ? region_node_id(region_of_monitor(
+                         num_monitors, config.regions, id))
+                   : kNocId;
           MonitorDaemonConfig mc;
           mc.scenario = config.scenario;
           mc.monitor_id = id;
-          mc.noc_port = port;
+          mc.noc_port =
+              hier ? region_ports[region_index(upstream)] : port;
+          mc.upstream_id = upstream;
           mc.retry = config.retry;
           mc.io_timeout = config.io_timeout;
           mc.checkpoint_dir = config.checkpoint_dir;
@@ -181,12 +296,13 @@ ChaosResult run_chaos(const ChaosConfig& config) {
             return std::make_unique<FaultyTransport>(inner, config.faults,
                                                      &acc);
           };
-          mc.after_advance = [&, id](std::int64_t t, TcpTransport& tcp) {
+          mc.after_advance = [&, id, upstream](std::int64_t t,
+                                               TcpTransport& tcp) {
             if (!reset_at(config.faults, id, t)) return;
             // Protocol-quiet point: advance(t) was consumed, nothing is in
             // flight towards this monitor — the flap loses no frames.
-            tcp.reset_connection(kNocId);
-            tcp.ensure_connected(kNocId);
+            tcp.reset_connection(upstream);
+            tcp.ensure_connected(upstream);
             resets.fetch_add(1, std::memory_order_relaxed);
             resets_metric.inc();
             FlightRecorder::global().note(
@@ -272,7 +388,11 @@ ChaosResult run_chaos(const ChaosConfig& config) {
       stop_noc();
     }
     for (std::thread& t : threads) t.join();
+    for (std::thread& t : region_threads) t.join();
     for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    for (const std::exception_ptr& e : region_errors) {
       if (e) std::rethrow_exception(e);
     }
     if (noc_error) std::rethrow_exception(noc_error);

@@ -42,6 +42,15 @@ struct ChaosConfig {
   FaultPlanConfig faults;
   /// false = single-process SimNetwork mode; true = loopback TCP daemons.
   bool tcp = false;
+  /// Regional NOCs between the monitors and the root (tcp mode; 0 = flat).
+  /// In hierarchical mode kill events may target the regiond tier (spec
+  /// form "kill=r<idx>@T"): the regional daemon winds down after relaying
+  /// intervals < T and a fresh incarnation resumes from its SPCR snapshot
+  /// on the same port, with the shard's monitors redialing transparently.
+  /// Message faults wrap only the monitor endpoints here — an aggregate
+  /// carries both protocol phases on one message type, so the flat-mode
+  /// receive-side dedup key is not unique on the region -> root hop.
+  std::size_t regions = 0;
   /// Durable snapshot directory (tcp mode; required when kills are
   /// scheduled). Should be empty or stale-free: leftover snapshots from
   /// another deployment are detected and skipped, but cost a warning.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "dist/aggregate.hpp"
 
 namespace spca {
 
@@ -38,20 +39,32 @@ FaultEvent parse_event(const std::string& key, const std::string& value) {
                      value + "'");
   }
   FaultEvent event;
-  const char* node_first = value.data();
+  // "r<idx>" addresses a regional NOC of the hierarchical deployment; a
+  // bare number is a monitor (or 0, the NOC itself — chaos validates which
+  // event kinds support it).
+  const bool regional = value.front() == 'r';
+  const char* node_first = value.data() + (regional ? 1 : 0);
   const char* node_last = value.data() + at;
   auto [np, nec] = std::from_chars(node_first, node_last, event.node);
+  if (regional && nec == std::errc{}) {
+    event.node = region_node_id(event.node);
+  }
   const char* t_first = value.data() + at + 1;
   const char* t_last = value.data() + value.size();
   auto [tp, tec] = std::from_chars(t_first, t_last, event.interval);
-  // Node 0 is the NOC itself — a legal kill target (chaos validates which
-  // event kinds support it); intervals must be non-negative.
   if (nec != std::errc{} || np != node_last || tec != std::errc{} ||
       tp != t_last || event.interval < 0) {
-    throw InputError("fault spec: " + key + " expects NODE@INTERVAL, got '" +
-                     value + "'");
+    throw InputError("fault spec: " + key +
+                     " expects NODE@INTERVAL (NODE = id or r<region>), "
+                     "got '" + value + "'");
   }
   return event;
+}
+
+/// Renders a node back in spec form ("r<idx>" for regional NOCs).
+std::string node_spec(NodeId node) {
+  return is_region_node(node) ? "r" + std::to_string(region_index(node))
+                              : std::to_string(node);
 }
 
 }  // namespace
@@ -104,10 +117,10 @@ std::string to_string(const FaultPlanConfig& config) {
   oss << "drop=" << config.drop << ",dup=" << config.duplicate
       << ",reorder=" << config.reorder << ",corrupt=" << config.corrupt;
   for (const FaultEvent& e : config.kills) {
-    oss << ",kill=" << e.node << '@' << e.interval;
+    oss << ",kill=" << node_spec(e.node) << '@' << e.interval;
   }
   for (const FaultEvent& e : config.resets) {
-    oss << ",reset=" << e.node << '@' << e.interval;
+    oss << ",reset=" << node_spec(e.node) << '@' << e.interval;
   }
   oss << ",seed=" << config.seed;
   return oss.str();

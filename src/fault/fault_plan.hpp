@@ -21,9 +21,11 @@
 
 namespace spca {
 
-/// One scheduled node-level event (a monitor kill or a connection reset).
+/// One scheduled node-level event (a monitor or regional-NOC kill, or a
+/// connection reset).
 struct FaultEvent {
-  /// Monitor NodeId the event hits.
+  /// NodeId the event hits: a monitor (1..k), the NOC (0, clean kills
+  /// only), or a regional NOC (spec form "r<idx>"; hierarchical mode).
   NodeId node = 0;
   /// Interval at which it fires (kill: after reporting intervals < t;
   /// reset: right after the monitor received kAdvance(t), a protocol-quiet

@@ -1,0 +1,134 @@
+#include "hier/hier_scenario.hpp"
+
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "dist/local_monitor.hpp"
+#include "dist/noc.hpp"
+#include "dist/sim_network.hpp"
+#include "hier/regional_noc.hpp"
+
+namespace spca {
+
+HierWireAccounting hier_wire_accounting(const NetworkStats& stats) {
+  const auto type_slot = [&](MessageType type) {
+    return static_cast<std::size_t>(type);
+  };
+  HierWireAccounting acc;
+  const std::size_t report = type_slot(MessageType::kVolumeReport);
+  const std::size_t response = type_slot(MessageType::kSketchResponse);
+  const std::size_t request = type_slot(MessageType::kSketchRequest);
+  const std::size_t aggregate = type_slot(MessageType::kAggregate);
+  acc.monitor_to_region_bytes =
+      stats.bytes_by_type[report] + stats.bytes_by_type[response];
+  acc.monitor_to_region_messages =
+      stats.messages_by_type[report] + stats.messages_by_type[response];
+  acc.region_to_root_bytes = stats.bytes_by_type[aggregate];
+  acc.region_to_root_messages = stats.messages_by_type[aggregate];
+  acc.request_bytes = stats.bytes_by_type[request];
+  acc.request_messages = stats.messages_by_type[request];
+  return acc;
+}
+
+ScenarioRun run_hier_scenario_sim(const NetScenario& scenario,
+                                  std::size_t regions,
+                                  Transport* transport) {
+  const std::size_t m = scenario.trace.num_flows();
+  const std::size_t k = scenario.config.monitors;
+  const SketchDetectorConfig& config = scenario.detector;
+  SPCA_EXPECTS(regions >= 1 && regions <= k);
+
+  SimNetwork sim;
+  Transport& bus = transport != nullptr ? *transport : sim;
+
+  // Monitors: exactly DistributedDetector's construction (same ownership,
+  // same projection source), re-pointed at their regional NOC.
+  const ProjectionSource source =
+      config.projection == ProjectionKind::kVerySparse
+          ? ProjectionSource::very_sparse(config.seed, config.window)
+          : ProjectionSource(config.projection, config.seed, config.sparsity);
+  std::vector<std::vector<FlowId>> ownership(k);
+  for (std::size_t j = 0; j < m; ++j) {
+    ownership[j % k].push_back(static_cast<FlowId>(j));
+  }
+  std::vector<std::unique_ptr<LocalMonitor>> monitors;
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId id = static_cast<NodeId>(i + 1);
+    monitors.push_back(std::make_unique<LocalMonitor>(
+        id, ownership[i], config.window, config.epsilon, config.sketch_rows,
+        source, /*counter_only=*/false));
+    monitors.back()->set_upstream(
+        region_node_id(region_of_monitor(k, regions, id)));
+  }
+
+  // The middle tier.
+  std::vector<RegionalNoc> tier;
+  tier.reserve(regions);
+  for (std::size_t r = 0; r < regions; ++r) {
+    tier.emplace_back(r, region_monitor_ids(k, regions, r),
+                      config.sketch_rows);
+  }
+  const std::vector<NodeId> region_ids = region_node_ids(regions);
+
+  Noc noc(m, noc_config_from(config, /*host_sketches=*/false));
+  const std::size_t rows = config.sketch_rows;
+
+  ScenarioRun run;
+  for (std::size_t interval = 0; interval < scenario.config.intervals;
+       ++interval) {
+    const auto t = static_cast<std::int64_t>(interval);
+    const Vector& x_true = scenario.trace.row(interval);
+
+    // Monitors close the interval; reports go to their regional NOC.
+    for (const auto& monitor : monitors) {
+      for (const FlowId flow : monitor->flows()) {
+        monitor->ingest_volume(flow, x_true[flow]);
+      }
+      monitor->end_interval(t, bus);
+    }
+    // Each region merges its shard and forwards one aggregate to the root.
+    for (RegionalNoc& region : tier) {
+      region.pump(bus);
+      SPCA_ENSURES(region.reports_ready() == t);
+      bus.send(region.take_merged_reports(kNocId));
+    }
+    // The root unwraps the aggregates through the flat assembly path.
+    std::vector<Message> reports;
+    reports.reserve(regions);
+    for (const Message& agg : bus.take(kNocId, MessageType::kAggregate)) {
+      reports.push_back(
+          unwrap_aggregate(agg, MessageType::kVolumeReport, rows));
+    }
+    const Vector x = noc.assemble_volumes(t, reports);
+
+    if (interval + 1 < config.window) continue;  // warm-up, matching the flat run
+
+    const auto pull = [&] {
+      noc.request_sketches(t, region_ids, bus);
+      for (RegionalNoc& region : tier) {
+        region.pump(bus);
+        const auto request = region.take_sketch_request();
+        SPCA_ENSURES(request == t);
+        region.forward_sketch_request(*request, bus);
+      }
+      for (const auto& monitor : monitors) monitor->handle_mail(bus);
+      for (RegionalNoc& region : tier) {
+        region.pump(bus);
+        SPCA_ENSURES(region.responses_ready() == t);
+        bus.send(region.take_merged_responses(kNocId));
+      }
+      for (const Message& agg : bus.take(kNocId, MessageType::kAggregate)) {
+        noc.ingest_sketch_response(
+            unwrap_aggregate(agg, MessageType::kSketchResponse, rows));
+      }
+      noc.refit();
+    };
+    const Detection det = noc.detect_with_pull(t, x, pull, bus);
+    run.distances.push_back(det.distance);
+    if (det.alarm) run.alarm_intervals.push_back(t);
+  }
+  run.stats = bus.stats();
+  return run;
+}
+
+}  // namespace spca

@@ -1,0 +1,131 @@
+#include "hier/regional_noc.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace spca {
+
+namespace {
+
+Counter& merges_counter() {
+  static Counter& c = MetricsRegistry::global().counter("spca.hier.merges");
+  return c;
+}
+
+Counter& aggregates_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("spca.hier.aggregates_tx");
+  return c;
+}
+
+Counter& forwards_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("spca.hier.requests_forwarded");
+  return c;
+}
+
+}  // namespace
+
+RegionalNoc::RegionalNoc(std::size_t region, std::vector<NodeId> monitors,
+                         std::size_t sketch_rows)
+    : region_(region),
+      monitors_(std::move(monitors)),
+      sketch_rows_(sketch_rows) {
+  SPCA_EXPECTS(!monitors_.empty());
+  std::sort(monitors_.begin(), monitors_.end());
+  SPCA_EXPECTS(std::adjacent_find(monitors_.begin(), monitors_.end()) ==
+               monitors_.end());
+  SPCA_EXPECTS(monitors_.front() != kNocId && !is_region_node(monitors_.back()));
+}
+
+void RegionalNoc::pump(Transport& bus) {
+  for (Message& msg : bus.drain(id())) {
+    switch (msg.type) {
+      case MessageType::kVolumeReport:
+      case MessageType::kSketchResponse: {
+        if (!std::binary_search(monitors_.begin(), monitors_.end(),
+                                msg.from)) {
+          throw ProtocolError("RegionalNoc: message from outside the shard");
+        }
+        const std::size_t per_flow =
+            msg.type == MessageType::kVolumeReport ? 1 : sketch_rows_ + 2;
+        if (msg.ids.empty() ||
+            msg.values.size() != msg.ids.size() * per_flow) {
+          throw ProtocolError("RegionalNoc: malformed payload shape");
+        }
+        auto& store = msg.type == MessageType::kVolumeReport ? reports_
+                                                             : responses_;
+        store[msg.from] = std::move(msg);
+        break;
+      }
+      case MessageType::kSketchRequest:
+        requests_.push_back(msg.interval);
+        break;
+      default:
+        throw ProtocolError("RegionalNoc: unexpected message type");
+    }
+  }
+}
+
+std::optional<std::int64_t> RegionalNoc::ready(
+    const std::map<NodeId, Message>& store) const {
+  if (store.size() < monitors_.size()) return std::nullopt;
+  const std::int64_t t = store.begin()->second.interval;
+  for (const auto& [id, msg] : store) {
+    if (msg.interval != t) return std::nullopt;
+  }
+  return t;
+}
+
+Message RegionalNoc::take_merged(std::map<NodeId, Message>& store,
+                                 NodeId to) {
+  SPCA_EXPECTS(ready(store).has_value());
+  std::vector<Message> parts;
+  parts.reserve(store.size());
+  for (auto& [id, msg] : store) parts.push_back(std::move(msg));
+  store.clear();
+  ++merges_;
+  merges_counter().inc();
+  aggregates_counter().inc();
+  return merge_aggregate(std::move(parts), id(), to);
+}
+
+std::optional<std::int64_t> RegionalNoc::reports_ready() const {
+  return ready(reports_);
+}
+
+Message RegionalNoc::take_merged_reports(NodeId to) {
+  return take_merged(reports_, to);
+}
+
+std::optional<std::int64_t> RegionalNoc::take_sketch_request() {
+  if (requests_.empty()) return std::nullopt;
+  const std::int64_t t = requests_.front();
+  requests_.pop_front();
+  return t;
+}
+
+void RegionalNoc::forward_sketch_request(std::int64_t t, Transport& bus) {
+  for (const NodeId monitor : monitors_) {
+    Message request;
+    request.type = MessageType::kSketchRequest;
+    request.from = id();
+    request.to = monitor;
+    request.interval = t;
+    bus.send(request);
+    forwards_counter().inc();
+  }
+}
+
+std::optional<std::int64_t> RegionalNoc::responses_ready() const {
+  return ready(responses_);
+}
+
+Message RegionalNoc::take_merged_responses(NodeId to) {
+  return take_merged(responses_, to);
+}
+
+}  // namespace spca

@@ -1,0 +1,89 @@
+// Regional NOC node (the middle tier of the hierarchical deployment): owns
+// a shard of monitors, collects their per-interval messages, and forwards
+// ONE merged kAggregate per phase up to the root NOC. Downstream it fans
+// root sketch requests out to its monitors and relays kAdvance.
+//
+// The node holds no sketch or model state — merging is pure concatenation
+// in sorted monitor id order (dist/aggregate.hpp) — which is what makes a
+// regional NOC cheap to restart: its monitors re-send their current
+// interval on reconnect and the merge is reproduced bit-identically.
+//
+// The class is transport-generic: the synchronous hierarchy simulation
+// (hier/hier_scenario.hpp) and the TCP regional daemon
+// (hier/regional_daemon.hpp) drive the same collection state machine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dist/aggregate.hpp"
+#include "dist/message.hpp"
+#include "net/transport.hpp"
+
+namespace spca {
+
+/// One regional NOC.
+class RegionalNoc final {
+ public:
+  /// `monitors` is this region's monitor shard (any order; stored sorted).
+  RegionalNoc(std::size_t region, std::vector<NodeId> monitors,
+              std::size_t sketch_rows);
+
+  [[nodiscard]] NodeId id() const noexcept { return region_node_id(region_); }
+  [[nodiscard]] std::size_t region() const noexcept { return region_; }
+  [[nodiscard]] const std::vector<NodeId>& monitors() const noexcept {
+    return monitors_;
+  }
+
+  /// Drains this node's mailbox: volume reports and sketch responses from
+  /// the shard are stored keyed by sender (last-wins — a reconnecting
+  /// monitor re-sends an identical copy), root sketch requests are queued
+  /// for take_sketch_request(). Messages from outside the shard or of an
+  /// unexpected type throw ProtocolError.
+  void pump(Transport& bus);
+
+  /// Interval whose volume reports are complete: every monitor of the shard
+  /// has reported and all reports agree on the interval (the kAdvance
+  /// lock-step makes mixed intervals transient).
+  [[nodiscard]] std::optional<std::int64_t> reports_ready() const;
+
+  /// Merges and clears the collected volume reports into one kAggregate to
+  /// `to`. Requires reports_ready().
+  [[nodiscard]] Message take_merged_reports(NodeId to);
+
+  /// Pops the oldest pending sketch-request interval, if any.
+  [[nodiscard]] std::optional<std::int64_t> take_sketch_request();
+
+  /// Fans a sketch request for interval `t` out to every monitor of the
+  /// shard.
+  void forward_sketch_request(std::int64_t t, Transport& bus);
+
+  /// Interval whose sketch responses are complete (same rule as reports).
+  [[nodiscard]] std::optional<std::int64_t> responses_ready() const;
+
+  /// Merges and clears the collected sketch responses into one kAggregate
+  /// to `to`. Requires responses_ready().
+  [[nodiscard]] Message take_merged_responses(NodeId to);
+
+  /// Merges performed by this node (both phases).
+  [[nodiscard]] std::uint64_t merges() const noexcept { return merges_; }
+
+ private:
+  [[nodiscard]] std::optional<std::int64_t> ready(
+      const std::map<NodeId, Message>& store) const;
+  [[nodiscard]] Message take_merged(std::map<NodeId, Message>& store,
+                                    NodeId to);
+
+  std::size_t region_;
+  std::vector<NodeId> monitors_;  // sorted ascending
+  std::size_t sketch_rows_;
+  std::map<NodeId, Message> reports_;
+  std::map<NodeId, Message> responses_;
+  std::deque<std::int64_t> requests_;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace spca

@@ -32,8 +32,9 @@ namespace spca {
 /// First four bytes of every frame: 'S' 'P' 'C' 'A'.
 inline constexpr std::uint32_t kFrameMagic = 0x41435053u;
 /// Protocol version; bumped on any incompatible frame or message change.
-/// v2 added the CRC-32 header field.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v2 added the CRC-32 header field; v3 added the kAggregate message type
+/// carried by regional NOCs.
+inline constexpr std::uint8_t kWireVersion = 3;
 /// Fixed header size in bytes.
 inline constexpr std::size_t kFrameHeaderBytes = 14;
 /// Header bytes covered by the CRC (everything before the crc field).

@@ -134,6 +134,9 @@ MonitorDaemonResult MonitorDaemon::run() {
     monitor.emplace(config_.monitor_id, flows, det.window, det.epsilon,
                     det.sketch_rows, source);
   }
+  // Deployment topology, not checkpointed state: a restored monitor must be
+  // re-pointed at its upstream (regional NOC in the hierarchical tree).
+  monitor->set_upstream(config_.upstream_id);
 
   // Volume source: the scenario's synthetic trace, or a streamed record
   // file when --ingest-records is set. Both the warm rebuild and the live
@@ -193,7 +196,8 @@ MonitorDaemonResult MonitorDaemon::run() {
 
   TcpTransportConfig tcp;
   tcp.node_id = config_.monitor_id;
-  tcp.peers.push_back({kNocId, config_.noc_host, config_.noc_port});
+  tcp.peers.push_back(
+      {config_.upstream_id, config_.noc_host, config_.noc_port});
   tcp.retry = config_.retry;
   tcp.io_timeout = config_.io_timeout;
   TcpTransport transport(tcp);
@@ -257,7 +261,7 @@ MonitorDaemonResult MonitorDaemon::run() {
         // NOC deduplicates per-monitor reports, so the retry is safe even
         // if the original copy also made it through.
         try {
-          transport.ensure_connected(kNocId);
+          transport.ensure_connected(config_.upstream_id);
           const std::uint64_t rc = transport.reconnects();
           if (rc != seen_reconnects) {
             seen_reconnects = rc;

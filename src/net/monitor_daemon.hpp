@@ -40,9 +40,13 @@ struct MonitorDaemonConfig {
   NetScenarioConfig scenario;
   /// This monitor's NodeId (1..scenario.monitors).
   NodeId monitor_id = 1;
-  /// NOC endpoint to dial.
+  /// Upstream endpoint to dial: the root NOC in the flat deployment, or
+  /// this monitor's regional NOC in the hierarchical one.
   std::string noc_host = "127.0.0.1";
   std::uint16_t noc_port = 0;
+  /// NodeId of that upstream (kNocId, or a region_node_id). Reports and
+  /// sketch responses are addressed to it.
+  NodeId upstream_id = kNocId;
   /// First interval to report (earlier intervals come from the snapshot
   /// and/or local absorption). kAutoInterval resumes from the checkpoint.
   std::int64_t first_interval = 0;

@@ -7,6 +7,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "dist/aggregate.hpp"
 #include "dist/noc.hpp"
 #include "net/frame.hpp"
 #include "obs/flight_recorder.hpp"
@@ -55,6 +56,16 @@ ScenarioRun NocDaemon::run() {
   const NetScenario scenario = build_scenario(config_.scenario);
   const std::size_t num_monitors = config_.scenario.monitors;
   const std::vector<NodeId> monitor_ids = scenario_monitor_ids(num_monitors);
+  // Hierarchical mode: the root's direct children are regional NOCs, which
+  // deliver each phase as one shape-tagged kAggregate per region and relay
+  // kAdvance down to their shards. The unwrap feeds the exact flat-mode
+  // code path, so the trajectory is bit-identical by construction.
+  const bool hier = config_.regions > 0;
+  if (hier) SPCA_EXPECTS(config_.regions <= num_monitors);
+  const std::vector<NodeId> children =
+      hier ? region_node_ids(config_.regions) : monitor_ids;
+  const std::size_t num_children = children.size();
+  const std::size_t rows = config_.scenario.sketch_rows;
 
   std::optional<CheckpointStore> store;
   if (!config_.checkpoint_dir.empty()) {
@@ -110,7 +121,8 @@ ScenarioRun NocDaemon::run() {
       std::ostringstream oss;
       oss << "{\"healthy\":"
           << (stop_.load(std::memory_order_relaxed) ? "false" : "true")
-          << ",\"role\":\"noc\",\"interval\":"
+          << ",\"role\":\"noc\",\"regions\":" << config_.regions
+          << ",\"interval\":"
           << current_interval.load(std::memory_order_relaxed)
           << ",\"intervals_total\":" << intervals_total
           << ",\"reconnects\":" << transport_.reconnects()
@@ -155,46 +167,101 @@ ScenarioRun NocDaemon::run() {
   for (std::int64_t t = start; t < end; ++t) {
     current_interval.store(t, std::memory_order_relaxed);
     poll_telemetry();
-    // Phase 1: every monitor reports its flows' volumes for interval t.
-    // The kAdvance lock-step guarantees no report for t+1 can arrive yet.
-    // Keyed by sender: a monitor that reconnected (e.g. after this daemon
-    // restarted from a checkpoint) re-sends its report, and the duplicate
-    // copy is identical, so last-wins per monitor is safe. Reports for
-    // already-finished intervals (stale re-sends) are discarded.
-    std::map<NodeId, Message> reports_by_monitor;
+    // Phase 1: every child reports interval t's volumes — per-monitor
+    // reports when flat, one volume-shaped aggregate per region when
+    // hierarchical. The kAdvance lock-step guarantees no report for t+1 can
+    // arrive yet. Keyed by sender: a child that reconnected (e.g. after
+    // this daemon restarted from a checkpoint) re-sends its report, and the
+    // duplicate copy is identical, so last-wins per child is safe. Reports
+    // for already-finished intervals (stale re-sends) are discarded, as are
+    // sketch-shaped aggregates (racing duplicates of a finished pull).
+    std::map<NodeId, Message> reports_by_child;
     if (!wait_until(
             [&] {
-              for (Message& msg :
-                   bus.take(kNocId, MessageType::kVolumeReport)) {
+              const MessageType wire = hier ? MessageType::kAggregate
+                                            : MessageType::kVolumeReport;
+              for (Message& msg : bus.take(kNocId, wire)) {
                 if (msg.interval < t) continue;  // stale re-send
-                reports_by_monitor[msg.from] = std::move(msg);
+                if (hier && !aggregate_shape_is(
+                                msg, MessageType::kVolumeReport, rows)) {
+                  continue;
+                }
+                reports_by_child[msg.from] = std::move(msg);
               }
-              return reports_by_monitor.size() >= num_monitors;
+              return reports_by_child.size() >= num_children;
             },
             "volume reports")) {
       break;
     }
     std::vector<Message> reports;
-    reports.reserve(reports_by_monitor.size());
-    for (auto& [id, msg] : reports_by_monitor) reports.push_back(std::move(msg));
+    reports.reserve(reports_by_child.size());
+    for (auto& [id, msg] : reports_by_child) {
+      reports.push_back(
+          hier ? unwrap_aggregate(msg, MessageType::kVolumeReport, rows)
+               : std::move(msg));
+    }
     const Vector x = noc->assemble_volumes(t, reports);
 
     // Phase 2: detection, matching DistributedDetector's warm-up skip.
     if (t + 1 >= static_cast<std::int64_t>(scenario.detector.window)) {
       const auto pull = [&] {
-        noc->request_sketches(t, monitor_ids, bus);
-        std::size_t responses = 0;
-        if (!wait_until(
-                [&] {
-                  for (const Message& msg :
-                       bus.take(kNocId, MessageType::kSketchResponse)) {
-                    noc->ingest_sketch_response(msg);
-                    ++responses;
-                  }
-                  return responses >= num_monitors;
-                },
-                "sketch responses")) {
-          throw TransportError("nocd: stopped during a sketch pull");
+        noc->request_sketches(t, children, bus);
+        if (!hier) {
+          std::size_t responses = 0;
+          if (!wait_until(
+                  [&] {
+                    for (const Message& msg :
+                         bus.take(kNocId, MessageType::kSketchResponse)) {
+                      noc->ingest_sketch_response(msg);
+                      ++responses;
+                    }
+                    return responses >= num_monitors;
+                  },
+                  "sketch responses")) {
+            throw TransportError("nocd: stopped during a sketch pull");
+          }
+        } else {
+          // Sketch aggregates are keyed by region: a regional NOC that died
+          // mid-pull lost the request with its connection, so when a region
+          // redials we re-request from every region still missing. The
+          // duplicate response a racing original may deliver is identical
+          // (monitor sketch snapshots are read-only), so last-wins is safe.
+          std::map<NodeId, Message> responses;
+          std::uint64_t seen_reconnects = transport_.reconnects();
+          if (!wait_until(
+                  [&] {
+                    for (Message& msg :
+                         bus.take(kNocId, MessageType::kAggregate)) {
+                      if (msg.interval != t) continue;
+                      if (!aggregate_shape_is(
+                              msg, MessageType::kSketchResponse, rows)) {
+                        continue;
+                      }
+                      responses[msg.from] = std::move(msg);
+                    }
+                    if (responses.size() >= num_children) return true;
+                    const std::uint64_t rc = transport_.reconnects();
+                    if (rc != seen_reconnects) {
+                      seen_reconnects = rc;
+                      for (const NodeId child : children) {
+                        if (responses.count(child) != 0) continue;
+                        Message request;
+                        request.type = MessageType::kSketchRequest;
+                        request.from = kNocId;
+                        request.to = child;
+                        request.interval = t;
+                        bus.send(request);
+                      }
+                    }
+                    return false;
+                  },
+                  "sketch responses")) {
+            throw TransportError("nocd: stopped during a sketch pull");
+          }
+          for (auto& [id, msg] : responses) {
+            noc->ingest_sketch_response(
+                unwrap_aggregate(msg, MessageType::kSketchResponse, rows));
+          }
         }
         noc->refit();
       };
@@ -203,9 +270,10 @@ ScenarioRun NocDaemon::run() {
       if (det.alarm) run.alarm_intervals.push_back(t);
     }
 
-    // Phase 3: release the monitors into interval t+1.
-    for (const NodeId monitor : monitor_ids) {
-      transport_.send_control(monitor, FrameType::kAdvance,
+    // Phase 3: release the children into interval t+1 (regional NOCs relay
+    // the advance to their shards).
+    for (const NodeId child : children) {
+      transport_.send_control(child, FrameType::kAdvance,
                               encode_interval_payload(t));
     }
     done_through = t + 1;

@@ -21,6 +21,13 @@ namespace spca {
 /// NOC daemon configuration.
 struct NocDaemonConfig {
   NetScenarioConfig scenario;
+  /// Hierarchical deployment: number of regional NOCs between the monitors
+  /// and this root. 0 = flat (monitors dial the root directly). When > 0
+  /// the root's children are the region nodes: phase traffic arrives as
+  /// kAggregate messages (dist/aggregate.hpp) and kAdvance goes to the
+  /// regions, which relay it to their shards. The detection trajectory is
+  /// bit-identical either way.
+  std::size_t regions = 0;
   /// Listen endpoint (port 0 picks an ephemeral port, see bound_port()).
   std::string listen_host = "127.0.0.1";
   std::uint16_t listen_port = 0;

@@ -1,0 +1,165 @@
+#include "net/poller.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define SPCA_HAVE_EPOLL 1
+#else
+#define SPCA_HAVE_EPOLL 0
+#endif
+
+namespace spca {
+
+struct Poller::Impl {
+  PollerBackend backend = PollerBackend::kPoll;
+  // kPoll: the interest set lives in user space.
+  std::vector<pollfd> fds;
+#if SPCA_HAVE_EPOLL
+  // kEpoll: the kernel keeps the interest set; we track the count only.
+  int epoll_fd = -1;
+  std::size_t count = 0;
+  std::vector<epoll_event> scratch;
+#endif
+};
+
+Poller::Poller(PollerBackend backend) : impl_(new Impl) {
+  if (backend == PollerBackend::kAuto) {
+    backend = SPCA_HAVE_EPOLL ? PollerBackend::kEpoll : PollerBackend::kPoll;
+  }
+#if SPCA_HAVE_EPOLL
+  if (backend == PollerBackend::kEpoll) {
+    impl_->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (impl_->epoll_fd < 0) {
+      delete impl_;
+      impl_ = nullptr;
+      throw TransportError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+    }
+  }
+#else
+  if (backend == PollerBackend::kEpoll) {
+    delete impl_;
+    impl_ = nullptr;
+    throw TransportError("epoll backend requested on a non-Linux platform");
+  }
+#endif
+  impl_->backend = backend;
+}
+
+Poller::~Poller() {
+  if (!impl_) return;
+#if SPCA_HAVE_EPOLL
+  if (impl_->epoll_fd >= 0) ::close(impl_->epoll_fd);
+#endif
+  delete impl_;
+}
+
+void Poller::add(int fd) {
+#if SPCA_HAVE_EPOLL
+  if (impl_->backend == PollerBackend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      throw TransportError(std::string("epoll_ctl add: ") +
+                           std::strerror(errno));
+    }
+    ++impl_->count;
+    return;
+  }
+#endif
+  for (const pollfd& p : impl_->fds) {
+    if (p.fd == fd) return;  // already watched; keep the set a set
+  }
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  impl_->fds.push_back(p);
+}
+
+void Poller::remove(int fd) {
+#if SPCA_HAVE_EPOLL
+  if (impl_->backend == PollerBackend::kEpoll) {
+    if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_DEL, fd, nullptr) == 0) {
+      --impl_->count;
+    }
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < impl_->fds.size(); ++i) {
+    if (impl_->fds[i].fd == fd) {
+      impl_->fds[i] = impl_->fds.back();
+      impl_->fds.pop_back();
+      return;
+    }
+  }
+}
+
+std::size_t Poller::wait(std::vector<PollerEvent>& out,
+                         std::chrono::milliseconds timeout) {
+  out.clear();
+  const int timeout_ms = static_cast<int>(timeout.count());
+#if SPCA_HAVE_EPOLL
+  if (impl_->backend == PollerBackend::kEpoll) {
+    impl_->scratch.resize(impl_->count > 0 ? impl_->count : 1);
+    const int n = ::epoll_wait(impl_->epoll_fd, impl_->scratch.data(),
+                               static_cast<int>(impl_->scratch.size()),
+                               timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      throw TransportError(std::string("epoll_wait: ") + std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = impl_->scratch[static_cast<std::size_t>(i)];
+      PollerEvent event;
+      event.fd = ev.data.fd;
+      event.readable = (ev.events & (EPOLLIN | EPOLLHUP)) != 0;
+      event.error = (ev.events & EPOLLERR) != 0;
+      out.push_back(event);
+    }
+    return out.size();
+  }
+#endif
+  if (impl_->fds.empty()) {
+    // Nothing watched: honour the timeout so callers can still pace a loop.
+    ::poll(nullptr, 0, timeout_ms);
+    return 0;
+  }
+  const int n = ::poll(impl_->fds.data(),
+                       static_cast<nfds_t>(impl_->fds.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw TransportError(std::string("poll: ") + std::strerror(errno));
+  }
+  if (n == 0) return 0;
+  for (const pollfd& p : impl_->fds) {
+    if (p.revents == 0) continue;
+    PollerEvent event;
+    event.fd = p.fd;
+    event.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+    event.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+    out.push_back(event);
+    if (out.size() == static_cast<std::size_t>(n)) break;
+  }
+  return out.size();
+}
+
+std::size_t Poller::watched() const noexcept {
+#if SPCA_HAVE_EPOLL
+  if (impl_->backend == PollerBackend::kEpoll) return impl_->count;
+#endif
+  return impl_->fds.size();
+}
+
+const char* Poller::backend_name() const noexcept {
+  return impl_->backend == PollerBackend::kEpoll ? "epoll" : "poll";
+}
+
+}  // namespace spca

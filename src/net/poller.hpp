@@ -1,0 +1,68 @@
+// Readiness multiplexer behind the TcpTransport event loop: watches many
+// file descriptors and reports only the ready ones, so dispatch cost is
+// O(ready), not O(watched).
+//
+// Two backends implement the same level-triggered semantics:
+//   * kEpoll — epoll(7); the kernel keeps the interest set, wait() returns
+//     the ready descriptors directly. Linux only.
+//   * kPoll  — a poll(2) set kept in user space; wait() scans the pollfd
+//     array once and collects the ready descriptors into the caller's
+//     ready list. Portable fallback, and the comparison baseline for the
+//     BM_TransportDrain bench sweep.
+//
+// kAuto resolves to epoll where available. The backend is chosen at
+// construction and never changes, so a bench can pin either path.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace spca {
+
+enum class PollerBackend {
+  kAuto,
+  kEpoll,
+  kPoll,
+};
+
+/// One ready descriptor. `readable` covers data and EOF (level-triggered
+/// read readiness); `error` is a socket error or hangup — the owner should
+/// read it to completion and drop it.
+struct PollerEvent {
+  int fd = -1;
+  bool readable = false;
+  bool error = false;
+};
+
+class Poller final {
+ public:
+  explicit Poller(PollerBackend backend = PollerBackend::kAuto);
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Starts watching `fd` for read readiness. The fd must stay open until
+  /// remove(); the poller never closes descriptors it watches.
+  void add(int fd);
+
+  /// Stops watching `fd`; a no-op if it is not watched.
+  void remove(int fd);
+
+  /// Waits up to `timeout` for readiness and appends the ready descriptors
+  /// to `out` (cleared first). Returns the number of ready descriptors.
+  std::size_t wait(std::vector<PollerEvent>& out,
+                   std::chrono::milliseconds timeout);
+
+  /// Descriptors currently watched.
+  [[nodiscard]] std::size_t watched() const noexcept;
+
+  /// The backend actually in use ("epoll" or "poll"), for logs and benches.
+  [[nodiscard]] const char* backend_name() const noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace spca

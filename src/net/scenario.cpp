@@ -11,6 +11,31 @@ namespace spca {
 
 namespace {
 
+// Deterministic synthetic topology for scale-out runs: a ring of `routers`
+// PoPs with cross-ring chords (a chorded cycle — enough path diversity for
+// the gravity-model traffic while staying O(n) links). "synth15" gives
+// 15 routers and 225 OD flows, the smallest synth size that fits the
+// 200-monitor hierarchy scenario.
+Topology synth_topology(std::size_t routers) {
+  if (routers < 4 || routers > 64) {
+    throw InputError("synth topology: routers must be in [4, 64]");
+  }
+  std::vector<std::string> names;
+  names.reserve(routers);
+  for (std::size_t i = 0; i < routers; ++i) {
+    names.push_back("P" + std::to_string(i));
+  }
+  std::vector<Link> links;
+  const auto id = [](std::size_t i) { return static_cast<RouterId>(i); };
+  for (std::size_t i = 0; i < routers; ++i) {
+    links.push_back(Link{id(i), id((i + 1) % routers), 1.0});
+  }
+  for (std::size_t i = 0; i < routers / 2; ++i) {
+    links.push_back(Link{id(i), id(i + routers / 2), 1.5});
+  }
+  return Topology(std::move(names), std::move(links));
+}
+
 Topology scenario_topology(const std::string& name) {
   if (name == "diamond") {
     return Topology({"A", "B", "C", "D"},
@@ -18,8 +43,20 @@ Topology scenario_topology(const std::string& name) {
                      Link{3, 0, 1.0}, Link{0, 2, 1.5}});
   }
   if (name == "abilene") return abilene_topology();
+  if (name.rfind("synth", 0) == 0) {
+    const std::string arg = name.substr(5);
+    std::size_t routers = 0;
+    for (const char c : arg) {
+      if (c < '0' || c > '9') {
+        throw InputError("synth topology: expected synth<routers>, got " +
+                         name);
+      }
+      routers = routers * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return synth_topology(routers);
+  }
   throw InputError("unknown scenario topology: " + name +
-                   " (expected diamond or abilene)");
+                   " (expected diamond, abilene, or synth<routers>)");
 }
 
 }  // namespace
@@ -102,7 +139,8 @@ ScenarioRun run_scenario_reference(const NetScenario& scenario,
 
 void define_scenario_flags(CliFlags& flags) {
   flags.define("topology", "diamond",
-               "Scenario topology: diamond (16 flows) or abilene (81 flows)");
+               "Scenario topology: diamond (16 flows), abilene (81 flows), "
+               "or synth<N> (N routers, N^2 flows)");
   flags.define("intervals", "96", "Measurement intervals to replay");
   flags.define("window", "24", "Sliding-window length n (also the warm-up)");
   flags.define("sketch-rows", "12", "Sketch length l");

@@ -26,7 +26,8 @@ namespace spca {
 
 /// Parameters every process of a deployment must agree on.
 struct NetScenarioConfig {
-  /// "diamond" (4 routers, 16 OD flows) or "abilene" (9 routers, 81 flows).
+  /// "diamond" (4 routers, 16 OD flows), "abilene" (9 routers, 81 flows),
+  /// or "synth<N>" (N-router chorded ring, N^2 flows — scale-out runs).
   std::string topology = "diamond";
   /// Total measurement intervals to replay.
   std::size_t intervals = 96;

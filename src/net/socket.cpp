@@ -169,7 +169,9 @@ TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
              sizeof(addr)) < 0) {
     throw_errno("bind " + host + ":" + std::to_string(port));
   }
-  if (::listen(fd_.get(), 16) < 0) throw_errno("listen");
+  // A deep backlog absorbs the connect storm of hundreds of monitors
+  // dialing one NOC at start-up (the kernel clamps to somaxconn).
+  if (::listen(fd_.get(), 512) < 0) throw_errno("listen");
   set_nonblocking(fd_.get());
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);

@@ -96,6 +96,9 @@ class TcpListener final {
   /// Closes the listening socket; a blocked accept() returns invalid.
   void close() noexcept { fd_.close(); }
 
+  /// The listening descriptor, for readiness multiplexing (Poller).
+  [[nodiscard]] int native_handle() const noexcept { return fd_.get(); }
+
  private:
   SocketFd fd_;
   std::uint16_t port_ = 0;

@@ -107,6 +107,7 @@ void TcpBus::send(const Message& msg) {
   // Write in bounded slices; if the destination's socket buffer fills up
   // (nobody drained it yet), pull its pending frames into the inbox to make
   // room — the single-threaded analogue of the receiver's reader thread.
+  const auto deadline = std::chrono::steady_clock::now() + kIoTimeout;
   std::size_t sent = 0;
   while (sent < frame.size()) {
     const ssize_t rc = ::send(ep.tx.native_handle(), frame.data() + sent,
@@ -116,13 +117,19 @@ void TcpBus::send(const Message& msg) {
       continue;
     }
     if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Destination buffers full: absorb its pending frames, then give the
-      // loopback stack a moment to move bytes before retrying.
+      // Destination buffers full: absorb its pending frames, then wait for
+      // writability up to the remaining send deadline instead of spinning.
       pump_available(ep);
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining <= std::chrono::milliseconds::zero()) {
+        throw TransportError("TcpBus: send timed out");
+      }
       pollfd p{};
       p.fd = ep.tx.native_handle();
       p.events = POLLOUT;
-      (void)::poll(&p, 1, 1);
+      (void)::poll(&p, 1, static_cast<int>(remaining.count()));
       continue;
     }
     if (rc < 0 && errno == EINTR) continue;

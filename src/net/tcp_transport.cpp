@@ -1,7 +1,9 @@
 #include "net/tcp_transport.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstring>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
@@ -9,11 +11,20 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/scoped_timer.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 namespace spca {
 
 namespace {
 
+/// Upper bound of one event-loop sweep; also the cadence of the pending
+/// handshake deadline checks.
 constexpr std::chrono::milliseconds kPollSlice{200};
+/// Read rounds per ready connection per sweep: bounds how long one firehose
+/// peer can monopolize the loop — the poller is level-triggered, so leftover
+/// bytes re-report the descriptor on the next sweep.
+constexpr int kMaxReadsPerWake = 8;
 
 std::vector<std::byte> encode_node_id(NodeId id) {
   std::vector<std::byte> payload(sizeof(NodeId));
@@ -30,27 +41,47 @@ NodeId decode_node_id(const std::vector<std::byte>& payload) {
   return id;
 }
 
+void set_nonblocking_fd(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
 
 /// One live connection. `alive` flips to false exactly once (under the
 /// transport mutex) when either side dies; the stream is then shut down but
-/// not closed, so a reader still blocked on it wakes with EOF safely.
+/// not closed, so the event loop still polling it wakes with EOF safely.
 struct TcpTransport::Conn {
   NodeId peer = 0;
   TcpStream stream;
   std::mutex write_mutex;
   std::atomic<bool> alive{true};
   bool outbound = false;
-  /// Reassembly state. Shared between the handshake read and the reader
-  /// thread: bytes that arrive glued to the hello frame (the peer's first
-  /// messages usually do) stay buffered here instead of being lost.
+  /// Reassembly state. Bytes that arrive glued to the hello frame (the
+  /// peer's first messages usually do) carry over from the handshake.
   FrameDecoder decoder;
+};
+
+/// An accepted connection whose introductory hello frame is still in
+/// flight; dropped if the hello misses its deadline.
+struct TcpTransport::PendingHello {
+  TcpStream stream;
+  FrameDecoder decoder;
+  std::chrono::steady_clock::time_point deadline;
 };
 
 TcpTransport::TcpTransport(TcpTransportConfig config)
     : config_(std::move(config)) {}
 
-TcpTransport::~TcpTransport() { stop(); }
+TcpTransport::~TcpTransport() {
+  stop();
+  // The wake pipe outlives stop(): a racing send() may still prod it after
+  // shutdown, and writing into a recycled descriptor would be far worse
+  // than keeping two fds until destruction.
+  if (wake_rx_ >= 0) ::close(wake_rx_);
+  if (wake_tx_ >= 0) ::close(wake_tx_);
+  wake_rx_ = wake_tx_ = -1;
+}
 
 std::uint16_t TcpTransport::listen_port() const noexcept {
   return listener_ ? listener_->port() : 0;
@@ -61,8 +92,16 @@ void TcpTransport::start() {
   started_ = true;
   if (!config_.listen_host.empty()) {
     listener_.emplace(config_.listen_host, config_.listen_port);
-    accept_thread_ = std::thread([this] { accept_loop(); });
   }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    throw TransportError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_rx_ = pipe_fds[0];
+  wake_tx_ = pipe_fds[1];
+  set_nonblocking_fd(wake_rx_);
+  set_nonblocking_fd(wake_tx_);
+  io_thread_ = std::thread([this] { io_loop(); });
   for (const auto& peer : config_.peers) {
     register_conn(connect_peer(peer, /*is_reconnect=*/false));
   }
@@ -80,55 +119,242 @@ void TcpTransport::stop() {
   }
   inbox_cv_.notify_all();
   conn_cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  for (std::thread& reader : reader_threads_) {
-    if (reader.joinable()) reader.join();
-  }
+  wake_io_thread();
+  if (io_thread_.joinable()) io_thread_.join();
   std::lock_guard<std::mutex> lock(mutex_);
   conns_.clear();
+  pending_add_.clear();
   listener_.reset();
 }
 
-void TcpTransport::accept_loop() {
-  while (true) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) return;
-    }
+void TcpTransport::wake_io_thread() {
+  if (wake_tx_ < 0) return;
+  const std::byte one{1};
+  // A full pipe already guarantees a pending wake-up; EAGAIN is fine.
+  (void)::write(wake_tx_, &one, 1);
+}
+
+void TcpTransport::adopt_pending_conns(
+    Poller& poller, std::map<int, std::shared_ptr<Conn>>& by_fd) {
+  std::vector<std::shared_ptr<Conn>> adopted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    adopted.swap(pending_add_);
+  }
+  for (auto& conn : adopted) {
+    // A connection superseded or dropped before adoption is simply released
+    // here (closing its descriptor); it never enters the poll set.
+    if (!conn->alive.load(std::memory_order_relaxed)) continue;
+    const int fd = conn->stream.native_handle();
+    if (fd < 0) continue;
+    poller.add(fd);
+    by_fd[fd] = std::move(conn);
+  }
+}
+
+void TcpTransport::accept_ready(Poller& poller,
+                                std::map<int, PendingHello>& pending) {
+  for (;;) {
     TcpStream stream;
     try {
-      stream = listener_->accept(kPollSlice);
+      stream = listener_->accept(std::chrono::milliseconds(0));
     } catch (const TransportError& e) {
       log_warn("tcp: accept failed: ", e.what());
       return;
     }
-    if (!stream.valid()) continue;
-    // Handshake: the dialer must introduce itself before anything else.
-    try {
-      auto conn = std::make_shared<Conn>();
-      std::byte buf[512];
-      while (!conn->decoder.has_frame()) {
-        const std::ptrdiff_t n =
-            stream.recv_some(buf, sizeof(buf), config_.io_timeout);
-        if (n <= 0) throw ProtocolError("hello frame: peer closed early");
-        conn->decoder.feed(buf, static_cast<std::size_t>(n));
+    if (!stream.valid()) return;
+    const int fd = stream.native_handle();
+    PendingHello hello;
+    hello.stream = std::move(stream);
+    hello.deadline = std::chrono::steady_clock::now() + config_.io_timeout;
+    poller.add(fd);
+    pending.emplace(fd, std::move(hello));
+  }
+}
+
+bool TcpTransport::progress_handshake(
+    Poller& poller, std::map<int, std::shared_ptr<Conn>>& by_fd,
+    PendingHello& pending) {
+  std::byte buf[4096];
+  try {
+    for (int round = 0; round < kMaxReadsPerWake; ++round) {
+      if (pending.decoder.has_frame()) break;
+      const std::ptrdiff_t n = pending.stream.recv_some(
+          buf, sizeof(buf), std::chrono::milliseconds(0));
+      if (n < 0) return true;  // nothing more now; hello still pending
+      if (n == 0) throw ProtocolError("hello frame: peer closed early");
+      pending.decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+    if (!pending.decoder.has_frame()) return true;
+    const Frame hello = pending.decoder.pop();
+    if (hello.type != FrameType::kHello) {
+      throw ProtocolError("expected hello as the first frame");
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->peer = decode_node_id(hello.payload);
+    conn->stream = std::move(pending.stream);
+    conn->decoder = std::move(pending.decoder);
+    register_conn(conn);
+    if (!conn->alive.load(std::memory_order_relaxed)) return false;
+    // The descriptor is already in the poll set; promote it in place (the
+    // stream moved, so the fd key is unchanged).
+    by_fd[conn->stream.native_handle()] = conn;
+    // Frames glued to the hello are already decoded; dispatch them now.
+    if (!read_ready(by_fd.at(conn->stream.native_handle()))) {
+      const int fd = conn->stream.native_handle();
+      poller.remove(fd);
+      by_fd.erase(fd);
+    }
+    return false;  // no longer pending either way
+  } catch (const std::exception& e) {
+    static Counter& errors =
+        MetricsRegistry::global().counter("spca.net.frame_errors");
+    errors.inc();
+    log_warn("tcp: rejected inbound connection: ", e.what());
+    FlightRecorder::global().note("protocol_error", -1, e.what());
+    (void)FlightRecorder::global().dump("protocol_error");
+    return false;
+  }
+}
+
+bool TcpTransport::read_ready(const std::shared_ptr<Conn>& conn) {
+  static Counter& bytes_rx =
+      MetricsRegistry::global().counter("spca.net.bytes_rx");
+  static Counter& control_rx =
+      MetricsRegistry::global().counter("spca.net.control_rx");
+  static Counter& frame_errors =
+      MetricsRegistry::global().counter("spca.net.frame_errors");
+
+  FrameDecoder& decoder = conn->decoder;
+  std::byte buf[64 * 1024];
+  bool dead = false;
+  try {
+    for (int round = 0; round < kMaxReadsPerWake; ++round) {
+      if (!conn->alive.load(std::memory_order_relaxed)) {
+        dead = true;
+        break;
       }
-      const Frame hello = conn->decoder.pop();
-      if (hello.type != FrameType::kHello) {
-        throw ProtocolError("expected hello as the first frame");
+      if (round > 0 || !decoder.has_frame()) {
+        const std::ptrdiff_t n = conn->stream.recv_some(
+            buf, sizeof(buf), std::chrono::milliseconds(0));
+        if (n < 0) break;  // drained for now
+        if (n == 0) {      // EOF: peer shut down
+          dead = true;
+          break;
+        }
+        decoder.feed(buf, static_cast<std::size_t>(n));
       }
-      conn->peer = decode_node_id(hello.payload);
-      conn->stream = std::move(stream);
-      register_conn(conn);
-    } catch (const std::exception& e) {
-      static Counter& errors =
-          MetricsRegistry::global().counter("spca.net.frame_errors");
-      errors.inc();
-      log_warn("tcp: rejected inbound connection: ", e.what());
-      FlightRecorder::global().note("protocol_error", -1, e.what());
-      (void)FlightRecorder::global().dump("protocol_error");
+      while (decoder.has_frame()) {
+        Frame frame = decoder.pop();
+        switch (frame.type) {
+          case FrameType::kMessage: {
+            Message msg = deserialize(frame.payload);
+            bytes_rx.inc(frame.payload.size());
+            deliver_local(std::move(msg));
+            break;
+          }
+          case FrameType::kAdvance: {
+            control_rx.inc();
+            std::lock_guard<std::mutex> lock(mutex_);
+            control_.push_back(ControlFrame{conn->peer, frame.type,
+                                            std::move(frame.payload)});
+            inbox_cv_.notify_all();
+            break;
+          }
+          case FrameType::kHello:
+            throw ProtocolError("unexpected hello on established connection");
+        }
+      }
+    }
+  } catch (const ProtocolError& e) {
+    frame_errors.inc();
+    log_warn("tcp: dropping connection to node ", conn->peer, ": ", e.what());
+    FlightRecorder::global().note(
+        "protocol_error", -1,
+        "node " + std::to_string(conn->peer) + ": " + e.what());
+    (void)FlightRecorder::global().dump("protocol_error");
+    dead = true;
+  } catch (const TransportError& e) {
+    log_warn("tcp: read error from node ", conn->peer, ": ", e.what());
+    dead = true;
+  }
+  if (!dead) return true;
+  drop_conn(conn);
+  inbox_cv_.notify_all();
+  conn_cv_.notify_all();
+  return false;
+}
+
+void TcpTransport::io_loop() {
+  Poller poller(config_.poller);
+  std::map<int, std::shared_ptr<Conn>> by_fd;
+  std::map<int, PendingHello> pending;
+  std::vector<PollerEvent> events;
+  const int listen_fd =
+      listener_ ? listener_->native_handle() : -1;
+  if (listen_fd >= 0) poller.add(listen_fd);
+  poller.add(wake_rx_);
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) break;
+    }
+    adopt_pending_conns(poller, by_fd);
+    watched_.store(by_fd.size() + pending.size(), std::memory_order_relaxed);
+    (void)poller.wait(events, kPollSlice);
+    for (const PollerEvent& event : events) {
+      if (event.fd == wake_rx_) {
+        std::byte sink[64];
+        while (::read(wake_rx_, sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      if (event.fd == listen_fd) {
+        accept_ready(poller, pending);
+        continue;
+      }
+      const auto pending_it = pending.find(event.fd);
+      if (pending_it != pending.end()) {
+        if (!progress_handshake(poller, by_fd, pending_it->second)) {
+          // Promoted or rejected; if the fd is not established now, it is
+          // gone — stop polling it. (A promoted fd stays in the set.)
+          if (by_fd.find(event.fd) == by_fd.end()) poller.remove(event.fd);
+          pending.erase(pending_it);
+        }
+        continue;
+      }
+      const auto conn_it = by_fd.find(event.fd);
+      if (conn_it == by_fd.end()) continue;  // already dropped this sweep
+      if (!read_ready(conn_it->second)) {
+        poller.remove(event.fd);
+        by_fd.erase(conn_it);
+      }
+    }
+    // Expire handshakes that never said hello; sweep dead connections whose
+    // descriptors were shut down by another thread (drop/reset/supersede) —
+    // their EOF arrives via the poller, but a shutdown pipe-closed race must
+    // not leak entries.
+    if (!pending.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (it->second.deadline <= now) {
+          log_warn("tcp: dropping inbound connection (hello timeout)");
+          poller.remove(it->first);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
     }
   }
+
+  // Shutdown: unregister everything; streams close when the maps release
+  // their last references (conns_ is cleared by stop() after the join).
+  for (auto& [fd, conn] : by_fd) poller.remove(fd);
+  for (auto& [fd, hello] : pending) poller.remove(fd);
+  by_fd.clear();
+  pending.clear();
 }
 
 void TcpTransport::register_conn(const std::shared_ptr<Conn>& conn) {
@@ -149,8 +375,14 @@ void TcpTransport::register_conn(const std::shared_ptr<Conn>& conn) {
     // the previous connection already died of EOF and was dropped.
     seen_before = registrations_[conn->peer]++ > 0;
     conns_[conn->peer] = conn;
-    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+    if (conn->outbound) {
+      // Outbound sockets are created on caller threads; hand them to the
+      // event loop for read multiplexing. Inbound sockets are already in
+      // the poll set (the handshake ran there).
+      pending_add_.push_back(conn);
+    }
   }
+  if (conn->outbound) wake_io_thread();
   if (seen_before && !conn->outbound) {
     // An inbound peer came back on a fresh socket (its previous connection
     // is superseded); outbound reconnects are counted at connect time.
@@ -168,65 +400,6 @@ void TcpTransport::drop_conn(const std::shared_ptr<Conn>& conn) {
   conn->stream.shutdown_both();
   auto it = conns_.find(conn->peer);
   if (it != conns_.end() && it->second == conn) conns_.erase(it);
-}
-
-void TcpTransport::reader_loop(std::shared_ptr<Conn> conn) {
-  static Counter& bytes_rx =
-      MetricsRegistry::global().counter("spca.net.bytes_rx");
-  static Counter& control_rx =
-      MetricsRegistry::global().counter("spca.net.control_rx");
-  static Counter& frame_errors =
-      MetricsRegistry::global().counter("spca.net.frame_errors");
-
-  FrameDecoder& decoder = conn->decoder;
-  std::vector<std::byte> buf(64 * 1024);
-  try {
-    // Frames may already be buffered from the handshake read.
-    bool first_pass = true;
-    while (conn->alive.load(std::memory_order_relaxed)) {
-      if (!first_pass || !decoder.has_frame()) {
-        const std::ptrdiff_t n =
-            conn->stream.recv_some(buf.data(), buf.size(), kPollSlice);
-        if (n < 0) continue;  // poll slice elapsed; re-check liveness
-        if (n == 0) break;    // EOF: peer shut down
-        decoder.feed(buf.data(), static_cast<std::size_t>(n));
-      }
-      first_pass = false;
-      while (decoder.has_frame()) {
-        Frame frame = decoder.pop();
-        switch (frame.type) {
-          case FrameType::kMessage: {
-            Message msg = deserialize(frame.payload);
-            bytes_rx.inc(frame.payload.size());
-            deliver_local(std::move(msg));
-            break;
-          }
-          case FrameType::kAdvance: {
-            control_rx.inc();
-            std::lock_guard<std::mutex> lock(mutex_);
-            control_.push_back(
-                ControlFrame{conn->peer, frame.type, std::move(frame.payload)});
-            inbox_cv_.notify_all();
-            break;
-          }
-          case FrameType::kHello:
-            throw ProtocolError("unexpected hello on established connection");
-        }
-      }
-    }
-  } catch (const ProtocolError& e) {
-    frame_errors.inc();
-    log_warn("tcp: dropping connection to node ", conn->peer, ": ", e.what());
-    FlightRecorder::global().note(
-        "protocol_error", -1,
-        "node " + std::to_string(conn->peer) + ": " + e.what());
-    (void)FlightRecorder::global().dump("protocol_error");
-  } catch (const TransportError& e) {
-    log_warn("tcp: read error from node ", conn->peer, ": ", e.what());
-  }
-  drop_conn(conn);
-  inbox_cv_.notify_all();
-  conn_cv_.notify_all();
 }
 
 std::shared_ptr<TcpTransport::Conn> TcpTransport::connect_peer(
@@ -428,6 +601,15 @@ std::vector<NodeId> TcpTransport::connected_peers() const {
     if (conn->alive.load(std::memory_order_relaxed)) peers.push_back(id);
   }
   return peers;
+}
+
+std::size_t TcpTransport::watched_connections() const {
+  return watched_.load(std::memory_order_relaxed);
+}
+
+const char* TcpTransport::poller_backend() const {
+  Poller probe(config_.poller);
+  return probe.backend_name();
 }
 
 }  // namespace spca

@@ -8,8 +8,15 @@
 //   * a send towards a not-yet-(re)connected inbound peer waits for the
 //     peer's handshake up to the I/O timeout before failing;
 //   * reads reassemble partial frames (FrameDecoder) and tolerate EOF;
-//   * stop() (also run by the destructor) closes everything and joins all
-//     reader threads, so daemons shut down gracefully on SIGTERM.
+//   * stop() (also run by the destructor) closes everything and joins the
+//     I/O thread, so daemons shut down gracefully on SIGTERM.
+//
+// All reads and accepts run on ONE event-loop thread multiplexed by a
+// Poller (epoll on Linux, poll elsewhere), so an endpoint holds hundreds of
+// connections without hundreds of threads, and dispatch work per wake-up is
+// O(ready), not O(connections). Inbound handshakes are asynchronous state
+// machines with a deadline, so a slow dialer never blocks the accept path.
+// Writes stay on the calling thread under a per-connection write mutex.
 //
 // Wire accounting matches SimNetwork byte-for-byte: NetworkStats counts
 // serialized Message payloads only; framing overhead, hellos, and advance
@@ -30,6 +37,7 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "net/poller.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
 
@@ -53,6 +61,8 @@ struct TcpTransportConfig {
   RetryPolicy retry;
   /// Read/write timeout of established connections.
   std::chrono::milliseconds io_timeout{15000};
+  /// Readiness backend of the event loop (kAuto = epoll where available).
+  PollerBackend poller = PollerBackend::kAuto;
 };
 
 /// A transport-level control frame received from a peer.
@@ -122,11 +132,28 @@ class TcpTransport final : public Transport {
   /// instead of deadlocking until the next send's I/O timeout.
   void ensure_connected(NodeId peer);
 
+  /// Connections currently multiplexed by the event loop (established plus
+  /// mid-handshake); for tests and capacity introspection.
+  [[nodiscard]] std::size_t watched_connections() const;
+
+  /// The readiness backend the event loop runs on ("epoll" or "poll").
+  [[nodiscard]] const char* poller_backend() const;
+
  private:
   struct Conn;
+  /// An accepted connection whose hello frame has not arrived yet.
+  struct PendingHello;
 
-  void accept_loop();
-  void reader_loop(std::shared_ptr<Conn> conn);
+  void io_loop();
+  void adopt_pending_conns(Poller& poller,
+                           std::map<int, std::shared_ptr<Conn>>& by_fd);
+  void accept_ready(Poller& poller, std::map<int, PendingHello>& pending);
+  /// Returns false when the handshake connection should be dropped.
+  [[nodiscard]] bool progress_handshake(
+      Poller& poller, std::map<int, std::shared_ptr<Conn>>& by_fd,
+      PendingHello& pending);
+  /// Returns false when the established connection died (EOF or error).
+  [[nodiscard]] bool read_ready(const std::shared_ptr<Conn>& conn);
   std::shared_ptr<Conn> connect_peer(const TcpTransportConfig::Peer& peer,
                                      bool is_reconnect);
   std::shared_ptr<Conn> conn_for(NodeId to);
@@ -134,6 +161,7 @@ class TcpTransport final : public Transport {
   void drop_conn(const std::shared_ptr<Conn>& conn);
   void deliver_local(Message msg);
   void write_frame(NodeId to, const std::vector<std::byte>& frame);
+  void wake_io_thread();
 
   TcpTransportConfig config_;
   NetworkStats stats_;
@@ -144,15 +172,20 @@ class TcpTransport final : public Transport {
   std::map<NodeId, std::shared_ptr<Conn>> conns_;
   /// Lifetime registrations per peer (reconnect detection across EOF drops).
   std::map<NodeId, std::uint64_t> registrations_;
+  /// Outbound connections awaiting adoption by the event loop.
+  std::vector<std::shared_ptr<Conn>> pending_add_;
   std::deque<Message> inbox_;
   std::deque<ControlFrame> control_;
   bool stopping_ = false;
   bool started_ = false;
   std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::size_t> watched_{0};
 
   std::optional<TcpListener> listener_;
-  std::thread accept_thread_;
-  std::vector<std::thread> reader_threads_;
+  /// Self-pipe that wakes the event loop for stop() and adoptions.
+  int wake_rx_ = -1;
+  int wake_tx_ = -1;
+  std::thread io_thread_;
 };
 
 }  // namespace spca

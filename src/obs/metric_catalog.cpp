@@ -42,6 +42,12 @@ const MetricInfo kCatalog[] = {
      "Deterministic retransmissions masking injected drops/corruptions."},
     {"spca.flight.dumps", MetricKind::kCounter,
      "Flight-recorder dump files written (signal, error, or explicit)."},
+    {"spca.hier.aggregates_tx", MetricKind::kCounter,
+     "Merged shard aggregates a regional NOC relayed towards the root."},
+    {"spca.hier.merges", MetricKind::kCounter,
+     "Complete shards a regional NOC merged into one aggregate."},
+    {"spca.hier.requests_forwarded", MetricKind::kCounter,
+     "Root sketch requests a regional NOC fanned out to its shard."},
     {"spca.ingest.batches", MetricKind::kCounter,
      "Record batches drained from the ingest ring."},
     {"spca.ingest.intervals", MetricKind::kCounter,
@@ -85,6 +91,8 @@ const MetricInfo kCatalog[] = {
      "Sketch responses emitted by local monitors to NOC pulls."},
     {"spca.monitor.update_seconds", MetricKind::kHistogram,
      "Local-monitor interval close time (sketch flush + report build)."},
+    {"spca.net.aggregate_bytes", MetricKind::kCounter,
+     "Serialized payload bytes of regional shard aggregates."},
     {"spca.net.alarm_bytes", MetricKind::kCounter,
      "Serialized payload bytes of alarm messages."},
     {"spca.net.bytes_rx", MetricKind::kCounter,

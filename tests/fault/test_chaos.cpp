@@ -128,6 +128,87 @@ TEST(Chaos, ValidationRejectsInfeasibleSchedules) {
   }
 }
 
+TEST(Chaos, ValidationRejectsInfeasibleHierarchicalSchedules) {
+  {
+    ChaosConfig config = base_config();
+    config.tcp = true;
+    config.checkpoint_dir = "/tmp/never-created";
+    // Region kills need a hierarchical deployment.
+    config.faults = parse_fault_spec("kill=r0@18");
+    EXPECT_THROW((void)run_chaos(config), InputError);
+  }
+  {
+    ChaosConfig config = base_config();
+    config.tcp = true;
+    config.regions = 2;
+    config.checkpoint_dir = "/tmp/never-created";
+    // Only regions 0..regions-1 exist.
+    config.faults = parse_fault_spec("kill=r2@18");
+    EXPECT_THROW((void)run_chaos(config), InputError);
+  }
+  {
+    ChaosConfig config = base_config();
+    config.tcp = true;
+    config.regions = 2;
+    config.checkpoint_dir = "/tmp/never-created";
+    // The root NOC cannot be killed in hierarchical mode: the regiond tier
+    // never re-sends an aggregate it already forwarded.
+    config.faults = parse_fault_spec("kill=0@18");
+    EXPECT_THROW((void)run_chaos(config), InputError);
+  }
+  {
+    ChaosConfig config = base_config();
+    config.regions = 2;  // hierarchy requires real daemons
+    EXPECT_THROW((void)run_chaos(config), InputError);
+  }
+  {
+    ChaosConfig config = base_config();
+    config.tcp = true;
+    config.regions = 4;  // more regions than the 2 monitors
+    EXPECT_THROW((void)run_chaos(config), InputError);
+  }
+}
+
+TEST(Chaos, HierRegionalKillRestartsFromSpcrSnapshot) {
+  // Kill regional NOC 0 of a 2-region / 4-monitor hierarchy mid-run. The
+  // reborn regiond restores its SPCR progress snapshot on the same port,
+  // the shard's monitors redial and re-send, and the root never notices:
+  // the trajectory stays bit-identical to the fault-free flat reference.
+  const TempDir dir("hierkill");
+  ChaosConfig config = base_config();
+  config.scenario.monitors = 4;
+  config.tcp = true;
+  config.regions = 2;
+  config.checkpoint_dir = dir.str();
+  config.checkpoint_every = 4;
+  config.faults = parse_fault_spec("kill=r0@18,seed=3");
+  const ChaosResult result = run_chaos(config);
+  EXPECT_TRUE(result.match);
+  EXPECT_EQ(result.kills, 1u);
+  EXPECT_TRUE(result.restored_from_checkpoint);
+}
+
+TEST(Chaos, HierCrashKillWithMonitorFaultsStaysBitIdentical) {
+  // Crash-kill (no shutdown snapshot) a regional NOC while the monitor
+  // endpoints are also dropping and reordering messages. The regiond tier
+  // is stateless beyond its progress cursor, so a periodic SPCR snapshot
+  // plus the monitors' resend-on-reconnect absorbs everything.
+  const TempDir dir("hiercrash");
+  ChaosConfig config = base_config();
+  config.scenario.monitors = 4;
+  config.tcp = true;
+  config.regions = 2;
+  config.checkpoint_dir = dir.str();
+  config.checkpoint_every = 4;
+  config.crash_kills = true;
+  config.faults = parse_fault_spec("drop=0.15,reorder=0.1,kill=r1@21,seed=4");
+  const ChaosResult result = run_chaos(config);
+  EXPECT_TRUE(result.match);
+  EXPECT_EQ(result.kills, 1u);
+  EXPECT_TRUE(result.restored_from_checkpoint);
+  EXPECT_GT(result.faults.drops, 0u);
+}
+
 TEST(Chaos, TcpKillRestartsFromShutdownCheckpoint) {
   const TempDir dir("cleankill");
   ChaosConfig config = base_config();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "dist/aggregate.hpp"
 #include "fault/fault_plan.hpp"
 
 namespace spca {
@@ -54,6 +55,28 @@ TEST(FaultPlan, SpecRoundTripsThroughToString) {
   ASSERT_EQ(again.kills.size(), config.kills.size());
   EXPECT_EQ(again.kills[0].node, config.kills[0].node);
   EXPECT_EQ(again.kills[0].interval, config.kills[0].interval);
+}
+
+TEST(FaultPlan, RegionalNodeSpecsParseAndRenderAsRPrefix) {
+  const FaultPlanConfig config = parse_fault_spec("kill=r0@18,kill=r3@25");
+  ASSERT_EQ(config.kills.size(), 2u);
+  EXPECT_EQ(config.kills[0].node, region_node_id(0));
+  EXPECT_EQ(config.kills[0].interval, 18);
+  EXPECT_EQ(config.kills[1].node, region_node_id(3));
+  EXPECT_EQ(config.kills[1].interval, 25);
+
+  // The rendered spec keeps the "r<idx>" form and round-trips.
+  const std::string rendered = to_string(config);
+  EXPECT_NE(rendered.find("kill=r0@18"), std::string::npos);
+  EXPECT_NE(rendered.find("kill=r3@25"), std::string::npos);
+  const FaultPlanConfig again = parse_fault_spec(rendered);
+  ASSERT_EQ(again.kills.size(), 2u);
+  EXPECT_EQ(again.kills[0].node, config.kills[0].node);
+  EXPECT_EQ(again.kills[1].node, config.kills[1].node);
+
+  // A bare 'r' with no index is malformed, as is a non-numeric index.
+  EXPECT_THROW((void)parse_fault_spec("kill=r@5"), InputError);
+  EXPECT_THROW((void)parse_fault_spec("kill=rx@5"), InputError);
 }
 
 TEST(FaultPlan, RepeatedEventKeysAccumulate) {

@@ -1,0 +1,280 @@
+// Aggregation codec properties (dist/aggregate.hpp): the contiguous-block
+// partition, and the bit-stability of the merge — any arrival order and any
+// region partition of the same per-monitor messages must serialize to the
+// same bytes once merged, which is the property that makes the hierarchy
+// invisible to the detection trajectory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dist/aggregate.hpp"
+#include "dist/message.hpp"
+#include "rand/xoshiro256.hpp"
+
+namespace spca {
+namespace {
+
+/// A deterministic volume report from `monitor` carrying its flows.
+Message volume_report(NodeId monitor, std::int64_t interval,
+                      std::vector<std::uint32_t> flows) {
+  Message msg;
+  msg.type = MessageType::kVolumeReport;
+  msg.from = monitor;
+  msg.interval = interval;
+  msg.ids = std::move(flows);
+  for (const std::uint32_t id : msg.ids) {
+    msg.values.push_back(static_cast<double>(monitor) * 1000.0 + id);
+  }
+  return msg;
+}
+
+/// A deterministic sketch response: [mean, count, z_1..z_rows] per flow.
+Message sketch_response(NodeId monitor, std::int64_t interval,
+                        std::vector<std::uint32_t> flows,
+                        std::size_t sketch_rows) {
+  Message msg;
+  msg.type = MessageType::kSketchResponse;
+  msg.from = monitor;
+  msg.interval = interval;
+  msg.ids = std::move(flows);
+  for (const std::uint32_t id : msg.ids) {
+    for (std::size_t r = 0; r < sketch_rows + 2; ++r) {
+      msg.values.push_back(static_cast<double>(monitor) +
+                           static_cast<double>(id) * 0.25 +
+                           static_cast<double>(r) * 0.125);
+    }
+  }
+  return msg;
+}
+
+TEST(Aggregate, RegionNodeIdsAreTheirOwnSpace) {
+  EXPECT_EQ(region_node_id(0), kRegionBase);
+  EXPECT_EQ(region_index(region_node_id(7)), 7u);
+  EXPECT_TRUE(is_region_node(region_node_id(0)));
+  EXPECT_FALSE(is_region_node(kNocId));
+  EXPECT_FALSE(is_region_node(NodeId{1}));
+  EXPECT_FALSE(is_region_node(NodeId{0xFFFF}));
+
+  const std::vector<NodeId> ids = region_node_ids(3);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], region_node_id(0));
+  EXPECT_EQ(ids[2], region_node_id(2));
+}
+
+TEST(Aggregate, PartitionCoversEveryMonitorExactlyOnce) {
+  for (const std::size_t k : {1u, 2u, 5u, 9u, 200u}) {
+    for (std::size_t regions = 1; regions <= std::min<std::size_t>(k, 7);
+         ++regions) {
+      std::vector<NodeId> covered;
+      for (std::size_t r = 0; r < regions; ++r) {
+        const std::vector<NodeId> shard = region_monitor_ids(k, regions, r);
+        EXPECT_FALSE(shard.empty()) << "k=" << k << " R=" << regions;
+        EXPECT_TRUE(std::is_sorted(shard.begin(), shard.end()));
+        for (const NodeId id : shard) {
+          covered.push_back(id);
+          EXPECT_EQ(region_of_monitor(k, regions, id), r)
+              << "monitor " << id << " k=" << k << " R=" << regions;
+        }
+      }
+      // Contiguous blocks in region order concatenate to exactly 1..k.
+      std::vector<NodeId> expected(k);
+      std::iota(expected.begin(), expected.end(), NodeId{1});
+      EXPECT_EQ(covered, expected) << "k=" << k << " R=" << regions;
+    }
+  }
+}
+
+TEST(Aggregate, PartitionRejectsDegenerateRegionCounts) {
+  EXPECT_THROW((void)region_monitor_ids(4, 0, 0), InputError);
+  EXPECT_THROW((void)region_monitor_ids(4, 5, 0), InputError);
+  EXPECT_THROW((void)region_of_monitor(4, 0, 1), InputError);
+}
+
+TEST(Aggregate, MergeConcatenatesInSortedSenderOrder) {
+  // Parts arrive 3, 1, 2 — the merge must still read 1 | 2 | 3.
+  std::vector<Message> parts;
+  parts.push_back(volume_report(3, 5, {20, 23}));
+  parts.push_back(volume_report(1, 5, {0, 3}));
+  parts.push_back(volume_report(2, 5, {11}));
+  const Message merged =
+      merge_aggregate(std::move(parts), region_node_id(0), kNocId);
+
+  EXPECT_EQ(merged.type, MessageType::kAggregate);
+  EXPECT_EQ(merged.from, region_node_id(0));
+  EXPECT_EQ(merged.to, kNocId);
+  EXPECT_EQ(merged.interval, 5);
+  const std::vector<std::uint32_t> expected_ids = {0, 3, 11, 20, 23};
+  EXPECT_EQ(merged.ids, expected_ids);
+  EXPECT_EQ(merged.values[0], 1000.0);   // monitor 1, flow 0
+  EXPECT_EQ(merged.values[2], 2011.0);   // monitor 2, flow 11
+  EXPECT_EQ(merged.values[3], 3020.0);   // monitor 3, flow 20
+}
+
+TEST(Aggregate, MergeIsByteIdenticalUnderAnyArrivalOrder) {
+  // Satellite property, volume half: every permutation of the shard's
+  // reports merges to the same serialized bytes.
+  const std::vector<Message> canonical = {
+      volume_report(1, 9, {0, 4}), volume_report(2, 9, {1, 5}),
+      volume_report(3, 9, {2}), volume_report(4, 9, {3, 6, 7})};
+  const std::vector<std::byte> reference = serialize(
+      merge_aggregate(canonical, region_node_id(1), kNocId));
+
+  std::vector<std::size_t> order = {0, 1, 2, 3};
+  do {
+    std::vector<Message> shuffled;
+    for (const std::size_t i : order) shuffled.push_back(canonical[i]);
+    EXPECT_EQ(serialize(merge_aggregate(std::move(shuffled),
+                                        region_node_id(1), kNocId)),
+              reference);
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(Aggregate, SketchMergeIsByteIdenticalUnderRandomShuffles) {
+  // Satellite property, sketch half (the merged Z-hat): random shuffles of
+  // a wider shard all serialize identically.
+  const std::size_t rows = 6;
+  std::vector<Message> canonical;
+  for (NodeId id = 1; id <= 8; ++id) {
+    canonical.push_back(sketch_response(id, 17, {id - 1, id + 7}, rows));
+  }
+  const std::vector<std::byte> reference = serialize(
+      merge_aggregate(canonical, region_node_id(0), kNocId));
+
+  Xoshiro256 prng(0xA66u);
+  std::vector<Message> shuffled = canonical;
+  for (int round = 0; round < 32; ++round) {
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[prng() % i]);  // Fisher-Yates
+    }
+    EXPECT_EQ(serialize(merge_aggregate(shuffled, region_node_id(0), kNocId)),
+              reference)
+        << "shuffle round " << round;
+  }
+}
+
+TEST(Aggregate, AnyPartitionUnwrapsToTheSameFlatSequence) {
+  // Satellite property, partition half: splitting 6 monitors over R regions,
+  // merging each shard, and unwrapping the aggregates in region order must
+  // reproduce one identical flat (ids, values) sequence for every R — the
+  // root's view is partition-independent.
+  const std::size_t k = 6;
+  const std::size_t rows = 4;
+  std::vector<Message> responses;
+  for (NodeId id = 1; id <= k; ++id) {
+    responses.push_back(sketch_response(id, 3, {id * 2u, id * 2u + 1u}, rows));
+  }
+
+  std::vector<std::uint32_t> flat_ids;
+  std::vector<double> flat_values;
+  for (const Message& msg : responses) {
+    flat_ids.insert(flat_ids.end(), msg.ids.begin(), msg.ids.end());
+    flat_values.insert(flat_values.end(), msg.values.begin(),
+                       msg.values.end());
+  }
+
+  for (std::size_t regions = 1; regions <= k; ++regions) {
+    std::vector<std::uint32_t> ids;
+    std::vector<double> values;
+    for (std::size_t r = 0; r < regions; ++r) {
+      std::vector<Message> shard;
+      for (const NodeId id : region_monitor_ids(k, regions, r)) {
+        shard.push_back(responses[id - 1]);
+      }
+      const Message unwrapped = unwrap_aggregate(
+          merge_aggregate(std::move(shard), region_node_id(r), kNocId),
+          MessageType::kSketchResponse, rows);
+      EXPECT_EQ(unwrapped.type, MessageType::kSketchResponse);
+      EXPECT_EQ(unwrapped.interval, 3);
+      ids.insert(ids.end(), unwrapped.ids.begin(), unwrapped.ids.end());
+      values.insert(values.end(), unwrapped.values.begin(),
+                    unwrapped.values.end());
+    }
+    EXPECT_EQ(ids, flat_ids) << "R=" << regions;
+    EXPECT_EQ(values, flat_values) << "R=" << regions;
+  }
+}
+
+TEST(Aggregate, MergeRejectsMalformedShards) {
+  const auto merge_one = [](std::vector<Message> parts) {
+    return merge_aggregate(std::move(parts), region_node_id(0), kNocId);
+  };
+  // Empty shard.
+  EXPECT_THROW((void)merge_one({}), ProtocolError);
+  // Mixed message types.
+  EXPECT_THROW((void)merge_one({volume_report(1, 0, {0}),
+                                sketch_response(2, 0, {1}, 4)}),
+               ProtocolError);
+  // Mixed intervals.
+  EXPECT_THROW((void)merge_one({volume_report(1, 0, {0}),
+                                volume_report(2, 1, {1})}),
+               ProtocolError);
+  // Duplicate sender.
+  EXPECT_THROW((void)merge_one({volume_report(1, 0, {0}),
+                                volume_report(1, 0, {1})}),
+               ProtocolError);
+  // Empty payload.
+  EXPECT_THROW((void)merge_one({volume_report(1, 0, {})}), ProtocolError);
+  // A type that is not mergeable.
+  Message request;
+  request.type = MessageType::kSketchRequest;
+  request.from = 1;
+  request.ids = {0};
+  request.values = {0.0};
+  EXPECT_THROW((void)merge_one({request}), ProtocolError);
+}
+
+TEST(Aggregate, ShapeDistinguishesTheInnerKinds) {
+  const std::size_t rows = 5;
+  const Message volumes = merge_aggregate(
+      {volume_report(1, 2, {0, 1}), volume_report(2, 2, {2})},
+      region_node_id(0), kNocId);
+  const Message sketches = merge_aggregate(
+      {sketch_response(1, 2, {0, 1}, rows), sketch_response(2, 2, {2}, rows)},
+      region_node_id(0), kNocId);
+
+  EXPECT_TRUE(aggregate_shape_is(volumes, MessageType::kVolumeReport, rows));
+  EXPECT_FALSE(aggregate_shape_is(volumes, MessageType::kSketchResponse,
+                                  rows));
+  EXPECT_TRUE(aggregate_shape_is(sketches, MessageType::kSketchResponse,
+                                 rows));
+  EXPECT_FALSE(aggregate_shape_is(sketches, MessageType::kVolumeReport,
+                                  rows));
+
+  // A non-aggregate never matches, whatever its payload looks like.
+  EXPECT_FALSE(aggregate_shape_is(volume_report(1, 2, {0}),
+                                  MessageType::kVolumeReport, rows));
+}
+
+TEST(Aggregate, UnwrapRoundTripsAndValidates) {
+  const std::size_t rows = 5;
+  const std::vector<Message> shard = {sketch_response(1, 7, {0}, rows),
+                                      sketch_response(2, 7, {1}, rows)};
+  const Message agg = merge_aggregate(shard, region_node_id(0), kNocId);
+  const Message unwrapped =
+      unwrap_aggregate(agg, MessageType::kSketchResponse, rows);
+  EXPECT_EQ(unwrapped.type, MessageType::kSketchResponse);
+  EXPECT_EQ(unwrapped.from, region_node_id(0));
+  EXPECT_EQ(unwrapped.to, kNocId);
+  EXPECT_EQ(unwrapped.interval, 7);
+  EXPECT_EQ(unwrapped.ids, agg.ids);
+  EXPECT_EQ(unwrapped.values, agg.values);
+
+  // Wrong inner kind, wrong outer type, and a broken shape all throw.
+  EXPECT_THROW((void)unwrap_aggregate(agg, MessageType::kVolumeReport, rows),
+               ProtocolError);
+  EXPECT_THROW((void)unwrap_aggregate(shard[0], MessageType::kSketchResponse,
+                                      rows),
+               ProtocolError);
+  Message broken = agg;
+  broken.values.pop_back();
+  EXPECT_THROW(
+      (void)unwrap_aggregate(broken, MessageType::kSketchResponse, rows),
+      ProtocolError);
+}
+
+}  // namespace
+}  // namespace spca
