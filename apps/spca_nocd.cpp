@@ -89,17 +89,25 @@ int main(int argc, char** argv) {
     for (const std::int64_t t : run.alarm_intervals) {
       std::cout << "alarm interval " << t << "\n";
     }
+    for (const std::int64_t t : run.fused_alarm_intervals) {
+      std::cout << "fused alarm interval " << t << "\n";
+    }
     export_observability(flags);
 
     if (flags.boolean("check-against-sim")) {
       const NetScenario scenario = build_scenario(config.scenario);
       const ScenarioRun reference = run_scenario_reference(scenario);
       if (run.alarm_intervals != reference.alarm_intervals ||
-          run.distances != reference.distances) {
+          run.distances != reference.distances ||
+          run.fused_alarm_intervals != reference.fused_alarm_intervals ||
+          run.fused_statistics != reference.fused_statistics) {
         std::cerr << "spca_nocd: TCP trajectory diverged from the "
                      "SimNetwork reference ("
                   << run.alarm_intervals.size() << " vs "
-                  << reference.alarm_intervals.size() << " alarms)\n";
+                  << reference.alarm_intervals.size() << " alarms, "
+                  << run.fused_alarm_intervals.size() << " vs "
+                  << reference.fused_alarm_intervals.size()
+                  << " fused alarms)\n";
         return 2;
       }
       std::cout << "nocd: trajectory is bit-identical to the SimNetwork "

@@ -7,7 +7,17 @@
 // method", this one asks the operator's question: which statistic separates
 // anomalies from normal traffic best at the false-alarm budget I can
 // afford?
+//
+// The adversarial-catalog section (--catalog) runs the labelled attack
+// scenarios of synth/adversarial.hpp through the ensemble detectors —
+// sketch-PCA, robust-PCA (relaxed PCP), the monitor first-line statistic,
+// and the fused ensemble — reporting native-threshold Type I/II plus the
+// matched-false-alarm ROC per scenario. With --gate the tool pins the
+// fused and rpca error rates on the stealth-probe and ddos-ramp scenarios
+// (the CI accuracy gate) and exits nonzero on a regression; one JSONL
+// record per (scenario, detector) is appended to --out.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -16,6 +26,10 @@
 #include "core/spca.hpp"
 #include "core/differenced_detector.hpp"
 #include "core/markov_detector.hpp"
+#include "detect/first_line_detector.hpp"
+#include "detect/fused_detector.hpp"
+#include "detect/rpca.hpp"
+#include "synth/adversarial.hpp"
 #include "traffic/link_view.hpp"
 
 namespace {
@@ -64,6 +78,205 @@ Curve roc_curve(const std::string& name, const DetectorRun& run,
   return curve;
 }
 
+/// One ensemble detector's score on one catalog scenario.
+struct CatalogScore {
+  std::string scenario;
+  std::string detector;
+  ConfusionMatrix confusion;
+  std::size_t episodes_caught = 0;
+  std::size_t episodes = 0;
+  Curve curve;
+};
+
+CatalogScore score_catalog_run(const AdversarialScenario& scenario,
+                               const DetectorRun& run,
+                               const std::vector<double>& fp_grid,
+                               std::size_t first_eval) {
+  CatalogScore score;
+  score.scenario = scenario.name;
+  score.detector = run.detector_name;
+  score.confusion =
+      score_against_labels(run, scenario.trace.labels(), first_eval);
+  score.episodes = scenario.trace.events().size();
+  for (const auto& event : scenario.trace.events()) {
+    for (std::int64_t t = event.start; t <= event.end; ++t) {
+      const auto idx = static_cast<std::size_t>(t);
+      if (idx < run.detections.size() && run.detections[idx].ready &&
+          run.detections[idx].alarm) {
+        ++score.episodes_caught;
+        break;
+      }
+    }
+  }
+  score.curve =
+      roc_curve(run.detector_name, run, scenario.trace, fp_grid, first_eval);
+  return score;
+}
+
+const CatalogScore& find_score(const std::vector<CatalogScore>& scores,
+                               const std::string& scenario,
+                               const std::string& detector) {
+  for (const CatalogScore& score : scores) {
+    if (score.scenario == scenario && score.detector == detector) {
+      return score;
+    }
+  }
+  throw InputError("gate: no score for " + scenario + "/" + detector);
+}
+
+/// Runs the four ensemble detectors over the adversarial catalog; returns
+/// the process exit code (nonzero on a gate violation).
+int run_catalog_section(const CliFlags& flags, const Topology& topo,
+                        const std::vector<double>& fp_grid) {
+  if (!flags.boolean("catalog") && !flags.boolean("gate")) return 0;
+
+  AdversarialConfig catalog_config;
+  catalog_config.window =
+      static_cast<std::size_t>(flags.integer("catalog-window"));
+  catalog_config.eval_intervals =
+      static_cast<std::size_t>(flags.integer("catalog-eval"));
+  catalog_config.monitors =
+      static_cast<std::size_t>(flags.integer("catalog-monitors"));
+  catalog_config.seed =
+      static_cast<std::uint64_t>(flags.integer("catalog-seed"));
+
+  SketchDetectorConfig sketch_config;
+  sketch_config.window = catalog_config.window;
+  sketch_config.epsilon = 0.01;
+  sketch_config.sketch_rows =
+      static_cast<std::size_t>(flags.integer("sketch-rows"));
+  sketch_config.alpha = 0.01;
+  sketch_config.rank_policy = RankPolicy::fixed(6);
+  sketch_config.seed = catalog_config.seed;
+
+  RpcaDetectorConfig rpca_config;
+  rpca_config.window = catalog_config.window;
+  rpca_config.recompute_period = 8;
+  rpca_config.alpha = 0.01;
+  rpca_config.max_iters = 15;
+  rpca_config.tol = 1e-5;
+
+  // Slow first-line smoothing: a sustained attack keeps tripping while the
+  // EWMA baseline only gradually absorbs the new level. The trip threshold
+  // sits below the usual 3-sigma: with the slow baseline the clean-traffic
+  // z-scores stay well under 2, so the lower bar buys episode coverage
+  // without false alarms.
+  FirstLineConfig first_line_config;
+  first_line_config.smoothing = 0.02;
+  first_line_config.warmup = 24;
+  const double score_threshold = 1.75;
+  FusionConfig fusion_config;
+  fusion_config.score_threshold = score_threshold;
+
+  std::vector<CatalogScore> scores;
+  for (const AdversarialScenario& scenario :
+       make_adversarial_catalog(topo, catalog_config)) {
+    const std::size_t m = scenario.trace.num_flows();
+    std::vector<std::unique_ptr<Detector>> detectors;
+    detectors.push_back(std::make_unique<SketchDetector>(m, sketch_config));
+    detectors.push_back(std::make_unique<RpcaDetector>(m, rpca_config));
+    detectors.push_back(std::make_unique<FirstLineDetector>(
+        m, catalog_config.monitors, first_line_config, score_threshold));
+    detectors.push_back(std::make_unique<FusedDetector>(
+        m, catalog_config.monitors, sketch_config, fusion_config,
+        first_line_config));
+
+    std::cout << "\n# catalog scenario " << scenario.name << " — "
+              << scenario.description << " (" << scenario.trace.events().size()
+              << " episode(s))\n";
+    std::vector<std::string> header = {"detector", "type I", "type II",
+                                       "caught"};
+    for (const double p : fp_grid) {
+      header.push_back("fp=" + std::to_string(p).substr(0, 5));
+    }
+    TablePrinter table(header);
+    for (const auto& detector : detectors) {
+      const DetectorRun run = run_detector(*detector, scenario.trace);
+      CatalogScore score = score_catalog_run(scenario, run, fp_grid,
+                                             catalog_config.window);
+      std::vector<std::string> row = {
+          score.detector,
+          std::to_string(score.confusion.type1_error()).substr(0, 6),
+          std::to_string(score.confusion.type2_error()).substr(0, 6),
+          std::to_string(score.episodes_caught) + "/" +
+              std::to_string(score.episodes)};
+      for (const double rate : score.curve.detection_rate) {
+        row.push_back(std::to_string(rate).substr(0, 5));
+      }
+      table.row(row);
+      scores.push_back(std::move(score));
+    }
+    table.print(std::cout);
+  }
+
+  const std::string out_path = flags.str("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::app);
+    if (!out) throw InputError("cannot open '" + out_path + "'");
+    for (const CatalogScore& score : scores) {
+      out << "{\"scenario\": \"" << score.scenario << "\", \"detector\": \""
+          << score.detector << "\", \"type1\": "
+          << score.confusion.type1_error() << ", \"type2\": "
+          << score.confusion.type2_error() << ", \"caught\": "
+          << score.episodes_caught << ", \"episodes\": " << score.episodes
+          << "}\n";
+    }
+    std::cout << "\nartifact appended to " << out_path << "\n";
+  }
+
+  if (!flags.boolean("gate")) return 0;
+
+  const double max_type1 = flags.real("gate-max-type1");
+  const double max_type2_fused = flags.real("gate-max-type2-fused");
+  const double max_type2_rpca = flags.real("gate-max-type2-rpca");
+  const double min_gain = flags.real("gate-min-stealth-gain");
+  int violations = 0;
+  const auto pin = [&](const std::string& scenario,
+                       const std::string& detector, double max_type2) {
+    const CatalogScore& score = find_score(scores, scenario, detector);
+    if (score.confusion.type1_error() > max_type1) {
+      std::cerr << "FAIL: " << scenario << "/" << detector << " type I "
+                << score.confusion.type1_error() << " exceeds " << max_type1
+                << "\n";
+      ++violations;
+    }
+    if (score.confusion.type2_error() > max_type2) {
+      std::cerr << "FAIL: " << scenario << "/" << detector << " type II "
+                << score.confusion.type2_error() << " exceeds " << max_type2
+                << "\n";
+      ++violations;
+    }
+    if (score.episodes_caught < score.episodes) {
+      std::cerr << "FAIL: " << scenario << "/" << detector << " caught "
+                << score.episodes_caught << "/" << score.episodes
+                << " episodes\n";
+      ++violations;
+    }
+  };
+  pin("stealth-probe", "fused-any", max_type2_fused);
+  pin("ddos-ramp", "fused-any", max_type2_fused);
+  pin("ddos-ramp", "rpca-pcp", max_type2_rpca);
+
+  const CatalogScore& stealth_fused =
+      find_score(scores, "stealth-probe", "fused-any");
+  const CatalogScore& stealth_sketch =
+      find_score(scores, "stealth-probe", "sketch-pca");
+  const double gain = stealth_sketch.confusion.type2_error() -
+                      stealth_fused.confusion.type2_error();
+  if (gain < min_gain) {
+    std::cerr << "FAIL: fused Type II gain over sketch-PCA on stealth-probe "
+                 "is "
+              << gain << ", below the required " << min_gain << "\n";
+    ++violations;
+  }
+  if (violations > 0) return 1;
+  std::cout << "\nOK: fused/rpca within tolerance (type I <= " << max_type1
+            << ", fused type II <= " << max_type2_fused
+            << ", rpca type II <= " << max_type2_rpca
+            << ", stealth fused gain " << gain << " >= " << min_gain << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,12 +285,42 @@ int main(int argc, char** argv) {
       "every detector statistic");
   bench::define_scenario_flags(flags);
   flags.define("sketch-rows", "128", "sketch length l");
+  flags.define("statistics", "true",
+               "run the per-statistic ROC sweep on the mixed-episode trace");
+  flags.define("catalog", "true",
+               "run the ensemble detectors on the adversarial catalog");
+  flags.define("catalog-window", "96", "catalog detector window n");
+  flags.define("catalog-eval", "192", "catalog evaluation span");
+  flags.define("catalog-monitors", "4",
+               "monitor count of the catalog deployment (stealth target)");
+  flags.define("catalog-seed", "2010", "catalog trace seed");
+  flags.define("gate", "false",
+               "CI accuracy gate: pin fused/rpca Type I/II on the "
+               "stealth-probe and ddos-ramp scenarios");
+  flags.define("gate-max-type1", "0.30",
+               "gate: max Type I error for the pinned detectors (measured "
+               "baselines: fused 0.11-0.18, rpca 0.21)");
+  flags.define("gate-max-type2-fused", "0.50",
+               "gate: max Type II error of the fused ensemble on the pinned "
+               "scenarios (measured: 0.43 ddos-ramp, 0.28 stealth-probe)");
+  flags.define("gate-max-type2-rpca", "0.20",
+               "gate: max Type II error of rpca-pcp on ddos-ramp "
+               "(measured: 0.04)");
+  flags.define("gate-min-stealth-gain", "0.05",
+               "gate: minimum Type II improvement of the fused ensemble "
+               "over sketch-PCA alone on stealth-probe");
+  flags.define("out", "",
+               "JSONL artifact path, one record per scenario/detector "
+               "(append mode; empty = no artifact)");
   try {
     if (!flags.parse(argc, argv)) return 0;
     bench::Scenario scenario = bench::scenario_from_flags(flags);
     const std::vector<double> fp_grid = {0.001, 0.005, 0.01, 0.05, 0.10};
 
     const Topology topo = abilene_topology();
+    if (!flags.boolean("statistics")) {
+      return run_catalog_section(flags, topo, fp_grid);
+    }
     const TraceSet trace = bench::make_trace(topo, scenario);
     const Routing routing(topo);
     const TraceSet link_trace = to_link_trace(trace, topo, routing);
@@ -157,6 +400,8 @@ int main(int argc, char** argv) {
       table.row(row);
     }
     table.print(std::cout);
+
+    return run_catalog_section(flags, topo, fp_grid);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -1,0 +1,82 @@
+#include "detect/first_line.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "traffic/entropy.hpp"
+
+namespace spca {
+
+namespace {
+
+/// Variances this small are numerically degenerate (a constant signal plus
+/// rounding noise); scoring against them would emit huge z-scores off pure
+/// float dust.
+constexpr double kTinyVariance = 1e-12;
+
+}  // namespace
+
+FirstLineScorer::FirstLineScorer(const FirstLineConfig& config)
+    : config_(config) {
+  SPCA_EXPECTS(config.smoothing > 0.0 && config.smoothing < 1.0);
+}
+
+double FirstLineScorer::Ewma::score_and_update(double x, double a,
+                                               bool warm) noexcept {
+  // Score against the pre-update baseline: the interval being judged must
+  // not contaminate the statistics it is judged by (and the restored-from-
+  // checkpoint replay stays bit-identical because the order is fixed).
+  double z = 0.0;
+  if (warm && variance > kTinyVariance) {
+    z = (x - mean) / std::sqrt(variance);
+  }
+  // West-style EWMA mean/variance update.
+  const double diff = x - mean;
+  const double incr = a * diff;
+  mean += incr;
+  variance = (1.0 - a) * (variance + diff * incr);
+  return z;
+}
+
+FirstLineScore FirstLineScorer::observe(std::span<const double> volumes) {
+  const bool warm = observed_ >= config_.warmup;
+  const double h = shannon_entropy_bits(volumes);
+  double rate = 0.0;
+  for (const double v : volumes) rate += v;
+  last_.entropy_z = entropy_.score_and_update(h, config_.smoothing, warm);
+  last_.rate_z = rate_.score_and_update(rate, config_.smoothing, warm);
+  ++observed_;
+  return last_;
+}
+
+void FirstLineScorer::save(ByteWriter& out) const {
+  out.put(config_.smoothing);
+  out.put(config_.warmup);
+  out.put(observed_);
+  out.put(entropy_.mean);
+  out.put(entropy_.variance);
+  out.put(rate_.mean);
+  out.put(rate_.variance);
+  out.put(last_.entropy_z);
+  out.put(last_.rate_z);
+}
+
+FirstLineScorer FirstLineScorer::restore(ByteReader& in) {
+  FirstLineConfig config;
+  config.smoothing = in.get<double>();
+  config.warmup = in.get<std::uint64_t>();
+  if (!(config.smoothing > 0.0 && config.smoothing < 1.0)) {
+    throw ProtocolError("FirstLineScorer: invalid smoothing in checkpoint");
+  }
+  FirstLineScorer scorer(config);
+  scorer.observed_ = in.get<std::uint64_t>();
+  scorer.entropy_.mean = in.get<double>();
+  scorer.entropy_.variance = in.get<double>();
+  scorer.rate_.mean = in.get<double>();
+  scorer.rate_.variance = in.get<double>();
+  scorer.last_.entropy_z = in.get<double>();
+  scorer.last_.rate_z = in.get<double>();
+  return scorer;
+}
+
+}  // namespace spca

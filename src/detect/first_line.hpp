@@ -1,0 +1,100 @@
+// Monitor-side first-line anomaly scores of the ensemble detection plane
+// (ROADMAP item 4b, after detector.c's detect_entropy_anomaly /
+// detect_rate_anomaly): two cheap O(w) statistics computed from the
+// monitor's own interval volumes at interval close, z-scored against
+// exponentially weighted running baselines, and shipped to the NOC as a
+// kScoreReport riding alongside the volume report.
+//
+//   entropy_z — Shannon entropy (bits) of the volume distribution over the
+//               monitor's owned flows. Structure-sensitive: a coordinated
+//               bump concentrated on a few owned flows skews the local
+//               distribution even when the global volume change is tiny,
+//               which is exactly what below-threshold stealth attacks look
+//               like from the NOC.
+//   rate_z    — aggregate volume (sum of owned-flow volumes). The classic
+//               first-line rate deviation.
+//
+// The scorer is deterministic and serializable: its EWMA state rides in the
+// LocalMonitor checkpoint blob, so a restarted monitor scores the tail of
+// the stream bit-identically to one that never died.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/serialize.hpp"
+
+namespace spca {
+
+/// Tuning of the first-line scorer. Every process of a deployment must use
+/// the same values (they are compiled-in defaults, not flags, precisely so
+/// sim and TCP runs cannot disagree).
+struct FirstLineConfig {
+  /// EWMA smoothing factor of the running mean/variance baselines.
+  double smoothing = 0.05;
+  /// Intervals before z-scores are emitted (both scores are 0.0 during
+  /// warm-up while the baselines settle).
+  std::uint64_t warmup = 12;
+};
+
+/// One interval's pair of first-line scores (signed z-scores; fusion rules
+/// threshold their absolute values).
+struct FirstLineScore {
+  double entropy_z = 0.0;
+  double rate_z = 0.0;
+};
+
+/// Streaming first-line scorer over one monitor's owned-flow volumes.
+class FirstLineScorer final {
+ public:
+  explicit FirstLineScorer(const FirstLineConfig& config = {});
+
+  /// Scores one interval's owned-flow volumes (in fixed flow order) against
+  /// the pre-update baselines, then folds the interval into the baselines.
+  /// O(w) per interval.
+  FirstLineScore observe(std::span<const double> volumes);
+
+  [[nodiscard]] const FirstLineConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const FirstLineScore& last() const noexcept { return last_; }
+  [[nodiscard]] std::uint64_t observed() const noexcept { return observed_; }
+
+  /// Appends the scorer state to a checkpoint blob / restores it. The
+  /// format is a fixed-size scalar run; see local_monitor_io.cpp for the
+  /// enclosing versioned layout.
+  void save(ByteWriter& out) const;
+  [[nodiscard]] static FirstLineScorer restore(ByteReader& in);
+
+  [[nodiscard]] bool operator==(const FirstLineScorer&) const = default;
+
+ private:
+  /// One exponentially weighted mean/variance baseline.
+  struct Ewma {
+    double mean = 0.0;
+    double variance = 0.0;
+    /// z-score of `x` against the current baseline (0 while degenerate),
+    /// then fold `x` in with smoothing `a`.
+    double score_and_update(double x, double a, bool warm) noexcept;
+
+    [[nodiscard]] bool operator==(const Ewma&) const = default;
+  };
+
+  FirstLineConfig config_;
+  std::uint64_t observed_ = 0;
+  Ewma entropy_;
+  Ewma rate_;
+  FirstLineScore last_;
+};
+
+[[nodiscard]] inline bool operator==(const FirstLineConfig& a,
+                                     const FirstLineConfig& b) noexcept {
+  return a.smoothing == b.smoothing && a.warmup == b.warmup;
+}
+
+[[nodiscard]] inline bool operator==(const FirstLineScore& a,
+                                     const FirstLineScore& b) noexcept {
+  return a.entropy_z == b.entropy_z && a.rate_z == b.rate_z;
+}
+
+}  // namespace spca

@@ -1,0 +1,51 @@
+#include "detect/first_line_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace spca {
+
+FirstLineDetector::FirstLineDetector(std::size_t dimensions,
+                                     std::size_t monitors,
+                                     const FirstLineConfig& config,
+                                     double score_threshold)
+    : m_(dimensions), config_(config), score_threshold_(score_threshold) {
+  SPCA_EXPECTS(dimensions >= 1);
+  SPCA_EXPECTS(monitors >= 1 && monitors <= dimensions);
+  SPCA_EXPECTS(score_threshold > 0.0);
+  scorers_.assign(monitors, FirstLineScorer(config));
+}
+
+Detection FirstLineDetector::observe(std::int64_t t, const Vector& x) {
+  (void)t;
+  SPCA_EXPECTS(x.size() == m_);
+  const std::size_t k = scorers_.size();
+  last_scores_.clear();
+  double max_abs_z = 0.0;
+  std::vector<double> owned;
+  for (std::size_t i = 0; i < k; ++i) {
+    // Round-robin ownership, identical to DistributedDetector: monitor
+    // i+1 owns flows j with j % k == i, in ascending flow order.
+    owned.clear();
+    for (std::size_t j = i; j < m_; j += k) owned.push_back(x[j]);
+    const FirstLineScore score = scorers_[i].observe(owned);
+    last_scores_.push_back(
+        MonitorScore{.monitor = static_cast<NodeId>(i + 1),
+                     .entropy_z = score.entropy_z,
+                     .rate_z = score.rate_z});
+    max_abs_z = std::max(
+        {max_abs_z, std::abs(score.entropy_z), std::abs(score.rate_z)});
+  }
+  ++observed_;
+
+  Detection det;
+  det.ready = observed_ > config_.warmup;
+  det.distance = max_abs_z;
+  det.threshold = score_threshold_;
+  det.alarm = det.ready && max_abs_z > score_threshold_;
+  return det;
+}
+
+}  // namespace spca

@@ -1,0 +1,47 @@
+// Detector facade over a fleet of first-line scorers: partitions the flow
+// vector over k virtual monitors exactly like DistributedDetector's
+// round-robin ownership (flow j -> monitor 1 + j%k) and scores each
+// monitor's owned slice per interval. Exists so the ROC benches can put the
+// first-line signal alone on the same axis as the PCA detectors; the real
+// deployment runs the same scorers inside LocalMonitor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "detect/first_line.hpp"
+#include "detect/score_codec.hpp"
+
+namespace spca {
+
+/// Standalone first-line ensemble detector. Detection.distance is the
+/// largest |z| across monitors and signals; Detection.threshold is the trip
+/// threshold, so the alarm rule matches FusionEngine's trip test.
+class FirstLineDetector final : public Detector {
+ public:
+  FirstLineDetector(std::size_t dimensions, std::size_t monitors,
+                    const FirstLineConfig& config = {},
+                    double score_threshold = 3.0);
+
+  Detection observe(std::int64_t t, const Vector& x) override;
+
+  [[nodiscard]] std::string name() const override { return "first-line"; }
+
+  /// Per-monitor scores of the last observed interval (monitor ids 1..k),
+  /// in the exact wire form the NOC would decode — reusable as FusionEngine
+  /// input by the FusedDetector.
+  [[nodiscard]] const std::vector<MonitorScore>& last_scores() const noexcept {
+    return last_scores_;
+  }
+
+ private:
+  std::size_t m_;
+  FirstLineConfig config_;
+  double score_threshold_;
+  std::vector<FirstLineScorer> scorers_;  // index i = monitor id i+1
+  std::vector<MonitorScore> last_scores_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace spca

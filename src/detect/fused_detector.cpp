@@ -1,0 +1,29 @@
+#include "detect/fused_detector.hpp"
+
+namespace spca {
+
+FusedDetector::FusedDetector(std::size_t dimensions, std::size_t monitors,
+                             const SketchDetectorConfig& sketch_config,
+                             const FusionConfig& fusion_config,
+                             const FirstLineConfig& first_line_config)
+    : sketch_(dimensions, sketch_config),
+      first_line_(dimensions, monitors, first_line_config,
+                  fusion_config.score_threshold),
+      fusion_(fusion_config) {}
+
+Detection FusedDetector::observe(std::int64_t t, const Vector& x) {
+  last_sketch_ = sketch_.observe(t, x);
+  (void)first_line_.observe(t, x);
+  last_fused_ = fusion_.fuse(t, last_sketch_, first_line_.last_scores());
+
+  Detection det;
+  det.ready = last_fused_.ready;
+  det.alarm = last_fused_.alarm;
+  det.distance = last_fused_.statistic;
+  det.threshold = 1.0;
+  det.normal_rank = last_sketch_.normal_rank;
+  det.model_refreshed = last_sketch_.model_refreshed;
+  return det;
+}
+
+}  // namespace spca

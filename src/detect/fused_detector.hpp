@@ -1,0 +1,50 @@
+// Detector facade over the full ensemble: a SketchDetector plus a
+// FirstLineDetector fused by a FusionEngine, behaving as one Detector so the
+// ROC benches sweep it like any other. The deployment equivalent is the NOC
+// fusing kScoreReports with its sketch-PCA verdict; this facade exists so
+// accuracy numbers can be produced without spinning up the distributed
+// plane.
+#pragma once
+
+#include <memory>
+
+#include "core/detector.hpp"
+#include "core/sketch_detector.hpp"
+#include "detect/first_line_detector.hpp"
+#include "detect/fusion.hpp"
+
+namespace spca {
+
+/// Fused ensemble detector. Detection.distance is the fused statistic
+/// (normalized so 1.0 is the alarm boundary) and Detection.threshold is 1.
+class FusedDetector final : public Detector {
+ public:
+  FusedDetector(std::size_t dimensions, std::size_t monitors,
+                const SketchDetectorConfig& sketch_config,
+                const FusionConfig& fusion_config = {},
+                const FirstLineConfig& first_line_config = {});
+
+  Detection observe(std::int64_t t, const Vector& x) override;
+
+  [[nodiscard]] std::string name() const override {
+    return "fused-" + to_string(fusion_.config().rule);
+  }
+
+  /// The verdicts of the last interval's constituent detectors, for bench
+  /// breakdowns.
+  [[nodiscard]] const Detection& last_sketch() const noexcept {
+    return last_sketch_;
+  }
+  [[nodiscard]] const FusedDecision& last_fused() const noexcept {
+    return last_fused_;
+  }
+
+ private:
+  SketchDetector sketch_;
+  FirstLineDetector first_line_;
+  FusionEngine fusion_;
+  Detection last_sketch_;
+  FusedDecision last_fused_;
+};
+
+}  // namespace spca

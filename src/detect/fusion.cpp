@@ -1,0 +1,113 @@
+#include "detect/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics.hpp"
+
+namespace spca {
+
+FusionRule parse_fusion_rule(const std::string& name) {
+  if (name == "off") return FusionRule::kOff;
+  if (name == "any") return FusionRule::kAny;
+  if (name == "all") return FusionRule::kAll;
+  if (name == "weighted") return FusionRule::kWeighted;
+  throw InputError("unknown fusion rule '" + name +
+                   "' (expected off | any | all | weighted)");
+}
+
+std::string to_string(FusionRule rule) {
+  switch (rule) {
+    case FusionRule::kOff:
+      return "off";
+    case FusionRule::kAny:
+      return "any";
+    case FusionRule::kAll:
+      return "all";
+    case FusionRule::kWeighted:
+      return "weighted";
+  }
+  return "off";  // unreachable
+}
+
+FusionEngine::FusionEngine(const FusionConfig& config) : config_(config) {
+  SPCA_EXPECTS(config.rule != FusionRule::kOff);
+  SPCA_EXPECTS(config.score_threshold > 0.0);
+  SPCA_EXPECTS(config.weight_spca >= 0.0 && config.weight_entropy >= 0.0 &&
+               config.weight_rate >= 0.0);
+}
+
+FusedDecision FusionEngine::fuse(std::int64_t t, const Detection& sketch,
+                                 std::span<const MonitorScore> scores) {
+  static Counter& fused_alarms =
+      MetricsRegistry::global().counter("spca.detect.fused_alarms");
+  static Counter& first_line_trips =
+      MetricsRegistry::global().counter("spca.detect.first_line_trips");
+
+  FusedDecision out;
+  out.ready = sketch.ready;
+  out.monitors = scores.size();
+
+  // Normalize every signal so 1.0 means "at its own alarm boundary": the
+  // sketch distance against its Q-statistic threshold, each z-score against
+  // the trip threshold. max over monitors keeps the fused statistic
+  // insensitive to fleet size.
+  const double s_spca = sketch.threshold > 0.0
+                            ? sketch.distance / sketch.threshold
+                            : (sketch.alarm ? 1.0 : 0.0);
+  double max_entropy = 0.0;
+  double max_rate = 0.0;
+  for (const MonitorScore& score : scores) {
+    const double e = std::abs(score.entropy_z) / config_.score_threshold;
+    const double r = std::abs(score.rate_z) / config_.score_threshold;
+    max_entropy = std::max(max_entropy, e);
+    max_rate = std::max(max_rate, r);
+    if (e >= 1.0 || r >= 1.0) out.tripped_monitors.push_back(score.monitor);
+  }
+  std::sort(out.tripped_monitors.begin(), out.tripped_monitors.end());
+  first_line_trips.inc(out.tripped_monitors.size());
+  const double s_first = std::max(max_entropy, max_rate);
+  const bool tripped = !out.tripped_monitors.empty();
+
+  switch (config_.rule) {
+    case FusionRule::kAny:
+      out.statistic = std::max(s_spca, s_first);
+      out.alarm = sketch.alarm || tripped;
+      break;
+    case FusionRule::kAll:
+      out.statistic = std::min(s_spca, s_first);
+      out.alarm = sketch.alarm && tripped;
+      break;
+    case FusionRule::kWeighted:
+      out.statistic = config_.weight_spca * s_spca +
+                      config_.weight_entropy * max_entropy +
+                      config_.weight_rate * max_rate;
+      out.alarm = out.statistic > 1.0;
+      break;
+    case FusionRule::kOff:
+      break;  // unreachable: rejected by the constructor
+  }
+
+  // Fusion abstains until the sketch detector is warm: first-line baselines
+  // settle faster than the PCA window fills, and alarming on half the
+  // ensemble would skew the Type-I accounting of the benches.
+  if (!out.ready) {
+    out.alarm = false;
+    return out;
+  }
+  if (out.alarm) fused_alarms.inc();
+  EventTrace::global().record(
+      DetectionEvent{.detector = "fusion",
+                     .interval = t,
+                     .distance_squared = out.statistic * out.statistic,
+                     .threshold_squared = 1.0,
+                     .rank = sketch.normal_rank,
+                     .refreshed = sketch.model_refreshed,
+                     .alarm = out.alarm});
+  return out;
+}
+
+}  // namespace spca

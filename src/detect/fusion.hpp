@@ -1,0 +1,89 @@
+// NOC-side fusion of the ensemble detection plane: combines the sketch-PCA
+// Q-statistic verdict with the monitors' first-line scores under a pluggable
+// rule. The sketch-PCA Detection is never altered — fusion produces a
+// parallel FusedDecision so benches can report both detectors side by side
+// and the protocol trajectory stays independent of the rule choice.
+//
+// Rules (selected by the --fusion flag of the net/hier scenarios):
+//   any      — alarm if sketch-PCA alarms OR any monitor's first-line score
+//              trips. Maximizes recall; the stealth-attack catcher.
+//   all      — alarm only if sketch-PCA alarms AND a first-line score
+//              corroborates. Minimizes false alarms.
+//   weighted — continuous weighted vote over the normalized statistics;
+//              alarm when the vote exceeds 1.
+//
+// Fusion is memoryless: each interval's decision depends only on that
+// interval's inputs, so the engine needs no checkpoint state at the NOC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "detect/score_codec.hpp"
+
+namespace spca {
+
+/// Fusion rule of the ensemble decision.
+enum class FusionRule : std::uint8_t {
+  kOff = 0,       ///< No fusion; monitors do not even emit score reports.
+  kAny = 1,       ///< Sketch alarm OR any first-line trip.
+  kAll = 2,       ///< Sketch alarm AND at least one first-line trip.
+  kWeighted = 3,  ///< Weighted vote over normalized statistics.
+};
+
+/// Parses a --fusion flag value ("off" | "any" | "all" | "weighted");
+/// throws InputError on anything else.
+[[nodiscard]] FusionRule parse_fusion_rule(const std::string& name);
+
+/// Inverse of parse_fusion_rule.
+[[nodiscard]] std::string to_string(FusionRule rule);
+
+/// Tuning of the fusion engine.
+struct FusionConfig {
+  FusionRule rule = FusionRule::kAny;
+  /// |z| above which a first-line score counts as a trip (in baseline
+  /// standard deviations; 3 sigma by default).
+  double score_threshold = 3.0;
+  /// Weights of the weighted vote (need not sum to 1; the alarm condition
+  /// is weighted sum > 1 with each component normalized to trip at 1).
+  double weight_spca = 0.6;
+  double weight_entropy = 0.2;
+  double weight_rate = 0.2;
+};
+
+/// One interval's fused verdict.
+struct FusedDecision {
+  /// False while sketch-PCA is still warming up (fusion abstains).
+  bool ready = false;
+  bool alarm = false;
+  /// The fused statistic, normalized so 1.0 is the alarm boundary
+  /// regardless of rule.
+  double statistic = 0.0;
+  /// Monitors whose first-line score tripped this interval (ascending).
+  std::vector<NodeId> tripped_monitors;
+  /// Number of monitor score reports that entered the decision.
+  std::size_t monitors = 0;
+};
+
+/// Combines sketch-PCA detections with first-line monitor scores. The
+/// engine is deterministic and stateless across intervals.
+class FusionEngine final {
+ public:
+  explicit FusionEngine(const FusionConfig& config = {});
+
+  /// Fuses one interval. `scores` holds the decoded per-monitor scores in
+  /// any order (the trip list is sorted internally). Records a "fusion"
+  /// detection event and bumps the spca.detect.* metrics.
+  [[nodiscard]] FusedDecision fuse(std::int64_t t, const Detection& sketch,
+                                   std::span<const MonitorScore> scores);
+
+  [[nodiscard]] const FusionConfig& config() const noexcept { return config_; }
+
+ private:
+  FusionConfig config_;
+};
+
+}  // namespace spca

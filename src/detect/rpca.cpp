@@ -1,0 +1,176 @@
+#include "detect/rpca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/contracts.hpp"
+#include "linalg/svd.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics.hpp"
+#include "pca/q_statistic.hpp"
+
+namespace spca {
+
+namespace {
+
+/// Soft-thresholding (shrinkage) operator applied entrywise.
+void shrink_in_place(Matrix& a, double tau) noexcept {
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double v = a(r, c);
+      a(r, c) = v > tau ? v - tau : (v < -tau ? v + tau : 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+RpcaSplit rpca_decompose(const Matrix& m, double lambda,
+                         std::size_t max_iters, double tol) {
+  SPCA_EXPECTS(m.rows() >= 1 && m.cols() >= 1);
+  SPCA_EXPECTS(max_iters >= 1 && tol > 0.0);
+  if (lambda <= 0.0) {
+    lambda = 1.0 / std::sqrt(static_cast<double>(std::max(m.rows(), m.cols())));
+  }
+  const double m_norm = frobenius_norm(m);
+  RpcaSplit out;
+  out.low_rank = Matrix(m.rows(), m.cols());
+  out.sparse = Matrix(m.rows(), m.cols());
+  if (m_norm == 0.0) return out;  // the zero matrix splits trivially
+
+  // Inexact ALM (Lin et al. 2010, Algorithm 5): the dual variable Y starts
+  // at M scaled into the dual-feasible ball, mu grows geometrically.
+  const double spectral = svd(m, /*want_left=*/false).values[0];
+  const double dual_scale =
+      std::max(spectral, max_abs(m) / lambda);
+  Matrix y = m;
+  y *= 1.0 / dual_scale;
+  double mu = 1.25 / std::max(spectral, 1e-12);
+  const double mu_max = mu * 1e7;
+  constexpr double kRho = 1.5;
+
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    out.iterations = it + 1;
+    // L-step: singular value thresholding of M - S + Y/mu.
+    Matrix target = m - out.sparse;
+    {
+      Matrix scaled_y = y;
+      scaled_y *= 1.0 / mu;
+      target += scaled_y;
+    }
+    Svd decomp = svd(target, /*want_left=*/true);
+    for (std::size_t j = 0; j < decomp.values.size(); ++j) {
+      decomp.values[j] = std::max(0.0, decomp.values[j] - 1.0 / mu);
+    }
+    out.low_rank = svd_reconstruct(decomp);
+    // S-step: shrink M - L + Y/mu by lambda/mu.
+    out.sparse = m - out.low_rank;
+    {
+      Matrix scaled_y = y;
+      scaled_y *= 1.0 / mu;
+      out.sparse += scaled_y;
+    }
+    shrink_in_place(out.sparse, lambda / mu);
+    // Dual update on the constraint residual.
+    Matrix residual = m - out.low_rank;
+    residual -= out.sparse;
+    const double gap = frobenius_norm(residual) / m_norm;
+    residual *= mu;
+    y += residual;
+    mu = std::min(mu * kRho, mu_max);
+    if (gap < tol) break;
+  }
+  return out;
+}
+
+RpcaDetector::RpcaDetector(std::size_t dimensions,
+                           const RpcaDetectorConfig& config)
+    : m_(dimensions), config_(config) {
+  SPCA_EXPECTS(dimensions >= 2);
+  SPCA_EXPECTS(config.window >= 4);
+  SPCA_EXPECTS(config.recompute_period >= 1);
+  SPCA_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0);
+}
+
+void RpcaDetector::refit() {
+  static Counter& refit_counter =
+      MetricsRegistry::global().counter("spca.detect.rpca_refits");
+  Matrix window(rows_.size(), m_);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    window.set_row(i, rows_[i]);
+  }
+  const RpcaSplit split =
+      rpca_decompose(window, 0.0, config_.max_iters, config_.tol);
+  // Fit plain PCA to the recovered low-rank part: the anomalies now live in
+  // S and cannot tilt the normal subspace.
+  model_ = PcaModel::from_data(split.low_rank);
+  rank_ = select_rank_by_energy(model_.singular_values(),
+                                config_.energy_fraction);
+  rank_ = std::clamp<std::size_t>(rank_, 1, m_ - 1);
+  // Empirical threshold: the low-rank part is denoised, so its residual
+  // eigenvalues say nothing about how far ordinary noisy measurements sit
+  // from the subspace — the parametric Q threshold would alarm constantly.
+  // Instead, rank the window's raw rows by the mass PCP assigned to their
+  // sparse component, keep the cleanest three quarters (robust to in-window
+  // episodes), and place the bar at the (1 - alpha) quantile of those
+  // inliers' distances under the robust model.
+  const std::size_t w = rows_.size();
+  std::vector<std::pair<double, std::size_t>> by_sparse_mass(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    double mass = 0.0;
+    for (std::size_t c = 0; c < m_; ++c) {
+      mass += std::abs(split.sparse(i, c));
+    }
+    by_sparse_mass[i] = {mass, i};
+  }
+  std::sort(by_sparse_mass.begin(), by_sparse_mass.end());
+  const std::size_t inliers = std::max<std::size_t>(3 * w / 4, 1);
+  std::vector<double> distances;
+  distances.reserve(inliers);
+  for (std::size_t i = 0; i < inliers; ++i) {
+    distances.push_back(
+        model_.anomaly_distance(rows_[by_sparse_mass[i].second], rank_));
+  }
+  std::sort(distances.begin(), distances.end());
+  const auto cut = static_cast<std::size_t>(
+      (1.0 - config_.alpha) * static_cast<double>(distances.size()));
+  const double bar = distances[std::min(cut, distances.size() - 1)];
+  threshold_squared_ = bar * bar;
+  ++refits_;
+  since_refit_ = 0;
+  refit_counter.inc();
+}
+
+Detection RpcaDetector::observe(std::int64_t t, const Vector& x) {
+  SPCA_EXPECTS(x.size() == m_);
+  rows_.push_back(x);
+  if (rows_.size() > config_.window) rows_.pop_front();
+  ++observed_;
+  ++since_refit_;
+
+  Detection det;
+  if (rows_.size() < config_.window) return det;
+
+  const bool refreshed = !model_.fitted() ||
+                         since_refit_ >= config_.recompute_period;
+  if (refreshed) refit();
+
+  det.ready = true;
+  det.model_refreshed = refreshed;
+  det.normal_rank = rank_;
+  det.distance = model_.anomaly_distance(x, rank_);
+  det.threshold = std::sqrt(threshold_squared_);
+  det.alarm = det.distance * det.distance > threshold_squared_;
+  EventTrace::global().record(
+      DetectionEvent{.detector = "rpca-pcp",
+                     .interval = t,
+                     .distance_squared = det.distance * det.distance,
+                     .threshold_squared = threshold_squared_,
+                     .rank = rank_,
+                     .refreshed = refreshed,
+                     .alarm = det.alarm});
+  return det;
+}
+
+}  // namespace spca

@@ -1,0 +1,67 @@
+// Wire codec of the first-line score payload: how a FirstLineScore becomes
+// a kScoreReport message and how the NOC reads the per-monitor scores back
+// out of flat reports and hierarchical aggregates.
+//
+// Layout: ids holds the reporting monitor ids (one per monitor; a merged
+// regional aggregate concatenates them in ascending monitor order), and
+// each id owns two consecutive values [entropy_z, rate_z]. Doubles ride the
+// little-endian message codec bit-exactly, so the sim and TCP paths see
+// identical scores.
+//
+// Header-only on purpose: it depends on dist/message.hpp for the Message
+// struct but needs no dist/ object code, so the detect module stays below
+// dist in the link order while dist links detect for the scorer itself.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "detect/first_line.hpp"
+#include "dist/message.hpp"
+
+namespace spca {
+
+/// One monitor's first-line scores for an interval, as decoded at the NOC.
+struct MonitorScore {
+  NodeId monitor = 0;
+  double entropy_z = 0.0;
+  double rate_z = 0.0;
+};
+
+/// Builds the kScoreReport a monitor sends at interval close.
+[[nodiscard]] inline Message make_score_report(NodeId monitor, NodeId to,
+                                               std::int64_t interval,
+                                               const FirstLineScore& score) {
+  Message msg;
+  msg.type = MessageType::kScoreReport;
+  msg.from = monitor;
+  msg.to = to;
+  msg.interval = interval;
+  msg.ids.push_back(monitor);
+  msg.values.push_back(score.entropy_z);
+  msg.values.push_back(score.rate_z);
+  return msg;
+}
+
+/// Decodes one kScoreReport (single-monitor or regional-merged) into
+/// per-monitor scores. Throws ProtocolError on a malformed payload.
+[[nodiscard]] inline std::vector<MonitorScore> parse_score_report(
+    const Message& msg) {
+  if (msg.type != MessageType::kScoreReport) {
+    throw ProtocolError("parse_score_report: not a score report");
+  }
+  if (msg.ids.empty() || msg.values.size() != msg.ids.size() * 2) {
+    throw ProtocolError("parse_score_report: malformed payload");
+  }
+  std::vector<MonitorScore> scores;
+  scores.reserve(msg.ids.size());
+  for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+    scores.push_back(MonitorScore{.monitor = msg.ids[i],
+                                  .entropy_z = msg.values[2 * i],
+                                  .rate_z = msg.values[2 * i + 1]});
+  }
+  return scores;
+}
+
+}  // namespace spca

@@ -64,7 +64,8 @@ Message merge_aggregate(std::vector<Message> parts, NodeId from, NodeId to) {
             [](const Message& a, const Message& b) { return a.from < b.from; });
   const MessageType inner = parts.front().type;
   if (inner != MessageType::kVolumeReport &&
-      inner != MessageType::kSketchResponse) {
+      inner != MessageType::kSketchResponse &&
+      inner != MessageType::kScoreReport) {
     throw ProtocolError("merge_aggregate: unmergeable message type");
   }
   Message agg;
@@ -96,8 +97,10 @@ Message merge_aggregate(std::vector<Message> parts, NodeId from, NodeId to) {
 bool aggregate_shape_is(const Message& msg, MessageType inner,
                         std::size_t sketch_rows) noexcept {
   if (msg.type != MessageType::kAggregate || msg.ids.empty()) return false;
-  const std::size_t per_flow =
-      inner == MessageType::kVolumeReport ? 1 : sketch_rows + 2;
+  const std::size_t per_flow = inner == MessageType::kVolumeReport ? 1
+                               : inner == MessageType::kScoreReport
+                                   ? 2
+                                   : sketch_rows + 2;
   return msg.values.size() == msg.ids.size() * per_flow;
 }
 
@@ -107,7 +110,8 @@ Message unwrap_aggregate(const Message& agg, MessageType inner,
     throw ProtocolError("unwrap_aggregate: not an aggregate");
   }
   if (inner != MessageType::kVolumeReport &&
-      inner != MessageType::kSketchResponse) {
+      inner != MessageType::kSketchResponse &&
+      inner != MessageType::kScoreReport) {
     throw ProtocolError("unwrap_aggregate: invalid inner type");
   }
   if (!aggregate_shape_is(agg, inner, sketch_rows)) {

@@ -1,16 +1,17 @@
 // Aggregation codec of the hierarchical deployment: a regional NOC merges
-// the per-monitor messages of its shard (volume reports or sketch
-// responses) into one kAggregate message, and the root NOC unwraps it back
-// into the inner message type.
+// the per-monitor messages of its shard (volume reports, sketch responses,
+// or first-line score reports) into one kAggregate message, and the root
+// NOC unwraps it back into the inner message type.
 //
 // The codec exists so the hierarchy is invisible to the detection protocol:
 // merging is pure concatenation in ascending sender-id order, and the root's
 // assembly/ingest paths are keyed by flow id, so a run through regional
 // NOCs is bit-identical to the flat deployment by construction. The inner
 // kind is never written on the wire — it is recovered from the payload
-// shape (a volume report carries one value per flow; a sketch response
-// carries a [mean, count, z_1..z_l] block per flow, always >= 3 values), so
-// the two shapes can only coincide on an empty payload, which is rejected.
+// shape (a volume report carries one value per id; a score report carries
+// two; a sketch response carries a [mean, count, z_1..z_l] block per id,
+// always >= 3 values since l >= 1), so the shapes can only coincide on an
+// empty payload, which is rejected.
 //
 // Node-id spaces: the root NOC is 0, monitors are 1..k, and regional NOCs
 // live at kRegionBase + region, so the spaces can never collide.
@@ -59,15 +60,16 @@ inline constexpr NodeId kRegionBase = 0x10000;
 /// Merges same-type, same-interval per-monitor messages into one kAggregate
 /// from `from` to `to`, concatenating ids and values in ascending sender-id
 /// order — the bit-stable merge order, independent of arrival order. Parts
-/// must be kVolumeReport or kSketchResponse, non-empty, and from distinct
-/// senders; throws ProtocolError otherwise.
+/// must be kVolumeReport, kSketchResponse, or kScoreReport, non-empty, and
+/// from distinct senders; throws ProtocolError otherwise.
 [[nodiscard]] Message merge_aggregate(std::vector<Message> parts, NodeId from,
                                       NodeId to);
 
 /// True when `msg` is a kAggregate whose payload has the shape of `inner`
-/// (kVolumeReport: one value per flow; kSketchResponse: sketch_rows + 2
-/// values per flow). Lets the root tell a stale volume aggregate from a
-/// sketch aggregate while both ride the same message type.
+/// (kVolumeReport: one value per id; kScoreReport: two values per id;
+/// kSketchResponse: sketch_rows + 2 values per id). Lets the root tell a
+/// stale volume aggregate from a score or sketch aggregate while all three
+/// ride the same message type.
 [[nodiscard]] bool aggregate_shape_is(const Message& msg, MessageType inner,
                                       std::size_t sketch_rows) noexcept;
 

@@ -39,6 +39,15 @@ DistributedDetector::DistributedDetector(std::size_t dimensions,
   }
 }
 
+void DistributedDetector::enable_fusion(const FusionConfig& fusion,
+                                        const FirstLineConfig& first_line) {
+  SPCA_EXPECTS(!fusion_ && observed_ == 0);
+  fusion_.emplace(fusion);
+  for (const auto& monitor : monitors_) {
+    monitor->enable_first_line(first_line);
+  }
+}
+
 Detection DistributedDetector::observe(std::int64_t t, const Vector& x) {
   SPCA_EXPECTS(x.size() == m_);
   // Monitors observe their flows' traffic and close the interval.
@@ -52,16 +61,31 @@ Detection DistributedDetector::observe(std::int64_t t, const Vector& x) {
     }
     monitor->end_interval(t, *transport_);
   }
+  // Score reports must come out before collect_volumes: the NOC's drain
+  // would otherwise swallow them as unexpected volume traffic.
+  std::vector<MonitorScore> scores;
+  if (fusion_) {
+    for (const Message& msg :
+         transport_->take(kNocId, MessageType::kScoreReport)) {
+      for (const MonitorScore& s : parse_score_report(msg)) {
+        scores.push_back(s);
+      }
+    }
+  }
   // The NOC assembles the network-wide measurement vector.
   const Vector assembled = noc_.collect_volumes(t, *transport_);
   ++observed_;
   if (observed_ < config_.window) {
+    if (fusion_) last_fused_ = fusion_->fuse(t, Detection{}, scores);
     return Detection{};  // warm-up, matching SketchDetector
   }
   const auto pump = [this] {
     for (const auto& monitor : monitors_) monitor->handle_mail(*transport_);
   };
-  return noc_.detect(t, assembled, monitor_ids_, *transport_, pump);
+  const Detection det =
+      noc_.detect(t, assembled, monitor_ids_, *transport_, pump);
+  if (fusion_) last_fused_ = fusion_->fuse(t, det, scores);
+  return det;
 }
 
 std::size_t DistributedDetector::monitor_memory_bytes() const noexcept {

@@ -7,10 +7,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/detector.hpp"
 #include "core/sketch_detector.hpp"
+#include "detect/fusion.hpp"
 #include "dist/local_monitor.hpp"
 #include "dist/noc.hpp"
 #include "dist/sim_network.hpp"
@@ -61,6 +63,22 @@ class DistributedDetector final : public Detector {
   /// Total sketch-summary bytes across all monitors.
   [[nodiscard]] std::size_t monitor_memory_bytes() const noexcept;
 
+  /// Turns on the ensemble detection plane: every monitor runs a first-line
+  /// scorer and ships kScoreReports, and the NOC-side observe() fuses them
+  /// with the sketch-PCA verdict. Must be called before the first observe;
+  /// the sketch Detection returned by observe() is unchanged — the fused
+  /// verdict is read through last_fused().
+  void enable_fusion(const FusionConfig& fusion,
+                     const FirstLineConfig& first_line = {});
+  [[nodiscard]] bool fusion_enabled() const noexcept {
+    return fusion_.has_value();
+  }
+  /// The fused verdict of the last observed interval (abstaining during
+  /// warm-up); default-constructed before the first observe.
+  [[nodiscard]] const FusedDecision& last_fused() const noexcept {
+    return last_fused_;
+  }
+
  private:
   std::size_t m_;
   SketchDetectorConfig config_;
@@ -70,6 +88,8 @@ class DistributedDetector final : public Detector {
   std::vector<std::unique_ptr<LocalMonitor>> monitors_;
   std::vector<NodeId> monitor_ids_;
   Noc noc_;
+  std::optional<FusionEngine> fusion_;
+  FusedDecision last_fused_;
   std::uint64_t observed_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "detect/score_codec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/span_log.hpp"
@@ -59,7 +60,16 @@ Vector LocalMonitor::flush_interval(std::int64_t t) {
                                  sketches_[i].add(t, volumes[i]);
                                }
                              });
+  // First-line scoring rides the same flush so end_interval, absorb_interval,
+  // and the daemons' warm-rebuild replay all advance the scorer identically.
+  if (scorer_) (void)scorer_->observe(volumes.span());
   return volumes;
+}
+
+void LocalMonitor::enable_first_line(const FirstLineConfig& config) {
+  SPCA_EXPECTS(!scorer_);
+  SPCA_EXPECTS(counter_.intervals_completed() == 0);
+  scorer_.emplace(config);
 }
 
 void LocalMonitor::absorb_interval(std::int64_t t) { (void)flush_interval(t); }
@@ -73,20 +83,29 @@ void LocalMonitor::absorb_block(std::int64_t first, std::size_t count,
   // already), but its interval count must stay in step with the per-interval
   // path so checkpoints remain interchangeable.
   counter_.advance_intervals(count);
-  if (counter_only_) return;
-  // Per-flow streams are independent; each lane walks its flow's column
-  // through the whole block with one batched sketch update. Static chunking
-  // keeps the result bit-identical to the serial loop at any thread count.
-  global_pool().parallel_for(0, w, [&](std::size_t lo, std::size_t hi) {
-    std::vector<SketchUpdate> batch(count);
-    for (std::size_t i = lo; i < hi; ++i) {
-      for (std::size_t r = 0; r < count; ++r) {
-        batch[r].t = first + static_cast<std::int64_t>(r);
-        batch[r].volume = volumes[r * w + i];
+  if (!counter_only_) {
+    // Per-flow streams are independent; each lane walks its flow's column
+    // through the whole block with one batched sketch update. Static
+    // chunking keeps the result bit-identical to the serial loop at any
+    // thread count.
+    global_pool().parallel_for(0, w, [&](std::size_t lo, std::size_t hi) {
+      std::vector<SketchUpdate> batch(count);
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t r = 0; r < count; ++r) {
+          batch[r].t = first + static_cast<std::int64_t>(r);
+          batch[r].volume = volumes[r * w + i];
+        }
+        sketches_[i].add_batch(batch);
       }
-      sketches_[i].add_batch(batch);
+    });
+  }
+  // The scorer is a serial per-interval stream: walk the block rows in
+  // order so the state matches the per-interval path bit for bit.
+  if (scorer_) {
+    for (std::size_t r = 0; r < count; ++r) {
+      (void)scorer_->observe(volumes.subspan(r * w, w));
     }
-  });
+  }
 }
 
 void LocalMonitor::end_interval(std::int64_t t, Transport& network) {
@@ -118,11 +137,20 @@ void LocalMonitor::end_interval(std::int64_t t, Transport& network) {
   report.values.assign(volumes.begin(), volumes.end());
   last_report_ = report;
   network.send(report);
+  if (scorer_) {
+    static Counter& score_reports =
+        MetricsRegistry::global().counter("spca.detect.score_reports");
+    score_reports.inc();
+    last_score_report_ =
+        make_score_report(id_, upstream_, t, scorer_->last());
+    network.send(last_score_report_);
+  }
 }
 
 void LocalMonitor::resend_report(Transport& network) {
   if (last_report_.ids.empty()) return;  // nothing reported yet
   network.send(last_report_);
+  if (!last_score_report_.ids.empty()) network.send(last_score_report_);
 }
 
 void LocalMonitor::handle_mail(Transport& network) {

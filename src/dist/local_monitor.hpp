@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "detect/first_line.hpp"
 #include "dist/message.hpp"
 #include "linalg/vector.hpp"
 #include "net/transport.hpp"
@@ -66,8 +68,23 @@ class LocalMonitor final {
   /// end_interval). Used by the daemon after a NOC reconnect: a report in
   /// flight when the NOC went down died with the old connection, and the
   /// restarted NOC cannot advance until it arrives again. The NOC tolerates
-  /// the duplicate copy that a racing original may also deliver.
+  /// the duplicate copy that a racing original may also deliver. When the
+  /// first-line scorer is on, the matching score report is re-sent too.
   void resend_report(Transport& network);
+
+  /// Turns on the first-line scorer of the ensemble detection plane: every
+  /// interval close scores the monitor's owned volumes (entropy + rate
+  /// z-scores) and end_interval additionally ships a kScoreReport upstream.
+  /// Must be called before the first interval; all monitors of a deployment
+  /// must agree (the NOC waits for score reports from everyone or no one).
+  void enable_first_line(const FirstLineConfig& config = {});
+  [[nodiscard]] bool first_line_enabled() const noexcept {
+    return scorer_.has_value();
+  }
+  /// The scorer state, when enabled (tests, fused local pipelines).
+  [[nodiscard]] const FirstLineScorer* first_line() const noexcept {
+    return scorer_ ? &*scorer_ : nullptr;
+  }
 
   /// Handles queued requests (sketch pulls), sending responses.
   void handle_mail(Transport& network);
@@ -118,8 +135,11 @@ class LocalMonitor final {
   VolumeCounter counter_;
   std::vector<FlowSketch> sketches_;  // aligned with flows_; empty when
                                       // counter_only_
+  std::optional<FirstLineScorer> scorer_;  // engaged by enable_first_line;
+                                           // checkpointed (blob v2)
   Message last_report_;  // retained for resend_report; not checkpointed (a
                          // restarted monitor reports again naturally)
+  Message last_score_report_;  // ditto, for the first-line score
 };
 
 }  // namespace spca

@@ -9,6 +9,8 @@
 //     i64 now | u64 bucket_count
 //     per bucket: i64 timestamp | u64 count | f64 mean | f64 variance
 //                 | f64[] payload
+//   u8 has_scorer | FirstLineScorer state when 1 (version 2; see
+//                   detect/first_line.cpp for the scalar run)
 //
 // This is everything a monitor owns: a restore answers the next sketch
 // request bit-identically to a monitor that never died. The surrounding
@@ -23,7 +25,10 @@ namespace spca {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x4D435053;  // "SPCM"
-constexpr std::uint32_t kVersion = 1;
+// v2 appended the first-line scorer section; v1 blobs (pre-ensemble) are
+// rejected rather than silently restored with a cold scorer, which would
+// break the bit-identical-restore guarantee for fusion deployments.
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
 std::vector<std::byte> LocalMonitor::save_state() const {
@@ -55,6 +60,8 @@ std::vector<std::byte> LocalMonitor::save_state() const {
       out.put_all(b.payload);
     }
   }
+  out.put(static_cast<std::uint8_t>(scorer_ ? 1 : 0));
+  if (scorer_) scorer_->save(out);
   return std::move(out).take();
 }
 
@@ -119,6 +126,9 @@ LocalMonitor LocalMonitor::restore_state(const std::vector<std::byte>& blob) {
           window, epsilon, sketch_rows, projection, std::move(vh_buckets),
           now));
     }
+  }
+  if (in.get<std::uint8_t>() != 0) {
+    monitor.scorer_ = FirstLineScorer::restore(in);
   }
   if (!in.exhausted()) {
     throw ProtocolError("LocalMonitor::restore_state: trailing bytes");

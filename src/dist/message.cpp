@@ -35,7 +35,7 @@ Message deserialize(const std::vector<std::byte>& buffer) {
   ByteReader in(buffer);
   Message msg;
   const auto type = in.get<std::uint8_t>();
-  if (type < 1 || type > 5) {
+  if (type < 1 || type > 6) {
     throw ProtocolError("deserialize: unknown message type");
   }
   msg.type = static_cast<MessageType>(type);

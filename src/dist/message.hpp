@@ -26,10 +26,15 @@ enum class MessageType : std::uint8_t {
   /// NOC -> operator: anomaly alarm for an interval.
   kAlarm = 4,
   /// Regional NOC -> root NOC: merged per-monitor payloads of one region
-  /// (volume reports or sketch responses), concatenated in sorted monitor
-  /// id order. The inner kind is recovered from the payload shape (see
-  /// dist/aggregate.hpp).
+  /// (volume reports, sketch responses, or first-line score reports),
+  /// concatenated in sorted monitor id order. The inner kind is recovered
+  /// from the payload shape (see dist/aggregate.hpp).
   kAggregate = 5,
+  /// Monitor -> NOC: first-line anomaly scores of the ensemble detection
+  /// plane, sent at interval close alongside the volume report. ids holds
+  /// the reporting monitor ids; each id owns two values
+  /// [entropy_z, rate_z] (see detect/score_codec.hpp).
+  kScoreReport = 6,
 };
 
 /// A protocol message: typed header plus id and value payloads.

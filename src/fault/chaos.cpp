@@ -122,10 +122,15 @@ void validate(const ChaosConfig& config) {
 
 bool trajectories_match(const ScenarioRun& a, const ScenarioRun& b) {
   if (a.alarm_intervals != b.alarm_intervals) return false;
-  if (a.distances.size() != b.distances.size()) return false;
-  return a.distances.empty() ||
-         std::memcmp(a.distances.data(), b.distances.data(),
-                     a.distances.size() * sizeof(double)) == 0;
+  if (a.fused_alarm_intervals != b.fused_alarm_intervals) return false;
+  const auto doubles_match = [](const std::vector<double>& x,
+                                const std::vector<double>& y) {
+    if (x.size() != y.size()) return false;
+    return x.empty() || std::memcmp(x.data(), y.data(),
+                                    x.size() * sizeof(double)) == 0;
+  };
+  return doubles_match(a.distances, b.distances) &&
+         doubles_match(a.fused_statistics, b.fused_statistics);
 }
 
 ChaosResult run_chaos(const ChaosConfig& config) {
@@ -158,15 +163,13 @@ ChaosResult run_chaos(const ChaosConfig& config) {
     nc.regions = config.regions;
     nc.interval_deadline = config.interval_deadline;
     nc.io_timeout = config.io_timeout;
-    if (!hier) {
-      // In hierarchical mode only the monitor endpoints are wrapped: both
-      // protocol phases of a region ride MessageType::kAggregate, so the
-      // decorator's (type, from, to, interval) dedup key is not unique on
-      // the region -> root hop (see ChaosConfig::regions).
-      nc.wrap_transport = [&](Transport& inner) {
-        return std::make_unique<FaultyTransport>(inner, config.faults, &acc);
-      };
-    }
+    // Every tier is fault-wrapped, including the region -> root hop: the
+    // dedup key's payload-width element tells the volume-, score-, and
+    // sketch-shaped kAggregates of one interval apart, so duplicates on
+    // that hop are removed without swallowing a legitimate second phase.
+    nc.wrap_transport = [&](Transport& inner) {
+      return std::make_unique<FaultyTransport>(inner, config.faults, &acc);
+    };
     if (noc_kill) {
       // First incarnation: checkpoints and stops after intervals < kill; its
       // shutdown snapshot seeds the second incarnation on the same port.
@@ -213,6 +216,9 @@ ChaosResult run_chaos(const ChaosConfig& config) {
       rc.retry = config.retry;
       rc.io_timeout = config.io_timeout;
       rc.interval_deadline = config.interval_deadline;
+      rc.wrap_transport = [&](Transport& inner) {
+        return std::make_unique<FaultyTransport>(inner, config.faults, &acc);
+      };
       const std::optional<std::int64_t> kill =
           kill_of(config.faults, region_node_id(r));
       if (kill) {
@@ -253,6 +259,10 @@ ChaosResult run_chaos(const ChaosConfig& config) {
             rc.retry = config.retry;
             rc.io_timeout = config.io_timeout;
             rc.interval_deadline = config.interval_deadline;
+            rc.wrap_transport = [&](Transport& inner) {
+              return std::make_unique<FaultyTransport>(inner, config.faults,
+                                                       &acc);
+            };
             rc.checkpoint_dir = config.checkpoint_dir;
             rc.checkpoint_every = config.checkpoint_every;
             RegionalDaemon second(rc);
@@ -381,6 +391,13 @@ ChaosResult run_chaos(const ChaosConfig& config) {
         result.run.distances.insert(result.run.distances.end(),
                                     rest.distances.begin(),
                                     rest.distances.end());
+        result.run.fused_alarm_intervals.insert(
+            result.run.fused_alarm_intervals.end(),
+            rest.fused_alarm_intervals.begin(),
+            rest.fused_alarm_intervals.end());
+        result.run.fused_statistics.insert(result.run.fused_statistics.end(),
+                                           rest.fused_statistics.begin(),
+                                           rest.fused_statistics.end());
         result.run.stats += rest.stats;
       }
     } catch (...) {

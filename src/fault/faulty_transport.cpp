@@ -93,8 +93,10 @@ std::vector<Message> FaultyTransport::deduplicate(
   std::vector<Message> out;
   out.reserve(messages.size());
   for (Message& msg : messages) {
+    const std::size_t width =
+        msg.ids.empty() ? 0 : msg.values.size() / msg.ids.size();
     const DedupKey key{static_cast<std::uint8_t>(msg.type), msg.from, msg.to,
-                       msg.interval};
+                       msg.interval, width};
     if (delivered_.insert(key).second) {
       out.push_back(std::move(msg));
     } else {

@@ -8,8 +8,11 @@
 //   corrupt  -> the frame CRC catches any byte flip, so a corrupted attempt
 //               behaves like a detected drop: counted, then retransmitted
 //   dup      -> the message enters the inner transport twice; the receive
-//               side deduplicates on (type, from, to, interval), which is a
-//               unique key for every legitimate protocol message
+//               side deduplicates on (type, from, to, interval, payload
+//               width), which is a unique key for every legitimate protocol
+//               message — the width (values per id) tells apart the
+//               volume-, score-, and sketch-shaped kAggregates a regional
+//               NOC sends to the root within one interval
 //   reorder  -> the message is held back and released on the next receive
 //               operation, after messages sent later — the interval
 //               assemblers are order-insensitive within an interval, and
@@ -88,15 +91,16 @@ class FaultyTransport final : public Transport {
  private:
   /// Releases every held message into the inner transport (FIFO).
   void flush_held() const;
-  /// Removes messages whose (type, from, to, interval) key was delivered
-  /// before.
+  /// Removes messages whose (type, from, to, interval, width) key was
+  /// delivered before.
   std::vector<Message> deduplicate(std::vector<Message> messages) const;
 
   Transport& inner_;
   mutable std::mutex mutex_;
   mutable FaultPlan plan_;
   mutable std::vector<Message> held_;
-  using DedupKey = std::tuple<std::uint8_t, NodeId, NodeId, std::int64_t>;
+  using DedupKey =
+      std::tuple<std::uint8_t, NodeId, NodeId, std::int64_t, std::size_t>;
   mutable std::set<DedupKey> delivered_;
   mutable FaultInjectionStats fault_stats_;
   FaultStatsAccumulator* sink_;

@@ -1,8 +1,11 @@
 #include "hier/hier_scenario.hpp"
 
 #include <memory>
+#include <optional>
 
 #include "common/contracts.hpp"
+#include "detect/fusion.hpp"
+#include "detect/score_codec.hpp"
 #include "dist/local_monitor.hpp"
 #include "dist/noc.hpp"
 #include "dist/sim_network.hpp"
@@ -16,13 +19,16 @@ HierWireAccounting hier_wire_accounting(const NetworkStats& stats) {
   };
   HierWireAccounting acc;
   const std::size_t report = type_slot(MessageType::kVolumeReport);
+  const std::size_t score = type_slot(MessageType::kScoreReport);
   const std::size_t response = type_slot(MessageType::kSketchResponse);
   const std::size_t request = type_slot(MessageType::kSketchRequest);
   const std::size_t aggregate = type_slot(MessageType::kAggregate);
-  acc.monitor_to_region_bytes =
-      stats.bytes_by_type[report] + stats.bytes_by_type[response];
-  acc.monitor_to_region_messages =
-      stats.messages_by_type[report] + stats.messages_by_type[response];
+  acc.monitor_to_region_bytes = stats.bytes_by_type[report] +
+                                stats.bytes_by_type[score] +
+                                stats.bytes_by_type[response];
+  acc.monitor_to_region_messages = stats.messages_by_type[report] +
+                                   stats.messages_by_type[score] +
+                                   stats.messages_by_type[response];
   acc.region_to_root_bytes = stats.bytes_by_type[aggregate];
   acc.region_to_root_messages = stats.messages_by_type[aggregate];
   acc.request_bytes = stats.bytes_by_type[request];
@@ -61,6 +67,16 @@ ScenarioRun run_hier_scenario_sim(const NetScenario& scenario,
         region_node_id(region_of_monitor(k, regions, id)));
   }
 
+  // Ensemble fusion mirrors the flat reference: monitors score first-line
+  // signals at interval close, the root fuses them with the sketch verdict.
+  std::optional<FusionEngine> fusion;
+  if (scenario.config.fusion != "off") {
+    FusionConfig fusion_config;
+    fusion_config.rule = parse_fusion_rule(scenario.config.fusion);
+    fusion.emplace(fusion_config);
+    for (const auto& monitor : monitors) monitor->enable_first_line();
+  }
+
   // The middle tier.
   std::vector<RegionalNoc> tier;
   tier.reserve(regions);
@@ -86,22 +102,40 @@ ScenarioRun run_hier_scenario_sim(const NetScenario& scenario,
       }
       monitor->end_interval(t, bus);
     }
-    // Each region merges its shard and forwards one aggregate to the root.
+    // Each region merges its shard and forwards one aggregate per payload
+    // kind (volumes, and first-line scores when fusion is on) to the root.
     for (RegionalNoc& region : tier) {
       region.pump(bus);
       SPCA_ENSURES(region.reports_ready() == t);
       bus.send(region.take_merged_reports(kNocId));
+      if (fusion) {
+        SPCA_ENSURES(region.scores_ready() == t);
+        bus.send(region.take_merged_scores(kNocId));
+      }
     }
-    // The root unwraps the aggregates through the flat assembly path.
+    // The root splits the aggregates by payload shape and unwraps them
+    // through the flat assembly path. Regions arrive in ascending order and
+    // each merge is sorted by monitor id, so the concatenated score list is
+    // in ascending monitor order — the flat reference's order.
     std::vector<Message> reports;
     reports.reserve(regions);
+    std::vector<MonitorScore> scores;
     for (const Message& agg : bus.take(kNocId, MessageType::kAggregate)) {
+      if (fusion && aggregate_shape_is(agg, MessageType::kScoreReport, rows)) {
+        const auto part = parse_score_report(
+            unwrap_aggregate(agg, MessageType::kScoreReport, rows));
+        scores.insert(scores.end(), part.begin(), part.end());
+        continue;
+      }
       reports.push_back(
           unwrap_aggregate(agg, MessageType::kVolumeReport, rows));
     }
     const Vector x = noc.assemble_volumes(t, reports);
 
-    if (interval + 1 < config.window) continue;  // warm-up, matching the flat run
+    if (interval + 1 < config.window) {  // warm-up, matching the flat run
+      if (fusion) (void)fusion->fuse(t, Detection{}, scores);
+      continue;
+    }
 
     const auto pull = [&] {
       noc.request_sketches(t, region_ids, bus);
@@ -126,6 +160,11 @@ ScenarioRun run_hier_scenario_sim(const NetScenario& scenario,
     const Detection det = noc.detect_with_pull(t, x, pull, bus);
     run.distances.push_back(det.distance);
     if (det.alarm) run.alarm_intervals.push_back(t);
+    if (fusion) {
+      const FusedDecision fused = fusion->fuse(t, det, scores);
+      run.fused_statistics.push_back(fused.statistic);
+      if (fused.alarm) run.fused_alarm_intervals.push_back(t);
+    }
   }
   run.stats = bus.stats();
   return run;

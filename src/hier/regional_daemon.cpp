@@ -230,6 +230,7 @@ RegionalDaemonResult RegionalDaemon::run() {
   // the root has already seen (stale duplicates after a monitor reconnect)
   // are merged and dropped, never re-sent.
   std::int64_t reports_forwarded_through = t - 1;
+  std::int64_t scores_forwarded_through = t - 1;
   auto waited = std::chrono::milliseconds(0);
   while (t < end && !stop_.load(std::memory_order_relaxed)) {
     current_interval.store(t, std::memory_order_relaxed);
@@ -271,6 +272,15 @@ RegionalDaemonResult RegionalDaemon::run() {
       Message merged = region.take_merged_reports(kNocId);
       if (*ready > reports_forwarded_through) {
         reports_forwarded_through = *ready;
+        bus.send(merged);
+      }
+      progressed = true;
+    }
+
+    if (const auto ready = region.scores_ready()) {
+      Message merged = region.take_merged_scores(kNocId);
+      if (*ready > scores_forwarded_through) {
+        scores_forwarded_through = *ready;
         bus.send(merged);
       }
       progressed = true;

@@ -45,19 +45,23 @@ void RegionalNoc::pump(Transport& bus) {
   for (Message& msg : bus.drain(id())) {
     switch (msg.type) {
       case MessageType::kVolumeReport:
+      case MessageType::kScoreReport:
       case MessageType::kSketchResponse: {
         if (!std::binary_search(monitors_.begin(), monitors_.end(),
                                 msg.from)) {
           throw ProtocolError("RegionalNoc: message from outside the shard");
         }
         const std::size_t per_flow =
-            msg.type == MessageType::kVolumeReport ? 1 : sketch_rows_ + 2;
+            msg.type == MessageType::kVolumeReport  ? 1
+            : msg.type == MessageType::kScoreReport ? 2
+                                                    : sketch_rows_ + 2;
         if (msg.ids.empty() ||
             msg.values.size() != msg.ids.size() * per_flow) {
           throw ProtocolError("RegionalNoc: malformed payload shape");
         }
-        auto& store = msg.type == MessageType::kVolumeReport ? reports_
-                                                             : responses_;
+        auto& store = msg.type == MessageType::kVolumeReport  ? reports_
+                      : msg.type == MessageType::kScoreReport ? scores_
+                                                              : responses_;
         store[msg.from] = std::move(msg);
         break;
       }
@@ -99,6 +103,14 @@ std::optional<std::int64_t> RegionalNoc::reports_ready() const {
 
 Message RegionalNoc::take_merged_reports(NodeId to) {
   return take_merged(reports_, to);
+}
+
+std::optional<std::int64_t> RegionalNoc::scores_ready() const {
+  return ready(scores_);
+}
+
+Message RegionalNoc::take_merged_scores(NodeId to) {
+  return take_merged(scores_, to);
 }
 
 std::optional<std::int64_t> RegionalNoc::take_sketch_request() {

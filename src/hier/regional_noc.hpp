@@ -38,11 +38,11 @@ class RegionalNoc final {
     return monitors_;
   }
 
-  /// Drains this node's mailbox: volume reports and sketch responses from
-  /// the shard are stored keyed by sender (last-wins — a reconnecting
-  /// monitor re-sends an identical copy), root sketch requests are queued
-  /// for take_sketch_request(). Messages from outside the shard or of an
-  /// unexpected type throw ProtocolError.
+  /// Drains this node's mailbox: volume reports, first-line score reports,
+  /// and sketch responses from the shard are stored keyed by sender
+  /// (last-wins — a reconnecting monitor re-sends an identical copy), root
+  /// sketch requests are queued for take_sketch_request(). Messages from
+  /// outside the shard or of an unexpected type throw ProtocolError.
   void pump(Transport& bus);
 
   /// Interval whose volume reports are complete: every monitor of the shard
@@ -53,6 +53,15 @@ class RegionalNoc final {
   /// Merges and clears the collected volume reports into one kAggregate to
   /// `to`. Requires reports_ready().
   [[nodiscard]] Message take_merged_reports(NodeId to);
+
+  /// Interval whose first-line score reports are complete (same rule as
+  /// reports). Scores only arrive when the deployment runs with ensemble
+  /// fusion enabled, so callers gate on the scenario's fusion setting.
+  [[nodiscard]] std::optional<std::int64_t> scores_ready() const;
+
+  /// Merges and clears the collected score reports into one kAggregate to
+  /// `to`. Requires scores_ready().
+  [[nodiscard]] Message take_merged_scores(NodeId to);
 
   /// Pops the oldest pending sketch-request interval, if any.
   [[nodiscard]] std::optional<std::int64_t> take_sketch_request();
@@ -81,6 +90,7 @@ class RegionalNoc final {
   std::vector<NodeId> monitors_;  // sorted ascending
   std::size_t sketch_rows_;
   std::map<NodeId, Message> reports_;
+  std::map<NodeId, Message> scores_;
   std::map<NodeId, Message> responses_;
   std::deque<std::int64_t> requests_;
   std::uint64_t merges_ = 0;

@@ -115,6 +115,14 @@ MonitorDaemonResult MonitorDaemon::run() {
             throw ProtocolError(
                 "snapshot belongs to a different monitor or deployment");
           }
+          if (restored.first_line_enabled() !=
+              (config_.scenario.fusion != "off")) {
+            // A fusion-off snapshot has no scorer baselines; restoring it
+            // into a fusion deployment (or vice versa) would fork the score
+            // trajectory. Rebuild from scratch instead.
+            throw ProtocolError(
+                "snapshot fusion state differs from the configured scenario");
+          }
           monitor.emplace(std::move(restored));
           if (config_.first_interval == kAutoInterval) join = seq;
           absorb_from = seq;
@@ -133,6 +141,11 @@ MonitorDaemonResult MonitorDaemon::run() {
   if (!monitor) {
     monitor.emplace(config_.monitor_id, flows, det.window, det.epsilon,
                     det.sketch_rows, source);
+    // Ensemble plane: under any fusion rule the monitor scores its owned
+    // volumes each interval and ships a kScoreReport with the volume
+    // report. The warm-rebuild replay below advances the scorer too (it
+    // rides flush_interval), so a restarted monitor scores bit-identically.
+    if (config_.scenario.fusion != "off") monitor->enable_first_line();
   }
   // Deployment topology, not checkpointed state: a restored monitor must be
   // re-pointed at its upstream (regional NOC in the hierarchical tree).

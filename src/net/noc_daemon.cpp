@@ -7,6 +7,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "detect/fusion.hpp"
 #include "dist/aggregate.hpp"
 #include "dist/noc.hpp"
 #include "net/frame.hpp"
@@ -66,6 +67,15 @@ ScenarioRun NocDaemon::run() {
       hier ? region_node_ids(config_.regions) : monitor_ids;
   const std::size_t num_children = children.size();
   const std::size_t rows = config_.scenario.sketch_rows;
+  // Ensemble plane: when fusion is on, every child also ships first-line
+  // scores each interval (kScoreReport flat, score-shaped kAggregate hier)
+  // and the root fuses them with the sketch-PCA verdict.
+  std::optional<FusionEngine> fusion;
+  if (config_.scenario.fusion != "off") {
+    FusionConfig fusion_config;
+    fusion_config.rule = parse_fusion_rule(config_.scenario.fusion);
+    fusion.emplace(fusion_config);
+  }
 
   std::optional<CheckpointStore> store;
   if (!config_.checkpoint_dir.empty()) {
@@ -126,6 +136,8 @@ ScenarioRun NocDaemon::run() {
           << current_interval.load(std::memory_order_relaxed)
           << ",\"intervals_total\":" << intervals_total
           << ",\"reconnects\":" << transport_.reconnects()
+          << ",\"poller\":\"" << transport_.poller_backend() << "\""
+          << ",\"fusion\":\"" << config_.scenario.fusion << "\""
           << ",\"checkpointing\":"
           << (config_.checkpoint_dir.empty() ? "false" : "true") << "}\n";
       return oss.str();
@@ -176,19 +188,38 @@ ScenarioRun NocDaemon::run() {
     // for already-finished intervals (stale re-sends) are discarded, as are
     // sketch-shaped aggregates (racing duplicates of a finished pull).
     std::map<NodeId, Message> reports_by_child;
+    std::map<NodeId, Message> scores_by_child;
     if (!wait_until(
             [&] {
               const MessageType wire = hier ? MessageType::kAggregate
                                             : MessageType::kVolumeReport;
               for (Message& msg : bus.take(kNocId, wire)) {
                 if (msg.interval < t) continue;  // stale re-send
-                if (hier && !aggregate_shape_is(
-                                msg, MessageType::kVolumeReport, rows)) {
-                  continue;
+                if (hier) {
+                  // The aggregate wire carries volume-, score-, and
+                  // sketch-shaped payloads; route by shape. Sketch-shaped
+                  // strays (racing duplicates of a finished pull) drop.
+                  if (fusion && aggregate_shape_is(
+                                    msg, MessageType::kScoreReport, rows)) {
+                    scores_by_child[msg.from] = std::move(msg);
+                    continue;
+                  }
+                  if (!aggregate_shape_is(msg, MessageType::kVolumeReport,
+                                          rows)) {
+                    continue;
+                  }
                 }
                 reports_by_child[msg.from] = std::move(msg);
               }
-              return reports_by_child.size() >= num_children;
+              if (fusion && !hier) {
+                for (Message& msg :
+                     bus.take(kNocId, MessageType::kScoreReport)) {
+                  if (msg.interval < t) continue;  // stale re-send
+                  scores_by_child[msg.from] = std::move(msg);
+                }
+              }
+              return reports_by_child.size() >= num_children &&
+                     (!fusion || scores_by_child.size() >= num_children);
             },
             "volume reports")) {
       break;
@@ -201,6 +232,20 @@ ScenarioRun NocDaemon::run() {
                : std::move(msg));
     }
     const Vector x = noc->assemble_volumes(t, reports);
+    // Decode the first-line scores in ascending child order (std::map), the
+    // same order the simulation sees, so the fused trajectory is
+    // bit-identical.
+    std::vector<MonitorScore> scores;
+    if (fusion) {
+      for (auto& [id, msg] : scores_by_child) {
+        const Message report =
+            hier ? unwrap_aggregate(msg, MessageType::kScoreReport, rows)
+                 : std::move(msg);
+        for (const MonitorScore& s : parse_score_report(report)) {
+          scores.push_back(s);
+        }
+      }
+    }
 
     // Phase 2: detection, matching DistributedDetector's warm-up skip.
     if (t + 1 >= static_cast<std::int64_t>(scenario.detector.window)) {
@@ -268,6 +313,15 @@ ScenarioRun NocDaemon::run() {
       const Detection det = noc->detect_with_pull(t, x, pull, bus);
       run.distances.push_back(det.distance);
       if (det.alarm) run.alarm_intervals.push_back(t);
+      if (fusion) {
+        const FusedDecision fused = fusion->fuse(t, det, scores);
+        run.fused_statistics.push_back(fused.statistic);
+        if (fused.alarm) run.fused_alarm_intervals.push_back(t);
+      }
+    } else if (fusion) {
+      // Warm-up: fuse abstains but still runs, matching the simulation's
+      // metric/trace accounting interval for interval.
+      (void)fusion->fuse(t, Detection{}, scores);
     }
 
     // Phase 3: release the children into interval t+1 (regional NOCs relay

@@ -2,6 +2,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "detect/fusion.hpp"
 #include "dist/distributed_detector.hpp"
 #include "synth/anomaly_injector.hpp"
 #include "synth/traffic_model.hpp"
@@ -125,6 +126,12 @@ ScenarioRun run_scenario_reference(const NetScenario& scenario,
   DistributedDetector detector(scenario.trace.num_flows(),
                                scenario.config.monitors, scenario.detector,
                                /*noc_hosted_sketches=*/false, transport);
+  const bool fusion = scenario.config.fusion != "off";
+  if (fusion) {
+    FusionConfig config;
+    config.rule = parse_fusion_rule(scenario.config.fusion);
+    detector.enable_fusion(config);
+  }
   ScenarioRun run;
   for (std::size_t t = 0; t < scenario.config.intervals; ++t) {
     const Detection det =
@@ -132,6 +139,13 @@ ScenarioRun run_scenario_reference(const NetScenario& scenario,
     if (!det.ready) continue;
     run.distances.push_back(det.distance);
     if (det.alarm) run.alarm_intervals.push_back(static_cast<std::int64_t>(t));
+    if (fusion) {
+      const FusedDecision& fused = detector.last_fused();
+      run.fused_statistics.push_back(fused.statistic);
+      if (fused.alarm) {
+        run.fused_alarm_intervals.push_back(static_cast<std::int64_t>(t));
+      }
+    }
   }
   run.stats = detector.network_stats();
   return run;
@@ -149,6 +163,8 @@ void define_scenario_flags(CliFlags& flags) {
   flags.define("anomalies", "4", "Anomaly episodes injected after warm-up");
   flags.define("model-backend", "warm",
                "NOC model backend: exact | warm | rsvd | fd");
+  flags.define("fusion", "off",
+               "Ensemble fusion rule: off | any | all | weighted");
 }
 
 NetScenarioConfig scenario_from_flags(const CliFlags& flags) {
@@ -162,6 +178,10 @@ NetScenarioConfig scenario_from_flags(const CliFlags& flags) {
   config.anomalies = static_cast<std::size_t>(flags.integer("anomalies"));
   config.model_backend = flags.str("model-backend");
   (void)parse_model_backend(config.model_backend);  // validate early
+  config.fusion = flags.str("fusion");
+  if (config.fusion != "off") {
+    (void)parse_fusion_rule(config.fusion);  // validate early
+  }
   return config;
 }
 

@@ -43,6 +43,12 @@ struct NetScenarioConfig {
   std::size_t anomalies = 4;
   /// Model-fitting strategy of the NOC refit: exact | warm | rsvd | fd.
   std::string model_backend = "warm";
+  /// Fusion rule of the ensemble detection plane: off | any | all |
+  /// weighted. Anything but "off" makes every monitor run the first-line
+  /// scorer and ship kScoreReports, and the NOC fuse them with the
+  /// sketch-PCA verdict. Off by default so the wire profile of existing
+  /// deployments is unchanged.
+  std::string fusion = "off";
 };
 
 /// A fully materialized scenario.
@@ -72,6 +78,13 @@ struct ScenarioRun {
   std::vector<std::int64_t> alarm_intervals;
   /// Anomaly distance of every post-warm-up interval.
   std::vector<double> distances;
+  /// Fusion trajectory (empty when the scenario runs with fusion "off"):
+  /// intervals whose fused ensemble verdict alarmed, and the fused
+  /// statistic of every post-warm-up interval. Part of the trajectory the
+  /// parity checks compare, so a TCP deployment must fuse bit-identically
+  /// to the simulation.
+  std::vector<std::int64_t> fused_alarm_intervals;
+  std::vector<double> fused_statistics;
   /// Send-side wire accounting.
   NetworkStats stats;
 };
@@ -84,8 +97,8 @@ struct ScenarioRun {
                                                      nullptr);
 
 /// Declares the shared scenario flags (--topology, --intervals, --window,
-/// --sketch-rows, --monitors, --seed, --anomalies, --model-backend) on
-/// `flags`.
+/// --sketch-rows, --monitors, --seed, --anomalies, --model-backend,
+/// --fusion) on `flags`.
 void define_scenario_flags(CliFlags& flags);
 
 /// Reads the scenario flags back; throws InputError on invalid values.

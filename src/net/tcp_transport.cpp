@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <string_view>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -90,6 +91,12 @@ std::uint16_t TcpTransport::listen_port() const noexcept {
 void TcpTransport::start() {
   SPCA_EXPECTS(!started_);
   started_ = true;
+  // Advertise which readiness backend the io loop runs on (1 = epoll,
+  // 0 = poll); the gauge surfaces it in /metrics.json and the Prometheus
+  // exposition so fleet dashboards can spot a fallback to poll.
+  MetricsRegistry::global()
+      .gauge("spca.net.poller_backend")
+      .set(std::string_view(poller_backend()) == "epoll" ? 1.0 : 0.0);
   if (!config_.listen_host.empty()) {
     listener_.emplace(config_.listen_host, config_.listen_port);
   }

@@ -30,9 +30,9 @@ namespace spca {
 struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
-  /// Per message type (indexed by MessageType value 1..5).
-  std::array<std::uint64_t, 6> messages_by_type{};
-  std::array<std::uint64_t, 6> bytes_by_type{};
+  /// Per message type (indexed by MessageType value 1..6).
+  std::array<std::uint64_t, 7> messages_by_type{};
+  std::array<std::uint64_t, 7> bytes_by_type{};
 };
 
 /// Aggregates per-process stats (the multi-process deployment's total is
@@ -65,20 +65,21 @@ inline void account_send(NetworkStats& stats, const Message& msg,
   static Counter& bytes_tx =
       MetricsRegistry::global().counter("spca.net.bytes_tx");
   // Indexed by MessageType value; slot 0 is unused.
-  static Counter* const bytes_by_type[6] = {
+  static Counter* const bytes_by_type[7] = {
       nullptr,
       &MetricsRegistry::global().counter("spca.net.volume_report_bytes"),
       &MetricsRegistry::global().counter("spca.net.sketch_request_bytes"),
       &MetricsRegistry::global().counter("spca.net.sketch_response_bytes"),
       &MetricsRegistry::global().counter("spca.net.alarm_bytes"),
       &MetricsRegistry::global().counter("spca.net.aggregate_bytes"),
+      &MetricsRegistry::global().counter("spca.net.score_report_bytes"),
   };
   ++stats.messages;
   stats.bytes += wire_size;
   const auto type_index = static_cast<std::size_t>(msg.type);
   messages.inc();
   bytes_tx.inc(wire_size);
-  if (type_index >= 1 && type_index <= 5) {
+  if (type_index >= 1 && type_index <= 6) {
     ++stats.messages_by_type[type_index];
     stats.bytes_by_type[type_index] += wire_size;
     bytes_by_type[type_index]->inc(wire_size);

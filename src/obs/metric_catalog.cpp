@@ -10,6 +10,15 @@ namespace {
 // Keep sorted by name: find_metric binary-searches this list, and the
 // catalog-order test fails on any row out of place.
 const MetricInfo kCatalog[] = {
+    {"spca.detect.first_line_trips", MetricKind::kCounter,
+     "Monitor first-line scores above the trip threshold seen by the fusion "
+     "engine."},
+    {"spca.detect.fused_alarms", MetricKind::kCounter,
+     "Intervals the ensemble fusion rule flagged as anomalous."},
+    {"spca.detect.rpca_refits", MetricKind::kCounter,
+     "Robust-PCA (PCP) baseline window refits."},
+    {"spca.detect.score_reports", MetricKind::kCounter,
+     "First-line score reports built by local monitors."},
     {"spca.detector.alarms", MetricKind::kCounter,
      "Intervals the sketch detector flagged as anomalous."},
     {"spca.detector.false_refreshes", MetricKind::kCounter,
@@ -109,8 +118,12 @@ const MetricInfo kCatalog[] = {
      "Malformed or CRC-failing frames rejected by the decoder."},
     {"spca.net.messages", MetricKind::kCounter,
      "Protocol messages delivered across all transports."},
+    {"spca.net.poller_backend", MetricKind::kGauge,
+     "Readiness backend of the TCP io loop (1 = epoll, 0 = poll)."},
     {"spca.net.reconnects", MetricKind::kCounter,
      "Connections re-established after an EOF/error drop."},
+    {"spca.net.score_report_bytes", MetricKind::kCounter,
+     "Serialized payload bytes of first-line score reports."},
     {"spca.net.send_seconds", MetricKind::kHistogram,
      "Transport send() time per message."},
     {"spca.net.sketch_request_bytes", MetricKind::kCounter,

@@ -1,0 +1,197 @@
+#include "synth/adversarial.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "synth/anomaly_injector.hpp"
+#include "synth/traffic_model.hpp"
+#include "traffic/flow.hpp"
+
+namespace spca {
+
+namespace {
+
+TraceSet base_trace(const Topology& topology,
+                    const AdversarialConfig& config) {
+  TrafficModelConfig traffic;
+  traffic.num_intervals = config.total_intervals();
+  traffic.interval_seconds = config.interval_seconds;
+  traffic.seed = config.seed;
+  return generate_traffic(topology, traffic);
+}
+
+std::vector<FlowId> flows_toward(const Topology& topology, RouterId victim) {
+  std::vector<FlowId> flows;
+  const std::uint32_t routers = topology.num_routers();
+  for (RouterId origin = 0; origin < routers; ++origin) {
+    if (origin == victim) continue;
+    flows.push_back(od_flow_id(origin, victim, routers));
+  }
+  return flows;
+}
+
+AnomalyEvent label(std::int64_t start, std::int64_t end,
+                   std::vector<FlowId> flows, std::string kind,
+                   double magnitude) {
+  AnomalyEvent event;
+  event.start = start;
+  event.end = end;
+  event.flows.assign(flows.begin(), flows.end());
+  event.kind = std::move(kind);
+  event.magnitude = magnitude;
+  return event;
+}
+
+// Sustained DDoS with a slow onset: flows toward the victim ramp linearly
+// to +150% over the ramp span, then hold the plateau. The gradual onset is
+// what a sliding-window subspace partially absorbs.
+AdversarialScenario ddos_ramp(const Topology& topology,
+                              const AdversarialConfig& config) {
+  AdversarialScenario scenario{
+      "ddos-ramp",
+      "slow-onset sustained DDoS toward one victim POP (+150% plateau)",
+      base_trace(topology, config)};
+  const auto eval = static_cast<std::int64_t>(config.eval_intervals);
+  const auto start = static_cast<std::int64_t>(config.window) + eval / 8;
+  const std::int64_t ramp = std::max<std::int64_t>(eval / 8, 4);
+  const std::int64_t hold = std::max<std::int64_t>(eval / 6, 4);
+  const std::int64_t end = start + ramp + hold - 1;
+  const RouterId victim = 1 % topology.num_routers();
+  const std::vector<FlowId> flows = flows_toward(topology, victim);
+  const double peak = 1.5;
+  Matrix& volumes = scenario.trace.volumes();
+  for (std::int64_t t = start; t <= end; ++t) {
+    const double phase =
+        t - start < ramp
+            ? static_cast<double>(t - start + 1) / static_cast<double>(ramp)
+            : 1.0;
+    for (const FlowId flow : flows) {
+      volumes(static_cast<std::size_t>(t), flow) *= 1.0 + peak * phase;
+    }
+  }
+  scenario.trace.add_event(label(start, end, flows, "ddos", peak));
+  return scenario;
+}
+
+// Coordinated probe confined to monitor 1's shard: every owned flow scales
+// by the same modest factor, preserving the shard's internal mix. Globally
+// the bump is diluted across the subspace and the residual reacts weakly;
+// summed over the one monitor it is an unmistakable rate step — the
+// asymmetry the first-line statistic exists to exploit.
+AdversarialScenario stealth_probe(const Topology& topology,
+                                  const AdversarialConfig& config) {
+  AdversarialScenario scenario{
+      "stealth-probe",
+      "coordinated below-radar scaling of the flows one monitor owns",
+      base_trace(topology, config)};
+  const auto eval = static_cast<std::int64_t>(config.eval_intervals);
+  const auto start = static_cast<std::int64_t>(config.window) + eval / 4;
+  const std::int64_t duration = std::max<std::int64_t>(eval / 6, 4);
+  const std::int64_t end = start + duration - 1;
+  const std::size_t k = std::max<std::size_t>(config.monitors, 1);
+  std::vector<FlowId> flows;
+  for (std::size_t j = 0; j < scenario.trace.num_flows(); j += k) {
+    flows.push_back(static_cast<FlowId>(j));  // monitor 1: j % k == 0
+  }
+  const double scale = 0.5;
+  Matrix& volumes = scenario.trace.volumes();
+  for (std::int64_t t = start; t <= end; ++t) {
+    for (const FlowId flow : flows) {
+      volumes(static_cast<std::size_t>(t), flow) *= 1.0 + scale;
+    }
+  }
+  scenario.trace.add_event(label(start, end, flows, "stealth", scale));
+  return scenario;
+}
+
+// Correlated flash crowds: triangular ramps toward three destinations
+// sharing one onset — the multi-POP event that looks like several
+// simultaneous single-POP anomalies.
+AdversarialScenario flash_crowd_multi(const Topology& topology,
+                                      const AdversarialConfig& config) {
+  AdversarialScenario scenario{
+      "flash-crowd-multi",
+      "simultaneous triangular flash crowds at three POPs",
+      base_trace(topology, config)};
+  const auto eval = static_cast<std::int64_t>(config.eval_intervals);
+  const auto start = static_cast<std::int64_t>(config.window) + eval / 2;
+  const std::int64_t duration = std::max<std::int64_t>(eval / 8, 4);
+  const std::uint32_t routers = topology.num_routers();
+  AnomalyInjector injector(topology, config.seed ^ 0xf1a5ULL);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    injector.inject_flash_crowd(scenario.trace, start, duration,
+                                (2 + 2 * i) % routers, /*peak_magnitude=*/1.0);
+  }
+  return scenario;
+}
+
+// Mid-window routing shift: half of each chosen flow's volume moves to the
+// sibling flow of the same origin toward the next router. Per-origin totals
+// are conserved, so rate statistics are blind and only the correlation
+// structure changes.
+AdversarialScenario routing_shift(const Topology& topology,
+                                  const AdversarialConfig& config) {
+  AdversarialScenario scenario{
+      "routing-shift",
+      "volume-conserving mid-window shift between sibling flows",
+      base_trace(topology, config)};
+  const auto eval = static_cast<std::int64_t>(config.eval_intervals);
+  const auto start = static_cast<std::int64_t>(config.window) + eval / 2;
+  const std::int64_t duration = std::max<std::int64_t>(eval / 4, 8);
+  const std::int64_t end = start + duration - 1;
+  const std::uint32_t routers = topology.num_routers();
+  SPCA_EXPECTS(routers >= 4);
+  const double shift = 0.5;
+  std::vector<FlowId> touched;
+  Matrix& volumes = scenario.trace.volumes();
+  for (RouterId origin = 0; origin < routers; origin += 2) {
+    const RouterId old_dest = (origin + 1) % routers;
+    const RouterId new_dest = (origin + 2) % routers;
+    const FlowId from = od_flow_id(origin, old_dest, routers);
+    const FlowId to = od_flow_id(origin, new_dest, routers);
+    touched.push_back(from);
+    touched.push_back(to);
+    for (std::int64_t t = start; t <= end; ++t) {
+      const auto row = static_cast<std::size_t>(t);
+      const double moved = shift * volumes(row, from);
+      volumes(row, from) -= moved;
+      volumes(row, to) += moved;
+    }
+  }
+  scenario.trace.add_event(
+      label(start, end, touched, "routing-shift", shift));
+  return scenario;
+}
+
+}  // namespace
+
+const std::vector<std::string>& adversarial_scenario_names() {
+  static const std::vector<std::string> names = {
+      "ddos-ramp", "stealth-probe", "flash-crowd-multi", "routing-shift"};
+  return names;
+}
+
+AdversarialScenario make_adversarial_scenario(
+    const std::string& name, const Topology& topology,
+    const AdversarialConfig& config) {
+  SPCA_EXPECTS(config.window >= 8 && config.eval_intervals >= 32);
+  if (name == "ddos-ramp") return ddos_ramp(topology, config);
+  if (name == "stealth-probe") return stealth_probe(topology, config);
+  if (name == "flash-crowd-multi") return flash_crowd_multi(topology, config);
+  if (name == "routing-shift") return routing_shift(topology, config);
+  throw InputError("unknown adversarial scenario: " + name);
+}
+
+std::vector<AdversarialScenario> make_adversarial_catalog(
+    const Topology& topology, const AdversarialConfig& config) {
+  std::vector<AdversarialScenario> catalog;
+  catalog.reserve(adversarial_scenario_names().size());
+  for (const std::string& name : adversarial_scenario_names()) {
+    catalog.push_back(make_adversarial_scenario(name, topology, config));
+  }
+  return catalog;
+}
+
+}  // namespace spca

@@ -1,0 +1,73 @@
+// Adversarial scenario catalog: named attack traces designed to probe the
+// blind spots of each detector family, with ground-truth labels attached.
+//
+//   * ddos-ramp        — sustained DDoS that ramps up slowly toward one
+//                        victim and then holds; tests whether the sliding
+//                        window absorbs a gradual onset.
+//   * stealth-probe    — coordinated below-threshold bumps confined to the
+//                        OD flows one monitor owns: each flow moves by
+//                        about one local standard deviation, so the global
+//                        subspace barely shifts while the owning monitor's
+//                        first-line rate statistic trips. The scenario the
+//                        ensemble fusion exists for.
+//   * flash-crowd-multi— correlated flash crowds at several POPs at once
+//                        (triangular ramps sharing one onset).
+//   * routing-shift    — mid-window routing change: a fraction of several
+//                        flows' volume moves to sibling flows of the same
+//                        origin. Totals are conserved, so rate statistics
+//                        stay flat and only correlation-structure methods
+//                        see it.
+//
+// Every scenario is generated on top of the same synthetic traffic
+// substrate (synth/traffic_model.hpp) and is fully determined by
+// (topology, AdversarialConfig), so benches and CI gates can pin results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "traffic/topology.hpp"
+#include "traffic/trace.hpp"
+
+namespace spca {
+
+/// Shared knobs of the catalog scenarios.
+struct AdversarialConfig {
+  /// Detector warm-up; every episode starts at or after this interval.
+  std::size_t window = 96;
+  /// Labelled evaluation span after warm-up.
+  std::size_t eval_intervals = 192;
+  double interval_seconds = 300.0;
+  std::uint64_t seed = 2010;
+  /// Monitor count of the deployment under test: the stealth-probe
+  /// episode targets exactly the flows monitor 1 owns under the
+  /// round-robin partition (flow j belongs to monitor 1 + j mod k).
+  std::size_t monitors = 4;
+
+  [[nodiscard]] std::size_t total_intervals() const {
+    return window + eval_intervals;
+  }
+};
+
+/// One labelled catalog entry.
+struct AdversarialScenario {
+  std::string name;
+  std::string description;
+  TraceSet trace;
+};
+
+/// The catalog's scenario names, in canonical order.
+[[nodiscard]] const std::vector<std::string>& adversarial_scenario_names();
+
+/// Builds one catalog scenario by name; throws InputError on an unknown
+/// name.
+[[nodiscard]] AdversarialScenario make_adversarial_scenario(
+    const std::string& name, const Topology& topology,
+    const AdversarialConfig& config = {});
+
+/// Builds every catalog scenario, in canonical order.
+[[nodiscard]] std::vector<AdversarialScenario> make_adversarial_catalog(
+    const Topology& topology, const AdversarialConfig& config = {});
+
+}  // namespace spca

@@ -6,6 +6,25 @@
 
 namespace spca {
 
+double shannon_entropy_bits(std::span<const double> weights) {
+  double total = 0.0;
+  std::size_t positive = 0;
+  for (const double w : weights) {
+    if (w > 0.0) {
+      total += w;
+      ++positive;
+    }
+  }
+  if (positive < 2 || total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (const double w : weights) {
+    if (w <= 0.0) continue;
+    const double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
 void EntropyCounter::add(std::uint32_t value, std::uint64_t weight) {
   SPCA_EXPECTS(weight >= 1);
   counts_[value] += weight;

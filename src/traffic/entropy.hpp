@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,14 @@
 #include "traffic/flow.hpp"
 
 namespace spca {
+
+/// Shannon entropy (bits) of the distribution induced by a nonnegative
+/// weight vector: H = -sum (w_j / W) log2(w_j / W) over the strictly
+/// positive weights, with W their sum. Zero weights carry no probability
+/// mass and are skipped; fewer than two positive weights (or a nonpositive
+/// total) yield 0.0, matching EntropyCounter's degenerate-distribution
+/// convention. Deterministic: summation follows span order.
+[[nodiscard]] double shannon_entropy_bits(std::span<const double> weights);
 
 /// Empirical entropy (bits) of observed categorical values, built
 /// incrementally within one measurement interval.

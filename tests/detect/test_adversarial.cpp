@@ -1,0 +1,105 @@
+#include "synth/adversarial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "traffic/topology.hpp"
+
+namespace spca {
+namespace {
+
+AdversarialConfig small_config() {
+  AdversarialConfig config;
+  config.window = 16;
+  config.eval_intervals = 48;
+  return config;
+}
+
+TEST(AdversarialCatalog, BuildsEveryScenarioInCanonicalOrder) {
+  const Topology topo = abilene11_topology();
+  const auto catalog = make_adversarial_catalog(topo, small_config());
+  const auto names = adversarial_scenario_names();
+  ASSERT_EQ(catalog.size(), names.size());
+  ASSERT_GE(catalog.size(), 4u);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog[i].name, names[i]);
+    EXPECT_FALSE(catalog[i].description.empty());
+  }
+}
+
+TEST(AdversarialCatalog, ScenariosCarryGroundTruthWithinBounds) {
+  const Topology topo = abilene11_topology();
+  const AdversarialConfig config = small_config();
+  const auto total = static_cast<std::int64_t>(config.total_intervals());
+  for (const AdversarialScenario& s : make_adversarial_catalog(topo,
+                                                               config)) {
+    EXPECT_EQ(s.trace.num_intervals(), config.total_intervals()) << s.name;
+    EXPECT_EQ(s.trace.num_flows(),
+              static_cast<std::size_t>(topo.num_od_flows()))
+        << s.name;
+    ASSERT_FALSE(s.trace.events().empty()) << s.name;
+    for (const AnomalyEvent& e : s.trace.events()) {
+      EXPECT_GE(e.start, static_cast<std::int64_t>(config.window)) << s.name;
+      EXPECT_LE(e.start, e.end) << s.name;
+      EXPECT_LT(e.end, total) << s.name;
+      EXPECT_FALSE(e.flows.empty()) << s.name;
+      for (const std::uint32_t f : e.flows) {
+        EXPECT_LT(f, s.trace.num_flows()) << s.name;
+      }
+    }
+    // Volumes stay finite and nonnegative under every manipulation.
+    for (std::size_t t = 0; t < s.trace.num_intervals(); t += 7) {
+      for (std::size_t f = 0; f < s.trace.num_flows(); f += 11) {
+        const double v = s.trace.volumes()(t, f);
+        EXPECT_TRUE(std::isfinite(v)) << s.name;
+        EXPECT_GE(v, 0.0) << s.name;
+      }
+    }
+  }
+}
+
+TEST(AdversarialCatalog, ScenariosAreDeterministic) {
+  const Topology topo = abilene_topology();
+  const AdversarialConfig config = small_config();
+  const AdversarialScenario a =
+      make_adversarial_scenario("stealth-probe", topo, config);
+  const AdversarialScenario b =
+      make_adversarial_scenario("stealth-probe", topo, config);
+  ASSERT_EQ(a.trace.num_intervals(), b.trace.num_intervals());
+  const Matrix& va = a.trace.volumes();
+  const Matrix& vb = b.trace.volumes();
+  ASSERT_EQ(va.rows(), vb.rows());
+  ASSERT_EQ(va.cols(), vb.cols());
+  for (std::size_t t = 0; t < va.rows(); ++t) {
+    for (std::size_t f = 0; f < va.cols(); ++f) {
+      ASSERT_EQ(va(t, f), vb(t, f)) << "t=" << t << " f=" << f;
+    }
+  }
+  ASSERT_EQ(a.trace.events().size(), b.trace.events().size());
+}
+
+TEST(AdversarialCatalog, StealthProbeTargetsOneMonitorSlice) {
+  // The stealth scenario bumps only flows owned by monitor 1 (round-robin
+  // ownership j % k == 0), the blind spot it exists to probe.
+  const Topology topo = abilene_topology();
+  const AdversarialConfig config = small_config();
+  const AdversarialScenario s =
+      make_adversarial_scenario("stealth-probe", topo, config);
+  for (const AnomalyEvent& e : s.trace.events()) {
+    for (const std::uint32_t f : e.flows) {
+      EXPECT_EQ(f % config.monitors, 0u);
+    }
+  }
+}
+
+TEST(AdversarialCatalog, UnknownScenarioNameIsRejected) {
+  const Topology topo = abilene_topology();
+  EXPECT_THROW(
+      (void)make_adversarial_scenario("not-a-scenario", topo, small_config()),
+      InputError);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,105 @@
+#include "detect/first_line.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace spca {
+namespace {
+
+std::vector<double> flat_interval(std::size_t w, double level) {
+  return std::vector<double>(w, level);
+}
+
+TEST(FirstLineScorer, WarmupEmitsZeroScores) {
+  FirstLineConfig config;
+  config.warmup = 6;
+  FirstLineScorer scorer(config);
+  for (std::uint64_t t = 0; t < config.warmup; ++t) {
+    const FirstLineScore s = scorer.observe(flat_interval(8, 100.0 + t));
+    EXPECT_EQ(s.entropy_z, 0.0) << "interval " << t;
+    EXPECT_EQ(s.rate_z, 0.0) << "interval " << t;
+  }
+  EXPECT_EQ(scorer.observed(), config.warmup);
+}
+
+TEST(FirstLineScorer, RateStepAfterWarmupTrips) {
+  FirstLineConfig config;
+  config.warmup = 8;
+  FirstLineScorer scorer(config);
+  // A gently wiggling baseline so the EWMA variance is positive but small.
+  for (int t = 0; t < 40; ++t) {
+    (void)scorer.observe(flat_interval(8, 100.0 + (t % 2)));
+  }
+  // A 5x aggregate-rate step must z-score far above any sane trip threshold.
+  const FirstLineScore s = scorer.observe(flat_interval(8, 500.0));
+  EXPECT_GT(s.rate_z, 5.0);
+  EXPECT_EQ(s, scorer.last());
+}
+
+TEST(FirstLineScorer, ConcentrationMovesEntropyScore) {
+  FirstLineConfig config;
+  config.warmup = 8;
+  FirstLineScorer scorer(config);
+  // Flat intervals have exactly log2(16) bits of entropy regardless of
+  // level, so the entropy stream is constant; run long enough for the
+  // EWMA variance left over from the cold start to decay away.
+  for (int t = 0; t < 120; ++t) {
+    (void)scorer.observe(flat_interval(16, 50.0 + (t % 2)));
+  }
+  // Concentrate the same total volume on one flow: the rate baseline barely
+  // moves but the entropy of the owned-flow distribution collapses.
+  std::vector<double> spiked(16, 1.0);
+  spiked[3] = 50.0 * 16.0 - 15.0;
+  const FirstLineScore s = scorer.observe(spiked);
+  EXPECT_GT(std::abs(s.entropy_z), 5.0);
+}
+
+TEST(FirstLineScorer, ScoresAgainstPreUpdateBaseline) {
+  // West-style ordering: the first post-warmup interval is scored against
+  // baselines that do NOT yet contain it, so two scorers fed identical
+  // prefixes and then different values diverge immediately.
+  FirstLineConfig config;
+  config.warmup = 4;
+  FirstLineScorer a(config);
+  FirstLineScorer b(config);
+  for (int t = 0; t < 20; ++t) {
+    (void)a.observe(flat_interval(4, 10.0 + (t % 2)));
+    (void)b.observe(flat_interval(4, 10.0 + (t % 2)));
+  }
+  EXPECT_EQ(a, b);
+  const FirstLineScore sa = a.observe(flat_interval(4, 10.0));
+  const FirstLineScore sb = b.observe(flat_interval(4, 80.0));
+  EXPECT_LT(std::abs(sa.rate_z), std::abs(sb.rate_z));
+}
+
+TEST(FirstLineScorer, SaveRestoreRoundTripContinuesBitIdentically) {
+  FirstLineConfig config;
+  config.smoothing = 0.07;
+  config.warmup = 5;
+  FirstLineScorer original(config);
+  for (int t = 0; t < 17; ++t) {
+    (void)original.observe(flat_interval(6, 30.0 + 3.0 * (t % 3)));
+  }
+
+  ByteWriter out;
+  original.save(out);
+  const std::vector<std::byte> blob = std::move(out).take();
+  ByteReader in(blob);
+  FirstLineScorer restored = FirstLineScorer::restore(in);
+  EXPECT_EQ(original, restored);
+
+  // The restored scorer must track the original exactly on the tail.
+  for (int t = 0; t < 10; ++t) {
+    const std::vector<double> x = flat_interval(6, 28.0 + 5.0 * (t % 2));
+    const FirstLineScore sa = original.observe(x);
+    const FirstLineScore sb = restored.observe(x);
+    EXPECT_EQ(sa, sb) << "tail interval " << t;
+  }
+}
+
+}  // namespace
+}  // namespace spca

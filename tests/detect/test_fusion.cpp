@@ -1,0 +1,127 @@
+#include "detect/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spca {
+namespace {
+
+Detection sketch_detection(bool alarm, double distance, double threshold) {
+  Detection det;
+  det.ready = true;
+  det.alarm = alarm;
+  det.distance = distance;
+  det.threshold = threshold;
+  return det;
+}
+
+TEST(FusionRuleParsing, RoundTripsAndRejects) {
+  for (const char* name : {"off", "any", "all", "weighted"}) {
+    EXPECT_EQ(to_string(parse_fusion_rule(name)), name);
+  }
+  EXPECT_THROW((void)parse_fusion_rule("sometimes"), InputError);
+  EXPECT_THROW((void)parse_fusion_rule(""), InputError);
+}
+
+TEST(FusionEngine, AbstainsWhileSketchWarmsUp) {
+  FusionEngine engine{FusionConfig{}};
+  const std::vector<MonitorScore> scores{
+      {.monitor = 1, .entropy_z = 10.0, .rate_z = 10.0}};
+  const FusedDecision d = engine.fuse(0, Detection{}, scores);
+  EXPECT_FALSE(d.ready);
+  EXPECT_FALSE(d.alarm);
+}
+
+TEST(FusionEngine, AnyRuleTripsOnFirstLineAlone) {
+  FusionConfig config;
+  config.rule = FusionRule::kAny;
+  config.score_threshold = 3.0;
+  FusionEngine engine(config);
+  // Sketch quiet, monitor 2 trips on entropy: the OR rule must alarm and
+  // name the tripping monitor.
+  const std::vector<MonitorScore> scores{
+      {.monitor = 3, .entropy_z = 0.5, .rate_z = 0.5},
+      {.monitor = 2, .entropy_z = -4.0, .rate_z = 0.0}};
+  const FusedDecision d =
+      engine.fuse(5, sketch_detection(false, 0.2, 1.0), scores);
+  EXPECT_TRUE(d.ready);
+  EXPECT_TRUE(d.alarm);
+  EXPECT_GE(d.statistic, 1.0);
+  EXPECT_EQ(d.monitors, 2u);
+  ASSERT_EQ(d.tripped_monitors.size(), 1u);
+  EXPECT_EQ(d.tripped_monitors[0], 2);
+}
+
+TEST(FusionEngine, AnyRuleTripsOnSketchAlone) {
+  FusionConfig config;
+  config.rule = FusionRule::kAny;
+  FusionEngine engine(config);
+  const std::vector<MonitorScore> quiet{
+      {.monitor = 1, .entropy_z = 0.1, .rate_z = 0.1}};
+  const FusedDecision d =
+      engine.fuse(6, sketch_detection(true, 2.0, 1.0), quiet);
+  EXPECT_TRUE(d.alarm);
+  EXPECT_TRUE(d.tripped_monitors.empty());
+}
+
+TEST(FusionEngine, AllRuleNeedsCorroboration) {
+  FusionConfig config;
+  config.rule = FusionRule::kAll;
+  config.score_threshold = 3.0;
+  FusionEngine engine(config);
+  const std::vector<MonitorScore> quiet{
+      {.monitor = 1, .entropy_z = 0.1, .rate_z = 0.1}};
+  const std::vector<MonitorScore> loud{
+      {.monitor = 1, .entropy_z = 0.0, .rate_z = 5.0}};
+  // Sketch alarm without a first-line trip: vetoed.
+  EXPECT_FALSE(engine.fuse(7, sketch_detection(true, 2.0, 1.0), quiet).alarm);
+  // First-line trip without a sketch alarm: vetoed.
+  EXPECT_FALSE(engine.fuse(8, sketch_detection(false, 0.2, 1.0), loud).alarm);
+  // Both: alarm.
+  EXPECT_TRUE(engine.fuse(9, sketch_detection(true, 2.0, 1.0), loud).alarm);
+}
+
+TEST(FusionEngine, WeightedVoteCrossesOneAtTheBoundary) {
+  FusionConfig config;
+  config.rule = FusionRule::kWeighted;
+  config.score_threshold = 3.0;
+  config.weight_spca = 0.6;
+  config.weight_entropy = 0.2;
+  config.weight_rate = 0.2;
+  FusionEngine engine(config);
+  // Every component exactly at its own trip boundary: the vote is the
+  // weight sum, here 1.0 — not strictly above, so no alarm.
+  const std::vector<MonitorScore> boundary{
+      {.monitor = 1, .entropy_z = 3.0, .rate_z = 3.0}};
+  const FusedDecision at =
+      engine.fuse(10, sketch_detection(false, 1.0, 1.0), boundary);
+  EXPECT_NEAR(at.statistic, 1.0, 1e-12);
+  EXPECT_FALSE(at.alarm);
+  // Push one component past its boundary and the vote crosses 1.
+  const std::vector<MonitorScore> over{
+      {.monitor = 1, .entropy_z = 3.0, .rate_z = 6.0}};
+  const FusedDecision above =
+      engine.fuse(11, sketch_detection(false, 1.0, 1.0), over);
+  EXPECT_GT(above.statistic, 1.0);
+  EXPECT_TRUE(above.alarm);
+}
+
+TEST(FusionEngine, StatisticIsOrderInsensitive) {
+  FusionEngine engine{FusionConfig{}};
+  const Detection det = sketch_detection(false, 0.4, 1.0);
+  const std::vector<MonitorScore> forward{
+      {.monitor = 1, .entropy_z = 1.0, .rate_z = -2.0},
+      {.monitor = 2, .entropy_z = -3.5, .rate_z = 0.25}};
+  const std::vector<MonitorScore> reversed{forward[1], forward[0]};
+  const FusedDecision a = engine.fuse(12, det, forward);
+  const FusedDecision b = engine.fuse(13, det, reversed);
+  EXPECT_EQ(a.statistic, b.statistic);
+  EXPECT_EQ(a.alarm, b.alarm);
+  EXPECT_EQ(a.tripped_monitors, b.tripped_monitors);
+}
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,77 @@
+#include "detect/score_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "dist/aggregate.hpp"
+
+namespace spca {
+namespace {
+
+TEST(ScoreCodec, ReportRoundTrip) {
+  FirstLineScore score;
+  score.entropy_z = -2.25;
+  score.rate_z = 4.5;
+  const Message msg = make_score_report(3, kNocId, 17, score);
+  EXPECT_EQ(msg.type, MessageType::kScoreReport);
+  EXPECT_EQ(msg.from, 3);
+  EXPECT_EQ(msg.to, kNocId);
+  EXPECT_EQ(msg.interval, 17);
+
+  const std::vector<MonitorScore> decoded = parse_score_report(msg);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].monitor, 3);
+  EXPECT_EQ(decoded[0].entropy_z, -2.25);
+  EXPECT_EQ(decoded[0].rate_z, 4.5);
+}
+
+TEST(ScoreCodec, RejectsMalformedPayloads) {
+  Message wrong_type = make_score_report(1, kNocId, 0, {});
+  wrong_type.type = MessageType::kVolumeReport;
+  EXPECT_THROW((void)parse_score_report(wrong_type), ProtocolError);
+
+  Message odd_values = make_score_report(1, kNocId, 0, {});
+  odd_values.values.pop_back();  // 1 value for 1 id: not score-shaped
+  EXPECT_THROW((void)parse_score_report(odd_values), ProtocolError);
+
+  Message no_ids = make_score_report(1, kNocId, 0, {});
+  no_ids.ids.clear();
+  EXPECT_THROW((void)parse_score_report(no_ids), ProtocolError);
+}
+
+TEST(ScoreCodec, RegionalMergeSurvivesAggregateWrap) {
+  // A regional NOC merges its shard's score reports into one kAggregate;
+  // the root must recognize the shape and decode every monitor back out in
+  // ascending monitor order, bit-exactly.
+  constexpr std::size_t kSketchRows = 8;
+  const NodeId region = region_node_id(0);
+  std::vector<Message> parts;
+  parts.push_back(make_score_report(
+      2, region, 9, FirstLineScore{.entropy_z = 0.5, .rate_z = -1.5}));
+  parts.push_back(make_score_report(
+      1, region, 9, FirstLineScore{.entropy_z = -3.75, .rate_z = 2.125}));
+
+  const Message agg = merge_aggregate(std::move(parts), region, kNocId);
+  EXPECT_EQ(agg.type, MessageType::kAggregate);
+  EXPECT_TRUE(aggregate_shape_is(agg, MessageType::kScoreReport, kSketchRows));
+  EXPECT_FALSE(aggregate_shape_is(agg, MessageType::kVolumeReport,
+                                  kSketchRows));
+  EXPECT_FALSE(aggregate_shape_is(agg, MessageType::kSketchResponse,
+                                  kSketchRows));
+
+  const Message unwrapped =
+      unwrap_aggregate(agg, MessageType::kScoreReport, kSketchRows);
+  const std::vector<MonitorScore> decoded = parse_score_report(unwrapped);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].monitor, 1);
+  EXPECT_EQ(decoded[0].entropy_z, -3.75);
+  EXPECT_EQ(decoded[0].rate_z, 2.125);
+  EXPECT_EQ(decoded[1].monitor, 2);
+  EXPECT_EQ(decoded[1].entropy_z, 0.5);
+  EXPECT_EQ(decoded[1].rate_z, -1.5);
+}
+
+}  // namespace
+}  // namespace spca

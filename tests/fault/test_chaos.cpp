@@ -201,12 +201,35 @@ TEST(Chaos, HierCrashKillWithMonitorFaultsStaysBitIdentical) {
   config.checkpoint_dir = dir.str();
   config.checkpoint_every = 4;
   config.crash_kills = true;
-  config.faults = parse_fault_spec("drop=0.15,reorder=0.1,kill=r1@21,seed=4");
+  config.faults =
+      parse_fault_spec("drop=0.15,dup=0.1,reorder=0.1,kill=r1@21,seed=4");
   const ChaosResult result = run_chaos(config);
   EXPECT_TRUE(result.match);
   EXPECT_EQ(result.kills, 1u);
   EXPECT_TRUE(result.restored_from_checkpoint);
   EXPECT_GT(result.faults.drops, 0u);
+  EXPECT_GT(result.faults.duplicates, 0u);
+}
+
+TEST(Chaos, HierRegionRootHopFaultsWithFusionStayBitIdentical) {
+  // Message faults now ride every tier, including the region -> root hop:
+  // the regiond and root transports are both fault-wrapped since the dedup
+  // key gained its payload-width element. With fusion on, three aggregate
+  // shapes share that hop each interval — volume (1 value/id), score (2)
+  // and sketch (rows + 2) — so duplicates of one shape must not swallow a
+  // legitimate message of another. The fused trajectory is compared too.
+  ChaosConfig config = base_config();
+  config.scenario.monitors = 4;
+  config.scenario.fusion = "any";
+  config.tcp = true;
+  config.regions = 2;
+  config.faults =
+      parse_fault_spec("drop=0.1,dup=0.15,reorder=0.1,corrupt=0.1,seed=11");
+  const ChaosResult result = run_chaos(config);
+  EXPECT_TRUE(result.match);
+  EXPECT_GT(result.faults.duplicates, 0u);
+  EXPECT_GT(result.faults.deduplicated, 0u);
+  EXPECT_FALSE(result.reference.fused_statistics.empty());
 }
 
 TEST(Chaos, TcpKillRestartsFromShutdownCheckpoint) {

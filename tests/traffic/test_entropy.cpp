@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
 
 #include "common/contracts.hpp"
+#include "rand/distributions.hpp"
+#include "rand/xoshiro256.hpp"
 
 namespace spca {
 namespace {
@@ -96,6 +102,123 @@ TEST(EntropyAggregator, FeatureSelectsField) {
   src_agg.record(p, 2);
   const FlowId f = od_flow_id(0, 1, 2);
   EXPECT_EQ(src_agg.counter(f).distinct(), 2u);  // two sources, one dest
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: the classic Shannon-entropy identities must hold for any
+// weighting, not just the hand-picked histograms above. All randomness is
+// seeded, so a failure reproduces deterministically.
+
+TEST(EntropyProperty, PermutationInvariance) {
+  // H depends on the multiset of weights only — neither the insertion order
+  // nor the category labels may change it.
+  Xoshiro256 gen(0x5eed5eedULL);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + uniform_index(gen, 30);
+    std::vector<std::uint64_t> weights(n);
+    for (auto& w : weights) w = 1 + uniform_index(gen, 1000);
+
+    EntropyCounter forward;
+    for (std::size_t i = 0; i < n; ++i) {
+      forward.add(static_cast<std::uint32_t>(i), weights[i]);
+    }
+    // Shuffled insertion order, relabeled categories.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[uniform_index(gen, i)]);
+    }
+    EntropyCounter shuffled;
+    for (std::size_t i = 0; i < n; ++i) {
+      shuffled.add(static_cast<std::uint32_t>(1000 + i), weights[order[i]]);
+    }
+    EXPECT_NEAR(forward.entropy_bits(), shuffled.entropy_bits(), 1e-9);
+    EXPECT_NEAR(forward.normalized_entropy(), shuffled.normalized_entropy(),
+                1e-9);
+  }
+}
+
+TEST(EntropyProperty, UniformMaximizesAndDegenerateMinimizes) {
+  // For k categories: 0 <= H <= log2(k), the maximum exactly at the uniform
+  // distribution and the minimum exactly at a point mass.
+  Xoshiro256 gen(0xba5eba11ULL);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t k = 2 + uniform_index(gen, 40);
+    EntropyCounter random;
+    EntropyCounter uniform;
+    EntropyCounter point;
+    for (std::size_t v = 0; v < k; ++v) {
+      random.add(static_cast<std::uint32_t>(v), 1 + uniform_index(gen, 500));
+      uniform.add(static_cast<std::uint32_t>(v), 7);
+    }
+    point.add(0, 1 + uniform_index(gen, 500));
+
+    const double cap = std::log2(static_cast<double>(k));
+    EXPECT_GE(random.entropy_bits(), 0.0);
+    EXPECT_LE(random.entropy_bits(), cap + 1e-9);
+    EXPECT_NEAR(uniform.entropy_bits(), cap, 1e-9);
+    EXPECT_NEAR(uniform.normalized_entropy(), 1.0, 1e-9);
+    EXPECT_EQ(point.entropy_bits(), 0.0);
+    EXPECT_GE(random.normalized_entropy(), 0.0);
+    EXPECT_LE(random.normalized_entropy(), 1.0 + 1e-9);
+  }
+}
+
+TEST(EntropyProperty, SpanAndCounterAgreeOnRandomHistograms) {
+  // shannon_entropy_bits and EntropyCounter are two routes to the same
+  // quantity; fuzz random histograms (including zero weights, which the
+  // span form must skip) through both.
+  Xoshiro256 gen(0xfeedf00dULL);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + uniform_index(gen, 24);
+    std::vector<double> weights(n);
+    EntropyCounter counter;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t w = uniform_index(gen, 5);  // ~1/5 weights are zero
+      weights[i] = static_cast<double>(w * (1 + uniform_index(gen, 100)));
+      if (weights[i] > 0.0) {
+        counter.add(static_cast<std::uint32_t>(i),
+                    static_cast<std::uint64_t>(weights[i]));
+      }
+    }
+    EXPECT_NEAR(shannon_entropy_bits(weights), counter.entropy_bits(), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(EntropyProperty, FuzzDegenerateInputsRoundTrip) {
+  // Edge inputs the aggregator meets in production: an empty interval, a
+  // single observed flow, a single address with arbitrary multiplicity.
+  // None may produce NaN/Inf or nonzero entropy, and end_interval() must
+  // leave the aggregator reusable.
+  EXPECT_EQ(shannon_entropy_bits({}), 0.0);
+  const std::vector<double> single{42.0};
+  EXPECT_EQ(shannon_entropy_bits(single), 0.0);
+  const std::vector<double> zeros{0.0, 0.0, 0.0};
+  EXPECT_EQ(shannon_entropy_bits(zeros), 0.0);
+
+  Xoshiro256 gen(0x0ddba11ULL);
+  for (int trial = 0; trial < 50; ++trial) {
+    EntropyAggregator agg(4, EntropyAggregator::Feature::kDestinationAddress);
+    const Vector empty = agg.end_interval();
+    for (std::size_t f = 0; f < empty.size(); ++f) {
+      EXPECT_EQ(empty[f], 0.0);
+    }
+    // One flow, one address, random multiplicity: still degenerate.
+    Packet p;
+    p.origin = 0;
+    p.destination = 1;
+    p.dst_addr = static_cast<std::uint32_t>(uniform_index(gen, 1u << 16));
+    const auto copies = 1 + uniform_index(gen, 50);
+    for (std::uint64_t c = 0; c < copies; ++c) agg.record(p, 2);
+    const Vector h = agg.end_interval();
+    for (std::size_t f = 0; f < h.size(); ++f) {
+      EXPECT_TRUE(std::isfinite(h[f]));
+      EXPECT_EQ(h[f], 0.0);
+    }
+    // The flush reset the histograms: a fresh interval starts from zero.
+    EXPECT_EQ(agg.counter(od_flow_id(0, 1, 2)).total(), 0u);
+  }
 }
 
 TEST(EntropyAggregator, EndIntervalFlushesAndResets) {
